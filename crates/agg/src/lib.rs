@@ -1,0 +1,86 @@
+//! # flextract-agg
+//!
+//! The MIRABEL downstream pipeline the paper's extraction feeds:
+//! "individual flex-offers have to be aggregated from thousands
+//! consumers before the actual scheduling (and matching with the
+//! surplus RES production)" (§6, refs \[4\]\[5\]).
+//!
+//! * [`aggregate`] — similarity-grid aggregation: offers with similar
+//!   earliest starts, durations and time flexibilities are grouped and
+//!   summed into *macro* flex-offers, using the sound start-alignment
+//!   rule (aggregate flexibility = minimum member flexibility), plus
+//!   exact [`AggregatedFlexOffer::disaggregate`] back to member
+//!   schedules.
+//! * [`schedule`] — RES-matching scheduling: a greedy placement pass
+//!   followed by stochastic hill-climbing moves start times inside each
+//!   offer's window to soak up wind surplus, measured by the
+//!   squared-imbalance objective of [`BalanceReport`].
+//!
+//! Together they make the paper's §6 evaluation claim testable: even
+//! though the *peak-based* extraction yields coarse per-household
+//! offers, the aggregated and scheduled result behaves realistically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod schedule;
+
+pub use aggregate::{aggregate_offers, AggregatedFlexOffer, AggregationConfig};
+pub use schedule::{schedule_offers, BalanceReport, ScheduleConfig, ScheduleResult};
+
+/// Errors surfaced by aggregation and scheduling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggError {
+    /// No offers were provided.
+    NoOffers,
+    /// The production series does not overlap the offers' windows.
+    DisjointProduction,
+    /// An internal flex-offer construction failed (indicates a bug;
+    /// surfaced instead of panicking).
+    FlexOffer(flextract_flexoffer::FlexOfferError),
+    /// A series operation failed.
+    Series(flextract_series::SeriesError),
+}
+
+impl std::fmt::Display for AggError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AggError::NoOffers => write!(f, "no flex-offers to process"),
+            AggError::DisjointProduction => {
+                write!(f, "production series does not overlap the scheduling horizon")
+            }
+            AggError::FlexOffer(e) => write!(f, "flex-offer error: {e}"),
+            AggError::Series(e) => write!(f, "series error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AggError {}
+
+impl From<flextract_flexoffer::FlexOfferError> for AggError {
+    fn from(e: flextract_flexoffer::FlexOfferError) -> Self {
+        AggError::FlexOffer(e)
+    }
+}
+
+impl From<flextract_series::SeriesError> for AggError {
+    fn from(e: flextract_series::SeriesError) -> Self {
+        AggError::Series(e)
+    }
+}
+
+#[cfg(test)]
+mod lib_tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(AggError::NoOffers.to_string().contains("no flex-offers"));
+        assert!(AggError::DisjointProduction.to_string().contains("overlap"));
+        let e: AggError = flextract_flexoffer::FlexOfferError::EmptyProfile.into();
+        assert!(e.to_string().contains("flex-offer"));
+        let e: AggError = flextract_series::SeriesError::Empty.into();
+        assert!(e.to_string().contains("series"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests for aggregation soundness and scheduling feasibility.
+
+use flextract_agg::{aggregate_offers, schedule_offers, AggregationConfig, ScheduleConfig};
+use flextract_flexoffer::{EnergyRange, FlexOffer, ScheduledFlexOffer};
+use flextract_series::TimeSeries;
+use flextract_time::{Duration, Resolution, Timestamp};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_offers() -> impl Strategy<Value = Vec<FlexOffer>> {
+    prop::collection::vec(
+        (
+            0_i64..(2 * 96),          // EST in 15-min steps over 2 days
+            0_i64..32,                // flexibility in 15-min steps
+            1_usize..8,               // slices
+            0.05_f64..1.0,            // base energy
+            0.0_f64..0.5,             // band width
+        ),
+        1..25,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (est_steps, flex_steps, slices, e, w))| {
+                let est = Timestamp::from_minutes(est_steps * 15);
+                FlexOffer::builder(i as u64 + 1)
+                    .start_window(est, est + Duration::minutes(flex_steps * 15))
+                    .slices(
+                        Resolution::MIN_15,
+                        vec![EnergyRange::new(e, e + w).unwrap(); slices],
+                    )
+                    .build()
+                    .expect("generated offers are valid")
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn aggregation_conserves_membership_and_energy(offers in arb_offers()) {
+        let aggs = aggregate_offers(&offers, &AggregationConfig::default()).unwrap();
+        // Every input offer lands in exactly one aggregate.
+        let members: usize = aggs.iter().map(|a| a.member_count()).sum();
+        prop_assert_eq!(members, offers.len());
+        // Total [min, max] energy is conserved.
+        let in_min: f64 = offers.iter().map(|o| o.total_energy().min).sum();
+        let in_max: f64 = offers.iter().map(|o| o.total_energy().max).sum();
+        let out_min: f64 = aggs.iter().map(|a| a.offer.total_energy().min).sum();
+        let out_max: f64 = aggs.iter().map(|a| a.offer.total_energy().max).sum();
+        prop_assert!((in_min - out_min).abs() < 1e-6);
+        prop_assert!((in_max - out_max).abs() < 1e-6);
+        // Aggregate flexibility never exceeds any member's.
+        for a in &aggs {
+            for (m, _) in &a.members {
+                prop_assert!(a.offer.time_flexibility() <= m.time_flexibility());
+            }
+            prop_assert!(a.offer.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn disaggregation_is_always_feasible_and_exact(offers in arb_offers()) {
+        let aggs = aggregate_offers(&offers, &AggregationConfig::default()).unwrap();
+        for a in &aggs {
+            for start in a.offer.candidate_starts() {
+                let energies: Vec<f64> = a
+                    .offer
+                    .profile()
+                    .slices()
+                    .iter()
+                    .map(|s| s.midpoint())
+                    .collect();
+                let sched =
+                    ScheduledFlexOffer::new(a.offer.clone(), start, energies).unwrap();
+                let members = a.disaggregate(&sched).unwrap();
+                prop_assert_eq!(members.len(), a.member_count());
+                let member_sum: f64 = members.iter().map(|m| m.total_energy()).sum();
+                prop_assert!(
+                    (member_sum - sched.total_energy()).abs() < 1e-6,
+                    "energy drift {member_sum} vs {}",
+                    sched.total_energy()
+                );
+                for m in &members {
+                    prop_assert!(m.start() >= m.offer().earliest_start());
+                    prop_assert!(m.start() <= m.offer().latest_start());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scheduling_is_feasible_and_never_worse_than_baseline(
+        offers in arb_offers(),
+        seed in 0_u64..100,
+    ) {
+        let demand = TimeSeries::constant(
+            Timestamp::EPOCH,
+            Resolution::MIN_15,
+            2.0,
+            3 * 96,
+        );
+        let mut prod = vec![0.0; 3 * 96];
+        for (i, v) in prod.iter_mut().enumerate() {
+            if i % 96 >= 40 && i % 96 < 70 {
+                *v = 4.0;
+            }
+        }
+        let production = TimeSeries::new(Timestamp::EPOCH, Resolution::MIN_15, prod).unwrap();
+        let result = schedule_offers(
+            &offers,
+            &demand,
+            &production,
+            &ScheduleConfig { iterations: 50 },
+            &mut StdRng::seed_from_u64(seed),
+        )
+        .unwrap();
+        prop_assert_eq!(result.scheduled.len(), offers.len());
+        for s in &result.scheduled {
+            prop_assert!(s.start() >= s.offer().earliest_start());
+            prop_assert!(s.start() <= s.offer().latest_start());
+            for (e, b) in s.energies().iter().zip(s.offer().profile().slices()) {
+                prop_assert!(b.contains(*e), "energy {e} outside {b:?}");
+            }
+        }
+        prop_assert!(
+            result.after.squared_imbalance <= result.before.squared_imbalance + 1e-6
+        );
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&result.after.res_utilisation));
+    }
+}

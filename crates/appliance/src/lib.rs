@@ -1,0 +1,40 @@
+//! # flextract-appliance
+//!
+//! Appliance model catalog — the paper's Table 1 made executable.
+//!
+//! The appliance-level extraction approaches (§4) "rely on the
+//! specifications of the electricity consumption of all possible
+//! appliances in fine-grained manner": per-appliance energy consumption
+//! ranges and **energy profiles with min and max ranges for every time
+//! stamp (granularity must be even smaller than 15 min)**. This crate
+//! provides:
+//!
+//! * [`LoadProfile`] — a phase-wise min/max power envelope at 1-minute
+//!   granularity, with realisation into energy series;
+//! * [`ApplianceSpec`] — one catalog row: identity, per-cycle energy
+//!   range, profile, usage model and shiftability;
+//! * [`Catalog`] — a queryable collection, with [`Catalog::table1`]
+//!   reproducing the paper's six rows exactly and
+//!   [`Catalog::extended`] adding the non-flexible base-load appliances
+//!   a realistic household needs.
+//!
+//! ```
+//! use flextract_appliance::Catalog;
+//!
+//! let catalog = Catalog::table1();
+//! assert_eq!(catalog.len(), 6);
+//! let washer = catalog.find_by_name("Washing Machine from Manufacturer Y").unwrap();
+//! assert_eq!(washer.energy_range_kwh, (1.2, 3.0));
+//! assert!(washer.shiftability.is_shiftable());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod catalog;
+mod profile;
+mod spec;
+
+pub use catalog::Catalog;
+pub use profile::{LoadProfile, ProfilePhase};
+pub use spec::{ApplianceCategory, ApplianceSpec, Shiftability, UsageFrequency, UsageModel};

@@ -1,0 +1,274 @@
+//! Appliance specifications: identity, usage model and shiftability.
+
+use crate::LoadProfile;
+use flextract_time::{CivilTime, Duration};
+use serde::{Deserialize, Serialize};
+
+/// Broad appliance class, used for catalog queries and reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum ApplianceCategory {
+    VacuumRobot,
+    WashingMachine,
+    Dishwasher,
+    TumbleDryer,
+    ElectricVehicle,
+    Refrigerator,
+    Oven,
+    WaterHeater,
+    HeatPump,
+    Lighting,
+    Electronics,
+}
+
+impl std::fmt::Display for ApplianceCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ApplianceCategory::VacuumRobot => "vacuum robot",
+            ApplianceCategory::WashingMachine => "washing machine",
+            ApplianceCategory::Dishwasher => "dishwasher",
+            ApplianceCategory::TumbleDryer => "tumble dryer",
+            ApplianceCategory::ElectricVehicle => "electric vehicle",
+            ApplianceCategory::Refrigerator => "refrigerator",
+            ApplianceCategory::Oven => "oven",
+            ApplianceCategory::WaterHeater => "water heater",
+            ApplianceCategory::HeatPump => "heat pump",
+            ApplianceCategory::Lighting => "lighting",
+            ApplianceCategory::Electronics => "electronics",
+        };
+        f.write_str(name)
+    }
+}
+
+/// How often an appliance is typically used — the core datum of the
+/// frequency-based approach (§4.1: "some of the appliances may be used
+/// daily while some may be used weekly or monthly, or even yearly").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum UsageFrequency {
+    /// Mean activations per day.
+    PerDay(f64),
+    /// Mean activations per week.
+    PerWeek(f64),
+    /// Mean activations per month (30 days).
+    PerMonth(f64),
+    /// Runs continuously (base load); the simulator models it as an
+    /// always-on draw, and extraction never shifts it.
+    Continuous,
+}
+
+impl UsageFrequency {
+    /// Expected activations per day (`None` for continuous loads).
+    pub fn mean_daily_rate(&self) -> Option<f64> {
+        match *self {
+            UsageFrequency::PerDay(n) => Some(n),
+            UsageFrequency::PerWeek(n) => Some(n / 7.0),
+            UsageFrequency::PerMonth(n) => Some(n / 30.0),
+            UsageFrequency::Continuous => None,
+        }
+    }
+}
+
+/// Whether (and how far) an appliance's usage can be shifted in time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Shiftability {
+    /// The cycle can be delayed by up to `max_delay` after its natural
+    /// start ("time flexibility … 22 hours (it needs to be charged
+    /// before the next usage)", §4.1).
+    Shiftable {
+        /// Maximum admissible delay.
+        max_delay: Duration,
+    },
+    /// The cycle serves an immediate need (cooking, lighting) and
+    /// cannot move.
+    NonShiftable,
+}
+
+impl Shiftability {
+    /// `true` for [`Shiftability::Shiftable`].
+    pub fn is_shiftable(&self) -> bool {
+        matches!(self, Shiftability::Shiftable { .. })
+    }
+
+    /// The admissible delay (zero for non-shiftable appliances).
+    pub fn max_delay(&self) -> Duration {
+        match *self {
+            Shiftability::Shiftable { max_delay } => max_delay,
+            Shiftability::NonShiftable => Duration::ZERO,
+        }
+    }
+}
+
+/// When during the day an appliance tends to start.
+///
+/// Weights need not be normalised; the simulator samples start windows
+/// proportionally. `weekend_multiplier` scales the *usage rate* on
+/// weekends (the schedule-based approach's motivating example: "the
+/// dishwasher is more used during the weekends", §4.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UsageModel {
+    /// Typical activation rate.
+    pub frequency: UsageFrequency,
+    /// Preferred start windows `(from, to, weight)` in wall-clock time;
+    /// windows may wrap past midnight (`from > to`).
+    pub preferred_windows: Vec<(CivilTime, CivilTime, f64)>,
+    /// Rate multiplier applied on Saturdays and Sundays.
+    pub weekend_multiplier: f64,
+}
+
+impl UsageModel {
+    /// A model with a single all-day window and no weekend effect.
+    pub fn uniform(frequency: UsageFrequency) -> Self {
+        UsageModel {
+            frequency,
+            preferred_windows: vec![(
+                CivilTime::MIDNIGHT,
+                CivilTime { hour: 23, minute: 59 },
+                1.0,
+            )],
+            weekend_multiplier: 1.0,
+        }
+    }
+
+    /// Expected activations for a day, accounting for the weekend
+    /// multiplier. `None` for continuous loads.
+    pub fn expected_rate(&self, weekend: bool) -> Option<f64> {
+        let base = self.frequency.mean_daily_rate()?;
+        Some(if weekend { base * self.weekend_multiplier } else { base })
+    }
+}
+
+/// One catalog row: the executable version of a Table-1 entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApplianceSpec {
+    /// Display name, e.g. `"Washing Machine from Manufacturer Y"`.
+    pub name: String,
+    /// Broad class.
+    pub category: ApplianceCategory,
+    /// Per-cycle energy consumption range (kWh) — Table 1's middle
+    /// column. Kept as declared data and cross-checked against the
+    /// profile by [`ApplianceSpec::profile_consistent`].
+    pub energy_range_kwh: (f64, f64),
+    /// The sub-15-min load profile — Table 1's "Energy profile" column.
+    pub profile: LoadProfile,
+    /// Typical usage pattern.
+    pub usage: UsageModel,
+    /// Whether and how far cycles can be delayed.
+    pub shiftability: Shiftability,
+}
+
+impl ApplianceSpec {
+    /// `true` when the declared energy range brackets what the profile
+    /// actually integrates to (within `tol` kWh at both ends).
+    pub fn profile_consistent(&self, tol: f64) -> bool {
+        let (lo, hi) = self.profile.energy_range_kwh();
+        (lo - self.energy_range_kwh.0).abs() <= tol
+            && (hi - self.energy_range_kwh.1).abs() <= tol
+    }
+
+    /// Convenience: the profile's cycle duration.
+    pub fn cycle_duration(&self) -> Duration {
+        self.profile.duration()
+    }
+}
+
+impl std::fmt::Display for ApplianceSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({}) {:.1}-{:.1} kWh/cycle, {}",
+            self.name,
+            self.category,
+            self.energy_range_kwh.0,
+            self.energy_range_kwh.1,
+            match self.shiftability {
+                Shiftability::Shiftable { max_delay } => format!("shiftable +{max_delay}"),
+                Shiftability::NonShiftable => "non-shiftable".to_string(),
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProfilePhase;
+
+    fn spec() -> ApplianceSpec {
+        ApplianceSpec {
+            name: "Test Washer".into(),
+            category: ApplianceCategory::WashingMachine,
+            energy_range_kwh: (1.0, 1.4),
+            profile: LoadProfile::new(vec![
+                ProfilePhase::banded(20, 1.8, 2.2),
+                ProfilePhase::banded(60, 0.3, 0.5),
+                ProfilePhase::banded(10, 0.6, 1.0),
+            ]),
+            usage: UsageModel::uniform(UsageFrequency::PerWeek(3.0)),
+            shiftability: Shiftability::Shiftable { max_delay: Duration::hours(12) },
+        }
+    }
+
+    #[test]
+    fn frequency_daily_rates() {
+        assert_eq!(UsageFrequency::PerDay(2.0).mean_daily_rate(), Some(2.0));
+        assert!((UsageFrequency::PerWeek(7.0).mean_daily_rate().unwrap() - 1.0).abs() < 1e-12);
+        assert!((UsageFrequency::PerMonth(30.0).mean_daily_rate().unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(UsageFrequency::Continuous.mean_daily_rate(), None);
+    }
+
+    #[test]
+    fn shiftability_accessors() {
+        let s = Shiftability::Shiftable { max_delay: Duration::hours(22) };
+        assert!(s.is_shiftable());
+        assert_eq!(s.max_delay(), Duration::hours(22));
+        assert!(!Shiftability::NonShiftable.is_shiftable());
+        assert_eq!(Shiftability::NonShiftable.max_delay(), Duration::ZERO);
+    }
+
+    #[test]
+    fn usage_model_weekend_scaling() {
+        let mut m = UsageModel::uniform(UsageFrequency::PerDay(1.0));
+        m.weekend_multiplier = 2.0;
+        assert_eq!(m.expected_rate(false), Some(1.0));
+        assert_eq!(m.expected_rate(true), Some(2.0));
+        let c = UsageModel::uniform(UsageFrequency::Continuous);
+        assert_eq!(c.expected_rate(true), None);
+    }
+
+    #[test]
+    fn profile_consistency_check() {
+        let s = spec();
+        assert!(s.profile_consistent(1e-9));
+        let mut bad = s.clone();
+        bad.energy_range_kwh = (0.5, 3.0);
+        assert!(!bad.profile_consistent(0.1));
+        assert!(bad.profile_consistent(2.0)); // generous tolerance passes
+    }
+
+    #[test]
+    fn display_mentions_shiftability() {
+        let shown = spec().to_string();
+        assert!(shown.contains("shiftable +12h00m"), "{shown}");
+        assert!(shown.contains("washing machine"), "{shown}");
+        assert!(shown.contains("1.0-1.4"), "{shown}");
+    }
+
+    #[test]
+    fn cycle_duration_delegates_to_profile() {
+        assert_eq!(spec().cycle_duration(), Duration::minutes(90));
+    }
+
+    #[test]
+    fn category_display_names() {
+        assert_eq!(ApplianceCategory::ElectricVehicle.to_string(), "electric vehicle");
+        assert_eq!(ApplianceCategory::VacuumRobot.to_string(), "vacuum robot");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = spec();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ApplianceSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

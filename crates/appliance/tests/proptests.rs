@@ -1,0 +1,64 @@
+//! Property tests for appliance profiles and the catalog.
+
+use flextract_appliance::{Catalog, LoadProfile, ProfilePhase};
+use flextract_time::Timestamp;
+use proptest::prelude::*;
+
+fn arb_profile() -> impl Strategy<Value = LoadProfile> {
+    prop::collection::vec((1_u32..120, 0.0_f64..3.0, 0.0_f64..2.0), 1..6).prop_map(|phases| {
+        LoadProfile::new(
+            phases
+                .into_iter()
+                .map(|(d, lo, width)| ProfilePhase::banded(d, lo, lo + width))
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn envelope_brackets_every_intensity(profile in arb_profile(), x in 0.0_f64..1.0) {
+        let (lo, hi) = profile.energy_range_kwh();
+        let e = profile.cycle_energy_kwh(x);
+        prop_assert!(lo - 1e-9 <= e && e <= hi + 1e-9, "{e} outside [{lo}, {hi}]");
+        // The per-minute curve is bounded by the phase bands.
+        let curve = profile.power_curve_kw(x);
+        let min_curve = profile.power_curve_kw(0.0);
+        let max_curve = profile.power_curve_kw(1.0);
+        for ((c, lo_kw), hi_kw) in curve.iter().zip(&min_curve).zip(&max_curve) {
+            prop_assert!(lo_kw - 1e-12 <= *c && *c <= hi_kw + 1e-12);
+        }
+    }
+
+    #[test]
+    fn series_realisation_matches_cycle_energy(
+        profile in arb_profile(),
+        x in 0.0_f64..1.0,
+        start_min in 0_i64..(7 * 1440),
+    ) {
+        let start = Timestamp::from_minutes(start_min);
+        let series = profile.to_energy_series(start, x);
+        prop_assert_eq!(series.len() as i64, profile.duration().as_minutes());
+        prop_assert!((series.total_energy() - profile.cycle_energy_kwh(x)).abs() < 1e-9);
+        prop_assert!(series.values().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn intensity_is_monotone_in_energy(profile in arb_profile(), a in 0.0_f64..1.0, b in 0.0_f64..1.0) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(profile.cycle_energy_kwh(lo) <= profile.cycle_energy_kwh(hi) + 1e-12);
+    }
+}
+
+#[test]
+fn every_catalog_profile_satisfies_the_envelope_properties() {
+    for spec in Catalog::extended().iter() {
+        let (lo, hi) = spec.profile.energy_range_kwh();
+        assert!(lo >= 0.0 && hi >= lo, "{}", spec.name);
+        for x in [0.0, 0.3, 0.7, 1.0] {
+            let e = spec.profile.cycle_energy_kwh(x);
+            assert!(lo - 1e-9 <= e && e <= hi + 1e-9, "{} at {x}", spec.name);
+        }
+        assert!(spec.cycle_duration().as_minutes() > 0, "{}", spec.name);
+    }
+}

@@ -1,0 +1,113 @@
+//! Throughput of the six extraction approaches versus input length —
+//! the scalability dimension of every table/figure reproduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flextract_appliance::Catalog;
+use flextract_bench::{family_market_series, horizon};
+use flextract_core::{
+    BasicExtractor, ExtractionConfig, ExtractionInput, FlexibilityExtractor,
+    FrequencyBasedExtractor, MultiTariffExtractor, PeakExtractor, RandomExtractor,
+    ScheduleBasedExtractor,
+};
+use flextract_sim::{simulate_household, HouseholdArchetype, HouseholdConfig};
+use flextract_time::Resolution;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_household_level(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extract/household_level");
+    let cfg = ExtractionConfig::default();
+    for days in [7_i64, 28] {
+        let series = family_market_series(days, 11);
+        group.throughput(Throughput::Elements(series.len() as u64));
+        let extractors: Vec<(&str, Box<dyn FlexibilityExtractor>)> = vec![
+            ("random", Box::new(RandomExtractor::new(cfg.clone()))),
+            ("basic", Box::new(BasicExtractor::new(cfg.clone()))),
+            ("peak", Box::new(PeakExtractor::new(cfg.clone()))),
+        ];
+        for (name, ex) in extractors {
+            group.bench_with_input(BenchmarkId::new(name, days), &series, |b, s| {
+                b.iter(|| {
+                    ex.extract(
+                        &ExtractionInput::household(black_box(s)),
+                        &mut StdRng::seed_from_u64(1),
+                    )
+                    .unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_multi_tariff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extract/multi_tariff");
+    let cfg = ExtractionConfig::default();
+    let mt = MultiTariffExtractor::new(cfg);
+    for days in [7_i64, 28] {
+        let observed = family_market_series(days, 12);
+        let reference = family_market_series(days, 13);
+        group.throughput(Throughput::Elements(observed.len() as u64));
+        group.bench_with_input(BenchmarkId::new("compare", days), &days, |b, _| {
+            b.iter(|| {
+                mt.extract(
+                    &ExtractionInput::household(black_box(&observed))
+                        .with_reference(black_box(&reference)),
+                    &mut StdRng::seed_from_u64(1),
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_appliance_level(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extract/appliance_level");
+    group.sample_size(10);
+    let cfg = ExtractionConfig::default();
+    let catalog = Catalog::extended();
+    for days in [7_i64, 14] {
+        let sim = simulate_household(
+            &HouseholdConfig::new(14, HouseholdArchetype::FamilyWithChildren),
+            horizon(days),
+        );
+        let market = sim.series_at(Resolution::MIN_15);
+        group.throughput(Throughput::Elements(sim.series.len() as u64));
+        let freq = FrequencyBasedExtractor::new(cfg.clone());
+        group.bench_with_input(BenchmarkId::new("frequency", days), &days, |b, _| {
+            b.iter(|| {
+                freq.extract(
+                    &ExtractionInput::household(black_box(&market))
+                        .with_fine_series(black_box(&sim.series))
+                        .with_catalog(&catalog),
+                    &mut StdRng::seed_from_u64(1),
+                )
+                .unwrap()
+            })
+        });
+        let sched = ScheduleBasedExtractor::new(cfg.clone());
+        group.bench_with_input(BenchmarkId::new("schedule", days), &days, |b, _| {
+            b.iter(|| {
+                sched
+                    .extract(
+                        &ExtractionInput::household(black_box(&market))
+                            .with_fine_series(black_box(&sim.series))
+                            .with_catalog(&catalog),
+                        &mut StdRng::seed_from_u64(1),
+                    )
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_household_level,
+    bench_multi_tariff,
+    bench_appliance_level
+);
+criterion_main!(benches);

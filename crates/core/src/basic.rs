@@ -1,0 +1,280 @@
+//! The basic extraction approach (paper §3.1, Figure 4).
+//!
+//! "The process of the flexibility extraction starts with the division
+//! of input time series into periods, and then one flex-offer is
+//! extracted for each of the periods spanning few hours, then the
+//! fraction of flexibility within each period is calculated (based on
+//! the configuration parameter). Lastly, a flex-offer for each period
+//! is extracted. Afterwards, time and energy amount flexibilities are
+//! built by applying some randomization to the constructed flex-offers."
+
+use crate::extractor::{build_offer, sample_slice_count, FlexibilityExtractor};
+use crate::{
+    Diagnostics, ExtractionConfig, ExtractionError, ExtractionInput, ExtractionOutput,
+};
+use flextract_series::segment::split_into_periods;
+use rand::rngs::StdRng;
+
+/// Period-based extraction with a fixed flexible share.
+#[derive(Debug, Clone)]
+pub struct BasicExtractor {
+    cfg: ExtractionConfig,
+}
+
+impl BasicExtractor {
+    /// Build with the given configuration.
+    pub fn new(cfg: ExtractionConfig) -> Self {
+        BasicExtractor { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ExtractionConfig {
+        &self.cfg
+    }
+}
+
+impl FlexibilityExtractor for BasicExtractor {
+    fn name(&self) -> &'static str {
+        "basic"
+    }
+
+    fn extract(
+        &self,
+        input: &ExtractionInput<'_>,
+        rng: &mut StdRng,
+    ) -> Result<ExtractionOutput, ExtractionError> {
+        self.cfg.validate()?;
+        let series = input.series;
+        if series.is_empty() {
+            return Err(ExtractionError::EmptySeries);
+        }
+        let mut modified = series.clone();
+        let mut extracted = series.scale(0.0);
+        let mut offers = Vec::new();
+        let mut diagnostics = Diagnostics::default();
+        let mut next_id = 1u64;
+
+        for period in split_into_periods(series, self.cfg.period) {
+            let period_energy = period.total_energy();
+            if period_energy <= 0.0 {
+                diagnostics
+                    .notes
+                    .push(format!("{}: zero-consumption period skipped", period.start()));
+                continue;
+            }
+            // "the fraction of flexibility within each period is
+            // calculated (based on the configuration parameter)".
+            let flexible = self.cfg.flexible_share * period_energy;
+            if flexible <= 0.0 {
+                continue;
+            }
+            // The profile anchors at the period start and covers the
+            // first n slices; the consumption *shape* of those slices is
+            // preserved so the offer looks like the load it represents
+            // (Figure 4's profiles follow the day's shape).
+            let n = sample_slice_count(rng, &self.cfg, period.len());
+            let window = &period.values()[..n];
+            let window_energy: f64 = window.iter().sum();
+            let mut energies: Vec<f64> = if window_energy > 0.0 {
+                window.iter().map(|c| flexible * c / window_energy).collect()
+            } else {
+                vec![flexible / n as f64; n]
+            };
+            // Never extract more than an interval holds.
+            let mut shortfall = 0.0;
+            for (k, e) in energies.iter_mut().enumerate() {
+                let global = modified
+                    .index_of(period.timestamp_of(k))
+                    .expect("period intervals lie inside the series");
+                let available = modified.values()[global].max(0.0);
+                if *e > available {
+                    shortfall += *e - available;
+                    *e = available;
+                }
+                modified.values_mut()[global] -= *e;
+                extracted.values_mut()[global] += *e;
+            }
+            if shortfall > 1e-9 {
+                diagnostics.notes.push(format!(
+                    "{}: capped {shortfall:.3} kWh (period consumption too concentrated)",
+                    period.start()
+                ));
+            }
+            let offer = build_offer(next_id, &self.cfg, rng, period.start(), &energies)?;
+            next_id += 1;
+            offers.push(offer);
+        }
+        Ok(ExtractionOutput {
+            approach: self.name(),
+            flex_offers: offers,
+            modified_series: modified,
+            extracted_series: extracted,
+            diagnostics,
+        })
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+    use flextract_series::TimeSeries;
+    use flextract_time::{Duration, Resolution, Timestamp};
+    use rand::SeedableRng;
+
+    fn shaped_day() -> TimeSeries {
+        // A day with a morning and an evening hump.
+        let values: Vec<f64> = (0..96)
+            .map(|i| {
+                let h = i as f64 / 4.0;
+                0.2 + 0.6 * (-(h - 8.0) * (h - 8.0) / 8.0).exp()
+                    + 0.9 * (-(h - 19.0) * (h - 19.0) / 6.0).exp()
+            })
+            .collect();
+        TimeSeries::new("2013-03-18".parse::<Timestamp>().unwrap(), Resolution::MIN_15, values)
+            .unwrap()
+    }
+
+    fn run(series: &TimeSeries, cfg: ExtractionConfig, seed: u64) -> ExtractionOutput {
+        BasicExtractor::new(cfg)
+            .extract(&ExtractionInput::household(series), &mut StdRng::seed_from_u64(seed))
+            .unwrap()
+    }
+
+    #[test]
+    fn one_offer_per_period_like_figure_4() {
+        let series = shaped_day();
+        let out = run(&series, ExtractionConfig::default(), 1);
+        // 24 h / 6 h periods = 4 offers, as in Figure 4.
+        assert_eq!(out.flex_offers.len(), 4);
+        out.check_invariants(&series).unwrap();
+        // Offers anchor at period starts.
+        let starts: Vec<String> =
+            out.flex_offers.iter().map(|o| o.earliest_start().to_string()).collect();
+        assert_eq!(
+            starts,
+            vec![
+                "2013-03-18 00:00",
+                "2013-03-18 06:00",
+                "2013-03-18 12:00",
+                "2013-03-18 18:00"
+            ]
+        );
+    }
+
+    #[test]
+    fn per_period_energy_is_share_of_period() {
+        let series = shaped_day();
+        let out = run(&series, ExtractionConfig::default(), 2);
+        for (offer, period) in out
+            .flex_offers
+            .iter()
+            .zip(split_into_periods(&series, Duration::hours(6)))
+        {
+            // Extracted energy for the period's intervals equals the
+            // flexible fraction of the period ("the total energy amount
+            // … is equal to the flexible part extracted from the input
+            // time series", §3.1).
+            let extracted = out.extracted_series.energy_in(period.range());
+            let expect = 0.05 * period.total_energy();
+            assert!(
+                (extracted - expect).abs() < 1e-9,
+                "period {}: {extracted} vs {expect}",
+                period.start()
+            );
+            // The offer's [min, max] band brackets that energy.
+            let total = offer.total_energy();
+            assert!(total.min <= expect + 1e-9);
+            assert!(total.max >= expect - 1e-9);
+        }
+    }
+
+    #[test]
+    fn profile_follows_consumption_shape() {
+        let series = shaped_day();
+        let mut cfg = ExtractionConfig::default();
+        cfg.slices_per_offer = (8, 8);
+        let out = run(&series, cfg, 3);
+        // Evening period (18:00): consumption is humped around 19:00,
+        // so within the profile the 19:00-ish slices must dominate.
+        let evening = &out.flex_offers[3];
+        let mids: Vec<f64> =
+            evening.profile().slices().iter().map(|s| s.midpoint()).collect();
+        let first = mids[0];
+        let at_peak = mids[4]; // 19:00 (4 slices past 18:00)
+        assert!(at_peak > first, "profile should rise into the hump: {mids:?}");
+    }
+
+    #[test]
+    fn ragged_tail_period_still_extracts() {
+        // 26 hours: four 6-h periods + one 2-h tail.
+        let values = vec![0.4; 104];
+        let series = TimeSeries::new(
+            "2013-03-18".parse::<Timestamp>().unwrap(),
+            Resolution::MIN_15,
+            values,
+        )
+        .unwrap();
+        let out = run(&series, ExtractionConfig::default(), 4);
+        assert_eq!(out.flex_offers.len(), 5);
+        out.check_invariants(&series).unwrap();
+    }
+
+    #[test]
+    fn share_sweep_scales_linearly() {
+        let series = shaped_day();
+        let lo = run(&series, ExtractionConfig::with_share(0.001), 5);
+        let hi = run(&series, ExtractionConfig::with_share(0.065), 5);
+        assert!((lo.achieved_share() - 0.001).abs() < 1e-6);
+        assert!((hi.achieved_share() - 0.065).abs() < 1e-6);
+        let ratio = hi.extracted_energy() / lo.extracted_energy();
+        assert!((ratio - 65.0).abs() < 0.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn zero_period_skipped_with_note() {
+        let mut values = vec![0.0; 24];
+        values.extend(vec![0.4; 72]);
+        let series = TimeSeries::new(
+            "2013-03-18".parse::<Timestamp>().unwrap(),
+            Resolution::MIN_15,
+            values,
+        )
+        .unwrap();
+        let out = run(&series, ExtractionConfig::default(), 6);
+        assert_eq!(out.flex_offers.len(), 3);
+        assert!(out.diagnostics.notes.iter().any(|n| n.contains("zero-consumption")));
+    }
+
+    #[test]
+    fn empty_series_errors() {
+        let series = TimeSeries::new(
+            "2013-03-18".parse::<Timestamp>().unwrap(),
+            Resolution::MIN_15,
+            vec![],
+        )
+        .unwrap();
+        let ex = BasicExtractor::new(ExtractionConfig::default());
+        assert_eq!(
+            ex.extract(&ExtractionInput::household(&series), &mut StdRng::seed_from_u64(1)),
+            Err(ExtractionError::EmptySeries)
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let series = shaped_day();
+        let a = run(&series, ExtractionConfig::default(), 9);
+        let b = run(&series, ExtractionConfig::default(), 9);
+        assert_eq!(a.flex_offers, b.flex_offers);
+    }
+
+    #[test]
+    fn all_offers_validate() {
+        let series = shaped_day();
+        let out = run(&series, ExtractionConfig::default(), 10);
+        for o in &out.flex_offers {
+            assert!(o.validate().is_ok());
+        }
+    }
+}

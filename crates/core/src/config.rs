@@ -1,0 +1,204 @@
+//! Shared extraction configuration — the paper's "context information".
+//!
+//! §3.1 enumerates the parameters an extractor expects: "the percentage
+//! of the flexible demand part in the input time series … the number of
+//! intervals in a single flex-offer, interval duration, minimum and
+//! maximum percentage of required energy, creation time, acceptance
+//! time, assignment time, earliest start time, and latest start time.
+//! All these parameters are randomized in controlled variation limits in
+//! order to generate non-uniform flex-offers."
+
+use crate::ExtractionError;
+use flextract_time::{Duration, Resolution};
+use serde::{Deserialize, Serialize};
+
+/// Tunable parameters shared by the extraction approaches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExtractionConfig {
+    /// Fraction of consumption assumed flexible (the MIRACLE trial
+    /// found 0.1–6.5 %; default 5 %, the value of the paper's Figure-5
+    /// walk-through).
+    pub flexible_share: f64,
+    /// Flex-offer slice width (the MIRABEL market interval).
+    pub slice_resolution: Resolution,
+    /// Inclusive range for the number of profile slices per offer.
+    pub slices_per_offer: (usize, usize),
+    /// Controlled variation of the per-slice *minimum* energy, as a
+    /// fraction of the extracted slice energy.
+    pub min_energy_fraction: (f64, f64),
+    /// Controlled variation of the per-slice *maximum* energy, as a
+    /// fraction of the extracted slice energy.
+    pub max_energy_fraction: (f64, f64),
+    /// Controlled variation of the start-time flexibility
+    /// (`latest_start − earliest_start`).
+    pub time_flexibility: (Duration, Duration),
+    /// How long before the earliest start the offer is created.
+    pub creation_lead: Duration,
+    /// Offset from creation to the acceptance deadline.
+    pub acceptance_offset: Duration,
+    /// How long before the earliest start assignment must happen.
+    pub assignment_lead: Duration,
+    /// Period length for the basic approach ("periods spanning few
+    /// hours", §3.1; Figure 4 shows four offers tiling a day).
+    pub period: Duration,
+    /// Offers per day for the random baseline.
+    pub random_offers_per_day: usize,
+}
+
+impl Default for ExtractionConfig {
+    fn default() -> Self {
+        ExtractionConfig {
+            flexible_share: 0.05,
+            slice_resolution: Resolution::MIN_15,
+            slices_per_offer: (4, 8),
+            min_energy_fraction: (0.7, 0.95),
+            max_energy_fraction: (1.05, 1.3),
+            time_flexibility: (Duration::hours(1), Duration::hours(7)),
+            creation_lead: Duration::hours(24),
+            acceptance_offset: Duration::hours(2),
+            assignment_lead: Duration::hours(1),
+            period: Duration::hours(6),
+            random_offers_per_day: 4,
+        }
+    }
+}
+
+impl ExtractionConfig {
+    /// A config with the given flexible share and all other defaults.
+    pub fn with_share(share: f64) -> Self {
+        ExtractionConfig { flexible_share: share, ..ExtractionConfig::default() }
+    }
+
+    /// Check every field's domain.
+    pub fn validate(&self) -> Result<(), ExtractionError> {
+        if !(0.0..=1.0).contains(&self.flexible_share) {
+            return Err(ExtractionError::InvalidConfig {
+                what: "flexible_share must be in [0, 1]",
+            });
+        }
+        if self.slices_per_offer.0 == 0 || self.slices_per_offer.0 > self.slices_per_offer.1 {
+            return Err(ExtractionError::InvalidConfig {
+                what: "slices_per_offer must be a non-empty positive range",
+            });
+        }
+        if self.min_energy_fraction.0 < 0.0
+            || self.min_energy_fraction.0 > self.min_energy_fraction.1
+        {
+            return Err(ExtractionError::InvalidConfig {
+                what: "min_energy_fraction must be an ordered non-negative range",
+            });
+        }
+        if self.max_energy_fraction.0 < self.min_energy_fraction.1 {
+            return Err(ExtractionError::InvalidConfig {
+                what: "max_energy_fraction must start at or above min_energy_fraction's end",
+            });
+        }
+        if self.max_energy_fraction.0 > self.max_energy_fraction.1 {
+            return Err(ExtractionError::InvalidConfig {
+                what: "max_energy_fraction must be an ordered range",
+            });
+        }
+        if self.time_flexibility.0.is_negative()
+            || self.time_flexibility.1 < self.time_flexibility.0
+        {
+            return Err(ExtractionError::InvalidConfig {
+                what: "time_flexibility must be an ordered non-negative range",
+            });
+        }
+        if self.period.as_minutes() < self.slice_resolution.minutes() {
+            return Err(ExtractionError::InvalidConfig {
+                what: "period must cover at least one slice",
+            });
+        }
+        if self.creation_lead.is_negative()
+            || self.acceptance_offset.is_negative()
+            || self.assignment_lead.is_negative()
+        {
+            return Err(ExtractionError::InvalidConfig {
+                what: "lifecycle leads must be non-negative",
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_matches_paper_walkthrough() {
+        let cfg = ExtractionConfig::default();
+        cfg.validate().unwrap();
+        // Figure 5 uses a 5 % flexible part.
+        assert!((cfg.flexible_share - 0.05).abs() < 1e-12);
+        assert_eq!(cfg.slice_resolution, Resolution::MIN_15);
+        // Figure 4 shows 4 offers per day → 6-hour periods.
+        assert_eq!(cfg.period, Duration::hours(6));
+    }
+
+    #[test]
+    fn with_share_overrides_only_share() {
+        let cfg = ExtractionConfig::with_share(0.001);
+        cfg.validate().unwrap();
+        assert!((cfg.flexible_share - 0.001).abs() < 1e-15);
+        assert_eq!(cfg.period, ExtractionConfig::default().period);
+    }
+
+    #[test]
+    fn share_domain() {
+        assert!(ExtractionConfig::with_share(-0.1).validate().is_err());
+        assert!(ExtractionConfig::with_share(1.1).validate().is_err());
+        assert!(ExtractionConfig::with_share(0.0).validate().is_ok());
+        assert!(ExtractionConfig::with_share(1.0).validate().is_ok());
+    }
+
+    #[test]
+    fn slice_range_domain() {
+        let mut cfg = ExtractionConfig::default();
+        cfg.slices_per_offer = (0, 4);
+        assert!(cfg.validate().is_err());
+        cfg.slices_per_offer = (5, 4);
+        assert!(cfg.validate().is_err());
+        cfg.slices_per_offer = (4, 4);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn energy_fraction_domains() {
+        let mut cfg = ExtractionConfig::default();
+        cfg.min_energy_fraction = (-0.1, 0.9);
+        assert!(cfg.validate().is_err());
+        cfg.min_energy_fraction = (0.9, 0.7);
+        assert!(cfg.validate().is_err());
+        cfg = ExtractionConfig::default();
+        cfg.max_energy_fraction = (0.5, 1.2); // overlaps below min range end
+        assert!(cfg.validate().is_err());
+        cfg.max_energy_fraction = (1.3, 1.2);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn time_and_period_domains() {
+        let mut cfg = ExtractionConfig::default();
+        cfg.time_flexibility = (Duration::hours(2), Duration::hours(1));
+        assert!(cfg.validate().is_err());
+        cfg.time_flexibility = (Duration::minutes(-15), Duration::hours(1));
+        assert!(cfg.validate().is_err());
+        cfg = ExtractionConfig::default();
+        cfg.period = Duration::minutes(5);
+        assert!(cfg.validate().is_err());
+        cfg = ExtractionConfig::default();
+        cfg.creation_lead = Duration::minutes(-1);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let cfg = ExtractionConfig::default();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: ExtractionConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+}

@@ -1,0 +1,160 @@
+//! # flextract-core
+//!
+//! The paper's contribution: **automated extraction of flex-offers from
+//! electricity consumption time series** (Kaulakienė, Šikšnys, Pitarch;
+//! EDBT/ICDT Workshops 2013).
+//!
+//! Six extractors implement the taxonomy of the paper's Figure 3 — the
+//! status-quo baseline it criticises plus its five proposals, at two
+//! levels:
+//!
+//! **Total-household level** (§3):
+//! * [`RandomExtractor`] — the MIRABEL testing baseline: "consumption at
+//!   every moment of a day is potentially flexible"; offers land
+//!   uniformly in the day.
+//! * [`BasicExtractor`] (§3.1) — a fixed share of consumption is
+//!   flexible at any time; the day is cut into few-hour periods and one
+//!   flex-offer is extracted per period (Figure 4).
+//! * [`PeakExtractor`] (§3.2) — flexibility lives in consumption peaks;
+//!   peaks above the daily average are detected, filtered by the
+//!   flexible-part threshold, and one is chosen with size-proportional
+//!   probability (Figure 5); one flex-offer per consumer per day.
+//! * [`MultiTariffExtractor`] (§3.3) — compares multi-tariff behaviour
+//!   against the same consumer's one-tariff typical day and converts
+//!   the appeared/disappeared consumption into time-flexible offers.
+//!
+//! **Appliance level** (§4), built on `flextract-disagg`:
+//! * [`FrequencyBasedExtractor`] (§4.1) — step 1 mines the appliance
+//!   shortlist with usage frequencies; step 2 emits one flex-offer per
+//!   detected activation, with the catalog's time flexibility.
+//! * [`ScheduleBasedExtractor`] (§4.2) — step 1 mines per-day-kind
+//!   usage schedules; step 2 emits flex-offers along the schedule.
+//!
+//! Every extractor implements [`FlexibilityExtractor`]: it consumes an
+//! [`ExtractionInput`] and returns an [`ExtractionOutput`] holding the
+//! flex-offers, the *modified* series (input minus extracted energy —
+//! the paper's "(modified) time series"), the extracted series itself,
+//! and rich [`Diagnostics`] (the peak reports reproduce Figure 5's
+//! numbers verbatim).
+//!
+//! ```
+//! use flextract_core::{BasicExtractor, ExtractionConfig, ExtractionInput, FlexibilityExtractor};
+//! use flextract_series::TimeSeries;
+//! use flextract_time::{Resolution, Timestamp};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let day = TimeSeries::constant(
+//!     Timestamp::from_ymd_hm(2013, 3, 18, 0, 0).unwrap(),
+//!     Resolution::MIN_15,
+//!     0.4,
+//!     96,
+//! );
+//! let extractor = BasicExtractor::new(ExtractionConfig::default());
+//! let out = extractor
+//!     .extract(&ExtractionInput::household(&day), &mut StdRng::seed_from_u64(1))
+//!     .unwrap();
+//! assert_eq!(out.flex_offers.len(), 4); // one per 6-hour period
+//! // Energy accounting: extracted + modified = original.
+//! let back = out.modified_series.add(&out.extracted_series).unwrap();
+//! assert!((back.total_energy() - day.total_energy()).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod basic;
+mod config;
+mod extractor;
+mod frequency;
+mod io;
+mod multi_tariff;
+mod peak;
+mod production;
+mod random;
+mod realtime;
+mod schedule;
+
+pub use basic::BasicExtractor;
+pub use config::ExtractionConfig;
+pub use extractor::FlexibilityExtractor;
+pub use frequency::FrequencyBasedExtractor;
+pub use io::{Diagnostics, ExtractionInput, ExtractionOutput, PeakDayReport, PeakInfo};
+pub use multi_tariff::MultiTariffExtractor;
+pub use peak::PeakExtractor;
+pub use production::{ProducerKind, ProductionExtractor};
+pub use random::RandomExtractor;
+pub use realtime::{RealTimeGenerator, READING_RESOLUTION};
+pub use schedule::ScheduleBasedExtractor;
+
+/// Errors surfaced by the extraction approaches.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExtractionError {
+    /// The input series is empty.
+    EmptySeries,
+    /// The approach needs the one-tariff reference series (§3.3) and it
+    /// was not provided.
+    MissingReference,
+    /// The approach needs the appliance catalog (§4) and it was not
+    /// provided.
+    MissingCatalog,
+    /// A configuration field is out of its valid domain.
+    InvalidConfig {
+        /// Which field, and why.
+        what: &'static str,
+    },
+    /// An underlying series operation failed.
+    Series(flextract_series::SeriesError),
+    /// A constructed flex-offer failed validation (indicates a bug in
+    /// an extractor, surfaced instead of panicking).
+    FlexOffer(flextract_flexoffer::FlexOfferError),
+}
+
+impl std::fmt::Display for ExtractionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExtractionError::EmptySeries => write!(f, "input series is empty"),
+            ExtractionError::MissingReference => {
+                write!(f, "multi-tariff extraction requires a one-tariff reference series")
+            }
+            ExtractionError::MissingCatalog => {
+                write!(f, "appliance-level extraction requires an appliance catalog")
+            }
+            ExtractionError::InvalidConfig { what } => write!(f, "invalid config: {what}"),
+            ExtractionError::Series(e) => write!(f, "series error: {e}"),
+            ExtractionError::FlexOffer(e) => write!(f, "flex-offer error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExtractionError {}
+
+impl From<flextract_series::SeriesError> for ExtractionError {
+    fn from(e: flextract_series::SeriesError) -> Self {
+        ExtractionError::Series(e)
+    }
+}
+
+impl From<flextract_flexoffer::FlexOfferError> for ExtractionError {
+    fn from(e: flextract_flexoffer::FlexOfferError) -> Self {
+        ExtractionError::FlexOffer(e)
+    }
+}
+
+#[cfg(test)]
+mod lib_tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(ExtractionError::EmptySeries.to_string().contains("empty"));
+        assert!(ExtractionError::MissingReference.to_string().contains("one-tariff"));
+        assert!(ExtractionError::MissingCatalog.to_string().contains("catalog"));
+        assert!(ExtractionError::InvalidConfig { what: "share > 1" }
+            .to_string()
+            .contains("share > 1"));
+        let wrapped: ExtractionError = flextract_series::SeriesError::Empty.into();
+        assert!(wrapped.to_string().contains("series error"));
+        let wrapped: ExtractionError = flextract_flexoffer::FlexOfferError::EmptyProfile.into();
+        assert!(wrapped.to_string().contains("flex-offer error"));
+    }
+}

@@ -1,0 +1,351 @@
+//! The peak-based extraction approach (paper §3.2, Figure 5).
+//!
+//! Per day: (1) detect peaks above the daily average; (2) discard peaks
+//! smaller than the day's flexible part (`share × day total`);
+//! (3) choose one surviving peak with size-proportional probability;
+//! (4) extract one flex-offer positioned at that peak — "one flex-offer
+//! per consumer per day".
+
+use crate::extractor::{build_offer, FlexibilityExtractor};
+use crate::io::{PeakDayReport, PeakInfo};
+use crate::{
+    Diagnostics, ExtractionConfig, ExtractionError, ExtractionInput, ExtractionOutput,
+};
+use flextract_series::peaks::{detect_peaks, filter_peaks, selection_probabilities};
+use flextract_series::segment::split_whole_days;
+use flextract_series::PeakThreshold;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Peak-positioned extraction: one flex-offer per consumer per day.
+#[derive(Debug, Clone)]
+pub struct PeakExtractor {
+    cfg: ExtractionConfig,
+    threshold: PeakThreshold,
+}
+
+impl PeakExtractor {
+    /// Build with the paper's threshold (the daily mean).
+    pub fn new(cfg: ExtractionConfig) -> Self {
+        PeakExtractor { cfg, threshold: PeakThreshold::Mean }
+    }
+
+    /// Build with an alternative detection threshold (the DESIGN.md
+    /// ablation: median / quantile / absolute).
+    pub fn with_threshold(cfg: ExtractionConfig, threshold: PeakThreshold) -> Self {
+        PeakExtractor { cfg, threshold }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ExtractionConfig {
+        &self.cfg
+    }
+}
+
+/// Size-proportional random pick (the paper's roulette selection).
+fn weighted_pick(rng: &mut StdRng, weights: &[f64]) -> Option<usize> {
+    let total: f64 = weights.iter().filter(|w| **w > 0.0).sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut target = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if w > 0.0 {
+            target -= w;
+            if target <= 0.0 {
+                return Some(i);
+            }
+        }
+    }
+    weights.iter().rposition(|w| *w > 0.0)
+}
+
+impl FlexibilityExtractor for PeakExtractor {
+    fn name(&self) -> &'static str {
+        "peak"
+    }
+
+    fn extract(
+        &self,
+        input: &ExtractionInput<'_>,
+        rng: &mut StdRng,
+    ) -> Result<ExtractionOutput, ExtractionError> {
+        self.cfg.validate()?;
+        let series = input.series;
+        if series.is_empty() {
+            return Err(ExtractionError::EmptySeries);
+        }
+        let mut modified = series.clone();
+        let mut extracted = series.scale(0.0);
+        let mut offers = Vec::new();
+        let mut diagnostics = Diagnostics::default();
+        let mut next_id = 1u64;
+
+        for day in split_whole_days(series) {
+            let day_total = day.total_energy();
+            if day_total <= 0.0 {
+                diagnostics
+                    .notes
+                    .push(format!("{}: zero-consumption day skipped", day.start().date()));
+                continue;
+            }
+            // Phase 1: detection above the daily average line.
+            let (threshold, all_peaks) = detect_peaks(&day, self.threshold)?;
+            // Phase 2: filtering by the flexible part of the day.
+            let min_peak_energy = self.cfg.flexible_share * day_total;
+            let survivors = filter_peaks(all_peaks.clone(), min_peak_energy);
+            let probs = selection_probabilities(&survivors);
+            // Phase 3: size-proportional selection.
+            let chosen = weighted_pick(rng, &probs);
+
+            // Assemble the Figure-5 report for this day.
+            let mut report = PeakDayReport {
+                day: day.start(),
+                day_total_kwh: day_total,
+                threshold_kwh: threshold,
+                min_peak_energy_kwh: min_peak_energy,
+                peaks: Vec::with_capacity(all_peaks.len()),
+                selected: None,
+            };
+            for (i, p) in all_peaks.iter().enumerate() {
+                let surv_idx = survivors
+                    .iter()
+                    .position(|s| s.start_index == p.start_index);
+                report.peaks.push(PeakInfo {
+                    number: i + 1,
+                    start: p.range.start(),
+                    intervals: p.len,
+                    size_kwh: p.energy_kwh,
+                    survived_filter: surv_idx.is_some(),
+                    probability: surv_idx.map(|j| probs[j]).unwrap_or(0.0),
+                });
+            }
+
+            let Some(sel) = chosen else {
+                diagnostics.notes.push(format!(
+                    "{}: no peak survived the {min_peak_energy:.3} kWh filter",
+                    day.start().date()
+                ));
+                diagnostics.peak_reports.push(report);
+                continue;
+            };
+            let peak = &survivors[sel];
+            report.selected = all_peaks
+                .iter()
+                .position(|p| p.start_index == peak.start_index)
+                .map(|i| i + 1);
+            diagnostics.peak_reports.push(report);
+
+            // Phase 4: one flex-offer, positioned on the peak, carrying
+            // the day's whole flexible part, shaped like the peak.
+            let n = peak.len.min(self.cfg.slices_per_offer.1).max(1);
+            let window = &day.values()[peak.start_index..peak.start_index + n];
+            let window_energy: f64 = window.iter().sum();
+            let mut energies: Vec<f64> = window
+                .iter()
+                .map(|c| min_peak_energy * c / window_energy)
+                .collect();
+            for (k, e) in energies.iter_mut().enumerate() {
+                let global = modified
+                    .index_of(day.timestamp_of(peak.start_index + k))
+                    .expect("peak intervals lie inside the series");
+                let available = modified.values()[global].max(0.0);
+                *e = e.min(available);
+                modified.values_mut()[global] -= *e;
+                extracted.values_mut()[global] += *e;
+            }
+            let offer =
+                build_offer(next_id, &self.cfg, rng, peak.range.start(), &energies)?;
+            next_id += 1;
+            offers.push(offer);
+        }
+        Ok(ExtractionOutput {
+            approach: self.name(),
+            flex_offers: offers,
+            modified_series: modified,
+            extracted_series: extracted,
+            diagnostics,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextract_series::TimeSeries;
+    use flextract_time::{Resolution, Timestamp};
+    use rand::SeedableRng;
+
+    /// A synthetic day with two dominant peaks and several small ones —
+    /// the Figure-5 situation in miniature.
+    fn two_peak_day() -> TimeSeries {
+        let mut values = vec![0.2; 96];
+        // Small morning bumps (will be filtered out at 5 %).
+        values[20] = 0.6;
+        values[30] = 0.7;
+        // Midday peak: 4 intervals, ~2.6 kWh.
+        for v in values.iter_mut().skip(44).take(4) {
+            *v = 0.65;
+        }
+        // Evening peak: 6 intervals, ~5.0 kWh.
+        for v in values.iter_mut().skip(72).take(6) {
+            *v = 0.83;
+        }
+        TimeSeries::new("2013-03-18".parse::<Timestamp>().unwrap(), Resolution::MIN_15, values)
+            .unwrap()
+    }
+
+    fn run(series: &TimeSeries, cfg: ExtractionConfig, seed: u64) -> ExtractionOutput {
+        PeakExtractor::new(cfg)
+            .extract(&ExtractionInput::household(series), &mut StdRng::seed_from_u64(seed))
+            .unwrap()
+    }
+
+    #[test]
+    fn one_offer_per_day() {
+        let series = two_peak_day();
+        let out = run(&series, ExtractionConfig::default(), 1);
+        assert_eq!(out.flex_offers.len(), 1);
+        out.check_invariants(&series).unwrap();
+    }
+
+    #[test]
+    fn report_reproduces_the_walkthrough_structure() {
+        let series = two_peak_day();
+        let out = run(&series, ExtractionConfig::default(), 1);
+        let report = &out.diagnostics.peak_reports[0];
+        // Threshold is the daily mean.
+        let mean = series.total_energy() / 96.0;
+        assert!((report.threshold_kwh - mean).abs() < 1e-9);
+        // Filter threshold is share × day total.
+        assert!(
+            (report.min_peak_energy_kwh - 0.05 * series.total_energy()).abs() < 1e-9
+        );
+        // Exactly two survivors, probabilities sum to 1.
+        let survivors: Vec<&PeakInfo> =
+            report.peaks.iter().filter(|p| p.survived_filter).collect();
+        assert_eq!(survivors.len(), 2, "{:?}", report.peaks);
+        let p_sum: f64 = survivors.iter().map(|p| p.probability).sum();
+        assert!((p_sum - 1.0).abs() < 1e-9);
+        // The bigger peak has the bigger probability.
+        assert!(survivors[1].size_kwh > survivors[0].size_kwh);
+        assert!(survivors[1].probability > survivors[0].probability);
+        // Selection picked a surviving peak.
+        let sel = report.selected.unwrap();
+        assert!(report.peaks[sel - 1].survived_filter);
+    }
+
+    #[test]
+    fn offer_sits_on_the_selected_peak() {
+        let series = two_peak_day();
+        let out = run(&series, ExtractionConfig::default(), 1);
+        let report = &out.diagnostics.peak_reports[0];
+        let sel = &report.peaks[report.selected.unwrap() - 1];
+        assert_eq!(out.flex_offers[0].earliest_start(), sel.start);
+    }
+
+    #[test]
+    fn selection_frequency_tracks_peak_size() {
+        let series = two_peak_day();
+        let mut evening = 0;
+        let n = 300;
+        for seed in 0..n {
+            let out = run(&series, ExtractionConfig::default(), seed);
+            let report = &out.diagnostics.peak_reports[0];
+            let sel = &report.peaks[report.selected.unwrap() - 1];
+            if sel.intervals == 6 {
+                evening += 1;
+            }
+        }
+        let p = evening as f64 / n as f64;
+        // Expected ≈ 5.0/(5.0+2.6) ≈ 0.66.
+        assert!((p - 0.66).abs() < 0.1, "evening selection rate {p}");
+    }
+
+    #[test]
+    fn extracted_energy_is_days_flexible_part() {
+        let series = two_peak_day();
+        let out = run(&series, ExtractionConfig::default(), 2);
+        let expect = 0.05 * series.total_energy();
+        assert!(
+            (out.extracted_energy() - expect).abs() < 1e-9,
+            "{} vs {expect}",
+            out.extracted_energy()
+        );
+    }
+
+    #[test]
+    fn flat_day_has_no_peaks_and_no_offers() {
+        // 0.5 is exactly representable, so the mean equals every value
+        // and the strict `>` comparison cannot flip on rounding.
+        let series = TimeSeries::constant(
+            "2013-03-18".parse::<Timestamp>().unwrap(),
+            Resolution::MIN_15,
+            0.5,
+            96,
+        );
+        let out = run(&series, ExtractionConfig::default(), 3);
+        assert!(out.flex_offers.is_empty());
+        assert!(out.diagnostics.notes.iter().any(|n| n.contains("no peak survived")));
+        // The report is still emitted, with zero survivors.
+        assert_eq!(out.diagnostics.peak_reports.len(), 1);
+        assert!(out.diagnostics.peak_reports[0].peaks.is_empty());
+    }
+
+    #[test]
+    fn large_share_can_filter_every_peak() {
+        let series = two_peak_day();
+        let out = run(&series, ExtractionConfig::with_share(0.5), 4);
+        assert!(out.flex_offers.is_empty());
+    }
+
+    #[test]
+    fn median_threshold_ablation_detects_more_peaks() {
+        let series = two_peak_day();
+        let mean_ex = PeakExtractor::new(ExtractionConfig::default());
+        let med_ex = PeakExtractor::with_threshold(
+            ExtractionConfig::default(),
+            PeakThreshold::Median,
+        );
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = mean_ex.extract(&ExtractionInput::household(&series), &mut rng).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let b = med_ex.extract(&ExtractionInput::household(&series), &mut rng).unwrap();
+        // Median (0.2) sits below the mean here → at least as many raw peaks.
+        assert!(
+            b.diagnostics.peak_reports[0].peaks.len()
+                >= a.diagnostics.peak_reports[0].peaks.len()
+        );
+    }
+
+    #[test]
+    fn multi_day_input_yields_one_offer_per_day() {
+        let mut series = two_peak_day();
+        let day2 = TimeSeries::new(
+            "2013-03-19".parse::<Timestamp>().unwrap(),
+            Resolution::MIN_15,
+            two_peak_day().into_values(),
+        )
+        .unwrap();
+        series.concat(&day2).unwrap();
+        let out = run(&series, ExtractionConfig::default(), 6);
+        assert_eq!(out.flex_offers.len(), 2);
+        assert_eq!(out.diagnostics.peak_reports.len(), 2);
+        out.check_invariants(&series).unwrap();
+    }
+
+    #[test]
+    fn empty_series_errors() {
+        let series = TimeSeries::new(
+            "2013-03-18".parse::<Timestamp>().unwrap(),
+            Resolution::MIN_15,
+            vec![],
+        )
+        .unwrap();
+        let ex = PeakExtractor::new(ExtractionConfig::default());
+        assert_eq!(
+            ex.extract(&ExtractionInput::household(&series), &mut StdRng::seed_from_u64(1)),
+            Err(ExtractionError::EmptySeries)
+        );
+    }
+}

@@ -1,0 +1,348 @@
+//! Production flex-offers — the paper's second §6 future-work item,
+//! implemented: "the RES producer could issue a production flex-offer
+//! specifying that the start of electricity production can be either in
+//! 2 hours or 3 hours ahead, depending on the flex-offer schedule.
+//! Traditional electricity producers are even more flexible, thus, they
+//! can issue production flex-offers for almost all of their
+//! production."
+//!
+//! A production flex-offer is structurally an ordinary [`FlexOffer`]
+//! whose profile is *generation* rather than consumption; MIRABEL's
+//! market layer treats both sides uniformly, which is exactly the
+//! paper's point ("shift [the] current trading model based on bids to
+//! the explicit flexibility trading model").
+
+use crate::extractor::FlexibilityExtractor;
+use crate::{
+    Diagnostics, ExtractionConfig, ExtractionError, ExtractionInput, ExtractionOutput,
+};
+use flextract_flexoffer::{EnergyRange, FlexOffer};
+use flextract_series::peaks::{detect_peaks, filter_peaks};
+use flextract_series::PeakThreshold;
+use flextract_time::Duration;
+use rand::rngs::StdRng;
+
+/// What kind of producer issues the offers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProducerKind {
+    /// Weather-driven (wind/solar): only *forecast ramps* are offered,
+    /// with a small start window derived from forecast timing
+    /// uncertainty (the paper's "either in 2 hours or 3 hours ahead").
+    Renewable {
+        /// Half-width of the start window around the forecast ramp
+        /// start.
+        timing_uncertainty: Duration,
+        /// Relative band on the energy amounts (`0.2` = ±20 %),
+        /// reflecting forecast magnitude error.
+        magnitude_uncertainty: f64,
+    },
+    /// Dispatchable (conventional): "almost all of their production" is
+    /// flexible; one offer per day covering the whole forecast with a
+    /// wide start window.
+    Dispatchable {
+        /// How far the producer can shift its daily program.
+        shift_window: Duration,
+    },
+}
+
+/// Extracts production flex-offers from a *production forecast* series.
+///
+/// The [`ExtractionInput::series`] is interpreted as forecast
+/// generation (kWh per interval), e.g. from
+/// [`flextract_series::forecast`] over simulated wind.
+#[derive(Debug, Clone)]
+pub struct ProductionExtractor {
+    cfg: ExtractionConfig,
+    kind: ProducerKind,
+}
+
+impl ProductionExtractor {
+    /// A renewable producer with the paper's illustrative 1-hour timing
+    /// window and ±20 % magnitude band.
+    pub fn renewable(cfg: ExtractionConfig) -> Self {
+        ProductionExtractor {
+            cfg,
+            kind: ProducerKind::Renewable {
+                timing_uncertainty: Duration::hours(1),
+                magnitude_uncertainty: 0.2,
+            },
+        }
+    }
+
+    /// A dispatchable producer that can shift its program by
+    /// `shift_window`.
+    pub fn dispatchable(cfg: ExtractionConfig, shift_window: Duration) -> Self {
+        ProductionExtractor { cfg, kind: ProducerKind::Dispatchable { shift_window } }
+    }
+
+    /// Build with an explicit kind.
+    pub fn new(cfg: ExtractionConfig, kind: ProducerKind) -> Self {
+        ProductionExtractor { cfg, kind }
+    }
+
+    /// The producer kind.
+    pub fn kind(&self) -> &ProducerKind {
+        &self.kind
+    }
+}
+
+impl FlexibilityExtractor for ProductionExtractor {
+    fn name(&self) -> &'static str {
+        match self.kind {
+            ProducerKind::Renewable { .. } => "production-res",
+            ProducerKind::Dispatchable { .. } => "production-dispatchable",
+        }
+    }
+
+    fn extract(
+        &self,
+        input: &ExtractionInput<'_>,
+        _rng: &mut StdRng,
+    ) -> Result<ExtractionOutput, ExtractionError> {
+        self.cfg.validate()?;
+        let forecast = input.series;
+        if forecast.is_empty() {
+            return Err(ExtractionError::EmptySeries);
+        }
+        let res = forecast.resolution();
+        let slice_min = res.minutes();
+        let mut offers: Vec<FlexOffer> = Vec::new();
+        let mut extracted = forecast.scale(0.0);
+        let mut diagnostics = Diagnostics::default();
+        let mut next_id = 1u64;
+
+        match self.kind {
+            ProducerKind::Renewable { timing_uncertainty, magnitude_uncertainty } => {
+                // Offer the forecast *ramps*: contiguous runs above the
+                // series mean, filtered to meaningful energy.
+                let (thr, ramps) = detect_peaks(forecast, PeakThreshold::Mean)?;
+                let min_energy = self.cfg.flexible_share.max(0.01) * forecast.total_energy();
+                let kept = filter_peaks(ramps, min_energy);
+                diagnostics.notes.push(format!(
+                    "{} forecast ramps above {thr:.2} kWh/interval, {} offered",
+                    diagnostics.notes.len(),
+                    kept.len()
+                ));
+                let slack = Duration::minutes(
+                    (timing_uncertainty.as_minutes() / slice_min) * slice_min,
+                );
+                for ramp in kept {
+                    let window = &forecast.values()[ramp.start_index..ramp.end_index()];
+                    let slices: Vec<EnergyRange> = window
+                        .iter()
+                        .map(|&e| {
+                            EnergyRange::new(
+                                (e * (1.0 - magnitude_uncertainty)).max(0.0),
+                                e * (1.0 + magnitude_uncertainty),
+                            )
+                        })
+                        .collect::<Result<_, _>>()?;
+                    for (k, &e) in window.iter().enumerate() {
+                        let idx = ramp.start_index + k;
+                        extracted.values_mut()[idx] += e;
+                    }
+                    // "start … either in 2 hours or 3 hours ahead": the
+                    // window straddles the forecast start by ±slack
+                    // (clipped at the horizon start).
+                    let earliest = (ramp.range.start() - slack).max(forecast.start());
+                    let latest = ramp.range.start() + slack;
+                    let creation = earliest - self.cfg.creation_lead;
+                    let acceptance = (creation + self.cfg.acceptance_offset).min(earliest);
+                    let assignment = (earliest - self.cfg.assignment_lead).max(acceptance);
+                    offers.push(
+                        FlexOffer::builder(next_id)
+                            .start_window(earliest, latest)
+                            .slices(res, slices)
+                            .created_at(creation)
+                            .acceptance_by(acceptance)
+                            .assignment_by(assignment)
+                            .build()?,
+                    );
+                    next_id += 1;
+                }
+            }
+            ProducerKind::Dispatchable { shift_window } => {
+                // One offer per whole day covering (almost) all
+                // production, with a wide shift window.
+                for day in flextract_series::segment::split_whole_days(forecast) {
+                    if day.total_energy() <= 0.0 {
+                        diagnostics
+                            .notes
+                            .push(format!("{}: no production", day.start().date()));
+                        continue;
+                    }
+                    let slices: Vec<EnergyRange> = day
+                        .values()
+                        .iter()
+                        .map(|&e| EnergyRange::new(0.0, e))
+                        .collect::<Result<_, _>>()?;
+                    for (k, &e) in day.values().iter().enumerate() {
+                        let idx = forecast
+                            .index_of(day.timestamp_of(k))
+                            .expect("day lies inside the forecast");
+                        extracted.values_mut()[idx] += e;
+                    }
+                    let earliest = day.start();
+                    let flex = Duration::minutes(
+                        (shift_window.as_minutes() / slice_min) * slice_min,
+                    );
+                    let creation = earliest - self.cfg.creation_lead;
+                    let acceptance = (creation + self.cfg.acceptance_offset).min(earliest);
+                    let assignment = (earliest - self.cfg.assignment_lead).max(acceptance);
+                    offers.push(
+                        FlexOffer::builder(next_id)
+                            .start_window(earliest, earliest + flex)
+                            .slices(res, slices)
+                            .created_at(creation)
+                            .acceptance_by(acceptance)
+                            .assignment_by(assignment)
+                            .build()?,
+                    );
+                    next_id += 1;
+                }
+            }
+        }
+        let modified = forecast.sub(&extracted)?;
+        Ok(ExtractionOutput {
+            approach: self.name(),
+            flex_offers: offers,
+            modified_series: modified,
+            extracted_series: extracted,
+            diagnostics,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextract_series::TimeSeries;
+    use flextract_time::{Resolution, Timestamp};
+    use rand::SeedableRng;
+
+    /// A day of forecast wind: calm, a 6-h production block, calm.
+    fn forecast_day() -> TimeSeries {
+        let mut values = vec![0.5; 96];
+        for v in values.iter_mut().skip(40).take(24) {
+            *v = 60.0;
+        }
+        TimeSeries::new("2013-03-18".parse::<Timestamp>().unwrap(), Resolution::MIN_15, values)
+            .unwrap()
+    }
+
+    #[test]
+    fn renewable_offers_cover_the_ramp() {
+        let fc = forecast_day();
+        let ex = ProductionExtractor::renewable(ExtractionConfig::default());
+        let out = ex
+            .extract(&ExtractionInput::household(&fc), &mut StdRng::seed_from_u64(1))
+            .unwrap();
+        assert_eq!(out.flex_offers.len(), 1);
+        let offer = &out.flex_offers[0];
+        // Ramp runs 10:00–16:00; window straddles its start by ±1 h.
+        assert_eq!(offer.earliest_start().to_string(), "2013-03-18 09:00");
+        assert_eq!(offer.latest_start().to_string(), "2013-03-18 11:00");
+        assert_eq!(offer.time_flexibility(), Duration::hours(2));
+        assert_eq!(offer.profile().len(), 24);
+        // ±20 % magnitude band around the forecast energy.
+        let total = offer.total_energy();
+        let ramp_energy = 24.0 * 60.0;
+        assert!((total.min - ramp_energy * 0.8).abs() < 1e-6);
+        assert!((total.max - ramp_energy * 1.2).abs() < 1e-6);
+        out.check_invariants(&fc).unwrap();
+    }
+
+    #[test]
+    fn dispatchable_offers_almost_all_production() {
+        let fc = forecast_day();
+        let ex =
+            ProductionExtractor::dispatchable(ExtractionConfig::default(), Duration::hours(12));
+        let out = ex
+            .extract(&ExtractionInput::household(&fc), &mut StdRng::seed_from_u64(1))
+            .unwrap();
+        assert_eq!(out.flex_offers.len(), 1); // one per day
+        let offer = &out.flex_offers[0];
+        assert_eq!(offer.profile().len(), 96);
+        assert_eq!(offer.time_flexibility(), Duration::hours(12));
+        // "almost all of their production": max band = the whole forecast.
+        assert!((offer.total_energy().max - fc.total_energy()).abs() < 1e-9);
+        assert_eq!(offer.total_energy().min, 0.0);
+        // Everything moved into the extracted series.
+        assert!((out.extracted_energy() - fc.total_energy()).abs() < 1e-9);
+        assert!(out.modified_series.total_energy().abs() < 1e-9);
+    }
+
+    #[test]
+    fn calm_forecast_yields_no_res_offers() {
+        let flat = TimeSeries::constant(
+            "2013-03-18".parse::<Timestamp>().unwrap(),
+            Resolution::MIN_15,
+            0.5,
+            96,
+        );
+        let ex = ProductionExtractor::renewable(ExtractionConfig::default());
+        let out = ex
+            .extract(&ExtractionInput::household(&flat), &mut StdRng::seed_from_u64(1))
+            .unwrap();
+        assert!(out.flex_offers.is_empty());
+    }
+
+    #[test]
+    fn offers_schedule_in_the_market_layer() {
+        // The paper's uniformity claim: production offers are ordinary
+        // flex-offers — they validate and enumerate starts like any
+        // demand offer.
+        let fc = forecast_day();
+        let ex = ProductionExtractor::renewable(ExtractionConfig::default());
+        let out = ex
+            .extract(&ExtractionInput::household(&fc), &mut StdRng::seed_from_u64(1))
+            .unwrap();
+        let offer = &out.flex_offers[0];
+        assert!(offer.validate().is_ok());
+        assert_eq!(offer.candidate_starts().len(), 9); // ±1 h at 15 min
+    }
+
+    #[test]
+    fn window_clips_at_the_horizon_start() {
+        // Ramp at the very beginning: earliest start cannot precede the
+        // forecast.
+        let mut values = vec![50.0; 8];
+        values.extend(vec![0.5; 88]);
+        let fc = TimeSeries::new(
+            "2013-03-18".parse::<Timestamp>().unwrap(),
+            Resolution::MIN_15,
+            values,
+        )
+        .unwrap();
+        let ex = ProductionExtractor::renewable(ExtractionConfig::default());
+        let out = ex
+            .extract(&ExtractionInput::household(&fc), &mut StdRng::seed_from_u64(1))
+            .unwrap();
+        assert_eq!(out.flex_offers[0].earliest_start(), fc.start());
+    }
+
+    #[test]
+    fn empty_forecast_errors() {
+        let empty = TimeSeries::new(
+            "2013-03-18".parse::<Timestamp>().unwrap(),
+            Resolution::MIN_15,
+            vec![],
+        )
+        .unwrap();
+        let ex = ProductionExtractor::renewable(ExtractionConfig::default());
+        assert_eq!(
+            ex.extract(&ExtractionInput::household(&empty), &mut StdRng::seed_from_u64(1)),
+            Err(ExtractionError::EmptySeries)
+        );
+    }
+
+    #[test]
+    fn names_distinguish_producer_kinds() {
+        let cfg = ExtractionConfig::default();
+        assert_eq!(ProductionExtractor::renewable(cfg.clone()).name(), "production-res");
+        assert_eq!(
+            ProductionExtractor::dispatchable(cfg, Duration::hours(6)).name(),
+            "production-dispatchable"
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! The random baseline — MIRABEL's status-quo generator the paper
+//! criticises.
+//!
+//! "The random approach assumes that consumption at every moment of a
+//! day is potentially flexible … macro (or aggregated) flex-offers are
+//! more or less uniformly dispatched within the day" (§1). It is
+//! implemented here because every evaluation experiment needs it as the
+//! comparison point.
+
+use crate::extractor::{build_offer, sample_slice_count, FlexibilityExtractor};
+use crate::{
+    Diagnostics, ExtractionConfig, ExtractionError, ExtractionInput, ExtractionOutput,
+};
+use flextract_series::segment::split_whole_days;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Uniformly-positioned flex-offer generation (the baseline).
+#[derive(Debug, Clone)]
+pub struct RandomExtractor {
+    cfg: ExtractionConfig,
+}
+
+impl RandomExtractor {
+    /// Build with the given configuration.
+    pub fn new(cfg: ExtractionConfig) -> Self {
+        RandomExtractor { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ExtractionConfig {
+        &self.cfg
+    }
+}
+
+impl FlexibilityExtractor for RandomExtractor {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn extract(
+        &self,
+        input: &ExtractionInput<'_>,
+        rng: &mut StdRng,
+    ) -> Result<ExtractionOutput, ExtractionError> {
+        self.cfg.validate()?;
+        let series = input.series;
+        if series.is_empty() {
+            return Err(ExtractionError::EmptySeries);
+        }
+        let mut modified = series.clone();
+        let mut extracted = series.scale(0.0);
+        let mut offers = Vec::new();
+        let mut diagnostics = Diagnostics::default();
+        let mut next_id = 1u64;
+
+        for day in split_whole_days(series) {
+            let day_energy = day.total_energy();
+            if day_energy <= 0.0 {
+                diagnostics
+                    .notes
+                    .push(format!("{}: zero-consumption day skipped", day.start().date()));
+                continue;
+            }
+            let per_offer = self.cfg.flexible_share * day_energy
+                / self.cfg.random_offers_per_day.max(1) as f64;
+            if per_offer <= 0.0 {
+                continue;
+            }
+            for _ in 0..self.cfg.random_offers_per_day {
+                let n = sample_slice_count(rng, &self.cfg, day.len());
+                // Uniform position anywhere in the day (the defining
+                // property of the baseline).
+                let max_start = day.len().saturating_sub(n);
+                let start_idx = if max_start > 0 { rng.gen_range(0..=max_start) } else { 0 };
+                let start_t = day.timestamp_of(start_idx);
+                // Equal split, capped by what each interval still holds.
+                let target = per_offer / n as f64;
+                let mut energies = Vec::with_capacity(n);
+                for k in 0..n {
+                    let global = modified
+                        .index_of(day.timestamp_of(start_idx + k))
+                        .expect("day intervals lie inside the series");
+                    let take = target.min(modified.values()[global].max(0.0));
+                    energies.push(take);
+                    modified.values_mut()[global] -= take;
+                    extracted.values_mut()[global] += take;
+                }
+                let offer = build_offer(next_id, &self.cfg, rng, start_t, &energies)?;
+                next_id += 1;
+                offers.push(offer);
+            }
+        }
+        offers.sort_by_key(|o| o.earliest_start());
+        Ok(ExtractionOutput {
+            approach: self.name(),
+            flex_offers: offers,
+            modified_series: modified,
+            extracted_series: extracted,
+            diagnostics,
+        })
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+    use flextract_series::TimeSeries;
+    use flextract_time::{Resolution, Timestamp};
+    use rand::SeedableRng;
+
+    fn flat_days(days: usize) -> TimeSeries {
+        TimeSeries::constant(
+            "2013-03-18".parse::<Timestamp>().unwrap(),
+            Resolution::MIN_15,
+            0.4,
+            96 * days,
+        )
+    }
+
+    fn run(series: &TimeSeries, cfg: ExtractionConfig, seed: u64) -> ExtractionOutput {
+        let ex = RandomExtractor::new(cfg);
+        ex.extract(&ExtractionInput::household(series), &mut StdRng::seed_from_u64(seed))
+            .unwrap()
+    }
+
+    #[test]
+    fn offers_per_day_and_energy_accounting() {
+        let series = flat_days(3);
+        let out = run(&series, ExtractionConfig::default(), 7);
+        assert_eq!(out.flex_offers.len(), 3 * 4);
+        out.check_invariants(&series).unwrap();
+        // Extracted ≈ share × total (caps rarely bind on flat data).
+        assert!((out.achieved_share() - 0.05).abs() < 0.005, "{}", out.achieved_share());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let series = flat_days(2);
+        let a = run(&series, ExtractionConfig::default(), 1);
+        let b = run(&series, ExtractionConfig::default(), 1);
+        assert_eq!(a.flex_offers, b.flex_offers);
+        assert_eq!(a.modified_series, b.modified_series);
+        let c = run(&series, ExtractionConfig::default(), 2);
+        assert_ne!(a.flex_offers, c.flex_offers);
+    }
+
+    #[test]
+    fn start_positions_are_dispersed() {
+        // The baseline's defining flaw: uniform dispersion. Over many
+        // offers, starts should span most of the day.
+        let series = flat_days(30);
+        let out = run(&series, ExtractionConfig::default(), 3);
+        let hours: std::collections::HashSet<u8> = out
+            .flex_offers
+            .iter()
+            .map(|o| o.earliest_start().time().hour)
+            .collect();
+        assert!(hours.len() > 12, "only {} distinct start hours", hours.len());
+    }
+
+    #[test]
+    fn zero_share_yields_empty_offers() {
+        let series = flat_days(1);
+        let out = run(&series, ExtractionConfig::with_share(0.0), 5);
+        assert_eq!(out.flex_offers.len(), 0);
+        assert_eq!(out.extracted_energy(), 0.0);
+        out.check_invariants(&series).unwrap();
+    }
+
+    #[test]
+    fn zero_day_is_skipped_with_note() {
+        let mut values = vec![0.0; 96];
+        values.extend(vec![0.4; 96]);
+        let series = TimeSeries::new(
+            "2013-03-18".parse::<Timestamp>().unwrap(),
+            Resolution::MIN_15,
+            values,
+        )
+        .unwrap();
+        let out = run(&series, ExtractionConfig::default(), 5);
+        assert_eq!(out.flex_offers.len(), 4); // only the second day
+        assert!(out.diagnostics.notes.iter().any(|n| n.contains("zero-consumption")));
+    }
+
+    #[test]
+    fn empty_series_errors() {
+        let series = TimeSeries::new(
+            "2013-03-18".parse::<Timestamp>().unwrap(),
+            Resolution::MIN_15,
+            vec![],
+        )
+        .unwrap();
+        let ex = RandomExtractor::new(ExtractionConfig::default());
+        assert_eq!(
+            ex.extract(&ExtractionInput::household(&series), &mut StdRng::seed_from_u64(1)),
+            Err(ExtractionError::EmptySeries)
+        );
+    }
+
+    #[test]
+    fn modified_series_never_negative() {
+        // High share forces the caps to bind.
+        let series = flat_days(2);
+        let out = run(&series, ExtractionConfig::with_share(1.0), 11);
+        assert!(out.modified_series.values().iter().all(|&v| v >= -1e-12));
+        out.check_invariants(&series).unwrap();
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let series = flat_days(1);
+        let mut cfg = ExtractionConfig::default();
+        cfg.flexible_share = 2.0;
+        let ex = RandomExtractor::new(cfg);
+        assert!(matches!(
+            ex.extract(&ExtractionInput::household(&series), &mut StdRng::seed_from_u64(1)),
+            Err(ExtractionError::InvalidConfig { .. })
+        ));
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests across the household-level extraction approaches.
+
+use flextract_core::{
+    BasicExtractor, ExtractionConfig, ExtractionInput, FlexibilityExtractor, PeakExtractor,
+    RandomExtractor,
+};
+use flextract_series::TimeSeries;
+use flextract_time::{Resolution, Timestamp};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Whole days of plausible consumption (1–5 days, 96 intervals each).
+fn arb_series() -> impl Strategy<Value = TimeSeries> {
+    (1_usize..=5, prop::collection::vec(0.0_f64..2.0, 96))
+        .prop_map(|(days, day_shape)| {
+            let values: Vec<f64> = (0..days).flat_map(|_| day_shape.clone()).collect();
+            TimeSeries::new(
+                Timestamp::from_ymd_hm(2013, 3, 18, 0, 0).unwrap(),
+                Resolution::MIN_15,
+                values,
+            )
+            .unwrap()
+        })
+}
+
+fn arb_share() -> impl Strategy<Value = f64> {
+    // The MIRACLE range plus a zero edge.
+    prop_oneof![Just(0.0), 0.001_f64..0.065]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn energy_accounting_holds_for_every_household_extractor(
+        series in arb_series(),
+        share in arb_share(),
+        seed in 0_u64..1000,
+    ) {
+        let cfg = ExtractionConfig::with_share(share);
+        let extractors: Vec<Box<dyn FlexibilityExtractor>> = vec![
+            Box::new(RandomExtractor::new(cfg.clone())),
+            Box::new(BasicExtractor::new(cfg.clone())),
+            Box::new(PeakExtractor::new(cfg)),
+        ];
+        for ex in &extractors {
+            let out = ex
+                .extract(&ExtractionInput::household(&series), &mut StdRng::seed_from_u64(seed))
+                .unwrap();
+            // The central invariant: modified + extracted = original.
+            prop_assert!(out.check_invariants(&series).is_ok(), "{}", ex.name());
+            // Extraction never exceeds the configured share (caps can
+            // only reduce it).
+            prop_assert!(
+                out.extracted_energy() <= share * series.total_energy() + 1e-6,
+                "{}: extracted {} of {}",
+                ex.name(),
+                out.extracted_energy(),
+                series.total_energy()
+            );
+            // No negative residuals.
+            prop_assert!(out.modified_series.values().iter().all(|&v| v >= -1e-9));
+            // Every offer individually validates and is 15-min aligned.
+            for o in &out.flex_offers {
+                prop_assert!(o.validate().is_ok());
+                prop_assert!(o.earliest_start().is_aligned(Resolution::MIN_15));
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_across_extractors(series in arb_series(), seed in 0_u64..100) {
+        let cfg = ExtractionConfig::default();
+        for ex in [
+            &RandomExtractor::new(cfg.clone()) as &dyn FlexibilityExtractor,
+            &BasicExtractor::new(cfg.clone()),
+            &PeakExtractor::new(cfg.clone()),
+        ] {
+            let a = ex
+                .extract(&ExtractionInput::household(&series), &mut StdRng::seed_from_u64(seed))
+                .unwrap();
+            let b = ex
+                .extract(&ExtractionInput::household(&series), &mut StdRng::seed_from_u64(seed))
+                .unwrap();
+            prop_assert_eq!(a.flex_offers, b.flex_offers, "{}", ex.name());
+            prop_assert_eq!(a.modified_series, b.modified_series, "{}", ex.name());
+        }
+    }
+
+    #[test]
+    fn peak_extractor_emits_at_most_one_offer_per_day(
+        series in arb_series(),
+        seed in 0_u64..100,
+    ) {
+        let days = series.len() / 96;
+        let out = PeakExtractor::new(ExtractionConfig::default())
+            .extract(&ExtractionInput::household(&series), &mut StdRng::seed_from_u64(seed))
+            .unwrap();
+        prop_assert!(out.flex_offers.len() <= days);
+        prop_assert_eq!(out.diagnostics.peak_reports.len(), days);
+        // Survivor probabilities per day sum to 1 (or no survivors).
+        for report in &out.diagnostics.peak_reports {
+            let p: f64 = report.peaks.iter().map(|pk| pk.probability).sum();
+            prop_assert!(p.abs() < 1e-9 || (p - 1.0).abs() < 1e-9, "prob sum {p}");
+            // Filtering is consistent with the threshold.
+            for pk in &report.peaks {
+                prop_assert_eq!(
+                    pk.survived_filter,
+                    pk.size_kwh >= report.min_peak_energy_kwh,
+                    "peak {} size {} vs {}",
+                    pk.number,
+                    pk.size_kwh,
+                    report.min_peak_energy_kwh
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Power-edge detection.
+//!
+//! Appliance cycles announce themselves as abrupt power steps (the NILM
+//! observation going back to Hart's signature work, which the paper's
+//! ref \[9\] builds on). An [`Edge`] is a jump between consecutive
+//! intervals whose magnitude exceeds a threshold.
+
+use flextract_series::TimeSeries;
+use flextract_time::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// Direction of a power step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EdgeDirection {
+    /// Power increased (candidate cycle start).
+    Rising,
+    /// Power decreased (candidate cycle end).
+    Falling,
+}
+
+/// A detected power step between intervals `index - 1` and `index`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Index of the interval *after* the step.
+    pub index: usize,
+    /// Start instant of that interval.
+    pub time: Timestamp,
+    /// Signed power change in kW (positive = rising).
+    pub delta_kw: f64,
+    /// Direction, derived from the sign of `delta_kw`.
+    pub direction: EdgeDirection,
+}
+
+/// Detect all power steps of at least `min_delta_kw` (absolute).
+///
+/// The series is interpreted as energy per interval; deltas are computed
+/// on the implied average power so thresholds stay in kW regardless of
+/// resolution.
+pub fn detect_edges(series: &TimeSeries, min_delta_kw: f64) -> Vec<Edge> {
+    let hours = series.resolution().hours_f64();
+    let values = series.values();
+    let mut edges = Vec::new();
+    for i in 1..values.len() {
+        let delta_kw = (values[i] - values[i - 1]) / hours;
+        if delta_kw.abs() >= min_delta_kw {
+            edges.push(Edge {
+                index: i,
+                time: series.timestamp_of(i),
+                delta_kw,
+                direction: if delta_kw > 0.0 {
+                    EdgeDirection::Rising
+                } else {
+                    EdgeDirection::Falling
+                },
+            });
+        }
+    }
+    edges
+}
+
+/// Only the rising edges — the candidate cycle starts.
+pub fn rising_edges(series: &TimeSeries, min_delta_kw: f64) -> Vec<Edge> {
+    detect_edges(series, min_delta_kw)
+        .into_iter()
+        .filter(|e| e.direction == EdgeDirection::Rising)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextract_time::Resolution;
+
+    fn minutes(vals: Vec<f64>) -> TimeSeries {
+        // kWh per 1-min interval; 0.05 kWh/min = 3 kW.
+        TimeSeries::new("2013-03-18".parse().unwrap(), Resolution::MIN_1, vals).unwrap()
+    }
+
+    #[test]
+    fn detects_step_up_and_down() {
+        // 0 kW for 3 min, 3 kW for 3 min, back to 0.
+        let s = minutes(vec![0.0, 0.0, 0.0, 0.05, 0.05, 0.05, 0.0, 0.0]);
+        let edges = detect_edges(&s, 1.0);
+        assert_eq!(edges.len(), 2);
+        assert_eq!(edges[0].index, 3);
+        assert_eq!(edges[0].direction, EdgeDirection::Rising);
+        assert!((edges[0].delta_kw - 3.0).abs() < 1e-9);
+        assert_eq!(edges[1].index, 6);
+        assert_eq!(edges[1].direction, EdgeDirection::Falling);
+        assert!((edges[1].delta_kw + 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_filters_small_wiggles() {
+        let s = minutes(vec![0.001, 0.002, 0.001, 0.002, 0.05, 0.05]);
+        // Wiggles are 0.06 kW; the real step is ~2.9 kW.
+        let edges = detect_edges(&s, 1.0);
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].index, 4);
+    }
+
+    #[test]
+    fn rising_only_helper() {
+        let s = minutes(vec![0.0, 0.05, 0.0, 0.05, 0.0]);
+        let rising = rising_edges(&s, 1.0);
+        assert_eq!(rising.len(), 2);
+        assert!(rising.iter().all(|e| e.direction == EdgeDirection::Rising));
+    }
+
+    #[test]
+    fn resolution_independence_of_kw_threshold() {
+        // The same 3 kW step at 15-min resolution: 0.75 kWh per interval.
+        let s = TimeSeries::new(
+            "2013-03-18".parse().unwrap(),
+            Resolution::MIN_15,
+            vec![0.0, 0.0, 0.75, 0.75],
+        )
+        .unwrap();
+        let edges = detect_edges(&s, 1.0);
+        assert_eq!(edges.len(), 1);
+        assert!((edges[0].delta_kw - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_single_interval_series() {
+        let s = minutes(vec![]);
+        assert!(detect_edges(&s, 1.0).is_empty());
+        let s = minutes(vec![0.05]);
+        assert!(detect_edges(&s, 1.0).is_empty());
+    }
+
+    #[test]
+    fn edge_times_match_indices() {
+        let s = minutes(vec![0.0, 0.0, 0.05, 0.05]);
+        let edges = detect_edges(&s, 1.0);
+        assert_eq!(edges[0].time, "2013-03-18 00:02".parse().unwrap());
+    }
+}

@@ -1,0 +1,386 @@
+//! Template matching: fit catalog load profiles to the measured series.
+//!
+//! For every candidate start (a rising edge whose magnitude is
+//! compatible with an appliance's initial power), the appliance's
+//! min/max power envelope is fitted by least squares over its
+//! *intensity* parameter, scored by baseline-corrected normalised RMSE,
+//! and — if accepted — subtracted from the series before the search
+//! continues (greedy sequential extraction, largest appliances first).
+
+use crate::events::rising_edges;
+use flextract_appliance::ApplianceSpec;
+use flextract_series::{stats, TimeSeries};
+use flextract_time::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// Distance metric for the fit score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum MatchMetric {
+    /// Root-mean-square error (default; punishes shape mismatch).
+    #[default]
+    L2,
+    /// Mean absolute error (more tolerant of brief collisions with
+    /// other appliances).
+    L1,
+}
+
+/// Tuning knobs for [`detect_activations`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatchConfig {
+    /// Maximum accepted score (normalised error; lower = stricter).
+    pub score_threshold: f64,
+    /// Error metric.
+    pub metric: MatchMetric,
+    /// Rising-edge threshold as a fraction of the template's initial
+    /// minimum power.
+    pub edge_fraction: f64,
+    /// How many minutes of pre-start data estimate the local baseline.
+    pub baseline_window: usize,
+    /// Fraction of the worst-fitting samples to discard before scoring
+    /// (robustness against *other* appliances switching mid-cycle).
+    pub trim_fraction: f64,
+}
+
+impl Default for MatchConfig {
+    fn default() -> Self {
+        MatchConfig {
+            score_threshold: 0.35,
+            metric: MatchMetric::L2,
+            edge_fraction: 0.5,
+            baseline_window: 30,
+            trim_fraction: 0.25,
+        }
+    }
+}
+
+/// One appliance cycle recovered from the total series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectedActivation {
+    /// Catalog name of the matched appliance.
+    pub appliance: String,
+    /// Detected cycle start.
+    pub start: Timestamp,
+    /// Fitted intensity in `[0, 1]`.
+    pub intensity: f64,
+    /// Energy attributed to the cycle (kWh).
+    pub energy_kwh: f64,
+    /// Fit score (normalised error; lower is better).
+    pub score: f64,
+}
+
+/// Run greedy template matching of `specs` against `series`.
+///
+/// Returns the detected activations (chronological) and the residual
+/// series after subtracting every accepted cycle. Specs are tried in
+/// descending peak-power order so large loads (EVs) cannot be
+/// mis-explained as stacks of small ones.
+pub fn detect_activations(
+    series: &TimeSeries,
+    specs: &[&ApplianceSpec],
+    config: &MatchConfig,
+) -> (Vec<DetectedActivation>, TimeSeries) {
+    let mut residual = series.clone();
+    let mut detections = Vec::new();
+    let res_minutes = series.resolution().minutes() as usize;
+    let hours = series.resolution().hours_f64();
+
+    let mut ordered: Vec<&ApplianceSpec> = specs.to_vec();
+    ordered.sort_by(|a, b| {
+        let pa = peak_power(a);
+        let pb = peak_power(b);
+        pb.partial_cmp(&pa).expect("catalog powers are finite")
+    });
+
+    for spec in ordered {
+        // Template resampled to the series resolution, in kW.
+        let (t_min, t_max) = template_kw(spec, res_minutes);
+        if t_min.is_empty() {
+            continue;
+        }
+        let initial_min_kw = t_min[0];
+        let edge_thr = (initial_min_kw * config.edge_fraction).max(0.05);
+        // Candidate starts must be re-derived after each subtraction;
+        // one pass over fresh edges per spec is enough in practice
+        // because subtraction only removes explained cycles.
+        let candidates = rising_edges(&residual, edge_thr);
+        for edge in candidates {
+            let start_idx = edge.index;
+            if start_idx + t_min.len() > residual.len() {
+                continue;
+            }
+            let window_kw: Vec<f64> = residual.values()
+                [start_idx..start_idx + t_min.len()]
+                .iter()
+                .map(|e| e / hours)
+                .collect();
+            let baseline = local_baseline(&residual, start_idx, config.baseline_window, hours);
+            let corrected: Vec<f64> = window_kw.iter().map(|p| (p - baseline).max(0.0)).collect();
+            let Some((intensity, score)) =
+                fit_intensity(&corrected, &t_min, &t_max, config.metric, config.trim_fraction)
+            else {
+                continue;
+            };
+            if score > config.score_threshold {
+                continue;
+            }
+            // Accept: subtract the realised cycle from the residual.
+            // The 1-min cycle is zero-padded to a whole number of
+            // series intervals so the exact-energy downsample applies
+            // at any resolution (e.g. a 100-min cycle on a 15-min grid).
+            let start_t = residual.timestamp_of(start_idx);
+            let mut cycle_values: Vec<f64> = spec
+                .profile
+                .power_curve_kw(intensity)
+                .into_iter()
+                .map(|kw| kw / 60.0)
+                .collect();
+            let pad = (res_minutes - cycle_values.len() % res_minutes) % res_minutes;
+            cycle_values.extend(std::iter::repeat_n(0.0, pad));
+            let cycle_1min = TimeSeries::new(
+                start_t,
+                flextract_time::Resolution::MIN_1,
+                cycle_values,
+            )
+            .expect("series interval starts are minute-aligned");
+            let cycle =
+                flextract_series::resample::to_resolution(&cycle_1min, series.resolution())
+                    .expect("padded cycle lengths divide the series resolution");
+            residual
+                .sub_overlapping(&cycle)
+                .expect("cycle grids share the series resolution");
+            detections.push(DetectedActivation {
+                appliance: spec.name.clone(),
+                start: residual.timestamp_of(start_idx),
+                intensity,
+                energy_kwh: cycle.total_energy(),
+                score,
+            });
+        }
+    }
+    residual.clip_negative();
+    detections.sort_by_key(|d| d.start);
+    (detections, residual)
+}
+
+/// Peak of the nominal template power.
+fn peak_power(spec: &ApplianceSpec) -> f64 {
+    spec.profile
+        .nominal_curve_kw()
+        .into_iter()
+        .fold(0.0, f64::max)
+}
+
+/// The min/max power envelopes resampled to `res_minutes`-wide steps.
+fn template_kw(spec: &ApplianceSpec, res_minutes: usize) -> (Vec<f64>, Vec<f64>) {
+    let min_curve = spec.profile.power_curve_kw(0.0);
+    let max_curve = spec.profile.power_curve_kw(1.0);
+    if res_minutes <= 1 {
+        return (min_curve, max_curve);
+    }
+    let chunk = |curve: &[f64]| -> Vec<f64> {
+        curve
+            .chunks(res_minutes)
+            .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+            .collect()
+    };
+    (chunk(&min_curve), chunk(&max_curve))
+}
+
+/// Median power over the `window` intervals before `start_idx`.
+fn local_baseline(series: &TimeSeries, start_idx: usize, window: usize, hours: f64) -> f64 {
+    if start_idx == 0 || window == 0 {
+        return 0.0;
+    }
+    let lo = start_idx.saturating_sub(window);
+    let pre: Vec<f64> = series.values()[lo..start_idx]
+        .iter()
+        .map(|e| e / hours)
+        .collect();
+    stats::median(&pre).unwrap_or(0.0)
+}
+
+/// Least-squares fit of the intensity parameter: observed ≈
+/// `t_min + x · (t_max − t_min)`. Returns `(x, normalised_error)`.
+///
+/// The error is *trimmed*: the worst `trim_fraction` of per-sample
+/// errors is discarded before aggregation, so another appliance
+/// switching on for part of the cycle (a kettle during a wash) does not
+/// veto an otherwise excellent fit.
+fn fit_intensity(
+    observed: &[f64],
+    t_min: &[f64],
+    t_max: &[f64],
+    metric: MatchMetric,
+    trim_fraction: f64,
+) -> Option<(f64, f64)> {
+    let n = observed.len();
+    if n != t_min.len() || n == 0 {
+        return None;
+    }
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for i in 0..n {
+        let d = t_max[i] - t_min[i];
+        num += d * (observed[i] - t_min[i]);
+        den += d * d;
+    }
+    let x = if den > 1e-12 { (num / den).clamp(0.0, 1.0) } else { 0.5 };
+    let fitted: Vec<f64> = (0..n).map(|i| t_min[i] + x * (t_max[i] - t_min[i])).collect();
+    let mean_fit = stats::mean(&fitted)?;
+    if mean_fit <= 1e-9 {
+        return None;
+    }
+    let mut abs_errors: Vec<f64> = observed
+        .iter()
+        .zip(&fitted)
+        .map(|(o, f)| (o - f).abs())
+        .collect();
+    abs_errors.sort_by(|a, b| a.partial_cmp(b).expect("errors are finite"));
+    let keep = ((n as f64 * (1.0 - trim_fraction.clamp(0.0, 0.9))).ceil() as usize).max(1);
+    let kept = &abs_errors[..keep.min(n)];
+    let err = match metric {
+        MatchMetric::L2 => {
+            (kept.iter().map(|e| e * e).sum::<f64>() / kept.len() as f64).sqrt()
+        }
+        MatchMetric::L1 => kept.iter().sum::<f64>() / kept.len() as f64,
+    };
+    Some((x, err / mean_fit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextract_appliance::Catalog;
+    use flextract_time::{Resolution, TimeRange, Duration};
+
+    fn catalog() -> Catalog {
+        Catalog::extended()
+    }
+
+    /// A quiet two-day series with one washer cycle at a known spot.
+    fn staged_series(catalog: &Catalog) -> (TimeSeries, Timestamp) {
+        let start: Timestamp = "2013-03-18".parse().unwrap();
+        let range = TimeRange::starting_at(start, Duration::days(1)).unwrap();
+        let mut series = TimeSeries::zeros_over(range, Resolution::MIN_1).unwrap();
+        // Small flat base load of 0.1 kW.
+        for v in series.values_mut() {
+            *v = 0.1 / 60.0;
+        }
+        let washer = catalog.find_by_name("Washing Machine from Manufacturer Y").unwrap();
+        let at: Timestamp = "2013-03-18 19:00".parse().unwrap();
+        let cycle = washer.profile.to_energy_series(at, 0.6);
+        series.add_overlapping(&cycle).unwrap();
+        (series, at)
+    }
+
+    #[test]
+    fn recovers_a_staged_washer_cycle() {
+        let cat = catalog();
+        let (series, at) = staged_series(&cat);
+        let specs: Vec<&ApplianceSpec> = cat.shiftable();
+        let (found, residual) = detect_activations(&series, &specs, &MatchConfig::default());
+        let washers: Vec<_> = found
+            .iter()
+            .filter(|d| d.appliance.contains("Washing Machine"))
+            .collect();
+        assert_eq!(washers.len(), 1, "found {found:?}");
+        let d = washers[0];
+        // Start within a minute of the truth.
+        assert!((d.start - at).as_minutes().abs() <= 1, "start {}", d.start);
+        // Intensity close to the staged 0.6.
+        assert!((d.intensity - 0.6).abs() < 0.15, "intensity {}", d.intensity);
+        // The residual no longer contains the cycle's energy.
+        assert!(
+            residual.total_energy() < series.total_energy() - d.energy_kwh * 0.8,
+            "residual {} vs original {}",
+            residual.total_energy(),
+            series.total_energy()
+        );
+    }
+
+    #[test]
+    fn empty_series_yields_nothing() {
+        let cat = catalog();
+        let specs: Vec<&ApplianceSpec> = cat.shiftable();
+        let start: Timestamp = "2013-03-18".parse().unwrap();
+        let range = TimeRange::starting_at(start, Duration::hours(6)).unwrap();
+        let series = TimeSeries::zeros_over(range, Resolution::MIN_1).unwrap();
+        let (found, residual) = detect_activations(&series, &specs, &MatchConfig::default());
+        assert!(found.is_empty());
+        assert_eq!(residual.total_energy(), 0.0);
+    }
+
+    #[test]
+    fn no_specs_yields_nothing() {
+        let cat = catalog();
+        let (series, _) = staged_series(&cat);
+        let (found, residual) = detect_activations(&series, &[], &MatchConfig::default());
+        assert!(found.is_empty());
+        assert_eq!(residual, series);
+    }
+
+    #[test]
+    fn strict_threshold_rejects_everything() {
+        let cat = catalog();
+        let (series, _) = staged_series(&cat);
+        let specs: Vec<&ApplianceSpec> = cat.shiftable();
+        let cfg = MatchConfig { score_threshold: 0.0, ..MatchConfig::default() };
+        let (found, _) = detect_activations(&series, &specs, &cfg);
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn fit_intensity_recovers_known_mix() {
+        let t_min = vec![1.0, 1.0, 0.5];
+        let t_max = vec![3.0, 3.0, 1.5];
+        // Observed at exactly x = 0.25.
+        let obs: Vec<f64> = t_min
+            .iter()
+            .zip(&t_max)
+            .map(|(lo, hi)| lo + 0.25 * (hi - lo))
+            .collect();
+        let (x, err) = fit_intensity(&obs, &t_min, &t_max, MatchMetric::L2, 0.0).unwrap();
+        assert!((x - 0.25).abs() < 1e-9);
+        assert!(err < 1e-9);
+        // L1 agrees on perfect data.
+        let (x1, err1) = fit_intensity(&obs, &t_min, &t_max, MatchMetric::L1, 0.0).unwrap();
+        assert!((x1 - 0.25).abs() < 1e-9);
+        assert!(err1 < 1e-9);
+    }
+
+    #[test]
+    fn fit_intensity_clamps_and_rejects_degenerates() {
+        let t_min = vec![1.0, 1.0];
+        let t_max = vec![2.0, 2.0];
+        // Observation above the envelope clamps to x = 1.
+        let (x, _) = fit_intensity(&[5.0, 5.0], &t_min, &t_max, MatchMetric::L2, 0.0).unwrap();
+        assert_eq!(x, 1.0);
+        // Mismatched lengths.
+        assert!(fit_intensity(&[1.0], &t_min, &t_max, MatchMetric::L2, 0.0).is_none());
+        // All-zero template.
+        assert!(fit_intensity(&[0.0, 0.0], &[0.0, 0.0], &[0.0, 0.0], MatchMetric::L2, 0.0).is_none());
+    }
+
+    #[test]
+    fn template_resampling_preserves_mean_power() {
+        let cat = catalog();
+        let washer = cat.find_by_name("Washing Machine from Manufacturer Y").unwrap();
+        let (m1, _) = template_kw(washer, 1);
+        let (m15, _) = template_kw(washer, 15);
+        let mean1 = stats::mean(&m1).unwrap();
+        let mean15 = stats::mean(&m15).unwrap();
+        assert!((mean1 - mean15).abs() < 1e-9);
+        assert_eq!(m15.len(), 8); // 120 min / 15
+    }
+
+    #[test]
+    fn local_baseline_is_pre_start_median() {
+        let start: Timestamp = "2013-03-18".parse().unwrap();
+        let mut vals = vec![0.1 / 60.0; 120]; // 0.1 kW
+        vals[100] = 3.0 / 60.0;
+        let s = TimeSeries::new(start, Resolution::MIN_1, vals).unwrap();
+        let b = local_baseline(&s, 60, 30, 1.0 / 60.0);
+        assert!((b - 0.1).abs() < 1e-9);
+        assert_eq!(local_baseline(&s, 0, 30, 1.0 / 60.0), 0.0);
+    }
+}

@@ -1,0 +1,264 @@
+//! Usage-schedule mining — §4.2's "step 1".
+//!
+//! The schedule-based approach refines frequency mining with *when*
+//! appliances run: "the usage of the appliances is not uniform, thus,
+//! the exact schedule of the usage of each appliance can be derived".
+//! The mined schedule is a per-appliance, per-day-kind histogram of
+//! start times, compressed into high-probability [`ScheduleSlot`]s.
+
+use crate::matching::DetectedActivation;
+use flextract_series::segment::DayKind;
+use flextract_time::CivilTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Number of day-kind variants tracked (workday / weekend).
+const KINDS: [DayKind; 2] = [DayKind::Workday, DayKind::Weekend];
+
+/// A recurring usage slot: on days of `day_kind`, the appliance tends to
+/// start inside `[window_start, window_end)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleSlot {
+    /// Which days the slot applies to.
+    pub day_kind: DayKind,
+    /// Slot start (wall clock).
+    pub window_start: CivilTime,
+    /// Slot end (wall clock, exclusive).
+    pub window_end: CivilTime,
+    /// Expected activations per day of this kind landing in the slot.
+    pub expected_per_day: f64,
+}
+
+/// Mined start-time distribution for one appliance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MinedSchedule {
+    /// Catalog name.
+    pub appliance: String,
+    /// Histogram bin width in minutes (divides 1440).
+    pub bin_minutes: u32,
+    /// Per day-kind histograms of *rates* (activations per day per
+    /// bin): index 0 = workday, 1 = weekend.
+    pub histograms: [Vec<f64>; 2],
+}
+
+impl MinedSchedule {
+    /// Mine schedules for every appliance appearing in `detections`.
+    ///
+    /// `workdays` / `weekend_days` are how many days of each kind the
+    /// observation window contained (used to normalise counts to
+    /// rates). Bins are `bin_minutes` wide.
+    pub fn mine_all(
+        detections: &[DetectedActivation],
+        workdays: f64,
+        weekend_days: f64,
+        bin_minutes: u32,
+    ) -> Vec<MinedSchedule> {
+        assert!(bin_minutes > 0 && 1440 % bin_minutes == 0, "bins must divide a day");
+        let bins = (1440 / bin_minutes) as usize;
+        let mut per_appliance: BTreeMap<&str, [Vec<f64>; 2]> = BTreeMap::new();
+        for d in detections {
+            let hist = per_appliance
+                .entry(&d.appliance)
+                .or_insert_with(|| [vec![0.0; bins], vec![0.0; bins]]);
+            let kind_idx = usize::from(d.start.day_of_week().is_weekend());
+            let bin = (d.start.minute_of_day() / bin_minutes) as usize;
+            hist[kind_idx][bin] += 1.0;
+        }
+        per_appliance
+            .into_iter()
+            .map(|(name, mut hists)| {
+                if workdays > 0.0 {
+                    for v in &mut hists[0] {
+                        *v /= workdays;
+                    }
+                }
+                if weekend_days > 0.0 {
+                    for v in &mut hists[1] {
+                        *v /= weekend_days;
+                    }
+                }
+                MinedSchedule {
+                    appliance: name.to_string(),
+                    bin_minutes,
+                    histograms: hists,
+                }
+            })
+            .collect()
+    }
+
+    /// Expected activations per day of `kind` (sum over bins).
+    pub fn daily_rate(&self, kind: DayKind) -> f64 {
+        match kind {
+            DayKind::Workday => self.histograms[0].iter().sum(),
+            DayKind::Weekend => self.histograms[1].iter().sum(),
+            DayKind::All => {
+                // Weighted 5/2 blend of the week structure.
+                (self.daily_rate(DayKind::Workday) * 5.0
+                    + self.daily_rate(DayKind::Weekend) * 2.0)
+                    / 7.0
+            }
+        }
+    }
+
+    /// Compress the histograms into slots: maximal runs of consecutive
+    /// bins whose rate is at least `min_rate`.
+    pub fn slots(&self, min_rate: f64) -> Vec<ScheduleSlot> {
+        let mut out = Vec::new();
+        for (kind, hist) in KINDS.iter().zip(&self.histograms) {
+            let mut run_start: Option<usize> = None;
+            let mut run_rate = 0.0;
+            for i in 0..=hist.len() {
+                let hot = i < hist.len() && hist[i] >= min_rate;
+                match (run_start, hot) {
+                    (None, true) => {
+                        run_start = Some(i);
+                        run_rate = hist[i];
+                    }
+                    (Some(s), false) => {
+                        out.push(self.slot_from_run(*kind, s, i, run_rate));
+                        run_start = None;
+                    }
+                    (Some(_), true) => run_rate += hist[i],
+                    (None, false) => {}
+                }
+            }
+        }
+        out
+    }
+
+    fn slot_from_run(
+        &self,
+        day_kind: DayKind,
+        from_bin: usize,
+        to_bin: usize,
+        rate: f64,
+    ) -> ScheduleSlot {
+        let start_min = from_bin as u32 * self.bin_minutes;
+        let end_min = (to_bin as u32 * self.bin_minutes).min(1439);
+        ScheduleSlot {
+            day_kind,
+            window_start: CivilTime::from_minute_of_day(start_min)
+                .expect("bin starts are < 1440"),
+            window_end: CivilTime::from_minute_of_day(end_min)
+                .expect("bin ends are clamped below 1440"),
+            expected_per_day: rate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextract_time::Timestamp;
+
+    fn det(name: &str, start: &str) -> DetectedActivation {
+        DetectedActivation {
+            appliance: name.into(),
+            start: start.parse::<Timestamp>().unwrap(),
+            intensity: 0.5,
+            energy_kwh: 1.0,
+            score: 0.1,
+        }
+    }
+
+    /// Dishwasher every workday evening (Mon-Fri 2013-03-18..22) and
+    /// weekend lunchtime (Sat/Sun 2013-03-23/24).
+    fn dishwasher_week() -> Vec<DetectedActivation> {
+        let mut v = vec![
+            det("Dishwasher", "2013-03-18 20:15"),
+            det("Dishwasher", "2013-03-19 20:40"),
+            det("Dishwasher", "2013-03-20 20:05"),
+            det("Dishwasher", "2013-03-21 20:30"),
+            det("Dishwasher", "2013-03-22 20:55"),
+        ];
+        v.push(det("Dishwasher", "2013-03-23 13:10"));
+        v.push(det("Dishwasher", "2013-03-24 13:40"));
+        v
+    }
+
+    #[test]
+    fn rates_split_by_day_kind() {
+        let schedules = MinedSchedule::mine_all(&dishwasher_week(), 5.0, 2.0, 60);
+        assert_eq!(schedules.len(), 1);
+        let s = &schedules[0];
+        assert!((s.daily_rate(DayKind::Workday) - 1.0).abs() < 1e-9);
+        assert!((s.daily_rate(DayKind::Weekend) - 1.0).abs() < 1e-9);
+        assert!((s.daily_rate(DayKind::All) - 1.0).abs() < 1e-9);
+        // All workday activity in the 20:00 bin.
+        assert!((s.histograms[0][20] - 1.0).abs() < 1e-9);
+        // All weekend activity in the 13:00 bin.
+        assert!((s.histograms[1][13] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slots_compress_hot_bins() {
+        let schedules = MinedSchedule::mine_all(&dishwasher_week(), 5.0, 2.0, 60);
+        let slots = schedules[0].slots(0.5);
+        assert_eq!(slots.len(), 2);
+        let workday_slot = slots.iter().find(|s| s.day_kind == DayKind::Workday).unwrap();
+        assert_eq!(workday_slot.window_start.hour, 20);
+        assert_eq!(workday_slot.window_end.hour, 21);
+        assert!((workday_slot.expected_per_day - 1.0).abs() < 1e-9);
+        let weekend_slot = slots.iter().find(|s| s.day_kind == DayKind::Weekend).unwrap();
+        assert_eq!(weekend_slot.window_start.hour, 13);
+    }
+
+    #[test]
+    fn adjacent_hot_bins_merge_into_one_slot() {
+        let dets = vec![
+            det("W", "2013-03-18 08:10"),
+            det("W", "2013-03-19 08:50"),
+            det("W", "2013-03-20 09:10"),
+            det("W", "2013-03-21 09:40"),
+        ];
+        let schedules = MinedSchedule::mine_all(&dets, 4.0, 0.0, 60);
+        let slots = schedules[0].slots(0.4);
+        assert_eq!(slots.len(), 1, "{slots:?}");
+        assert_eq!(slots[0].window_start.hour, 8);
+        assert_eq!(slots[0].window_end.hour, 10);
+        assert!((slots[0].expected_per_day - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiple_appliances_are_separated() {
+        let mut dets = dishwasher_week();
+        dets.push(det("Washer", "2013-03-18 07:30"));
+        let schedules = MinedSchedule::mine_all(&dets, 5.0, 2.0, 60);
+        assert_eq!(schedules.len(), 2);
+        let names: Vec<&str> = schedules.iter().map(|s| s.appliance.as_str()).collect();
+        assert!(names.contains(&"Dishwasher") && names.contains(&"Washer"));
+    }
+
+    #[test]
+    fn high_threshold_gives_no_slots() {
+        let schedules = MinedSchedule::mine_all(&dishwasher_week(), 5.0, 2.0, 60);
+        assert!(schedules[0].slots(5.0).is_empty());
+    }
+
+    #[test]
+    fn trailing_run_is_closed() {
+        let dets = vec![det("Late", "2013-03-18 23:30")];
+        let schedules = MinedSchedule::mine_all(&dets, 1.0, 0.0, 60);
+        let slots = schedules[0].slots(0.5);
+        assert_eq!(slots.len(), 1);
+        assert_eq!(slots[0].window_start.hour, 23);
+        // End clamps to 23:59 rather than wrapping to 00:00.
+        assert_eq!(slots[0].window_end.minute_of_day(), 1439);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide a day")]
+    fn bad_bin_width_panics() {
+        MinedSchedule::mine_all(&[], 1.0, 1.0, 7);
+    }
+
+    #[test]
+    fn zero_day_counts_do_not_divide() {
+        // No weekend days observed → weekend histogram stays zero
+        // without NaN.
+        let dets = vec![det("W", "2013-03-18 08:00")];
+        let schedules = MinedSchedule::mine_all(&dets, 1.0, 0.0, 60);
+        assert!(schedules[0].histograms[1].iter().all(|&v| v == 0.0));
+        assert!(schedules[0].daily_rate(DayKind::Weekend).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests for the disaggregation pipeline.
+
+use flextract_appliance::{ApplianceSpec, Catalog};
+use flextract_disagg::{
+    detect_activations, detect_edges, DetectedActivation, FrequencyTable, MatchConfig,
+    MinedSchedule,
+};
+use flextract_series::TimeSeries;
+use flextract_time::{Duration, Resolution, TimeRange, Timestamp};
+use proptest::prelude::*;
+
+fn epoch() -> Timestamp {
+    Timestamp::from_ymd_hm(2013, 3, 18, 0, 0).unwrap()
+}
+
+/// A day of base load with `cycles` staged washer runs at random
+/// non-overlapping hours.
+fn staged_day(base_kw: f64, start_hours: &[u8], intensity: f64) -> TimeSeries {
+    let catalog = Catalog::extended();
+    let washer = catalog.find_by_name("Washing Machine from Manufacturer Y").unwrap();
+    let range = TimeRange::starting_at(epoch(), Duration::days(1)).unwrap();
+    let mut series = TimeSeries::zeros_over(range, Resolution::MIN_1).unwrap();
+    for v in series.values_mut() {
+        *v = base_kw / 60.0;
+    }
+    for &h in start_hours {
+        let at = epoch() + Duration::hours(h as i64);
+        series
+            .add_overlapping(&washer.profile.to_energy_series(at, intensity))
+            .unwrap();
+    }
+    series
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn edges_always_alternate_consistently(
+        values in prop::collection::vec(0.0_f64..0.2, 10..200),
+    ) {
+        let series = TimeSeries::new(epoch(), Resolution::MIN_1, values).unwrap();
+        let edges = detect_edges(&series, 0.5);
+        // Edge indices are strictly increasing and in range.
+        for pair in edges.windows(2) {
+            prop_assert!(pair[0].index < pair[1].index);
+        }
+        for e in &edges {
+            prop_assert!(e.index >= 1 && e.index < series.len());
+            prop_assert!(e.delta_kw.abs() >= 0.5);
+        }
+    }
+
+    #[test]
+    fn residual_never_gains_energy(
+        base_kw in 0.05_f64..0.3,
+        hour_a in 1_u8..10,
+        gap in 3_u8..10,
+        intensity in 0.2_f64..0.8,
+    ) {
+        let hour_b = hour_a + gap;
+        let series = staged_day(base_kw, &[hour_a, hour_b], intensity);
+        let catalog = Catalog::extended();
+        let specs: Vec<&ApplianceSpec> = catalog.shiftable();
+        let (detections, residual) =
+            detect_activations(&series, &specs, &MatchConfig::default());
+        prop_assert!(residual.total_energy() <= series.total_energy() + 1e-9);
+        prop_assert!(residual.values().iter().all(|&v| v >= 0.0));
+        // Detected energy + residual ≈ original (subtraction is capped,
+        // so the sum can only fall short by clipping, never exceed).
+        let detected: f64 = detections.iter().map(|d| d.energy_kwh).sum();
+        prop_assert!(detected <= series.total_energy() + 1e-6);
+        // Detections are chronological.
+        for pair in detections.windows(2) {
+            prop_assert!(pair[0].start <= pair[1].start);
+        }
+    }
+
+    #[test]
+    fn staged_washers_are_mostly_recovered(
+        hour_a in 1_u8..9,
+        gap in 4_u8..10,
+        intensity in 0.3_f64..0.7,
+    ) {
+        let hour_b = hour_a + gap;
+        let series = staged_day(0.1, &[hour_a, hour_b], intensity);
+        let catalog = Catalog::extended();
+        let specs: Vec<&ApplianceSpec> = catalog.shiftable();
+        let (detections, _) = detect_activations(&series, &specs, &MatchConfig::default());
+        let washer_hits = [hour_a, hour_b]
+            .iter()
+            .filter(|&&h| {
+                let truth = epoch() + Duration::hours(h as i64);
+                detections.iter().any(|d| {
+                    d.appliance.contains("Washing Machine")
+                        && (d.start - truth).as_minutes().abs() <= 5
+                })
+            })
+            .count();
+        // Clean staged cycles over a flat base load: both recovered.
+        prop_assert_eq!(washer_hits, 2, "detections: {:?}", detections);
+    }
+
+    #[test]
+    fn frequency_table_counts_match_inputs(
+        names in prop::collection::vec(0_usize..3, 1..40),
+        days in 1_f64..60.0,
+    ) {
+        let name_pool = ["A", "B", "C"];
+        let detections: Vec<DetectedActivation> = names
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| DetectedActivation {
+                appliance: name_pool[n].to_string(),
+                start: epoch() + Duration::minutes(i as i64 * 30),
+                intensity: 0.5,
+                energy_kwh: 1.0,
+                score: 0.1,
+            })
+            .collect();
+        let catalog = Catalog::extended();
+        let table = FrequencyTable::mine(&detections, days, &catalog);
+        let total: usize = table.rows.iter().map(|r| r.count).sum();
+        prop_assert_eq!(total, detections.len());
+        for row in &table.rows {
+            prop_assert!((row.mean_daily_rate - row.count as f64 / days).abs() < 1e-9);
+        }
+        // Rows are sorted by descending count.
+        for pair in table.rows.windows(2) {
+            prop_assert!(pair[0].count >= pair[1].count);
+        }
+    }
+
+    #[test]
+    fn schedule_histograms_conserve_rate_mass(
+        starts in prop::collection::vec((0_u32..1440, any::<bool>()), 1..50),
+        workdays in 1.0_f64..20.0,
+        weekend_days in 1.0_f64..10.0,
+    ) {
+        let detections: Vec<DetectedActivation> = starts
+            .iter()
+            .map(|&(minute, weekend)| {
+                // 2013-03-18 is a Monday; +5 days is Saturday.
+                let day = if weekend { 5 } else { 0 };
+                DetectedActivation {
+                    appliance: "X".into(),
+                    start: epoch() + Duration::days(day) + Duration::minutes(minute as i64),
+                    intensity: 0.5,
+                    energy_kwh: 1.0,
+                    score: 0.1,
+                }
+            })
+            .collect();
+        let schedules = MinedSchedule::mine_all(&detections, workdays, weekend_days, 60);
+        prop_assert_eq!(schedules.len(), 1);
+        let s = &schedules[0];
+        let work_count = starts.iter().filter(|(_, w)| !w).count() as f64;
+        let weekend_count = starts.iter().filter(|(_, w)| *w).count() as f64;
+        let work_mass: f64 = s.histograms[0].iter().sum();
+        let weekend_mass: f64 = s.histograms[1].iter().sum();
+        prop_assert!((work_mass - work_count / workdays).abs() < 1e-9);
+        prop_assert!((weekend_mass - weekend_count / weekend_days).abs() < 1e-9);
+        // Slot compression never reports more mass than the histogram.
+        let slot_mass: f64 = s.slots(0.0).iter().map(|x| x.expected_per_day).sum();
+        prop_assert!(slot_mass <= work_mass + weekend_mass + 1e-9);
+    }
+}

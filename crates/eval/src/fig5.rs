@@ -1,0 +1,160 @@
+//! The canonical Figure-5 day.
+//!
+//! Figure 5 of the paper walks the peak-based approach through one
+//! household-day: "consumption time series from one household during
+//! one day" with a daily total of 39.02 kWh, eight candidate peaks
+//! whose sizes it annotates, a 5 % flexible part giving the filter
+//! threshold `39.02 × 0.05 = 1.951 kWh`, two surviving peaks (numbers
+//! 6 and 7, sized 2.22 and 5.47 kWh) and selection probabilities of
+//! 29 % and 71 %.
+//!
+//! The original trace is MIRABEL trial data we cannot redistribute, so
+//! [`fig5_day`] *engineers* a 96-interval day with exactly those
+//! properties: the same total, the same eight peak sizes in the same
+//! intra-day order, and therefore the same filtering and selection
+//! arithmetic. The evening peak tops out at 1.2 kWh/interval, matching
+//! the figure's y-axis.
+
+use flextract_series::TimeSeries;
+use flextract_time::{Resolution, Timestamp};
+
+/// The paper-annotated expectations for the Figure-5 day.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Expected {
+    /// Daily total consumption (kWh).
+    pub day_total_kwh: f64,
+    /// The eight peak sizes in time order (kWh).
+    pub peak_sizes_kwh: [f64; 8],
+    /// The flexible share of the walk-through.
+    pub flexible_share: f64,
+    /// The filtering threshold: `share × total` (kWh).
+    pub min_peak_energy_kwh: f64,
+    /// 1-based numbers of the peaks surviving the filter.
+    pub survivors: [usize; 2],
+    /// Selection probabilities of the survivors, rounded to whole
+    /// percent as the paper prints them.
+    pub probabilities_pct: [u32; 2],
+}
+
+/// The constants as printed in the paper.
+pub const FIG5_EXPECTED: Fig5Expected = Fig5Expected {
+    day_total_kwh: 39.02,
+    peak_sizes_kwh: [0.47, 1.5, 0.48, 0.48, 1.85, 2.22, 5.47, 0.48],
+    flexible_share: 0.05,
+    min_peak_energy_kwh: 1.951,
+    survivors: [6, 7],
+    probabilities_pct: [29, 71],
+};
+
+/// Interval indices occupied by each peak `(first_index, values)`.
+const PEAK_LAYOUT: [(usize, &[f64]); 8] = [
+    // Peak 1, ~02:00: a lone fridge+standby blip.
+    (8, &[0.47]),
+    // Peak 2, 06:30-07:15: the morning routine (1.5 kWh).
+    (26, &[0.48, 0.54, 0.48]),
+    // Peaks 3 and 4: mid-morning kettle-sized blips.
+    (36, &[0.48]),
+    (41, &[0.48]),
+    // Peak 5, 12:00-13:00: lunch (1.85 kWh).
+    (48, &[0.44, 0.48, 0.49, 0.44]),
+    // Peak 6, 15:00-16:00: afternoon appliances (2.22 kWh).
+    (60, &[0.50, 0.60, 0.62, 0.50]),
+    // Peak 7, 18:15-19:45: the evening peak (5.47 kWh, max 1.2).
+    (73, &[0.60, 0.90, 1.15, 1.20, 0.92, 0.70]),
+    // Peak 8, 22:30: late-night blip.
+    (90, &[0.48]),
+];
+
+/// Background level for the 75 non-peak intervals, chosen so the day
+/// total is exactly 39.02 kWh: `(39.02 − 12.95) / 75`.
+const BACKGROUND_KWH: f64 = 26.07 / 75.0;
+
+/// Build the canonical Figure-5 day (2013-03-18, 96 × 15 min).
+pub fn fig5_day() -> TimeSeries {
+    let start: Timestamp = Timestamp::from_ymd_hm(2013, 3, 18, 0, 0)
+        .expect("static date is valid");
+    let mut values = vec![BACKGROUND_KWH; 96];
+    for (first, peak_values) in PEAK_LAYOUT {
+        for (k, &v) in peak_values.iter().enumerate() {
+            values[first + k] = v;
+        }
+    }
+    TimeSeries::new(start, Resolution::MIN_15, values)
+        .expect("midnight start is aligned to 15 min")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextract_series::peaks::{detect_peaks, filter_peaks, selection_probabilities};
+    use flextract_series::PeakThreshold;
+
+    #[test]
+    fn day_total_is_39_02() {
+        let day = fig5_day();
+        assert_eq!(day.len(), 96);
+        assert!((day.total_energy() - 39.02).abs() < 1e-9, "{}", day.total_energy());
+    }
+
+    #[test]
+    fn background_stays_below_the_average_line() {
+        let day = fig5_day();
+        let mean = day.total_energy() / 96.0;
+        // The paper draws the line "at around 0.46" (visually); the
+        // arithmetic mean of a 39.02 kWh day is 0.4065 kWh/interval.
+        assert!((mean - 0.4065).abs() < 1e-3, "{mean}");
+        assert!(BACKGROUND_KWH < mean);
+        // Every peak interval is strictly above the line.
+        for (first, vals) in PEAK_LAYOUT {
+            for (k, &v) in vals.iter().enumerate() {
+                assert!(v > mean, "peak interval {} = {v} not above {mean}", first + k);
+            }
+        }
+    }
+
+    #[test]
+    fn detects_exactly_the_eight_annotated_peaks() {
+        let day = fig5_day();
+        let (thr, peaks) = detect_peaks(&day, PeakThreshold::Mean).unwrap();
+        assert!((thr - day.total_energy() / 96.0).abs() < 1e-12);
+        assert_eq!(peaks.len(), 8, "{peaks:?}");
+        for (peak, expect) in peaks.iter().zip(FIG5_EXPECTED.peak_sizes_kwh) {
+            assert!(
+                (peak.energy_kwh - expect).abs() < 1e-9,
+                "size {} vs {expect}",
+                peak.energy_kwh
+            );
+        }
+    }
+
+    #[test]
+    fn filtering_keeps_peaks_6_and_7() {
+        let day = fig5_day();
+        let (_, peaks) = detect_peaks(&day, PeakThreshold::Mean).unwrap();
+        let min_energy = FIG5_EXPECTED.flexible_share * day.total_energy();
+        assert!((min_energy - 1.951).abs() < 1e-9, "{min_energy}");
+        let survivors = filter_peaks(peaks, min_energy);
+        assert_eq!(survivors.len(), 2);
+        assert!((survivors[0].energy_kwh - 2.22).abs() < 1e-9);
+        assert!((survivors[1].energy_kwh - 5.47).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probabilities_round_to_29_and_71_percent() {
+        let day = fig5_day();
+        let (_, peaks) = detect_peaks(&day, PeakThreshold::Mean).unwrap();
+        let survivors = filter_peaks(peaks, 1.951);
+        let probs = selection_probabilities(&survivors);
+        assert_eq!((probs[0] * 100.0).round() as u32, FIG5_EXPECTED.probabilities_pct[0]);
+        assert_eq!((probs[1] * 100.0).round() as u32, FIG5_EXPECTED.probabilities_pct[1]);
+    }
+
+    #[test]
+    fn evening_peak_reaches_the_figure_maximum() {
+        let day = fig5_day();
+        let (idx, max) = day.argmax().unwrap();
+        assert!((max - 1.2).abs() < 1e-12);
+        // 18:15 + 3 intervals = 19:00.
+        assert_eq!(day.timestamp_of(idx).to_string(), "2013-03-18 19:00");
+    }
+}

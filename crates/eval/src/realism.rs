@@ -1,0 +1,281 @@
+//! Intrinsic realism metrics for extraction outputs.
+//!
+//! The paper names "correlation, sparseness, autocorrelation" as the
+//! statistics by which extraction output *would* be judged if real
+//! flex-offers existed (§3.1), and criticises the random baseline for
+//! offers "more or less uniformly dispatched within the day" (§1).
+//! This module turns both remarks into numbers.
+
+use flextract_core::ExtractionOutput;
+use flextract_series::segment::split_whole_days;
+use flextract_series::{stats, TimeSeries};
+use serde::{Deserialize, Serialize};
+
+/// Intrinsic quality measures of one extraction run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RealismReport {
+    /// Which approach produced the output.
+    pub approach: String,
+    /// Number of extracted flex-offers.
+    pub offer_count: usize,
+    /// Extracted energy as a share of the original total.
+    pub achieved_share: f64,
+    /// Normalised entropy of the offers' start-hour histogram:
+    /// 1 = uniformly dispersed (the criticised baseline behaviour),
+    /// lower = concentrated where the approach thinks flexibility is.
+    pub dispersion_entropy: Option<f64>,
+    /// Fraction of extracted energy lying in each day's top-quartile
+    /// consumption intervals ("peak coverage"): the peak-based
+    /// intuition says flexibility lives there.
+    pub peak_coverage: Option<f64>,
+    /// Sparseness of the extracted series (fraction of near-zero
+    /// intervals) — real flexibility is sparse, not smeared.
+    pub extracted_sparseness: f64,
+    /// Pearson correlation between the extracted series and the
+    /// original consumption (does extracted flexibility follow load?).
+    pub load_correlation: Option<f64>,
+    /// Day-lag autocorrelation of the *modified* series minus that of
+    /// the original: extraction should not destroy the residual's daily
+    /// rhythm (values near 0 are good, strongly negative means the
+    /// residual lost its structure).
+    pub residual_autocorr_delta: Option<f64>,
+    /// Mean start-time flexibility of the offers, in hours.
+    pub mean_time_flexibility_h: f64,
+    /// Mean per-offer extracted energy (kWh).
+    pub mean_offer_energy_kwh: f64,
+}
+
+impl RealismReport {
+    /// Measure `output` against the original input series.
+    pub fn measure(output: &ExtractionOutput, original: &TimeSeries) -> Self {
+        let offers = &output.flex_offers;
+        let offer_count = offers.len();
+
+        // Start-hour histogram entropy.
+        let dispersion_entropy = if offer_count >= 2 {
+            let mut hist = [0.0_f64; 24];
+            for o in offers {
+                hist[o.earliest_start().time().hour as usize] += 1.0;
+            }
+            stats::normalized_entropy(&hist)
+        } else {
+            None
+        };
+
+        // Peak coverage: top-quartile intervals per day.
+        let per_day = original.resolution().intervals_per_day();
+        let q = 0.75;
+        let mut in_peak = 0.0;
+        let mut total_extracted = 0.0;
+        let mut any_day = false;
+        for day in split_whole_days(original) {
+            any_day = true;
+            let Some(cut) = stats::quantile(day.values(), q) else { continue };
+            for (i, &c) in day.values().iter().enumerate() {
+                let t = day.timestamp_of(i);
+                if let Some(e) = output.extracted_series.value_at(t) {
+                    total_extracted += e;
+                    if c >= cut {
+                        in_peak += e;
+                    }
+                }
+            }
+        }
+        let peak_coverage = if any_day && total_extracted > 0.0 {
+            Some(in_peak / total_extracted)
+        } else {
+            None
+        };
+
+        let extracted_sparseness = stats::sparseness(output.extracted_series.values(), 1e-6);
+        let load_correlation =
+            stats::pearson(output.extracted_series.values(), original.values());
+        let residual_autocorr_delta = match (
+            stats::autocorrelation(output.modified_series.values(), per_day),
+            stats::autocorrelation(original.values(), per_day),
+        ) {
+            (Some(m), Some(o)) => Some(m - o),
+            _ => None,
+        };
+
+        let mean_time_flexibility_h = if offer_count > 0 {
+            offers
+                .iter()
+                .map(|o| o.time_flexibility().as_hours_f64())
+                .sum::<f64>()
+                / offer_count as f64
+        } else {
+            0.0
+        };
+        let mean_offer_energy_kwh = if offer_count > 0 {
+            output.extracted_energy() / offer_count as f64
+        } else {
+            0.0
+        };
+
+        RealismReport {
+            approach: output.approach.to_string(),
+            offer_count,
+            achieved_share: output.achieved_share(),
+            dispersion_entropy,
+            peak_coverage,
+            extracted_sparseness,
+            load_correlation,
+            residual_autocorr_delta,
+            mean_time_flexibility_h,
+            mean_offer_energy_kwh,
+        }
+    }
+
+    /// Header line matching [`RealismReport::render_row`].
+    pub fn header() -> String {
+        format!(
+            "{:<12} {:>7} {:>8} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+            "approach",
+            "offers",
+            "share%",
+            "dispersion",
+            "peak-cov",
+            "sparse",
+            "load-corr",
+            "ac-delta",
+            "flex(h)"
+        )
+    }
+
+    /// One aligned table row.
+    pub fn render_row(&self) -> String {
+        fn opt(v: Option<f64>) -> String {
+            v.map(|x| format!("{x:.3}")).unwrap_or_else(|| "-".into())
+        }
+        format!(
+            "{:<12} {:>7} {:>8.2} {:>10} {:>9} {:>9.3} {:>9} {:>9} {:>9.1}\n",
+            self.approach,
+            self.offer_count,
+            self.achieved_share * 100.0,
+            opt(self.dispersion_entropy),
+            opt(self.peak_coverage),
+            self.extracted_sparseness,
+            opt(self.load_correlation),
+            opt(self.residual_autocorr_delta),
+            self.mean_time_flexibility_h,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextract_core::{
+        BasicExtractor, ExtractionConfig, ExtractionInput, FlexibilityExtractor, PeakExtractor,
+        RandomExtractor,
+    };
+    use flextract_time::{Resolution, Timestamp};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A peaky multi-day series: quiet nights, one strong evening hump.
+    fn peaky_series(days: usize) -> TimeSeries {
+        let mut values = Vec::with_capacity(96 * days);
+        for _ in 0..days {
+            for i in 0..96 {
+                let h = i as f64 / 4.0;
+                let evening = 1.4 * (-(h - 19.0) * (h - 19.0) / 3.0).exp();
+                values.push(0.15 + evening);
+            }
+        }
+        TimeSeries::new(
+            "2013-03-18".parse::<Timestamp>().unwrap(),
+            Resolution::MIN_15,
+            values,
+        )
+        .unwrap()
+    }
+
+    fn measure(ex: &dyn FlexibilityExtractor, series: &TimeSeries, seed: u64) -> RealismReport {
+        let out = ex
+            .extract(&ExtractionInput::household(series), &mut StdRng::seed_from_u64(seed))
+            .unwrap();
+        RealismReport::measure(&out, series)
+    }
+
+    #[test]
+    fn peak_extraction_is_less_dispersed_than_random() {
+        let series = peaky_series(20);
+        let cfg = ExtractionConfig::default();
+        let random = measure(&RandomExtractor::new(cfg.clone()), &series, 1);
+        let peak = measure(&PeakExtractor::new(cfg), &series, 1);
+        let (dr, dp) = (
+            random.dispersion_entropy.unwrap(),
+            peak.dispersion_entropy.unwrap(),
+        );
+        assert!(dp < dr, "peak {dp} should be below random {dr}");
+    }
+
+    #[test]
+    fn peak_extraction_covers_the_peaks() {
+        let series = peaky_series(10);
+        let cfg = ExtractionConfig::default();
+        let random = measure(&RandomExtractor::new(cfg.clone()), &series, 2);
+        let peak = measure(&PeakExtractor::new(cfg), &series, 2);
+        assert!(peak.peak_coverage.unwrap() > 0.95, "{:?}", peak.peak_coverage);
+        assert!(
+            peak.peak_coverage.unwrap() > random.peak_coverage.unwrap(),
+            "peak {:?} vs random {:?}",
+            peak.peak_coverage,
+            random.peak_coverage
+        );
+    }
+
+    #[test]
+    fn extracted_series_is_sparser_for_peak_than_random() {
+        let series = peaky_series(10);
+        let cfg = ExtractionConfig::default();
+        let random = measure(&RandomExtractor::new(cfg.clone()), &series, 3);
+        let peak = measure(&PeakExtractor::new(cfg), &series, 3);
+        assert!(peak.extracted_sparseness > random.extracted_sparseness);
+        assert!(peak.extracted_sparseness > 0.8, "{}", peak.extracted_sparseness);
+    }
+
+    #[test]
+    fn share_is_reported() {
+        let series = peaky_series(5);
+        let basic = measure(&BasicExtractor::new(ExtractionConfig::default()), &series, 4);
+        assert!((basic.achieved_share - 0.05).abs() < 0.001, "{}", basic.achieved_share);
+        assert!(basic.mean_offer_energy_kwh > 0.0);
+        assert!(basic.mean_time_flexibility_h >= 0.0);
+    }
+
+    #[test]
+    fn degenerate_outputs_yield_none_metrics() {
+        let series = peaky_series(2);
+        let out = BasicExtractor::new(ExtractionConfig::with_share(0.0))
+            .extract(&ExtractionInput::household(&series), &mut StdRng::seed_from_u64(1))
+            .unwrap();
+        let report = RealismReport::measure(&out, &series);
+        assert_eq!(report.offer_count, 0);
+        assert_eq!(report.peak_coverage, None);
+        assert_eq!(report.mean_offer_energy_kwh, 0.0);
+        assert_eq!(report.extracted_sparseness, 1.0);
+    }
+
+    #[test]
+    fn render_produces_aligned_rows() {
+        let series = peaky_series(3);
+        let report = measure(&PeakExtractor::new(ExtractionConfig::default()), &series, 5);
+        let header = RealismReport::header();
+        let row = report.render_row();
+        assert!(header.contains("dispersion"));
+        assert!(row.starts_with("peak"));
+        assert!(!row.contains("NaN"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let series = peaky_series(3);
+        let report = measure(&PeakExtractor::new(ExtractionConfig::default()), &series, 6);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: RealismReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

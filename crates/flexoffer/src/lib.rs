@@ -1,0 +1,140 @@
+//! # flextract-flexoffer
+//!
+//! The MIRABEL **flex-offer** object model — the core concept of the
+//! paper ("the flex-offer concept is the basis of the project", §1).
+//!
+//! A flex-offer captures a shiftable unit of energy demand (or supply):
+//!
+//! * a **profile** ([`Profile`]) — consecutive fixed-width slices, each
+//!   with a `[min, max]` energy bound ([`EnergyRange`]) — "at each
+//!   (15 min) time interval it states the minimum and maximum required
+//!   energy";
+//! * **time flexibility** — the start may be chosen anywhere in
+//!   `[earliest_start, latest_start]`;
+//! * lifecycle instants — creation time, acceptance deadline and
+//!   assignment deadline, in that order before the earliest start.
+//!
+//! The paper's Figure 1 is reproducible directly from the builder:
+//!
+//! ```
+//! use flextract_flexoffer::{EnergyRange, FlexOffer};
+//! use flextract_time::{Duration, Resolution, Timestamp};
+//!
+//! // EV charging: start between 10 PM and 5 AM, 2 h profile, 50 kWh.
+//! let ten_pm = Timestamp::from_ymd_hm(2013, 3, 18, 22, 0).unwrap();
+//! let five_am = Timestamp::from_ymd_hm(2013, 3, 19, 5, 0).unwrap();
+//! let per_slice = 50.0 / 8.0; // 8 quarter-hour slices
+//! let offer = FlexOffer::builder(1)
+//!     .start_window(ten_pm, five_am)
+//!     .slices(Resolution::MIN_15, vec![EnergyRange::new(per_slice * 0.9, per_slice).unwrap(); 8])
+//!     .created_at(ten_pm - Duration::hours(12))
+//!     .build()
+//!     .unwrap();
+//!
+//! assert_eq!(offer.time_flexibility(), Duration::hours(7));
+//! assert_eq!(offer.latest_end(), five_am + Duration::hours(2));
+//! assert!((offer.total_energy().max - 50.0).abs() < 1e-9);
+//! ```
+//!
+//! [`ScheduledFlexOffer`] fixes a start time and per-slice energies —
+//! the downstream scheduler's output (refs \[4\]\[5\]) — and converts back
+//! to a [`TimeSeries`](flextract_series::TimeSeries) for grid-balance
+//! accounting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod model;
+mod schedule;
+
+pub use model::{EnergyRange, FlexOffer, FlexOfferBuilder, FlexOfferId, Profile};
+pub use schedule::ScheduledFlexOffer;
+
+/// Validation errors for flex-offers and their schedules.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlexOfferError {
+    /// A slice energy range had `min > max` or a negative bound.
+    InvalidEnergyRange {
+        /// Offending minimum (kWh).
+        min: f64,
+        /// Offending maximum (kWh).
+        max: f64,
+    },
+    /// The profile has no slices.
+    EmptyProfile,
+    /// `latest_start` precedes `earliest_start`.
+    InvertedStartWindow,
+    /// The lifecycle instants are out of order
+    /// (creation ≤ acceptance ≤ assignment ≤ earliest start).
+    LifecycleOutOfOrder {
+        /// Which relation was violated.
+        what: &'static str,
+    },
+    /// A start window instant is not aligned to the profile resolution.
+    UnalignedStart,
+    /// A schedule chose a start outside `[earliest_start, latest_start]`.
+    StartOutsideWindow,
+    /// A schedule's energy vector length differs from the profile.
+    EnergyLengthMismatch {
+        /// Number of profile slices.
+        expected: usize,
+        /// Number of scheduled energies.
+        got: usize,
+    },
+    /// A scheduled slice energy violates its `[min, max]` bound.
+    EnergyOutOfBounds {
+        /// Index of the offending slice.
+        slice: usize,
+    },
+}
+
+impl std::fmt::Display for FlexOfferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlexOfferError::InvalidEnergyRange { min, max } => {
+                write!(f, "invalid energy range [{min}, {max}]")
+            }
+            FlexOfferError::EmptyProfile => write!(f, "flex-offer profile has no slices"),
+            FlexOfferError::InvertedStartWindow => {
+                write!(f, "latest start precedes earliest start")
+            }
+            FlexOfferError::LifecycleOutOfOrder { what } => {
+                write!(f, "lifecycle instants out of order: {what}")
+            }
+            FlexOfferError::UnalignedStart => {
+                write!(f, "start window is not aligned to the profile resolution")
+            }
+            FlexOfferError::StartOutsideWindow => {
+                write!(f, "scheduled start outside [earliest, latest] window")
+            }
+            FlexOfferError::EnergyLengthMismatch { expected, got } => {
+                write!(f, "schedule has {got} energies for {expected} slices")
+            }
+            FlexOfferError::EnergyOutOfBounds { slice } => {
+                write!(f, "scheduled energy for slice {slice} violates its bounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlexOfferError {}
+
+#[cfg(test)]
+mod lib_tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_are_specific() {
+        assert!(FlexOfferError::InvalidEnergyRange { min: 2.0, max: 1.0 }
+            .to_string()
+            .contains("[2, 1]"));
+        assert!(FlexOfferError::EmptyProfile.to_string().contains("no slices"));
+        assert!(FlexOfferError::EnergyLengthMismatch { expected: 8, got: 7 }
+            .to_string()
+            .contains("7 energies for 8 slices"));
+        assert!(FlexOfferError::EnergyOutOfBounds { slice: 3 }.to_string().contains('3'));
+        assert!(FlexOfferError::LifecycleOutOfOrder { what: "acceptance after assignment" }
+            .to_string()
+            .contains("acceptance"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for flex-offer invariants.
+
+use flextract_flexoffer::{EnergyRange, FlexOffer, ScheduledFlexOffer};
+use flextract_time::{Duration, Resolution, Timestamp};
+use proptest::prelude::*;
+
+/// Generates a valid flex-offer with up to 12 slices and up to 12 h of
+/// time flexibility.
+fn arb_offer() -> impl Strategy<Value = FlexOffer> {
+    (
+        1_u64..1000,
+        0_i64..(365 * 96),       // earliest start, in 15-min steps from epoch
+        0_i64..48,               // time flexibility in 15-min steps
+        prop::collection::vec((0.0_f64..3.0, 0.0_f64..2.0), 1..12),
+    )
+        .prop_map(|(id, est_steps, flex_steps, raw_slices)| {
+            let est = Timestamp::from_minutes(est_steps * 15);
+            let lst = est + Duration::minutes(flex_steps * 15);
+            let slices = raw_slices
+                .into_iter()
+                .map(|(min, width)| EnergyRange::new(min, min + width).unwrap())
+                .collect();
+            FlexOffer::builder(id)
+                .start_window(est, lst)
+                .slices(Resolution::MIN_15, slices)
+                .build()
+                .expect("generated parameters are always valid")
+        })
+}
+
+proptest! {
+    #[test]
+    fn built_offers_always_validate(offer in arb_offer()) {
+        prop_assert!(offer.validate().is_ok());
+        prop_assert!(offer.time_flexibility() >= Duration::ZERO);
+        prop_assert!(offer.latest_end() >= offer.latest_start());
+        let total = offer.total_energy();
+        prop_assert!(total.min <= total.max + 1e-12);
+        prop_assert!((offer.energy_flexibility() - (total.max - total.min)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serde_round_trip(offer in arb_offer()) {
+        let json = serde_json::to_string(&offer).unwrap();
+        let back: FlexOffer = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&back, &offer);
+        prop_assert!(back.validate().is_ok());
+    }
+
+    #[test]
+    fn candidate_starts_are_admissible(offer in arb_offer()) {
+        let starts = offer.candidate_starts();
+        prop_assert_eq!(
+            starts.len() as i64,
+            offer.time_flexibility().as_minutes() / 15 + 1
+        );
+        for &s in &starts {
+            prop_assert!(s >= offer.earliest_start() && s <= offer.latest_start());
+            prop_assert!(s.is_aligned(Resolution::MIN_15));
+        }
+    }
+
+    #[test]
+    fn every_candidate_start_schedules(offer in arb_offer()) {
+        // Midpoint energies are always within bounds.
+        let energies: Vec<f64> = offer
+            .profile()
+            .slices()
+            .iter()
+            .map(EnergyRange::midpoint)
+            .collect();
+        for s in offer.candidate_starts() {
+            let sched = ScheduledFlexOffer::new(offer.clone(), s, energies.clone());
+            prop_assert!(sched.is_ok());
+            let sched = sched.unwrap();
+            // Execution stays inside the execution window.
+            prop_assert!(offer
+                .execution_window()
+                .contains_range(sched.execution_range()));
+            // Series round-trip conserves the energy choice.
+            prop_assert!(
+                (sched.to_series().total_energy() - sched.total_energy()).abs() < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_schedule_is_minimal(offer in arb_offer()) {
+        let b = ScheduledFlexOffer::baseline(offer.clone());
+        prop_assert_eq!(b.start(), offer.earliest_start());
+        prop_assert!((b.total_energy() - offer.total_energy().min).abs() < 1e-9);
+        prop_assert_eq!(b.remaining_flexibility(), offer.time_flexibility());
+    }
+
+    #[test]
+    fn out_of_window_starts_are_rejected(offer in arb_offer()) {
+        let energies: Vec<f64> =
+            offer.profile().slices().iter().map(|s| s.min).collect();
+        let before = offer.earliest_start() - Duration::minutes(15);
+        let after = offer.latest_start() + Duration::minutes(15);
+        prop_assert!(ScheduledFlexOffer::new(offer.clone(), before, energies.clone()).is_err());
+        prop_assert!(ScheduledFlexOffer::new(offer, after, energies).is_err());
+    }
+}

@@ -1,0 +1,240 @@
+//! Seasonal anomaly detection.
+//!
+//! The related work the paper builds on includes "time series data
+//! mining techniques, which stress … anomaly detection" (§5, ref \[13\]).
+//! In this workspace anomalies are the multi-tariff signal: intervals
+//! where a day deviates from the consumer's typical day beyond the
+//! noise band. This module generalises that detector into a reusable
+//! primitive (and adds the plain rolling z-score variant).
+
+use crate::segment::{day_profile_std, typical_day_profile, DayKind};
+use crate::{rolling, SeriesError, TimeSeries};
+use flextract_time::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// Direction of a detected deviation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AnomalyDirection {
+    /// Consumption above expectation.
+    High,
+    /// Consumption below expectation.
+    Low,
+}
+
+/// One contiguous anomalous run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Anomaly {
+    /// First anomalous interval.
+    pub start: Timestamp,
+    /// Number of consecutive anomalous intervals.
+    pub intervals: usize,
+    /// Above or below expectation.
+    pub direction: AnomalyDirection,
+    /// Total signed deviation energy over the run (kWh; negative for
+    /// [`AnomalyDirection::Low`]).
+    pub deviation_kwh: f64,
+    /// Peak |z|-score within the run.
+    pub max_z: f64,
+}
+
+/// Detect runs deviating from the series' own *seasonal expectation*:
+/// the per-interval-of-day mean ± `z_threshold` standard deviations
+/// (computed per day-kind from the series itself).
+///
+/// Requires at least two whole days. This is the standalone version of
+/// the multi-tariff comparison, applicable to a single series.
+pub fn seasonal_anomalies(
+    series: &TimeSeries,
+    z_threshold: f64,
+    noise_floor_kwh: f64,
+) -> Result<Vec<Anomaly>, SeriesError> {
+    let all_t = typical_day_profile(series, DayKind::All)?;
+    let all_s = day_profile_std(series, DayKind::All)?;
+    let per_kind = |kind: DayKind| -> (Vec<f64>, Vec<f64>) {
+        match (typical_day_profile(series, kind), day_profile_std(series, kind)) {
+            (Ok(t), Ok(s)) => (t, s),
+            _ => (all_t.clone(), all_s.clone()),
+        }
+    };
+    let (work_t, work_s) = per_kind(DayKind::Workday);
+    let (week_t, week_s) = per_kind(DayKind::Weekend);
+    let per_day = series.resolution().intervals_per_day();
+
+    let mut expected = Vec::with_capacity(series.len());
+    let mut band = Vec::with_capacity(series.len());
+    for i in 0..series.len() {
+        let t = series.timestamp_of(i);
+        let (typ, sig) = if t.day_of_week().is_weekend() {
+            (&week_t, &week_s)
+        } else {
+            (&work_t, &work_s)
+        };
+        let idx = (t.minute_of_day() as i64 / series.resolution().minutes()) as usize % per_day;
+        expected.push(typ[idx]);
+        band.push((z_threshold * sig[idx]).max(noise_floor_kwh));
+    }
+    Ok(collect_runs(series, &expected, &band))
+}
+
+/// Detect runs deviating from a *rolling* baseline: trailing median ±
+/// `z_threshold` × trailing std over `window` intervals. Works on any
+/// series length (no whole-day requirement); the leading `window`
+/// intervals are never flagged (the baseline is still warming up).
+pub fn rolling_anomalies(
+    series: &TimeSeries,
+    window: usize,
+    z_threshold: f64,
+    noise_floor_kwh: f64,
+) -> Vec<Anomaly> {
+    if series.len() <= window {
+        return Vec::new();
+    }
+    let med = rolling::rolling_median(series.values(), window);
+    let std = rolling::rolling_std(series.values(), window);
+    let mut expected = vec![f64::NAN; series.len()];
+    let mut band = vec![f64::INFINITY; series.len()];
+    for i in window..series.len() {
+        // Baseline from the *previous* window, so a step is judged
+        // against history that excludes itself.
+        expected[i] = med[i - 1];
+        band[i] = (z_threshold * std[i - 1]).max(noise_floor_kwh);
+    }
+    collect_runs(series, &expected, &band)
+}
+
+fn collect_runs(series: &TimeSeries, expected: &[f64], band: &[f64]) -> Vec<Anomaly> {
+    let mut out = Vec::new();
+    let mut run: Option<(usize, AnomalyDirection, f64, f64)> = None;
+    for i in 0..=series.len() {
+        let status = if i < series.len() && expected[i].is_finite() {
+            let diff = series.values()[i] - expected[i];
+            if diff > band[i] {
+                Some((AnomalyDirection::High, diff, diff / band[i].max(1e-12)))
+            } else if diff < -band[i] {
+                Some((AnomalyDirection::Low, diff, -diff / band[i].max(1e-12)))
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        match (&mut run, status) {
+            (None, Some((dir, diff, z))) => run = Some((i, dir, diff, z)),
+            (Some((start, dir, dev, max_z)), Some((d2, diff, z))) if *dir == d2 => {
+                *dev += diff;
+                *max_z = max_z.max(z);
+                let _ = start;
+            }
+            (Some((start, dir, dev, max_z)), next) => {
+                out.push(Anomaly {
+                    start: series.timestamp_of(*start),
+                    intervals: i - *start,
+                    direction: *dir,
+                    deviation_kwh: *dev,
+                    max_z: *max_z,
+                });
+                run = next.map(|(d, diff, z)| (i, d, diff, z));
+            }
+            (None, None) => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextract_time::Resolution;
+
+    fn ts(s: &str) -> Timestamp {
+        s.parse().unwrap()
+    }
+
+    /// Seven identical flat days, then one day with a block anomaly.
+    fn series_with_block() -> TimeSeries {
+        let mut values = vec![0.5; 8 * 96];
+        for v in values.iter_mut().skip(7 * 96 + 40).take(4) {
+            *v = 1.5;
+        }
+        TimeSeries::new(ts("2013-03-18"), Resolution::MIN_15, values).unwrap()
+    }
+
+    #[test]
+    fn seasonal_detector_finds_the_block() {
+        let s = series_with_block();
+        let anomalies = seasonal_anomalies(&s, 2.0, 0.05).unwrap();
+        // Exactly one high run of 4 intervals at the planted position.
+        let highs: Vec<&Anomaly> = anomalies
+            .iter()
+            .filter(|a| a.direction == AnomalyDirection::High)
+            .collect();
+        assert_eq!(highs.len(), 1, "{anomalies:?}");
+        assert_eq!(highs[0].intervals, 4);
+        assert_eq!(highs[0].start, ts("2013-03-25 10:00"));
+        assert!(highs[0].deviation_kwh > 3.0, "{}", highs[0].deviation_kwh);
+        assert!(highs[0].max_z > 1.0);
+    }
+
+    #[test]
+    fn seasonal_detector_is_quiet_on_clean_data() {
+        let s = TimeSeries::new(ts("2013-03-18"), Resolution::MIN_15, vec![0.5; 5 * 96]).unwrap();
+        let anomalies = seasonal_anomalies(&s, 2.0, 0.05).unwrap();
+        assert!(anomalies.is_empty(), "{anomalies:?}");
+    }
+
+    #[test]
+    fn low_anomalies_are_signed_negative() {
+        let mut values = vec![0.5; 8 * 96];
+        for v in values.iter_mut().skip(7 * 96 + 20).take(3) {
+            *v = 0.0;
+        }
+        let s = TimeSeries::new(ts("2013-03-18"), Resolution::MIN_15, values).unwrap();
+        let anomalies = seasonal_anomalies(&s, 2.0, 0.05).unwrap();
+        let lows: Vec<&Anomaly> = anomalies
+            .iter()
+            .filter(|a| a.direction == AnomalyDirection::Low)
+            .collect();
+        assert_eq!(lows.len(), 1);
+        assert!(lows[0].deviation_kwh < -1.0);
+    }
+
+    #[test]
+    fn rolling_detector_flags_steps_not_baseline() {
+        // Flat 0.2, one spike of 2 intervals.
+        let mut values = vec![0.2; 200];
+        values[150] = 2.0;
+        values[151] = 2.0;
+        let s = TimeSeries::new(ts("2013-03-18"), Resolution::MIN_15, values).unwrap();
+        let anomalies = rolling_anomalies(&s, 24, 3.0, 0.05);
+        assert_eq!(anomalies.len(), 1, "{anomalies:?}");
+        assert_eq!(anomalies[0].direction, AnomalyDirection::High);
+        assert_eq!(anomalies[0].intervals, 2);
+        assert_eq!(s.index_of(anomalies[0].start), Some(150));
+    }
+
+    #[test]
+    fn rolling_detector_skips_warmup() {
+        // A spike inside the warm-up window is not judged.
+        let mut values = vec![0.2; 100];
+        values[5] = 5.0;
+        let s = TimeSeries::new(ts("2013-03-18"), Resolution::MIN_15, values).unwrap();
+        let anomalies = rolling_anomalies(&s, 24, 3.0, 0.05);
+        assert!(anomalies.iter().all(|a| s.index_of(a.start).unwrap() >= 24));
+    }
+
+    #[test]
+    fn short_series_yield_nothing_or_error() {
+        let s = TimeSeries::new(ts("2013-03-18"), Resolution::MIN_15, vec![0.5; 10]).unwrap();
+        assert!(rolling_anomalies(&s, 24, 3.0, 0.05).is_empty());
+        assert!(seasonal_anomalies(&s, 2.0, 0.05).is_err()); // no whole day
+    }
+
+    #[test]
+    fn noise_floor_suppresses_tiny_wiggles() {
+        let mut values = vec![0.5; 6 * 96];
+        values[300] = 0.52; // 0.02 above — inside a 0.05 floor
+        let s = TimeSeries::new(ts("2013-03-18"), Resolution::MIN_15, values).unwrap();
+        let anomalies = seasonal_anomalies(&s, 2.0, 0.05).unwrap();
+        assert!(anomalies.is_empty(), "{anomalies:?}");
+    }
+}

@@ -1,0 +1,167 @@
+//! Compact binary interchange format for time series.
+//!
+//! MIRABEL's data-management layer streams consumption series between
+//! collection nodes and the warehouse (paper refs \[3\]\[6\]); this module
+//! provides the wire format: a fixed little-endian layout built on
+//! [`bytes`] so encoded series can be shipped or memory-mapped without
+//! a parsing step.
+//!
+//! Layout (all little-endian):
+//!
+//! | offset | size | field |
+//! |--------|------|-------|
+//! | 0      | 4    | magic `b"FXT1"` |
+//! | 4      | 8    | start (i64 minutes since flextract epoch) |
+//! | 12     | 4    | resolution (u32 minutes) |
+//! | 16     | 8    | length (u64 interval count) |
+//! | 24     | 8·n  | values (f64) |
+
+use crate::{SeriesError, TimeSeries};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use flextract_time::{Resolution, Timestamp};
+
+/// Format magic: "FXT" + version 1.
+pub const MAGIC: [u8; 4] = *b"FXT1";
+
+/// Size in bytes of the fixed header.
+pub const HEADER_LEN: usize = 24;
+
+/// Encode a series into a freshly allocated buffer.
+pub fn encode(series: &TimeSeries) -> Bytes {
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + 8 * series.len());
+    buf.put_slice(&MAGIC);
+    buf.put_i64_le(series.start().as_minutes());
+    buf.put_u32_le(series.resolution().minutes() as u32);
+    buf.put_u64_le(series.len() as u64);
+    for &v in series.values() {
+        buf.put_f64_le(v);
+    }
+    buf.freeze()
+}
+
+/// Decode a series from a buffer produced by [`encode`].
+pub fn decode(mut buf: impl Buf) -> Result<TimeSeries, SeriesError> {
+    if buf.remaining() < HEADER_LEN {
+        return Err(SeriesError::Codec { what: "buffer shorter than header" });
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if magic != MAGIC {
+        return Err(SeriesError::Codec { what: "bad magic" });
+    }
+    let start = Timestamp::from_minutes(buf.get_i64_le());
+    let res_minutes = buf.get_u32_le();
+    let resolution = Resolution::from_minutes(res_minutes as i64)
+        .map_err(|_| SeriesError::Codec { what: "invalid resolution" })?;
+    let len = buf.get_u64_le();
+    if len > (usize::MAX / 8) as u64 || buf.remaining() < (len as usize) * 8 {
+        return Err(SeriesError::Codec { what: "truncated value block" });
+    }
+    let mut values = Vec::with_capacity(len as usize);
+    for _ in 0..len {
+        let v = buf.get_f64_le();
+        if v.is_nan() {
+            return Err(SeriesError::Codec { what: "NaN value in encoded series" });
+        }
+        values.push(v);
+    }
+    TimeSeries::new(start, resolution, values)
+        .map_err(|_| SeriesError::Codec { what: "unaligned start in encoded series" })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TimeSeries {
+        TimeSeries::new(
+            "2013-03-18".parse().unwrap(),
+            Resolution::MIN_15,
+            vec![0.25, 0.5, 0.75, 1.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip() {
+        let s = sample();
+        let bytes = encode(&s);
+        assert_eq!(bytes.len(), HEADER_LEN + 4 * 8);
+        let back = decode(bytes).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn empty_series_round_trip() {
+        let s = TimeSeries::new(
+            "2013-03-18".parse().unwrap(),
+            Resolution::MIN_1,
+            vec![],
+        )
+        .unwrap();
+        let back = decode(encode(&s)).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut raw = encode(&sample()).to_vec();
+        raw[0] = b'X';
+        assert_eq!(
+            decode(Bytes::from(raw)),
+            Err(SeriesError::Codec { what: "bad magic" })
+        );
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let raw = encode(&sample());
+        // Header cut short.
+        assert!(matches!(
+            decode(raw.slice(..10)),
+            Err(SeriesError::Codec { what: "buffer shorter than header" })
+        ));
+        // Values cut short.
+        assert!(matches!(
+            decode(raw.slice(..HEADER_LEN + 8)),
+            Err(SeriesError::Codec { what: "truncated value block" })
+        ));
+    }
+
+    #[test]
+    fn rejects_invalid_resolution() {
+        let mut raw = encode(&sample()).to_vec();
+        raw[12..16].copy_from_slice(&7u32.to_le_bytes()); // 7 min ∤ 1440
+        assert!(matches!(
+            decode(Bytes::from(raw)),
+            Err(SeriesError::Codec { what: "invalid resolution" })
+        ));
+    }
+
+    #[test]
+    fn rejects_nan_payload() {
+        let mut raw = encode(&sample()).to_vec();
+        raw[HEADER_LEN..HEADER_LEN + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(matches!(
+            decode(Bytes::from(raw)),
+            Err(SeriesError::Codec { what: "NaN value in encoded series" })
+        ));
+    }
+
+    #[test]
+    fn rejects_unaligned_start() {
+        let mut raw = encode(&sample()).to_vec();
+        raw[4..12].copy_from_slice(&7i64.to_le_bytes()); // 00:07 not on 15-min grid
+        assert!(matches!(
+            decode(Bytes::from(raw)),
+            Err(SeriesError::Codec { what: "unaligned start in encoded series" })
+        ));
+    }
+
+    #[test]
+    fn length_overflow_is_rejected() {
+        let mut raw = encode(&sample()).to_vec();
+        raw[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(decode(Bytes::from(raw)), Err(SeriesError::Codec { .. })));
+    }
+}

@@ -1,0 +1,217 @@
+//! Lightweight consumption/production forecasting.
+//!
+//! MIRABEL pairs flex-offer management with "reliable and near
+//! real-time forecasting of energy production and consumption" (paper
+//! §1, ref \[6\]). The workspace needs forecasts in two places: the
+//! real-time flex-offer generator (predicting the rest of a day while
+//! it is still happening) and production flex-offer extraction
+//! (§6: the RES producer "can maintain highly specialized and accurate
+//! local weather forecast"). Two classical baselines cover both:
+//!
+//! * [`ForecastMethod::Persistence`] — tomorrow looks like the last
+//!   observed value;
+//! * [`ForecastMethod::SeasonalNaive`] — tomorrow looks like the same
+//!   interval of the typical day (optionally blended toward recent
+//!   levels via [`ForecastMethod::SeasonalScaled`]).
+
+use crate::segment::{split_whole_days, typical_day_profile, DayKind};
+use crate::{SeriesError, TimeSeries};
+use flextract_time::Resolution;
+use serde::{Deserialize, Serialize};
+
+/// Forecasting method selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ForecastMethod {
+    /// Repeat the last observed value for every future interval.
+    Persistence,
+    /// Repeat the per-interval-of-day mean of the history (day-kind
+    /// aware: workday history forecasts workdays, weekend history
+    /// forecasts weekends, falling back to all days).
+    SeasonalNaive,
+    /// Seasonal naive scaled by the ratio of the last observed day's
+    /// total to the typical day's total (adapts to level shifts).
+    SeasonalScaled,
+}
+
+/// Forecast `horizon_intervals` beyond the end of `history`.
+///
+/// The result is a [`TimeSeries`] starting exactly at `history.end()`
+/// with the same resolution. Errors with [`SeriesError::Empty`] when
+/// the history is empty (or, for the seasonal methods, contains no
+/// whole day).
+pub fn forecast(
+    history: &TimeSeries,
+    horizon_intervals: usize,
+    method: ForecastMethod,
+) -> Result<TimeSeries, SeriesError> {
+    if history.is_empty() {
+        return Err(SeriesError::Empty);
+    }
+    let start = history.end();
+    let res = history.resolution();
+    let values = match method {
+        ForecastMethod::Persistence => {
+            let last = *history.values().last().expect("checked non-empty");
+            vec![last; horizon_intervals]
+        }
+        ForecastMethod::SeasonalNaive => {
+            seasonal_values(history, start, res, horizon_intervals, 1.0)?
+        }
+        ForecastMethod::SeasonalScaled => {
+            let days = split_whole_days(history);
+            let last_day = days.last().ok_or(SeriesError::Empty)?;
+            let typical_total: f64 =
+                typical_day_profile(history, DayKind::All)?.iter().sum();
+            let scale = if typical_total > 0.0 {
+                (last_day.total_energy() / typical_total).clamp(0.25, 4.0)
+            } else {
+                1.0
+            };
+            seasonal_values(history, start, res, horizon_intervals, scale)?
+        }
+    };
+    TimeSeries::new(start, res, values)
+}
+
+fn seasonal_values(
+    history: &TimeSeries,
+    start: flextract_time::Timestamp,
+    res: Resolution,
+    horizon: usize,
+    scale: f64,
+) -> Result<Vec<f64>, SeriesError> {
+    let all = typical_day_profile(history, DayKind::All)?;
+    let work = typical_day_profile(history, DayKind::Workday).unwrap_or_else(|_| all.clone());
+    let weekend = typical_day_profile(history, DayKind::Weekend).unwrap_or_else(|_| all.clone());
+    let per_day = res.intervals_per_day();
+    let mut out = Vec::with_capacity(horizon);
+    for i in 0..horizon {
+        let t = start + res.interval() * i as i64;
+        let profile = if t.day_of_week().is_weekend() { &weekend } else { &work };
+        let idx = (t.minute_of_day() as i64 / res.minutes()) as usize % per_day;
+        out.push(profile[idx] * scale);
+    }
+    Ok(out)
+}
+
+/// Mean absolute percentage error of a forecast against actuals on the
+/// same grid; intervals with |actual| ≤ `floor` are skipped to avoid
+/// division blow-ups. `None` when nothing is comparable.
+pub fn mape(forecast: &TimeSeries, actual: &TimeSeries, floor: f64) -> Option<f64> {
+    let mut acc = 0.0;
+    let mut n = 0usize;
+    for (t, f) in forecast.iter() {
+        if let Some(a) = actual.value_at(t) {
+            if a.abs() > floor {
+                acc += ((f - a) / a).abs();
+                n += 1;
+            }
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(acc / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextract_time::{Duration, Timestamp};
+
+    fn ts(s: &str) -> Timestamp {
+        s.parse().unwrap()
+    }
+
+    /// Two weeks, hourly: workdays flat 1.0, weekends flat 3.0.
+    fn history() -> TimeSeries {
+        let start = ts("2013-03-04"); // Monday
+        let mut values = Vec::new();
+        for d in 0..14 {
+            let t = start + Duration::days(d);
+            let level = if t.day_of_week().is_weekend() { 3.0 } else { 1.0 };
+            values.extend(vec![level; 24]);
+        }
+        TimeSeries::new(start, Resolution::HOUR_1, values).unwrap()
+    }
+
+    #[test]
+    fn persistence_repeats_last_value() {
+        let h = history();
+        let f = forecast(&h, 48, ForecastMethod::Persistence).unwrap();
+        assert_eq!(f.start(), h.end());
+        assert_eq!(f.len(), 48);
+        // Last observed value is a Sunday 3.0.
+        assert!(f.values().iter().all(|&v| (v - 3.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn seasonal_naive_respects_day_kinds() {
+        let h = history(); // ends Monday 2013-03-18 00:00
+        let f = forecast(&h, 24 * 7, ForecastMethod::SeasonalNaive).unwrap();
+        // Mon..Fri forecast at the workday level, Sat/Sun at weekend level.
+        let monday = f.slice(flextract_time::TimeRange::starting_at(ts("2013-03-18"), Duration::days(1)).unwrap());
+        assert!(monday.values().iter().all(|&v| (v - 1.0).abs() < 1e-9));
+        let saturday = f.slice(flextract_time::TimeRange::starting_at(ts("2013-03-23"), Duration::days(1)).unwrap());
+        assert!(saturday.values().iter().all(|&v| (v - 3.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn seasonal_scaled_adapts_to_level_shift() {
+        // History whose final day runs 2× the typical level.
+        let mut h = history();
+        let n = h.len();
+        for v in h.values_mut()[n - 24..].iter_mut() {
+            *v *= 2.0;
+        }
+        let naive = forecast(&h, 24, ForecastMethod::SeasonalNaive).unwrap();
+        let scaled = forecast(&h, 24, ForecastMethod::SeasonalScaled).unwrap();
+        assert!(scaled.total_energy() > naive.total_energy());
+    }
+
+    #[test]
+    fn forecast_grid_is_contiguous() {
+        let h = history();
+        for m in [
+            ForecastMethod::Persistence,
+            ForecastMethod::SeasonalNaive,
+            ForecastMethod::SeasonalScaled,
+        ] {
+            let f = forecast(&h, 10, m).unwrap();
+            assert_eq!(f.start(), h.end());
+            assert_eq!(f.resolution(), h.resolution());
+            assert_eq!(f.len(), 10);
+        }
+    }
+
+    #[test]
+    fn empty_history_errors() {
+        let empty = TimeSeries::new(ts("2013-03-04"), Resolution::HOUR_1, vec![]).unwrap();
+        assert_eq!(
+            forecast(&empty, 4, ForecastMethod::Persistence),
+            Err(SeriesError::Empty)
+        );
+        // Seasonal methods additionally need a whole day.
+        let stub = TimeSeries::new(ts("2013-03-04"), Resolution::HOUR_1, vec![1.0; 3]).unwrap();
+        assert!(forecast(&stub, 4, ForecastMethod::SeasonalNaive).is_err());
+        assert!(forecast(&stub, 4, ForecastMethod::Persistence).is_ok());
+    }
+
+    #[test]
+    fn mape_on_perfect_forecast_is_zero() {
+        let h = history();
+        let f = forecast(&h, 24, ForecastMethod::SeasonalNaive).unwrap();
+        // Actual continues the weekly pattern exactly (Monday 1.0).
+        let actual = TimeSeries::new(h.end(), Resolution::HOUR_1, vec![1.0; 24]).unwrap();
+        let err = mape(&f, &actual, 1e-6).unwrap();
+        assert!(err < 1e-9, "{err}");
+        // Against a doubled actual, MAPE is 0.5.
+        let doubled = actual.scale(2.0);
+        let err = mape(&f, &doubled, 1e-6).unwrap();
+        assert!((err - 0.5).abs() < 1e-9);
+        // Disjoint grids → None.
+        let far = TimeSeries::new(ts("2014-01-01"), Resolution::HOUR_1, vec![1.0; 4]).unwrap();
+        assert_eq!(mape(&f, &far, 1e-6), None);
+    }
+}

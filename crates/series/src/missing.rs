@@ -1,0 +1,250 @@
+//! Gap handling for measured series.
+//!
+//! Real metering data has holes (meter outages, transmission loss).
+//! Gaps are represented as `NaN` inside a raw value vector and must be
+//! filled before the vector becomes a [`TimeSeries`], whose invariant is
+//! all-finite values. The fill strategies mirror the disaggregation
+//! literature the paper cites for "filling the missing values"
+//! (§5 ref \[14\]).
+
+use crate::{SeriesError, TimeSeries};
+use flextract_time::{Resolution, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// Strategy for replacing `NaN` gaps in a raw value vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FillStrategy {
+    /// Linear interpolation between the nearest finite neighbours;
+    /// leading/trailing gaps take the nearest finite value.
+    Linear,
+    /// Repeat the previous finite value; a leading gap takes the first
+    /// finite value.
+    Previous,
+    /// Replace each gap with the mean of the same interval-of-period
+    /// across all days (periodic seasonal fill). Falls back to
+    /// [`FillStrategy::Linear`] for phases that are missing everywhere.
+    SeasonalDaily,
+    /// Replace gaps with zero (appropriate for *extracted-flexibility*
+    /// series where absence means "no flexible energy").
+    Zero,
+}
+
+/// Number of `NaN` gaps in the vector.
+pub fn gap_count(values: &[f64]) -> usize {
+    values.iter().filter(|v| v.is_nan()).count()
+}
+
+/// `true` if the vector contains at least one gap.
+pub fn has_gaps(values: &[f64]) -> bool {
+    values.iter().any(|v| v.is_nan())
+}
+
+/// Fill gaps in `values` according to `strategy`.
+///
+/// `intervals_per_day` is only used by [`FillStrategy::SeasonalDaily`].
+/// Returns the number of gaps filled. Errors with
+/// [`SeriesError::Empty`] when *all* values are gaps (nothing to anchor
+/// any strategy except [`FillStrategy::Zero`], which always succeeds).
+pub fn fill_gaps(
+    values: &mut [f64],
+    strategy: FillStrategy,
+    intervals_per_day: usize,
+) -> Result<usize, SeriesError> {
+    let gaps = gap_count(values);
+    if gaps == 0 {
+        return Ok(0);
+    }
+    if gaps == values.len() && strategy != FillStrategy::Zero {
+        return Err(SeriesError::Empty);
+    }
+    match strategy {
+        FillStrategy::Zero => {
+            for v in values.iter_mut() {
+                if v.is_nan() {
+                    *v = 0.0;
+                }
+            }
+        }
+        FillStrategy::Previous => {
+            let first_finite = values
+                .iter()
+                .copied()
+                .find(|v| !v.is_nan())
+                .expect("checked: not all NaN");
+            let mut prev = first_finite;
+            for v in values.iter_mut() {
+                if v.is_nan() {
+                    *v = prev;
+                } else {
+                    prev = *v;
+                }
+            }
+        }
+        FillStrategy::Linear => fill_linear(values),
+        FillStrategy::SeasonalDaily => {
+            let period = intervals_per_day.max(1);
+            // Per-phase means over finite values.
+            let mut sums = vec![0.0; period];
+            let mut counts = vec![0usize; period];
+            for (i, v) in values.iter().enumerate() {
+                if !v.is_nan() {
+                    sums[i % period] += v;
+                    counts[i % period] += 1;
+                }
+            }
+            for (i, v) in values.iter_mut().enumerate() {
+                if v.is_nan() && counts[i % period] > 0 {
+                    *v = sums[i % period] / counts[i % period] as f64;
+                }
+            }
+            // Phases missing everywhere: fall back to linear.
+            if has_gaps(values) {
+                fill_linear(values);
+            }
+        }
+    }
+    Ok(gaps)
+}
+
+fn fill_linear(values: &mut [f64]) {
+    let n = values.len();
+    let mut i = 0;
+    while i < n {
+        if !values[i].is_nan() {
+            i += 1;
+            continue;
+        }
+        // Find the gap run [i, j).
+        let mut j = i;
+        while j < n && values[j].is_nan() {
+            j += 1;
+        }
+        let left = if i > 0 { Some(values[i - 1]) } else { None };
+        let right = if j < n { Some(values[j]) } else { None };
+        match (left, right) {
+            (Some(l), Some(r)) => {
+                let run = (j - i) as f64 + 1.0;
+                for (k, idx) in (i..j).enumerate() {
+                    let frac = (k + 1) as f64 / run;
+                    values[idx] = l + (r - l) * frac;
+                }
+            }
+            (Some(l), None) => values[i..j].iter_mut().for_each(|v| *v = l),
+            (None, Some(r)) => values[i..j].iter_mut().for_each(|v| *v = r),
+            (None, None) => unreachable!("caller guarantees at least one finite value"),
+        }
+        i = j;
+    }
+}
+
+/// Build a gap-free [`TimeSeries`] from raw metered values, filling with
+/// `strategy`. Convenience wrapper combining [`fill_gaps`] and
+/// [`TimeSeries::new`].
+pub fn series_from_metered(
+    start: Timestamp,
+    resolution: Resolution,
+    mut values: Vec<f64>,
+    strategy: FillStrategy,
+) -> Result<(TimeSeries, usize), SeriesError> {
+    let filled = fill_gaps(&mut values, strategy, resolution.intervals_per_day())?;
+    Ok((TimeSeries::new(start, resolution, values)?, filled))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NAN: f64 = f64::NAN;
+
+    #[test]
+    fn gap_detection() {
+        assert_eq!(gap_count(&[1.0, NAN, 2.0, NAN]), 2);
+        assert!(has_gaps(&[1.0, NAN]));
+        assert!(!has_gaps(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn linear_interpolates_interior_runs() {
+        let mut v = vec![1.0, NAN, NAN, 4.0];
+        assert_eq!(fill_gaps(&mut v, FillStrategy::Linear, 96).unwrap(), 2);
+        assert!((v[1] - 2.0).abs() < 1e-12);
+        assert!((v[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_extends_edges() {
+        let mut v = vec![NAN, NAN, 3.0, NAN];
+        fill_gaps(&mut v, FillStrategy::Linear, 96).unwrap();
+        assert_eq!(v, vec![3.0, 3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn previous_carries_forward() {
+        let mut v = vec![NAN, 2.0, NAN, NAN, 5.0, NAN];
+        fill_gaps(&mut v, FillStrategy::Previous, 96).unwrap();
+        assert_eq!(v, vec![2.0, 2.0, 2.0, 2.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn zero_fill_always_succeeds() {
+        let mut v = vec![NAN, NAN];
+        assert_eq!(fill_gaps(&mut v, FillStrategy::Zero, 96).unwrap(), 2);
+        assert_eq!(v, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn all_nan_errors_for_anchored_strategies() {
+        for s in [FillStrategy::Linear, FillStrategy::Previous, FillStrategy::SeasonalDaily] {
+            let mut v = vec![NAN, NAN, NAN];
+            assert_eq!(fill_gaps(&mut v, s, 96), Err(SeriesError::Empty));
+        }
+    }
+
+    #[test]
+    fn no_gaps_is_a_noop() {
+        let mut v = vec![1.0, 2.0];
+        assert_eq!(fill_gaps(&mut v, FillStrategy::Linear, 96).unwrap(), 0);
+        assert_eq!(v, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn seasonal_fill_uses_same_phase_mean() {
+        // Two "days" of period 4; phase 1 of day 2 is missing and should
+        // take the phase-1 value from day 1 (the only finite sample).
+        let mut v = vec![1.0, 10.0, 1.0, 1.0, 1.0, NAN, 1.0, 1.0];
+        fill_gaps(&mut v, FillStrategy::SeasonalDaily, 4).unwrap();
+        assert!((v[5] - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seasonal_fill_averages_multiple_days() {
+        // Phase 0 samples: 2.0 and 4.0 → gap takes 3.0.
+        let mut v = vec![2.0, 1.0, 4.0, 1.0, NAN, 1.0];
+        fill_gaps(&mut v, FillStrategy::SeasonalDaily, 2).unwrap();
+        assert!((v[4] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seasonal_fill_falls_back_to_linear() {
+        // Phase 1 is missing in every period → linear fallback kicks in.
+        let mut v = vec![1.0, NAN, 3.0, NAN];
+        fill_gaps(&mut v, FillStrategy::SeasonalDaily, 2).unwrap();
+        assert!((v[1] - 2.0).abs() < 1e-12);
+        assert!((v[3] - 3.0).abs() < 1e-12); // trailing edge-extend
+    }
+
+    #[test]
+    fn metered_constructor_round_trip() {
+        let start: Timestamp = "2013-03-18".parse().unwrap();
+        let (s, filled) = series_from_metered(
+            start,
+            Resolution::MIN_15,
+            vec![1.0, NAN, 3.0, 4.0],
+            FillStrategy::Linear,
+        )
+        .unwrap();
+        assert_eq!(filled, 1);
+        assert!((s.values()[1] - 2.0).abs() < 1e-12);
+        assert_eq!(s.len(), 4);
+    }
+}

@@ -1,0 +1,169 @@
+//! Resolution conversion for energy series.
+//!
+//! Energy is additive, so *down-sampling* (finer → coarser) sums the
+//! constituent intervals exactly, and *up-sampling* (coarser → finer)
+//! distributes each interval's energy uniformly across its children —
+//! the standard disaggregation baseline discussed in the paper's related
+//! work ("time series disaggregation algorithms are applied for
+//! reasoning about the finer granularity", §5 ref \[14\]).
+
+use crate::{SeriesError, TimeSeries};
+use flextract_time::Resolution;
+
+/// Sum fine intervals into a coarser resolution. Energy is conserved
+/// exactly.
+///
+/// The series start must be aligned to the coarse grid, the coarse
+/// resolution must be an integer multiple of the fine one, and the
+/// length must be a whole number of coarse intervals.
+pub fn downsample(series: &TimeSeries, coarse: Resolution) -> Result<TimeSeries, SeriesError> {
+    let fine = series.resolution();
+    let k = coarse
+        .ratio_to(fine)
+        .ok_or(SeriesError::IncompatibleResolution)?;
+    if k == 1 {
+        return Ok(series.clone());
+    }
+    if !series.start().is_aligned(coarse) {
+        return Err(SeriesError::UnalignedStart);
+    }
+    if !series.len().is_multiple_of(k) {
+        return Err(SeriesError::LengthMismatch {
+            left: series.len(),
+            right: (series.len() / k) * k,
+        });
+    }
+    let values: Vec<f64> = series
+        .values()
+        .chunks_exact(k)
+        .map(|chunk| chunk.iter().sum())
+        .collect();
+    TimeSeries::new(series.start(), coarse, values)
+}
+
+/// Split coarse intervals uniformly into a finer resolution. Energy is
+/// conserved exactly (up to float rounding).
+pub fn upsample(series: &TimeSeries, fine: Resolution) -> Result<TimeSeries, SeriesError> {
+    let coarse = series.resolution();
+    let k = coarse
+        .ratio_to(fine)
+        .ok_or(SeriesError::IncompatibleResolution)?;
+    if k == 1 {
+        return Ok(series.clone());
+    }
+    let mut values = Vec::with_capacity(series.len() * k);
+    for &v in series.values() {
+        let share = v / k as f64;
+        values.extend(std::iter::repeat_n(share, k));
+    }
+    TimeSeries::new(series.start(), fine, values)
+}
+
+/// Convert to an arbitrary resolution on the same grid family, down- or
+/// up-sampling as needed. Identity when resolutions match.
+pub fn to_resolution(series: &TimeSeries, target: Resolution) -> Result<TimeSeries, SeriesError> {
+    use std::cmp::Ordering;
+    match target.minutes().cmp(&series.resolution().minutes()) {
+        Ordering::Equal => Ok(series.clone()),
+        Ordering::Greater => downsample(series, target),
+        Ordering::Less => upsample(series, target),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextract_time::Timestamp;
+
+    fn ts(s: &str) -> Timestamp {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn downsample_sums_energy() {
+        let fine = TimeSeries::new(
+            ts("2013-03-18"),
+            Resolution::MIN_15,
+            vec![0.1, 0.2, 0.3, 0.4, 1.0, 1.0, 1.0, 1.0],
+        )
+        .unwrap();
+        let hourly = downsample(&fine, Resolution::HOUR_1).unwrap();
+        assert_eq!(hourly.len(), 2);
+        assert!((hourly.values()[0] - 1.0).abs() < 1e-12);
+        assert!((hourly.values()[1] - 4.0).abs() < 1e-12);
+        assert!((hourly.total_energy() - fine.total_energy()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upsample_distributes_uniformly() {
+        let hourly =
+            TimeSeries::new(ts("2013-03-18"), Resolution::HOUR_1, vec![4.0, 2.0]).unwrap();
+        let fine = upsample(&hourly, Resolution::MIN_15).unwrap();
+        assert_eq!(fine.len(), 8);
+        assert!((fine.values()[0] - 1.0).abs() < 1e-12);
+        assert!((fine.values()[4] - 0.5).abs() < 1e-12);
+        assert!((fine.total_energy() - hourly.total_energy()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_trip_down_then_up_preserves_total() {
+        let fine = TimeSeries::new(
+            ts("2013-03-18"),
+            Resolution::MIN_1,
+            (0..120).map(|i| (i % 7) as f64 * 0.01).collect(),
+        )
+        .unwrap();
+        let coarse = downsample(&fine, Resolution::MIN_15).unwrap();
+        let back = upsample(&coarse, Resolution::MIN_1).unwrap();
+        assert_eq!(back.len(), fine.len());
+        assert!((back.total_energy() - fine.total_energy()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incompatible_resolutions_are_rejected() {
+        let s = TimeSeries::new(ts("2013-03-18"), Resolution::MIN_15, vec![1.0; 4]).unwrap();
+        assert_eq!(
+            downsample(&s, Resolution::MIN_5),
+            Err(SeriesError::IncompatibleResolution)
+        );
+        // 30 min is not a multiple of... wait, it is. Use a truly odd pair:
+        let odd = TimeSeries::new(ts("2013-03-18"), Resolution::MIN_30, vec![1.0; 4]).unwrap();
+        assert_eq!(
+            upsample(&odd, Resolution::MIN_15).unwrap().len(),
+            8
+        );
+    }
+
+    #[test]
+    fn downsample_requires_whole_chunks_and_alignment() {
+        // 5 intervals of 15 min do not fill 2 hours.
+        let ragged =
+            TimeSeries::new(ts("2013-03-18"), Resolution::MIN_15, vec![1.0; 5]).unwrap();
+        assert!(matches!(
+            downsample(&ragged, Resolution::HOUR_1),
+            Err(SeriesError::LengthMismatch { .. })
+        ));
+        // Start at 00:15 is not on the hourly grid.
+        let offset =
+            TimeSeries::new(ts("2013-03-18 00:15"), Resolution::MIN_15, vec![1.0; 8]).unwrap();
+        assert_eq!(
+            downsample(&offset, Resolution::HOUR_1),
+            Err(SeriesError::UnalignedStart)
+        );
+    }
+
+    #[test]
+    fn to_resolution_dispatches() {
+        let s = TimeSeries::new(ts("2013-03-18"), Resolution::MIN_15, vec![1.0; 8]).unwrap();
+        assert_eq!(to_resolution(&s, Resolution::MIN_15).unwrap(), s);
+        assert_eq!(to_resolution(&s, Resolution::HOUR_1).unwrap().len(), 2);
+        assert_eq!(to_resolution(&s, Resolution::MIN_5).unwrap().len(), 24);
+    }
+
+    #[test]
+    fn identity_ratio_is_clone() {
+        let s = TimeSeries::new(ts("2013-03-18"), Resolution::MIN_15, vec![1.5; 4]).unwrap();
+        assert_eq!(downsample(&s, Resolution::MIN_15).unwrap(), s);
+        assert_eq!(upsample(&s, Resolution::MIN_15).unwrap(), s);
+    }
+}

@@ -1,0 +1,202 @@
+//! Rolling-window statistics.
+//!
+//! Online baselines are everywhere in this workspace: the real-time
+//! generator tracks a rolling median of recent power, the multi-tariff
+//! detector needs local level estimates, and plotting smoothed series
+//! is the first thing any analyst does with metering data. These
+//! helpers compute trailing-window statistics in one pass.
+//!
+//! All functions use a *trailing* window: `out[i]` summarises
+//! `xs[i.saturating_sub(window-1) ..= i]`, so the result is causal
+//! (usable online) and output length equals input length.
+
+use std::collections::VecDeque;
+
+/// Trailing-window mean.
+pub fn rolling_mean(xs: &[f64], window: usize) -> Vec<f64> {
+    assert!(window > 0, "window must be positive");
+    let mut out = Vec::with_capacity(xs.len());
+    let mut sum = 0.0;
+    for i in 0..xs.len() {
+        sum += xs[i];
+        if i >= window {
+            sum -= xs[i - window];
+        }
+        let n = (i + 1).min(window) as f64;
+        out.push(sum / n);
+    }
+    out
+}
+
+/// Trailing-window population standard deviation.
+pub fn rolling_std(xs: &[f64], window: usize) -> Vec<f64> {
+    assert!(window > 0, "window must be positive");
+    let mut out = Vec::with_capacity(xs.len());
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for i in 0..xs.len() {
+        sum += xs[i];
+        sum_sq += xs[i] * xs[i];
+        if i >= window {
+            sum -= xs[i - window];
+            sum_sq -= xs[i - window] * xs[i - window];
+        }
+        let n = (i + 1).min(window) as f64;
+        let mean = sum / n;
+        // Guard tiny negatives from float cancellation.
+        out.push((sum_sq / n - mean * mean).max(0.0).sqrt());
+    }
+    out
+}
+
+/// Trailing-window minimum (monotonic-deque algorithm, O(n) total).
+pub fn rolling_min(xs: &[f64], window: usize) -> Vec<f64> {
+    rolling_extreme(xs, window, |a, b| a <= b)
+}
+
+/// Trailing-window maximum (monotonic-deque algorithm, O(n) total).
+pub fn rolling_max(xs: &[f64], window: usize) -> Vec<f64> {
+    rolling_extreme(xs, window, |a, b| a >= b)
+}
+
+fn rolling_extreme(xs: &[f64], window: usize, keep: impl Fn(f64, f64) -> bool) -> Vec<f64> {
+    assert!(window > 0, "window must be positive");
+    let mut out = Vec::with_capacity(xs.len());
+    let mut deque: VecDeque<usize> = VecDeque::new();
+    for i in 0..xs.len() {
+        while let Some(&back) = deque.back() {
+            if keep(xs[i], xs[back]) {
+                deque.pop_back();
+            } else {
+                break;
+            }
+        }
+        deque.push_back(i);
+        if let Some(&front) = deque.front() {
+            if i >= window && front <= i - window {
+                deque.pop_front();
+            }
+        }
+        out.push(xs[*deque.front().expect("deque holds the current index")]);
+    }
+    out
+}
+
+/// Trailing-window median (exact, via a sorted insert-remove buffer —
+/// O(n·w) worst case, fine for the ≤ few-hundred-sample windows used
+/// here).
+pub fn rolling_median(xs: &[f64], window: usize) -> Vec<f64> {
+    assert!(window > 0, "window must be positive");
+    let mut out = Vec::with_capacity(xs.len());
+    let mut sorted: Vec<f64> = Vec::with_capacity(window);
+    for i in 0..xs.len() {
+        let pos = sorted
+            .binary_search_by(|v| v.partial_cmp(&xs[i]).expect("finite values"))
+            .unwrap_or_else(|p| p);
+        sorted.insert(pos, xs[i]);
+        if i >= window {
+            let old = xs[i - window];
+            let pos = sorted
+                .binary_search_by(|v| v.partial_cmp(&old).expect("finite values"))
+                .unwrap_or_else(|p| p);
+            sorted.remove(pos);
+        }
+        let n = sorted.len();
+        out.push(if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn mean_warms_up_then_slides() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let m = rolling_mean(&xs, 3);
+        assert!((m[0] - 1.0).abs() < EPS);
+        assert!((m[1] - 1.5).abs() < EPS);
+        assert!((m[2] - 2.0).abs() < EPS);
+        assert!((m[3] - 3.0).abs() < EPS);
+        assert!((m[4] - 4.0).abs() < EPS);
+    }
+
+    #[test]
+    fn std_matches_direct_computation() {
+        let xs = [1.0, 5.0, 2.0, 8.0, 3.0, 9.0];
+        let s = rolling_std(&xs, 3);
+        for i in 2..xs.len() {
+            let w = &xs[i - 2..=i];
+            let direct = crate::stats::std_dev(w).unwrap();
+            assert!((s[i] - direct).abs() < 1e-9, "index {i}: {} vs {direct}", s[i]);
+        }
+        // Flat window → zero std, not NaN.
+        let flat = rolling_std(&[2.0; 5], 3);
+        assert!(flat.iter().all(|v| v.abs() < EPS));
+    }
+
+    #[test]
+    fn min_max_track_extremes() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mn = rolling_min(&xs, 3);
+        let mx = rolling_max(&xs, 3);
+        for i in 0..xs.len() {
+            let lo = i.saturating_sub(2);
+            let w = &xs[lo..=i];
+            let dmn = w.iter().cloned().fold(f64::INFINITY, f64::min);
+            let dmx = w.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            assert_eq!(mn[i], dmn, "min at {i}");
+            assert_eq!(mx[i], dmx, "max at {i}");
+        }
+    }
+
+    #[test]
+    fn median_matches_direct_computation() {
+        let xs = [7.0, 1.0, 5.0, 3.0, 8.0, 2.0, 9.0, 4.0];
+        let med = rolling_median(&xs, 4);
+        for i in 0..xs.len() {
+            let lo = i.saturating_sub(3);
+            let direct = crate::stats::median(&xs[lo..=i]).unwrap();
+            assert!((med[i] - direct).abs() < EPS, "index {i}: {} vs {direct}", med[i]);
+        }
+    }
+
+    #[test]
+    fn window_one_is_identity() {
+        let xs = [4.0, 2.0, 7.0];
+        assert_eq!(rolling_mean(&xs, 1), xs.to_vec());
+        assert_eq!(rolling_median(&xs, 1), xs.to_vec());
+        assert_eq!(rolling_min(&xs, 1), xs.to_vec());
+        assert_eq!(rolling_max(&xs, 1), xs.to_vec());
+    }
+
+    #[test]
+    fn window_larger_than_input_uses_all_history() {
+        let xs = [1.0, 2.0, 3.0];
+        let m = rolling_mean(&xs, 100);
+        assert!((m[2] - 2.0).abs() < EPS);
+        let md = rolling_median(&xs, 100);
+        assert!((md[2] - 2.0).abs() < EPS);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_panics() {
+        rolling_mean(&[1.0], 0);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        assert!(rolling_mean(&[], 3).is_empty());
+        assert!(rolling_std(&[], 3).is_empty());
+        assert!(rolling_min(&[], 3).is_empty());
+        assert!(rolling_median(&[], 3).is_empty());
+    }
+}

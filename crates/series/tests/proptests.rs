@@ -1,0 +1,155 @@
+//! Property tests for the series engine.
+
+use flextract_series::{codec, decompose, missing, peaks, resample, stats, PeakThreshold, TimeSeries};
+use flextract_time::{Duration, Resolution, TimeRange, Timestamp};
+use proptest::prelude::*;
+
+/// Non-negative kWh values like real consumption intervals.
+fn arb_values(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0_f64..5.0, 1..max_len)
+}
+
+fn arb_start() -> impl Strategy<Value = Timestamp> {
+    // Aligned to the daily grid so every resolution accepts it.
+    (-2000_i64..8000).prop_map(|d| Timestamp::from_minutes(d * 1440))
+}
+
+proptest! {
+    #[test]
+    fn codec_round_trip(start in arb_start(), values in arb_values(200)) {
+        let s = TimeSeries::new(start, Resolution::MIN_15, values).unwrap();
+        let decoded = codec::decode(codec::encode(&s)).unwrap();
+        prop_assert_eq!(decoded, s);
+    }
+
+    #[test]
+    fn slice_energy_never_exceeds_total(
+        start in arb_start(),
+        values in arb_values(300),
+        lo in 0_i64..300,
+        len in 0_i64..300,
+    ) {
+        let s = TimeSeries::new(start, Resolution::MIN_15, values).unwrap();
+        let r = TimeRange::starting_at(
+            start + Duration::minutes(lo * 15),
+            Duration::minutes(len * 15),
+        ).unwrap();
+        let sub = s.slice(r);
+        prop_assert!(sub.total_energy() <= s.total_energy() + 1e-9);
+        prop_assert!(sub.len() <= s.len());
+        // A slice of the full range is the series itself.
+        let full = s.slice(s.range());
+        prop_assert_eq!(full, s);
+    }
+
+    #[test]
+    fn add_sub_inverse(start in arb_start(), values in arb_values(200)) {
+        let a = TimeSeries::new(start, Resolution::MIN_15, values.clone()).unwrap();
+        let b = a.scale(0.3);
+        let back = a.add(&b).unwrap().sub(&b).unwrap();
+        for (x, y) in back.values().iter().zip(a.values()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn resample_round_trip_preserves_energy(
+        start in arb_start(),
+        chunks in 1_usize..30,
+    ) {
+        let values: Vec<f64> = (0..chunks * 4).map(|i| (i % 5) as f64 * 0.2).collect();
+        let fine = TimeSeries::new(start, Resolution::MIN_15, values).unwrap();
+        let coarse = resample::downsample(&fine, Resolution::HOUR_1).unwrap();
+        prop_assert!((coarse.total_energy() - fine.total_energy()).abs() < 1e-9);
+        let up = resample::upsample(&coarse, Resolution::MIN_15).unwrap();
+        prop_assert_eq!(up.len(), fine.len());
+        prop_assert!((up.total_energy() - fine.total_energy()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peaks_partition_energy_above_threshold(start in arb_start(), values in arb_values(200)) {
+        let s = TimeSeries::new(start, Resolution::MIN_15, values).unwrap();
+        if let Ok((thr, found)) = peaks::detect_peaks(&s, PeakThreshold::Mean) {
+            // Peak energies are sums of the member intervals.
+            let sum_peaks: f64 = found.iter().map(|p| p.energy_kwh).sum();
+            let direct: f64 = s.values().iter().filter(|&&v| v > thr).sum();
+            prop_assert!((sum_peaks - direct).abs() < 1e-9);
+            // Peaks are disjoint and ordered.
+            for pair in found.windows(2) {
+                prop_assert!(pair[0].end_index() < pair[1].start_index + 1);
+                prop_assert!(pair[0].end_index() <= pair[1].start_index);
+            }
+            // Every peak interval is strictly above the threshold.
+            for p in &found {
+                for i in p.start_index..p.end_index() {
+                    prop_assert!(s.values()[i] > thr);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn selection_probabilities_sum_to_one(values in arb_values(200)) {
+        let s = TimeSeries::new(Timestamp::EPOCH, Resolution::MIN_15, values).unwrap();
+        let (_, found) = peaks::detect_peaks(&s, PeakThreshold::Mean).unwrap();
+        let probs = peaks::selection_probabilities(&found);
+        if !probs.is_empty() {
+            prop_assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(probs.iter().all(|&p| (0.0..=1.0 + 1e-12).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn decomposition_reconstructs(values in prop::collection::vec(0.0_f64..3.0, 48..200)) {
+        let d = decompose::decompose_values(&values, 24).unwrap();
+        let back = d.reconstruct();
+        for (a, b) in values.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+        let profile_sum: f64 = d.seasonal_profile().iter().sum();
+        prop_assert!(profile_sum.abs() < 1e-9);
+    }
+
+    #[test]
+    fn fill_strategies_remove_all_gaps(
+        mut values in prop::collection::vec(
+            prop_oneof![3 => (0.0_f64..5.0).prop_map(Some), 1 => Just(None)],
+            4..100,
+        ),
+    ) {
+        // Ensure at least one finite anchor.
+        values[0] = Some(1.0);
+        for strategy in [
+            missing::FillStrategy::Linear,
+            missing::FillStrategy::Previous,
+            missing::FillStrategy::SeasonalDaily,
+            missing::FillStrategy::Zero,
+        ] {
+            let mut raw: Vec<f64> =
+                values.iter().map(|v| v.unwrap_or(f64::NAN)).collect();
+            let gaps = missing::gap_count(&raw);
+            let filled = missing::fill_gaps(&mut raw, strategy, 24).unwrap();
+            prop_assert_eq!(filled, gaps);
+            prop_assert!(!missing::has_gaps(&raw));
+            prop_assert!(raw.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn znormalize_is_affine_invariant_in_shape(values in arb_values(64)) {
+        prop_assume!(stats::std_dev(&values).unwrap() > 1e-6);
+        let z1 = stats::znormalize(&values);
+        let shifted: Vec<f64> = values.iter().map(|v| v * 3.0 + 7.0).collect();
+        let z2 = stats::znormalize(&shifted);
+        for (a, b) in z1.iter().zip(&z2) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn autocorrelation_is_bounded(values in arb_values(128), lag in 0_usize..32) {
+        if let Some(r) = stats::autocorrelation(&values, lag) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        }
+    }
+}

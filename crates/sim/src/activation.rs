@@ -1,0 +1,160 @@
+//! Ground-truth appliance activations.
+
+use flextract_time::{Duration, TimeRange, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// One realised appliance cycle placed by the simulator.
+///
+/// This is the ground truth the paper lacked: extraction approaches can
+/// be scored on whether they recover these cycles (appliance-level
+/// approaches) or their aggregate energy (household-level approaches).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Activation {
+    /// Catalog name of the appliance.
+    pub appliance: String,
+    /// When the cycle actually started.
+    pub start: Timestamp,
+    /// Cycle length.
+    pub duration: Duration,
+    /// Realised intensity in `[0, 1]` (interpolates the profile's
+    /// min/max power envelope).
+    pub intensity: f64,
+    /// Realised cycle energy (kWh).
+    pub energy_kwh: f64,
+    /// `true` when the catalog marks this appliance shiftable — i.e.
+    /// this activation is *true flexible demand*.
+    pub shiftable: bool,
+    /// When the cycle would have started had the consumer not responded
+    /// to a tariff signal (`None` for unshifted activations).
+    pub shifted_from: Option<Timestamp>,
+}
+
+impl Activation {
+    /// The cycle's execution span.
+    pub fn range(&self) -> TimeRange {
+        TimeRange::starting_at(self.start, self.duration)
+            .expect("durations are non-negative")
+    }
+
+    /// `true` if this activation was delayed by tariff response.
+    pub fn was_shifted(&self) -> bool {
+        self.shifted_from.is_some()
+    }
+
+    /// How far the activation was delayed (zero when unshifted).
+    pub fn shift_amount(&self) -> Duration {
+        match self.shifted_from {
+            Some(orig) => self.start - orig,
+            None => Duration::ZERO,
+        }
+    }
+}
+
+impl std::fmt::Display for Activation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} @ {} ({:.2} kWh, {})",
+            self.appliance,
+            self.start,
+            self.energy_kwh,
+            if self.was_shifted() { "shifted" } else { "natural" }
+        )
+    }
+}
+
+/// Summary statistics over a ground-truth activation log.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ActivationStats {
+    /// Number of activations.
+    pub count: usize,
+    /// Number of activations of shiftable appliances.
+    pub shiftable_count: usize,
+    /// Total energy of all activations (kWh).
+    pub total_energy_kwh: f64,
+    /// Total energy of shiftable activations (kWh) — the household's
+    /// *true flexible demand*.
+    pub flexible_energy_kwh: f64,
+    /// Number of tariff-shifted activations.
+    pub shifted_count: usize,
+}
+
+impl ActivationStats {
+    /// Compute over a log.
+    pub fn from_log(log: &[Activation]) -> Self {
+        let mut s = ActivationStats::default();
+        for a in log {
+            s.count += 1;
+            s.total_energy_kwh += a.energy_kwh;
+            if a.shiftable {
+                s.shiftable_count += 1;
+                s.flexible_energy_kwh += a.energy_kwh;
+            }
+            if a.was_shifted() {
+                s.shifted_count += 1;
+            }
+        }
+        s
+    }
+
+    /// Fraction of total energy that is flexible, or 0 when no energy.
+    pub fn flexible_share(&self) -> f64 {
+        if self.total_energy_kwh <= 0.0 {
+            0.0
+        } else {
+            self.flexible_energy_kwh / self.total_energy_kwh
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn act(name: &str, start: &str, energy: f64, shiftable: bool) -> Activation {
+        Activation {
+            appliance: name.into(),
+            start: start.parse().unwrap(),
+            duration: Duration::hours(1),
+            intensity: 0.5,
+            energy_kwh: energy,
+            shiftable,
+            shifted_from: None,
+        }
+    }
+
+    #[test]
+    fn range_and_shift_accessors() {
+        let mut a = act("Washer", "2013-03-18 20:00", 2.0, true);
+        assert_eq!(a.range().duration(), Duration::hours(1));
+        assert!(!a.was_shifted());
+        assert_eq!(a.shift_amount(), Duration::ZERO);
+        a.shifted_from = Some("2013-03-18 18:00".parse().unwrap());
+        assert!(a.was_shifted());
+        assert_eq!(a.shift_amount(), Duration::hours(2));
+        assert!(a.to_string().contains("shifted"));
+    }
+
+    #[test]
+    fn stats_aggregate_correctly() {
+        let log = vec![
+            act("Washer", "2013-03-18 08:00", 2.0, true),
+            act("Oven", "2013-03-18 18:00", 1.5, false),
+            act("EV", "2013-03-18 22:00", 40.0, true),
+        ];
+        let s = ActivationStats::from_log(&log);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.shiftable_count, 2);
+        assert!((s.total_energy_kwh - 43.5).abs() < 1e-12);
+        assert!((s.flexible_energy_kwh - 42.0).abs() < 1e-12);
+        assert!((s.flexible_share() - 42.0 / 43.5).abs() < 1e-12);
+        assert_eq!(s.shifted_count, 0);
+    }
+
+    #[test]
+    fn empty_log_stats() {
+        let s = ActivationStats::from_log(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.flexible_share(), 0.0);
+    }
+}

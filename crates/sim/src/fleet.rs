@@ -1,0 +1,241 @@
+//! Multi-household fleet simulation.
+//!
+//! MIRABEL aggregates flex-offers "from thousands consumers" (§6); the
+//! evaluation experiments therefore need fleets, not single households.
+//! Fleet simulation is embarrassingly parallel per household, so the
+//! work is fanned out over `crossbeam` scoped threads with results
+//! collected behind a `parking_lot` mutex.
+
+use crate::household::{HouseholdArchetype, HouseholdConfig};
+use crate::randomness::weighted_index;
+use crate::simulate::{simulate_household_with_catalog, SimulatedHousehold};
+use crate::tariff::TariffResponse;
+use flextract_appliance::Catalog;
+use flextract_series::{resample, TimeSeries};
+use flextract_time::{Resolution, TimeRange};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for a simulated fleet of households.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Number of households.
+    pub households: usize,
+    /// Base seed; household `i` derives seed `base_seed + i`.
+    pub base_seed: u64,
+    /// Archetype mix as `(archetype, weight)`; sampled proportionally.
+    pub archetype_mix: Vec<(HouseholdArchetype, f64)>,
+    /// Optional shared tariff response (applies to every household).
+    pub tariff_response: Option<TariffResponse>,
+    /// Worker threads (1 = serial; capped at the household count).
+    pub threads: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            households: 30,
+            base_seed: 1000,
+            archetype_mix: vec![
+                (HouseholdArchetype::SingleResident, 0.25),
+                (HouseholdArchetype::Couple, 0.35),
+                (HouseholdArchetype::FamilyWithChildren, 0.25),
+                (HouseholdArchetype::SuburbanWithEv, 0.15),
+            ],
+            tariff_response: None,
+            threads: 4,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Materialise the per-household configurations (deterministic for
+    /// a fixed `base_seed`).
+    pub fn household_configs(&self) -> Vec<HouseholdConfig> {
+        let mut rng = StdRng::seed_from_u64(self.base_seed);
+        let weights: Vec<f64> = self.archetype_mix.iter().map(|(_, w)| *w).collect();
+        (0..self.households)
+            .map(|i| {
+                let arch = match weighted_index(&mut rng, &weights) {
+                    Some(idx) => self.archetype_mix[idx].0,
+                    None => HouseholdArchetype::Couple,
+                };
+                let mut cfg = HouseholdConfig::new(i as u64, arch)
+                    .with_seed(self.base_seed + i as u64);
+                cfg.tariff_response = self.tariff_response.clone();
+                cfg
+            })
+            .collect()
+    }
+}
+
+/// The result of simulating a fleet.
+#[derive(Debug, Clone)]
+pub struct FleetResult {
+    /// Every household's simulation, in id order.
+    pub households: Vec<SimulatedHousehold>,
+    /// The fleet-total consumption at 15-min market granularity.
+    pub total: TimeSeries,
+}
+
+impl FleetResult {
+    /// Fleet-total *flexible* ground-truth series at 15-min granularity.
+    pub fn total_flexible(&self) -> TimeSeries {
+        let mut acc: Option<TimeSeries> = None;
+        for h in &self.households {
+            let f = h.flexible_series_at(Resolution::MIN_15);
+            acc = Some(match acc {
+                None => f,
+                Some(a) => a.add(&f).expect("fleet members share the grid"),
+            });
+        }
+        acc.expect("fleets are non-empty")
+    }
+
+    /// Ground-truth flexible share of the whole fleet.
+    pub fn true_flexible_share(&self) -> f64 {
+        let total = self.total.total_energy();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.total_flexible().total_energy() / total
+        }
+    }
+}
+
+/// Simulate a fleet over `range`, parallelised across
+/// `config.threads` crossbeam scoped threads.
+pub fn simulate_fleet(config: &FleetConfig, range: TimeRange) -> FleetResult {
+    assert!(config.households > 0, "a fleet needs at least one household");
+    let catalog = Catalog::extended();
+    let configs = config.household_configs();
+    let results: Mutex<Vec<(usize, SimulatedHousehold)>> =
+        Mutex::new(Vec::with_capacity(configs.len()));
+
+    let threads = config.threads.clamp(1, configs.len());
+    let chunk = configs.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (t, batch) in configs.chunks(chunk).enumerate() {
+            let results = &results;
+            let catalog = &catalog;
+            scope.spawn(move |_| {
+                for (j, cfg) in batch.iter().enumerate() {
+                    let sim = simulate_household_with_catalog(cfg, range, catalog);
+                    results.lock().push((t * chunk + j, sim));
+                }
+            });
+        }
+    })
+    .expect("fleet simulation workers do not panic");
+
+    let mut indexed = results.into_inner();
+    indexed.sort_by_key(|(i, _)| *i);
+    let households: Vec<SimulatedHousehold> =
+        indexed.into_iter().map(|(_, sim)| sim).collect();
+
+    let mut total: Option<TimeSeries> = None;
+    for h in &households {
+        let market = resample::to_resolution(&h.series, Resolution::MIN_15)
+            .expect("day-aligned simulation grids resample to 15 min");
+        total = Some(match total {
+            None => market,
+            Some(t) => t.add(&market).expect("fleet members share the grid"),
+        });
+    }
+    FleetResult {
+        total: total.expect("households > 0 checked above"),
+        households,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextract_time::Duration;
+
+    fn days(n: i64) -> TimeRange {
+        TimeRange::starting_at("2013-03-18".parse().unwrap(), Duration::days(n)).unwrap()
+    }
+
+    fn small_fleet(threads: usize) -> FleetConfig {
+        FleetConfig { households: 6, threads, ..FleetConfig::default() }
+    }
+
+    #[test]
+    fn fleet_is_deterministic_and_thread_count_invariant() {
+        let serial = simulate_fleet(&small_fleet(1), days(2));
+        let parallel = simulate_fleet(&small_fleet(3), days(2));
+        assert_eq!(serial.households.len(), 6);
+        assert_eq!(serial.total, parallel.total);
+        for (a, b) in serial.households.iter().zip(&parallel.households) {
+            assert_eq!(a.config.id, b.config.id);
+            assert_eq!(a.series, b.series);
+        }
+    }
+
+    #[test]
+    fn total_is_sum_of_members() {
+        let fleet = simulate_fleet(&small_fleet(2), days(2));
+        let sum: f64 = fleet
+            .households
+            .iter()
+            .map(|h| h.series.total_energy())
+            .sum();
+        assert!((fleet.total.total_energy() - sum).abs() < 1e-6);
+        assert_eq!(fleet.total.resolution(), Resolution::MIN_15);
+        assert_eq!(fleet.total.len(), 2 * 96);
+    }
+
+    #[test]
+    fn archetype_mix_is_respected() {
+        let cfg = FleetConfig {
+            households: 40,
+            archetype_mix: vec![(HouseholdArchetype::SingleResident, 1.0)],
+            ..FleetConfig::default()
+        };
+        for h in cfg.household_configs() {
+            assert_eq!(h.archetype, HouseholdArchetype::SingleResident);
+        }
+    }
+
+    #[test]
+    fn flexible_share_is_sane() {
+        let fleet = simulate_fleet(&small_fleet(2), days(3));
+        let share = fleet.true_flexible_share();
+        assert!(share > 0.0 && share < 0.9, "share {share}");
+        let flex = fleet.total_flexible();
+        assert!(flex.total_energy() <= fleet.total.total_energy());
+    }
+
+    #[test]
+    fn distinct_households_have_distinct_series() {
+        let fleet = simulate_fleet(&small_fleet(2), days(2));
+        let first = &fleet.households[0].series;
+        assert!(fleet.households.iter().skip(1).any(|h| &h.series != first));
+    }
+
+    #[test]
+    fn shared_tariff_response_propagates() {
+        let cfg = FleetConfig {
+            households: 4,
+            tariff_response: Some(TariffResponse::overnight(1.0)),
+            ..FleetConfig::default()
+        };
+        let fleet = simulate_fleet(&cfg, days(3));
+        let any_shifted = fleet
+            .households
+            .iter()
+            .flat_map(|h| &h.activations)
+            .any(|a| a.was_shifted());
+        assert!(any_shifted);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one household")]
+    fn empty_fleet_panics() {
+        let cfg = FleetConfig { households: 0, ..FleetConfig::default() };
+        simulate_fleet(&cfg, days(1));
+    }
+}

@@ -1,0 +1,237 @@
+//! Household archetypes and configuration.
+//!
+//! The paper's related work laments the lack of generators that encode
+//! "the typical electricity consumption of the two resident household or
+//! a family living in a suburb" (§5). Archetypes provide exactly that
+//! domain knowledge: which appliances a household owns, how large its
+//! base load is, and how intensely it uses its appliances.
+
+use crate::tariff::TariffResponse;
+use flextract_appliance::Catalog;
+use serde::{Deserialize, Serialize};
+
+/// Coarse household type, determining appliance ownership and load
+/// scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HouseholdArchetype {
+    /// One resident, minimal appliance park, no EV.
+    SingleResident,
+    /// Two residents ("the two resident household" of §5).
+    Couple,
+    /// Family with children: full appliance park, high usage rates.
+    FamilyWithChildren,
+    /// Suburban household with an EV and electric heating.
+    SuburbanWithEv,
+}
+
+impl HouseholdArchetype {
+    /// All archetypes.
+    pub const ALL: [HouseholdArchetype; 4] = [
+        HouseholdArchetype::SingleResident,
+        HouseholdArchetype::Couple,
+        HouseholdArchetype::FamilyWithChildren,
+        HouseholdArchetype::SuburbanWithEv,
+    ];
+
+    /// Names of the extended-catalog appliances this archetype owns.
+    pub fn owned_appliances(self) -> &'static [&'static str] {
+        match self {
+            HouseholdArchetype::SingleResident => &[
+                "Refrigerator A+",
+                "Kettle",
+                "Television & Electronics",
+                "Lighting Circuit",
+                "Washing Machine from Manufacturer Y",
+            ],
+            HouseholdArchetype::Couple => &[
+                "Refrigerator A+",
+                "Kettle",
+                "Television & Electronics",
+                "Lighting Circuit",
+                "Electric Oven",
+                "Washing Machine from Manufacturer Y",
+                "Dishwasher from Manufacturer Z",
+            ],
+            HouseholdArchetype::FamilyWithChildren => &[
+                "Refrigerator A+",
+                "Kettle",
+                "Television & Electronics",
+                "Lighting Circuit",
+                "Electric Oven",
+                "Washing Machine from Manufacturer Y",
+                "Dishwasher from Manufacturer Z",
+                "Tumble Dryer",
+                "Vacuum Cleaning Robot from Manufacturer X",
+                "Water Heater",
+            ],
+            HouseholdArchetype::SuburbanWithEv => &[
+                "Refrigerator A+",
+                "Kettle",
+                "Television & Electronics",
+                "Lighting Circuit",
+                "Electric Oven",
+                "Washing Machine from Manufacturer Y",
+                "Dishwasher from Manufacturer Z",
+                "Tumble Dryer",
+                "Vacuum Cleaning Robot from Manufacturer X",
+                "Water Heater",
+                "Heat Pump",
+                "Small Electric Vehicle",
+            ],
+        }
+    }
+
+    /// Mean standby/base power in kW (routers, standby electronics,
+    /// circulation pumps) on top of explicit appliances.
+    pub fn base_load_kw(self) -> f64 {
+        match self {
+            HouseholdArchetype::SingleResident => 0.06,
+            HouseholdArchetype::Couple => 0.09,
+            HouseholdArchetype::FamilyWithChildren => 0.13,
+            HouseholdArchetype::SuburbanWithEv => 0.16,
+        }
+    }
+
+    /// Multiplier applied to every appliance's usage rate.
+    pub fn activity_factor(self) -> f64 {
+        match self {
+            HouseholdArchetype::SingleResident => 0.6,
+            HouseholdArchetype::Couple => 0.9,
+            HouseholdArchetype::FamilyWithChildren => 1.3,
+            HouseholdArchetype::SuburbanWithEv => 1.1,
+        }
+    }
+}
+
+impl std::fmt::Display for HouseholdArchetype {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            HouseholdArchetype::SingleResident => "single resident",
+            HouseholdArchetype::Couple => "couple",
+            HouseholdArchetype::FamilyWithChildren => "family with children",
+            HouseholdArchetype::SuburbanWithEv => "suburban with EV",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Full configuration of one simulated household.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HouseholdConfig {
+    /// Stable identifier (used for fleet bookkeeping and seeding).
+    pub id: u64,
+    /// The household type.
+    pub archetype: HouseholdArchetype,
+    /// RNG seed; derive distinct seeds per household for fleets.
+    pub seed: u64,
+    /// Gaussian measurement-noise standard deviation, as a fraction of
+    /// the base load.
+    pub noise_level: f64,
+    /// Optional tariff-response behaviour (enables §3.3 simulations).
+    pub tariff_response: Option<TariffResponse>,
+}
+
+impl HouseholdConfig {
+    /// A household with defaults: seed derived from `id`, 10 % noise,
+    /// no tariff response.
+    pub fn new(id: u64, archetype: HouseholdArchetype) -> Self {
+        HouseholdConfig {
+            id,
+            archetype,
+            seed: id.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
+            noise_level: 0.1,
+            tariff_response: None,
+        }
+    }
+
+    /// Override the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Attach tariff-response behaviour.
+    pub fn with_tariff_response(mut self, response: TariffResponse) -> Self {
+        self.tariff_response = Some(response);
+        self
+    }
+
+    /// Override the noise level.
+    pub fn with_noise(mut self, noise_level: f64) -> Self {
+        self.noise_level = noise_level.max(0.0);
+        self
+    }
+
+    /// Resolve the owned appliance specs against a catalog; unknown
+    /// names are skipped (callers pair archetypes with
+    /// [`Catalog::extended`], where all names resolve).
+    pub fn resolve_appliances<'c>(
+        &self,
+        catalog: &'c Catalog,
+    ) -> Vec<&'c flextract_appliance::ApplianceSpec> {
+        self.archetype
+            .owned_appliances()
+            .iter()
+            .filter_map(|name| catalog.find_by_name(name))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_archetype_resolves_fully_in_extended_catalog() {
+        let catalog = Catalog::extended();
+        for arch in HouseholdArchetype::ALL {
+            let cfg = HouseholdConfig::new(1, arch);
+            let specs = cfg.resolve_appliances(&catalog);
+            assert_eq!(
+                specs.len(),
+                arch.owned_appliances().len(),
+                "{arch}: some owned appliances missing from the extended catalog"
+            );
+        }
+    }
+
+    #[test]
+    fn archetypes_scale_sensibly() {
+        assert!(
+            HouseholdArchetype::SingleResident.base_load_kw()
+                < HouseholdArchetype::FamilyWithChildren.base_load_kw()
+        );
+        assert!(
+            HouseholdArchetype::SingleResident.activity_factor()
+                < HouseholdArchetype::FamilyWithChildren.activity_factor()
+        );
+        // Only the suburban archetype owns an EV.
+        for arch in HouseholdArchetype::ALL {
+            let has_ev = arch.owned_appliances().iter().any(|n| n.contains("Vehicle"));
+            assert_eq!(has_ev, arch == HouseholdArchetype::SuburbanWithEv, "{arch}");
+        }
+    }
+
+    #[test]
+    fn config_defaults_and_builders() {
+        let a = HouseholdConfig::new(1, HouseholdArchetype::Couple);
+        let b = HouseholdConfig::new(2, HouseholdArchetype::Couple);
+        assert_ne!(a.seed, b.seed, "distinct ids must derive distinct seeds");
+        assert!(a.tariff_response.is_none());
+        let c = a.clone().with_seed(99).with_noise(-0.5);
+        assert_eq!(c.seed, 99);
+        assert_eq!(c.noise_level, 0.0); // clamped
+    }
+
+    #[test]
+    fn missing_names_are_skipped_not_fatal() {
+        let empty = Catalog::new();
+        let cfg = HouseholdConfig::new(1, HouseholdArchetype::SingleResident);
+        assert!(cfg.resolve_appliances(&empty).is_empty());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(HouseholdArchetype::SuburbanWithEv.to_string(), "suburban with EV");
+    }
+}

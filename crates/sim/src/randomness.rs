@@ -1,0 +1,204 @@
+//! Distribution helpers built on `rand`'s uniform primitives.
+//!
+//! The allowed dependency set includes `rand` but not `rand_distr`, so
+//! the handful of non-uniform draws the simulator needs are implemented
+//! here: Gaussian (Box–Muller), Poisson counts (Knuth's product method,
+//! adequate for the small rates appliance usage produces), and weighted
+//! index selection (the paper's size-proportional peak choice uses the
+//! same primitive).
+
+use rand::Rng;
+
+/// A standard-normal draw via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling the half-open unit interval away from 0.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A normal draw with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * standard_normal(rng)
+}
+
+/// A normal draw clamped into `[lo, hi]`.
+pub fn clamped_normal<R: Rng + ?Sized>(
+    rng: &mut R,
+    mean: f64,
+    std_dev: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    normal(rng, mean, std_dev).clamp(lo, hi)
+}
+
+/// A Poisson count with rate `lambda` (Knuth's product method).
+///
+/// Appliance daily rates are ≲ 3, where this O(λ) method is both exact
+/// and fast. Rates ≤ 0 yield 0.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u32 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let limit = (-lambda).exp();
+    let mut k = 0u32;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= limit {
+            return k;
+        }
+        k += 1;
+        // Defensive cap: λ in this workspace is ≤ ~10, so 1000 events
+        // would indicate a broken caller rather than a legitimate draw.
+        if k >= 1000 {
+            return k;
+        }
+    }
+}
+
+/// Pick an index with probability proportional to `weights[i]`.
+///
+/// Returns `None` when the weights are empty or sum to a non-positive
+/// value. This is exactly the selection rule of the paper's peak-based
+/// approach ("the single peak is randomly chosen depending on these
+/// probabilities", §3.2).
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> Option<usize> {
+    let total: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut target = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if w.is_finite() && w > 0.0 {
+            target -= w;
+            if target <= 0.0 {
+                return Some(i);
+            }
+        }
+    }
+    // Float rounding can leave a sliver; return the last positive index.
+    weights
+        .iter()
+        .rposition(|w| w.is_finite() && *w > 0.0)
+}
+
+/// A Bernoulli trial with probability `p` (clamped into `[0, 1]`).
+pub fn bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    rng.gen::<f64>() < p.clamp(0.0, 1.0)
+}
+
+/// One step of a mean-reverting Ornstein–Uhlenbeck process — the
+/// simulator's engine for smooth stochastic curves (base load, wind
+/// speed).
+///
+/// `theta` is the mean-reversion rate per step, `sigma` the noise scale.
+pub fn ou_step<R: Rng + ?Sized>(
+    rng: &mut R,
+    current: f64,
+    mean: f64,
+    theta: f64,
+    sigma: f64,
+) -> f64 {
+    current + theta * (mean - current) + sigma * standard_normal(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xF1E57)
+    }
+
+    #[test]
+    fn normal_matches_moments() {
+        let mut r = rng();
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| normal(&mut r, 3.0, 2.0)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn clamped_normal_respects_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = clamped_normal(&mut r, 0.5, 10.0, 0.0, 1.0);
+            assert!((0.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn poisson_matches_mean() {
+        let mut r = rng();
+        let n = 20_000;
+        let lambda = 1.7;
+        let total: u64 = (0..n).map(|_| poisson(&mut r, lambda) as u64).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - lambda).abs() < 0.05, "mean {mean}");
+        assert_eq!(poisson(&mut r, 0.0), 0);
+        assert_eq!(poisson(&mut r, -1.0), 0);
+    }
+
+    #[test]
+    fn weighted_index_matches_proportions() {
+        let mut r = rng();
+        let weights = [2.22, 5.47]; // the Figure-5 survivors
+        let mut counts = [0u32; 2];
+        let n = 50_000;
+        for _ in 0..n {
+            counts[weighted_index(&mut r, &weights).unwrap()] += 1;
+        }
+        let p0 = counts[0] as f64 / n as f64;
+        // Expected 2.22 / 7.69 ≈ 0.2887 — the paper's "29 %".
+        assert!((p0 - 0.2887).abs() < 0.01, "p0 {p0}");
+    }
+
+    #[test]
+    fn weighted_index_edge_cases() {
+        let mut r = rng();
+        assert_eq!(weighted_index(&mut r, &[]), None);
+        assert_eq!(weighted_index(&mut r, &[0.0, 0.0]), None);
+        assert_eq!(weighted_index(&mut r, &[-1.0]), None);
+        assert_eq!(weighted_index(&mut r, &[0.0, 3.0, 0.0]), Some(1));
+        // NaN weights are skipped, not propagated.
+        assert_eq!(weighted_index(&mut r, &[f64::NAN, 1.0]), Some(1));
+    }
+
+    #[test]
+    fn bernoulli_respects_probability() {
+        let mut r = rng();
+        let n = 20_000;
+        let hits = (0..n).filter(|_| bernoulli(&mut r, 0.29)).count();
+        let p = hits as f64 / n as f64;
+        assert!((p - 0.29).abs() < 0.02, "p {p}");
+        assert!(!bernoulli(&mut r, 0.0));
+        assert!(bernoulli(&mut r, 1.0));
+        assert!(bernoulli(&mut r, 2.0)); // clamped
+    }
+
+    #[test]
+    fn ou_process_reverts_to_mean() {
+        let mut r = rng();
+        let mut x = 100.0;
+        for _ in 0..2000 {
+            x = ou_step(&mut r, x, 10.0, 0.05, 0.2);
+        }
+        assert!((x - 10.0).abs() < 5.0, "x {x}");
+    }
+
+    #[test]
+    fn determinism_under_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(standard_normal(&mut a).to_bits(), standard_normal(&mut b).to_bits());
+        }
+    }
+}

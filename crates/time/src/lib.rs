@@ -1,0 +1,105 @@
+//! # flextract-time
+//!
+//! Civil-time substrate for the `flextract` workspace.
+//!
+//! The MIRABEL pipeline reasons about energy in *fixed-width intervals*
+//! (typically 15 minutes) anchored to civil wall-clock time: flex-offers
+//! say "start between 10 PM and 5 AM", tariffs switch at fixed hours,
+//! appliance schedules differ between weekdays and weekends. This crate
+//! provides exactly that vocabulary — nothing more — so the rest of the
+//! workspace never needs an external date-time dependency:
+//!
+//! * [`Timestamp`] — minute-resolution instant, stored as minutes since
+//!   the *flextract epoch* 2000-01-01 00:00 (a Saturday).
+//! * [`Duration`] — signed span in whole minutes.
+//! * [`CivilDate`], [`CivilTime`], [`CivilDateTime`] — proleptic-Gregorian
+//!   calendar views, converted with Howard Hinnant's `days_from_civil` /
+//!   `civil_from_days` algorithms (exact over the range used here; leap
+//!   years handled).
+//! * [`DayOfWeek`] — weekday with weekend classification.
+//! * [`Resolution`] — the width of one series interval (1 min … 1 day).
+//! * [`TimeRange`] — half-open `[start, end)` interval with set algebra.
+//!
+//! Time zones are deliberately out of scope: all MIRABEL series in the
+//! paper are local-time series from one market area, so the crate models
+//! a single implicit local timeline.
+//!
+//! ```
+//! use flextract_time::{Timestamp, Duration, Resolution, DayOfWeek};
+//!
+//! let t = Timestamp::from_ymd_hm(2013, 3, 18, 22, 0).unwrap();
+//! assert_eq!(t.day_of_week(), DayOfWeek::Monday);
+//! let latest_start = t + Duration::hours(7); // 5 AM next day
+//! assert_eq!(latest_start.civil().time.hour, 5);
+//! assert_eq!(Resolution::MIN_15.intervals_per_day(), 96);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod civil;
+mod duration;
+mod range;
+mod resolution;
+mod timestamp;
+
+pub use civil::{CivilDate, CivilDateTime, CivilTime, DayOfWeek};
+pub use duration::Duration;
+pub use range::TimeRange;
+pub use resolution::Resolution;
+pub use timestamp::Timestamp;
+
+/// Errors produced when constructing or parsing time values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimeError {
+    /// A calendar field was outside its valid range (bad month, day,
+    /// hour or minute).
+    InvalidCivil {
+        /// Human-readable description of the offending field.
+        what: &'static str,
+    },
+    /// A string did not match the expected `YYYY-MM-DD[ HH:MM]` layout.
+    Parse {
+        /// Human-readable description of the parse failure.
+        what: &'static str,
+    },
+    /// A [`TimeRange`] was requested with `end < start`.
+    InvertedRange,
+    /// A [`Resolution`] was requested that is not a positive divisor of
+    /// one day.
+    InvalidResolution {
+        /// The offending interval length in minutes.
+        minutes: i64,
+    },
+}
+
+impl std::fmt::Display for TimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TimeError::InvalidCivil { what } => write!(f, "invalid civil field: {what}"),
+            TimeError::Parse { what } => write!(f, "parse error: {what}"),
+            TimeError::InvertedRange => write!(f, "time range end precedes start"),
+            TimeError::InvalidResolution { minutes } => {
+                write!(f, "resolution of {minutes} min does not evenly divide a day")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TimeError {}
+
+#[cfg(test)]
+mod lib_tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = TimeError::InvalidCivil { what: "month 13" };
+        assert!(e.to_string().contains("month 13"));
+        let e = TimeError::InvalidResolution { minutes: 7 };
+        assert!(e.to_string().contains('7'));
+        assert!(TimeError::InvertedRange.to_string().contains("precedes"));
+        let e = TimeError::Parse { what: "missing colon" };
+        assert!(e.to_string().contains("missing colon"));
+    }
+}

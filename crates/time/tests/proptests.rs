@@ -1,0 +1,126 @@
+//! Property tests for the civil-time substrate.
+
+use flextract_time::{
+    CivilDate, Duration, Resolution, TimeRange, Timestamp,
+};
+use proptest::prelude::*;
+
+/// Timestamps spanning roughly 1990–2050, which covers every workload in
+/// the workspace with margin.
+fn arb_timestamp() -> impl Strategy<Value = Timestamp> {
+    (-(10 * 366 * 1440_i64)..(50 * 366 * 1440)).prop_map(Timestamp::from_minutes)
+}
+
+fn arb_resolution() -> impl Strategy<Value = Resolution> {
+    prop_oneof![
+        Just(Resolution::MIN_1),
+        Just(Resolution::MIN_5),
+        Just(Resolution::MIN_15),
+        Just(Resolution::MIN_30),
+        Just(Resolution::HOUR_1),
+        Just(Resolution::DAY),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn civil_round_trip(t in arb_timestamp()) {
+        let back = Timestamp::from_civil(t.civil());
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn date_round_trip(days in -40_000_i64..40_000) {
+        let date = CivilDate::from_days_since_unix_epoch(days);
+        prop_assert_eq!(date.days_since_unix_epoch(), days);
+        // Re-validating through the checked constructor must agree.
+        let checked = CivilDate::new(date.year, date.month, date.day).unwrap();
+        prop_assert_eq!(checked, date);
+    }
+
+    #[test]
+    fn display_parse_round_trip(t in arb_timestamp()) {
+        let shown = t.to_string();
+        let parsed: Timestamp = shown.parse().unwrap();
+        prop_assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn add_then_subtract_is_identity(t in arb_timestamp(), m in -1_000_000_i64..1_000_000) {
+        let d = Duration::minutes(m);
+        prop_assert_eq!((t + d) - d, t);
+        prop_assert_eq!((t + d) - t, d);
+    }
+
+    #[test]
+    fn floor_ceil_bracket(t in arb_timestamp(), res in arb_resolution()) {
+        let lo = t.floor_to(res);
+        let hi = t.ceil_to(res);
+        prop_assert!(lo <= t && t <= hi);
+        prop_assert!(lo.is_aligned(res));
+        prop_assert!(hi.is_aligned(res));
+        prop_assert!((hi - lo).as_minutes() == 0 || (hi - lo) == res.interval());
+    }
+
+    #[test]
+    fn weekday_cycles_every_seven_days(t in arb_timestamp()) {
+        let next_week = t + Duration::weeks(1);
+        prop_assert_eq!(t.day_of_week(), next_week.day_of_week());
+        let tomorrow = t + Duration::days(1);
+        prop_assert_eq!(t.day_of_week().next(), tomorrow.day_of_week());
+    }
+
+    #[test]
+    fn split_days_partitions(t in arb_timestamp(), len_min in 0_i64..(10 * 1440)) {
+        let range = TimeRange::starting_at(t, Duration::minutes(len_min)).unwrap();
+        let days = range.split_days();
+        let total: Duration = days.iter().map(|d| d.duration()).sum();
+        prop_assert_eq!(total, range.duration());
+        for pair in days.windows(2) {
+            prop_assert_eq!(pair[0].end(), pair[1].start());
+            // Interior boundaries are midnights.
+            prop_assert_eq!(pair[1].start().minute_of_day(), 0);
+        }
+        if let (Some(first), Some(last)) = (days.first(), days.last()) {
+            prop_assert_eq!(first.start(), range.start());
+            prop_assert_eq!(last.end(), range.end());
+        }
+    }
+
+    #[test]
+    fn split_chunks_partitions(t in arb_timestamp(), len_min in 1_i64..2000, chunk_min in 1_i64..500) {
+        let range = TimeRange::starting_at(t, Duration::minutes(len_min)).unwrap();
+        let chunks = range.split_chunks(Duration::minutes(chunk_min));
+        let total: Duration = chunks.iter().map(|c| c.duration()).sum();
+        prop_assert_eq!(total, range.duration());
+        for c in &chunks[..chunks.len().saturating_sub(1)] {
+            prop_assert_eq!(c.duration(), Duration::minutes(chunk_min));
+        }
+    }
+
+    #[test]
+    fn intersect_is_commutative_and_contained(
+        a in arb_timestamp(), la in 0_i64..5000,
+        b in arb_timestamp(), lb in 0_i64..5000,
+    ) {
+        let ra = TimeRange::starting_at(a, Duration::minutes(la)).unwrap();
+        let rb = TimeRange::starting_at(b, Duration::minutes(lb)).unwrap();
+        prop_assert_eq!(ra.intersect(rb), rb.intersect(ra));
+        if let Some(ix) = ra.intersect(rb) {
+            prop_assert!(ra.contains_range(ix));
+            prop_assert!(rb.contains_range(ix));
+            prop_assert!(!ix.is_empty());
+        }
+        // Hull always contains both.
+        let hull = ra.hull(rb);
+        prop_assert!(hull.contains_range(ra));
+        prop_assert!(hull.contains_range(rb));
+    }
+
+    #[test]
+    fn minute_of_day_is_consistent(t in arb_timestamp()) {
+        let c = t.civil();
+        prop_assert_eq!(t.minute_of_day(), c.time.minute_of_day());
+        prop_assert_eq!(t.start_of_day() + Duration::minutes(t.minute_of_day() as i64), t);
+    }
+}

@@ -1,0 +1,118 @@
+//! The paper's §6 future-work agenda, implemented end to end:
+//!
+//! 1. **real-time flex-offer generation** — a generator trained on a
+//!    household's history emits an offer the minute a scheduled
+//!    appliance switches on;
+//! 2. **production flex-offers** — a wind producer turns its forecast
+//!    ramps into offers ("start … either in 2 hours or 3 hours
+//!    ahead"), a conventional producer offers almost all its program;
+//! 3. **industrial consumers** — the same extraction machinery runs
+//!    unchanged on a simulated two-shift plant.
+//!
+//! ```sh
+//! cargo run --example future_work
+//! ```
+
+use flextract::core::{
+    ExtractionConfig, ExtractionInput, FlexibilityExtractor, PeakExtractor,
+    ProductionExtractor, RealTimeGenerator,
+};
+use flextract::sim::{
+    simulate_household, simulate_industrial, simulate_wind_production, HouseholdArchetype,
+    HouseholdConfig, IndustrialConfig, WindFarmConfig,
+};
+use flextract::series::forecast::{forecast, ForecastMethod};
+use flextract::appliance::Catalog;
+use flextract::time::{Duration, Resolution, TimeRange};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let horizon = |start: &str, days: i64| {
+        TimeRange::starting_at(start.parse().unwrap(), Duration::days(days)).unwrap()
+    };
+
+    // ---------- 1. Real-time generation (§6: "real-time flex-offer
+    // generators, which detect flexibilities and formulate flex-offers
+    // based on the usual appliance usage or the given (mined) schedule").
+    println!("== real-time flex-offer generation ==");
+    let household = HouseholdConfig::new(21, HouseholdArchetype::Couple);
+    let history = simulate_household(&household, horizon("2013-03-04", 14));
+    let generator = RealTimeGenerator::train(
+        Catalog::extended(),
+        &history.series,
+        ExtractionConfig::default(),
+    )
+    .expect("two weeks of history");
+    println!(
+        "trained on {} days; mined schedules for {} appliances",
+        14,
+        generator.schedules().len()
+    );
+    // Stream the next live day minute-by-minute.
+    let live = simulate_household(
+        &household.clone().with_seed(777),
+        horizon("2013-03-18", 1),
+    );
+    let mut gen = generator;
+    let mut emitted = Vec::new();
+    for (t, v) in live.series.iter() {
+        for offer in gen.push(t, v) {
+            println!("  {} -> emitted {offer}", t.time());
+            emitted.push(offer);
+        }
+    }
+    println!("  {} real-time offers from one live day\n", emitted.len());
+
+    // ---------- 2. Production flex-offers (§6: RES + traditional).
+    println!("== production flex-offers ==");
+    let farm = WindFarmConfig::default();
+    let observed = simulate_wind_production(&farm, horizon("2013-03-11", 7), Resolution::MIN_15);
+    let fc = forecast(&observed, 96, ForecastMethod::SeasonalScaled)
+        .expect("a week of production history");
+    let res_offers = ProductionExtractor::renewable(ExtractionConfig::default())
+        .extract(&ExtractionInput::household(&fc), &mut StdRng::seed_from_u64(1))
+        .expect("forecast is non-empty");
+    println!(
+        "wind producer: {} ramp offers from tomorrow's forecast ({:.0} kWh forecast)",
+        res_offers.flex_offers.len(),
+        fc.total_energy()
+    );
+    for o in res_offers.flex_offers.iter().take(3) {
+        println!("  {o}");
+    }
+    let dispatchable = ProductionExtractor::dispatchable(
+        ExtractionConfig::default(),
+        Duration::hours(12),
+    )
+    .extract(&ExtractionInput::household(&fc), &mut StdRng::seed_from_u64(1))
+    .expect("forecast is non-empty");
+    println!(
+        "conventional producer: {} offer(s) covering {:.0} kWh (almost all production)\n",
+        dispatchable.flex_offers.len(),
+        dispatchable.extracted_energy()
+    );
+
+    // ---------- 3. Industrial consumers.
+    println!("== industrial consumer ==");
+    let plant = IndustrialConfig::medium_plant(1);
+    let sim = simulate_industrial(&plant, horizon("2013-03-18", 7));
+    println!(
+        "two-shift plant: {:.0} kWh/week, {} batch runs, true flexible share {:.1} %",
+        sim.series.total_energy(),
+        sim.activations.len(),
+        sim.true_flexible_share() * 100.0
+    );
+    let out = PeakExtractor::new(ExtractionConfig::default())
+        .extract(&ExtractionInput::household(&sim.series), &mut StdRng::seed_from_u64(2))
+        .expect("plant series is non-empty");
+    println!(
+        "peak-based extraction runs unchanged: {} offers, {:.0} kWh ({:.1} %)",
+        out.flex_offers.len(),
+        out.extracted_energy(),
+        out.achieved_share() * 100.0
+    );
+    for o in out.flex_offers.iter().take(3) {
+        println!("  {o}");
+    }
+}

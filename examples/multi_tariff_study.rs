@@ -1,0 +1,86 @@
+//! The multi-tariff approach (paper §3.3) — the one the authors could
+//! not run: "Unfortunately, we do not have the required time series for
+//! this approach, thus, we cannot show any results of it."
+//!
+//! The simulator closes that gap: the same household is observed for a
+//! month under a flat tariff (the reference) and a month under an
+//! overnight time-of-use tariff it responds to by delaying flexible
+//! appliances into the cheap window. The extractor sees only the two
+//! series — no tariff information — and recovers the shifted load.
+//!
+//! ```sh
+//! cargo run --example multi_tariff_study
+//! ```
+
+use flextract::core::{
+    ExtractionConfig, ExtractionInput, FlexibilityExtractor, MultiTariffExtractor,
+};
+use flextract::sim::{simulate_tariff_pair, HouseholdArchetype, HouseholdConfig, TariffResponse};
+use flextract::time::{Duration, Resolution, TimeRange};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let household = HouseholdConfig::new(11, HouseholdArchetype::Couple);
+    let flat_month = TimeRange::starting_at("2013-02-04".parse().unwrap(), Duration::weeks(4))
+        .expect("four weeks is positive");
+    let tou_month = TimeRange::starting_at("2013-03-04".parse().unwrap(), Duration::weeks(4))
+        .expect("four weeks is positive");
+
+    // Consumers delay flexible usage into the post-22:00 low tariff
+    // with 85 % probability.
+    let response = TariffResponse::overnight(0.85);
+    let (flat, multi) = simulate_tariff_pair(&household, flat_month, tou_month, response);
+
+    let shifted: Vec<_> = multi.activations.iter().filter(|a| a.was_shifted()).collect();
+    let shifted_energy: f64 = shifted.iter().map(|a| a.energy_kwh).sum();
+    println!(
+        "simulated: {} activations, {} tariff-shifted ({:.1} kWh moved into the night)",
+        multi.activations.len(),
+        shifted.len(),
+        shifted_energy
+    );
+    for a in shifted.iter().take(4) {
+        println!("  {} (delayed {} from {})", a, a.shift_amount(), a.shifted_from.unwrap().time());
+    }
+
+    // --- Extraction: compare observed month against the reference.
+    let reference = flat.series_at(Resolution::MIN_15);
+    let observed = multi.series_at(Resolution::MIN_15);
+    let extractor = MultiTariffExtractor::new(ExtractionConfig::default());
+    let out = extractor
+        .extract(
+            &ExtractionInput::household(&observed).with_reference(&reference),
+            &mut StdRng::seed_from_u64(3),
+        )
+        .expect("reference provided");
+    out.check_invariants(&observed).expect("energy accounting holds");
+
+    println!(
+        "\nmulti-tariff extraction: {} flex-offers, {:.1} kWh ({:.1} % of consumption)",
+        out.flex_offers.len(),
+        out.extracted_energy(),
+        out.achieved_share() * 100.0
+    );
+    // Where did the offers land? Count start hours: the arrivals live
+    // in the low-tariff window (22:00–06:00), and the earliest starts
+    // (the windows the load vacated) earlier in the day.
+    let mut night_arrivals = 0;
+    for offer in &out.flex_offers {
+        let arrival_hour = offer.latest_start().time().hour;
+        if !(6..22).contains(&arrival_hour) {
+            night_arrivals += 1;
+        }
+    }
+    println!(
+        "{night_arrivals} of {} offers arrive inside the 22:00-06:00 low-tariff window",
+        out.flex_offers.len()
+    );
+    for offer in out.flex_offers.iter().take(4) {
+        println!(
+            "  {offer} (window {} → {})",
+            offer.earliest_start().time(),
+            offer.latest_start().time()
+        );
+    }
+}

@@ -1,0 +1,333 @@
+//! `flextract` — command-line front end.
+//!
+//! ```text
+//! flextract simulate  --households 5 --days 7 --seed 1 --out data/
+//! flextract extract   --approach peak --input data/household_0.csv --share 0.05
+//! flextract fig5
+//! flextract experiment e6 --households 10 --days 14
+//! ```
+//!
+//! Series files are either the workspace CSV layout
+//! (`interval_start,kwh` rows, as written by `simulate`) or the `.fxt`
+//! binary codec.
+
+use flextract::core::{
+    BasicExtractor, ExtractionConfig, ExtractionInput, FlexibilityExtractor, PeakExtractor,
+    RandomExtractor,
+};
+use flextract::eval::experiments::{
+    aggregation_study, approach_comparison, granularity, share_sweep, tariff_study,
+    threshold_ablation, ExperimentParams,
+};
+use flextract::eval::fig5_day;
+use flextract::series::{codec, TimeSeries};
+use flextract::sim::{simulate_fleet, FleetConfig};
+use flextract::time::{Duration, Resolution, TimeRange, Timestamp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+flextract — flex-offer extraction from electricity time series
+
+USAGE:
+  flextract simulate   [--households N] [--days D] [--seed S] --out DIR
+  flextract extract    --input FILE [--approach peak|basic|random]
+                       [--share F] [--seed S] [--out FILE.json]
+  flextract fig5
+  flextract experiment e5|e6|e7|e8|e9|e10 [--households N] [--days D] [--seed S]
+  flextract help
+";
+
+/// Minimal flag parser: `--key value` pairs after the positionals.
+#[derive(Debug, Default)]
+struct Flags {
+    entries: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut entries = Vec::new();
+        let mut it = args.iter();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(format!("unexpected argument '{key}'"));
+            };
+            let Some(value) = it.next() else {
+                return Err(format!("flag --{name} needs a value"));
+            };
+            entries.push((name.to_string(), value.clone()));
+        }
+        Ok(Flags { entries })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("invalid value '{raw}' for --{name}")),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err("no command given".into());
+    };
+    match command.as_str() {
+        "simulate" => cmd_simulate(&Flags::parse(&args[1..])?),
+        "extract" => cmd_extract(&Flags::parse(&args[1..])?),
+        "fig5" => cmd_fig5(),
+        "experiment" => {
+            let Some(which) = args.get(1) else {
+                return Err("experiment needs a name (e5..e10)".into());
+            };
+            cmd_experiment(which, &Flags::parse(&args[2..])?)
+        }
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn cmd_simulate(flags: &Flags) -> Result<(), String> {
+    let households: usize = flags.get_parsed("households", 5)?;
+    let days: i64 = flags.get_parsed("days", 7)?;
+    let seed: u64 = flags.get_parsed("seed", 2013)?;
+    let out = flags.get("out").ok_or("simulate needs --out DIR")?;
+    std::fs::create_dir_all(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+
+    let start: Timestamp = "2013-03-18".parse().expect("static date");
+    let horizon = TimeRange::starting_at(start, Duration::days(days)).expect("days >= 0");
+    let fleet = simulate_fleet(
+        &FleetConfig { households, base_seed: seed, threads: 4, ..FleetConfig::default() },
+        horizon,
+    );
+    for h in &fleet.households {
+        let market = h.series_at(Resolution::MIN_15);
+        let base = Path::new(out).join(format!("household_{}", h.config.id));
+        std::fs::write(base.with_extension("csv"), market.to_csv())
+            .map_err(|e| format!("write csv: {e}"))?;
+        std::fs::write(base.with_extension("fxt"), codec::encode(&market))
+            .map_err(|e| format!("write fxt: {e}"))?;
+    }
+    let total = Path::new(out).join("fleet_total");
+    std::fs::write(total.with_extension("csv"), fleet.total.to_csv())
+        .map_err(|e| format!("write csv: {e}"))?;
+    println!(
+        "simulated {households} households × {days} days → {out}/ ({:.0} kWh total, {:.1} % truly flexible)",
+        fleet.total.total_energy(),
+        fleet.true_flexible_share() * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_extract(flags: &Flags) -> Result<(), String> {
+    let input = flags.get("input").ok_or("extract needs --input FILE")?;
+    let approach = flags.get("approach").unwrap_or("peak");
+    let share: f64 = flags.get_parsed("share", 0.05)?;
+    let seed: u64 = flags.get_parsed("seed", 2013)?;
+
+    let series = read_series(Path::new(input))?;
+    let cfg = ExtractionConfig::with_share(share);
+    let extractor: Box<dyn FlexibilityExtractor> = match approach {
+        "peak" => Box::new(PeakExtractor::new(cfg)),
+        "basic" => Box::new(BasicExtractor::new(cfg)),
+        "random" => Box::new(RandomExtractor::new(cfg)),
+        other => return Err(format!("unknown approach '{other}' (peak|basic|random)")),
+    };
+    let out = extractor
+        .extract(&ExtractionInput::household(&series), &mut StdRng::seed_from_u64(seed))
+        .map_err(|e| format!("extraction failed: {e}"))?;
+    println!(
+        "{}: {} flex-offers, {:.2} kWh extracted ({:.2} % of {:.2} kWh)",
+        out.approach,
+        out.flex_offers.len(),
+        out.extracted_energy(),
+        out.achieved_share() * 100.0,
+        series.total_energy()
+    );
+    for offer in &out.flex_offers {
+        println!("  {offer}");
+    }
+    if let Some(path) = flags.get("out") {
+        let json = serde_json::to_string_pretty(&out.flex_offers)
+            .map_err(|e| format!("serialise offers: {e}"))?;
+        std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+        println!("offers written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_fig5() -> Result<(), String> {
+    let day = fig5_day();
+    let out = PeakExtractor::new(ExtractionConfig::default())
+        .extract(&ExtractionInput::household(&day), &mut StdRng::seed_from_u64(5))
+        .map_err(|e| format!("{e}"))?;
+    let report = &out.diagnostics.peak_reports[0];
+    println!(
+        "Figure-5 day: total {:.2} kWh, threshold {:.4}, filter {:.3} kWh",
+        report.day_total_kwh, report.threshold_kwh, report.min_peak_energy_kwh
+    );
+    for p in &report.peaks {
+        println!(
+            "  peak {}: size {:.2} kWh — {}",
+            p.number,
+            p.size_kwh,
+            if p.survived_filter {
+                format!("survives (p = {:.0} %)", p.probability * 100.0)
+            } else {
+                "discarded".into()
+            }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_experiment(which: &str, flags: &Flags) -> Result<(), String> {
+    let params = ExperimentParams {
+        households: flags.get_parsed("households", 10)?,
+        days: flags.get_parsed("days", 14)?,
+        seed: flags.get_parsed("seed", 2013)?,
+    };
+    let rendered = match which {
+        "e5" => share_sweep(&[0.001, 0.005, 0.01, 0.02, 0.05, 0.065], params).render(),
+        "e6" => approach_comparison(params).render(),
+        "e7" => granularity(params).render(),
+        "e8" => aggregation_study(params).render(),
+        "e9" => tariff_study(&[0.0, 0.25, 0.5, 0.75, 1.0], params).render(),
+        "e10" => threshold_ablation(params).render(),
+        other => return Err(format!("unknown experiment '{other}' (e5..e10)")),
+    };
+    print!("{rendered}");
+    Ok(())
+}
+
+/// Read a series from `.fxt` (binary codec) or `.csv`
+/// (`interval_start,kwh` rows).
+fn read_series(path: &Path) -> Result<TimeSeries, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    if bytes.starts_with(&codec::MAGIC) {
+        return codec::decode(bytes.as_slice()).map_err(|e| format!("decode fxt: {e}"));
+    }
+    let text = String::from_utf8(bytes).map_err(|_| "CSV is not valid UTF-8".to_string())?;
+    parse_csv_series(&text)
+}
+
+fn parse_csv_series(text: &str) -> Result<TimeSeries, String> {
+    let mut rows: Vec<(Timestamp, f64)> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with("interval_start") {
+            continue;
+        }
+        let (ts_part, kwh_part) = line
+            .rsplit_once(',')
+            .ok_or_else(|| format!("line {}: expected 'timestamp,kwh'", lineno + 1))?;
+        let t: Timestamp = ts_part
+            .trim()
+            .parse()
+            .map_err(|e| format!("line {}: bad timestamp: {e}", lineno + 1))?;
+        let v: f64 = kwh_part
+            .trim()
+            .parse()
+            .map_err(|_| format!("line {}: bad kWh value '{kwh_part}'", lineno + 1))?;
+        rows.push((t, v));
+    }
+    if rows.len() < 2 {
+        return Err("CSV needs at least two data rows".into());
+    }
+    let step = (rows[1].0 - rows[0].0).as_minutes();
+    let resolution = Resolution::from_minutes(step)
+        .map_err(|_| format!("rows are {step} min apart, which does not divide a day"))?;
+    for (i, pair) in rows.windows(2).enumerate() {
+        if (pair[1].0 - pair[0].0).as_minutes() != step {
+            return Err(format!("row {}: series has gaps or uneven spacing", i + 2));
+        }
+    }
+    TimeSeries::new(rows[0].0, resolution, rows.into_iter().map(|(_, v)| v).collect())
+        .map_err(|e| format!("invalid series: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_parse_pairs_and_reject_garbage() {
+        let ok = Flags::parse(&["--days".into(), "7".into(), "--seed".into(), "1".into()])
+            .unwrap();
+        assert_eq!(ok.get("days"), Some("7"));
+        assert_eq!(ok.get_parsed("seed", 0u64).unwrap(), 1);
+        assert_eq!(ok.get_parsed("missing", 42i64).unwrap(), 42);
+        assert!(ok.get_parsed::<u64>("days", 0).is_ok());
+        assert!(Flags::parse(&["days".into()]).is_err());
+        assert!(Flags::parse(&["--days".into()]).is_err());
+        let bad = Flags::parse(&["--days".into(), "x".into()]).unwrap();
+        assert!(bad.get_parsed::<i64>("days", 0).is_err());
+    }
+
+    #[test]
+    fn csv_round_trip_through_parser() {
+        let series = TimeSeries::new(
+            "2013-03-18".parse().unwrap(),
+            Resolution::MIN_15,
+            vec![0.25, 0.5, 0.75],
+        )
+        .unwrap();
+        let parsed = parse_csv_series(&series.to_csv()).unwrap();
+        assert_eq!(parsed.start(), series.start());
+        assert_eq!(parsed.resolution(), series.resolution());
+        for (a, b) in parsed.values().iter().zip(series.values()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn csv_parser_rejects_malformed_input() {
+        assert!(parse_csv_series("").is_err());
+        assert!(parse_csv_series("interval_start,kwh\n2013-03-18 00:00,1.0").is_err()); // one row
+        assert!(parse_csv_series("nonsense").is_err());
+        assert!(parse_csv_series("2013-03-18 00:00,1.0\n2013-03-18 00:07,1.0\n").is_err()); // 7-min step
+        // Gap in the middle.
+        let gappy = "2013-03-18 00:00,1.0\n2013-03-18 00:15,1.0\n2013-03-18 01:00,1.0\n";
+        assert!(parse_csv_series(gappy).is_err());
+    }
+
+    #[test]
+    fn unknown_commands_error() {
+        assert!(run(&["frobnicate".into()]).is_err());
+        assert!(run(&[]).is_err());
+        assert!(run(&["experiment".into()]).is_err());
+        assert!(run(&["experiment".into(), "e99".into()]).is_err());
+        assert!(run(&["help".into()]).is_ok());
+    }
+
+    #[test]
+    fn fig5_command_runs() {
+        assert!(cmd_fig5().is_ok());
+    }
+}

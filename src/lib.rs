@@ -1,0 +1,97 @@
+//! # flextract
+//!
+//! Automated extraction of **flexibilities** (MIRABEL flex-offers) from
+//! electricity consumption time series — a complete, executable
+//! reproduction of:
+//!
+//! > D. Kaulakienė, L. Šikšnys, Y. Pitarch. *Towards the Automated
+//! > Extraction of Flexibilities from Electricity Time Series.*
+//! > Proceedings of the Joint EDBT/ICDT 2013 Workshops (EnDM),
+//! > pp. 267–272. DOI 10.1145/2457317.2457361.
+//!
+//! This facade crate re-exports the whole workspace so applications can
+//! depend on a single crate:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`time`] | `flextract-time` | timestamps, durations, calendar, ranges |
+//! | [`series`] | `flextract-series` | the energy time-series engine |
+//! | [`flexoffer`] | `flextract-flexoffer` | the flex-offer object model |
+//! | [`appliance`] | `flextract-appliance` | the Table-1 appliance catalog |
+//! | [`sim`] | `flextract-sim` | household/RES simulation with ground truth |
+//! | [`disagg`] | `flextract-disagg` | NILM-style appliance detection |
+//! | [`core`] | `flextract-core` | **the five extraction approaches** |
+//! | [`agg`] | `flextract-agg` | flex-offer aggregation & RES scheduling |
+//! | [`eval`] | `flextract-eval` | realism metrics, ground truth, experiments |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use flextract::core::{ExtractionConfig, ExtractionInput, FlexibilityExtractor, PeakExtractor};
+//! use flextract::sim::{simulate_household, HouseholdArchetype, HouseholdConfig};
+//! use flextract::time::{Duration, Resolution, TimeRange};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // 1. A week of 15-min household consumption (simulated stand-in for
+//! //    the paper's metering data).
+//! let cfg = HouseholdConfig::new(1, HouseholdArchetype::FamilyWithChildren);
+//! let week = TimeRange::starting_at("2013-03-18".parse().unwrap(), Duration::weeks(1)).unwrap();
+//! let sim = simulate_household(&cfg, week);
+//! let market = sim.series_at(Resolution::MIN_15);
+//!
+//! // 2. Peak-based extraction (§3.2): one flex-offer per day.
+//! let extractor = PeakExtractor::new(ExtractionConfig::default());
+//! let out = extractor
+//!     .extract(&ExtractionInput::household(&market), &mut StdRng::seed_from_u64(42))
+//!     .unwrap();
+//! assert!(out.flex_offers.len() <= 7);
+//! out.check_invariants(&market).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Flex-offer aggregation and RES-matching scheduling (refs \[4\]\[5\]).
+pub mod agg {
+    pub use flextract_agg::*;
+}
+
+/// The appliance catalog (paper Table 1, made executable).
+pub mod appliance {
+    pub use flextract_appliance::*;
+}
+
+/// The paper's contribution: the flexibility-extraction approaches.
+pub mod core {
+    pub use flextract_core::*;
+}
+
+/// Appliance-level load disaggregation (§4 step 1).
+pub mod disagg {
+    pub use flextract_disagg::*;
+}
+
+/// Realism metrics, ground-truth scoring and the E5–E9 experiments.
+pub mod eval {
+    pub use flextract_eval::*;
+}
+
+/// The MIRABEL flex-offer object model (Figure 1).
+pub mod flexoffer {
+    pub use flextract_flexoffer::*;
+}
+
+/// The fixed-interval energy time-series engine.
+pub mod series {
+    pub use flextract_series::*;
+}
+
+/// Synthetic household consumption and wind production.
+pub mod sim {
+    pub use flextract_sim::*;
+}
+
+/// Civil-time substrate.
+pub mod time {
+    pub use flextract_time::*;
+}

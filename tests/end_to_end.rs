@@ -1,0 +1,218 @@
+//! Full-pipeline integration: simulate → extract (all six approaches)
+//! → validate invariants → aggregate → schedule → disaggregate.
+
+use flextract::agg::{aggregate_offers, schedule_offers, AggregationConfig, ScheduleConfig};
+use flextract::appliance::Catalog;
+use flextract::core::{
+    BasicExtractor, ExtractionConfig, ExtractionInput, ExtractionOutput, FlexibilityExtractor,
+    FrequencyBasedExtractor, MultiTariffExtractor, PeakExtractor, RandomExtractor,
+    ScheduleBasedExtractor,
+};
+use flextract::eval::GroundTruthScore;
+use flextract::flexoffer::FlexOffer;
+use flextract::sim::{
+    simulate_household, simulate_tariff_pair, simulate_wind_production, HouseholdArchetype,
+    HouseholdConfig, TariffResponse, WindFarmConfig,
+};
+use flextract::time::{Duration, Resolution, TimeRange, Timestamp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn horizon(days: i64) -> TimeRange {
+    let start: Timestamp = "2013-03-18".parse().unwrap();
+    TimeRange::starting_at(start, Duration::days(days)).unwrap()
+}
+
+/// Run every approach against one simulated household and return the
+/// outputs that produced offers.
+fn run_all(days: i64, seed: u64) -> (Vec<ExtractionOutput>, flextract::series::TimeSeries) {
+    let cfg_h = HouseholdConfig::new(seed, HouseholdArchetype::FamilyWithChildren);
+    let sim = simulate_household(&cfg_h, horizon(days));
+    let market = sim.series_at(Resolution::MIN_15);
+    let catalog = Catalog::extended();
+    let cfg = ExtractionConfig::default();
+    let mut outputs = Vec::new();
+
+    for ex in [
+        &RandomExtractor::new(cfg.clone()) as &dyn FlexibilityExtractor,
+        &BasicExtractor::new(cfg.clone()),
+        &PeakExtractor::new(cfg.clone()),
+    ] {
+        let out = ex
+            .extract(&ExtractionInput::household(&market), &mut StdRng::seed_from_u64(seed))
+            .unwrap();
+        out.check_invariants(&market).unwrap();
+        outputs.push(out);
+    }
+
+    let (flat, multi) = simulate_tariff_pair(
+        &cfg_h,
+        horizon(days).shift(Duration::days(-days)),
+        horizon(days),
+        TariffResponse::overnight(0.9),
+    );
+    let reference = flat.series_at(Resolution::MIN_15);
+    let observed = multi.series_at(Resolution::MIN_15);
+    let out = MultiTariffExtractor::new(cfg.clone())
+        .extract(
+            &ExtractionInput::household(&observed).with_reference(&reference),
+            &mut StdRng::seed_from_u64(seed),
+        )
+        .unwrap();
+    out.check_invariants(&observed).unwrap();
+    outputs.push(out);
+
+    for ex in [
+        &FrequencyBasedExtractor::new(cfg.clone()) as &dyn FlexibilityExtractor,
+        &ScheduleBasedExtractor::new(cfg),
+    ] {
+        let out = ex
+            .extract(
+                &ExtractionInput::household(&market)
+                    .with_fine_series(&sim.series)
+                    .with_catalog(&catalog),
+                &mut StdRng::seed_from_u64(seed),
+            )
+            .unwrap();
+        out.check_invariants(&market).unwrap();
+        outputs.push(out);
+    }
+    (outputs, market)
+}
+
+#[test]
+fn every_approach_produces_valid_offers_and_accounting() {
+    let (outputs, _) = run_all(7, 3);
+    assert_eq!(outputs.len(), 6);
+    let names: Vec<&str> = outputs.iter().map(|o| o.approach).collect();
+    assert_eq!(
+        names,
+        vec!["random", "basic", "peak", "multi-tariff", "frequency", "schedule"]
+    );
+    for out in &outputs {
+        for offer in &out.flex_offers {
+            offer.validate().unwrap_or_else(|e| {
+                panic!("{}: invalid offer {}: {e}", out.approach, offer.id())
+            });
+        }
+        assert!(
+            out.modified_series.values().iter().all(|&v| v >= -1e-9),
+            "{}: negative residual",
+            out.approach
+        );
+    }
+    // Everyone except the degenerate cases extracted something.
+    for out in &outputs {
+        assert!(
+            out.extracted_energy() > 0.0,
+            "{} extracted nothing over a family week",
+            out.approach
+        );
+    }
+}
+
+#[test]
+fn appliance_level_beats_household_level_on_ground_truth() {
+    // The paper's central qualitative claim, measured (§4: appliance
+    // approaches are "very realistic" vs §3's "less realistic
+    // assumptions").
+    let cfg_h = HouseholdConfig::new(9, HouseholdArchetype::FamilyWithChildren);
+    let sim = simulate_household(&cfg_h, horizon(14));
+    let market = sim.series_at(Resolution::MIN_15);
+    let truth = sim.flexible_series_at(Resolution::MIN_15);
+    let catalog = Catalog::extended();
+    let cfg = ExtractionConfig::default();
+
+    let random = RandomExtractor::new(cfg.clone())
+        .extract(&ExtractionInput::household(&market), &mut StdRng::seed_from_u64(1))
+        .unwrap();
+    let freq = FrequencyBasedExtractor::new(cfg)
+        .extract(
+            &ExtractionInput::household(&market)
+                .with_fine_series(&sim.series)
+                .with_catalog(&catalog),
+            &mut StdRng::seed_from_u64(1),
+        )
+        .unwrap();
+
+    let s_random = GroundTruthScore::score(&random.extracted_series, &truth);
+    let s_freq = GroundTruthScore::score(&freq.extracted_series, &truth);
+    assert!(
+        s_freq.f1() > s_random.f1() * 2.0,
+        "frequency F1 {} should dwarf random F1 {}",
+        s_freq.f1(),
+        s_random.f1()
+    );
+}
+
+#[test]
+fn extraction_feeds_aggregation_and_scheduling() {
+    let (outputs, market) = run_all(7, 5);
+    // Pool the peak-based offers (MIRABEL's choice, §6).
+    let peak_out = outputs.iter().find(|o| o.approach == "peak").unwrap();
+    assert!(!peak_out.flex_offers.is_empty());
+
+    let aggregates =
+        aggregate_offers(&peak_out.flex_offers, &AggregationConfig::default()).unwrap();
+    assert!(!aggregates.is_empty());
+    let member_total: usize = aggregates.iter().map(|a| a.member_count()).sum();
+    assert_eq!(member_total, peak_out.flex_offers.len());
+
+    let farm = WindFarmConfig {
+        capacity_kw: market.total_energy() / (7.0 * 24.0),
+        ..WindFarmConfig::default()
+    };
+    let production = simulate_wind_production(&farm, horizon(7), Resolution::MIN_15);
+    let agg_offers: Vec<FlexOffer> = aggregates.iter().map(|a| a.offer.clone()).collect();
+    let result = schedule_offers(
+        &agg_offers,
+        &peak_out.modified_series,
+        &production,
+        &ScheduleConfig::default(),
+        &mut StdRng::seed_from_u64(5),
+    )
+    .unwrap();
+    // Scheduling never makes the balance worse than the baseline.
+    assert!(result.after.squared_imbalance <= result.before.squared_imbalance + 1e-6);
+
+    // Disaggregate each scheduled macro offer and confirm member
+    // feasibility plus exact energy conservation.
+    for agg in &aggregates {
+        let scheduled = result
+            .scheduled
+            .iter()
+            .find(|s| s.offer().id() == agg.offer.id())
+            .expect("every aggregate scheduled");
+        let members = agg.disaggregate(scheduled).unwrap();
+        assert_eq!(members.len(), agg.member_count());
+        let member_energy: f64 = members.iter().map(|m| m.total_energy()).sum();
+        assert!(
+            (member_energy - scheduled.total_energy()).abs() < 1e-6,
+            "disaggregation lost energy: {member_energy} vs {}",
+            scheduled.total_energy()
+        );
+    }
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let (a, _) = run_all(4, 11);
+    let (b, _) = run_all(4, 11);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.flex_offers, y.flex_offers, "{} not deterministic", x.approach);
+        assert_eq!(x.modified_series, y.modified_series);
+    }
+}
+
+#[test]
+fn serde_round_trips_the_whole_offer_population() {
+    let (outputs, _) = run_all(4, 13);
+    for out in outputs {
+        let json = serde_json::to_string(&out.flex_offers).unwrap();
+        let back: Vec<FlexOffer> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, out.flex_offers);
+        for offer in &back {
+            offer.validate().unwrap();
+        }
+    }
+}
