@@ -132,10 +132,8 @@ pub fn aggregate_offers(
         }
         let key = (
             offer.earliest_start().as_minutes() / config.est_bucket.as_minutes().max(1),
-            offer.time_flexibility().as_minutes()
-                / config.flexibility_bucket.as_minutes().max(1),
-            offer.profile().duration().as_minutes()
-                / config.duration_bucket.as_minutes().max(1),
+            offer.time_flexibility().as_minutes() / config.flexibility_bucket.as_minutes().max(1),
+            offer.profile().duration().as_minutes() / config.duration_bucket.as_minutes().max(1),
         );
         groups.entry(key).or_default().push(offer);
     }
@@ -194,8 +192,7 @@ fn aggregate_group(
         .map(|o| o.time_flexibility())
         .min()
         .expect("group is non-empty");
-    let agg_flex =
-        Duration::minutes((agg_flex.as_minutes() / res_minutes) * res_minutes);
+    let agg_flex = Duration::minutes((agg_flex.as_minutes() / res_minutes) * res_minutes);
     // Lifecycle: conservative intersection of member deadlines.
     let creation = group
         .iter()
@@ -272,10 +269,8 @@ mod tests {
         assert_eq!(agg.offer.profile().len(), 6);
         // Slice sums: energy conservation at the total level.
         let agg_total = agg.offer.total_energy();
-        let member_total_min: f64 =
-            offers.iter().map(|o| o.total_energy().min).sum();
-        let member_total_max: f64 =
-            offers.iter().map(|o| o.total_energy().max).sum();
+        let member_total_min: f64 = offers.iter().map(|o| o.total_energy().min).sum();
+        let member_total_max: f64 = offers.iter().map(|o| o.total_energy().max).sum();
         assert!((agg_total.min - member_total_min).abs() < 1e-9);
         assert!((agg_total.max - member_total_max).abs() < 1e-9);
     }
@@ -344,10 +339,8 @@ mod tests {
         let agg = &aggs[0];
         // Any admissible aggregate start must disaggregate cleanly.
         for s in agg.offer.candidate_starts() {
-            let energies: Vec<f64> =
-                agg.offer.profile().slices().iter().map(|x| x.min).collect();
-            let scheduled =
-                ScheduledFlexOffer::new(agg.offer.clone(), s, energies).unwrap();
+            let energies: Vec<f64> = agg.offer.profile().slices().iter().map(|x| x.min).collect();
+            let scheduled = ScheduledFlexOffer::new(agg.offer.clone(), s, energies).unwrap();
             let members = agg.disaggregate(&scheduled).unwrap();
             for m in members {
                 assert!(m.start() >= m.offer().earliest_start());
@@ -375,8 +368,7 @@ mod tests {
             )
             .build()
             .unwrap();
-        let aggs =
-            aggregate_offers(&[quarter, hourly], &AggregationConfig::default()).unwrap();
+        let aggs = aggregate_offers(&[quarter, hourly], &AggregationConfig::default()).unwrap();
         assert_eq!(aggs.len(), 2);
     }
 

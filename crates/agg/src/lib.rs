@@ -48,7 +48,10 @@ impl std::fmt::Display for AggError {
         match self {
             AggError::NoOffers => write!(f, "no flex-offers to process"),
             AggError::DisjointProduction => {
-                write!(f, "production series does not overlap the scheduling horizon")
+                write!(
+                    f,
+                    "production series does not overlap the scheduling horizon"
+                )
             }
             AggError::FlexOffer(e) => write!(f, "flex-offer error: {e}"),
             AggError::Series(e) => write!(f, "series error: {e}"),

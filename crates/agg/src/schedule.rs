@@ -88,7 +88,11 @@ fn balance_report(net: &TimeSeries, production: &TimeSeries) -> BalanceReport {
     BalanceReport {
         squared_imbalance: sq,
         absorbed_production_kwh: absorbed,
-        res_utilisation: if total_prod > 0.0 { absorbed / total_prod } else { 0.0 },
+        res_utilisation: if total_prod > 0.0 {
+            absorbed / total_prod
+        } else {
+            0.0
+        },
         peak_net_demand_kwh: peak,
     }
 }
@@ -103,7 +107,11 @@ fn apply(net: &mut TimeSeries, sched: &ScheduledFlexOffer, sign: f64) {
 /// Pick slice energies that chase the local deficit (−net): each slice
 /// takes its maximum when production exceeds demand there, its minimum
 /// otherwise, linearly in between.
-fn waterfill_energies(offer: &FlexOffer, start: flextract_time::Timestamp, net: &TimeSeries) -> Vec<f64> {
+fn waterfill_energies(
+    offer: &FlexOffer,
+    start: flextract_time::Timestamp,
+    net: &TimeSeries,
+) -> Vec<f64> {
     let res = offer.profile().resolution();
     offer
         .profile()
@@ -151,11 +159,7 @@ pub fn schedule_offers(
     if offers.is_empty() {
         return Err(AggError::NoOffers);
     }
-    if production
-        .range()
-        .intersect(base_demand.range())
-        .is_none()
-    {
+    if production.range().intersect(base_demand.range()).is_none() {
         return Err(AggError::DisjointProduction);
     }
 
@@ -166,7 +170,11 @@ pub fn schedule_offers(
     // Baseline: every offer at its earliest start with minimum energy.
     let mut baseline_net = net.clone();
     for offer in offers {
-        apply(&mut baseline_net, &ScheduledFlexOffer::baseline(offer.clone()), 1.0);
+        apply(
+            &mut baseline_net,
+            &ScheduledFlexOffer::baseline(offer.clone()),
+            1.0,
+        );
     }
     let before = balance_report(&baseline_net, production);
 
@@ -193,8 +201,10 @@ pub fn schedule_offers(
         apply(&mut net, &chosen, 1.0);
         scheduled[i] = Some(chosen);
     }
-    let mut scheduled: Vec<ScheduledFlexOffer> =
-        scheduled.into_iter().map(|s| s.expect("all offers scheduled")).collect();
+    let mut scheduled: Vec<ScheduledFlexOffer> = scheduled
+        .into_iter()
+        .map(|s| s.expect("all offers scheduled"))
+        .collect();
 
     // Hill climbing: move one offer to a random admissible start.
     for _ in 0..config.iterations {
@@ -220,7 +230,11 @@ pub fn schedule_offers(
     }
 
     let after = balance_report(&net, production);
-    Ok(ScheduleResult { scheduled, before, after })
+    Ok(ScheduleResult {
+        scheduled,
+        before,
+        after,
+    })
 }
 
 #[cfg(test)]
@@ -241,8 +255,7 @@ mod tests {
         for v in prod.iter_mut().skip(48).take(24) {
             *v = 2.0;
         }
-        let production =
-            TimeSeries::new(ts("2013-03-18"), Resolution::MIN_15, prod).unwrap();
+        let production = TimeSeries::new(ts("2013-03-18"), Resolution::MIN_15, prod).unwrap();
         (demand, production)
     }
 
@@ -346,9 +359,7 @@ mod tests {
             &mut StdRng::seed_from_u64(4),
         )
         .unwrap();
-        assert!(
-            with_climb.after.squared_imbalance <= greedy_only.after.squared_imbalance + 1e-9
-        );
+        assert!(with_climb.after.squared_imbalance <= greedy_only.after.squared_imbalance + 1e-9);
     }
 
     #[test]
@@ -369,8 +380,7 @@ mod tests {
     #[test]
     fn disjoint_production_errors() {
         let (demand, _) = world();
-        let far_production =
-            TimeSeries::constant(ts("2014-01-01"), Resolution::MIN_15, 1.0, 96);
+        let far_production = TimeSeries::constant(ts("2014-01-01"), Resolution::MIN_15, 1.0, 96);
         assert_eq!(
             schedule_offers(
                 &[movable_offer(1)],

@@ -11,11 +11,11 @@ use rand::SeedableRng;
 fn arb_offers() -> impl Strategy<Value = Vec<FlexOffer>> {
     prop::collection::vec(
         (
-            0_i64..(2 * 96),          // EST in 15-min steps over 2 days
-            0_i64..32,                // flexibility in 15-min steps
-            1_usize..8,               // slices
-            0.05_f64..1.0,            // base energy
-            0.0_f64..0.5,             // band width
+            0_i64..(2 * 96), // EST in 15-min steps over 2 days
+            0_i64..32,       // flexibility in 15-min steps
+            1_usize..8,      // slices
+            0.05_f64..1.0,   // base energy
+            0.0_f64..0.5,    // band width
         ),
         1..25,
     )

@@ -66,17 +66,26 @@ impl Catalog {
 
     /// All rows of one category.
     pub fn by_category(&self, category: ApplianceCategory) -> Vec<&ApplianceSpec> {
-        self.specs.iter().filter(|s| s.category == category).collect()
+        self.specs
+            .iter()
+            .filter(|s| s.category == category)
+            .collect()
     }
 
     /// The rows whose usage can be shifted — the flexibility candidates.
     pub fn shiftable(&self) -> Vec<&ApplianceSpec> {
-        self.specs.iter().filter(|s| s.shiftability.is_shiftable()).collect()
+        self.specs
+            .iter()
+            .filter(|s| s.shiftability.is_shiftable())
+            .collect()
     }
 
     /// The rows that cannot be shifted (base and comfort load).
     pub fn non_shiftable(&self) -> Vec<&ApplianceSpec> {
-        self.specs.iter().filter(|s| !s.shiftability.is_shiftable()).collect()
+        self.specs
+            .iter()
+            .filter(|s| !s.shiftability.is_shiftable())
+            .collect()
     }
 
     /// Exactly the paper's Table 1: six appliances with their published
@@ -89,11 +98,7 @@ impl Catalog {
                 category: ApplianceCategory::VacuumRobot,
                 energy_range_kwh: (0.5, 1.0),
                 // Battery charge: 3 h trickle.
-                profile: LoadProfile::new(vec![ProfilePhase::banded(
-                    180,
-                    0.5 / 3.0,
-                    1.0 / 3.0,
-                )]),
+                profile: LoadProfile::new(vec![ProfilePhase::banded(180, 0.5 / 3.0, 1.0 / 3.0)]),
                 usage: UsageModel {
                     // The paper's worked example: "cleans the house every
                     // day at 10AM … time flexibility as 22 hours".
@@ -101,7 +106,9 @@ impl Catalog {
                     preferred_windows: vec![(t(9, 30), t(10, 30), 1.0)],
                     weekend_multiplier: 1.0,
                 },
-                shiftability: Shiftability::Shiftable { max_delay: Duration::hours(22) },
+                shiftability: Shiftability::Shiftable {
+                    max_delay: Duration::hours(22),
+                },
             },
             // "Washing Machine from Manufacturer Y  1.2 - 3"
             ApplianceSpec {
@@ -109,19 +116,18 @@ impl Catalog {
                 category: ApplianceCategory::WashingMachine,
                 energy_range_kwh: (1.2, 3.0),
                 profile: LoadProfile::new(vec![
-                    ProfilePhase::banded(30, 1.6, 3.6), // heating
+                    ProfilePhase::banded(30, 1.6, 3.6),   // heating
                     ProfilePhase::banded(75, 0.24, 0.72), // wash/rinse
-                    ProfilePhase::banded(15, 0.4, 1.2), // spin
+                    ProfilePhase::banded(15, 0.4, 1.2),   // spin
                 ]),
                 usage: UsageModel {
                     frequency: UsageFrequency::PerWeek(3.0),
-                    preferred_windows: vec![
-                        (t(7, 0), t(9, 0), 1.0),
-                        (t(18, 0), t(21, 0), 1.5),
-                    ],
+                    preferred_windows: vec![(t(7, 0), t(9, 0), 1.0), (t(18, 0), t(21, 0), 1.5)],
                     weekend_multiplier: 1.5,
                 },
-                shiftability: Shiftability::Shiftable { max_delay: Duration::hours(8) },
+                shiftability: Shiftability::Shiftable {
+                    max_delay: Duration::hours(8),
+                },
             },
             // "Dishwasher from Manufacturer Z  1.2 - 2"
             ApplianceSpec {
@@ -135,15 +141,14 @@ impl Catalog {
                 ]),
                 usage: UsageModel {
                     frequency: UsageFrequency::PerDay(0.8),
-                    preferred_windows: vec![
-                        (t(13, 0), t(14, 30), 1.0),
-                        (t(19, 30), t(22, 0), 2.0),
-                    ],
+                    preferred_windows: vec![(t(13, 0), t(14, 30), 1.0), (t(19, 30), t(22, 0), 2.0)],
                     // §4.2: "the dishwasher is more used during the
                     // weekends since the family eats at home more often".
                     weekend_multiplier: 1.4,
                 },
-                shiftability: Shiftability::Shiftable { max_delay: Duration::hours(10) },
+                shiftability: Shiftability::Shiftable {
+                    max_delay: Duration::hours(10),
+                },
             },
             // "Small Electric Vehicle  30 - 50"
             ApplianceSpec {
@@ -157,7 +162,9 @@ impl Catalog {
                     weekend_multiplier: 0.7,
                 },
                 // Figure 1: start anywhere between 10 PM and 5 AM.
-                shiftability: Shiftability::Shiftable { max_delay: Duration::hours(7) },
+                shiftability: Shiftability::Shiftable {
+                    max_delay: Duration::hours(7),
+                },
             },
             // "Medium El. Vehicle  50 - 60"
             ApplianceSpec {
@@ -170,24 +177,24 @@ impl Catalog {
                     preferred_windows: vec![(t(21, 0), t(23, 45), 1.0)],
                     weekend_multiplier: 0.7,
                 },
-                shiftability: Shiftability::Shiftable { max_delay: Duration::hours(7) },
+                shiftability: Shiftability::Shiftable {
+                    max_delay: Duration::hours(7),
+                },
             },
             // "Large El. Vehicle  60 - 70"
             ApplianceSpec {
                 name: "Large El. Vehicle".into(),
                 category: ApplianceCategory::ElectricVehicle,
                 energy_range_kwh: (60.0, 70.0),
-                profile: LoadProfile::new(vec![ProfilePhase::banded(
-                    180,
-                    20.0,
-                    70.0 / 3.0,
-                )]),
+                profile: LoadProfile::new(vec![ProfilePhase::banded(180, 20.0, 70.0 / 3.0)]),
                 usage: UsageModel {
                     frequency: UsageFrequency::PerDay(0.6),
                     preferred_windows: vec![(t(21, 0), t(23, 45), 1.0)],
                     weekend_multiplier: 0.7,
                 },
-                shiftability: Shiftability::Shiftable { max_delay: Duration::hours(7) },
+                shiftability: Shiftability::Shiftable {
+                    max_delay: Duration::hours(7),
+                },
             },
         ];
         Catalog { specs }
@@ -270,7 +277,9 @@ impl Catalog {
                 preferred_windows: vec![(t(9, 0), t(12, 0), 1.0), (t(19, 0), t(21, 0), 1.0)],
                 weekend_multiplier: 1.5,
             },
-            shiftability: Shiftability::Shiftable { max_delay: Duration::hours(6) },
+            shiftability: Shiftability::Shiftable {
+                max_delay: Duration::hours(6),
+            },
         });
         cat.push(ApplianceSpec {
             name: "Water Heater".into(),
@@ -282,7 +291,9 @@ impl Catalog {
                 preferred_windows: vec![(t(4, 0), t(6, 0), 1.0)],
                 weekend_multiplier: 1.0,
             },
-            shiftability: Shiftability::Shiftable { max_delay: Duration::hours(4) },
+            shiftability: Shiftability::Shiftable {
+                max_delay: Duration::hours(4),
+            },
         });
         cat.push(ApplianceSpec {
             name: "Heat Pump".into(),
@@ -294,7 +305,9 @@ impl Catalog {
                 preferred_windows: vec![(t(5, 0), t(7, 0), 1.0), (t(16, 0), t(18, 0), 0.8)],
                 weekend_multiplier: 1.0,
             },
-            shiftability: Shiftability::Shiftable { max_delay: Duration::hours(2) },
+            shiftability: Shiftability::Shiftable {
+                max_delay: Duration::hours(2),
+            },
         });
         cat
     }
@@ -351,7 +364,9 @@ mod tests {
             ("Large El. Vehicle", 60.0, 70.0),
         ];
         for (name, lo, hi) in expect {
-            let s = cat.find_by_name(name).unwrap_or_else(|| panic!("missing {name}"));
+            let s = cat
+                .find_by_name(name)
+                .unwrap_or_else(|| panic!("missing {name}"));
             assert_eq!(s.energy_range_kwh, (lo, hi), "{name}");
         }
     }
@@ -384,7 +399,9 @@ mod tests {
     fn table1_is_fully_shiftable_and_roomba_has_22h() {
         let cat = Catalog::table1();
         assert_eq!(cat.shiftable().len(), 6);
-        let roomba = cat.find_by_name("Vacuum Cleaning Robot from Manufacturer X").unwrap();
+        let roomba = cat
+            .find_by_name("Vacuum Cleaning Robot from Manufacturer X")
+            .unwrap();
         assert_eq!(roomba.shiftability.max_delay(), Duration::hours(22));
         assert_eq!(roomba.usage.frequency.mean_daily_rate(), Some(1.0));
     }
@@ -429,7 +446,9 @@ mod tests {
         let spec = Catalog::table1().specs()[0].clone();
         cat.push(spec);
         assert_eq!(cat.len(), 1);
-        assert!(cat.find_by_name("Vacuum Cleaning Robot from Manufacturer X").is_some());
+        assert!(cat
+            .find_by_name("Vacuum Cleaning Robot from Manufacturer X")
+            .is_some());
         assert!(cat.find_by_name("Nonexistent").is_none());
     }
 

@@ -25,13 +25,21 @@ pub struct ProfilePhase {
 impl ProfilePhase {
     /// A constant-power phase (no band width).
     pub fn flat(duration_min: u32, kw: f64) -> Self {
-        ProfilePhase { duration_min, min_kw: kw, max_kw: kw }
+        ProfilePhase {
+            duration_min,
+            min_kw: kw,
+            max_kw: kw,
+        }
     }
 
     /// A banded phase.
     pub fn banded(duration_min: u32, min_kw: f64, max_kw: f64) -> Self {
         debug_assert!(min_kw >= 0.0 && max_kw >= min_kw);
-        ProfilePhase { duration_min, min_kw, max_kw }
+        ProfilePhase {
+            duration_min,
+            min_kw,
+            max_kw,
+        }
     }
 }
 
@@ -45,7 +53,10 @@ impl LoadProfile {
     /// Build from phases; empty or zero-duration phases are rejected by
     /// debug assertion (catalog profiles are static data).
     pub fn new(phases: Vec<ProfilePhase>) -> Self {
-        debug_assert!(!phases.is_empty(), "a load profile needs at least one phase");
+        debug_assert!(
+            !phases.is_empty(),
+            "a load profile needs at least one phase"
+        );
         debug_assert!(phases.iter().all(|p| p.duration_min > 0));
         LoadProfile { phases }
     }

@@ -122,7 +122,10 @@ impl UsageModel {
             frequency,
             preferred_windows: vec![(
                 CivilTime::MIDNIGHT,
-                CivilTime { hour: 23, minute: 59 },
+                CivilTime {
+                    hour: 23,
+                    minute: 59,
+                },
                 1.0,
             )],
             weekend_multiplier: 1.0,
@@ -133,7 +136,11 @@ impl UsageModel {
     /// multiplier. `None` for continuous loads.
     pub fn expected_rate(&self, weekend: bool) -> Option<f64> {
         let base = self.frequency.mean_daily_rate()?;
-        Some(if weekend { base * self.weekend_multiplier } else { base })
+        Some(if weekend {
+            base * self.weekend_multiplier
+        } else {
+            base
+        })
     }
 }
 
@@ -161,8 +168,7 @@ impl ApplianceSpec {
     /// actually integrates to (within `tol` kWh at both ends).
     pub fn profile_consistent(&self, tol: f64) -> bool {
         let (lo, hi) = self.profile.energy_range_kwh();
-        (lo - self.energy_range_kwh.0).abs() <= tol
-            && (hi - self.energy_range_kwh.1).abs() <= tol
+        (lo - self.energy_range_kwh.0).abs() <= tol && (hi - self.energy_range_kwh.1).abs() <= tol
     }
 
     /// Convenience: the profile's cycle duration.
@@ -204,7 +210,9 @@ mod tests {
                 ProfilePhase::banded(10, 0.6, 1.0),
             ]),
             usage: UsageModel::uniform(UsageFrequency::PerWeek(3.0)),
-            shiftability: Shiftability::Shiftable { max_delay: Duration::hours(12) },
+            shiftability: Shiftability::Shiftable {
+                max_delay: Duration::hours(12),
+            },
         }
     }
 
@@ -218,7 +226,9 @@ mod tests {
 
     #[test]
     fn shiftability_accessors() {
-        let s = Shiftability::Shiftable { max_delay: Duration::hours(22) };
+        let s = Shiftability::Shiftable {
+            max_delay: Duration::hours(22),
+        };
         assert!(s.is_shiftable());
         assert_eq!(s.max_delay(), Duration::hours(22));
         assert!(!Shiftability::NonShiftable.is_shiftable());
@@ -260,7 +270,10 @@ mod tests {
 
     #[test]
     fn category_display_names() {
-        assert_eq!(ApplianceCategory::ElectricVehicle.to_string(), "electric vehicle");
+        assert_eq!(
+            ApplianceCategory::ElectricVehicle.to_string(),
+            "electric vehicle"
+        );
         assert_eq!(ApplianceCategory::VacuumRobot.to_string(), "vacuum robot");
     }
 

@@ -52,27 +52,33 @@ fn bench_scheduling(c: &mut Criterion) {
     let demand = TimeSeries::constant(epoch(), Resolution::MIN_15, 10.0, 2 * 96);
     let mut prod = vec![0.0; 2 * 96];
     for (i, v) in prod.iter_mut().enumerate() {
-        *v = 12.0 * (((i % 96) as f64 / 96.0) * std::f64::consts::TAU).sin().max(0.0);
+        *v = 12.0
+            * (((i % 96) as f64 / 96.0) * std::f64::consts::TAU)
+                .sin()
+                .max(0.0);
     }
     let production = TimeSeries::new(epoch(), Resolution::MIN_15, prod).unwrap();
     for n in [50_usize, 200] {
         let offers = offer_population(n, 2);
         let aggregates = aggregate_offers(&offers, &AggregationConfig::default()).unwrap();
-        let agg_offers: Vec<FlexOffer> =
-            aggregates.iter().map(|a| a.offer.clone()).collect();
+        let agg_offers: Vec<FlexOffer> = aggregates.iter().map(|a| a.offer.clone()).collect();
         group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::new("greedy_plus_climb", n), &agg_offers, |b, o| {
-            b.iter(|| {
-                schedule_offers(
-                    black_box(o),
-                    &demand,
-                    &production,
-                    &ScheduleConfig { iterations: 200 },
-                    &mut StdRng::seed_from_u64(3),
-                )
-                .unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("greedy_plus_climb", n),
+            &agg_offers,
+            |b, o| {
+                b.iter(|| {
+                    schedule_offers(
+                        black_box(o),
+                        &demand,
+                        &production,
+                        &ScheduleConfig { iterations: 200 },
+                        &mut StdRng::seed_from_u64(3),
+                    )
+                    .unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }

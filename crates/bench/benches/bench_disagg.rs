@@ -25,17 +25,12 @@ fn bench_matching(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("week_full_catalog", res.to_string()),
             &series,
-            |b, s| {
-                b.iter(|| {
-                    detect_activations(black_box(s), &specs, &MatchConfig::default())
-                })
-            },
+            |b, s| b.iter(|| detect_activations(black_box(s), &specs, &MatchConfig::default())),
         );
     }
     // Catalog-size sweep at 1-min resolution.
     for n_specs in [2_usize, 4, 8] {
-        let specs: Vec<&ApplianceSpec> =
-            catalog.shiftable().into_iter().take(n_specs).collect();
+        let specs: Vec<&ApplianceSpec> = catalog.shiftable().into_iter().take(n_specs).collect();
         group.bench_with_input(
             BenchmarkId::new("week_catalog_size", n_specs),
             &n_specs,

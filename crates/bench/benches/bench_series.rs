@@ -14,9 +14,11 @@ fn bench_stats(c: &mut Criterion) {
         let series = family_market_series(days, 1);
         let values = series.values().to_vec();
         group.throughput(Throughput::Elements(values.len() as u64));
-        group.bench_with_input(BenchmarkId::new("autocorrelation_day_lag", days), &values, |b, v| {
-            b.iter(|| stats::autocorrelation(black_box(v), 96))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("autocorrelation_day_lag", days),
+            &values,
+            |b, v| b.iter(|| stats::autocorrelation(black_box(v), 96)),
+        );
         group.bench_with_input(BenchmarkId::new("quantile_p75", days), &values, |b, v| {
             b.iter(|| stats::quantile(black_box(v), 0.75))
         });
@@ -78,7 +80,9 @@ fn bench_codec(c: &mut Criterion) {
     let mut group = c.benchmark_group("series/codec");
     let series = family_market_series(28, 5);
     group.throughput(Throughput::Bytes((series.len() * 8) as u64));
-    group.bench_function("encode_28d", |b| b.iter(|| codec::encode(black_box(&series))));
+    group.bench_function("encode_28d", |b| {
+        b.iter(|| codec::encode(black_box(&series)))
+    });
     let bytes = codec::encode(&series);
     group.bench_function("decode_28d", |b| {
         b.iter(|| codec::decode(black_box(bytes.clone())).unwrap())
@@ -123,9 +127,7 @@ fn bench_forecast_and_anomaly(c: &mut Criterion) {
         })
     });
     group.bench_function("rolling_anomalies_28d", |b| {
-        b.iter(|| {
-            flextract_series::anomaly::rolling_anomalies(black_box(&series), 96, 3.0, 0.02)
-        })
+        b.iter(|| flextract_series::anomaly::rolling_anomalies(black_box(&series), 96, 3.0, 0.02))
     });
     group.finish();
 }

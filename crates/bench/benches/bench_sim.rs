@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use flextract_bench::horizon;
 use flextract_sim::{
-    simulate_fleet, simulate_household, simulate_wind_production, FleetConfig,
-    HouseholdArchetype, HouseholdConfig, WindFarmConfig,
+    simulate_fleet, simulate_household, simulate_wind_production, FleetConfig, HouseholdArchetype,
+    HouseholdConfig, WindFarmConfig,
 };
 use flextract_time::Resolution;
 use std::hint::black_box;
@@ -14,13 +14,14 @@ fn bench_household(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim/household");
     for days in [7_i64, 28] {
         group.throughput(Throughput::Elements((days * 1440) as u64));
-        for arch in [HouseholdArchetype::SingleResident, HouseholdArchetype::SuburbanWithEv] {
+        for arch in [
+            HouseholdArchetype::SingleResident,
+            HouseholdArchetype::SuburbanWithEv,
+        ] {
             let cfg = HouseholdConfig::new(31, arch);
-            group.bench_with_input(
-                BenchmarkId::new(format!("{arch}"), days),
-                &days,
-                |b, &d| b.iter(|| simulate_household(black_box(&cfg), horizon(d))),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{arch}"), days), &days, |b, &d| {
+                b.iter(|| simulate_household(black_box(&cfg), horizon(d)))
+            });
         }
     }
     group.finish();
@@ -31,9 +32,15 @@ fn bench_wind(c: &mut Criterion) {
     let farm = WindFarmConfig::default();
     for days in [7_i64, 28] {
         group.throughput(Throughput::Elements((days * 96) as u64));
-        group.bench_with_input(BenchmarkId::new("production_15min", days), &days, |b, &d| {
-            b.iter(|| simulate_wind_production(black_box(&farm), horizon(d), Resolution::MIN_15))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("production_15min", days),
+            &days,
+            |b, &d| {
+                b.iter(|| {
+                    simulate_wind_production(black_box(&farm), horizon(d), Resolution::MIN_15)
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -42,7 +49,12 @@ fn bench_fleet(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim/fleet");
     group.sample_size(10);
     for threads in [1_usize, 4] {
-        let cfg = FleetConfig { households: 20, base_seed: 7, threads, ..FleetConfig::default() };
+        let cfg = FleetConfig {
+            households: 20,
+            base_seed: 7,
+            threads,
+            ..FleetConfig::default()
+        };
         group.throughput(Throughput::Elements(20));
         group.bench_with_input(
             BenchmarkId::new("households_20_week", threads),

@@ -3,7 +3,11 @@
 use flextract_eval::experiments::{threshold_ablation, ExperimentParams};
 
 fn main() {
-    let params = ExperimentParams { households: 30, days: 28, seed: 2013 };
+    let params = ExperimentParams {
+        households: 30,
+        days: 28,
+        seed: 2013,
+    };
     let ablation = threshold_ablation(params);
     print!("{}", ablation.render());
     println!("\n(30 households x 28 days; 'empty-days' = household-days where no peak survived the filter)");

@@ -4,7 +4,11 @@
 use flextract_eval::experiments::{tariff_study, ExperimentParams};
 
 fn main() {
-    let params = ExperimentParams { households: 15, days: 28, seed: 2013 };
+    let params = ExperimentParams {
+        households: 15,
+        days: 28,
+        seed: 2013,
+    };
     let study = tariff_study(&[0.0, 0.25, 0.5, 0.75, 1.0], params);
     print!("{}", study.render());
     println!("\n(15 family households x 28 days under the overnight 22:00-06:00 low tariff)");

@@ -18,10 +18,7 @@ fn main() {
         .start_window(ten_pm, five_am)
         .slices(
             Resolution::MIN_15,
-            vec![
-                EnergyRange::new(per_slice * 0.9, per_slice).expect("static range");
-                8
-            ],
+            vec![EnergyRange::new(per_slice * 0.9, per_slice).expect("static range"); 8],
         )
         .created_at(ten_pm - Duration::hours(12))
         .build()
@@ -33,13 +30,21 @@ fn main() {
     println!("latest start time   : {}   (5 AM)", offer.latest_start());
     println!("latest end time     : {}   (7 AM)", offer.latest_end());
     println!("start time flexibility : {}", offer.time_flexibility());
-    println!("profile duration       : {} ({} slices of {})",
+    println!(
+        "profile duration       : {} ({} slices of {})",
         offer.profile().duration(),
         offer.profile().len(),
-        offer.profile().resolution());
+        offer.profile().resolution()
+    );
     let total = offer.total_energy();
-    println!("total energy           : {:.1}-{:.1} kWh (max = the 50 kWh charge)", total.min, total.max);
-    println!("energy flexibility     : {:.1} kWh", offer.energy_flexibility());
+    println!(
+        "total energy           : {:.1}-{:.1} kWh (max = the 50 kWh charge)",
+        total.min, total.max
+    );
+    println!(
+        "energy flexibility     : {:.1} kWh",
+        offer.energy_flexibility()
+    );
     println!("creation time          : {}", offer.creation_time());
     println!("acceptance deadline    : {}", offer.acceptance_deadline());
     println!("assignment deadline    : {}", offer.assignment_deadline());

@@ -16,12 +16,18 @@ use rand::SeedableRng;
 fn main() {
     let day = family_market_series(1, 4);
     println!("Figure 4 — flex-offers extracted using the basic approach\n");
-    println!("input: one simulated household-day, {:.2} kWh total\n", day.total_energy());
+    println!(
+        "input: one simulated household-day, {:.2} kWh total\n",
+        day.total_energy()
+    );
 
     let cfg = ExtractionConfig::default();
     let extractor = BasicExtractor::new(cfg.clone());
     let out = extractor
-        .extract(&ExtractionInput::household(&day), &mut StdRng::seed_from_u64(4))
+        .extract(
+            &ExtractionInput::household(&day),
+            &mut StdRng::seed_from_u64(4),
+        )
         .expect("one full day of data");
     out.check_invariants(&day).expect("energy accounting holds");
 
@@ -52,7 +58,10 @@ fn main() {
         for (i, s) in offer.profile().slices().iter().enumerate() {
             let light = "#".repeat((s.min * 200.0).round() as usize);
             let dark = "+".repeat(((s.max - s.min) * 200.0).round().max(1.0) as usize);
-            println!("    slice {i}: {:6.3}-{:6.3} kWh {light}{dark}", s.min, s.max);
+            println!(
+                "    slice {i}: {:6.3}-{:6.3} kWh {light}{dark}",
+                s.min, s.max
+            );
         }
         println!();
     }

@@ -24,7 +24,10 @@ fn main() {
 
     let extractor = PeakExtractor::new(ExtractionConfig::default());
     let out = extractor
-        .extract(&ExtractionInput::household(&day), &mut StdRng::seed_from_u64(5))
+        .extract(
+            &ExtractionInput::household(&day),
+            &mut StdRng::seed_from_u64(5),
+        )
         .expect("the canonical day is non-empty");
     let report = &out.diagnostics.peak_reports[0];
 
@@ -37,7 +40,10 @@ fn main() {
         FIG5_EXPECTED.flexible_share * 100.0,
         report.min_peak_energy_kwh
     );
-    println!("{:>5} {:>8} {:>10} {:>9} {:>12} {:>12}", "peak", "start", "intervals", "size", "filter", "probability");
+    println!(
+        "{:>5} {:>8} {:>10} {:>9} {:>12} {:>12}",
+        "peak", "start", "intervals", "size", "filter", "probability"
+    );
     for p in &report.peaks {
         println!(
             "{:>5} {:>8} {:>10} {:>9.2} {:>12} {:>12}",
@@ -45,7 +51,11 @@ fn main() {
             p.start.time().to_string(),
             p.intervals,
             p.size_kwh,
-            if p.survived_filter { "survives" } else { "discarded" },
+            if p.survived_filter {
+                "survives"
+            } else {
+                "discarded"
+            },
             if p.survived_filter {
                 format!("{:.0} %", p.probability * 100.0)
             } else {
@@ -63,7 +73,12 @@ fn main() {
     assert!((day.total_energy() - FIG5_EXPECTED.day_total_kwh).abs() < 1e-9);
     assert_eq!(report.peaks.len(), 8);
     for (p, expect) in report.peaks.iter().zip(FIG5_EXPECTED.peak_sizes_kwh) {
-        assert!((p.size_kwh - expect).abs() < 1e-9, "peak {}: {}", p.number, p.size_kwh);
+        assert!(
+            (p.size_kwh - expect).abs() < 1e-9,
+            "peak {}: {}",
+            p.number,
+            p.size_kwh
+        );
     }
     assert!((report.min_peak_energy_kwh - FIG5_EXPECTED.min_peak_energy_kwh).abs() < 1e-9);
     let survivors: Vec<&flextract_core::PeakInfo> =

@@ -9,9 +9,7 @@
 //! built by applying some randomization to the constructed flex-offers."
 
 use crate::extractor::{build_offer, sample_slice_count, FlexibilityExtractor};
-use crate::{
-    Diagnostics, ExtractionConfig, ExtractionError, ExtractionInput, ExtractionOutput,
-};
+use crate::{Diagnostics, ExtractionConfig, ExtractionError, ExtractionInput, ExtractionOutput};
 use flextract_series::segment::split_into_periods;
 use rand::rngs::StdRng;
 
@@ -57,9 +55,10 @@ impl FlexibilityExtractor for BasicExtractor {
         for period in split_into_periods(series, self.cfg.period) {
             let period_energy = period.total_energy();
             if period_energy <= 0.0 {
-                diagnostics
-                    .notes
-                    .push(format!("{}: zero-consumption period skipped", period.start()));
+                diagnostics.notes.push(format!(
+                    "{}: zero-consumption period skipped",
+                    period.start()
+                ));
                 continue;
             }
             // "the fraction of flexibility within each period is
@@ -76,7 +75,10 @@ impl FlexibilityExtractor for BasicExtractor {
             let window = &period.values()[..n];
             let window_energy: f64 = window.iter().sum();
             let mut energies: Vec<f64> = if window_energy > 0.0 {
-                window.iter().map(|c| flexible * c / window_energy).collect()
+                window
+                    .iter()
+                    .map(|c| flexible * c / window_energy)
+                    .collect()
             } else {
                 vec![flexible / n as f64; n]
             };
@@ -131,13 +133,20 @@ mod tests {
                     + 0.9 * (-(h - 19.0) * (h - 19.0) / 6.0).exp()
             })
             .collect();
-        TimeSeries::new("2013-03-18".parse::<Timestamp>().unwrap(), Resolution::MIN_15, values)
-            .unwrap()
+        TimeSeries::new(
+            "2013-03-18".parse::<Timestamp>().unwrap(),
+            Resolution::MIN_15,
+            values,
+        )
+        .unwrap()
     }
 
     fn run(series: &TimeSeries, cfg: ExtractionConfig, seed: u64) -> ExtractionOutput {
         BasicExtractor::new(cfg)
-            .extract(&ExtractionInput::household(series), &mut StdRng::seed_from_u64(seed))
+            .extract(
+                &ExtractionInput::household(series),
+                &mut StdRng::seed_from_u64(seed),
+            )
             .unwrap()
     }
 
@@ -149,8 +158,11 @@ mod tests {
         assert_eq!(out.flex_offers.len(), 4);
         out.check_invariants(&series).unwrap();
         // Offers anchor at period starts.
-        let starts: Vec<String> =
-            out.flex_offers.iter().map(|o| o.earliest_start().to_string()).collect();
+        let starts: Vec<String> = out
+            .flex_offers
+            .iter()
+            .map(|o| o.earliest_start().to_string())
+            .collect();
         assert_eq!(
             starts,
             vec![
@@ -198,11 +210,18 @@ mod tests {
         // Evening period (18:00): consumption is humped around 19:00,
         // so within the profile the 19:00-ish slices must dominate.
         let evening = &out.flex_offers[3];
-        let mids: Vec<f64> =
-            evening.profile().slices().iter().map(|s| s.midpoint()).collect();
+        let mids: Vec<f64> = evening
+            .profile()
+            .slices()
+            .iter()
+            .map(|s| s.midpoint())
+            .collect();
         let first = mids[0];
         let at_peak = mids[4]; // 19:00 (4 slices past 18:00)
-        assert!(at_peak > first, "profile should rise into the hump: {mids:?}");
+        assert!(
+            at_peak > first,
+            "profile should rise into the hump: {mids:?}"
+        );
     }
 
     #[test]
@@ -243,7 +262,11 @@ mod tests {
         .unwrap();
         let out = run(&series, ExtractionConfig::default(), 6);
         assert_eq!(out.flex_offers.len(), 3);
-        assert!(out.diagnostics.notes.iter().any(|n| n.contains("zero-consumption")));
+        assert!(out
+            .diagnostics
+            .notes
+            .iter()
+            .any(|n| n.contains("zero-consumption")));
     }
 
     #[test]
@@ -256,7 +279,10 @@ mod tests {
         .unwrap();
         let ex = BasicExtractor::new(ExtractionConfig::default());
         assert_eq!(
-            ex.extract(&ExtractionInput::household(&series), &mut StdRng::seed_from_u64(1)),
+            ex.extract(
+                &ExtractionInput::household(&series),
+                &mut StdRng::seed_from_u64(1)
+            ),
             Err(ExtractionError::EmptySeries)
         );
     }

@@ -66,7 +66,10 @@ impl Default for ExtractionConfig {
 impl ExtractionConfig {
     /// A config with the given flexible share and all other defaults.
     pub fn with_share(share: f64) -> Self {
-        ExtractionConfig { flexible_share: share, ..ExtractionConfig::default() }
+        ExtractionConfig {
+            flexible_share: share,
+            ..ExtractionConfig::default()
+        }
     }
 
     /// Check every field's domain.

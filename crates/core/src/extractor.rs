@@ -62,8 +62,7 @@ pub(crate) fn build_offer(
         })
         .collect::<Result<_, _>>()?;
 
-    let flexibility =
-        sample_flexibility(rng, cfg.time_flexibility, cfg.slice_resolution.minutes());
+    let flexibility = sample_flexibility(rng, cfg.time_flexibility, cfg.slice_resolution.minutes());
     let latest_start = earliest_start + flexibility;
     let creation = earliest_start - cfg.creation_lead;
     let acceptance = (creation + cfg.acceptance_offset).min(earliest_start);
@@ -186,11 +185,7 @@ mod tests {
             assert!(f <= cfg.time_flexibility.1);
         }
         // Degenerate range collapses to the low bound.
-        let f = sample_flexibility(
-            &mut r,
-            (Duration::hours(2), Duration::hours(2)),
-            15,
-        );
+        let f = sample_flexibility(&mut r, (Duration::hours(2), Duration::hours(2)), 15);
         assert_eq!(f, Duration::hours(2));
     }
 

@@ -12,9 +12,7 @@
 //! reason the paper calls appliance-level offers "very realistic".
 
 use crate::extractor::{extract_cycle, FlexibilityExtractor};
-use crate::{
-    Diagnostics, ExtractionConfig, ExtractionError, ExtractionInput, ExtractionOutput,
-};
+use crate::{Diagnostics, ExtractionConfig, ExtractionError, ExtractionInput, ExtractionOutput};
 use flextract_disagg::{detect_activations, FrequencyTable, MatchConfig};
 use flextract_flexoffer::{EnergyRange, FlexOffer};
 use flextract_time::Duration;
@@ -30,7 +28,10 @@ pub struct FrequencyBasedExtractor {
 impl FrequencyBasedExtractor {
     /// Build with default matching parameters.
     pub fn new(cfg: ExtractionConfig) -> Self {
-        FrequencyBasedExtractor { cfg, match_cfg: MatchConfig::default() }
+        FrequencyBasedExtractor {
+            cfg,
+            match_cfg: MatchConfig::default(),
+        }
     }
 
     /// Build with custom matching parameters (ablation knob).
@@ -65,10 +66,8 @@ impl FlexibilityExtractor for FrequencyBasedExtractor {
 
         // ---- Step 1: appliance detection + frequency table.
         let shiftable = catalog.shiftable();
-        let (detections, _fine_residual) =
-            detect_activations(fine, &shiftable, &self.match_cfg);
-        let observed_days =
-            (fine.range().duration().as_minutes() as f64 / 1440.0).max(1.0 / 96.0);
+        let (detections, _fine_residual) = detect_activations(fine, &shiftable, &self.match_cfg);
+        let observed_days = (fine.range().duration().as_minutes() as f64 / 1440.0).max(1.0 / 96.0);
         let table = FrequencyTable::mine(&detections, observed_days, catalog);
 
         let mut diagnostics = Diagnostics::default();
@@ -97,8 +96,7 @@ impl FlexibilityExtractor for FrequencyBasedExtractor {
             // Realise the detected cycle on the fine grid and move its
             // energy from the household series into the extraction.
             let cycle = spec.profile.to_energy_series(det.start, det.intensity);
-            let Some((lo, energies)) = extract_cycle(&mut modified, &mut extracted, &cycle)
-            else {
+            let Some((lo, energies)) = extract_cycle(&mut modified, &mut extracted, &cycle) else {
                 diagnostics.notes.push(format!(
                     "{} @ {}: no residual energy to extract",
                     det.appliance, det.start
@@ -120,8 +118,8 @@ impl FlexibilityExtractor for FrequencyBasedExtractor {
                 .collect::<Result<_, _>>()?;
 
             let earliest = modified.timestamp_of(lo);
-            let latest = earliest
-                + Duration::minutes((flexibility.as_minutes() / slice_min) * slice_min);
+            let latest =
+                earliest + Duration::minutes((flexibility.as_minutes() / slice_min) * slice_min);
             let creation = earliest - self.cfg.creation_lead;
             let acceptance = (creation + self.cfg.acceptance_offset).min(earliest);
             let assignment = (earliest - self.cfg.assignment_lead).max(acceptance);
@@ -169,9 +167,12 @@ mod tests {
         for v in fine.values_mut() {
             *v = 0.1 / 60.0;
         }
-        let washer = cat.find_by_name("Washing Machine from Manufacturer Y").unwrap();
+        let washer = cat
+            .find_by_name("Washing Machine from Manufacturer Y")
+            .unwrap();
         let at: Timestamp = "2013-03-18 19:00".parse().unwrap();
-        fine.add_overlapping(&washer.profile.to_energy_series(at, 0.5)).unwrap();
+        fine.add_overlapping(&washer.profile.to_energy_series(at, 0.5))
+            .unwrap();
         let market = resample::downsample(&fine, Resolution::MIN_15).unwrap();
         (fine, market, at)
     }
@@ -223,7 +224,10 @@ mod tests {
         assert!(total.max >= total.min && total.max <= 3.5, "{total:?}");
         // Extracted energy is inside the offer band.
         let e = out.extracted_energy();
-        assert!(total.min <= e + 1e-9 && e <= total.max + 1e-9, "{e} vs {total:?}");
+        assert!(
+            total.min <= e + 1e-9 && e <= total.max + 1e-9,
+            "{e} vs {total:?}"
+        );
     }
 
     #[test]
@@ -252,7 +256,10 @@ mod tests {
         let (_, market, _) = staged();
         let ex = FrequencyBasedExtractor::new(ExtractionConfig::default());
         assert_eq!(
-            ex.extract(&ExtractionInput::household(&market), &mut StdRng::seed_from_u64(1)),
+            ex.extract(
+                &ExtractionInput::household(&market),
+                &mut StdRng::seed_from_u64(1)
+            ),
             Err(ExtractionError::MissingCatalog)
         );
     }

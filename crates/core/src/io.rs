@@ -31,7 +31,12 @@ impl<'a> ExtractionInput<'a> {
     /// An input with only the household series (enough for random,
     /// basic and peak-based extraction).
     pub fn household(series: &'a TimeSeries) -> Self {
-        ExtractionInput { series, reference_series: None, fine_series: None, catalog: None }
+        ExtractionInput {
+            series,
+            reference_series: None,
+            fine_series: None,
+            catalog: None,
+        }
     }
 
     /// Attach the one-tariff reference (enables multi-tariff
@@ -130,8 +135,7 @@ impl ExtractionOutput {
 
     /// Achieved flexible share relative to the original input.
     pub fn achieved_share(&self) -> f64 {
-        let original =
-            self.modified_series.total_energy() + self.extracted_series.total_energy();
+        let original = self.modified_series.total_energy() + self.extracted_series.total_energy();
         if original <= 0.0 {
             0.0
         } else {
@@ -160,7 +164,9 @@ impl ExtractionOutput {
         }
         for (i, (a, b)) in back.values().iter().zip(original.values()).enumerate() {
             if (a - b).abs() > 1e-6 {
-                return Err(format!("energy accounting broken at interval {i}: {a} vs {b}"));
+                return Err(format!(
+                    "energy accounting broken at interval {i}: {a} vs {b}"
+                ));
             }
         }
         Ok(())

@@ -114,10 +114,16 @@ impl std::fmt::Display for ExtractionError {
         match self {
             ExtractionError::EmptySeries => write!(f, "input series is empty"),
             ExtractionError::MissingReference => {
-                write!(f, "multi-tariff extraction requires a one-tariff reference series")
+                write!(
+                    f,
+                    "multi-tariff extraction requires a one-tariff reference series"
+                )
             }
             ExtractionError::MissingCatalog => {
-                write!(f, "appliance-level extraction requires an appliance catalog")
+                write!(
+                    f,
+                    "appliance-level extraction requires an appliance catalog"
+                )
             }
             ExtractionError::InvalidConfig { what } => write!(f, "invalid config: {what}"),
             ExtractionError::Series(e) => write!(f, "series error: {e}"),
@@ -147,8 +153,12 @@ mod lib_tests {
     #[test]
     fn error_display() {
         assert!(ExtractionError::EmptySeries.to_string().contains("empty"));
-        assert!(ExtractionError::MissingReference.to_string().contains("one-tariff"));
-        assert!(ExtractionError::MissingCatalog.to_string().contains("catalog"));
+        assert!(ExtractionError::MissingReference
+            .to_string()
+            .contains("one-tariff"));
+        assert!(ExtractionError::MissingCatalog
+            .to_string()
+            .contains("catalog"));
         assert!(ExtractionError::InvalidConfig { what: "share > 1" }
             .to_string()
             .contains("share > 1"));

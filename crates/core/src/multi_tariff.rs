@@ -19,9 +19,7 @@
 //!   (the load evidently used to run there).
 
 use crate::extractor::FlexibilityExtractor;
-use crate::{
-    Diagnostics, ExtractionConfig, ExtractionError, ExtractionInput, ExtractionOutput,
-};
+use crate::{Diagnostics, ExtractionConfig, ExtractionError, ExtractionInput, ExtractionOutput};
 use flextract_flexoffer::{EnergyRange, FlexOffer};
 use flextract_series::segment::{day_profile_std, split_whole_days, typical_day_profile, DayKind};
 use flextract_time::Duration;
@@ -41,12 +39,20 @@ pub struct MultiTariffExtractor {
 impl MultiTariffExtractor {
     /// Build with the default noise band (1 σ, 0.02 kWh floor).
     pub fn new(cfg: ExtractionConfig) -> Self {
-        MultiTariffExtractor { cfg, sigma_band: 1.0, noise_floor_kwh: 0.02 }
+        MultiTariffExtractor {
+            cfg,
+            sigma_band: 1.0,
+            noise_floor_kwh: 0.02,
+        }
     }
 
     /// Override the noise band (ablation knob).
     pub fn with_band(cfg: ExtractionConfig, sigma_band: f64, noise_floor_kwh: f64) -> Self {
-        MultiTariffExtractor { cfg, sigma_band, noise_floor_kwh }
+        MultiTariffExtractor {
+            cfg,
+            sigma_band,
+            noise_floor_kwh,
+        }
     }
 
     /// The configuration in use.
@@ -78,7 +84,9 @@ impl FlexibilityExtractor for MultiTariffExtractor {
         if series.is_empty() {
             return Err(ExtractionError::EmptySeries);
         }
-        let reference = input.reference_series.ok_or(ExtractionError::MissingReference)?;
+        let reference = input
+            .reference_series
+            .ok_or(ExtractionError::MissingReference)?;
         if reference.is_empty() {
             return Err(ExtractionError::MissingReference);
         }
@@ -127,8 +135,7 @@ impl FlexibilityExtractor for MultiTariffExtractor {
             // Signed anomaly vs the noise band.
             let mut arrivals: Vec<(usize, usize)> = Vec::new(); // [start, end)
             let mut departures: Vec<(usize, usize)> = Vec::new();
-            let band =
-                |i: usize| (self.sigma_band * sigma[i]).max(self.noise_floor_kwh);
+            let band = |i: usize| (self.sigma_band * sigma[i]).max(self.noise_floor_kwh);
             let mut i = 0;
             while i < n {
                 let diff = day.values()[i] - typical[i];
@@ -184,9 +191,12 @@ impl FlexibilityExtractor for MultiTariffExtractor {
                     .unwrap_or_else(|| {
                         let back = rng.gen_range(
                             self.cfg.time_flexibility.0.as_minutes()
-                                ..=self.cfg.time_flexibility.1.as_minutes().max(
-                                    self.cfg.time_flexibility.0.as_minutes() + 1,
-                                ),
+                                ..=self
+                                    .cfg
+                                    .time_flexibility
+                                    .1
+                                    .as_minutes()
+                                    .max(self.cfg.time_flexibility.0.as_minutes() + 1),
                         );
                         arrival_t - Duration::minutes((back / slice_min) * slice_min)
                     });
@@ -203,10 +213,12 @@ impl FlexibilityExtractor for MultiTariffExtractor {
                 let slices: Vec<EnergyRange> = energies
                     .iter()
                     .map(|&e| {
-                        let min_f = rng
-                            .gen_range(self.cfg.min_energy_fraction.0..=self.cfg.min_energy_fraction.1);
-                        let max_f = rng
-                            .gen_range(self.cfg.max_energy_fraction.0..=self.cfg.max_energy_fraction.1);
+                        let min_f = rng.gen_range(
+                            self.cfg.min_energy_fraction.0..=self.cfg.min_energy_fraction.1,
+                        );
+                        let max_f = rng.gen_range(
+                            self.cfg.max_energy_fraction.0..=self.cfg.max_energy_fraction.1,
+                        );
                         EnergyRange::new(e * min_f, e * max_f)
                     })
                     .collect::<Result<_, _>>()?;
@@ -224,9 +236,10 @@ impl FlexibilityExtractor for MultiTariffExtractor {
                 offers.push(offer);
             }
         }
-        diagnostics
-            .notes
-            .push(format!("{} flex-offers from tariff-shift anomalies", offers.len()));
+        diagnostics.notes.push(format!(
+            "{} flex-offers from tariff-shift anomalies",
+            offers.len()
+        ));
         Ok(ExtractionOutput {
             approach: self.name(),
             flex_offers: offers,
@@ -267,8 +280,12 @@ mod tests {
             }
             values.extend(day);
         }
-        TimeSeries::new("2013-03-18".parse::<Timestamp>().unwrap(), Resolution::MIN_15, values)
-            .unwrap()
+        TimeSeries::new(
+            "2013-03-18".parse::<Timestamp>().unwrap(),
+            Resolution::MIN_15,
+            values,
+        )
+        .unwrap()
     }
 
     fn run(observed: &TimeSeries, reference: &TimeSeries, seed: u64) -> ExtractionOutput {
@@ -297,7 +314,11 @@ mod tests {
             assert!(total.min < 1.2 && 1.2 < total.max + 0.4, "{total:?}");
         }
         // Extracted energy ≈ 3 days × 1.2 kWh.
-        assert!((out.extracted_energy() - 3.6).abs() < 0.2, "{}", out.extracted_energy());
+        assert!(
+            (out.extracted_energy() - 3.6).abs() < 0.2,
+            "{}",
+            out.extracted_energy()
+        );
     }
 
     #[test]
@@ -305,7 +326,10 @@ mod tests {
         let obs = shifted_observed(1);
         let ex = MultiTariffExtractor::new(ExtractionConfig::default());
         let err = ex
-            .extract(&ExtractionInput::household(&obs), &mut StdRng::seed_from_u64(1))
+            .extract(
+                &ExtractionInput::household(&obs),
+                &mut StdRng::seed_from_u64(1),
+            )
             .unwrap_err();
         assert_eq!(err, ExtractionError::MissingReference);
     }
@@ -377,7 +401,11 @@ mod tests {
         let mut values = Vec::new();
         for d in 0..14 {
             let t = start + Duration::days(d);
-            let level = if t.day_of_week().is_weekend() { 0.8 } else { 0.4 };
+            let level = if t.day_of_week().is_weekend() {
+                0.8
+            } else {
+                0.4
+            };
             values.extend(vec![level; 96]);
         }
         let refr = TimeSeries::new(start, Resolution::MIN_15, values).unwrap();

@@ -8,9 +8,7 @@
 
 use crate::extractor::{build_offer, FlexibilityExtractor};
 use crate::io::{PeakDayReport, PeakInfo};
-use crate::{
-    Diagnostics, ExtractionConfig, ExtractionError, ExtractionInput, ExtractionOutput,
-};
+use crate::{Diagnostics, ExtractionConfig, ExtractionError, ExtractionInput, ExtractionOutput};
 use flextract_series::peaks::{detect_peaks, filter_peaks, selection_probabilities};
 use flextract_series::segment::split_whole_days;
 use flextract_series::PeakThreshold;
@@ -27,7 +25,10 @@ pub struct PeakExtractor {
 impl PeakExtractor {
     /// Build with the paper's threshold (the daily mean).
     pub fn new(cfg: ExtractionConfig) -> Self {
-        PeakExtractor { cfg, threshold: PeakThreshold::Mean }
+        PeakExtractor {
+            cfg,
+            threshold: PeakThreshold::Mean,
+        }
     }
 
     /// Build with an alternative detection threshold (the DESIGN.md
@@ -84,9 +85,10 @@ impl FlexibilityExtractor for PeakExtractor {
         for day in split_whole_days(series) {
             let day_total = day.total_energy();
             if day_total <= 0.0 {
-                diagnostics
-                    .notes
-                    .push(format!("{}: zero-consumption day skipped", day.start().date()));
+                diagnostics.notes.push(format!(
+                    "{}: zero-consumption day skipped",
+                    day.start().date()
+                ));
                 continue;
             }
             // Phase 1: detection above the daily average line.
@@ -154,8 +156,7 @@ impl FlexibilityExtractor for PeakExtractor {
                 modified.values_mut()[global] -= *e;
                 extracted.values_mut()[global] += *e;
             }
-            let offer =
-                build_offer(next_id, &self.cfg, rng, peak.range.start(), &energies)?;
+            let offer = build_offer(next_id, &self.cfg, rng, peak.range.start(), &energies)?;
             next_id += 1;
             offers.push(offer);
         }
@@ -191,13 +192,20 @@ mod tests {
         for v in values.iter_mut().skip(72).take(6) {
             *v = 0.83;
         }
-        TimeSeries::new("2013-03-18".parse::<Timestamp>().unwrap(), Resolution::MIN_15, values)
-            .unwrap()
+        TimeSeries::new(
+            "2013-03-18".parse::<Timestamp>().unwrap(),
+            Resolution::MIN_15,
+            values,
+        )
+        .unwrap()
     }
 
     fn run(series: &TimeSeries, cfg: ExtractionConfig, seed: u64) -> ExtractionOutput {
         PeakExtractor::new(cfg)
-            .extract(&ExtractionInput::household(series), &mut StdRng::seed_from_u64(seed))
+            .extract(
+                &ExtractionInput::household(series),
+                &mut StdRng::seed_from_u64(seed),
+            )
             .unwrap()
     }
 
@@ -218,12 +226,9 @@ mod tests {
         let mean = series.total_energy() / 96.0;
         assert!((report.threshold_kwh - mean).abs() < 1e-9);
         // Filter threshold is share × day total.
-        assert!(
-            (report.min_peak_energy_kwh - 0.05 * series.total_energy()).abs() < 1e-9
-        );
+        assert!((report.min_peak_energy_kwh - 0.05 * series.total_energy()).abs() < 1e-9);
         // Exactly two survivors, probabilities sum to 1.
-        let survivors: Vec<&PeakInfo> =
-            report.peaks.iter().filter(|p| p.survived_filter).collect();
+        let survivors: Vec<&PeakInfo> = report.peaks.iter().filter(|p| p.survived_filter).collect();
         assert_eq!(survivors.len(), 2, "{:?}", report.peaks);
         let p_sum: f64 = survivors.iter().map(|p| p.probability).sum();
         assert!((p_sum - 1.0).abs() < 1e-9);
@@ -286,7 +291,11 @@ mod tests {
         );
         let out = run(&series, ExtractionConfig::default(), 3);
         assert!(out.flex_offers.is_empty());
-        assert!(out.diagnostics.notes.iter().any(|n| n.contains("no peak survived")));
+        assert!(out
+            .diagnostics
+            .notes
+            .iter()
+            .any(|n| n.contains("no peak survived")));
         // The report is still emitted, with zero survivors.
         assert_eq!(out.diagnostics.peak_reports.len(), 1);
         assert!(out.diagnostics.peak_reports[0].peaks.is_empty());
@@ -303,18 +312,19 @@ mod tests {
     fn median_threshold_ablation_detects_more_peaks() {
         let series = two_peak_day();
         let mean_ex = PeakExtractor::new(ExtractionConfig::default());
-        let med_ex = PeakExtractor::with_threshold(
-            ExtractionConfig::default(),
-            PeakThreshold::Median,
-        );
+        let med_ex =
+            PeakExtractor::with_threshold(ExtractionConfig::default(), PeakThreshold::Median);
         let mut rng = StdRng::seed_from_u64(5);
-        let a = mean_ex.extract(&ExtractionInput::household(&series), &mut rng).unwrap();
+        let a = mean_ex
+            .extract(&ExtractionInput::household(&series), &mut rng)
+            .unwrap();
         let mut rng = StdRng::seed_from_u64(5);
-        let b = med_ex.extract(&ExtractionInput::household(&series), &mut rng).unwrap();
+        let b = med_ex
+            .extract(&ExtractionInput::household(&series), &mut rng)
+            .unwrap();
         // Median (0.2) sits below the mean here → at least as many raw peaks.
         assert!(
-            b.diagnostics.peak_reports[0].peaks.len()
-                >= a.diagnostics.peak_reports[0].peaks.len()
+            b.diagnostics.peak_reports[0].peaks.len() >= a.diagnostics.peak_reports[0].peaks.len()
         );
     }
 
@@ -344,7 +354,10 @@ mod tests {
         .unwrap();
         let ex = PeakExtractor::new(ExtractionConfig::default());
         assert_eq!(
-            ex.extract(&ExtractionInput::household(&series), &mut StdRng::seed_from_u64(1)),
+            ex.extract(
+                &ExtractionInput::household(&series),
+                &mut StdRng::seed_from_u64(1)
+            ),
             Err(ExtractionError::EmptySeries)
         );
     }

@@ -13,9 +13,7 @@
 //! the explicit flexibility trading model").
 
 use crate::extractor::FlexibilityExtractor;
-use crate::{
-    Diagnostics, ExtractionConfig, ExtractionError, ExtractionInput, ExtractionOutput,
-};
+use crate::{Diagnostics, ExtractionConfig, ExtractionError, ExtractionInput, ExtractionOutput};
 use flextract_flexoffer::{EnergyRange, FlexOffer};
 use flextract_series::peaks::{detect_peaks, filter_peaks};
 use flextract_series::PeakThreshold;
@@ -72,7 +70,10 @@ impl ProductionExtractor {
     /// A dispatchable producer that can shift its program by
     /// `shift_window`.
     pub fn dispatchable(cfg: ExtractionConfig, shift_window: Duration) -> Self {
-        ProductionExtractor { cfg, kind: ProducerKind::Dispatchable { shift_window } }
+        ProductionExtractor {
+            cfg,
+            kind: ProducerKind::Dispatchable { shift_window },
+        }
     }
 
     /// Build with an explicit kind.
@@ -112,7 +113,10 @@ impl FlexibilityExtractor for ProductionExtractor {
         let mut next_id = 1u64;
 
         match self.kind {
-            ProducerKind::Renewable { timing_uncertainty, magnitude_uncertainty } => {
+            ProducerKind::Renewable {
+                timing_uncertainty,
+                magnitude_uncertainty,
+            } => {
                 // Offer the forecast *ramps*: contiguous runs above the
                 // series mean, filtered to meaningful energy.
                 let (thr, ramps) = detect_peaks(forecast, PeakThreshold::Mean)?;
@@ -123,9 +127,8 @@ impl FlexibilityExtractor for ProductionExtractor {
                     diagnostics.notes.len(),
                     kept.len()
                 ));
-                let slack = Duration::minutes(
-                    (timing_uncertainty.as_minutes() / slice_min) * slice_min,
-                );
+                let slack =
+                    Duration::minutes((timing_uncertainty.as_minutes() / slice_min) * slice_min);
                 for ramp in kept {
                     let window = &forecast.values()[ramp.start_index..ramp.end_index()];
                     let slices: Vec<EnergyRange> = window
@@ -183,9 +186,8 @@ impl FlexibilityExtractor for ProductionExtractor {
                         extracted.values_mut()[idx] += e;
                     }
                     let earliest = day.start();
-                    let flex = Duration::minutes(
-                        (shift_window.as_minutes() / slice_min) * slice_min,
-                    );
+                    let flex =
+                        Duration::minutes((shift_window.as_minutes() / slice_min) * slice_min);
                     let creation = earliest - self.cfg.creation_lead;
                     let acceptance = (creation + self.cfg.acceptance_offset).min(earliest);
                     let assignment = (earliest - self.cfg.assignment_lead).max(acceptance);
@@ -226,8 +228,12 @@ mod tests {
         for v in values.iter_mut().skip(40).take(24) {
             *v = 60.0;
         }
-        TimeSeries::new("2013-03-18".parse::<Timestamp>().unwrap(), Resolution::MIN_15, values)
-            .unwrap()
+        TimeSeries::new(
+            "2013-03-18".parse::<Timestamp>().unwrap(),
+            Resolution::MIN_15,
+            values,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -235,7 +241,10 @@ mod tests {
         let fc = forecast_day();
         let ex = ProductionExtractor::renewable(ExtractionConfig::default());
         let out = ex
-            .extract(&ExtractionInput::household(&fc), &mut StdRng::seed_from_u64(1))
+            .extract(
+                &ExtractionInput::household(&fc),
+                &mut StdRng::seed_from_u64(1),
+            )
             .unwrap();
         assert_eq!(out.flex_offers.len(), 1);
         let offer = &out.flex_offers[0];
@@ -258,7 +267,10 @@ mod tests {
         let ex =
             ProductionExtractor::dispatchable(ExtractionConfig::default(), Duration::hours(12));
         let out = ex
-            .extract(&ExtractionInput::household(&fc), &mut StdRng::seed_from_u64(1))
+            .extract(
+                &ExtractionInput::household(&fc),
+                &mut StdRng::seed_from_u64(1),
+            )
             .unwrap();
         assert_eq!(out.flex_offers.len(), 1); // one per day
         let offer = &out.flex_offers[0];
@@ -282,7 +294,10 @@ mod tests {
         );
         let ex = ProductionExtractor::renewable(ExtractionConfig::default());
         let out = ex
-            .extract(&ExtractionInput::household(&flat), &mut StdRng::seed_from_u64(1))
+            .extract(
+                &ExtractionInput::household(&flat),
+                &mut StdRng::seed_from_u64(1),
+            )
             .unwrap();
         assert!(out.flex_offers.is_empty());
     }
@@ -295,7 +310,10 @@ mod tests {
         let fc = forecast_day();
         let ex = ProductionExtractor::renewable(ExtractionConfig::default());
         let out = ex
-            .extract(&ExtractionInput::household(&fc), &mut StdRng::seed_from_u64(1))
+            .extract(
+                &ExtractionInput::household(&fc),
+                &mut StdRng::seed_from_u64(1),
+            )
             .unwrap();
         let offer = &out.flex_offers[0];
         assert!(offer.validate().is_ok());
@@ -316,7 +334,10 @@ mod tests {
         .unwrap();
         let ex = ProductionExtractor::renewable(ExtractionConfig::default());
         let out = ex
-            .extract(&ExtractionInput::household(&fc), &mut StdRng::seed_from_u64(1))
+            .extract(
+                &ExtractionInput::household(&fc),
+                &mut StdRng::seed_from_u64(1),
+            )
             .unwrap();
         assert_eq!(out.flex_offers[0].earliest_start(), fc.start());
     }
@@ -331,7 +352,10 @@ mod tests {
         .unwrap();
         let ex = ProductionExtractor::renewable(ExtractionConfig::default());
         assert_eq!(
-            ex.extract(&ExtractionInput::household(&empty), &mut StdRng::seed_from_u64(1)),
+            ex.extract(
+                &ExtractionInput::household(&empty),
+                &mut StdRng::seed_from_u64(1)
+            ),
             Err(ExtractionError::EmptySeries)
         );
     }
@@ -339,7 +363,10 @@ mod tests {
     #[test]
     fn names_distinguish_producer_kinds() {
         let cfg = ExtractionConfig::default();
-        assert_eq!(ProductionExtractor::renewable(cfg.clone()).name(), "production-res");
+        assert_eq!(
+            ProductionExtractor::renewable(cfg.clone()).name(),
+            "production-res"
+        );
         assert_eq!(
             ProductionExtractor::dispatchable(cfg, Duration::hours(6)).name(),
             "production-dispatchable"

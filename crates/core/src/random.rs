@@ -8,9 +8,7 @@
 //! comparison point.
 
 use crate::extractor::{build_offer, sample_slice_count, FlexibilityExtractor};
-use crate::{
-    Diagnostics, ExtractionConfig, ExtractionError, ExtractionInput, ExtractionOutput,
-};
+use crate::{Diagnostics, ExtractionConfig, ExtractionError, ExtractionInput, ExtractionOutput};
 use flextract_series::segment::split_whole_days;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -57,13 +55,14 @@ impl FlexibilityExtractor for RandomExtractor {
         for day in split_whole_days(series) {
             let day_energy = day.total_energy();
             if day_energy <= 0.0 {
-                diagnostics
-                    .notes
-                    .push(format!("{}: zero-consumption day skipped", day.start().date()));
+                diagnostics.notes.push(format!(
+                    "{}: zero-consumption day skipped",
+                    day.start().date()
+                ));
                 continue;
             }
-            let per_offer = self.cfg.flexible_share * day_energy
-                / self.cfg.random_offers_per_day.max(1) as f64;
+            let per_offer =
+                self.cfg.flexible_share * day_energy / self.cfg.random_offers_per_day.max(1) as f64;
             if per_offer <= 0.0 {
                 continue;
             }
@@ -72,7 +71,11 @@ impl FlexibilityExtractor for RandomExtractor {
                 // Uniform position anywhere in the day (the defining
                 // property of the baseline).
                 let max_start = day.len().saturating_sub(n);
-                let start_idx = if max_start > 0 { rng.gen_range(0..=max_start) } else { 0 };
+                let start_idx = if max_start > 0 {
+                    rng.gen_range(0..=max_start)
+                } else {
+                    0
+                };
                 let start_t = day.timestamp_of(start_idx);
                 // Equal split, capped by what each interval still holds.
                 let target = per_offer / n as f64;
@@ -121,8 +124,11 @@ mod tests {
 
     fn run(series: &TimeSeries, cfg: ExtractionConfig, seed: u64) -> ExtractionOutput {
         let ex = RandomExtractor::new(cfg);
-        ex.extract(&ExtractionInput::household(series), &mut StdRng::seed_from_u64(seed))
-            .unwrap()
+        ex.extract(
+            &ExtractionInput::household(series),
+            &mut StdRng::seed_from_u64(seed),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -132,7 +138,11 @@ mod tests {
         assert_eq!(out.flex_offers.len(), 3 * 4);
         out.check_invariants(&series).unwrap();
         // Extracted ≈ share × total (caps rarely bind on flat data).
-        assert!((out.achieved_share() - 0.05).abs() < 0.005, "{}", out.achieved_share());
+        assert!(
+            (out.achieved_share() - 0.05).abs() < 0.005,
+            "{}",
+            out.achieved_share()
+        );
     }
 
     #[test]
@@ -157,7 +167,11 @@ mod tests {
             .iter()
             .map(|o| o.earliest_start().time().hour)
             .collect();
-        assert!(hours.len() > 12, "only {} distinct start hours", hours.len());
+        assert!(
+            hours.len() > 12,
+            "only {} distinct start hours",
+            hours.len()
+        );
     }
 
     #[test]
@@ -181,7 +195,11 @@ mod tests {
         .unwrap();
         let out = run(&series, ExtractionConfig::default(), 5);
         assert_eq!(out.flex_offers.len(), 4); // only the second day
-        assert!(out.diagnostics.notes.iter().any(|n| n.contains("zero-consumption")));
+        assert!(out
+            .diagnostics
+            .notes
+            .iter()
+            .any(|n| n.contains("zero-consumption")));
     }
 
     #[test]
@@ -194,7 +212,10 @@ mod tests {
         .unwrap();
         let ex = RandomExtractor::new(ExtractionConfig::default());
         assert_eq!(
-            ex.extract(&ExtractionInput::household(&series), &mut StdRng::seed_from_u64(1)),
+            ex.extract(
+                &ExtractionInput::household(&series),
+                &mut StdRng::seed_from_u64(1)
+            ),
             Err(ExtractionError::EmptySeries)
         );
     }
@@ -215,7 +236,10 @@ mod tests {
         cfg.flexible_share = 2.0;
         let ex = RandomExtractor::new(cfg);
         assert!(matches!(
-            ex.extract(&ExtractionInput::household(&series), &mut StdRng::seed_from_u64(1)),
+            ex.extract(
+                &ExtractionInput::household(&series),
+                &mut StdRng::seed_from_u64(1)
+            ),
             Err(ExtractionError::InvalidConfig { .. })
         ));
     }

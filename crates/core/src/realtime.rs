@@ -117,10 +117,8 @@ impl RealTimeGenerator {
         // Rising edge over the local pre-edge baseline.
         let n = self.window_kw.len();
         let baseline_window = &self.window_kw[..n - 1];
-        let baseline = stats::median(
-            &baseline_window[baseline_window.len().saturating_sub(30)..],
-        )
-        .unwrap_or(0.0);
+        let baseline = stats::median(&baseline_window[baseline_window.len().saturating_sub(30)..])
+            .unwrap_or(0.0);
         let delta = kw - self.window_kw[n - 2];
         let above_base = kw - baseline;
 
@@ -128,12 +126,7 @@ impl RealTimeGenerator {
         // phase is power-compatible (and not cooling down, and allowed
         // by their mined schedule), the closest initial-power match
         // wins — a single offer per recognised cycle start.
-        let shiftable: Vec<ApplianceSpec> = self
-            .catalog
-            .shiftable()
-            .into_iter()
-            .cloned()
-            .collect();
+        let shiftable: Vec<ApplianceSpec> = self.catalog.shiftable().into_iter().cloned().collect();
         let mut best: Option<(f64, &ApplianceSpec)> = None;
         for spec in &shiftable {
             let initial_min = spec.profile.power_curve_kw(0.0)[0];
@@ -244,10 +237,13 @@ mod tests {
         for v in fine.values_mut() {
             *v = 0.1 / 60.0;
         }
-        let washer = cat.find_by_name("Washing Machine from Manufacturer Y").unwrap();
+        let washer = cat
+            .find_by_name("Washing Machine from Manufacturer Y")
+            .unwrap();
         for d in 0..14 {
             let at = start + Duration::days(d) + Duration::hours(19);
-            fine.add_overlapping(&washer.profile.to_energy_series(at, 0.5)).unwrap();
+            fine.add_overlapping(&washer.profile.to_energy_series(at, 0.5))
+                .unwrap();
         }
         fine
     }
@@ -261,14 +257,17 @@ mod tests {
     /// collect emissions.
     fn feed_day(gen: &mut RealTimeGenerator, cycle_at: Timestamp) -> Vec<FlexOffer> {
         let cat = Catalog::extended();
-        let washer = cat.find_by_name("Washing Machine from Manufacturer Y").unwrap();
+        let washer = cat
+            .find_by_name("Washing Machine from Manufacturer Y")
+            .unwrap();
         let day_start = cycle_at.start_of_day();
         let range = TimeRange::starting_at(day_start, Duration::days(1)).unwrap();
         let mut live = TimeSeries::zeros_over(range, Resolution::MIN_1).unwrap();
         for v in live.values_mut() {
             *v = 0.1 / 60.0;
         }
-        live.add_overlapping(&washer.profile.to_energy_series(cycle_at, 0.5)).unwrap();
+        live.add_overlapping(&washer.profile.to_energy_series(cycle_at, 0.5))
+            .unwrap();
         let mut out = Vec::new();
         for (t, v) in live.iter() {
             out.extend(gen.push(t, v));
@@ -285,7 +284,11 @@ mod tests {
             .find(|s| s.appliance.contains("Washing Machine"))
             .expect("washer schedule mined");
         // Hot bin at hour 19 on workdays.
-        assert!(washer.histograms[0][19] > 0.5, "{:?}", &washer.histograms[0][18..21]);
+        assert!(
+            washer.histograms[0][19] > 0.5,
+            "{:?}",
+            &washer.histograms[0][18..21]
+        );
     }
 
     #[test]
@@ -316,7 +319,9 @@ mod tests {
         let at: Timestamp = "2013-03-18 03:00".parse().unwrap();
         let offers = feed_day(&mut gen, at);
         assert!(
-            offers.iter().all(|o| o.profile().duration() != Duration::hours(2)),
+            offers
+                .iter()
+                .all(|o| o.profile().duration() != Duration::hours(2)),
             "gated cycle should not emit: {offers:?}"
         );
         // Disabling the gate lets it through.
@@ -331,7 +336,9 @@ mod tests {
     fn cooldown_prevents_duplicate_emissions() {
         let mut gen = generator().with_min_slot_rate(0.0);
         let cat = Catalog::extended();
-        let washer = cat.find_by_name("Washing Machine from Manufacturer Y").unwrap();
+        let washer = cat
+            .find_by_name("Washing Machine from Manufacturer Y")
+            .unwrap();
         let day_start: Timestamp = "2013-03-18".parse().unwrap();
         let range = TimeRange::starting_at(day_start, Duration::days(1)).unwrap();
         let mut live = TimeSeries::zeros_over(range, Resolution::MIN_1).unwrap();
@@ -342,8 +349,10 @@ mod tests {
         // second starts 30 min after the first → suppressed.
         let first: Timestamp = "2013-03-18 10:00".parse().unwrap();
         let second: Timestamp = "2013-03-18 10:30".parse().unwrap();
-        live.add_overlapping(&washer.profile.to_energy_series(first, 0.5)).unwrap();
-        live.add_overlapping(&washer.profile.to_energy_series(second, 0.5)).unwrap();
+        live.add_overlapping(&washer.profile.to_energy_series(first, 0.5))
+            .unwrap();
+        live.add_overlapping(&washer.profile.to_energy_series(second, 0.5))
+            .unwrap();
         let mut offers = Vec::new();
         for (t, v) in live.iter() {
             offers.extend(gen.push(t, v));

@@ -7,9 +7,7 @@
 //! weekends since the family eats at home more often").
 
 use crate::extractor::{extract_cycle, FlexibilityExtractor};
-use crate::{
-    Diagnostics, ExtractionConfig, ExtractionError, ExtractionInput, ExtractionOutput,
-};
+use crate::{Diagnostics, ExtractionConfig, ExtractionError, ExtractionInput, ExtractionOutput};
 use flextract_disagg::{detect_activations, MatchConfig, MinedSchedule};
 use flextract_flexoffer::{EnergyRange, FlexOffer};
 use flextract_series::segment::{split_whole_days, DayKind};
@@ -184,14 +182,10 @@ impl FlexibilityExtractor for ScheduleBasedExtractor {
                             .collect::<Result<_, _>>()?;
                         let earliest = modified.timestamp_of(lo);
                         let latest = earliest
-                            + Duration::minutes(
-                                (flexibility.as_minutes() / slice_min) * slice_min,
-                            );
+                            + Duration::minutes((flexibility.as_minutes() / slice_min) * slice_min);
                         let creation = earliest - self.cfg.creation_lead;
-                        let acceptance =
-                            (creation + self.cfg.acceptance_offset).min(earliest);
-                        let assignment =
-                            (earliest - self.cfg.assignment_lead).max(acceptance);
+                        let acceptance = (creation + self.cfg.acceptance_offset).min(earliest);
+                        let assignment = (earliest - self.cfg.assignment_lead).max(acceptance);
                         let offer = FlexOffer::builder(next_id)
                             .start_window(earliest, latest)
                             .slices(self.cfg.slice_resolution, slices)
@@ -240,10 +234,13 @@ mod tests {
         for v in fine.values_mut() {
             *v = 0.1 / 60.0;
         }
-        let washer = cat.find_by_name("Washing Machine from Manufacturer Y").unwrap();
+        let washer = cat
+            .find_by_name("Washing Machine from Manufacturer Y")
+            .unwrap();
         for d in 0..14 {
             let at = start + Duration::days(d) + Duration::hours(19);
-            fine.add_overlapping(&washer.profile.to_energy_series(at, 0.5)).unwrap();
+            fine.add_overlapping(&washer.profile.to_energy_series(at, 0.5))
+                .unwrap();
         }
         let market = resample::downsample(&fine, Resolution::MIN_15).unwrap();
         (fine, market)
@@ -301,7 +298,10 @@ mod tests {
         let (_, market) = routine();
         let ex = ScheduleBasedExtractor::new(ExtractionConfig::default());
         assert_eq!(
-            ex.extract(&ExtractionInput::household(&market), &mut StdRng::seed_from_u64(1)),
+            ex.extract(
+                &ExtractionInput::household(&market),
+                &mut StdRng::seed_from_u64(1)
+            ),
             Err(ExtractionError::MissingCatalog)
         );
     }

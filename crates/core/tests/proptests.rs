@@ -12,16 +12,15 @@ use rand::SeedableRng;
 
 /// Whole days of plausible consumption (1–5 days, 96 intervals each).
 fn arb_series() -> impl Strategy<Value = TimeSeries> {
-    (1_usize..=5, prop::collection::vec(0.0_f64..2.0, 96))
-        .prop_map(|(days, day_shape)| {
-            let values: Vec<f64> = (0..days).flat_map(|_| day_shape.clone()).collect();
-            TimeSeries::new(
-                Timestamp::from_ymd_hm(2013, 3, 18, 0, 0).unwrap(),
-                Resolution::MIN_15,
-                values,
-            )
-            .unwrap()
-        })
+    (1_usize..=5, prop::collection::vec(0.0_f64..2.0, 96)).prop_map(|(days, day_shape)| {
+        let values: Vec<f64> = (0..days).flat_map(|_| day_shape.clone()).collect();
+        TimeSeries::new(
+            Timestamp::from_ymd_hm(2013, 3, 18, 0, 0).unwrap(),
+            Resolution::MIN_15,
+            values,
+        )
+        .unwrap()
+    })
 }
 
 fn arb_share() -> impl Strategy<Value = f64> {

@@ -42,11 +42,7 @@ pub struct FrequencyTable {
 impl FrequencyTable {
     /// Mine the table from detections over `observed_days` days,
     /// resolving time flexibility against `catalog`.
-    pub fn mine(
-        detections: &[DetectedActivation],
-        observed_days: f64,
-        catalog: &Catalog,
-    ) -> Self {
+    pub fn mine(detections: &[DetectedActivation], observed_days: f64, catalog: &Catalog) -> Self {
         assert!(observed_days > 0.0, "observation window must be positive");
         let mut grouped: BTreeMap<&str, (usize, f64)> = BTreeMap::new();
         for d in detections {
@@ -71,8 +67,15 @@ impl FrequencyTable {
                 }
             })
             .collect();
-        rows.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.appliance.cmp(&b.appliance)));
-        FrequencyTable { observed_days, rows }
+        rows.sort_by(|a, b| {
+            b.count
+                .cmp(&a.count)
+                .then_with(|| a.appliance.cmp(&b.appliance))
+        });
+        FrequencyTable {
+            observed_days,
+            rows,
+        }
     }
 
     /// The shortlist: appliances with positive time flexibility — the
@@ -144,16 +147,56 @@ mod tests {
 
     fn sample_detections() -> Vec<DetectedActivation> {
         vec![
-            det("Washing Machine from Manufacturer Y", "2013-03-18 08:00", 0.4),
-            det("Washing Machine from Manufacturer Y", "2013-03-20 19:00", 0.6),
-            det("Washing Machine from Manufacturer Y", "2013-03-22 09:00", 0.5),
-            det("Vacuum Cleaning Robot from Manufacturer X", "2013-03-18 10:00", 0.5),
-            det("Vacuum Cleaning Robot from Manufacturer X", "2013-03-19 10:00", 0.5),
-            det("Vacuum Cleaning Robot from Manufacturer X", "2013-03-20 10:00", 0.5),
-            det("Vacuum Cleaning Robot from Manufacturer X", "2013-03-21 10:00", 0.5),
-            det("Vacuum Cleaning Robot from Manufacturer X", "2013-03-22 10:00", 0.5),
-            det("Vacuum Cleaning Robot from Manufacturer X", "2013-03-23 10:00", 0.5),
-            det("Vacuum Cleaning Robot from Manufacturer X", "2013-03-24 10:00", 0.5),
+            det(
+                "Washing Machine from Manufacturer Y",
+                "2013-03-18 08:00",
+                0.4,
+            ),
+            det(
+                "Washing Machine from Manufacturer Y",
+                "2013-03-20 19:00",
+                0.6,
+            ),
+            det(
+                "Washing Machine from Manufacturer Y",
+                "2013-03-22 09:00",
+                0.5,
+            ),
+            det(
+                "Vacuum Cleaning Robot from Manufacturer X",
+                "2013-03-18 10:00",
+                0.5,
+            ),
+            det(
+                "Vacuum Cleaning Robot from Manufacturer X",
+                "2013-03-19 10:00",
+                0.5,
+            ),
+            det(
+                "Vacuum Cleaning Robot from Manufacturer X",
+                "2013-03-20 10:00",
+                0.5,
+            ),
+            det(
+                "Vacuum Cleaning Robot from Manufacturer X",
+                "2013-03-21 10:00",
+                0.5,
+            ),
+            det(
+                "Vacuum Cleaning Robot from Manufacturer X",
+                "2013-03-22 10:00",
+                0.5,
+            ),
+            det(
+                "Vacuum Cleaning Robot from Manufacturer X",
+                "2013-03-23 10:00",
+                0.5,
+            ),
+            det(
+                "Vacuum Cleaning Robot from Manufacturer X",
+                "2013-03-24 10:00",
+                0.5,
+            ),
             det("Electric Oven", "2013-03-19 18:00", 0.7),
         ]
     }
@@ -162,7 +205,9 @@ mod tests {
     fn counts_and_rates() {
         let cat = Catalog::extended();
         let table = FrequencyTable::mine(&sample_detections(), 7.0, &cat);
-        let roomba = table.row("Vacuum Cleaning Robot from Manufacturer X").unwrap();
+        let roomba = table
+            .row("Vacuum Cleaning Robot from Manufacturer X")
+            .unwrap();
         assert_eq!(roomba.count, 7);
         assert!((roomba.mean_daily_rate - 1.0).abs() < 1e-9);
         assert!(matches!(roomba.classified, UsageFrequency::PerDay(_)));
@@ -179,7 +224,10 @@ mod tests {
     fn rows_sorted_by_count() {
         let cat = Catalog::extended();
         let table = FrequencyTable::mine(&sample_detections(), 7.0, &cat);
-        assert_eq!(table.rows[0].appliance, "Vacuum Cleaning Robot from Manufacturer X");
+        assert_eq!(
+            table.rows[0].appliance,
+            "Vacuum Cleaning Robot from Manufacturer X"
+        );
         for pair in table.rows.windows(2) {
             assert!(pair[0].count >= pair[1].count);
         }
@@ -189,8 +237,11 @@ mod tests {
     fn shortlist_keeps_only_flexible_appliances() {
         let cat = Catalog::extended();
         let table = FrequencyTable::mine(&sample_detections(), 7.0, &cat);
-        let names: Vec<&str> =
-            table.shortlist().iter().map(|r| r.appliance.as_str()).collect();
+        let names: Vec<&str> = table
+            .shortlist()
+            .iter()
+            .map(|r| r.appliance.as_str())
+            .collect();
         assert!(names.contains(&"Vacuum Cleaning Robot from Manufacturer X"));
         assert!(names.contains(&"Washing Machine from Manufacturer Y"));
         // The oven is detected but non-shiftable → excluded.
@@ -209,7 +260,11 @@ mod tests {
     #[test]
     fn monthly_classification() {
         let cat = Catalog::extended();
-        let dets = vec![det("Washing Machine from Manufacturer Y", "2013-03-18 08:00", 0.5)];
+        let dets = vec![det(
+            "Washing Machine from Manufacturer Y",
+            "2013-03-18 08:00",
+            0.5,
+        )];
         let table = FrequencyTable::mine(&dets, 30.0, &cat);
         let row = table.row("Washing Machine from Manufacturer Y").unwrap();
         assert!(matches!(row.classified, UsageFrequency::PerMonth(_)));

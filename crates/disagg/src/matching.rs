@@ -108,16 +108,19 @@ pub fn detect_activations(
             if start_idx + t_min.len() > residual.len() {
                 continue;
             }
-            let window_kw: Vec<f64> = residual.values()
-                [start_idx..start_idx + t_min.len()]
+            let window_kw: Vec<f64> = residual.values()[start_idx..start_idx + t_min.len()]
                 .iter()
                 .map(|e| e / hours)
                 .collect();
             let baseline = local_baseline(&residual, start_idx, config.baseline_window, hours);
             let corrected: Vec<f64> = window_kw.iter().map(|p| (p - baseline).max(0.0)).collect();
-            let Some((intensity, score)) =
-                fit_intensity(&corrected, &t_min, &t_max, config.metric, config.trim_fraction)
-            else {
+            let Some((intensity, score)) = fit_intensity(
+                &corrected,
+                &t_min,
+                &t_max,
+                config.metric,
+                config.trim_fraction,
+            ) else {
                 continue;
             };
             if score > config.score_threshold {
@@ -136,15 +139,11 @@ pub fn detect_activations(
                 .collect();
             let pad = (res_minutes - cycle_values.len() % res_minutes) % res_minutes;
             cycle_values.extend(std::iter::repeat_n(0.0, pad));
-            let cycle_1min = TimeSeries::new(
-                start_t,
-                flextract_time::Resolution::MIN_1,
-                cycle_values,
-            )
-            .expect("series interval starts are minute-aligned");
-            let cycle =
-                flextract_series::resample::to_resolution(&cycle_1min, series.resolution())
-                    .expect("padded cycle lengths divide the series resolution");
+            let cycle_1min =
+                TimeSeries::new(start_t, flextract_time::Resolution::MIN_1, cycle_values)
+                    .expect("series interval starts are minute-aligned");
+            let cycle = flextract_series::resample::to_resolution(&cycle_1min, series.resolution())
+                .expect("padded cycle lengths divide the series resolution");
             residual
                 .sub_overlapping(&cycle)
                 .expect("cycle grids share the series resolution");
@@ -224,8 +223,14 @@ fn fit_intensity(
         num += d * (observed[i] - t_min[i]);
         den += d * d;
     }
-    let x = if den > 1e-12 { (num / den).clamp(0.0, 1.0) } else { 0.5 };
-    let fitted: Vec<f64> = (0..n).map(|i| t_min[i] + x * (t_max[i] - t_min[i])).collect();
+    let x = if den > 1e-12 {
+        (num / den).clamp(0.0, 1.0)
+    } else {
+        0.5
+    };
+    let fitted: Vec<f64> = (0..n)
+        .map(|i| t_min[i] + x * (t_max[i] - t_min[i]))
+        .collect();
     let mean_fit = stats::mean(&fitted)?;
     if mean_fit <= 1e-9 {
         return None;
@@ -239,9 +244,7 @@ fn fit_intensity(
     let keep = ((n as f64 * (1.0 - trim_fraction.clamp(0.0, 0.9))).ceil() as usize).max(1);
     let kept = &abs_errors[..keep.min(n)];
     let err = match metric {
-        MatchMetric::L2 => {
-            (kept.iter().map(|e| e * e).sum::<f64>() / kept.len() as f64).sqrt()
-        }
+        MatchMetric::L2 => (kept.iter().map(|e| e * e).sum::<f64>() / kept.len() as f64).sqrt(),
         MatchMetric::L1 => kept.iter().sum::<f64>() / kept.len() as f64,
     };
     Some((x, err / mean_fit))
@@ -251,7 +254,7 @@ fn fit_intensity(
 mod tests {
     use super::*;
     use flextract_appliance::Catalog;
-    use flextract_time::{Resolution, TimeRange, Duration};
+    use flextract_time::{Duration, Resolution, TimeRange};
 
     fn catalog() -> Catalog {
         Catalog::extended()
@@ -266,7 +269,9 @@ mod tests {
         for v in series.values_mut() {
             *v = 0.1 / 60.0;
         }
-        let washer = catalog.find_by_name("Washing Machine from Manufacturer Y").unwrap();
+        let washer = catalog
+            .find_by_name("Washing Machine from Manufacturer Y")
+            .unwrap();
         let at: Timestamp = "2013-03-18 19:00".parse().unwrap();
         let cycle = washer.profile.to_energy_series(at, 0.6);
         series.add_overlapping(&cycle).unwrap();
@@ -288,7 +293,11 @@ mod tests {
         // Start within a minute of the truth.
         assert!((d.start - at).as_minutes().abs() <= 1, "start {}", d.start);
         // Intensity close to the staged 0.6.
-        assert!((d.intensity - 0.6).abs() < 0.15, "intensity {}", d.intensity);
+        assert!(
+            (d.intensity - 0.6).abs() < 0.15,
+            "intensity {}",
+            d.intensity
+        );
         // The residual no longer contains the cycle's energy.
         assert!(
             residual.total_energy() < series.total_energy() - d.energy_kwh * 0.8,
@@ -324,7 +333,10 @@ mod tests {
         let cat = catalog();
         let (series, _) = staged_series(&cat);
         let specs: Vec<&ApplianceSpec> = cat.shiftable();
-        let cfg = MatchConfig { score_threshold: 0.0, ..MatchConfig::default() };
+        let cfg = MatchConfig {
+            score_threshold: 0.0,
+            ..MatchConfig::default()
+        };
         let (found, _) = detect_activations(&series, &specs, &cfg);
         assert!(found.is_empty());
     }
@@ -358,13 +370,17 @@ mod tests {
         // Mismatched lengths.
         assert!(fit_intensity(&[1.0], &t_min, &t_max, MatchMetric::L2, 0.0).is_none());
         // All-zero template.
-        assert!(fit_intensity(&[0.0, 0.0], &[0.0, 0.0], &[0.0, 0.0], MatchMetric::L2, 0.0).is_none());
+        assert!(
+            fit_intensity(&[0.0, 0.0], &[0.0, 0.0], &[0.0, 0.0], MatchMetric::L2, 0.0).is_none()
+        );
     }
 
     #[test]
     fn template_resampling_preserves_mean_power() {
         let cat = catalog();
-        let washer = cat.find_by_name("Washing Machine from Manufacturer Y").unwrap();
+        let washer = cat
+            .find_by_name("Washing Machine from Manufacturer Y")
+            .unwrap();
         let (m1, _) = template_kw(washer, 1);
         let (m15, _) = template_kw(washer, 15);
         let mean1 = stats::mean(&m1).unwrap();

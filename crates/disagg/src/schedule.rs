@@ -53,7 +53,10 @@ impl MinedSchedule {
         weekend_days: f64,
         bin_minutes: u32,
     ) -> Vec<MinedSchedule> {
-        assert!(bin_minutes > 0 && 1440 % bin_minutes == 0, "bins must divide a day");
+        assert!(
+            bin_minutes > 0 && 1440 % bin_minutes == 0,
+            "bins must divide a day"
+        );
         let bins = (1440 / bin_minutes) as usize;
         let mut per_appliance: BTreeMap<&str, [Vec<f64>; 2]> = BTreeMap::new();
         for d in detections {
@@ -93,8 +96,7 @@ impl MinedSchedule {
             DayKind::Weekend => self.histograms[1].iter().sum(),
             DayKind::All => {
                 // Weighted 5/2 blend of the week structure.
-                (self.daily_rate(DayKind::Workday) * 5.0
-                    + self.daily_rate(DayKind::Weekend) * 2.0)
+                (self.daily_rate(DayKind::Workday) * 5.0 + self.daily_rate(DayKind::Weekend) * 2.0)
                     / 7.0
             }
         }
@@ -137,8 +139,7 @@ impl MinedSchedule {
         let end_min = (to_bin as u32 * self.bin_minutes).min(1439);
         ScheduleSlot {
             day_kind,
-            window_start: CivilTime::from_minute_of_day(start_min)
-                .expect("bin starts are < 1440"),
+            window_start: CivilTime::from_minute_of_day(start_min).expect("bin starts are < 1440"),
             window_end: CivilTime::from_minute_of_day(end_min)
                 .expect("bin ends are clamped below 1440"),
             expected_per_day: rate,
@@ -195,11 +196,17 @@ mod tests {
         let schedules = MinedSchedule::mine_all(&dishwasher_week(), 5.0, 2.0, 60);
         let slots = schedules[0].slots(0.5);
         assert_eq!(slots.len(), 2);
-        let workday_slot = slots.iter().find(|s| s.day_kind == DayKind::Workday).unwrap();
+        let workday_slot = slots
+            .iter()
+            .find(|s| s.day_kind == DayKind::Workday)
+            .unwrap();
         assert_eq!(workday_slot.window_start.hour, 20);
         assert_eq!(workday_slot.window_end.hour, 21);
         assert!((workday_slot.expected_per_day - 1.0).abs() < 1e-9);
-        let weekend_slot = slots.iter().find(|s| s.day_kind == DayKind::Weekend).unwrap();
+        let weekend_slot = slots
+            .iter()
+            .find(|s| s.day_kind == DayKind::Weekend)
+            .unwrap();
         assert_eq!(weekend_slot.window_start.hour, 13);
     }
 

@@ -17,7 +17,9 @@ fn epoch() -> Timestamp {
 /// non-overlapping hours.
 fn staged_day(base_kw: f64, start_hours: &[u8], intensity: f64) -> TimeSeries {
     let catalog = Catalog::extended();
-    let washer = catalog.find_by_name("Washing Machine from Manufacturer Y").unwrap();
+    let washer = catalog
+        .find_by_name("Washing Machine from Manufacturer Y")
+        .unwrap();
     let range = TimeRange::starting_at(epoch(), Duration::days(1)).unwrap();
     let mut series = TimeSeries::zeros_over(range, Resolution::MIN_1).unwrap();
     for v in series.values_mut() {

@@ -23,10 +23,9 @@ fn matched_truth(
     truths
         .iter()
         .filter(|t| {
-            detections.iter().any(|d| {
-                d.appliance == t.appliance
-                    && (d.start - t.start).as_minutes().abs() <= 15
-            })
+            detections
+                .iter()
+                .any(|d| d.appliance == t.appliance && (d.start - t.start).as_minutes().abs() <= 15)
         })
         .count()
 }
@@ -37,8 +36,7 @@ fn detects_majority_of_big_flexible_loads() {
     let sim = simulate_household(&cfg, fortnight());
     let catalog = Catalog::extended();
     let specs: Vec<&ApplianceSpec> = catalog.shiftable();
-    let (detections, residual) =
-        detect_activations(&sim.series, &specs, &MatchConfig::default());
+    let (detections, residual) = detect_activations(&sim.series, &specs, &MatchConfig::default());
 
     // Focus on the big, well-separated loads: washer, dryer, dishwasher.
     let big_names = [
@@ -52,7 +50,10 @@ fn detects_majority_of_big_flexible_loads() {
         .filter(|a| big_names.contains(&a.appliance.as_str()))
         .cloned()
         .collect();
-    assert!(!truths.is_empty(), "the family must have run big appliances");
+    assert!(
+        !truths.is_empty(),
+        "the family must have run big appliances"
+    );
     let hits = matched_truth(&truths, &detections);
     let recall = hits as f64 / truths.len() as f64;
     assert!(
@@ -125,7 +126,10 @@ fn schedule_mining_finds_preferred_windows() {
 
     // The dishwasher's catalog windows are 13:00-14:30 and 19:30-22:00;
     // its mined distribution should put most mass between 12:00 and 23:00.
-    if let Some(dw) = schedules.iter().find(|s| s.appliance.contains("Dishwasher")) {
+    if let Some(dw) = schedules
+        .iter()
+        .find(|s| s.appliance.contains("Dishwasher"))
+    {
         let total: f64 = dw.histograms[0].iter().chain(&dw.histograms[1]).sum();
         if total > 0.0 {
             let in_window: f64 = dw.histograms[0][12..23]
@@ -156,7 +160,12 @@ fn disaggregation_quality_collapses_at_15min() {
     let coarse = sim.series_at(flextract_time::Resolution::MIN_15);
     let (d15, _) = detect_activations(&coarse, &specs, &MatchConfig::default());
 
-    let truths: Vec<_> = sim.activations.iter().filter(|a| a.shiftable).cloned().collect();
+    let truths: Vec<_> = sim
+        .activations
+        .iter()
+        .filter(|a| a.shiftable)
+        .cloned()
+        .collect();
     let hits1 = matched_truth(&truths, &d1);
     let hits15 = matched_truth(&truths, &d15);
     assert!(

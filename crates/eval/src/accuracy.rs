@@ -40,8 +40,16 @@ impl GroundTruthScore {
         let extracted_kwh = extracted.total_energy();
         let truth_kwh = truth.total_energy();
         GroundTruthScore {
-            precision: if extracted_kwh > 0.0 { overlap / extracted_kwh } else { 0.0 },
-            recall: if truth_kwh > 0.0 { overlap / truth_kwh } else { 0.0 },
+            precision: if extracted_kwh > 0.0 {
+                overlap / extracted_kwh
+            } else {
+                0.0
+            },
+            recall: if truth_kwh > 0.0 {
+                overlap / truth_kwh
+            } else {
+                0.0
+            },
             extracted_kwh,
             truth_kwh,
             overlap_kwh: overlap,
@@ -80,8 +88,12 @@ mod tests {
     use flextract_time::{Resolution, Timestamp};
 
     fn series(vals: Vec<f64>) -> TimeSeries {
-        TimeSeries::new("2013-03-18".parse::<Timestamp>().unwrap(), Resolution::MIN_15, vals)
-            .unwrap()
+        TimeSeries::new(
+            "2013-03-18".parse::<Timestamp>().unwrap(),
+            Resolution::MIN_15,
+            vals,
+        )
+        .unwrap()
     }
 
     #[test]

@@ -38,7 +38,11 @@ pub struct ExperimentParams {
 
 impl Default for ExperimentParams {
     fn default() -> Self {
-        ExperimentParams { households: 10, days: 14, seed: 2013 }
+        ExperimentParams {
+            households: 10,
+            days: 14,
+            seed: 2013,
+        }
     }
 }
 
@@ -46,8 +50,7 @@ impl ExperimentParams {
     /// The simulated horizon, starting Monday 2013-03-18 (the EDBT'13
     /// week).
     pub fn horizon(&self) -> TimeRange {
-        let start: Timestamp = Timestamp::from_ymd_hm(2013, 3, 18, 0, 0)
-            .expect("static date");
+        let start: Timestamp = Timestamp::from_ymd_hm(2013, 3, 18, 0, 0).expect("static date");
         TimeRange::starting_at(start, Duration::days(self.days)).expect("days >= 0")
     }
 
@@ -193,7 +196,9 @@ fn run_approach(
     let mut reports: Vec<RealismReport> = Vec::new();
     for h in households {
         let mut rng = StdRng::seed_from_u64(params.seed ^ h.config.id.wrapping_mul(7919));
-        let Some((out, consumed, truth)) = run(h, &mut rng) else { continue };
+        let Some((out, consumed, truth)) = run(h, &mut rng) else {
+            continue;
+        };
         reports.push(RealismReport::measure(&out, &consumed));
         pooled_extracted = Some(match pooled_extracted {
             None => out.extracted_series.clone(),
@@ -233,11 +238,17 @@ fn run_approach(
         extracted_sparseness: reports.iter().map(|r| r.extracted_sparseness).sum::<f64>() / n,
         load_correlation: avg_opt(|r| r.load_correlation),
         residual_autocorr_delta: avg_opt(|r| r.residual_autocorr_delta),
-        mean_time_flexibility_h: reports.iter().map(|r| r.mean_time_flexibility_h).sum::<f64>()
+        mean_time_flexibility_h: reports
+            .iter()
+            .map(|r| r.mean_time_flexibility_h)
+            .sum::<f64>()
             / n,
         mean_offer_energy_kwh: reports.iter().map(|r| r.mean_offer_energy_kwh).sum::<f64>() / n,
     };
-    ApproachEvaluation { realism, ground_truth }
+    ApproachEvaluation {
+        realism,
+        ground_truth,
+    }
 }
 
 /// Run E6.
@@ -249,26 +260,47 @@ pub fn approach_comparison(params: ExperimentParams) -> ApproachComparison {
 
     // Household-level approaches on the 15-min market series.
     let random = RandomExtractor::new(cfg.clone());
-    evaluations.push(run_approach("random", &fleet.households, &params, |h, rng| {
-        let market = h.series_at(Resolution::MIN_15);
-        let out = random.extract(&ExtractionInput::household(&market), rng).ok()?;
-        let truth = h.flexible_series_at(Resolution::MIN_15);
-        Some((out, market, truth))
-    }));
+    evaluations.push(run_approach(
+        "random",
+        &fleet.households,
+        &params,
+        |h, rng| {
+            let market = h.series_at(Resolution::MIN_15);
+            let out = random
+                .extract(&ExtractionInput::household(&market), rng)
+                .ok()?;
+            let truth = h.flexible_series_at(Resolution::MIN_15);
+            Some((out, market, truth))
+        },
+    ));
     let basic = BasicExtractor::new(cfg.clone());
-    evaluations.push(run_approach("basic", &fleet.households, &params, |h, rng| {
-        let market = h.series_at(Resolution::MIN_15);
-        let out = basic.extract(&ExtractionInput::household(&market), rng).ok()?;
-        let truth = h.flexible_series_at(Resolution::MIN_15);
-        Some((out, market, truth))
-    }));
+    evaluations.push(run_approach(
+        "basic",
+        &fleet.households,
+        &params,
+        |h, rng| {
+            let market = h.series_at(Resolution::MIN_15);
+            let out = basic
+                .extract(&ExtractionInput::household(&market), rng)
+                .ok()?;
+            let truth = h.flexible_series_at(Resolution::MIN_15);
+            Some((out, market, truth))
+        },
+    ));
     let peak = PeakExtractor::new(cfg.clone());
-    evaluations.push(run_approach("peak", &fleet.households, &params, |h, rng| {
-        let market = h.series_at(Resolution::MIN_15);
-        let out = peak.extract(&ExtractionInput::household(&market), rng).ok()?;
-        let truth = h.flexible_series_at(Resolution::MIN_15);
-        Some((out, market, truth))
-    }));
+    evaluations.push(run_approach(
+        "peak",
+        &fleet.households,
+        &params,
+        |h, rng| {
+            let market = h.series_at(Resolution::MIN_15);
+            let out = peak
+                .extract(&ExtractionInput::household(&market), rng)
+                .ok()?;
+            let truth = h.flexible_series_at(Resolution::MIN_15);
+            Some((out, market, truth))
+        },
+    ));
 
     // Multi-tariff: the same consumer simulated under a flat tariff one
     // month earlier as the reference, tariff response in the observed
@@ -279,56 +311,74 @@ pub fn approach_comparison(params: ExperimentParams) -> ApproachComparison {
         Duration::days(params.days),
     )
     .expect("positive horizon");
-    evaluations.push(run_approach("multi-tariff", &fleet.households, &params, |h, rng| {
-        let (flat, multi) = simulate_tariff_pair(
-            &h.config,
-            ref_horizon,
-            params.horizon(),
-            TariffResponse::overnight(0.85),
-        );
-        let reference = flat.series_at(Resolution::MIN_15);
-        let observed = multi.series_at(Resolution::MIN_15);
-        let out = mt
-            .extract(
-                &ExtractionInput::household(&observed).with_reference(&reference),
-                rng,
-            )
-            .ok()?;
-        let truth = multi.flexible_series_at(Resolution::MIN_15);
-        Some((out, observed, truth))
-    }));
+    evaluations.push(run_approach(
+        "multi-tariff",
+        &fleet.households,
+        &params,
+        |h, rng| {
+            let (flat, multi) = simulate_tariff_pair(
+                &h.config,
+                ref_horizon,
+                params.horizon(),
+                TariffResponse::overnight(0.85),
+            );
+            let reference = flat.series_at(Resolution::MIN_15);
+            let observed = multi.series_at(Resolution::MIN_15);
+            let out = mt
+                .extract(
+                    &ExtractionInput::household(&observed).with_reference(&reference),
+                    rng,
+                )
+                .ok()?;
+            let truth = multi.flexible_series_at(Resolution::MIN_15);
+            Some((out, observed, truth))
+        },
+    ));
 
     // Appliance-level approaches with the 1-min series and the catalog.
     let freq = FrequencyBasedExtractor::new(cfg.clone());
-    evaluations.push(run_approach("frequency", &fleet.households, &params, |h, rng| {
-        let market = h.series_at(Resolution::MIN_15);
-        let out = freq
-            .extract(
-                &ExtractionInput::household(&market)
-                    .with_fine_series(&h.series)
-                    .with_catalog(&catalog),
-                rng,
-            )
-            .ok()?;
-        let truth = h.flexible_series_at(Resolution::MIN_15);
-        Some((out, market, truth))
-    }));
+    evaluations.push(run_approach(
+        "frequency",
+        &fleet.households,
+        &params,
+        |h, rng| {
+            let market = h.series_at(Resolution::MIN_15);
+            let out = freq
+                .extract(
+                    &ExtractionInput::household(&market)
+                        .with_fine_series(&h.series)
+                        .with_catalog(&catalog),
+                    rng,
+                )
+                .ok()?;
+            let truth = h.flexible_series_at(Resolution::MIN_15);
+            Some((out, market, truth))
+        },
+    ));
     let sched = ScheduleBasedExtractor::new(cfg);
-    evaluations.push(run_approach("schedule", &fleet.households, &params, |h, rng| {
-        let market = h.series_at(Resolution::MIN_15);
-        let out = sched
-            .extract(
-                &ExtractionInput::household(&market)
-                    .with_fine_series(&h.series)
-                    .with_catalog(&catalog),
-                rng,
-            )
-            .ok()?;
-        let truth = h.flexible_series_at(Resolution::MIN_15);
-        Some((out, market, truth))
-    }));
+    evaluations.push(run_approach(
+        "schedule",
+        &fleet.households,
+        &params,
+        |h, rng| {
+            let market = h.series_at(Resolution::MIN_15);
+            let out = sched
+                .extract(
+                    &ExtractionInput::household(&market)
+                        .with_fine_series(&h.series)
+                        .with_catalog(&catalog),
+                    rng,
+                )
+                .ok()?;
+            let truth = h.flexible_series_at(Resolution::MIN_15);
+            Some((out, market, truth))
+        },
+    ));
 
-    ApproachComparison { params, evaluations }
+    ApproachComparison {
+        params,
+        evaluations,
+    }
 }
 
 impl ApproachComparison {
@@ -341,10 +391,7 @@ impl ApproachComparison {
         }
         out.push_str("\nground truth (pooled energy overlap):\n");
         for e in &self.evaluations {
-            out.push_str(&format!(
-                "{:<12} {}\n",
-                e.realism.approach, e.ground_truth
-            ));
+            out.push_str(&format!("{:<12} {}\n", e.realism.approach, e.ground_truth));
         }
         out
     }
@@ -393,8 +440,8 @@ pub fn granularity(params: ExperimentParams) -> GranularityStudy {
         let mut matched = 0usize;
         let mut matched_detections = 0usize;
         for h in &fleet.households {
-            let series = resample::to_resolution(&h.series, res)
-                .expect("day-aligned simulation grids");
+            let series =
+                resample::to_resolution(&h.series, res).expect("day-aligned simulation grids");
             let (dets, _) = detect_activations(&series, &specs, &MatchConfig::default());
             let truth: Vec<_> = h.activations.iter().filter(|a| a.shiftable).collect();
             detections += dets.len();
@@ -403,8 +450,7 @@ pub fn granularity(params: ExperimentParams) -> GranularityStudy {
                 .iter()
                 .filter(|t| {
                     dets.iter().any(|d| {
-                        d.appliance == t.appliance
-                            && (d.start - t.start).as_minutes().abs() <= 15
+                        d.appliance == t.appliance && (d.start - t.start).as_minutes().abs() <= 15
                     })
                 })
                 .count();
@@ -412,8 +458,7 @@ pub fn granularity(params: ExperimentParams) -> GranularityStudy {
                 .iter()
                 .filter(|d| {
                     truth.iter().any(|t| {
-                        d.appliance == t.appliance
-                            && (d.start - t.start).as_minutes().abs() <= 15
+                        d.appliance == t.appliance && (d.start - t.start).as_minutes().abs() <= 15
                     })
                 })
                 .count();
@@ -423,7 +468,11 @@ pub fn granularity(params: ExperimentParams) -> GranularityStudy {
             detections,
             truths,
             matched,
-            recall: if truths > 0 { matched as f64 / truths as f64 } else { 0.0 },
+            recall: if truths > 0 {
+                matched as f64 / truths as f64
+            } else {
+                0.0
+            },
             precision: if detections > 0 {
                 matched_detections as f64 / detections as f64
             } else {
@@ -521,8 +570,7 @@ pub fn aggregation_study(params: ExperimentParams) -> AggregationStudy {
         let residual = residual.expect("fleets are non-empty");
         let aggregates = aggregate_offers(&offers, &AggregationConfig::default())
             .expect("offers are non-empty for positive shares");
-        let agg_offers: Vec<FlexOffer> =
-            aggregates.iter().map(|a| a.offer.clone()).collect();
+        let agg_offers: Vec<FlexOffer> = aggregates.iter().map(|a| a.offer.clone()).collect();
         let schedule = schedule_offers(
             &agg_offers,
             &residual,
@@ -553,7 +601,13 @@ impl AggregationStudy {
         let mut out = String::from("E8: aggregation + RES scheduling\n");
         out.push_str(&format!(
             "{:<10} {:>8} {:>10} {:>12} {:>12} {:>12} {:>8}\n",
-            "approach", "offers", "aggregates", "compression", "flex-loss(h)", "improvement", "RES-use"
+            "approach",
+            "offers",
+            "aggregates",
+            "compression",
+            "flex-loss(h)",
+            "improvement",
+            "RES-use"
         ));
         for r in &self.rows {
             out.push_str(&format!(
@@ -636,8 +690,8 @@ pub fn tariff_study(sensitivities: &[f64], params: ExperimentParams) -> TariffSt
                         .expect("simulation grids share 1-min resolution");
                 }
             }
-            let truth15 = resample::to_resolution(&truth, Resolution::MIN_15)
-                .expect("day-aligned grids");
+            let truth15 =
+                resample::to_resolution(&truth, Resolution::MIN_15).expect("day-aligned grids");
             let reference = flat.series_at(Resolution::MIN_15);
             let observed = multi.series_at(Resolution::MIN_15);
             let out = mt
@@ -682,7 +736,12 @@ impl TariffStudy {
         for r in &self.rows {
             out.push_str(&format!(
                 "{:>11.2} {:>12.1} {:>12.1} {:>10.2} {:>8.2} {:>8}\n",
-                r.sensitivity, r.shifted_truth_kwh, r.extracted_kwh, r.precision, r.recall, r.offers
+                r.sensitivity,
+                r.shifted_truth_kwh,
+                r.extracted_kwh,
+                r.precision,
+                r.recall,
+                r.offers
             ));
         }
         out
@@ -792,7 +851,11 @@ mod tests {
     use super::*;
 
     fn small() -> ExperimentParams {
-        ExperimentParams { households: 3, days: 4, seed: 77 }
+        ExperimentParams {
+            households: 3,
+            days: 4,
+            seed: 77,
+        }
     }
 
     #[test]
@@ -812,11 +875,21 @@ mod tests {
     fn approach_comparison_produces_all_six() {
         let cmp = approach_comparison(small());
         assert_eq!(cmp.evaluations.len(), 6);
-        let names: Vec<&str> =
-            cmp.evaluations.iter().map(|e| e.realism.approach.as_str()).collect();
+        let names: Vec<&str> = cmp
+            .evaluations
+            .iter()
+            .map(|e| e.realism.approach.as_str())
+            .collect();
         assert_eq!(
             names,
-            vec!["random", "basic", "peak", "multi-tariff", "frequency", "schedule"]
+            vec![
+                "random",
+                "basic",
+                "peak",
+                "multi-tariff",
+                "frequency",
+                "schedule"
+            ]
         );
         // The appliance-level approaches must beat the random baseline
         // on ground-truth precision (the paper's central claim).
@@ -840,7 +913,11 @@ mod tests {
     fn granularity_degrades_toward_15min() {
         // Recall needs a couple of weeks of routine to stabilise; at
         // very small scales the ordering is noisy.
-        let study = granularity(ExperimentParams { households: 6, days: 14, seed: 2013 });
+        let study = granularity(ExperimentParams {
+            households: 6,
+            days: 14,
+            seed: 2013,
+        });
         assert_eq!(study.rows.len(), 3);
         assert_eq!(study.rows[0].resolution_min, 1);
         assert_eq!(study.rows[2].resolution_min, 15);
@@ -860,7 +937,11 @@ mod tests {
         for row in &study.rows {
             assert!(row.aggregates <= row.offers);
             assert!(row.compression >= 1.0);
-            assert!(row.imbalance_improvement >= -0.05, "{}", row.imbalance_improvement);
+            assert!(
+                row.imbalance_improvement >= -0.05,
+                "{}",
+                row.imbalance_improvement
+            );
         }
         assert!(study.render().contains("E8"));
     }
@@ -880,8 +961,12 @@ mod tests {
         // median variant.
         let med = ab.rows.iter().find(|r| r.threshold == "median").unwrap();
         let q80 = ab.rows.iter().find(|r| r.threshold == "q80").unwrap();
-        assert!(q80.peak_coverage >= med.peak_coverage - 0.05,
-            "q80 {} vs median {}", q80.peak_coverage, med.peak_coverage);
+        assert!(
+            q80.peak_coverage >= med.peak_coverage - 0.05,
+            "q80 {} vs median {}",
+            q80.peak_coverage,
+            med.peak_coverage
+        );
         assert!(ab.render().contains("E10"));
     }
 
@@ -893,7 +978,11 @@ mod tests {
         assert!(study.rows[0].shifted_truth_kwh < 1e-9);
         // High sensitivity → real shifted energy, some of it recovered.
         assert!(study.rows[1].shifted_truth_kwh > 0.0);
-        assert!(study.rows[1].recall > 0.0, "recall {}", study.rows[1].recall);
+        assert!(
+            study.rows[1].recall > 0.0,
+            "recall {}",
+            study.rows[1].recall
+        );
         assert!(study.render().contains("E9"));
     }
 }

@@ -71,16 +71,14 @@ const BACKGROUND_KWH: f64 = 26.07 / 75.0;
 
 /// Build the canonical Figure-5 day (2013-03-18, 96 × 15 min).
 pub fn fig5_day() -> TimeSeries {
-    let start: Timestamp = Timestamp::from_ymd_hm(2013, 3, 18, 0, 0)
-        .expect("static date is valid");
+    let start: Timestamp = Timestamp::from_ymd_hm(2013, 3, 18, 0, 0).expect("static date is valid");
     let mut values = vec![BACKGROUND_KWH; 96];
     for (first, peak_values) in PEAK_LAYOUT {
         for (k, &v) in peak_values.iter().enumerate() {
             values[first + k] = v;
         }
     }
-    TimeSeries::new(start, Resolution::MIN_15, values)
-        .expect("midnight start is aligned to 15 min")
+    TimeSeries::new(start, Resolution::MIN_15, values).expect("midnight start is aligned to 15 min")
 }
 
 #[cfg(test)]
@@ -93,7 +91,11 @@ mod tests {
     fn day_total_is_39_02() {
         let day = fig5_day();
         assert_eq!(day.len(), 96);
-        assert!((day.total_energy() - 39.02).abs() < 1e-9, "{}", day.total_energy());
+        assert!(
+            (day.total_energy() - 39.02).abs() < 1e-9,
+            "{}",
+            day.total_energy()
+        );
     }
 
     #[test]
@@ -107,7 +109,11 @@ mod tests {
         // Every peak interval is strictly above the line.
         for (first, vals) in PEAK_LAYOUT {
             for (k, &v) in vals.iter().enumerate() {
-                assert!(v > mean, "peak interval {} = {v} not above {mean}", first + k);
+                assert!(
+                    v > mean,
+                    "peak interval {} = {v} not above {mean}",
+                    first + k
+                );
             }
         }
     }
@@ -145,8 +151,14 @@ mod tests {
         let (_, peaks) = detect_peaks(&day, PeakThreshold::Mean).unwrap();
         let survivors = filter_peaks(peaks, 1.951);
         let probs = selection_probabilities(&survivors);
-        assert_eq!((probs[0] * 100.0).round() as u32, FIG5_EXPECTED.probabilities_pct[0]);
-        assert_eq!((probs[1] * 100.0).round() as u32, FIG5_EXPECTED.probabilities_pct[1]);
+        assert_eq!(
+            (probs[0] * 100.0).round() as u32,
+            FIG5_EXPECTED.probabilities_pct[0]
+        );
+        assert_eq!(
+            (probs[1] * 100.0).round() as u32,
+            FIG5_EXPECTED.probabilities_pct[1]
+        );
     }
 
     #[test]

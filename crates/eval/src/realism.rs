@@ -70,7 +70,9 @@ impl RealismReport {
         let mut any_day = false;
         for day in split_whole_days(original) {
             any_day = true;
-            let Some(cut) = stats::quantile(day.values(), q) else { continue };
+            let Some(cut) = stats::quantile(day.values(), q) else {
+                continue;
+            };
             for (i, &c) in day.values().iter().enumerate() {
                 let t = day.timestamp_of(i);
                 if let Some(e) = output.extracted_series.value_at(t) {
@@ -88,8 +90,7 @@ impl RealismReport {
         };
 
         let extracted_sparseness = stats::sparseness(output.extracted_series.values(), 1e-6);
-        let load_correlation =
-            stats::pearson(output.extracted_series.values(), original.values());
+        let load_correlation = stats::pearson(output.extracted_series.values(), original.values());
         let residual_autocorr_delta = match (
             stats::autocorrelation(output.modified_series.values(), per_day),
             stats::autocorrelation(original.values(), per_day),
@@ -194,7 +195,10 @@ mod tests {
 
     fn measure(ex: &dyn FlexibilityExtractor, series: &TimeSeries, seed: u64) -> RealismReport {
         let out = ex
-            .extract(&ExtractionInput::household(series), &mut StdRng::seed_from_u64(seed))
+            .extract(
+                &ExtractionInput::household(series),
+                &mut StdRng::seed_from_u64(seed),
+            )
             .unwrap();
         RealismReport::measure(&out, series)
     }
@@ -218,7 +222,11 @@ mod tests {
         let cfg = ExtractionConfig::default();
         let random = measure(&RandomExtractor::new(cfg.clone()), &series, 2);
         let peak = measure(&PeakExtractor::new(cfg), &series, 2);
-        assert!(peak.peak_coverage.unwrap() > 0.95, "{:?}", peak.peak_coverage);
+        assert!(
+            peak.peak_coverage.unwrap() > 0.95,
+            "{:?}",
+            peak.peak_coverage
+        );
         assert!(
             peak.peak_coverage.unwrap() > random.peak_coverage.unwrap(),
             "peak {:?} vs random {:?}",
@@ -234,14 +242,26 @@ mod tests {
         let random = measure(&RandomExtractor::new(cfg.clone()), &series, 3);
         let peak = measure(&PeakExtractor::new(cfg), &series, 3);
         assert!(peak.extracted_sparseness > random.extracted_sparseness);
-        assert!(peak.extracted_sparseness > 0.8, "{}", peak.extracted_sparseness);
+        assert!(
+            peak.extracted_sparseness > 0.8,
+            "{}",
+            peak.extracted_sparseness
+        );
     }
 
     #[test]
     fn share_is_reported() {
         let series = peaky_series(5);
-        let basic = measure(&BasicExtractor::new(ExtractionConfig::default()), &series, 4);
-        assert!((basic.achieved_share - 0.05).abs() < 0.001, "{}", basic.achieved_share);
+        let basic = measure(
+            &BasicExtractor::new(ExtractionConfig::default()),
+            &series,
+            4,
+        );
+        assert!(
+            (basic.achieved_share - 0.05).abs() < 0.001,
+            "{}",
+            basic.achieved_share
+        );
         assert!(basic.mean_offer_energy_kwh > 0.0);
         assert!(basic.mean_time_flexibility_h >= 0.0);
     }
@@ -250,7 +270,10 @@ mod tests {
     fn degenerate_outputs_yield_none_metrics() {
         let series = peaky_series(2);
         let out = BasicExtractor::new(ExtractionConfig::with_share(0.0))
-            .extract(&ExtractionInput::household(&series), &mut StdRng::seed_from_u64(1))
+            .extract(
+                &ExtractionInput::household(&series),
+                &mut StdRng::seed_from_u64(1),
+            )
             .unwrap();
         let report = RealismReport::measure(&out, &series);
         assert_eq!(report.offer_count, 0);

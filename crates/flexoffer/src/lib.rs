@@ -128,13 +128,22 @@ mod lib_tests {
         assert!(FlexOfferError::InvalidEnergyRange { min: 2.0, max: 1.0 }
             .to_string()
             .contains("[2, 1]"));
-        assert!(FlexOfferError::EmptyProfile.to_string().contains("no slices"));
-        assert!(FlexOfferError::EnergyLengthMismatch { expected: 8, got: 7 }
+        assert!(FlexOfferError::EmptyProfile
             .to_string()
-            .contains("7 energies for 8 slices"));
-        assert!(FlexOfferError::EnergyOutOfBounds { slice: 3 }.to_string().contains('3'));
-        assert!(FlexOfferError::LifecycleOutOfOrder { what: "acceptance after assignment" }
+            .contains("no slices"));
+        assert!(FlexOfferError::EnergyLengthMismatch {
+            expected: 8,
+            got: 7
+        }
+        .to_string()
+        .contains("7 energies for 8 slices"));
+        assert!(FlexOfferError::EnergyOutOfBounds { slice: 3 }
             .to_string()
-            .contains("acceptance"));
+            .contains('3'));
+        assert!(FlexOfferError::LifecycleOutOfOrder {
+            what: "acceptance after assignment"
+        }
+        .to_string()
+        .contains("acceptance"));
     }
 }

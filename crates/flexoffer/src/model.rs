@@ -6,9 +6,7 @@ use flextract_time::{Duration, Resolution, TimeRange, Timestamp};
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a flex-offer (unique within one extraction run).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct FlexOfferId(pub u64);
 
@@ -68,7 +66,10 @@ impl EnergyRange {
 
     /// Slice-wise sum of two ranges (used by aggregation).
     pub fn sum(&self, other: &EnergyRange) -> EnergyRange {
-        EnergyRange { min: self.min + other.min, max: self.max + other.max }
+        EnergyRange {
+            min: self.min + other.min,
+            max: self.max + other.max,
+        }
     }
 }
 
@@ -350,8 +351,12 @@ impl FlexOfferBuilder {
     /// Validate and produce the offer.
     pub fn build(self) -> Result<FlexOffer, FlexOfferError> {
         let profile = self.profile.ok_or(FlexOfferError::EmptyProfile)?;
-        let earliest_start = self.earliest_start.ok_or(FlexOfferError::InvertedStartWindow)?;
-        let latest_start = self.latest_start.ok_or(FlexOfferError::InvertedStartWindow)?;
+        let earliest_start = self
+            .earliest_start
+            .ok_or(FlexOfferError::InvertedStartWindow)?;
+        let latest_start = self
+            .latest_start
+            .ok_or(FlexOfferError::InvertedStartWindow)?;
         let creation_time = self
             .creation_time
             .unwrap_or(earliest_start - Duration::hours(24));
@@ -507,14 +512,20 @@ mod tests {
             .slices(Resolution::MIN_15, vec![slice(1.0, 2.0)])
             .created_at(ts("2013-03-18 23:00")) // after earliest start
             .build();
-        assert!(matches!(res, Err(FlexOfferError::LifecycleOutOfOrder { .. })));
+        assert!(matches!(
+            res,
+            Err(FlexOfferError::LifecycleOutOfOrder { .. })
+        ));
         let res = FlexOffer::builder(1)
             .start_window(ts("2013-03-18 22:00"), ts("2013-03-19 05:00"))
             .slices(Resolution::MIN_15, vec![slice(1.0, 2.0)])
             .created_at(ts("2013-03-18 08:00"))
             .acceptance_by(ts("2013-03-18 06:00")) // before creation
             .build();
-        assert!(matches!(res, Err(FlexOfferError::LifecycleOutOfOrder { .. })));
+        assert!(matches!(
+            res,
+            Err(FlexOfferError::LifecycleOutOfOrder { .. })
+        ));
     }
 
     #[test]

@@ -46,7 +46,11 @@ impl ScheduledFlexOffer {
                 return Err(FlexOfferError::EnergyOutOfBounds { slice: i });
             }
         }
-        Ok(ScheduledFlexOffer { offer, start, energies })
+        Ok(ScheduledFlexOffer {
+            offer,
+            start,
+            energies,
+        })
     }
 
     /// The *default schedule*: start at the earliest admissible instant
@@ -55,7 +59,11 @@ impl ScheduledFlexOffer {
     pub fn baseline(offer: FlexOffer) -> Self {
         let start = offer.earliest_start();
         let energies = offer.profile().slices().iter().map(|s| s.min).collect();
-        ScheduledFlexOffer { offer, start, energies }
+        ScheduledFlexOffer {
+            offer,
+            start,
+            energies,
+        }
     }
 
     /// The underlying offer.
@@ -182,11 +190,17 @@ mod tests {
     #[test]
     fn energy_bounds_are_enforced() {
         let res = ScheduledFlexOffer::new(offer(), ts("2013-03-18 22:00"), vec![4.0; 8]);
-        assert_eq!(res.unwrap_err(), FlexOfferError::EnergyOutOfBounds { slice: 0 });
+        assert_eq!(
+            res.unwrap_err(),
+            FlexOfferError::EnergyOutOfBounds { slice: 0 }
+        );
         let mut mixed = vec![6.0; 8];
         mixed[5] = 7.5;
         let res = ScheduledFlexOffer::new(offer(), ts("2013-03-18 22:00"), mixed);
-        assert_eq!(res.unwrap_err(), FlexOfferError::EnergyOutOfBounds { slice: 5 });
+        assert_eq!(
+            res.unwrap_err(),
+            FlexOfferError::EnergyOutOfBounds { slice: 5 }
+        );
     }
 
     #[test]
@@ -194,7 +208,10 @@ mod tests {
         let res = ScheduledFlexOffer::new(offer(), ts("2013-03-18 22:00"), vec![6.0; 7]);
         assert_eq!(
             res.unwrap_err(),
-            FlexOfferError::EnergyLengthMismatch { expected: 8, got: 7 }
+            FlexOfferError::EnergyLengthMismatch {
+                expected: 8,
+                got: 7
+            }
         );
     }
 

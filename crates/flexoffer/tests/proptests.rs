@@ -9,8 +9,8 @@ use proptest::prelude::*;
 fn arb_offer() -> impl Strategy<Value = FlexOffer> {
     (
         1_u64..1000,
-        0_i64..(365 * 96),       // earliest start, in 15-min steps from epoch
-        0_i64..48,               // time flexibility in 15-min steps
+        0_i64..(365 * 96), // earliest start, in 15-min steps from epoch
+        0_i64..48,         // time flexibility in 15-min steps
         prop::collection::vec((0.0_f64..3.0, 0.0_f64..2.0), 1..12),
     )
         .prop_map(|(id, est_steps, flex_steps, raw_slices)| {

@@ -51,7 +51,10 @@ pub fn seasonal_anomalies(
     let all_t = typical_day_profile(series, DayKind::All)?;
     let all_s = day_profile_std(series, DayKind::All)?;
     let per_kind = |kind: DayKind| -> (Vec<f64>, Vec<f64>) {
-        match (typical_day_profile(series, kind), day_profile_std(series, kind)) {
+        match (
+            typical_day_profile(series, kind),
+            day_profile_std(series, kind),
+        ) {
             (Ok(t), Ok(s)) => (t, s),
             _ => (all_t.clone(), all_s.clone()),
         }

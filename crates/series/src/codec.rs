@@ -42,7 +42,9 @@ pub fn encode(series: &TimeSeries) -> Bytes {
 /// Decode a series from a buffer produced by [`encode`].
 pub fn decode(mut buf: impl Buf) -> Result<TimeSeries, SeriesError> {
     if buf.remaining() < HEADER_LEN {
-        return Err(SeriesError::Codec { what: "buffer shorter than header" });
+        return Err(SeriesError::Codec {
+            what: "buffer shorter than header",
+        });
     }
     let mut magic = [0u8; 4];
     buf.copy_to_slice(&mut magic);
@@ -51,22 +53,29 @@ pub fn decode(mut buf: impl Buf) -> Result<TimeSeries, SeriesError> {
     }
     let start = Timestamp::from_minutes(buf.get_i64_le());
     let res_minutes = buf.get_u32_le();
-    let resolution = Resolution::from_minutes(res_minutes as i64)
-        .map_err(|_| SeriesError::Codec { what: "invalid resolution" })?;
+    let resolution =
+        Resolution::from_minutes(res_minutes as i64).map_err(|_| SeriesError::Codec {
+            what: "invalid resolution",
+        })?;
     let len = buf.get_u64_le();
     if len > (usize::MAX / 8) as u64 || buf.remaining() < (len as usize) * 8 {
-        return Err(SeriesError::Codec { what: "truncated value block" });
+        return Err(SeriesError::Codec {
+            what: "truncated value block",
+        });
     }
     let mut values = Vec::with_capacity(len as usize);
     for _ in 0..len {
         let v = buf.get_f64_le();
         if v.is_nan() {
-            return Err(SeriesError::Codec { what: "NaN value in encoded series" });
+            return Err(SeriesError::Codec {
+                what: "NaN value in encoded series",
+            });
         }
         values.push(v);
     }
-    TimeSeries::new(start, resolution, values)
-        .map_err(|_| SeriesError::Codec { what: "unaligned start in encoded series" })
+    TimeSeries::new(start, resolution, values).map_err(|_| SeriesError::Codec {
+        what: "unaligned start in encoded series",
+    })
 }
 
 #[cfg(test)]
@@ -93,12 +102,7 @@ mod tests {
 
     #[test]
     fn empty_series_round_trip() {
-        let s = TimeSeries::new(
-            "2013-03-18".parse().unwrap(),
-            Resolution::MIN_1,
-            vec![],
-        )
-        .unwrap();
+        let s = TimeSeries::new("2013-03-18".parse().unwrap(), Resolution::MIN_1, vec![]).unwrap();
         let back = decode(encode(&s)).unwrap();
         assert_eq!(back, s);
     }
@@ -119,12 +123,16 @@ mod tests {
         // Header cut short.
         assert!(matches!(
             decode(raw.slice(..10)),
-            Err(SeriesError::Codec { what: "buffer shorter than header" })
+            Err(SeriesError::Codec {
+                what: "buffer shorter than header"
+            })
         ));
         // Values cut short.
         assert!(matches!(
             decode(raw.slice(..HEADER_LEN + 8)),
-            Err(SeriesError::Codec { what: "truncated value block" })
+            Err(SeriesError::Codec {
+                what: "truncated value block"
+            })
         ));
     }
 
@@ -134,7 +142,9 @@ mod tests {
         raw[12..16].copy_from_slice(&7u32.to_le_bytes()); // 7 min ∤ 1440
         assert!(matches!(
             decode(Bytes::from(raw)),
-            Err(SeriesError::Codec { what: "invalid resolution" })
+            Err(SeriesError::Codec {
+                what: "invalid resolution"
+            })
         ));
     }
 
@@ -144,7 +154,9 @@ mod tests {
         raw[HEADER_LEN..HEADER_LEN + 8].copy_from_slice(&f64::NAN.to_le_bytes());
         assert!(matches!(
             decode(Bytes::from(raw)),
-            Err(SeriesError::Codec { what: "NaN value in encoded series" })
+            Err(SeriesError::Codec {
+                what: "NaN value in encoded series"
+            })
         ));
     }
 
@@ -154,7 +166,9 @@ mod tests {
         raw[4..12].copy_from_slice(&7i64.to_le_bytes()); // 00:07 not on 15-min grid
         assert!(matches!(
             decode(Bytes::from(raw)),
-            Err(SeriesError::Codec { what: "unaligned start in encoded series" })
+            Err(SeriesError::Codec {
+                what: "unaligned start in encoded series"
+            })
         ));
     }
 
@@ -162,6 +176,9 @@ mod tests {
     fn length_overflow_is_rejected() {
         let mut raw = encode(&sample()).to_vec();
         raw[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
-        assert!(matches!(decode(Bytes::from(raw)), Err(SeriesError::Codec { .. })));
+        assert!(matches!(
+            decode(Bytes::from(raw)),
+            Err(SeriesError::Codec { .. })
+        ));
     }
 }

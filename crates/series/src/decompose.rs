@@ -76,7 +76,10 @@ pub fn decompose_values(xs: &[f64], period: usize) -> Result<Decomposition, Seri
         return Err(SeriesError::IncompatibleResolution);
     }
     if xs.len() < 2 * period {
-        return Err(SeriesError::LengthMismatch { left: xs.len(), right: 2 * period });
+        return Err(SeriesError::LengthMismatch {
+            left: xs.len(),
+            right: 2 * period,
+        });
     }
     let n = xs.len();
 
@@ -132,7 +135,12 @@ pub fn decompose_values(xs: &[f64], period: usize) -> Result<Decomposition, Seri
     let seasonal: Vec<f64> = (0..n).map(|i| seasonal_one[i % period]).collect();
     let remainder: Vec<f64> = (0..n).map(|i| xs[i] - trend[i] - seasonal[i]).collect();
 
-    Ok(Decomposition { period, trend, seasonal, remainder })
+    Ok(Decomposition {
+        period,
+        trend,
+        seasonal,
+        remainder,
+    })
 }
 
 #[cfg(test)]

@@ -60,8 +60,7 @@ pub fn forecast(
         ForecastMethod::SeasonalScaled => {
             let days = split_whole_days(history);
             let last_day = days.last().ok_or(SeriesError::Empty)?;
-            let typical_total: f64 =
-                typical_day_profile(history, DayKind::All)?.iter().sum();
+            let typical_total: f64 = typical_day_profile(history, DayKind::All)?.iter().sum();
             let scale = if typical_total > 0.0 {
                 (last_day.total_energy() / typical_total).clamp(0.25, 4.0)
             } else {
@@ -87,7 +86,11 @@ fn seasonal_values(
     let mut out = Vec::with_capacity(horizon);
     for i in 0..horizon {
         let t = start + res.interval() * i as i64;
-        let profile = if t.day_of_week().is_weekend() { &weekend } else { &work };
+        let profile = if t.day_of_week().is_weekend() {
+            &weekend
+        } else {
+            &work
+        };
         let idx = (t.minute_of_day() as i64 / res.minutes()) as usize % per_day;
         out.push(profile[idx] * scale);
     }
@@ -130,7 +133,11 @@ mod tests {
         let mut values = Vec::new();
         for d in 0..14 {
             let t = start + Duration::days(d);
-            let level = if t.day_of_week().is_weekend() { 3.0 } else { 1.0 };
+            let level = if t.day_of_week().is_weekend() {
+                3.0
+            } else {
+                1.0
+            };
             values.extend(vec![level; 24]);
         }
         TimeSeries::new(start, Resolution::HOUR_1, values).unwrap()
@@ -151,9 +158,13 @@ mod tests {
         let h = history(); // ends Monday 2013-03-18 00:00
         let f = forecast(&h, 24 * 7, ForecastMethod::SeasonalNaive).unwrap();
         // Mon..Fri forecast at the workday level, Sat/Sun at weekend level.
-        let monday = f.slice(flextract_time::TimeRange::starting_at(ts("2013-03-18"), Duration::days(1)).unwrap());
+        let monday = f.slice(
+            flextract_time::TimeRange::starting_at(ts("2013-03-18"), Duration::days(1)).unwrap(),
+        );
         assert!(monday.values().iter().all(|&v| (v - 1.0).abs() < 1e-9));
-        let saturday = f.slice(flextract_time::TimeRange::starting_at(ts("2013-03-23"), Duration::days(1)).unwrap());
+        let saturday = f.slice(
+            flextract_time::TimeRange::starting_at(ts("2013-03-23"), Duration::days(1)).unwrap(),
+        );
         assert!(saturday.values().iter().all(|&v| (v - 3.0).abs() < 1e-9));
     }
 

@@ -51,9 +51,9 @@ pub mod codec;
 pub mod decompose;
 pub mod forecast;
 pub mod missing;
-pub mod rolling;
 pub mod peaks;
 pub mod resample;
+pub mod rolling;
 pub mod sax;
 pub mod segment;
 mod series;
@@ -137,7 +137,11 @@ mod lib_tests {
         assert!(e.to_string().contains("15min"));
         assert!(e.to_string().contains("1h"));
         assert!(SeriesError::Empty.to_string().contains("non-empty"));
-        assert!(SeriesError::Codec { what: "bad magic" }.to_string().contains("bad magic"));
-        assert!(SeriesError::LengthMismatch { left: 3, right: 4 }.to_string().contains('3'));
+        assert!(SeriesError::Codec { what: "bad magic" }
+            .to_string()
+            .contains("bad magic"));
+        assert!(SeriesError::LengthMismatch { left: 3, right: 4 }
+            .to_string()
+            .contains('3'));
     }
 }

@@ -194,7 +194,11 @@ mod tests {
 
     #[test]
     fn all_nan_errors_for_anchored_strategies() {
-        for s in [FillStrategy::Linear, FillStrategy::Previous, FillStrategy::SeasonalDaily] {
+        for s in [
+            FillStrategy::Linear,
+            FillStrategy::Previous,
+            FillStrategy::SeasonalDaily,
+        ] {
             let mut v = vec![NAN, NAN, NAN];
             assert_eq!(fill_gaps(&mut v, s, 96), Err(SeriesError::Empty));
         }

@@ -13,8 +13,7 @@ use flextract_time::TimeRange;
 use serde::{Deserialize, Serialize};
 
 /// How the peak-detection threshold is derived from the analysed window.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum PeakThreshold {
     /// The mean interval energy of the window — the paper's definition
     /// ("calculates the average daily consumption and considers only
@@ -29,16 +28,13 @@ pub enum PeakThreshold {
     Absolute(f64),
 }
 
-
 impl PeakThreshold {
     /// Resolve the threshold value for a window of interval energies.
     pub fn resolve(self, values: &[f64]) -> Result<f64, SeriesError> {
         match self {
             PeakThreshold::Mean => stats::mean(values).ok_or(SeriesError::Empty),
             PeakThreshold::Median => stats::median(values).ok_or(SeriesError::Empty),
-            PeakThreshold::Quantile(q) => {
-                stats::quantile(values, q).ok_or(SeriesError::Empty)
-            }
+            PeakThreshold::Quantile(q) => stats::quantile(values, q).ok_or(SeriesError::Empty),
             PeakThreshold::Absolute(v) => Ok(v),
         }
     }
@@ -207,7 +203,10 @@ mod tests {
     #[test]
     fn empty_series_is_an_error() {
         let s = TimeSeries::new(ts("2013-03-18"), Resolution::MIN_15, vec![]).unwrap();
-        assert_eq!(detect_peaks(&s, PeakThreshold::Mean), Err(SeriesError::Empty));
+        assert_eq!(
+            detect_peaks(&s, PeakThreshold::Mean),
+            Err(SeriesError::Empty)
+        );
     }
 
     #[test]

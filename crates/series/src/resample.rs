@@ -96,8 +96,7 @@ mod tests {
 
     #[test]
     fn upsample_distributes_uniformly() {
-        let hourly =
-            TimeSeries::new(ts("2013-03-18"), Resolution::HOUR_1, vec![4.0, 2.0]).unwrap();
+        let hourly = TimeSeries::new(ts("2013-03-18"), Resolution::HOUR_1, vec![4.0, 2.0]).unwrap();
         let fine = upsample(&hourly, Resolution::MIN_15).unwrap();
         assert_eq!(fine.len(), 8);
         assert!((fine.values()[0] - 1.0).abs() < 1e-12);
@@ -128,17 +127,13 @@ mod tests {
         );
         // 30 min is not a multiple of... wait, it is. Use a truly odd pair:
         let odd = TimeSeries::new(ts("2013-03-18"), Resolution::MIN_30, vec![1.0; 4]).unwrap();
-        assert_eq!(
-            upsample(&odd, Resolution::MIN_15).unwrap().len(),
-            8
-        );
+        assert_eq!(upsample(&odd, Resolution::MIN_15).unwrap().len(), 8);
     }
 
     #[test]
     fn downsample_requires_whole_chunks_and_alignment() {
         // 5 intervals of 15 min do not fill 2 hours.
-        let ragged =
-            TimeSeries::new(ts("2013-03-18"), Resolution::MIN_15, vec![1.0; 5]).unwrap();
+        let ragged = TimeSeries::new(ts("2013-03-18"), Resolution::MIN_15, vec![1.0; 5]).unwrap();
         assert!(matches!(
             downsample(&ragged, Resolution::HOUR_1),
             Err(SeriesError::LengthMismatch { .. })

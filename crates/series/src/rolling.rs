@@ -135,7 +135,11 @@ mod tests {
         for i in 2..xs.len() {
             let w = &xs[i - 2..=i];
             let direct = crate::stats::std_dev(w).unwrap();
-            assert!((s[i] - direct).abs() < 1e-9, "index {i}: {} vs {direct}", s[i]);
+            assert!(
+                (s[i] - direct).abs() < 1e-9,
+                "index {i}: {} vs {direct}",
+                s[i]
+            );
         }
         // Flat window → zero std, not NaN.
         let flat = rolling_std(&[2.0; 5], 3);
@@ -164,7 +168,11 @@ mod tests {
         for i in 0..xs.len() {
             let lo = i.saturating_sub(3);
             let direct = crate::stats::median(&xs[lo..=i]).unwrap();
-            assert!((med[i] - direct).abs() < EPS, "index {i}: {} vs {direct}", med[i]);
+            assert!(
+                (med[i] - direct).abs() < EPS,
+                "index {i}: {} vs {direct}",
+                med[i]
+            );
         }
     }
 

@@ -49,7 +49,10 @@ pub fn paa(xs: &[f64], segments: usize) -> Vec<f64> {
     }
     if n.is_multiple_of(segments) {
         let k = n / segments;
-        return xs.chunks_exact(k).map(|c| c.iter().sum::<f64>() / k as f64).collect();
+        return xs
+            .chunks_exact(k)
+            .map(|c| c.iter().sum::<f64>() / k as f64)
+            .collect();
     }
     // Fractional PAA: distribute each sample across overlapping segments.
     let mut out = vec![0.0; segments];
@@ -146,7 +149,11 @@ pub fn find_motifs(
         .filter(|(_, occ)| occ.len() >= min_support)
         .map(|(word, occurrences)| Motif { word, occurrences })
         .collect();
-    motifs.sort_by(|a, b| b.support().cmp(&a.support()).then_with(|| a.word.cmp(&b.word)));
+    motifs.sort_by(|a, b| {
+        b.support()
+            .cmp(&a.support())
+            .then_with(|| a.word.cmp(&b.word))
+    });
     motifs
 }
 

@@ -201,7 +201,10 @@ mod tests {
         assert!((totals[0].1 - 24.0).abs() < 1e-9);
         // Day 5 is Saturday: 24 * 10 * 6
         assert!((totals[5].1 - 24.0 * 60.0).abs() < 1e-9);
-        assert_eq!(totals[5].0.day_of_week(), flextract_time::DayOfWeek::Saturday);
+        assert_eq!(
+            totals[5].0.day_of_week(),
+            flextract_time::DayOfWeek::Saturday
+        );
     }
 
     #[test]
@@ -222,12 +225,7 @@ mod tests {
 
     #[test]
     fn profile_std_is_zero_for_identical_days() {
-        let s = TimeSeries::new(
-            ts("2013-03-18"),
-            Resolution::HOUR_1,
-            vec![2.0; 3 * 24],
-        )
-        .unwrap();
+        let s = TimeSeries::new(ts("2013-03-18"), Resolution::HOUR_1, vec![2.0; 3 * 24]).unwrap();
         let std = day_profile_std(&s, DayKind::All).unwrap();
         assert!(std.iter().all(|v| v.abs() < 1e-12));
     }

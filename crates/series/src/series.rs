@@ -1,9 +1,9 @@
 //! The core fixed-interval energy series type.
 
 use crate::SeriesError;
-use flextract_time::{Resolution, TimeRange, Timestamp};
 #[cfg(test)]
 use flextract_time::Duration;
+use flextract_time::{Resolution, TimeRange, Timestamp};
 use serde::{Deserialize, Serialize};
 
 /// A dense, fixed-resolution energy time series.
@@ -41,7 +41,11 @@ impl TimeSeries {
         if !start.is_aligned(resolution) {
             return Err(SeriesError::UnalignedStart);
         }
-        Ok(TimeSeries { start, resolution, values })
+        Ok(TimeSeries {
+            start,
+            resolution,
+            values,
+        })
     }
 
     /// A series of `len` intervals all holding `value`.
@@ -241,7 +245,11 @@ impl TimeSeries {
             .zip(&other.values)
             .map(|(a, b)| a + b)
             .collect();
-        Ok(TimeSeries { start: self.start, resolution: self.resolution, values })
+        Ok(TimeSeries {
+            start: self.start,
+            resolution: self.resolution,
+            values,
+        })
     }
 
     /// Pointwise difference with a grid-identical series.
@@ -253,7 +261,11 @@ impl TimeSeries {
             .zip(&other.values)
             .map(|(a, b)| a - b)
             .collect();
-        Ok(TimeSeries { start: self.start, resolution: self.resolution, values })
+        Ok(TimeSeries {
+            start: self.start,
+            resolution: self.resolution,
+            values,
+        })
     }
 
     /// Subtract `other` wherever it overlaps this series, in place.
@@ -456,7 +468,10 @@ mod tests {
         assert_eq!(a.concat(&c), Err(SeriesError::AlignmentMismatch));
         // Resolution mismatch → error.
         let d = TimeSeries::new(ts("2013-03-20"), Resolution::HOUR_1, vec![1.0]).unwrap();
-        assert!(matches!(a.concat(&d), Err(SeriesError::ResolutionMismatch { .. })));
+        assert!(matches!(
+            a.concat(&d),
+            Err(SeriesError::ResolutionMismatch { .. })
+        ));
         // Concat onto empty adopts the other's grid.
         let mut e = TimeSeries::new(ts("2013-01-01"), Resolution::MIN_15, vec![]).unwrap();
         e.concat(&b).unwrap();
@@ -474,19 +489,18 @@ mod tests {
         let shifted = TimeSeries::new(ts("2013-03-19"), Resolution::MIN_15, vec![1.0; 96]).unwrap();
         assert_eq!(a.add(&shifted), Err(SeriesError::AlignmentMismatch));
         let short = day_series(vec![1.0; 95]);
-        assert!(matches!(a.add(&short), Err(SeriesError::LengthMismatch { .. })));
+        assert!(matches!(
+            a.add(&short),
+            Err(SeriesError::LengthMismatch { .. })
+        ));
     }
 
     #[test]
     fn overlapping_subtraction() {
         let mut base = day_series(vec![1.0; 96]);
         // A 1-hour extraction at 10:00 of 0.4 kWh per interval.
-        let flex = TimeSeries::new(
-            ts("2013-03-18 10:00"),
-            Resolution::MIN_15,
-            vec![0.4; 4],
-        )
-        .unwrap();
+        let flex =
+            TimeSeries::new(ts("2013-03-18 10:00"), Resolution::MIN_15, vec![0.4; 4]).unwrap();
         base.sub_overlapping(&flex).unwrap();
         assert!((base.value_at(ts("2013-03-18 10:00")).unwrap() - 0.6).abs() < 1e-9);
         assert!((base.value_at(ts("2013-03-18 09:45")).unwrap() - 1.0).abs() < 1e-9);

@@ -1,6 +1,8 @@
 //! Property tests for the series engine.
 
-use flextract_series::{codec, decompose, missing, peaks, resample, stats, PeakThreshold, TimeSeries};
+use flextract_series::{
+    codec, decompose, missing, peaks, resample, stats, PeakThreshold, TimeSeries,
+};
 use flextract_time::{Duration, Resolution, TimeRange, Timestamp};
 use proptest::prelude::*;
 

@@ -32,8 +32,7 @@ pub struct Activation {
 impl Activation {
     /// The cycle's execution span.
     pub fn range(&self) -> TimeRange {
-        TimeRange::starting_at(self.start, self.duration)
-            .expect("durations are non-negative")
+        TimeRange::starting_at(self.start, self.duration).expect("durations are non-negative")
     }
 
     /// `true` if this activation was delayed by tariff response.
@@ -58,7 +57,11 @@ impl std::fmt::Display for Activation {
             self.appliance,
             self.start,
             self.energy_kwh,
-            if self.was_shifted() { "shifted" } else { "natural" }
+            if self.was_shifted() {
+                "shifted"
+            } else {
+                "natural"
+            }
         )
     }
 }

@@ -3,7 +3,7 @@
 //! MIRABEL aggregates flex-offers "from thousands consumers" (§6); the
 //! evaluation experiments therefore need fleets, not single households.
 //! Fleet simulation is embarrassingly parallel per household, so the
-//! work is fanned out over `crossbeam` scoped threads with results
+//! work is fanned out over `std::thread` scoped threads with results
 //! collected behind a `parking_lot` mutex.
 
 use crate::household::{HouseholdArchetype, HouseholdConfig};
@@ -62,8 +62,8 @@ impl FleetConfig {
                     Some(idx) => self.archetype_mix[idx].0,
                     None => HouseholdArchetype::Couple,
                 };
-                let mut cfg = HouseholdConfig::new(i as u64, arch)
-                    .with_seed(self.base_seed + i as u64);
+                let mut cfg =
+                    HouseholdConfig::new(i as u64, arch).with_seed(self.base_seed + i as u64);
                 cfg.tariff_response = self.tariff_response.clone();
                 cfg
             })
@@ -106,9 +106,12 @@ impl FleetResult {
 }
 
 /// Simulate a fleet over `range`, parallelised across
-/// `config.threads` crossbeam scoped threads.
+/// `config.threads` scoped threads.
 pub fn simulate_fleet(config: &FleetConfig, range: TimeRange) -> FleetResult {
-    assert!(config.households > 0, "a fleet needs at least one household");
+    assert!(
+        config.households > 0,
+        "a fleet needs at least one household"
+    );
     let catalog = Catalog::extended();
     let configs = config.household_configs();
     let results: Mutex<Vec<(usize, SimulatedHousehold)>> =
@@ -116,24 +119,22 @@ pub fn simulate_fleet(config: &FleetConfig, range: TimeRange) -> FleetResult {
 
     let threads = config.threads.clamp(1, configs.len());
     let chunk = configs.len().div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (t, batch) in configs.chunks(chunk).enumerate() {
             let results = &results;
             let catalog = &catalog;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (j, cfg) in batch.iter().enumerate() {
                     let sim = simulate_household_with_catalog(cfg, range, catalog);
                     results.lock().push((t * chunk + j, sim));
                 }
             });
         }
-    })
-    .expect("fleet simulation workers do not panic");
+    });
 
     let mut indexed = results.into_inner();
     indexed.sort_by_key(|(i, _)| *i);
-    let households: Vec<SimulatedHousehold> =
-        indexed.into_iter().map(|(_, sim)| sim).collect();
+    let households: Vec<SimulatedHousehold> = indexed.into_iter().map(|(_, sim)| sim).collect();
 
     let mut total: Option<TimeSeries> = None;
     for h in &households {
@@ -160,7 +161,11 @@ mod tests {
     }
 
     fn small_fleet(threads: usize) -> FleetConfig {
-        FleetConfig { households: 6, threads, ..FleetConfig::default() }
+        FleetConfig {
+            households: 6,
+            threads,
+            ..FleetConfig::default()
+        }
     }
 
     #[test]
@@ -235,7 +240,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one household")]
     fn empty_fleet_panics() {
-        let cfg = FleetConfig { households: 0, ..FleetConfig::default() };
+        let cfg = FleetConfig {
+            households: 0,
+            ..FleetConfig::default()
+        };
         simulate_fleet(&cfg, days(1));
     }
 }

@@ -207,7 +207,10 @@ mod tests {
         );
         // Only the suburban archetype owns an EV.
         for arch in HouseholdArchetype::ALL {
-            let has_ev = arch.owned_appliances().iter().any(|n| n.contains("Vehicle"));
+            let has_ev = arch
+                .owned_appliances()
+                .iter()
+                .any(|n| n.contains("Vehicle"));
             assert_eq!(has_ev, arch == HouseholdArchetype::SuburbanWithEv, "{arch}");
         }
     }
@@ -232,6 +235,9 @@ mod tests {
 
     #[test]
     fn display_names() {
-        assert_eq!(HouseholdArchetype::SuburbanWithEv.to_string(), "suburban with EV");
+        assert_eq!(
+            HouseholdArchetype::SuburbanWithEv.to_string(),
+            "suburban with EV"
+        );
     }
 }

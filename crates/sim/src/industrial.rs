@@ -193,12 +193,8 @@ pub fn simulate_industrial(config: &IndustrialConfig, range: TimeRange) -> Simul
                 let intensity = clamped_normal(&mut rng, 0.5, 0.2, 0.0, 1.0);
                 let kw = proc.power_kw.0 + (proc.power_kw.1 - proc.power_kw.0) * intensity;
                 let intervals = (proc.duration.as_minutes() / res.minutes()).max(1);
-                let run_series = TimeSeries::new(
-                    start,
-                    res,
-                    vec![kw * hours; intervals as usize],
-                )
-                .expect("grid-snapped starts are aligned");
+                let run_series = TimeSeries::new(start, res, vec![kw * hours; intervals as usize])
+                    .expect("grid-snapped starts are aligned");
                 let placed = run_series.slice(days);
                 if placed.is_empty() {
                     continue;
@@ -254,14 +250,23 @@ mod tests {
         let cfg = IndustrialConfig::medium_plant(2);
         let sim = simulate_industrial(&cfg, week());
         // Tuesday 10:00 (working) vs Tuesday 02:00 (skeleton).
-        let working = sim.series.value_at("2013-03-19 10:00".parse().unwrap()).unwrap();
-        let night = sim.series.value_at("2013-03-19 02:00".parse().unwrap()).unwrap();
+        let working = sim
+            .series
+            .value_at("2013-03-19 10:00".parse().unwrap())
+            .unwrap();
+        let night = sim
+            .series
+            .value_at("2013-03-19 02:00".parse().unwrap())
+            .unwrap();
         assert!(
             working > night * 2.0,
             "working {working} should dwarf skeleton {night}"
         );
         // Weekend runs at skeleton load for a two-shift plant.
-        let saturday = sim.series.value_at("2013-03-23 12:00".parse().unwrap()).unwrap();
+        let saturday = sim
+            .series
+            .value_at("2013-03-23 12:00".parse().unwrap())
+            .unwrap();
         assert!(saturday < working * 0.6, "saturday {saturday} vs {working}");
     }
 
@@ -273,8 +278,14 @@ mod tests {
             ..IndustrialConfig::medium_plant(3)
         };
         let sim = simulate_industrial(&cfg, week());
-        let night = sim.series.value_at("2013-03-19 02:00".parse().unwrap()).unwrap();
-        let noon = sim.series.value_at("2013-03-19 12:00".parse().unwrap()).unwrap();
+        let night = sim
+            .series
+            .value_at("2013-03-19 02:00".parse().unwrap())
+            .unwrap();
+        let noon = sim
+            .series
+            .value_at("2013-03-19 12:00".parse().unwrap())
+            .unwrap();
         assert!((night / noon) > 0.7, "night {night} vs noon {noon}");
     }
 

@@ -79,9 +79,7 @@ pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> Option<u
         }
     }
     // Float rounding can leave a sliver; return the last positive index.
-    weights
-        .iter()
-        .rposition(|w| w.is_finite() && *w > 0.0)
+    weights.iter().rposition(|w| w.is_finite() && *w > 0.0)
 }
 
 /// A Bernoulli trial with probability `p` (clamped into `[0, 1]`).
@@ -198,7 +196,10 @@ mod tests {
         let mut a = StdRng::seed_from_u64(7);
         let mut b = StdRng::seed_from_u64(7);
         for _ in 0..100 {
-            assert_eq!(standard_normal(&mut a).to_bits(), standard_normal(&mut b).to_bits());
+            assert_eq!(
+                standard_normal(&mut a).to_bits(),
+                standard_normal(&mut b).to_bits()
+            );
         }
     }
 }

@@ -129,8 +129,14 @@ mod tests {
         let a = simulate_wind_production(&cfg, week(), Resolution::MIN_15);
         let b = simulate_wind_production(&cfg, week(), Resolution::MIN_15);
         assert_eq!(a, b);
-        let other = WindFarmConfig { seed: 9, ..WindFarmConfig::default() };
-        assert_ne!(simulate_wind_production(&other, week(), Resolution::MIN_15), a);
+        let other = WindFarmConfig {
+            seed: 9,
+            ..WindFarmConfig::default()
+        };
+        assert_ne!(
+            simulate_wind_production(&other, week(), Resolution::MIN_15),
+            a
+        );
     }
 
     #[test]

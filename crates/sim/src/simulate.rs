@@ -72,10 +72,8 @@ pub fn simulate_household_with_catalog(
 ) -> SimulatedHousehold {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let days = range.align_outward(Resolution::DAY);
-    let mut series =
-        TimeSeries::zeros_over(days, Resolution::MIN_1).expect("aligned day range");
-    let mut flexible =
-        TimeSeries::zeros_over(days, Resolution::MIN_1).expect("aligned day range");
+    let mut series = TimeSeries::zeros_over(days, Resolution::MIN_1).expect("aligned day range");
+    let mut flexible = TimeSeries::zeros_over(days, Resolution::MIN_1).expect("aligned day range");
     let mut log: Vec<Activation> = Vec::new();
 
     // --- Base load: a slow mean-reverting wander around the archetype
@@ -120,7 +118,12 @@ pub fn simulate_household_with_catalog(
     series.clip_negative();
 
     log.sort_by_key(|a| a.start);
-    SimulatedHousehold { config: config.clone(), series, activations: log, flexible_series: flexible }
+    SimulatedHousehold {
+        config: config.clone(),
+        series,
+        activations: log,
+        flexible_series: flexible,
+    }
 }
 
 /// Chain duty cycles of a continuous appliance (e.g. refrigerator
@@ -140,9 +143,8 @@ fn simulate_continuous(
             .add_overlapping(&cycle_series)
             .expect("simulation grids share the 1-min resolution");
         // Idle gap between 0.5× and 1.5× of the cycle length.
-        let gap = Duration::minutes(
-            (cycle.as_minutes() as f64 * rng.gen_range(0.5..1.5)).round() as i64,
-        );
+        let gap =
+            Duration::minutes((cycle.as_minutes() as f64 * rng.gen_range(0.5..1.5)).round() as i64);
         cursor = cursor + cycle + gap;
     }
 }
@@ -160,11 +162,8 @@ fn simulate_cycles(
 ) {
     for day in days.split_days() {
         let weekend = day.start().day_of_week().is_weekend();
-        let rate = spec
-            .usage
-            .expected_rate(weekend)
-            .unwrap_or(0.0)
-            * config.archetype.activity_factor();
+        let rate =
+            spec.usage.expected_rate(weekend).unwrap_or(0.0) * config.archetype.activity_factor();
         let count = poisson(rng, rate);
         for _ in 0..count {
             let natural_start = sample_start(rng, spec, day.start());
@@ -205,10 +204,11 @@ fn sample_start(rng: &mut StdRng, spec: &ApplianceSpec, day_start: Timestamp) ->
     let windows = &spec.usage.preferred_windows;
     let weights: Vec<f64> = windows.iter().map(|(_, _, w)| *w).collect();
     let idx = weighted_index(rng, &weights).unwrap_or(0);
-    let (from, to, _) = windows
-        .get(idx)
-        .copied()
-        .unwrap_or((flextract_time::CivilTime::MIDNIGHT, flextract_time::CivilTime::MIDNIGHT, 1.0));
+    let (from, to, _) = windows.get(idx).copied().unwrap_or((
+        flextract_time::CivilTime::MIDNIGHT,
+        flextract_time::CivilTime::MIDNIGHT,
+        1.0,
+    ));
     let f = from.minute_of_day() as i64;
     let mut u = to.minute_of_day() as i64;
     if u <= f {
@@ -452,7 +452,10 @@ mod tests {
     #[test]
     fn continuous_appliances_produce_no_log_entries() {
         let sim = simulate_household(&family(), week());
-        assert!(sim.activations.iter().all(|a| a.appliance != "Refrigerator A+"));
+        assert!(sim
+            .activations
+            .iter()
+            .all(|a| a.appliance != "Refrigerator A+"));
         // …but the fridge still consumes: strip appliances from the log
         // and the series still has energy beyond logged cycles + base.
         let logged: f64 = sim.activations.iter().map(|a| a.energy_kwh).sum();

@@ -73,7 +73,11 @@ impl TariffScheme {
     pub fn price_at(&self, t: Timestamp) -> f64 {
         match self {
             TariffScheme::Flat { price } => *price,
-            TariffScheme::TimeOfUse { high_price, low_price, .. } => {
+            TariffScheme::TimeOfUse {
+                high_price,
+                low_price,
+                ..
+            } => {
                 if self.is_low_tariff(t) {
                     *low_price
                 } else {

@@ -102,10 +102,14 @@ impl CivilDate {
     /// Construct a validated date.
     pub fn new(year: i32, month: u8, day: u8) -> Result<Self, TimeError> {
         if !(1..=12).contains(&month) {
-            return Err(TimeError::InvalidCivil { what: "month outside 1..=12" });
+            return Err(TimeError::InvalidCivil {
+                what: "month outside 1..=12",
+            });
         }
         if day < 1 || day > days_in_month(year, month) {
-            return Err(TimeError::InvalidCivil { what: "day outside month length" });
+            return Err(TimeError::InvalidCivil {
+                what: "day outside month length",
+            });
         }
         Ok(CivilDate { year, month, day })
     }
@@ -154,10 +158,14 @@ impl CivilTime {
     /// Construct a validated time of day.
     pub fn new(hour: u8, minute: u8) -> Result<Self, TimeError> {
         if hour > 23 {
-            return Err(TimeError::InvalidCivil { what: "hour outside 0..=23" });
+            return Err(TimeError::InvalidCivil {
+                what: "hour outside 0..=23",
+            });
         }
         if minute > 59 {
-            return Err(TimeError::InvalidCivil { what: "minute outside 0..=59" });
+            return Err(TimeError::InvalidCivil {
+                what: "minute outside 0..=59",
+            });
         }
         Ok(CivilTime { hour, minute })
     }
@@ -170,9 +178,14 @@ impl CivilTime {
     /// Time of day from minutes since midnight (must be < 1440).
     pub fn from_minute_of_day(m: u32) -> Result<Self, TimeError> {
         if m >= 24 * 60 {
-            return Err(TimeError::InvalidCivil { what: "minute-of-day outside 0..1440" });
+            return Err(TimeError::InvalidCivil {
+                what: "minute-of-day outside 0..1440",
+            });
         }
-        Ok(CivilTime { hour: (m / 60) as u8, minute: (m % 60) as u8 })
+        Ok(CivilTime {
+            hour: (m / 60) as u8,
+            minute: (m % 60) as u8,
+        })
     }
 }
 
@@ -335,7 +348,11 @@ mod tests {
         ] {
             let date = CivilDate::new(y, m, d).unwrap();
             let days = date.days_since_unix_epoch();
-            assert_eq!(CivilDate::from_days_since_unix_epoch(days), date, "{y}-{m}-{d}");
+            assert_eq!(
+                CivilDate::from_days_since_unix_epoch(days),
+                date,
+                "{y}-{m}-{d}"
+            );
         }
     }
 

@@ -218,7 +218,10 @@ mod tests {
         assert_eq!(Duration::minutes(45).to_string(), "45m");
         assert_eq!(Duration::hours(2).to_string(), "2h00m");
         assert_eq!(Duration::minutes(150).to_string(), "2h30m");
-        assert_eq!((Duration::days(1) + Duration::minutes(150)).to_string(), "1d02h30m");
+        assert_eq!(
+            (Duration::days(1) + Duration::minutes(150)).to_string(),
+            "1d02h30m"
+        );
         assert_eq!(Duration::minutes(-15).to_string(), "-15m");
     }
 

@@ -80,7 +80,10 @@ impl std::fmt::Display for TimeError {
             TimeError::Parse { what } => write!(f, "parse error: {what}"),
             TimeError::InvertedRange => write!(f, "time range end precedes start"),
             TimeError::InvalidResolution { minutes } => {
-                write!(f, "resolution of {minutes} min does not evenly divide a day")
+                write!(
+                    f,
+                    "resolution of {minutes} min does not evenly divide a day"
+                )
             }
         }
     }
@@ -99,7 +102,9 @@ mod lib_tests {
         let e = TimeError::InvalidResolution { minutes: 7 };
         assert!(e.to_string().contains('7'));
         assert!(TimeError::InvertedRange.to_string().contains("precedes"));
-        let e = TimeError::Parse { what: "missing colon" };
+        let e = TimeError::Parse {
+            what: "missing colon",
+        };
         assert!(e.to_string().contains("missing colon"));
     }
 }

@@ -28,13 +28,19 @@ impl TimeRange {
         if len.is_negative() {
             return Err(TimeError::InvertedRange);
         }
-        Ok(TimeRange { start, end: start + len })
+        Ok(TimeRange {
+            start,
+            end: start + len,
+        })
     }
 
     /// The full civil day containing `t` (midnight to midnight).
     pub fn day_of(t: Timestamp) -> Self {
         let start = t.start_of_day();
-        TimeRange { start, end: start + Duration::DAY }
+        TimeRange {
+            start,
+            end: start + Duration::DAY,
+        }
     }
 
     /// Inclusive start.
@@ -94,7 +100,10 @@ impl TimeRange {
 
     /// Shift the whole range by `d`.
     pub fn shift(self, d: Duration) -> TimeRange {
-        TimeRange { start: self.start + d, end: self.end + d }
+        TimeRange {
+            start: self.start + d,
+            end: self.end + d,
+        }
     }
 
     /// Widen to the enclosing interval boundaries of `res`
@@ -215,7 +224,10 @@ mod tests {
         let a = r("2013-03-18 10:00", "2013-03-18 12:00");
         let b = r("2013-03-18 11:00", "2013-03-18 13:00");
         let c = r("2013-03-18 12:00", "2013-03-18 13:00"); // touches a
-        assert_eq!(a.intersect(b), Some(r("2013-03-18 11:00", "2013-03-18 12:00")));
+        assert_eq!(
+            a.intersect(b),
+            Some(r("2013-03-18 11:00", "2013-03-18 12:00"))
+        );
         assert!(a.overlaps(b));
         assert_eq!(a.intersect(c), None);
         assert!(!a.overlaps(c));

@@ -37,7 +37,9 @@ impl Resolution {
         if minutes <= 0 || (24 * 60) % minutes != 0 {
             return Err(TimeError::InvalidResolution { minutes });
         }
-        Ok(Resolution { minutes: minutes as u32 })
+        Ok(Resolution {
+            minutes: minutes as u32,
+        })
     }
 
     /// Interval width in minutes.

@@ -43,7 +43,13 @@ impl Timestamp {
     }
 
     /// Instant at `hour:minute` on the given civil date.
-    pub fn from_ymd_hm(year: i32, month: u8, day: u8, hour: u8, minute: u8) -> Result<Self, TimeError> {
+    pub fn from_ymd_hm(
+        year: i32,
+        month: u8,
+        day: u8,
+        hour: u8,
+        minute: u8,
+    ) -> Result<Self, TimeError> {
         let date = CivilDate::new(year, month, day)?;
         let time = CivilTime::new(hour, minute)?;
         Ok(Self::from_civil(CivilDateTime::new(date, time)))
@@ -180,12 +186,16 @@ impl FromStr for Timestamp {
             .and_then(|v| v.parse().ok())
             .ok_or(TimeError::Parse { what: "day" })?;
         if it.next().is_some() {
-            return Err(TimeError::Parse { what: "trailing date fields" });
+            return Err(TimeError::Parse {
+                what: "trailing date fields",
+            });
         }
         let (hour, minute) = match time_part {
             None => (0, 0),
             Some(t) => {
-                let (h, m) = t.split_once(':').ok_or(TimeError::Parse { what: "missing ':'" })?;
+                let (h, m) = t.split_once(':').ok_or(TimeError::Parse {
+                    what: "missing ':'",
+                })?;
                 (
                     h.parse().map_err(|_| TimeError::Parse { what: "hour" })?,
                     m.parse().map_err(|_| TimeError::Parse { what: "minute" })?,
@@ -233,7 +243,10 @@ mod tests {
         v += Duration::hours(1);
         v -= Duration::minutes(30);
         assert_eq!(v.to_string(), "2013-03-18 22:30");
-        assert_eq!((t - Duration::days(1)).date(), CivilDate::new(2013, 3, 17).unwrap());
+        assert_eq!(
+            (t - Duration::days(1)).date(),
+            CivilDate::new(2013, 3, 17).unwrap()
+        );
     }
 
     #[test]
@@ -249,8 +262,14 @@ mod tests {
     #[test]
     fn floor_and_ceil_to_resolution() {
         let t = Timestamp::from_ymd_hm(2013, 3, 18, 14, 7).unwrap();
-        assert_eq!(t.floor_to(Resolution::MIN_15).to_string(), "2013-03-18 14:00");
-        assert_eq!(t.ceil_to(Resolution::MIN_15).to_string(), "2013-03-18 14:15");
+        assert_eq!(
+            t.floor_to(Resolution::MIN_15).to_string(),
+            "2013-03-18 14:00"
+        );
+        assert_eq!(
+            t.ceil_to(Resolution::MIN_15).to_string(),
+            "2013-03-18 14:15"
+        );
         let aligned = Timestamp::from_ymd_hm(2013, 3, 18, 14, 15).unwrap();
         assert_eq!(aligned.floor_to(Resolution::MIN_15), aligned);
         assert_eq!(aligned.ceil_to(Resolution::MIN_15), aligned);
@@ -258,7 +277,10 @@ mod tests {
         assert!(!t.is_aligned(Resolution::MIN_15));
         // Negative side of the epoch floors toward -infinity.
         let neg = Timestamp::from_minutes(-7);
-        assert_eq!(neg.floor_to(Resolution::MIN_15), Timestamp::from_minutes(-15));
+        assert_eq!(
+            neg.floor_to(Resolution::MIN_15),
+            Timestamp::from_minutes(-15)
+        );
         assert_eq!(neg.ceil_to(Resolution::MIN_15), Timestamp::from_minutes(0));
     }
 

@@ -1,8 +1,6 @@
 //! Property tests for the civil-time substrate.
 
-use flextract_time::{
-    CivilDate, Duration, Resolution, TimeRange, Timestamp,
-};
+use flextract_time::{CivilDate, Duration, Resolution, TimeRange, Timestamp};
 use proptest::prelude::*;
 
 /// Timestamps spanning roughly 1990–2050, which covers every workload in

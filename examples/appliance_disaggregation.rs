@@ -46,7 +46,10 @@ fn main() {
         for slot in s.slots(0.25) {
             println!(
                 "  {}: {:?} days {}–{} (expect {:.2}/day)",
-                s.appliance, slot.day_kind, slot.window_start, slot.window_end,
+                s.appliance,
+                slot.day_kind,
+                slot.window_start,
+                slot.window_end,
                 slot.expected_per_day
             );
         }

@@ -13,16 +13,16 @@
 //! cargo run --example future_work
 //! ```
 
+use flextract::appliance::Catalog;
 use flextract::core::{
-    ExtractionConfig, ExtractionInput, FlexibilityExtractor, PeakExtractor,
-    ProductionExtractor, RealTimeGenerator,
+    ExtractionConfig, ExtractionInput, FlexibilityExtractor, PeakExtractor, ProductionExtractor,
+    RealTimeGenerator,
 };
+use flextract::series::forecast::{forecast, ForecastMethod};
 use flextract::sim::{
     simulate_household, simulate_industrial, simulate_wind_production, HouseholdArchetype,
     HouseholdConfig, IndustrialConfig, WindFarmConfig,
 };
-use flextract::series::forecast::{forecast, ForecastMethod};
-use flextract::appliance::Catalog;
 use flextract::time::{Duration, Resolution, TimeRange};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -50,10 +50,7 @@ fn main() {
         generator.schedules().len()
     );
     // Stream the next live day minute-by-minute.
-    let live = simulate_household(
-        &household.clone().with_seed(777),
-        horizon("2013-03-18", 1),
-    );
+    let live = simulate_household(&household.clone().with_seed(777), horizon("2013-03-18", 1));
     let mut gen = generator;
     let mut emitted = Vec::new();
     for (t, v) in live.series.iter() {
@@ -71,7 +68,10 @@ fn main() {
     let fc = forecast(&observed, 96, ForecastMethod::SeasonalScaled)
         .expect("a week of production history");
     let res_offers = ProductionExtractor::renewable(ExtractionConfig::default())
-        .extract(&ExtractionInput::household(&fc), &mut StdRng::seed_from_u64(1))
+        .extract(
+            &ExtractionInput::household(&fc),
+            &mut StdRng::seed_from_u64(1),
+        )
         .expect("forecast is non-empty");
     println!(
         "wind producer: {} ramp offers from tomorrow's forecast ({:.0} kWh forecast)",
@@ -81,12 +81,13 @@ fn main() {
     for o in res_offers.flex_offers.iter().take(3) {
         println!("  {o}");
     }
-    let dispatchable = ProductionExtractor::dispatchable(
-        ExtractionConfig::default(),
-        Duration::hours(12),
-    )
-    .extract(&ExtractionInput::household(&fc), &mut StdRng::seed_from_u64(1))
-    .expect("forecast is non-empty");
+    let dispatchable =
+        ProductionExtractor::dispatchable(ExtractionConfig::default(), Duration::hours(12))
+            .extract(
+                &ExtractionInput::household(&fc),
+                &mut StdRng::seed_from_u64(1),
+            )
+            .expect("forecast is non-empty");
     println!(
         "conventional producer: {} offer(s) covering {:.0} kWh (almost all production)\n",
         dispatchable.flex_offers.len(),
@@ -104,7 +105,10 @@ fn main() {
         sim.true_flexible_share() * 100.0
     );
     let out = PeakExtractor::new(ExtractionConfig::default())
-        .extract(&ExtractionInput::household(&sim.series), &mut StdRng::seed_from_u64(2))
+        .extract(
+            &ExtractionInput::household(&sim.series),
+            &mut StdRng::seed_from_u64(2),
+        )
         .expect("plant series is non-empty");
     println!(
         "peak-based extraction runs unchanged: {} offers, {:.0} kWh ({:.1} %)",

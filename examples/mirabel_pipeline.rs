@@ -7,12 +7,8 @@
 //! cargo run --example mirabel_pipeline
 //! ```
 
-use flextract::agg::{
-    aggregate_offers, schedule_offers, AggregationConfig, ScheduleConfig,
-};
-use flextract::core::{
-    ExtractionConfig, ExtractionInput, FlexibilityExtractor, PeakExtractor,
-};
+use flextract::agg::{aggregate_offers, schedule_offers, AggregationConfig, ScheduleConfig};
+use flextract::core::{ExtractionConfig, ExtractionInput, FlexibilityExtractor, PeakExtractor};
 use flextract::flexoffer::FlexOffer;
 use flextract::series::TimeSeries;
 use flextract::sim::{simulate_fleet, simulate_wind_production, FleetConfig, WindFarmConfig};
@@ -25,7 +21,12 @@ fn main() {
         .expect("a week is positive");
 
     // --- 1. A small MIRABEL market area: 25 mixed households.
-    let fleet_cfg = FleetConfig { households: 25, base_seed: 2013, threads: 4, ..FleetConfig::default() };
+    let fleet_cfg = FleetConfig {
+        households: 25,
+        base_seed: 2013,
+        threads: 4,
+        ..FleetConfig::default()
+    };
     let fleet = simulate_fleet(&fleet_cfg, horizon);
     println!(
         "fleet: {} households, {:.0} kWh over {} days",
@@ -50,15 +51,17 @@ fn main() {
         offers.extend(out.flex_offers);
         residual = Some(match residual {
             None => out.modified_series,
-            Some(acc) => acc.add(&out.modified_series).expect("fleet shares one grid"),
+            Some(acc) => acc
+                .add(&out.modified_series)
+                .expect("fleet shares one grid"),
         });
     }
     let residual = residual.expect("fleet is non-empty");
     println!("extraction: {} micro flex-offers", offers.len());
 
     // --- 3. Aggregation into macro offers.
-    let aggregates = aggregate_offers(&offers, &AggregationConfig::default())
-        .expect("offers are non-empty");
+    let aggregates =
+        aggregate_offers(&offers, &AggregationConfig::default()).expect("offers are non-empty");
     let micro: usize = aggregates.iter().map(|a| a.member_count()).sum();
     println!(
         "aggregation: {} macro offers from {} micro (compression {:.1}×)",
@@ -99,7 +102,9 @@ fn main() {
         .iter()
         .find(|s| s.offer().id() == first.offer.id())
         .expect("every aggregate was scheduled");
-    let members = first.disaggregate(scheduled).expect("disaggregation is exact");
+    let members = first
+        .disaggregate(scheduled)
+        .expect("disaggregation is exact");
     println!(
         "disaggregation: macro offer {} at {} fans out to {} household schedules:",
         first.offer.id(),

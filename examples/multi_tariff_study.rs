@@ -32,7 +32,11 @@ fn main() {
     let response = TariffResponse::overnight(0.85);
     let (flat, multi) = simulate_tariff_pair(&household, flat_month, tou_month, response);
 
-    let shifted: Vec<_> = multi.activations.iter().filter(|a| a.was_shifted()).collect();
+    let shifted: Vec<_> = multi
+        .activations
+        .iter()
+        .filter(|a| a.was_shifted())
+        .collect();
     let shifted_energy: f64 = shifted.iter().map(|a| a.energy_kwh).sum();
     println!(
         "simulated: {} activations, {} tariff-shifted ({:.1} kWh moved into the night)",
@@ -41,7 +45,12 @@ fn main() {
         shifted_energy
     );
     for a in shifted.iter().take(4) {
-        println!("  {} (delayed {} from {})", a, a.shift_amount(), a.shifted_from.unwrap().time());
+        println!(
+            "  {} (delayed {} from {})",
+            a,
+            a.shift_amount(),
+            a.shifted_from.unwrap().time()
+        );
     }
 
     // --- Extraction: compare observed month against the reference.
@@ -54,7 +63,8 @@ fn main() {
             &mut StdRng::seed_from_u64(3),
         )
         .expect("reference provided");
-    out.check_invariants(&observed).expect("energy accounting holds");
+    out.check_invariants(&observed)
+        .expect("energy accounting holds");
 
     println!(
         "\nmulti-tariff extraction: {} flex-offers, {:.1} kWh ({:.1} % of consumption)",

@@ -5,9 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use flextract::core::{
-    ExtractionConfig, ExtractionInput, FlexibilityExtractor, PeakExtractor,
-};
+use flextract::core::{ExtractionConfig, ExtractionInput, FlexibilityExtractor, PeakExtractor};
 use flextract::sim::{simulate_household, HouseholdArchetype, HouseholdConfig};
 use flextract::time::{Duration, Resolution, TimeRange};
 use rand::rngs::StdRng;
@@ -36,11 +34,19 @@ fn main() {
     // positioned on a size-proportionally chosen consumption peak.
     let extractor = PeakExtractor::new(ExtractionConfig::default());
     let out = extractor
-        .extract(&ExtractionInput::household(&market), &mut StdRng::seed_from_u64(42))
+        .extract(
+            &ExtractionInput::household(&market),
+            &mut StdRng::seed_from_u64(42),
+        )
         .expect("household input is non-empty");
-    out.check_invariants(&market).expect("energy accounting holds");
+    out.check_invariants(&market)
+        .expect("energy accounting holds");
 
-    println!("\nextracted {} flex-offers ({}):", out.flex_offers.len(), out.approach);
+    println!(
+        "\nextracted {} flex-offers ({}):",
+        out.flex_offers.len(),
+        out.approach
+    );
     for offer in &out.flex_offers {
         println!("  {offer}");
     }

@@ -113,17 +113,39 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
-fn cmd_simulate(flags: &Flags) -> Result<(), String> {
-    let households: usize = flags.get_parsed("households", 5)?;
-    let days: i64 = flags.get_parsed("days", 7)?;
+/// Parse and validate the fleet-shaped flags shared by `simulate` and
+/// `experiment`.
+fn fleet_flags(
+    flags: &Flags,
+    default_households: usize,
+    default_days: i64,
+) -> Result<(usize, i64, u64), String> {
+    let households: usize = flags.get_parsed("households", default_households)?;
+    if households == 0 {
+        return Err("--households must be at least 1".into());
+    }
+    let days: i64 = flags.get_parsed("days", default_days)?;
+    if days < 1 {
+        return Err("--days must be at least 1".into());
+    }
     let seed: u64 = flags.get_parsed("seed", 2013)?;
+    Ok((households, days, seed))
+}
+
+fn cmd_simulate(flags: &Flags) -> Result<(), String> {
+    let (households, days, seed) = fleet_flags(flags, 5, 7)?;
     let out = flags.get("out").ok_or("simulate needs --out DIR")?;
     std::fs::create_dir_all(out).map_err(|e| format!("cannot create {out}: {e}"))?;
 
     let start: Timestamp = "2013-03-18".parse().expect("static date");
     let horizon = TimeRange::starting_at(start, Duration::days(days)).expect("days >= 0");
     let fleet = simulate_fleet(
-        &FleetConfig { households, base_seed: seed, threads: 4, ..FleetConfig::default() },
+        &FleetConfig {
+            households,
+            base_seed: seed,
+            threads: 4,
+            ..FleetConfig::default()
+        },
         horizon,
     );
     for h in &fleet.households {
@@ -160,7 +182,10 @@ fn cmd_extract(flags: &Flags) -> Result<(), String> {
         other => return Err(format!("unknown approach '{other}' (peak|basic|random)")),
     };
     let out = extractor
-        .extract(&ExtractionInput::household(&series), &mut StdRng::seed_from_u64(seed))
+        .extract(
+            &ExtractionInput::household(&series),
+            &mut StdRng::seed_from_u64(seed),
+        )
         .map_err(|e| format!("extraction failed: {e}"))?;
     println!(
         "{}: {} flex-offers, {:.2} kWh extracted ({:.2} % of {:.2} kWh)",
@@ -185,7 +210,10 @@ fn cmd_extract(flags: &Flags) -> Result<(), String> {
 fn cmd_fig5() -> Result<(), String> {
     let day = fig5_day();
     let out = PeakExtractor::new(ExtractionConfig::default())
-        .extract(&ExtractionInput::household(&day), &mut StdRng::seed_from_u64(5))
+        .extract(
+            &ExtractionInput::household(&day),
+            &mut StdRng::seed_from_u64(5),
+        )
         .map_err(|e| format!("{e}"))?;
     let report = &out.diagnostics.peak_reports[0];
     println!(
@@ -208,10 +236,11 @@ fn cmd_fig5() -> Result<(), String> {
 }
 
 fn cmd_experiment(which: &str, flags: &Flags) -> Result<(), String> {
+    let (households, days, seed) = fleet_flags(flags, 10, 14)?;
     let params = ExperimentParams {
-        households: flags.get_parsed("households", 10)?,
-        days: flags.get_parsed("days", 14)?,
-        seed: flags.get_parsed("seed", 2013)?,
+        households,
+        days,
+        seed,
     };
     let rendered = match which {
         "e5" => share_sweep(&[0.001, 0.005, 0.01, 0.02, 0.05, 0.065], params).render(),
@@ -268,8 +297,12 @@ fn parse_csv_series(text: &str) -> Result<TimeSeries, String> {
             return Err(format!("row {}: series has gaps or uneven spacing", i + 2));
         }
     }
-    TimeSeries::new(rows[0].0, resolution, rows.into_iter().map(|(_, v)| v).collect())
-        .map_err(|e| format!("invalid series: {e}"))
+    TimeSeries::new(
+        rows[0].0,
+        resolution,
+        rows.into_iter().map(|(_, v)| v).collect(),
+    )
+    .map_err(|e| format!("invalid series: {e}"))
 }
 
 #[cfg(test)]
@@ -278,8 +311,7 @@ mod tests {
 
     #[test]
     fn flags_parse_pairs_and_reject_garbage() {
-        let ok = Flags::parse(&["--days".into(), "7".into(), "--seed".into(), "1".into()])
-            .unwrap();
+        let ok = Flags::parse(&["--days".into(), "7".into(), "--seed".into(), "1".into()]).unwrap();
         assert_eq!(ok.get("days"), Some("7"));
         assert_eq!(ok.get_parsed("seed", 0u64).unwrap(), 1);
         assert_eq!(ok.get_parsed("missing", 42i64).unwrap(), 42);
@@ -311,7 +343,8 @@ mod tests {
         assert!(parse_csv_series("").is_err());
         assert!(parse_csv_series("interval_start,kwh\n2013-03-18 00:00,1.0").is_err()); // one row
         assert!(parse_csv_series("nonsense").is_err());
-        assert!(parse_csv_series("2013-03-18 00:00,1.0\n2013-03-18 00:07,1.0\n").is_err()); // 7-min step
+        // 7-min step.
+        assert!(parse_csv_series("2013-03-18 00:00,1.0\n2013-03-18 00:07,1.0\n").is_err());
         // Gap in the middle.
         let gappy = "2013-03-18 00:00,1.0\n2013-03-18 00:15,1.0\n2013-03-18 01:00,1.0\n";
         assert!(parse_csv_series(gappy).is_err());

@@ -1,0 +1,175 @@
+//! End-to-end smoke test for the `flextract` command-line binary.
+//!
+//! Drives the compiled executable exactly as a user would: simulate a
+//! tiny fleet into a scratch directory, then run peak extraction on one
+//! of the emitted series files (both the CSV and the binary `.fxt`
+//! codec path), and check the failure modes exit non-zero.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn flextract(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_flextract"))
+        .args(args)
+        .output()
+        .expect("failed to spawn the flextract binary")
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("flextract_cli_smoke_{tag}_{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("stale scratch dir is removable");
+    }
+    std::fs::create_dir_all(&dir).expect("scratch dir is creatable");
+    dir
+}
+
+#[test]
+fn simulate_then_extract_peak_round_trip() {
+    let dir = scratch_dir("roundtrip");
+    let out_dir = dir.join("data");
+    let out_flag = out_dir.to_str().unwrap();
+
+    // 1. Simulate a tiny fleet.
+    let sim = flextract(&[
+        "simulate",
+        "--households",
+        "2",
+        "--days",
+        "2",
+        "--seed",
+        "7",
+        "--out",
+        out_flag,
+    ]);
+    assert!(
+        sim.status.success(),
+        "simulate failed: {}",
+        String::from_utf8_lossy(&sim.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&sim.stdout);
+    assert!(
+        stdout.contains("simulated 2 households"),
+        "stdout: {stdout}"
+    );
+    for name in [
+        "household_0.csv",
+        "household_0.fxt",
+        "household_1.csv",
+        "household_1.fxt",
+        "fleet_total.csv",
+    ] {
+        assert!(out_dir.join(name).is_file(), "missing output file {name}");
+    }
+
+    // 2. Extract flex-offers from the CSV with the peak approach and
+    //    write them as JSON.
+    let offers_path = dir.join("offers.json");
+    let extract = flextract(&[
+        "extract",
+        "--approach",
+        "peak",
+        "--input",
+        out_dir.join("household_0.csv").to_str().unwrap(),
+        "--share",
+        "0.05",
+        "--seed",
+        "7",
+        "--out",
+        offers_path.to_str().unwrap(),
+    ]);
+    assert!(
+        extract.status.success(),
+        "extract failed: {}",
+        String::from_utf8_lossy(&extract.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&extract.stdout);
+    assert!(stdout.contains("flex-offers"), "stdout: {stdout}");
+    let json = std::fs::read_to_string(&offers_path).expect("offers JSON was written");
+    assert!(
+        json.trim_start().starts_with('['),
+        "offers JSON is an array"
+    );
+
+    // 3. The binary .fxt codec path decodes to the same extraction.
+    let extract_fxt = flextract(&[
+        "extract",
+        "--approach",
+        "peak",
+        "--input",
+        out_dir.join("household_0.fxt").to_str().unwrap(),
+        "--share",
+        "0.05",
+        "--seed",
+        "7",
+    ]);
+    assert!(
+        extract_fxt.status.success(),
+        "fxt extract failed: {}",
+        String::from_utf8_lossy(&extract_fxt.stderr)
+    );
+    let line_csv = String::from_utf8_lossy(&extract.stdout);
+    let line_fxt = String::from_utf8_lossy(&extract_fxt.stdout);
+    assert_eq!(
+        line_csv.lines().next(),
+        line_fxt.lines().next(),
+        "CSV and FXT inputs must yield the same extraction summary"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fig5_and_experiment_commands_run() {
+    let fig5 = flextract(&["fig5"]);
+    assert!(fig5.status.success());
+    assert!(String::from_utf8_lossy(&fig5.stdout).contains("Figure-5 day"));
+
+    let exp = flextract(&[
+        "experiment",
+        "e6",
+        "--households",
+        "2",
+        "--days",
+        "2",
+        "--seed",
+        "3",
+    ]);
+    assert!(
+        exp.status.success(),
+        "experiment e6 failed: {}",
+        String::from_utf8_lossy(&exp.stderr)
+    );
+    assert!(!exp.stdout.is_empty(), "experiment e6 printed nothing");
+}
+
+#[test]
+fn bad_invocations_exit_nonzero_with_usage() {
+    for args in [
+        &[] as &[&str],
+        &["frobnicate"],
+        &["extract"],
+        &["extract", "--input", "/definitely/not/a/file.csv"],
+        &["simulate"], // missing --out
+        &["simulate", "--households", "0", "--out", "/tmp/unused"],
+        &["simulate", "--days", "0", "--out", "/tmp/unused"],
+        &["experiment", "e99"],
+        &["experiment", "e6", "--households", "0"],
+    ] {
+        let out = flextract(args);
+        assert!(!out.status.success(), "expected failure for args {args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("error:"),
+            "stderr for {args:?} should explain: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = flextract(&["help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}

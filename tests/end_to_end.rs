@@ -39,7 +39,10 @@ fn run_all(days: i64, seed: u64) -> (Vec<ExtractionOutput>, flextract::series::T
         &PeakExtractor::new(cfg.clone()),
     ] {
         let out = ex
-            .extract(&ExtractionInput::household(&market), &mut StdRng::seed_from_u64(seed))
+            .extract(
+                &ExtractionInput::household(&market),
+                &mut StdRng::seed_from_u64(seed),
+            )
             .unwrap();
         out.check_invariants(&market).unwrap();
         outputs.push(out);
@@ -87,13 +90,20 @@ fn every_approach_produces_valid_offers_and_accounting() {
     let names: Vec<&str> = outputs.iter().map(|o| o.approach).collect();
     assert_eq!(
         names,
-        vec!["random", "basic", "peak", "multi-tariff", "frequency", "schedule"]
+        vec![
+            "random",
+            "basic",
+            "peak",
+            "multi-tariff",
+            "frequency",
+            "schedule"
+        ]
     );
     for out in &outputs {
         for offer in &out.flex_offers {
-            offer.validate().unwrap_or_else(|e| {
-                panic!("{}: invalid offer {}: {e}", out.approach, offer.id())
-            });
+            offer
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: invalid offer {}: {e}", out.approach, offer.id()));
         }
         assert!(
             out.modified_series.values().iter().all(|&v| v >= -1e-9),
@@ -124,7 +134,10 @@ fn appliance_level_beats_household_level_on_ground_truth() {
     let cfg = ExtractionConfig::default();
 
     let random = RandomExtractor::new(cfg.clone())
-        .extract(&ExtractionInput::household(&market), &mut StdRng::seed_from_u64(1))
+        .extract(
+            &ExtractionInput::household(&market),
+            &mut StdRng::seed_from_u64(1),
+        )
         .unwrap();
     let freq = FrequencyBasedExtractor::new(cfg)
         .extract(
@@ -199,7 +212,11 @@ fn whole_pipeline_is_deterministic() {
     let (a, _) = run_all(4, 11);
     let (b, _) = run_all(4, 11);
     for (x, y) in a.iter().zip(&b) {
-        assert_eq!(x.flex_offers, y.flex_offers, "{} not deterministic", x.approach);
+        assert_eq!(
+            x.flex_offers, y.flex_offers,
+            "{} not deterministic",
+            x.approach
+        );
         assert_eq!(x.modified_series, y.modified_series);
     }
 }

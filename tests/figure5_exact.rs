@@ -1,9 +1,7 @@
 //! The paper's one fully-numeric result — the Figure-5 peak-based
 //! walk-through — verified end-to-end through the public facade API.
 
-use flextract::core::{
-    ExtractionConfig, ExtractionInput, FlexibilityExtractor, PeakExtractor,
-};
+use flextract::core::{ExtractionConfig, ExtractionInput, FlexibilityExtractor, PeakExtractor};
 use flextract::eval::{fig5_day, FIG5_EXPECTED};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -14,7 +12,10 @@ fn figure_5_numbers_reproduce_exactly() {
     assert!((day.total_energy() - FIG5_EXPECTED.day_total_kwh).abs() < 1e-9);
 
     let out = PeakExtractor::new(ExtractionConfig::default())
-        .extract(&ExtractionInput::household(&day), &mut StdRng::seed_from_u64(1))
+        .extract(
+            &ExtractionInput::household(&day),
+            &mut StdRng::seed_from_u64(1),
+        )
         .unwrap();
     out.check_invariants(&day).unwrap();
 
@@ -60,7 +61,10 @@ fn selection_frequencies_match_the_paper_probabilities() {
     let n = 2000;
     for seed in 0..n {
         let out = extractor
-            .extract(&ExtractionInput::household(&day), &mut StdRng::seed_from_u64(seed))
+            .extract(
+                &ExtractionInput::household(&day),
+                &mut StdRng::seed_from_u64(seed),
+            )
             .unwrap();
         if out.diagnostics.peak_reports[0].selected == Some(6) {
             chose_six += 1;

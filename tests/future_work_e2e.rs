@@ -5,8 +5,8 @@
 use flextract::agg::{schedule_offers, ScheduleConfig};
 use flextract::appliance::Catalog;
 use flextract::core::{
-    ExtractionConfig, ExtractionInput, FlexibilityExtractor, PeakExtractor,
-    ProductionExtractor, RealTimeGenerator,
+    ExtractionConfig, ExtractionInput, FlexibilityExtractor, PeakExtractor, ProductionExtractor,
+    RealTimeGenerator,
 };
 use flextract::series::forecast::{forecast, mape, ForecastMethod};
 use flextract::sim::{
@@ -47,7 +47,10 @@ fn realtime_generator_emits_valid_offers_on_live_simulation() {
     }
     // A family's two days contain scheduled big appliances; at least
     // one should be caught live.
-    assert!(!emitted.is_empty(), "no real-time offers over two family days");
+    assert!(
+        !emitted.is_empty(),
+        "no real-time offers over two family days"
+    );
     // No two emissions of the same profile length overlap in time
     // (cooldown invariant).
     for (i, a) in emitted.iter().enumerate() {
@@ -65,14 +68,21 @@ fn realtime_generator_emits_valid_offers_on_live_simulation() {
 #[test]
 fn production_offers_balance_against_household_demand() {
     // Forecast tomorrow's wind from a week of observations…
-    let farm = WindFarmConfig { capacity_kw: 30.0, seed: 99, ..WindFarmConfig::default() };
+    let farm = WindFarmConfig {
+        capacity_kw: 30.0,
+        seed: 99,
+        ..WindFarmConfig::default()
+    };
     let observed = simulate_wind_production(&farm, horizon("2013-03-11", 7), Resolution::MIN_15);
     let fc = forecast(&observed, 96, ForecastMethod::SeasonalNaive).unwrap();
     assert_eq!(fc.start(), "2013-03-18".parse::<Timestamp>().unwrap());
 
     // …turn its ramps into production offers…
     let out = ProductionExtractor::renewable(ExtractionConfig::default())
-        .extract(&ExtractionInput::household(&fc), &mut StdRng::seed_from_u64(7))
+        .extract(
+            &ExtractionInput::household(&fc),
+            &mut StdRng::seed_from_u64(7),
+        )
         .unwrap();
     out.check_invariants(&fc).unwrap();
     if out.flex_offers.is_empty() {
@@ -122,12 +132,19 @@ fn industrial_sites_run_the_household_pipeline_unchanged() {
     assert!(sim.true_flexible_share() > 0.0);
 
     let out = PeakExtractor::new(ExtractionConfig::default())
-        .extract(&ExtractionInput::household(&sim.series), &mut StdRng::seed_from_u64(3))
+        .extract(
+            &ExtractionInput::household(&sim.series),
+            &mut StdRng::seed_from_u64(3),
+        )
         .unwrap();
     out.check_invariants(&sim.series).unwrap();
     // A two-shift plant has pronounced daily peaks: extraction
     // succeeds on most days.
-    assert!(out.flex_offers.len() >= 5, "{} offers", out.flex_offers.len());
+    assert!(
+        out.flex_offers.len() >= 5,
+        "{} offers",
+        out.flex_offers.len()
+    );
     for offer in &out.flex_offers {
         offer.validate().unwrap();
         // Industrial offers are an order of magnitude bigger than

@@ -1,0 +1,493 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the vendored
+//! `serde` stand-in.
+//!
+//! With no access to crates.io there is no `syn`/`quote`, so this crate
+//! parses the item with a small purpose-built scanner over
+//! [`proc_macro::TokenStream`] and emits the impls as source text. It
+//! supports exactly the shapes present in this workspace:
+//!
+//! * structs with named fields (optionally `#[serde(transparent)]`),
+//! * tuple and unit structs,
+//! * enums with unit, tuple and struct variants (externally tagged,
+//!   like real serde's default representation).
+//!
+//! Generic types are rejected with a clear error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        transparent: bool,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, generate: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => generate(&item)
+            .parse()
+            .expect("serde_derive generated invalid Rust"),
+        Err(msg) => format!("::core::compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skip attributes (`#[...]`, including doc comments); report
+    /// whether any of them was `#[serde(transparent)]`.
+    fn skip_attrs(&mut self) -> bool {
+        let mut transparent = false;
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.next() {
+                if attr_is_serde_transparent(g.stream()) {
+                    transparent = true;
+                }
+            }
+        }
+        transparent
+    }
+
+    /// Skip `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("serde_derive: expected {what}, found {other:?}")),
+        }
+    }
+}
+
+fn attr_is_serde_transparent(stream: TokenStream) -> bool {
+    let mut iter = stream.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match iter.next() {
+        Some(TokenTree::Group(g)) => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "transparent")),
+        _ => false,
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut cur = Cursor::new(input);
+    let transparent = cur.skip_attrs();
+    cur.skip_visibility();
+    let kind = cur.expect_ident("`struct` or `enum`")?;
+    let name = cur.expect_ident("type name")?;
+    if let Some(TokenTree::Punct(p)) = cur.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde_derive: generic type `{name}` is not supported by the vendored derive"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match cur.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("serde_derive: unexpected struct body: {other:?}")),
+            };
+            Ok(Item::Struct {
+                name,
+                transparent,
+                fields,
+            })
+        }
+        "enum" => {
+            let body = match cur.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("serde_derive: unexpected enum body: {other:?}")),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("serde_derive: cannot derive for `{other}` items")),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !cur.at_end() {
+        cur.skip_attrs();
+        cur.skip_visibility();
+        if cur.at_end() {
+            break;
+        }
+        fields.push(cur.expect_ident("field name")?);
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("serde_derive: expected `:`, found {other:?}")),
+        }
+        skip_type_until_comma(&mut cur);
+    }
+    Ok(fields)
+}
+
+/// Advance past one type, stopping after the field-separating comma.
+/// Commas inside angle brackets belong to the type; commas inside
+/// parens/brackets are invisible (whole groups are single tokens).
+fn skip_type_until_comma(cur: &mut Cursor) {
+    let mut angle_depth = 0_i32;
+    while let Some(t) = cur.next() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut cur = Cursor::new(stream);
+    if cur.at_end() {
+        return 0;
+    }
+    let mut count = 0;
+    while !cur.at_end() {
+        cur.skip_attrs();
+        cur.skip_visibility();
+        if cur.at_end() {
+            break;
+        }
+        count += 1;
+        skip_type_until_comma(&mut cur);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !cur.at_end() {
+        cur.skip_attrs();
+        if cur.at_end() {
+            break;
+        }
+        let name = cur.expect_ident("variant name")?;
+        let fields = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                cur.next();
+                Fields::Named(parse_named_fields(inner)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                cur.next();
+                Fields::Tuple(count_tuple_fields(inner))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip to the separating comma (covers `= discr` too).
+        while let Some(t) = cur.next() {
+            if matches!(&t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct {
+            name,
+            transparent,
+            fields,
+        } => {
+            let body = match fields {
+                Fields::Named(names) if *transparent && names.len() == 1 => {
+                    format!("::serde::Serialize::serialize(&self.{})", names[0])
+                }
+                Fields::Named(names) => {
+                    let entries: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from({f:?}), \
+                                 ::serde::Serialize::serialize(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+                }
+                Fields::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 \x20   fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{vname} => \
+                         ::serde::Value::Str(::std::string::String::from({vname:?})),"
+                    ),
+                    Fields::Named(fnames) => {
+                        let binds = fnames.join(", ");
+                        let entries: Vec<String> = fnames
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({f:?}), \
+                                     ::serde::Serialize::serialize({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from({vname:?}), \
+                             ::serde::Value::Map(::std::vec![{}]))]),",
+                            entries.join(", ")
+                        )
+                    }
+                    Fields::Tuple(1) => format!(
+                        "{name}::{vname}(f0) => ::serde::Value::Map(::std::vec![\
+                         (::std::string::String::from({vname:?}), \
+                         ::serde::Serialize::serialize(f0))]),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::serialize(f{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from({vname:?}), \
+                             ::serde::Value::Seq(::std::vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 \x20   fn serialize(&self) -> ::serde::Value {{\n\
+                 \x20       match self {{ {} }}\n\
+                 \x20   }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct {
+            name,
+            transparent,
+            fields,
+        } => {
+            let body = match fields {
+                Fields::Named(names) if *transparent && names.len() == 1 => format!(
+                    "::std::result::Result::Ok({name} {{ {}: \
+                     ::serde::Deserialize::deserialize(v)? }})",
+                    names[0]
+                ),
+                Fields::Named(names) => {
+                    let inits: Vec<String> = names
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::__private::field(v, {name:?}, {f:?})?"))
+                        .collect();
+                    format!(
+                        "::std::result::Result::Ok({name} {{ {} }})",
+                        inits.join(", ")
+                    )
+                }
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(v)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::__private::element(v, {name:?}, {i}, {n})?"))
+                        .collect();
+                    format!("::std::result::Result::Ok({name}({}))", inits.join(", "))
+                }
+                Fields::Unit => format!(
+                    "match v {{\n\
+                     \x20   ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                     \x20   other => ::std::result::Result::Err(::serde::Error::custom(\
+                     format!(\"{name}: expected null, got {{}}\", other.kind()))),\n\
+                     }}"
+                ),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 \x20   fn deserialize(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(vname, _)| {
+                    format!("{vname:?} => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(vname, fields)| match fields {
+                    Fields::Unit => None,
+                    Fields::Named(fnames) => {
+                        let inits: Vec<String> = fnames
+                            .iter()
+                            .map(|f| {
+                                format!("{f}: ::serde::__private::field(inner, {name:?}, {f:?})?")
+                            })
+                            .collect();
+                        Some(format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname} {{ {} }}),",
+                            inits.join(", ")
+                        ))
+                    }
+                    Fields::Tuple(1) => Some(format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::deserialize(inner)?)),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::__private::element(inner, {name:?}, {i}, {n})?")
+                            })
+                            .collect();
+                        Some(format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}({})),",
+                            inits.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 \x20   fn deserialize(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 \x20       match v {{\n\
+                 \x20           ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 \x20               {unit}\n\
+                 \x20               other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"{name}: unknown variant `{{other}}`\"))),\n\
+                 \x20           }},\n\
+                 \x20           ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 \x20               let (tag, inner) = &entries[0];\n\
+                 \x20               match tag.as_str() {{\n\
+                 \x20                   {data}\n\
+                 \x20                   other => ::std::result::Result::Err(\
+                 ::serde::Error::custom(format!(\"{name}: unknown variant `{{other}}`\"))),\n\
+                 \x20               }}\n\
+                 \x20           }}\n\
+                 \x20           other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"{name}: expected variant tag, got {{}}\", other.kind()))),\n\
+                 \x20       }}\n\
+                 \x20   }}\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n"),
+            )
+        }
+    }
+}
