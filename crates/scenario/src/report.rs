@@ -1,0 +1,169 @@
+//! The structured result of one scenario run.
+//!
+//! [`ScenarioReport`] holds only *deterministic* pipeline metrics — it
+//! is what the golden-file suite snapshots — while [`ScenarioOutcome`]
+//! wraps it together with the measured wall time and the raw offers,
+//! which vary run to run and are therefore kept out of the snapshot.
+
+use flextract_flexoffer::FlexOffer;
+use serde::{Deserialize, Serialize};
+
+/// Aggregation-stage metrics (present when the policy aggregates).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggregationReport {
+    /// Macro offers after aggregation.
+    pub aggregates: usize,
+    /// Mean members per aggregate.
+    pub compression: f64,
+    /// Total time flexibility lost to aggregation (hours).
+    pub flexibility_loss_h: f64,
+}
+
+/// Scheduling-stage metrics (present when the policy schedules).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleReport {
+    /// Squared-imbalance improvement from scheduling (fraction).
+    pub imbalance_improvement: f64,
+    /// RES utilisation after scheduling.
+    pub res_utilisation: f64,
+}
+
+/// Deterministic metrics of one simulate→extract→aggregate→evaluate
+/// run. Identical seeds and specs produce byte-identical JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// The scenario that produced this report.
+    pub name: String,
+    /// Simulated consumers (households + industrial sites).
+    pub consumers: usize,
+    /// Market intervals in the horizon at the scenario resolution.
+    pub intervals: usize,
+    /// Market resolution in minutes.
+    pub resolution_min: i64,
+    /// Total simulated consumption (kWh).
+    pub total_energy_kwh: f64,
+    /// Ground-truth flexible consumption (kWh).
+    pub true_flexible_kwh: f64,
+    /// Flex-offers extracted across the workload.
+    pub offers: usize,
+    /// Energy the extraction called flexible (kWh).
+    pub extracted_kwh: f64,
+    /// `extracted / total`.
+    pub achieved_share: f64,
+    /// Interval-level energy precision against the ground truth.
+    pub precision: f64,
+    /// Interval-level energy recall against the ground truth.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// Highest-consumption interval before extraction (kWh).
+    pub peak_before_kwh: f64,
+    /// Highest interval of the modified (residual) series (kWh).
+    pub peak_after_kwh: f64,
+    /// `1 − peak_after / peak_before` — how much of the workload peak
+    /// the extraction could shift away.
+    pub peak_reduction: f64,
+    /// Aggregation metrics, when the policy aggregated.
+    pub aggregation: Option<AggregationReport>,
+    /// Scheduling metrics, when the policy scheduled.
+    pub schedule: Option<ScheduleReport>,
+}
+
+impl ScenarioReport {
+    /// One-line human summary for CLI output.
+    pub fn summary(&self) -> String {
+        let mut line = format!(
+            "{}: {} consumers, {} offers, {:.2} of {:.2} kWh extracted \
+             ({:.2} % share, P {:.2} R {:.2}, peak −{:.1} %)",
+            self.name,
+            self.consumers,
+            self.offers,
+            self.extracted_kwh,
+            self.total_energy_kwh,
+            self.achieved_share * 100.0,
+            self.precision,
+            self.recall,
+            self.peak_reduction * 100.0,
+        );
+        if let Some(agg) = &self.aggregation {
+            line.push_str(&format!(
+                ", {} aggregates (×{:.1})",
+                agg.aggregates, agg.compression
+            ));
+        }
+        if let Some(sched) = &self.schedule {
+            line.push_str(&format!(
+                ", schedule +{:.1} % (RES use {:.2})",
+                sched.imbalance_improvement * 100.0,
+                sched.res_utilisation
+            ));
+        }
+        line
+    }
+}
+
+/// A finished run: the snapshot-stable report plus per-run artifacts.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// The deterministic metrics (golden-file payload).
+    pub report: ScenarioReport,
+    /// The extracted flex-offers themselves.
+    pub offers: Vec<FlexOffer>,
+    /// Wall-clock time of the run in milliseconds (not deterministic;
+    /// excluded from the snapshot).
+    pub wall_time_ms: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ScenarioReport {
+        ScenarioReport {
+            name: "unit".into(),
+            consumers: 3,
+            intervals: 96,
+            resolution_min: 15,
+            total_energy_kwh: 100.0,
+            true_flexible_kwh: 8.0,
+            offers: 12,
+            extracted_kwh: 5.0,
+            achieved_share: 0.05,
+            precision: 0.5,
+            recall: 0.3125,
+            f1: 0.3846,
+            peak_before_kwh: 2.5,
+            peak_after_kwh: 2.0,
+            peak_reduction: 0.2,
+            aggregation: Some(AggregationReport {
+                aggregates: 3,
+                compression: 4.0,
+                flexibility_loss_h: 1.5,
+            }),
+            schedule: None,
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = report();
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: ScenarioReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn summary_mentions_the_load_bearing_numbers() {
+        let s = report().summary();
+        assert!(s.contains("unit"));
+        assert!(s.contains("12 offers"));
+        assert!(s.contains("aggregates"));
+        let mut r = report();
+        r.aggregation = None;
+        r.schedule = Some(ScheduleReport {
+            imbalance_improvement: 0.25,
+            res_utilisation: 0.8,
+        });
+        assert!(r.summary().contains("schedule"));
+    }
+}

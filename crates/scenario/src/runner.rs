@@ -1,0 +1,437 @@
+//! Executes scenarios: simulate → extract → aggregate → evaluate.
+//!
+//! Consumers inside one scenario are processed **serially and
+//! streamed** (simulate one, extract, accumulate, drop), so a
+//! 10k-household stress scenario holds only one household's series at a
+//! time and every report is independent of the runner's thread count.
+//! Parallelism happens *across* scenarios: [`ScenarioRunner::run_all`]
+//! fans the corpus out over `std::thread::scope` workers, exactly like
+//! the fleet simulator fans out households.
+
+use crate::report::{AggregationReport, ScenarioOutcome, ScenarioReport, ScheduleReport};
+use crate::spec::{AggregationPolicy, ExtractorChoice, Scenario, Workload};
+use crate::ScenarioError;
+use flextract_agg::{aggregate_offers, schedule_offers, AggregationConfig, ScheduleConfig};
+use flextract_appliance::Catalog;
+use flextract_core::{
+    BasicExtractor, ExtractionConfig, ExtractionInput, ExtractionOutput, FlexibilityExtractor,
+    FrequencyBasedExtractor, MultiTariffExtractor, PeakExtractor, RandomExtractor,
+    ScheduleBasedExtractor,
+};
+use flextract_eval::GroundTruthScore;
+use flextract_flexoffer::FlexOffer;
+use flextract_series::{resample, TimeSeries};
+use flextract_sim::{
+    simulate_household_with_catalog, simulate_industrial, simulate_tariff_pair,
+    simulate_wind_production, FleetConfig, HouseholdArchetype, IndustrialConfig, TariffResponse,
+    WindFarmConfig,
+};
+use flextract_time::{Duration, Resolution, TimeRange};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Runs scenarios, fanning out across worker threads.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioRunner {
+    /// Worker threads for [`ScenarioRunner::run_all`] (1 = serial;
+    /// capped at the scenario count). Has no effect on the reports.
+    pub threads: usize,
+}
+
+impl Default for ScenarioRunner {
+    fn default() -> Self {
+        ScenarioRunner { threads: 4 }
+    }
+}
+
+/// Everything the extraction stage needs for one consumer.
+struct ConsumerInput {
+    /// Observed consumption at the market resolution.
+    market: TimeSeries,
+    /// Ground-truth flexible consumption at the market resolution.
+    truth: TimeSeries,
+    /// 1-min fine series (households only; appliance-level extractors).
+    fine: Option<TimeSeries>,
+    /// One-tariff reference series (multi-tariff extractor only).
+    reference: Option<TimeSeries>,
+}
+
+/// Streaming accumulator over the per-consumer extraction outputs.
+struct Accumulator {
+    total: Option<TimeSeries>,
+    truth: Option<TimeSeries>,
+    extracted: Option<TimeSeries>,
+    modified: Option<TimeSeries>,
+    offers: Vec<FlexOffer>,
+}
+
+impl Accumulator {
+    fn new() -> Self {
+        Accumulator {
+            total: None,
+            truth: None,
+            extracted: None,
+            modified: None,
+            offers: Vec::new(),
+        }
+    }
+
+    fn add_series(acc: &mut Option<TimeSeries>, s: &TimeSeries) -> Result<(), ScenarioError> {
+        *acc = Some(match acc.take() {
+            None => s.clone(),
+            Some(a) => a.add(s)?,
+        });
+        Ok(())
+    }
+
+    fn add(
+        &mut self,
+        consumer: &ConsumerInput,
+        out: ExtractionOutput,
+    ) -> Result<(), ScenarioError> {
+        Self::add_series(&mut self.total, &consumer.market)?;
+        Self::add_series(&mut self.truth, &consumer.truth)?;
+        Self::add_series(&mut self.extracted, &out.extracted_series)?;
+        Self::add_series(&mut self.modified, &out.modified_series)?;
+        self.offers.extend(out.flex_offers);
+        Ok(())
+    }
+}
+
+impl ScenarioRunner {
+    /// A runner with the given worker-thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        ScenarioRunner {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Execute one scenario end to end.
+    pub fn run(&self, scenario: &Scenario) -> Result<ScenarioOutcome, ScenarioError> {
+        let started = Instant::now();
+        scenario.validate()?;
+        let horizon = scenario.horizon()?;
+        let res = scenario.resolution()?;
+        let cfg = ExtractionConfig {
+            flexible_share: scenario.flexible_share,
+            slice_resolution: res,
+            ..ExtractionConfig::default()
+        };
+        cfg.validate()?;
+        let extractor: Box<dyn FlexibilityExtractor> = match scenario.extractor {
+            ExtractorChoice::Random => Box::new(RandomExtractor::new(cfg)),
+            ExtractorChoice::Basic => Box::new(BasicExtractor::new(cfg)),
+            ExtractorChoice::Peak => Box::new(PeakExtractor::new(cfg)),
+            ExtractorChoice::MultiTariff => Box::new(MultiTariffExtractor::new(cfg)),
+            ExtractorChoice::Frequency => Box::new(FrequencyBasedExtractor::new(cfg)),
+            ExtractorChoice::Schedule => Box::new(ScheduleBasedExtractor::new(cfg)),
+        };
+
+        let catalog = Catalog::extended();
+        let mut acc = Accumulator::new();
+        for (idx, consumer) in ConsumerStream::new(scenario, horizon, res, &catalog).enumerate() {
+            let consumer = consumer?;
+            let mut input = ExtractionInput::household(&consumer.market);
+            if let Some(fine) = &consumer.fine {
+                input = input.with_fine_series(fine).with_catalog(&catalog);
+            }
+            if let Some(reference) = &consumer.reference {
+                input = input.with_reference(reference);
+            }
+            let mut rng = StdRng::seed_from_u64(
+                scenario.seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let out = extractor.extract(&input, &mut rng)?;
+            acc.add(&consumer, out)?;
+        }
+
+        // `validate` guarantees at least one consumer.
+        let total = acc.total.expect("workloads are non-empty");
+        let truth = acc.truth.expect("workloads are non-empty");
+        let extracted = acc.extracted.expect("workloads are non-empty");
+        let modified = acc.modified.expect("workloads are non-empty");
+
+        let score = GroundTruthScore::score(&extracted, &truth);
+        let peak_before = total.argmax().map_or(0.0, |(_, v)| v);
+        let peak_after = modified.argmax().map_or(0.0, |(_, v)| v);
+        let (aggregation, schedule) =
+            self.downstream(scenario, horizon, res, &acc.offers, &total, &modified)?;
+
+        let total_energy = total.total_energy();
+        let report = ScenarioReport {
+            name: scenario.name.clone(),
+            consumers: scenario.workload.consumers(),
+            intervals: total.len(),
+            resolution_min: res.minutes(),
+            total_energy_kwh: total_energy,
+            true_flexible_kwh: truth.total_energy(),
+            offers: acc.offers.len(),
+            extracted_kwh: extracted.total_energy(),
+            achieved_share: if total_energy > 0.0 {
+                extracted.total_energy() / total_energy
+            } else {
+                0.0
+            },
+            precision: score.precision,
+            recall: score.recall,
+            f1: score.f1(),
+            peak_before_kwh: peak_before,
+            peak_after_kwh: peak_after,
+            peak_reduction: if peak_before > 0.0 {
+                1.0 - peak_after / peak_before
+            } else {
+                0.0
+            },
+            aggregation,
+            schedule,
+        };
+        Ok(ScenarioOutcome {
+            report,
+            offers: acc.offers,
+            wall_time_ms: started.elapsed().as_millis() as u64,
+        })
+    }
+
+    /// Aggregation + scheduling per the scenario's policy. Extraction
+    /// runs that found nothing (an empty offer set) skip both stages.
+    fn downstream(
+        &self,
+        scenario: &Scenario,
+        horizon: TimeRange,
+        res: Resolution,
+        offers: &[FlexOffer],
+        total: &TimeSeries,
+        modified: &TimeSeries,
+    ) -> Result<(Option<AggregationReport>, Option<ScheduleReport>), ScenarioError> {
+        if scenario.aggregation == AggregationPolicy::None || offers.is_empty() {
+            return Ok((None, None));
+        }
+        let aggregates = aggregate_offers(offers, &AggregationConfig::default())?;
+        let agg_report = AggregationReport {
+            aggregates: aggregates.len(),
+            compression: offers.len() as f64 / aggregates.len().max(1) as f64,
+            flexibility_loss_h: aggregates
+                .iter()
+                .map(|a| a.flexibility_loss().as_hours_f64())
+                .sum(),
+        };
+        if scenario.aggregation != AggregationPolicy::Schedule {
+            return Ok((Some(agg_report), None));
+        }
+        let mean_kw = total.total_energy() / horizon.duration().as_hours_f64().max(1e-9);
+        let farm = WindFarmConfig {
+            capacity_kw: scenario.res_capacity_share * mean_kw,
+            seed: scenario.seed ^ 0xCAFE,
+            ..WindFarmConfig::default()
+        };
+        let production = simulate_wind_production(&farm, horizon, res);
+        let agg_offers: Vec<FlexOffer> = aggregates.iter().map(|a| a.offer.clone()).collect();
+        let result = schedule_offers(
+            &agg_offers,
+            modified,
+            &production,
+            &ScheduleConfig::default(),
+            &mut StdRng::seed_from_u64(scenario.seed ^ 0xBEEF),
+        )?;
+        let sched_report = ScheduleReport {
+            imbalance_improvement: result.improvement(),
+            res_utilisation: result.after.res_utilisation,
+        };
+        Ok((Some(agg_report), Some(sched_report)))
+    }
+
+    /// Execute every scenario, fanned out across `self.threads` scoped
+    /// threads; results come back in input order.
+    pub fn run_all(&self, scenarios: &[Scenario]) -> Vec<Result<ScenarioOutcome, ScenarioError>> {
+        if scenarios.is_empty() {
+            return Vec::new();
+        }
+        let results: Mutex<Vec<(usize, Result<ScenarioOutcome, ScenarioError>)>> =
+            Mutex::new(Vec::with_capacity(scenarios.len()));
+        let threads = self.threads.clamp(1, scenarios.len());
+        // Work-stealing queue rather than static chunks: scenario cost
+        // is highly skewed (a 10k-household stress run next to single
+        // consumer-days), so workers pull the next index as they free
+        // up. Results are keyed by index, so scheduling order never
+        // affects the returned order (or the reports — each run is
+        // internally serial).
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let results = &results;
+                let next = &next;
+                let runner = *self;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(scenario) = scenarios.get(i) else {
+                        break;
+                    };
+                    let outcome = runner.run(scenario);
+                    results.lock().push((i, outcome));
+                });
+            }
+        });
+        let mut indexed = results.into_inner();
+        indexed.sort_by_key(|(i, _)| *i);
+        indexed.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+/// Lazily yields one [`ConsumerInput`] at a time so large workloads
+/// never hold the whole fleet in memory.
+struct ConsumerStream<'a> {
+    scenario: &'a Scenario,
+    horizon: TimeRange,
+    res: Resolution,
+    catalog: &'a Catalog,
+    households: Vec<flextract_sim::HouseholdConfig>,
+    tariff_sensitivity: f64,
+    sites: usize,
+    site_pattern: flextract_sim::ShiftPattern,
+    next: usize,
+}
+
+impl<'a> ConsumerStream<'a> {
+    fn new(
+        scenario: &'a Scenario,
+        horizon: TimeRange,
+        res: Resolution,
+        catalog: &'a Catalog,
+    ) -> Self {
+        let (households, tariff_sensitivity, sites, site_pattern) = match &scenario.workload {
+            Workload::Households {
+                households,
+                archetype_mix,
+                tariff_sensitivity,
+            } => (
+                fleet_configs(
+                    scenario,
+                    *households,
+                    archetype_mix.clone(),
+                    *tariff_sensitivity,
+                ),
+                *tariff_sensitivity,
+                0,
+                flextract_sim::ShiftPattern::TwoShift,
+            ),
+            Workload::Industrial { sites, pattern } => (Vec::new(), 0.0, *sites, *pattern),
+            Workload::Mixed { households, sites } => (
+                fleet_configs(
+                    scenario,
+                    *households,
+                    FleetConfig::default().archetype_mix,
+                    0.0,
+                ),
+                0.0,
+                *sites,
+                flextract_sim::ShiftPattern::TwoShift,
+            ),
+        };
+        ConsumerStream {
+            scenario,
+            horizon,
+            res,
+            catalog,
+            households,
+            tariff_sensitivity,
+            sites,
+            site_pattern,
+            next: 0,
+        }
+    }
+
+    fn household(
+        &self,
+        cfg: &flextract_sim::HouseholdConfig,
+    ) -> Result<ConsumerInput, ScenarioError> {
+        if self.scenario.extractor == ExtractorChoice::MultiTariff {
+            // §3.3 needs the same consumer's one-tariff typical period
+            // as reference: simulate the preceding horizon flat.
+            let ref_horizon = TimeRange::starting_at(
+                self.horizon.start() - Duration::days(self.scenario.days),
+                Duration::days(self.scenario.days),
+            )
+            .expect("days >= 1 by validation");
+            let (flat, multi) = simulate_tariff_pair(
+                cfg,
+                ref_horizon,
+                self.horizon,
+                TariffResponse::overnight(self.tariff_sensitivity),
+            );
+            return Ok(ConsumerInput {
+                market: multi.series_at(self.res),
+                truth: multi.flexible_series_at(self.res),
+                fine: None,
+                reference: Some(flat.series_at(self.res)),
+            });
+        }
+        let sim = simulate_household_with_catalog(cfg, self.horizon, self.catalog);
+        let needs_fine = matches!(
+            self.scenario.extractor,
+            ExtractorChoice::Frequency | ExtractorChoice::Schedule
+        );
+        Ok(ConsumerInput {
+            market: sim.series_at(self.res),
+            truth: sim.flexible_series_at(self.res),
+            fine: needs_fine.then(|| sim.series.clone()),
+            reference: None,
+        })
+    }
+
+    fn site(&self, site_idx: usize) -> Result<ConsumerInput, ScenarioError> {
+        let cfg = IndustrialConfig {
+            pattern: self.site_pattern,
+            seed: self.scenario.seed ^ (0x1D00D + site_idx as u64),
+            ..IndustrialConfig::medium_plant(site_idx as u64)
+        };
+        let sim = simulate_industrial(&cfg, self.horizon);
+        Ok(ConsumerInput {
+            market: resample::to_resolution(&sim.series, self.res)?,
+            truth: resample::to_resolution(&sim.flexible_series, self.res)?,
+            fine: None,
+            reference: None,
+        })
+    }
+}
+
+impl Iterator for ConsumerStream<'_> {
+    type Item = Result<ConsumerInput, ScenarioError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let i = self.next;
+        self.next += 1;
+        if i < self.households.len() {
+            let cfg = self.households[i].clone();
+            Some(self.household(&cfg))
+        } else if i - self.households.len() < self.sites {
+            Some(self.site(i - self.households.len()))
+        } else {
+            None
+        }
+    }
+}
+
+/// Materialise household configs for a scenario's fleet parameters.
+/// Validation has already run, so the mix is sampleable.
+fn fleet_configs(
+    scenario: &Scenario,
+    households: usize,
+    archetype_mix: Vec<(HouseholdArchetype, f64)>,
+    tariff_sensitivity: f64,
+) -> Vec<flextract_sim::HouseholdConfig> {
+    let fleet = FleetConfig {
+        households,
+        base_seed: scenario.seed,
+        archetype_mix,
+        tariff_response: (tariff_sensitivity > 0.0
+            && scenario.extractor != ExtractorChoice::MultiTariff)
+            .then(|| TariffResponse::overnight(tariff_sensitivity)),
+        threads: 1,
+    };
+    fleet
+        .try_household_configs()
+        .expect("scenario validation covers the fleet config")
+}

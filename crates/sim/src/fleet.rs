@@ -18,6 +18,42 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+/// Why a [`FleetConfig`] cannot be materialised into households.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetConfigError {
+    /// `households` is zero.
+    NoHouseholds,
+    /// `archetype_mix` is empty, so no archetype can be sampled.
+    EmptyArchetypeMix,
+    /// Every `archetype_mix` weight is zero, negative, or non-finite,
+    /// so weighted sampling has no mass to draw from.
+    ZeroWeightArchetypeMix,
+}
+
+impl std::fmt::Display for FleetConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetConfigError::NoHouseholds => {
+                write!(f, "a fleet needs at least one household")
+            }
+            FleetConfigError::EmptyArchetypeMix => {
+                write!(
+                    f,
+                    "archetype_mix is empty: a fleet needs at least one archetype"
+                )
+            }
+            FleetConfigError::ZeroWeightArchetypeMix => {
+                write!(
+                    f,
+                    "archetype_mix has no positive finite weight to sample from"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetConfigError {}
+
 /// Configuration for a simulated fleet of households.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetConfig {
@@ -51,23 +87,49 @@ impl Default for FleetConfig {
 }
 
 impl FleetConfig {
+    /// Check that the fleet can actually be sampled.
+    pub fn validate(&self) -> Result<(), FleetConfigError> {
+        if self.households == 0 {
+            return Err(FleetConfigError::NoHouseholds);
+        }
+        if self.archetype_mix.is_empty() {
+            return Err(FleetConfigError::EmptyArchetypeMix);
+        }
+        if !self
+            .archetype_mix
+            .iter()
+            .any(|(_, w)| w.is_finite() && *w > 0.0)
+        {
+            return Err(FleetConfigError::ZeroWeightArchetypeMix);
+        }
+        Ok(())
+    }
+
     /// Materialise the per-household configurations (deterministic for
-    /// a fixed `base_seed`).
-    pub fn household_configs(&self) -> Vec<HouseholdConfig> {
+    /// a fixed `base_seed`), or explain why the mix cannot be sampled.
+    pub fn try_household_configs(&self) -> Result<Vec<HouseholdConfig>, FleetConfigError> {
+        self.validate()?;
         let mut rng = StdRng::seed_from_u64(self.base_seed);
         let weights: Vec<f64> = self.archetype_mix.iter().map(|(_, w)| *w).collect();
-        (0..self.households)
+        Ok((0..self.households)
             .map(|i| {
-                let arch = match weighted_index(&mut rng, &weights) {
-                    Some(idx) => self.archetype_mix[idx].0,
-                    None => HouseholdArchetype::Couple,
-                };
+                // `validate` guarantees positive mass, so the draw
+                // always succeeds; the fallback is unreachable.
+                let idx = weighted_index(&mut rng, &weights).unwrap_or(0);
+                let arch = self.archetype_mix[idx].0;
                 let mut cfg =
                     HouseholdConfig::new(i as u64, arch).with_seed(self.base_seed + i as u64);
                 cfg.tariff_response = self.tariff_response.clone();
                 cfg
             })
-            .collect()
+            .collect())
+    }
+
+    /// Materialise the per-household configurations, panicking on an
+    /// unsampleable config (see [`FleetConfig::try_household_configs`]).
+    pub fn household_configs(&self) -> Vec<HouseholdConfig> {
+        self.try_household_configs()
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -106,14 +168,21 @@ impl FleetResult {
 }
 
 /// Simulate a fleet over `range`, parallelised across
-/// `config.threads` scoped threads.
+/// `config.threads` scoped threads. Panics on an unsampleable config;
+/// use [`try_simulate_fleet`] to get a typed error instead.
 pub fn simulate_fleet(config: &FleetConfig, range: TimeRange) -> FleetResult {
-    assert!(
-        config.households > 0,
-        "a fleet needs at least one household"
-    );
+    try_simulate_fleet(config, range).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Simulate a fleet over `range`, parallelised across
+/// `config.threads` scoped threads. Returns a typed error when the
+/// config has no households or an empty/zero-weight archetype mix.
+pub fn try_simulate_fleet(
+    config: &FleetConfig,
+    range: TimeRange,
+) -> Result<FleetResult, FleetConfigError> {
     let catalog = Catalog::extended();
-    let configs = config.household_configs();
+    let configs = config.try_household_configs()?;
     let results: Mutex<Vec<(usize, SimulatedHousehold)>> =
         Mutex::new(Vec::with_capacity(configs.len()));
 
@@ -145,10 +214,10 @@ pub fn simulate_fleet(config: &FleetConfig, range: TimeRange) -> FleetResult {
             Some(t) => t.add(&market).expect("fleet members share the grid"),
         });
     }
-    FleetResult {
+    Ok(FleetResult {
         total: total.expect("households > 0 checked above"),
         households,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -245,5 +314,66 @@ mod tests {
             ..FleetConfig::default()
         };
         simulate_fleet(&cfg, days(1));
+    }
+
+    #[test]
+    fn unsampleable_mixes_yield_typed_errors() {
+        let empty = FleetConfig {
+            archetype_mix: vec![],
+            ..FleetConfig::default()
+        };
+        assert_eq!(
+            empty.try_household_configs().unwrap_err(),
+            FleetConfigError::EmptyArchetypeMix
+        );
+        assert_eq!(
+            try_simulate_fleet(&empty, days(1)).unwrap_err(),
+            FleetConfigError::EmptyArchetypeMix
+        );
+
+        let zero = FleetConfig {
+            archetype_mix: vec![
+                (HouseholdArchetype::Couple, 0.0),
+                (HouseholdArchetype::SingleResident, -1.0),
+                (HouseholdArchetype::FamilyWithChildren, f64::NAN),
+            ],
+            ..FleetConfig::default()
+        };
+        assert_eq!(
+            zero.validate().unwrap_err(),
+            FleetConfigError::ZeroWeightArchetypeMix
+        );
+
+        let none = FleetConfig {
+            households: 0,
+            ..FleetConfig::default()
+        };
+        assert_eq!(none.validate().unwrap_err(), FleetConfigError::NoHouseholds);
+
+        // The error messages are user-facing; keep them descriptive.
+        assert!(FleetConfigError::EmptyArchetypeMix
+            .to_string()
+            .contains("archetype_mix"));
+        assert!(FleetConfigError::ZeroWeightArchetypeMix
+            .to_string()
+            .contains("weight"));
+    }
+
+    #[test]
+    #[should_panic(expected = "archetype_mix is empty")]
+    fn empty_mix_panics_in_the_infallible_api() {
+        let cfg = FleetConfig {
+            archetype_mix: vec![],
+            ..FleetConfig::default()
+        };
+        cfg.household_configs();
+    }
+
+    #[test]
+    fn try_simulate_matches_simulate_for_valid_configs() {
+        let cfg = small_fleet(2);
+        let a = try_simulate_fleet(&cfg, days(1)).unwrap();
+        let b = simulate_fleet(&cfg, days(1));
+        assert_eq!(a.total, b.total);
     }
 }

@@ -48,11 +48,13 @@ mod simulate;
 mod tariff;
 
 pub use activation::Activation;
-pub use fleet::{simulate_fleet, FleetConfig, FleetResult};
+pub use fleet::{simulate_fleet, try_simulate_fleet, FleetConfig, FleetConfigError, FleetResult};
 pub use household::{HouseholdArchetype, HouseholdConfig};
 pub use industrial::{
     simulate_industrial, BatchProcess, IndustrialConfig, ShiftPattern, SimulatedIndustrial,
 };
 pub use res::{simulate_wind_production, WindFarmConfig};
-pub use simulate::{simulate_household, simulate_tariff_pair, SimulatedHousehold};
+pub use simulate::{
+    simulate_household, simulate_household_with_catalog, simulate_tariff_pair, SimulatedHousehold,
+};
 pub use tariff::{TariffResponse, TariffScheme};

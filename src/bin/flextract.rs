@@ -20,6 +20,7 @@ use flextract::eval::experiments::{
     threshold_ablation, ExperimentParams,
 };
 use flextract::eval::fig5_day;
+use flextract::scenario::{load_dir, load_file, Scenario, ScenarioRunner};
 use flextract::series::{codec, TimeSeries};
 use flextract::sim::{simulate_fleet, FleetConfig};
 use flextract::time::{Duration, Resolution, TimeRange, Timestamp};
@@ -37,7 +38,12 @@ USAGE:
                        [--share F] [--seed S] [--out FILE.json]
   flextract fig5
   flextract experiment e5|e6|e7|e8|e9|e10 [--households N] [--days D] [--seed S]
+  flextract scenario list [--dir DIR]
+  flextract scenario run (--all | --name NAME) [--dir DIR] [--threads N] [--json]
   flextract help
+
+The scenario corpus lives in scenarios/ (one JSON spec per scenario);
+see the README for the spec format and the golden-file workflow.
 ";
 
 /// Minimal flag parser: `--key value` pairs after the positionals.
@@ -48,12 +54,22 @@ struct Flags {
 
 impl Flags {
     fn parse(args: &[String]) -> Result<Flags, String> {
+        Self::parse_with_switches(args, &[])
+    }
+
+    /// Like [`Flags::parse`], but flags named in `switches` take no
+    /// value (`--all`) and are recorded as `true`.
+    fn parse_with_switches(args: &[String], switches: &[&str]) -> Result<Flags, String> {
         let mut entries = Vec::new();
         let mut it = args.iter();
         while let Some(key) = it.next() {
             let Some(name) = key.strip_prefix("--") else {
                 return Err(format!("unexpected argument '{key}'"));
             };
+            if switches.contains(&name) {
+                entries.push((name.to_string(), "true".to_string()));
+                continue;
+            }
             let Some(value) = it.next() else {
                 return Err(format!("flag --{name} needs a value"));
             };
@@ -104,6 +120,15 @@ fn run(args: &[String]) -> Result<(), String> {
                 return Err("experiment needs a name (e5..e10)".into());
             };
             cmd_experiment(which, &Flags::parse(&args[2..])?)
+        }
+        "scenario" => {
+            let Some(action) = args.get(1) else {
+                return Err("scenario needs an action (list|run)".into());
+            };
+            cmd_scenario(
+                action,
+                &Flags::parse_with_switches(&args[2..], &["all", "json"])?,
+            )
         }
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -253,6 +278,95 @@ fn cmd_experiment(which: &str, flags: &Flags) -> Result<(), String> {
     };
     print!("{rendered}");
     Ok(())
+}
+
+fn cmd_scenario(action: &str, flags: &Flags) -> Result<(), String> {
+    let dir = flags.get("dir").unwrap_or("scenarios");
+    match action {
+        "list" => {
+            let corpus = load_dir(Path::new(dir)).map_err(|e| e.to_string())?;
+            if corpus.is_empty() {
+                println!("no scenarios in {dir}/");
+                return Ok(());
+            }
+            println!(
+                "{:<28} {:>9} {:>5} {:>7} {:<12} description",
+                "name", "consumers", "days", "res", "extractor"
+            );
+            for s in &corpus {
+                println!(
+                    "{:<28} {:>9} {:>5} {:>6}m {:<12} {}",
+                    s.name,
+                    s.workload.consumers(),
+                    s.days,
+                    s.resolution_min,
+                    s.extractor.label(),
+                    s.description
+                );
+            }
+            Ok(())
+        }
+        "run" => {
+            let selected: Vec<Scenario> = if flags.get("all").is_some() {
+                load_dir(Path::new(dir)).map_err(|e| e.to_string())?
+            } else if let Some(name) = flags.get("name") {
+                // Load only the requested spec (file stem == scenario
+                // name by corpus convention), so one broken unrelated
+                // file cannot block a valid scenario from running.
+                let path = Path::new(dir).join(format!("{name}.json"));
+                if !path.is_file() {
+                    return Err(format!("no scenario named '{name}' in {dir}/"));
+                }
+                vec![load_file(&path).map_err(|e| e.to_string())?]
+            } else {
+                return Err("scenario run needs --all or --name NAME".into());
+            };
+            if selected.is_empty() {
+                return Err(format!("no scenarios in {dir}/ — nothing to run"));
+            }
+            let threads: usize = flags.get_parsed("threads", 4)?;
+            if threads == 0 {
+                return Err("--threads must be at least 1".into());
+            }
+            let json_mode = flags.get("json").is_some();
+            let runner = ScenarioRunner::with_threads(threads);
+            let results = runner.run_all(&selected);
+            let mut failures = Vec::new();
+            let mut reports = Vec::new();
+            for (scenario, result) in selected.iter().zip(results) {
+                match result {
+                    Ok(outcome) => {
+                        let line =
+                            format!("{} [{} ms]", outcome.report.summary(), outcome.wall_time_ms);
+                        // With --json, stdout carries only the JSON
+                        // array so it pipes cleanly into jq and co.
+                        if json_mode {
+                            eprintln!("{line}");
+                        } else {
+                            println!("{line}");
+                        }
+                        reports.push(outcome.report);
+                    }
+                    Err(e) => failures.push(format!("{}: {e}", scenario.name)),
+                }
+            }
+            if json_mode {
+                let json = serde_json::to_string_pretty(&reports)
+                    .map_err(|e| format!("serialise reports: {e}"))?;
+                println!("{json}");
+            }
+            if failures.is_empty() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{} scenario(s) failed:\n  {}",
+                    failures.len(),
+                    failures.join("\n  ")
+                ))
+            }
+        }
+        other => Err(format!("unknown scenario action '{other}' (list|run)")),
+    }
 }
 
 /// Read a series from `.fxt` (binary codec) or `.csv`

@@ -23,6 +23,7 @@
 //! | [`core`] | `flextract-core` | **the five extraction approaches** |
 //! | [`agg`] | `flextract-agg` | flex-offer aggregation & RES scheduling |
 //! | [`eval`] | `flextract-eval` | realism metrics, ground truth, experiments |
+//! | [`scenario`] | `flextract-scenario` | declarative scenario corpus + parallel runner |
 //!
 //! ## Quickstart
 //!
@@ -79,6 +80,11 @@ pub mod eval {
 /// The MIRABEL flex-offer object model (Figure 1).
 pub mod flexoffer {
     pub use flextract_flexoffer::*;
+}
+
+/// Declarative scenario corpus + parallel pipeline runner.
+pub mod scenario {
+    pub use flextract_scenario::*;
 }
 
 /// The fixed-interval energy time-series engine.

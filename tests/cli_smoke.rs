@@ -168,6 +168,131 @@ fn bad_invocations_exit_nonzero_with_usage() {
 }
 
 #[test]
+fn scenario_list_and_run_round_trip() {
+    // `list` reads the committed corpus (cargo test runs from the
+    // package root, where `scenarios/` lives).
+    let list = flextract(&["scenario", "list"]);
+    assert!(
+        list.status.success(),
+        "scenario list failed: {}",
+        String::from_utf8_lossy(&list.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&list.stdout);
+    assert!(stdout.contains("fig5_peak_day"), "stdout: {stdout}");
+    assert!(stdout.contains("stress_10k_households"), "stdout: {stdout}");
+
+    // `run --name` executes one scenario end to end.
+    let run = flextract(&["scenario", "run", "--name", "fig5_peak_day", "--json"]);
+    assert!(
+        run.status.success(),
+        "scenario run failed: {}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    // With --json, stdout is pure JSON (pipeable into jq); the human
+    // summary goes to stderr.
+    let stdout = String::from_utf8_lossy(&run.stdout);
+    assert!(
+        stdout.trim_start().starts_with('['),
+        "--json stdout must be a JSON array: {stdout}"
+    );
+    assert!(
+        stdout.contains("\"offers\""),
+        "--json emits the report: {stdout}"
+    );
+    let stderr = String::from_utf8_lossy(&run.stderr);
+    assert!(stderr.contains("fig5_peak_day:"), "stderr: {stderr}");
+
+    // Empty corpus directories are an error, not a silent no-op.
+    let empty = scratch_dir("scenario_empty");
+    let out = flextract(&["scenario", "run", "--all", "--dir", empty.to_str().unwrap()]);
+    assert!(
+        !out.status.success(),
+        "empty corpus must not look like success"
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("nothing to run"));
+    std::fs::remove_dir_all(&empty).ok();
+}
+
+#[test]
+fn scenario_invalid_specs_fail_with_a_message_not_a_backtrace() {
+    let dir = scratch_dir("scenario_bad");
+
+    // A syntactically broken spec file.
+    std::fs::write(dir.join("broken.json"), "{ this is not json").unwrap();
+    let out = flextract(&["scenario", "run", "--all", "--dir", dir.to_str().unwrap()]);
+    assert!(!out.status.success(), "broken spec must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "stderr: {stderr}");
+    assert!(stderr.contains("broken.json"), "stderr: {stderr}");
+    assert!(!stderr.contains("panicked"), "no backtrace: {stderr}");
+
+    // A broken *unrelated* file must not block running a valid one by
+    // name: `--name` loads only its own spec file.
+    std::fs::copy(
+        "scenarios/fig5_peak_day.json",
+        dir.join("fig5_peak_day.json"),
+    )
+    .unwrap();
+    let out = flextract(&[
+        "scenario",
+        "run",
+        "--name",
+        "fig5_peak_day",
+        "--dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "valid --name run blocked by unrelated broken spec: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_file(dir.join("fig5_peak_day.json")).unwrap();
+
+    // A well-formed spec with an out-of-domain field.
+    std::fs::remove_file(dir.join("broken.json")).unwrap();
+    std::fs::write(
+        dir.join("bad_days.json"),
+        r#"{
+  "name": "bad_days",
+  "description": "days out of domain",
+  "workload": {
+    "Households": {
+      "households": 1,
+      "archetype_mix": [["Couple", 1.0]],
+      "tariff_sensitivity": 0.0
+    }
+  },
+  "start": "2013-03-18",
+  "days": 0,
+  "resolution_min": 15,
+  "extractor": "Basic",
+  "flexible_share": 0.05,
+  "aggregation": "None",
+  "res_capacity_share": 0.0,
+  "seed": 1
+}"#,
+    )
+    .unwrap();
+    let out = flextract(&["scenario", "run", "--all", "--dir", dir.to_str().unwrap()]);
+    assert!(!out.status.success(), "invalid spec must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "stderr: {stderr}");
+    assert!(stderr.contains("days"), "names the field: {stderr}");
+    assert!(!stderr.contains("panicked"), "no backtrace: {stderr}");
+
+    // Selection errors: unknown name, missing selector.
+    let out = flextract(&["scenario", "run", "--name", "no_such_scenario"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no_such_scenario"));
+    let out = flextract(&["scenario", "run"]);
+    assert!(!out.status.success());
+    let out = flextract(&["scenario", "frobnicate"]);
+    assert!(!out.status.success());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn help_prints_usage() {
     let out = flextract(&["help"]);
     assert!(out.status.success());

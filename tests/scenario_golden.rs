@@ -1,0 +1,143 @@
+//! Golden-file regression suite over the committed scenario corpus.
+//!
+//! Every scenario under `scenarios/` is executed and its deterministic
+//! [`ScenarioReport`] JSON is compared byte-for-byte against the
+//! snapshot committed under `tests/golden/<name>.json`. Run with
+//! `UPDATE_GOLDEN=1` to regenerate the snapshots after an intentional
+//! pipeline change; a mismatch prints a readable line diff. Stale or
+//! missing snapshots fail the suite too, so the corpus and the golden
+//! directory can never drift apart silently.
+
+use flextract::scenario::{load_dir, ScenarioRunner};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Minimal readable line diff: every differing line as `-expected` /
+/// `+actual`, capped so a wildly drifted report stays scannable.
+fn render_diff(expected: &str, actual: &str) -> String {
+    let e: Vec<&str> = expected.lines().collect();
+    let a: Vec<&str> = actual.lines().collect();
+    let mut out = String::new();
+    let mut shown = 0;
+    for i in 0..e.len().max(a.len()) {
+        let (le, la) = (e.get(i).copied(), a.get(i).copied());
+        if le == la {
+            continue;
+        }
+        if shown == 12 {
+            out.push_str("      … (more differences elided)\n");
+            break;
+        }
+        shown += 1;
+        if let Some(l) = le {
+            out.push_str(&format!("      - {:>3} | {l}\n", i + 1));
+        }
+        if let Some(l) = la {
+            out.push_str(&format!("      + {:>3} | {l}\n", i + 1));
+        }
+    }
+    out
+}
+
+#[test]
+fn corpus_reports_match_golden_snapshots() {
+    let scenarios = load_dir(&repo_root().join("scenarios")).expect("committed corpus loads");
+    assert!(
+        scenarios.len() >= 16,
+        "corpus shrank to {} scenarios",
+        scenarios.len()
+    );
+    let golden_dir = repo_root().join("tests").join("golden");
+    let update = std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1");
+    let results = ScenarioRunner::with_threads(8).run_all(&scenarios);
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut expected_files: BTreeSet<String> = BTreeSet::new();
+    for (scenario, result) in scenarios.iter().zip(results) {
+        let outcome = match result {
+            Ok(o) => o,
+            Err(e) => {
+                failures.push(format!("{}: run failed: {e}", scenario.name));
+                continue;
+            }
+        };
+        let json = serde_json::to_string_pretty(&outcome.report).expect("reports serialise") + "\n";
+        let file = format!("{}.json", scenario.name);
+        let path = golden_dir.join(&file);
+        expected_files.insert(file);
+        if update {
+            std::fs::create_dir_all(&golden_dir).expect("golden dir is creatable");
+            std::fs::write(&path, &json).expect("snapshot is writable");
+            continue;
+        }
+        match std::fs::read_to_string(&path) {
+            Err(_) => failures.push(format!(
+                "{}: no snapshot at {} — run with UPDATE_GOLDEN=1 to create it",
+                scenario.name,
+                path.display()
+            )),
+            Ok(snapshot) if snapshot == json => {}
+            Ok(snapshot) => failures.push(format!(
+                "{}: report drifted from its snapshot \
+                 (UPDATE_GOLDEN=1 regenerates after intentional changes):\n{}",
+                scenario.name,
+                render_diff(&snapshot, &json)
+            )),
+        }
+    }
+
+    // A snapshot with no matching scenario is drift in the other
+    // direction: a scenario was renamed or deleted without its golden.
+    // Update mode prunes such files so the regeneration always leaves a
+    // committable green tree; check mode reports them as failures. An
+    // absent golden dir is already reported per scenario above as a
+    // missing snapshot, so it is not an error here.
+    if let Ok(entries) = std::fs::read_dir(&golden_dir) {
+        for entry in entries {
+            let entry = entry.expect("golden dir entry");
+            let name = entry.file_name().to_string_lossy().to_string();
+            if !name.ends_with(".json") || expected_files.contains(&name) {
+                continue;
+            }
+            if update {
+                // Don't prune while runs are failing: a failed scenario
+                // never registers its file, and deleting its (possibly
+                // still valid) snapshot would compound the breakage.
+                if failures.is_empty() {
+                    std::fs::remove_file(entry.path()).expect("stale snapshot is removable");
+                }
+            } else {
+                failures.push(format!(
+                    "stale snapshot tests/golden/{name}: no scenario produces it"
+                ));
+            }
+        }
+    }
+
+    assert!(
+        failures.is_empty(),
+        "golden-file regressions:\n  {}",
+        failures.join("\n  ")
+    );
+}
+
+#[test]
+fn reports_are_byte_identical_across_repeat_runs() {
+    let scenarios = load_dir(&repo_root().join("scenarios")).expect("committed corpus loads");
+    let scenario = scenarios
+        .iter()
+        .find(|s| s.name == "fig5_peak_day")
+        .expect("fig5_peak_day is part of the committed corpus");
+    let runner = ScenarioRunner::default();
+    let a = runner.run(scenario).expect("run a");
+    let b = runner.run(scenario).expect("run b");
+    assert_eq!(
+        serde_json::to_string_pretty(&a.report).unwrap(),
+        serde_json::to_string_pretty(&b.report).unwrap(),
+        "identical spec + seed must reproduce the identical report"
+    );
+}
