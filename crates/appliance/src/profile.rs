@@ -87,14 +87,24 @@ impl LoadProfile {
     /// Expand to per-minute power samples at `intensity` ∈ [0, 1], which
     /// interpolates each phase between its min (0) and max (1) power.
     pub fn power_curve_kw(&self, intensity: f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.fill_power_curve_kw(intensity, &mut out);
+        out
+    }
+
+    /// [`LoadProfile::power_curve_kw`] into a reusable buffer (cleared
+    /// first). This loop is the single owner of the phase-expansion
+    /// math — every other per-minute realisation derives from it, so
+    /// the simulator's cycle energies and the disaggregator's matching
+    /// templates can never diverge.
+    pub fn fill_power_curve_kw(&self, intensity: f64, out: &mut Vec<f64>) {
         let x = intensity.clamp(0.0, 1.0);
-        let total: usize = self.phases.iter().map(|p| p.duration_min as usize).sum();
-        let mut out = Vec::with_capacity(total);
+        out.clear();
+        out.reserve(self.phases.iter().map(|p| p.duration_min as usize).sum());
         for p in &self.phases {
             let kw = p.min_kw + (p.max_kw - p.min_kw) * x;
             out.extend(std::iter::repeat_n(kw, p.duration_min as usize));
         }
-        out
     }
 
     /// The nominal (midpoint-intensity) per-minute power curve — used as
@@ -103,15 +113,23 @@ impl LoadProfile {
         self.power_curve_kw(0.5)
     }
 
+    /// Fill `out` with one cycle's per-minute energies (kWh per minute)
+    /// at `intensity` — the allocation-free core of
+    /// [`LoadProfile::to_energy_series`]. `out` is cleared first, so a
+    /// caller can reuse one scratch buffer across many cycles.
+    pub fn fill_energy_values(&self, intensity: f64, out: &mut Vec<f64>) {
+        self.fill_power_curve_kw(intensity, out);
+        for v in out.iter_mut() {
+            *v /= 60.0; // 1 minute of kW → kWh
+        }
+    }
+
     /// Realise one cycle starting at `start` as a 1-minute energy
     /// series (kWh per minute) at the given intensity.
     pub fn to_energy_series(&self, start: Timestamp, intensity: f64) -> TimeSeries {
         let start = start.floor_to(Resolution::MIN_1);
-        let values: Vec<f64> = self
-            .power_curve_kw(intensity)
-            .into_iter()
-            .map(|kw| kw / 60.0) // 1 minute of kW → kWh
-            .collect();
+        let mut values = Vec::new();
+        self.fill_energy_values(intensity, &mut values);
         TimeSeries::new(start, Resolution::MIN_1, values)
             .expect("minute floor is always aligned to MIN_1")
     }
@@ -194,6 +212,29 @@ mod tests {
             let direct = p.cycle_energy_kwh(x);
             let via_series = p.to_energy_series(start, x).total_energy();
             assert!((direct - via_series).abs() < 1e-9, "intensity {x}");
+        }
+    }
+
+    #[test]
+    fn fill_energy_values_matches_the_envelope_integral() {
+        // Anchored against the *independently computed* per-cycle
+        // energy integral, not against to_energy_series (which derives
+        // from the same fill) — so a drift in the shared phase
+        // expansion cannot cancel out of the comparison.
+        let p = washer_like();
+        let mut scratch = vec![99.0; 3]; // stale content must be cleared
+        for &x in &[0.0, 0.3, 0.5, 1.0] {
+            p.fill_energy_values(x, &mut scratch);
+            assert_eq!(scratch.len(), 90);
+            let total: f64 = scratch.iter().sum();
+            assert!(
+                (total - p.cycle_energy_kwh(x)).abs() < 1e-9,
+                "intensity {x}: {total} vs {}",
+                p.cycle_energy_kwh(x)
+            );
+            // Per-minute values are the power curve scaled to kWh.
+            let kw = p.power_curve_kw(x);
+            assert!(scratch.iter().zip(&kw).all(|(e, k)| *e == k / 60.0));
         }
     }
 

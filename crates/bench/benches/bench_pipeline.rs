@@ -1,0 +1,145 @@
+//! End-to-end scenario-pipeline benchmark **with a recorded baseline**.
+//!
+//! Unlike the micro benches, this harness measures the whole
+//! simulate→extract→aggregate pipeline through [`ScenarioRunner`] at
+//! several `consumer_threads` settings and **writes the measurements to
+//! `BENCH_pipeline.json`** at the workspace root (mean µs/iter per
+//! bench, git revision, thread count, host parallelism), so the perf
+//! trajectory across PRs has data points instead of folklore. Run it
+//! with `cargo bench -p flextract-bench --bench bench_pipeline`; commit
+//! the regenerated JSON when the numbers move for a reason.
+
+use flextract_scenario::{AggregationPolicy, ExtractorChoice, Scenario, ScenarioRunner, Workload};
+use flextract_sim::HouseholdArchetype;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// One measured configuration.
+struct Record {
+    name: &'static str,
+    consumer_threads: usize,
+    iters: u32,
+    mean_us: f64,
+}
+
+/// The corpus' default archetype mix, inlined so the bench is
+/// self-contained (no dependency on the scenarios/ directory).
+fn default_mix() -> Vec<(HouseholdArchetype, f64)> {
+    vec![
+        (HouseholdArchetype::SingleResident, 0.25),
+        (HouseholdArchetype::Couple, 0.35),
+        (HouseholdArchetype::FamilyWithChildren, 0.25),
+        (HouseholdArchetype::SuburbanWithEv, 0.15),
+    ]
+}
+
+fn fleet_scenario(name: &str, households: usize) -> Scenario {
+    Scenario {
+        name: name.into(),
+        description: "pipeline benchmark fleet".into(),
+        workload: Workload::Households {
+            households,
+            archetype_mix: default_mix(),
+            tariff_sensitivity: 0.0,
+        },
+        start: "2013-03-18".into(),
+        days: 1,
+        resolution_min: 15,
+        extractor: ExtractorChoice::Basic,
+        flexible_share: 0.05,
+        aggregation: AggregationPolicy::None,
+        res_capacity_share: 0.0,
+        seed: 2013,
+    }
+}
+
+/// Time `runner.run(scenario)` for `iters` iterations after `warmup`
+/// untimed ones; returns the mean µs per iteration.
+fn measure(runner: &ScenarioRunner, scenario: &Scenario, warmup: u32, iters: u32) -> f64 {
+    for _ in 0..warmup {
+        std::hint::black_box(runner.run(scenario).expect("benchmark scenario runs"));
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(runner.run(scenario).expect("benchmark scenario runs"));
+    }
+    start.elapsed().as_secs_f64() * 1e6 / f64::from(iters)
+}
+
+fn workspace_root() -> PathBuf {
+    // crates/bench → workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .canonicalize()
+        .expect("bench crate lives two levels below the workspace root")
+}
+
+fn git_rev(root: &Path) -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(root)
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+fn main() {
+    let mid = fleet_scenario("bench_mid_fleet", 48);
+    let stress = fleet_scenario("bench_stress_10k", 10_000);
+
+    let mut records: Vec<Record> = Vec::new();
+    for consumer_threads in [1_usize, 8] {
+        let runner = ScenarioRunner::with_threads(1).with_consumer_threads(consumer_threads);
+        let mean = measure(&runner, &mid, 1, 5);
+        records.push(Record {
+            name: "pipeline/mid_fleet_48hh_1d",
+            consumer_threads,
+            iters: 5,
+            mean_us: mean,
+        });
+        // The stress fleet costs ~1 s per iteration in release: keep
+        // the sample count low, skip the warm-up.
+        let mean = measure(&runner, &stress, 0, 2);
+        records.push(Record {
+            name: "pipeline/stress_10k_households_1d",
+            consumer_threads,
+            iters: 2,
+            mean_us: mean,
+        });
+    }
+
+    let root = workspace_root();
+    let host_cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(
+        "  \"generated_by\": \"cargo bench -p flextract-bench --bench bench_pipeline\",\n",
+    );
+    json.push_str(&format!("  \"git_rev\": \"{}\",\n", git_rev(&root)));
+    json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    json.push_str("  \"benches\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"consumer_threads\": {}, \"iters\": {}, \"mean_us\": {:.1} }}{}\n",
+            r.name,
+            r.consumer_threads,
+            r.iters,
+            r.mean_us,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    for r in &records {
+        println!(
+            "{:<44} ct={} {:>14.1} µs/iter",
+            r.name, r.consumer_threads, r.mean_us
+        );
+    }
+    let out = root.join("BENCH_pipeline.json");
+    std::fs::write(&out, &json).expect("BENCH_pipeline.json is writable");
+    println!("wrote {}", out.display());
+}

@@ -11,6 +11,7 @@
 use crate::extractor::{build_offer, sample_slice_count, FlexibilityExtractor};
 use crate::{Diagnostics, ExtractionConfig, ExtractionError, ExtractionInput, ExtractionOutput};
 use flextract_series::segment::split_into_periods;
+use flextract_series::TimeSeries;
 use rand::rngs::StdRng;
 
 /// Period-based extraction with a fixed flexible share.
@@ -47,7 +48,7 @@ impl FlexibilityExtractor for BasicExtractor {
             return Err(ExtractionError::EmptySeries);
         }
         let mut modified = series.clone();
-        let mut extracted = series.scale(0.0);
+        let mut extracted = TimeSeries::zeros_like(series);
         let mut offers = Vec::new();
         let mut diagnostics = Diagnostics::default();
         let mut next_id = 1u64;

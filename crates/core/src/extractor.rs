@@ -10,8 +10,11 @@ use rand::Rng;
 /// Figure-3 taxonomy).
 ///
 /// Implementations are deterministic given the input and the caller's
-/// RNG state, so experiments are reproducible end-to-end.
-pub trait FlexibilityExtractor {
+/// RNG state, so experiments are reproducible end-to-end. They must be
+/// `Send + Sync`: one extractor instance is shared by reference across
+/// the scenario runner's consumer worker threads (extractors are plain
+/// configuration data — all per-run state lives in the caller's RNG).
+pub trait FlexibilityExtractor: Send + Sync {
     /// Short machine-friendly name (used in diagnostics and reports).
     fn name(&self) -> &'static str;
 

@@ -15,6 +15,7 @@ use crate::extractor::{extract_cycle, FlexibilityExtractor};
 use crate::{Diagnostics, ExtractionConfig, ExtractionError, ExtractionInput, ExtractionOutput};
 use flextract_disagg::{detect_activations, FrequencyTable, MatchConfig};
 use flextract_flexoffer::{EnergyRange, FlexOffer};
+use flextract_series::TimeSeries;
 use flextract_time::Duration;
 use rand::rngs::StdRng;
 
@@ -80,7 +81,7 @@ impl FlexibilityExtractor for FrequencyBasedExtractor {
 
         // ---- Step 2: one flex-offer per detected flexible activation.
         let mut modified = series.clone();
-        let mut extracted = series.scale(0.0);
+        let mut extracted = TimeSeries::zeros_like(series);
         let mut offers: Vec<FlexOffer> = Vec::new();
         let mut next_id = 1u64;
         let slice_min = self.cfg.slice_resolution.minutes();

@@ -22,6 +22,7 @@ use crate::extractor::FlexibilityExtractor;
 use crate::{Diagnostics, ExtractionConfig, ExtractionError, ExtractionInput, ExtractionOutput};
 use flextract_flexoffer::{EnergyRange, FlexOffer};
 use flextract_series::segment::{day_profile_std, split_whole_days, typical_day_profile, DayKind};
+use flextract_series::TimeSeries;
 use flextract_time::Duration;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -108,7 +109,7 @@ impl FlexibilityExtractor for MultiTariffExtractor {
         let (typ_week, std_week) = per_kind(DayKind::Weekend);
 
         let mut modified = series.clone();
-        let mut extracted = series.scale(0.0);
+        let mut extracted = TimeSeries::zeros_like(series);
         let mut offers: Vec<FlexOffer> = Vec::new();
         let mut diagnostics = Diagnostics::default();
         diagnostics.notes.push(format!(

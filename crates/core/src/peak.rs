@@ -11,7 +11,7 @@ use crate::io::{PeakDayReport, PeakInfo};
 use crate::{Diagnostics, ExtractionConfig, ExtractionError, ExtractionInput, ExtractionOutput};
 use flextract_series::peaks::{detect_peaks, filter_peaks, selection_probabilities};
 use flextract_series::segment::split_whole_days;
-use flextract_series::PeakThreshold;
+use flextract_series::{PeakThreshold, TimeSeries};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -77,7 +77,7 @@ impl FlexibilityExtractor for PeakExtractor {
             return Err(ExtractionError::EmptySeries);
         }
         let mut modified = series.clone();
-        let mut extracted = series.scale(0.0);
+        let mut extracted = TimeSeries::zeros_like(series);
         let mut offers = Vec::new();
         let mut diagnostics = Diagnostics::default();
         let mut next_id = 1u64;

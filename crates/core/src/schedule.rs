@@ -11,6 +11,7 @@ use crate::{Diagnostics, ExtractionConfig, ExtractionError, ExtractionInput, Ext
 use flextract_disagg::{detect_activations, MatchConfig, MinedSchedule};
 use flextract_flexoffer::{EnergyRange, FlexOffer};
 use flextract_series::segment::{split_whole_days, DayKind};
+use flextract_series::TimeSeries;
 use flextract_time::Duration;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -100,7 +101,7 @@ impl FlexibilityExtractor for ScheduleBasedExtractor {
         // ---- Step 2: walk the observed days and formulate offers
         // where the schedule says the appliance runs.
         let mut modified = series.clone();
-        let mut extracted = series.scale(0.0);
+        let mut extracted = TimeSeries::zeros_like(series);
         let mut offers: Vec<FlexOffer> = Vec::new();
         let mut next_id = 1u64;
         let slice_min = self.cfg.slice_resolution.minutes();

@@ -47,6 +47,7 @@
 
 mod report;
 mod runner;
+pub mod shard;
 mod spec;
 
 pub use report::{AggregationReport, ScenarioOutcome, ScenarioReport, ScheduleReport};

@@ -1,14 +1,25 @@
 //! Executes scenarios: simulate → extract → aggregate → evaluate.
 //!
-//! Consumers inside one scenario are processed **serially and
-//! streamed** (simulate one, extract, accumulate, drop), so a
-//! 10k-household stress scenario holds only one household's series at a
-//! time and every report is independent of the runner's thread count.
-//! Parallelism happens *across* scenarios: [`ScenarioRunner::run_all`]
-//! fans the corpus out over `std::thread::scope` workers, exactly like
-//! the fleet simulator fans out households.
+//! Parallelism happens on two levels, both deterministic:
+//!
+//! * **Across scenarios** — [`ScenarioRunner::run_all`] fans the corpus
+//!   out over `threads` scoped workers with a work-stealing index
+//!   queue (scenario costs are highly skewed).
+//! * **Within one scenario** — the consumers of a single workload are
+//!   fanned across `consumer_threads` shard workers (see
+//!   [`crate::shard`]), while the per-consumer results are folded into
+//!   the report in **strict consumer index order** on the merging
+//!   thread. Extraction RNGs are seeded per consumer index — never per
+//!   worker — so a report is byte-identical at every thread count,
+//!   which is what keeps the `tests/golden/` snapshots stable.
+//!
+//! Memory stays flat in the fleet size: consumers are simulated on
+//! demand and dropped after merging, with the shard window bounding how
+//! many finished consumers can await their merge turn. A 10k-household
+//! stress scenario holds `O(consumer_threads)` households at a time.
 
 use crate::report::{AggregationReport, ScenarioOutcome, ScenarioReport, ScheduleReport};
+use crate::shard::ordered_parallel_map;
 use crate::spec::{AggregationPolicy, ExtractorChoice, Scenario, Workload};
 use crate::ScenarioError;
 use flextract_agg::{aggregate_offers, schedule_offers, AggregationConfig, ScheduleConfig};
@@ -23,8 +34,8 @@ use flextract_flexoffer::FlexOffer;
 use flextract_series::{resample, TimeSeries};
 use flextract_sim::{
     simulate_household_with_catalog, simulate_industrial, simulate_tariff_pair,
-    simulate_wind_production, FleetConfig, HouseholdArchetype, IndustrialConfig, TariffResponse,
-    WindFarmConfig,
+    simulate_wind_production, FleetConfig, HouseholdArchetype, IndustrialConfig,
+    SimulatedHousehold, TariffResponse, WindFarmConfig,
 };
 use flextract_time::{Duration, Resolution, TimeRange};
 use parking_lot::Mutex;
@@ -39,11 +50,19 @@ pub struct ScenarioRunner {
     /// Worker threads for [`ScenarioRunner::run_all`] (1 = serial;
     /// capped at the scenario count). Has no effect on the reports.
     pub threads: usize,
+    /// Worker threads *inside* one scenario: the consumers of a single
+    /// workload are sharded across this many workers (1 = serial;
+    /// capped at the consumer count). Has no effect on the reports —
+    /// per-consumer results merge in fixed index order.
+    pub consumer_threads: usize,
 }
 
 impl Default for ScenarioRunner {
     fn default() -> Self {
-        ScenarioRunner { threads: 4 }
+        ScenarioRunner {
+            threads: 4,
+            consumer_threads: 1,
+        }
     }
 }
 
@@ -60,6 +79,8 @@ struct ConsumerInput {
 }
 
 /// Streaming accumulator over the per-consumer extraction outputs.
+/// Feed it in consumer index order and the folded series are bit-equal
+/// to a serial loop's, whatever produced the inputs.
 struct Accumulator {
     total: Option<TimeSeries>,
     truth: Option<TimeSeries>,
@@ -80,10 +101,10 @@ impl Accumulator {
     }
 
     fn add_series(acc: &mut Option<TimeSeries>, s: &TimeSeries) -> Result<(), ScenarioError> {
-        *acc = Some(match acc.take() {
-            None => s.clone(),
-            Some(a) => a.add(s)?,
-        });
+        match acc {
+            None => *acc = Some(s.clone()),
+            Some(a) => a.add_assign(s)?,
+        }
         Ok(())
     }
 
@@ -102,11 +123,24 @@ impl Accumulator {
 }
 
 impl ScenarioRunner {
-    /// A runner with the given worker-thread count.
+    /// A runner with the given scenario-level worker-thread count.
+    ///
+    /// Zero is clamped to 1 as a library-level backstop; the CLI
+    /// rejects `--threads 0` before it gets here so users see a real
+    /// message instead of a silent clamp.
     pub fn with_threads(threads: usize) -> Self {
         ScenarioRunner {
             threads: threads.max(1),
+            ..ScenarioRunner::default()
         }
+    }
+
+    /// This runner with `consumer_threads` workers inside each scenario
+    /// (zero is clamped to 1, same contract as
+    /// [`ScenarioRunner::with_threads`]).
+    pub fn with_consumer_threads(mut self, consumer_threads: usize) -> Self {
+        self.consumer_threads = consumer_threads.max(1);
+        self
     }
 
     /// Execute one scenario end to end.
@@ -131,22 +165,31 @@ impl ScenarioRunner {
         };
 
         let catalog = Catalog::extended();
+        let factory = ConsumerFactory::new(scenario, horizon, res, &catalog);
+        let extractor: &dyn FlexibilityExtractor = extractor.as_ref();
         let mut acc = Accumulator::new();
-        for (idx, consumer) in ConsumerStream::new(scenario, horizon, res, &catalog).enumerate() {
-            let consumer = consumer?;
-            let mut input = ExtractionInput::household(&consumer.market);
-            if let Some(fine) = &consumer.fine {
-                input = input.with_fine_series(fine).with_catalog(&catalog);
-            }
-            if let Some(reference) = &consumer.reference {
-                input = input.with_reference(reference);
-            }
-            let mut rng = StdRng::seed_from_u64(
-                scenario.seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            );
-            let out = extractor.extract(&input, &mut rng)?;
-            acc.add(&consumer, out)?;
-        }
+        ordered_parallel_map(
+            factory.len(),
+            self.consumer_threads,
+            |idx| {
+                let consumer = factory.consumer(idx)?;
+                let mut input = ExtractionInput::household(&consumer.market);
+                if let Some(fine) = &consumer.fine {
+                    input = input.with_fine_series(fine).with_catalog(&catalog);
+                }
+                if let Some(reference) = &consumer.reference {
+                    input = input.with_reference(reference);
+                }
+                // Seeded per consumer *index*, never per worker: the
+                // offer stream is independent of scheduling.
+                let mut rng = StdRng::seed_from_u64(
+                    scenario.seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                let out = extractor.extract(&input, &mut rng)?;
+                Ok((consumer, out))
+            },
+            |_, (consumer, out)| acc.add(&consumer, out),
+        )?;
 
         // `validate` guarantees at least one consumer.
         let total = acc.total.expect("workloads are non-empty");
@@ -256,8 +299,8 @@ impl ScenarioRunner {
         // is highly skewed (a 10k-household stress run next to single
         // consumer-days), so workers pull the next index as they free
         // up. Results are keyed by index, so scheduling order never
-        // affects the returned order (or the reports — each run is
-        // internally serial).
+        // affects the returned order (or the reports — each run merges
+        // its consumers in index order).
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..threads {
@@ -280,9 +323,11 @@ impl ScenarioRunner {
     }
 }
 
-/// Lazily yields one [`ConsumerInput`] at a time so large workloads
-/// never hold the whole fleet in memory.
-struct ConsumerStream<'a> {
+/// Builds any consumer of a scenario's workload by index, on demand —
+/// the random-access source the shard workers pull from. Building a
+/// consumer touches nothing but `&self`, so the factory is shared
+/// across workers; large workloads are never materialised as a whole.
+struct ConsumerFactory<'a> {
     scenario: &'a Scenario,
     horizon: TimeRange,
     res: Resolution,
@@ -291,10 +336,9 @@ struct ConsumerStream<'a> {
     tariff_sensitivity: f64,
     sites: usize,
     site_pattern: flextract_sim::ShiftPattern,
-    next: usize,
 }
 
-impl<'a> ConsumerStream<'a> {
+impl<'a> ConsumerFactory<'a> {
     fn new(
         scenario: &'a Scenario,
         horizon: TimeRange,
@@ -330,7 +374,7 @@ impl<'a> ConsumerStream<'a> {
                 flextract_sim::ShiftPattern::TwoShift,
             ),
         };
-        ConsumerStream {
+        ConsumerFactory {
             scenario,
             horizon,
             res,
@@ -339,7 +383,21 @@ impl<'a> ConsumerStream<'a> {
             tariff_sensitivity,
             sites,
             site_pattern,
-            next: 0,
+        }
+    }
+
+    /// Total consumers (households first, then industrial sites).
+    fn len(&self) -> usize {
+        self.households.len() + self.sites
+    }
+
+    /// Build consumer `idx` (simulate + resample), independent of every
+    /// other index.
+    fn consumer(&self, idx: usize) -> Result<ConsumerInput, ScenarioError> {
+        if idx < self.households.len() {
+            self.household(&self.households[idx])
+        } else {
+            self.site(idx - self.households.len())
         }
     }
 
@@ -361,11 +419,16 @@ impl<'a> ConsumerStream<'a> {
                 self.horizon,
                 TariffResponse::overnight(self.tariff_sensitivity),
             );
+            let SimulatedHousehold {
+                series,
+                flexible_series,
+                ..
+            } = multi;
             return Ok(ConsumerInput {
-                market: multi.series_at(self.res),
-                truth: multi.flexible_series_at(self.res),
+                market: resample::to_resolution_owned(series, self.res)?,
+                truth: resample::to_resolution_owned(flexible_series, self.res)?,
                 fine: None,
-                reference: Some(flat.series_at(self.res)),
+                reference: Some(resample::to_resolution_owned(flat.series, self.res)?),
             });
         }
         let sim = simulate_household_with_catalog(cfg, self.horizon, self.catalog);
@@ -373,10 +436,19 @@ impl<'a> ConsumerStream<'a> {
             self.scenario.extractor,
             ExtractorChoice::Frequency | ExtractorChoice::Schedule
         );
+        // Clone the 1-min series only when an appliance-level extractor
+        // needs it; the market/truth conversions consume the simulated
+        // series, so a 1-min market resolution moves instead of cloning.
+        let fine = needs_fine.then(|| sim.series.clone());
+        let SimulatedHousehold {
+            series,
+            flexible_series,
+            ..
+        } = sim;
         Ok(ConsumerInput {
-            market: sim.series_at(self.res),
-            truth: sim.flexible_series_at(self.res),
-            fine: needs_fine.then(|| sim.series.clone()),
+            market: resample::to_resolution_owned(series, self.res)?,
+            truth: resample::to_resolution_owned(flexible_series, self.res)?,
+            fine,
             reference: None,
         })
     }
@@ -389,28 +461,11 @@ impl<'a> ConsumerStream<'a> {
         };
         let sim = simulate_industrial(&cfg, self.horizon);
         Ok(ConsumerInput {
-            market: resample::to_resolution(&sim.series, self.res)?,
-            truth: resample::to_resolution(&sim.flexible_series, self.res)?,
+            market: resample::to_resolution_owned(sim.series, self.res)?,
+            truth: resample::to_resolution_owned(sim.flexible_series, self.res)?,
             fine: None,
             reference: None,
         })
-    }
-}
-
-impl Iterator for ConsumerStream<'_> {
-    type Item = Result<ConsumerInput, ScenarioError>;
-
-    fn next(&mut self) -> Option<Self::Item> {
-        let i = self.next;
-        self.next += 1;
-        if i < self.households.len() {
-            let cfg = self.households[i].clone();
-            Some(self.household(&cfg))
-        } else if i - self.households.len() < self.sites {
-            Some(self.site(i - self.households.len()))
-        } else {
-            None
-        }
     }
 }
 

@@ -1,6 +1,6 @@
 //! Property tests for the scenario pipeline.
 //!
-//! Two invariants over randomly drawn (small) valid scenarios:
+//! Invariants over randomly drawn (small) valid scenarios:
 //!
 //! 1. **Energy conservation** — the extraction can never call more
 //!    energy flexible than the workload actually consumed, and the
@@ -8,6 +8,10 @@
 //! 2. **Reproducibility** — the same spec (same seed) always yields a
 //!    byte-identical serialized report, which is the property the
 //!    golden-file suite rests on.
+//! 3. **Merge determinism** — the sharded consumer fan-out delivers
+//!    per-consumer rows in strict index order no matter how the
+//!    scheduler interleaves worker completion, and a sharded scenario
+//!    run serializes identically to a serial one.
 
 use flextract_scenario::{AggregationPolicy, ExtractorChoice, Scenario, ScenarioRunner, Workload};
 use flextract_sim::HouseholdArchetype;
@@ -121,5 +125,48 @@ proptest! {
         let ja = serde_json::to_string(&a.report).unwrap();
         let jb = serde_json::to_string(&b.report).unwrap();
         prop_assert_eq!(ja.into_bytes(), jb.into_bytes());
+    }
+
+    #[test]
+    fn sharded_runs_serialize_identically_to_serial(s in arb_scenario(), threads in 2_usize..8) {
+        let serial = ScenarioRunner::default().run(&s).unwrap();
+        let sharded = ScenarioRunner::default()
+            .with_consumer_threads(threads)
+            .run(&s)
+            .unwrap();
+        let js = serde_json::to_string(&serial.report).unwrap();
+        let jp = serde_json::to_string(&sharded.report).unwrap();
+        prop_assert_eq!(js.into_bytes(), jp.into_bytes());
+        prop_assert_eq!(serial.offers, sharded.offers);
+    }
+
+    #[test]
+    fn shard_merge_never_reorders_rows(
+        n in 1_usize..120,
+        threads in 1_usize..9,
+        delays in proptest::collection::vec(0_u64..4, 120),
+    ) {
+        // The merge primitive itself: workers complete in a
+        // scheduler-scrambled order (forced by per-item busy delays),
+        // yet the consumer must observe row 0, 1, 2, … exactly once
+        // each, in order, with the row contents untouched.
+        let mut rows: Vec<(usize, u64)> = Vec::new();
+        flextract_scenario::shard::ordered_parallel_map(
+            n,
+            threads,
+            |i| {
+                std::thread::sleep(std::time::Duration::from_micros(delays[i] * 40));
+                Ok::<u64, ()>((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            },
+            |i, v| {
+                rows.push((i, v));
+                Ok(())
+            },
+        )
+        .unwrap();
+        let expect: Vec<(usize, u64)> = (0..n)
+            .map(|i| (i, (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+            .collect();
+        prop_assert_eq!(rows, expect);
     }
 }

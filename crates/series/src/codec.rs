@@ -66,13 +66,15 @@ pub fn decode(mut buf: impl Buf) -> Result<TimeSeries, SeriesError> {
     let mut values = Vec::with_capacity(len as usize);
     for _ in 0..len {
         let v = buf.get_f64_le();
-        if v.is_nan() {
+        if !v.is_finite() {
             return Err(SeriesError::Codec {
-                what: "NaN value in encoded series",
+                what: "non-finite value in encoded series",
             });
         }
         values.push(v);
     }
+    // Values are pre-checked finite above, so the only constructor
+    // failure left is grid misalignment.
     TimeSeries::new(start, resolution, values).map_err(|_| SeriesError::Codec {
         what: "unaligned start in encoded series",
     })
@@ -149,15 +151,17 @@ mod tests {
     }
 
     #[test]
-    fn rejects_nan_payload() {
-        let mut raw = encode(&sample()).to_vec();
-        raw[HEADER_LEN..HEADER_LEN + 8].copy_from_slice(&f64::NAN.to_le_bytes());
-        assert!(matches!(
-            decode(Bytes::from(raw)),
-            Err(SeriesError::Codec {
-                what: "NaN value in encoded series"
-            })
-        ));
+    fn rejects_non_finite_payload() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut raw = encode(&sample()).to_vec();
+            raw[HEADER_LEN..HEADER_LEN + 8].copy_from_slice(&bad.to_le_bytes());
+            assert!(matches!(
+                decode(Bytes::from(raw)),
+                Err(SeriesError::Codec {
+                    what: "non-finite value in encoded series"
+                })
+            ));
+        }
     }
 
     #[test]

@@ -76,9 +76,9 @@ pub fn decompose_values(xs: &[f64], period: usize) -> Result<Decomposition, Seri
         return Err(SeriesError::IncompatibleResolution);
     }
     if xs.len() < 2 * period {
-        return Err(SeriesError::LengthMismatch {
-            left: xs.len(),
-            right: 2 * period,
+        return Err(SeriesError::TooShort {
+            len: xs.len(),
+            required: 2 * period,
         });
     }
     let n = xs.len();
@@ -232,10 +232,13 @@ mod tests {
             decompose_values(&xs, 1),
             Err(SeriesError::IncompatibleResolution)
         ));
-        assert!(matches!(
+        assert_eq!(
             decompose_values(&xs, 24),
-            Err(SeriesError::LengthMismatch { .. })
-        ));
+            Err(SeriesError::TooShort {
+                len: 30,
+                required: 48
+            })
+        );
     }
 
     #[test]

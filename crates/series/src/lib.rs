@@ -82,6 +82,27 @@ pub enum SeriesError {
         /// Length of the right operand.
         right: usize,
     },
+    /// A resample needed the series length to be a whole multiple of
+    /// the fine-intervals-per-coarse-interval chunk, and it was not.
+    RaggedLength {
+        /// Actual (fine) series length.
+        len: usize,
+        /// Required multiple: fine intervals per coarse interval.
+        chunk: usize,
+    },
+    /// An operation needed more data than the series holds.
+    TooShort {
+        /// Actual series length.
+        len: usize,
+        /// Minimum required length.
+        required: usize,
+    },
+    /// A non-finite value (NaN or ±∞) was handed to a constructor at
+    /// the given index; [`TimeSeries`] guarantees all-finite values.
+    NonFinite {
+        /// Index of the first offending value.
+        index: usize,
+    },
     /// A timestamp or index fell outside the series span.
     OutOfRange,
     /// An operation that requires data was applied to an empty series.
@@ -107,6 +128,24 @@ impl std::fmt::Display for SeriesError {
             SeriesError::AlignmentMismatch => write!(f, "series grids are not aligned"),
             SeriesError::LengthMismatch { left, right } => {
                 write!(f, "length mismatch: {left} vs {right}")
+            }
+            SeriesError::RaggedLength { len, chunk } => {
+                write!(
+                    f,
+                    "series length {len} is not a whole multiple of {chunk} \
+                     fine intervals per coarse interval \
+                     (nearest whole length: {})",
+                    (len / chunk) * chunk
+                )
+            }
+            SeriesError::TooShort { len, required } => {
+                write!(
+                    f,
+                    "series too short: {len} intervals, need at least {required}"
+                )
+            }
+            SeriesError::NonFinite { index } => {
+                write!(f, "non-finite value (NaN or ±∞) at index {index}")
             }
             SeriesError::OutOfRange => write!(f, "timestamp or index outside series span"),
             SeriesError::Empty => write!(f, "operation requires a non-empty series"),
@@ -143,5 +182,22 @@ mod lib_tests {
         assert!(SeriesError::LengthMismatch { left: 3, right: 4 }
             .to_string()
             .contains('3'));
+        // The ragged-resample message states fine length and required
+        // multiple explicitly — it must not read like a two-series
+        // length comparison.
+        let ragged = SeriesError::RaggedLength { len: 5, chunk: 4 }.to_string();
+        assert!(ragged.contains("length 5"), "{ragged}");
+        assert!(ragged.contains("multiple of 4"), "{ragged}");
+        assert!(ragged.contains("nearest whole length: 4"), "{ragged}");
+        let short = SeriesError::TooShort {
+            len: 5,
+            required: 8,
+        }
+        .to_string();
+        assert!(short.contains("5 intervals"), "{short}");
+        assert!(short.contains("at least 8"), "{short}");
+        assert!(SeriesError::NonFinite { index: 7 }
+            .to_string()
+            .contains('7'));
     }
 }

@@ -28,9 +28,9 @@ pub fn downsample(series: &TimeSeries, coarse: Resolution) -> Result<TimeSeries,
         return Err(SeriesError::UnalignedStart);
     }
     if !series.len().is_multiple_of(k) {
-        return Err(SeriesError::LengthMismatch {
-            left: series.len(),
-            right: (series.len() / k) * k,
+        return Err(SeriesError::RaggedLength {
+            len: series.len(),
+            chunk: k,
         });
     }
     let values: Vec<f64> = series
@@ -68,6 +68,20 @@ pub fn to_resolution(series: &TimeSeries, target: Resolution) -> Result<TimeSeri
         Ordering::Greater => downsample(series, target),
         Ordering::Less => upsample(series, target),
     }
+}
+
+/// [`to_resolution`] taking the series by value: when the target equals
+/// the source resolution the series is returned as-is, so the identity
+/// path costs nothing instead of cloning the whole value vector (the
+/// dominant per-consumer allocation of 1-minute-resolution scenarios).
+pub fn to_resolution_owned(
+    series: TimeSeries,
+    target: Resolution,
+) -> Result<TimeSeries, SeriesError> {
+    if target == series.resolution() {
+        return Ok(series);
+    }
+    to_resolution(&series, target)
 }
 
 #[cfg(test)]
@@ -132,12 +146,14 @@ mod tests {
 
     #[test]
     fn downsample_requires_whole_chunks_and_alignment() {
-        // 5 intervals of 15 min do not fill 2 hours.
+        // 5 intervals of 15 min do not fill 2 hours; the error names the
+        // fine length and the required multiple rather than posing as a
+        // two-series length comparison.
         let ragged = TimeSeries::new(ts("2013-03-18"), Resolution::MIN_15, vec![1.0; 5]).unwrap();
-        assert!(matches!(
+        assert_eq!(
             downsample(&ragged, Resolution::HOUR_1),
-            Err(SeriesError::LengthMismatch { .. })
-        ));
+            Err(SeriesError::RaggedLength { len: 5, chunk: 4 })
+        );
         // Start at 00:15 is not on the hourly grid.
         let offset =
             TimeSeries::new(ts("2013-03-18 00:15"), Resolution::MIN_15, vec![1.0; 8]).unwrap();
@@ -160,5 +176,24 @@ mod tests {
         let s = TimeSeries::new(ts("2013-03-18"), Resolution::MIN_15, vec![1.5; 4]).unwrap();
         assert_eq!(downsample(&s, Resolution::MIN_15).unwrap(), s);
         assert_eq!(upsample(&s, Resolution::MIN_15).unwrap(), s);
+    }
+
+    #[test]
+    fn owned_conversion_matches_borrowed() {
+        let s = TimeSeries::new(ts("2013-03-18"), Resolution::MIN_15, vec![1.0; 8]).unwrap();
+        // Identity is a move, and must equal the original.
+        assert_eq!(
+            to_resolution_owned(s.clone(), Resolution::MIN_15).unwrap(),
+            s
+        );
+        // Non-identity delegates to the borrowed conversion.
+        assert_eq!(
+            to_resolution_owned(s.clone(), Resolution::HOUR_1).unwrap(),
+            to_resolution(&s, Resolution::HOUR_1).unwrap()
+        );
+        assert_eq!(
+            to_resolution_owned(s.clone(), Resolution::MIN_5).unwrap(),
+            to_resolution(&s, Resolution::MIN_5).unwrap()
+        );
     }
 }

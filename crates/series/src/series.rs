@@ -17,8 +17,10 @@ use serde::{Deserialize, Serialize};
 /// keeps its invariants privately:
 ///
 /// * `start` is aligned to the resolution grid;
-/// * all values are finite (gaps are represented by the [`missing`]
-///   module's sentinel handling before they enter a `TimeSeries`).
+/// * all values are finite — enforced by [`TimeSeries::new`], which
+///   rejects NaN/±∞ with [`SeriesError::NonFinite`]; gaps are
+///   represented by the [`missing`] module's sentinel handling *before*
+///   a raw vector becomes a `TimeSeries`.
 ///
 /// [`missing`]: crate::missing
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -32,7 +34,9 @@ impl TimeSeries {
     /// Construct a series from interval energies.
     ///
     /// Returns [`SeriesError::UnalignedStart`] if `start` is not on the
-    /// resolution grid.
+    /// resolution grid, and [`SeriesError::NonFinite`] if any value is
+    /// NaN or ±∞ — gaps must be filled (see [`crate::missing`]) before a
+    /// raw vector becomes a `TimeSeries`.
     pub fn new(
         start: Timestamp,
         resolution: Resolution,
@@ -40,6 +44,9 @@ impl TimeSeries {
     ) -> Result<Self, SeriesError> {
         if !start.is_aligned(resolution) {
             return Err(SeriesError::UnalignedStart);
+        }
+        if let Some(index) = values.iter().position(|v| !v.is_finite()) {
+            return Err(SeriesError::NonFinite { index });
         }
         Ok(TimeSeries {
             start,
@@ -55,6 +62,17 @@ impl TimeSeries {
     pub fn constant(start: Timestamp, resolution: Resolution, value: f64, len: usize) -> Self {
         Self::new(start, resolution, vec![value; len])
             .expect("constant() requires an aligned start")
+    }
+
+    /// An all-zero series on the same grid (start, resolution, length)
+    /// as `other` — the allocation-light way to start an accumulator or
+    /// an extraction output.
+    pub fn zeros_like(other: &TimeSeries) -> Self {
+        TimeSeries {
+            start: other.start,
+            resolution: other.resolution,
+            values: vec![0.0; other.values.len()],
+        }
     }
 
     /// An all-zero series covering `range` at `resolution`.
@@ -236,6 +254,17 @@ impl TimeSeries {
         Ok(())
     }
 
+    /// Pointwise sum with a grid-identical series, in place. Exactly
+    /// the float operations of [`TimeSeries::add`] without allocating a
+    /// fresh value vector — the accumulation primitive of hot loops.
+    pub fn add_assign(&mut self, other: &TimeSeries) -> Result<(), SeriesError> {
+        self.check_same_grid(other)?;
+        for (a, b) in self.values.iter_mut().zip(&other.values) {
+            *a += b;
+        }
+        Ok(())
+    }
+
     /// Pointwise sum with a grid-identical series.
     pub fn add(&self, other: &TimeSeries) -> Result<TimeSeries, SeriesError> {
         self.check_same_grid(other)?;
@@ -390,6 +419,51 @@ mod tests {
             Err(SeriesError::UnalignedStart)
         );
         assert!(TimeSeries::new(ts("2013-03-18 00:15"), Resolution::MIN_15, vec![1.0]).is_ok());
+    }
+
+    #[test]
+    fn construction_rejects_non_finite_values() {
+        // The documented invariant "all values are finite" is enforced,
+        // not assumed: NaN/∞ smuggled in by a hostile input surfaces as
+        // a typed error naming the offending index.
+        for (bad, index) in [
+            (vec![1.0, f64::NAN, 2.0], 1),
+            (vec![f64::INFINITY], 0),
+            (vec![0.0, 1.0, f64::NEG_INFINITY], 2),
+        ] {
+            assert_eq!(
+                TimeSeries::new(ts("2013-03-18"), Resolution::MIN_15, bad),
+                Err(SeriesError::NonFinite { index })
+            );
+        }
+        // Ordinary finite values (including negatives and zero) pass.
+        assert!(
+            TimeSeries::new(ts("2013-03-18"), Resolution::MIN_15, vec![-1.0, 0.0, 1e300]).is_ok()
+        );
+    }
+
+    #[test]
+    fn zeros_like_copies_the_grid() {
+        let s = day_series(vec![0.7; 96]);
+        let z = TimeSeries::zeros_like(&s);
+        assert!(z.same_grid(&s));
+        assert_eq!(z.total_energy(), 0.0);
+    }
+
+    #[test]
+    fn add_assign_matches_add() {
+        let a = day_series((0..96).map(|i| i as f64 * 0.013).collect());
+        let b = day_series((0..96).map(|i| (96 - i) as f64 * 0.007).collect());
+        let sum = a.add(&b).unwrap();
+        let mut acc = a.clone();
+        acc.add_assign(&b).unwrap();
+        assert_eq!(acc, sum);
+        // Same grid checks as `add`.
+        let short = day_series(vec![1.0; 95]);
+        assert!(matches!(
+            acc.add_assign(&short),
+            Err(SeriesError::LengthMismatch { .. })
+        ));
     }
 
     #[test]

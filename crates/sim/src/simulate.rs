@@ -88,12 +88,14 @@ pub fn simulate_household_with_catalog(
         }
     }
 
-    // --- Appliance cycles.
+    // --- Appliance cycles. One per-minute scratch buffer is reused for
+    // every cycle expansion, so placing a cycle allocates nothing.
+    let mut cycle_scratch: Vec<f64> = Vec::new();
     let specs = config.resolve_appliances(catalog);
     for spec in specs {
         match spec.usage.frequency {
             UsageFrequency::Continuous => {
-                simulate_continuous(&mut rng, spec, days, &mut series);
+                simulate_continuous(&mut rng, spec, days, &mut series, &mut cycle_scratch);
             }
             _ => simulate_cycles(
                 &mut rng,
@@ -103,6 +105,7 @@ pub fn simulate_household_with_catalog(
                 &mut series,
                 &mut flexible,
                 &mut log,
+                &mut cycle_scratch,
             ),
         }
     }
@@ -126,6 +129,38 @@ pub fn simulate_household_with_catalog(
     }
 }
 
+/// Add one expanded cycle (per-minute kWh `values` anchored at `start`)
+/// into `target`, skipping minutes outside the series span.
+///
+/// Returns the placed energy — the in-range values summed in minute
+/// order, exactly the number `cycle.slice(range).total_energy()` used
+/// to produce — and how many minutes landed in range. Replaces the old
+/// expand→slice→add_overlapping dance without allocating a temporary
+/// series per cycle.
+///
+/// Panics unless `target` is a 1-minute series: the minute offset is
+/// used directly as a value index, which is only sound on the MIN_1
+/// grid (a hard assert, not a debug one — on a coarser grid the
+/// arithmetic would silently misplace energy in release builds).
+fn add_cycle_values(target: &mut TimeSeries, start: Timestamp, values: &[f64]) -> (f64, usize) {
+    assert_eq!(
+        target.resolution(),
+        Resolution::MIN_1,
+        "add_cycle_values indexes by minute and needs a MIN_1 target"
+    );
+    let off = (start - target.start()).as_minutes();
+    let n = values.len() as i64;
+    let j0 = (-off).clamp(0, n) as usize;
+    let j1 = (target.len() as i64 - off).clamp(0, n) as usize;
+    let mut energy = 0.0;
+    let target_values = target.values_mut();
+    for (j, v) in values[j0..j1].iter().enumerate() {
+        target_values[(off + (j0 + j) as i64) as usize] += v;
+        energy += v;
+    }
+    (energy, j1 - j0)
+}
+
 /// Chain duty cycles of a continuous appliance (e.g. refrigerator
 /// compressor) across the whole span, with randomised idle gaps.
 fn simulate_continuous(
@@ -133,15 +168,14 @@ fn simulate_continuous(
     spec: &ApplianceSpec,
     days: TimeRange,
     series: &mut TimeSeries,
+    scratch: &mut Vec<f64>,
 ) {
     let cycle = spec.profile.duration();
     let mut cursor = days.start();
     while cursor < days.end() {
         let intensity = clamped_normal(rng, 0.5, 0.2, 0.0, 1.0);
-        let cycle_series = spec.profile.to_energy_series(cursor, intensity);
-        series
-            .add_overlapping(&cycle_series)
-            .expect("simulation grids share the 1-min resolution");
+        spec.profile.fill_energy_values(intensity, scratch);
+        add_cycle_values(series, cursor.floor_to(Resolution::MIN_1), scratch);
         // Idle gap between 0.5× and 1.5× of the cycle length.
         let gap =
             Duration::minutes((cycle.as_minutes() as f64 * rng.gen_range(0.5..1.5)).round() as i64);
@@ -159,6 +193,7 @@ fn simulate_cycles(
     series: &mut TimeSeries,
     flexible: &mut TimeSeries,
     log: &mut Vec<Activation>,
+    scratch: &mut Vec<f64>,
 ) {
     for day in days.split_days() {
         let weekend = day.start().day_of_week().is_weekend();
@@ -170,28 +205,24 @@ fn simulate_cycles(
             let (start, shifted_from) =
                 apply_tariff_response(rng, spec, natural_start, config.tariff_response.as_ref());
             let intensity = clamped_normal(rng, 0.5, 0.25, 0.0, 1.0);
-            let cycle_series = spec.profile.to_energy_series(start, intensity);
+            spec.profile.fill_energy_values(intensity, scratch);
             // Only the in-range part enters the household series; record
             // that amount so ground truth and series stay in balance.
-            let placed = cycle_series.slice(days);
-            if placed.is_empty() {
+            let anchored = start.floor_to(Resolution::MIN_1);
+            let (energy_kwh, placed_minutes) = add_cycle_values(series, anchored, scratch);
+            if placed_minutes == 0 {
                 continue;
             }
-            series
-                .add_overlapping(&placed)
-                .expect("simulation grids share the 1-min resolution");
             let shiftable = spec.shiftability.is_shiftable();
             if shiftable {
-                flexible
-                    .add_overlapping(&placed)
-                    .expect("simulation grids share the 1-min resolution");
+                add_cycle_values(flexible, anchored, scratch);
             }
             log.push(Activation {
                 appliance: spec.name.clone(),
                 start,
                 duration: spec.profile.duration(),
                 intensity,
-                energy_kwh: placed.total_energy(),
+                energy_kwh,
                 shiftable,
                 shifted_from,
             });

@@ -39,7 +39,8 @@ USAGE:
   flextract fig5
   flextract experiment e5|e6|e7|e8|e9|e10 [--households N] [--days D] [--seed S]
   flextract scenario list [--dir DIR]
-  flextract scenario run (--all | --name NAME) [--dir DIR] [--threads N] [--json]
+  flextract scenario run (--all | --name NAME) [--dir DIR] [--threads N]
+                       [--consumer-threads N] [--json]
   flextract help
 
 The scenario corpus lives in scenarios/ (one JSON spec per scenario);
@@ -280,6 +281,38 @@ fn cmd_experiment(which: &str, flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse a `--threads`-shaped flag, rejecting 0 with a clear message.
+fn thread_flag(flags: &Flags, name: &str, default: usize) -> Result<usize, String> {
+    let value: usize = flags.get_parsed(name, default)?;
+    if value == 0 {
+        return Err(format!("--{name} must be at least 1"));
+    }
+    Ok(value)
+}
+
+/// Clamp an over-sized thread count to what the workload can actually
+/// use. An explicitly passed flag is clamped loudly on stderr; a
+/// default is adjusted silently (defaults are a convenience, not a
+/// user statement about the corpus).
+fn clamp_with_warning(
+    value: usize,
+    available: usize,
+    explicit: bool,
+    flag: &str,
+    unit: &str,
+) -> usize {
+    let available = available.max(1);
+    if value > available {
+        if explicit {
+            eprintln!(
+                "warning: {flag} {value} exceeds the {available} {unit}; clamping to {available}"
+            );
+        }
+        return available;
+    }
+    value
+}
+
 fn cmd_scenario(action: &str, flags: &Flags) -> Result<(), String> {
     let dir = flags.get("dir").unwrap_or("scenarios");
     match action {
@@ -324,12 +357,34 @@ fn cmd_scenario(action: &str, flags: &Flags) -> Result<(), String> {
             if selected.is_empty() {
                 return Err(format!("no scenarios in {dir}/ — nothing to run"));
             }
-            let threads: usize = flags.get_parsed("threads", 4)?;
-            if threads == 0 {
-                return Err("--threads must be at least 1".into());
-            }
+            // Both thread counts are validated here, at the CLI layer,
+            // so a bad value gets a message instead of a silent clamp
+            // deep inside the runner: zero is an error, and anything
+            // beyond what the corpus/fleet can use is clamped loudly.
+            let threads = thread_flag(flags, "threads", 4)?;
+            let consumer_threads = thread_flag(flags, "consumer-threads", 1)?;
+            let threads = clamp_with_warning(
+                threads,
+                selected.len(),
+                flags.get("threads").is_some(),
+                "--threads",
+                "scenario(s)",
+            );
+            let largest_fleet = selected
+                .iter()
+                .map(|s| s.workload.consumers())
+                .max()
+                .unwrap_or(1);
+            let consumer_threads = clamp_with_warning(
+                consumer_threads,
+                largest_fleet,
+                flags.get("consumer-threads").is_some(),
+                "--consumer-threads",
+                "consumers in the largest workload",
+            );
             let json_mode = flags.get("json").is_some();
-            let runner = ScenarioRunner::with_threads(threads);
+            let runner =
+                ScenarioRunner::with_threads(threads).with_consumer_threads(consumer_threads);
             let results = runner.run_all(&selected);
             let mut failures = Vec::new();
             let mut reports = Vec::new();

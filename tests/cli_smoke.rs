@@ -214,6 +214,77 @@ fn scenario_list_and_run_round_trip() {
 }
 
 #[test]
+fn scenario_thread_flags_are_validated_at_the_cli_layer() {
+    // Zero is rejected with a clear message for BOTH thread flags —
+    // consistently at the CLI, not silently clamped inside the runner.
+    for flag in ["--threads", "--consumer-threads"] {
+        let out = flextract(&["scenario", "run", "--name", "fig5_peak_day", flag, "0"]);
+        assert!(!out.status.success(), "{flag} 0 must be rejected");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(&format!("{flag} must be at least 1")),
+            "stderr for {flag} 0: {stderr}"
+        );
+        assert!(!stderr.contains("panicked"), "no backtrace: {stderr}");
+    }
+
+    // Values beyond what the corpus/fleet can use still run, but the
+    // clamp is announced on stderr. fig5_peak_day has one consumer and
+    // is one scenario, so both flags overflow at 9.
+    let out = flextract(&[
+        "scenario",
+        "run",
+        "--name",
+        "fig5_peak_day",
+        "--threads",
+        "9",
+        "--consumer-threads",
+        "9",
+    ]);
+    assert!(
+        out.status.success(),
+        "oversized thread counts must clamp, not fail: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--threads 9 exceeds") && stderr.contains("clamping to 1"),
+        "stderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("--consumer-threads 9 exceeds"),
+        "stderr: {stderr}"
+    );
+
+    // Default thread counts must stay silent even for a one-scenario,
+    // one-consumer run (the clamp warning is for explicit flags only).
+    let out = flextract(&["scenario", "run", "--name", "fig5_peak_day"]);
+    assert!(out.status.success());
+    assert!(
+        !String::from_utf8_lossy(&out.stderr).contains("warning"),
+        "defaults must not warn"
+    );
+
+    // A real multi-consumer parallel run succeeds and reports the same
+    // summary as the serial one (thread-count invariance end to end).
+    let serial = flextract(&["scenario", "run", "--name", "mixed_district"]);
+    let parallel = flextract(&[
+        "scenario",
+        "run",
+        "--name",
+        "mixed_district",
+        "--consumer-threads",
+        "4",
+    ]);
+    assert!(serial.status.success() && parallel.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&serial.stdout).split(" [").next(),
+        String::from_utf8_lossy(&parallel.stdout).split(" [").next(),
+        "summaries must match modulo wall time"
+    );
+}
+
+#[test]
 fn scenario_invalid_specs_fail_with_a_message_not_a_backtrace() {
     let dir = scratch_dir("scenario_bad");
 

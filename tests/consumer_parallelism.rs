@@ -1,0 +1,73 @@
+//! Thread-count invariance of consumer-level parallelism.
+//!
+//! The PR-3 contract: a [`ScenarioRunner`] report is **byte-identical**
+//! at every `consumer_threads` value, because per-consumer extraction
+//! is seeded by consumer index and per-shard results merge in fixed
+//! index order. This suite pins that contract on real corpus scenarios
+//! spanning the three workload kinds (households, industrial, mixed) —
+//! cheap ones, so the matrix stays fast in debug CI runs.
+
+use flextract::scenario::{load_dir, Scenario, ScenarioRunner};
+use std::path::PathBuf;
+
+fn corpus() -> Vec<Scenario> {
+    load_dir(&PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("scenarios"))
+        .expect("committed corpus loads")
+}
+
+fn report_json(scenario: &Scenario, consumer_threads: usize) -> String {
+    let outcome = ScenarioRunner::default()
+        .with_consumer_threads(consumer_threads)
+        .run(scenario)
+        .unwrap_or_else(|e| panic!("{} @ {consumer_threads} threads: {e}", scenario.name));
+    serde_json::to_string_pretty(&outcome.report).expect("reports serialise")
+}
+
+#[test]
+fn reports_are_byte_identical_across_consumer_thread_counts() {
+    let corpus = corpus();
+    // One multi-consumer scenario per workload kind.
+    let picks = [
+        "tariff_fleet_peak",
+        "industrial_two_shift",
+        "mixed_district",
+    ];
+    for name in picks {
+        let scenario = corpus
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("{name} is part of the committed corpus"));
+        assert!(
+            scenario.workload.consumers() > 1,
+            "{name} must exercise the merge path"
+        );
+        let serial = report_json(scenario, 1);
+        for threads in [2, 7] {
+            let parallel = report_json(scenario, threads);
+            assert_eq!(
+                serial, parallel,
+                "{name}: report drifted between 1 and {threads} consumer threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn offer_streams_match_across_thread_counts() {
+    // Beyond the report: the raw offer list (ids, order, contents) must
+    // not depend on scheduling either.
+    let corpus = corpus();
+    let scenario = corpus
+        .iter()
+        .find(|s| s.name == "tariff_fleet_peak")
+        .expect("tariff_fleet_peak is part of the committed corpus");
+    let serial = ScenarioRunner::default()
+        .with_consumer_threads(1)
+        .run(scenario)
+        .expect("serial run");
+    let sharded = ScenarioRunner::default()
+        .with_consumer_threads(5)
+        .run(scenario)
+        .expect("sharded run");
+    assert_eq!(serial.offers, sharded.offers);
+}

@@ -7,6 +7,11 @@
 //! pipeline change; a mismatch prints a readable line diff. Stale or
 //! missing snapshots fail the suite too, so the corpus and the golden
 //! directory can never drift apart silently.
+//!
+//! `CONSUMER_THREADS=<n>` selects the intra-scenario worker count
+//! (default 2, so the sharded merge path is exercised on every run);
+//! reports are byte-identical at any value — CI regenerates the
+//! snapshots at 1 and 8 and diffs to prove it.
 
 use flextract::scenario::{load_dir, ScenarioRunner};
 use std::collections::BTreeSet;
@@ -53,7 +58,19 @@ fn corpus_reports_match_golden_snapshots() {
     );
     let golden_dir = repo_root().join("tests").join("golden");
     let update = std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1");
-    let results = ScenarioRunner::with_threads(8).run_all(&scenarios);
+    // A set-but-garbled value must fail, not silently fall back: the
+    // CI thread-count stability gate depends on the 1- and 8-thread
+    // legs actually running at those counts.
+    let consumer_threads = match std::env::var("CONSUMER_THREADS") {
+        Err(_) => 2,
+        Ok(v) => v
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("CONSUMER_THREADS must be a positive integer, got `{v}`")),
+    };
+    let results = ScenarioRunner::with_threads(8)
+        .with_consumer_threads(consumer_threads)
+        .run_all(&scenarios);
 
     let mut failures: Vec<String> = Vec::new();
     let mut expected_files: BTreeSet<String> = BTreeSet::new();
