@@ -9,7 +9,12 @@
 //! with `cargo bench -p flextract-bench --bench bench_pipeline`; commit
 //! the regenerated JSON when the numbers move for a reason.
 
-use flextract_scenario::{AggregationPolicy, ExtractorChoice, Scenario, ScenarioRunner, Workload};
+use flextract_dataset::Degradation;
+use flextract_scenario::{
+    export_dataset, AggregationPolicy, DatasetCleaning, ExportOptions, ExtractorChoice, Scenario,
+    ScenarioRunner, Workload,
+};
+use flextract_series::FillStrategy;
 use flextract_sim::HouseholdArchetype;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -86,9 +91,49 @@ fn git_rev(root: &Path) -> String {
         .unwrap_or_else(|| "unknown".into())
 }
 
+/// Export a degraded 48-household dataset to a scratch directory and
+/// return the dataset-backed scenario that ingests it — the measured
+/// leg of the `ingest_clean_extract` bench. The export itself is
+/// deliberately untimed (it is a one-off, not part of the serving hot
+/// path).
+fn ingest_scenario(dir: &Path) -> Scenario {
+    let source = fleet_scenario("bench_ingest_source", 48);
+    export_dataset(
+        &source,
+        dir,
+        &ExportOptions {
+            degradation: Degradation {
+                resolution_min: Some(15),
+                noise_std: 0.02,
+                gap_rate: 0.01,
+                ..Degradation::default()
+            },
+            ..ExportOptions::default()
+        },
+    )
+    .expect("benchmark dataset exports");
+    Scenario {
+        name: "bench_ingest_48hh_1d".into(),
+        workload: Workload::Dataset {
+            path: dir.display().to_string(),
+            consumers: 48,
+            cleaning: DatasetCleaning {
+                fill: FillStrategy::Linear,
+                screen_anomalies: true,
+            },
+            disaggregate: false,
+        },
+        ..fleet_scenario("bench_ingest_48hh_1d", 48)
+    }
+}
+
 fn main() {
     let mid = fleet_scenario("bench_mid_fleet", 48);
     let stress = fleet_scenario("bench_stress_10k", 10_000);
+    let ds_dir =
+        std::env::temp_dir().join(format!("flextract_bench_dataset_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ds_dir);
+    let ingest = ingest_scenario(&ds_dir);
 
     let mut records: Vec<Record> = Vec::new();
     for consumer_threads in [1_usize, 8] {
@@ -96,6 +141,15 @@ fn main() {
         let mean = measure(&runner, &mid, 1, 5);
         records.push(Record {
             name: "pipeline/mid_fleet_48hh_1d",
+            consumer_threads,
+            iters: 5,
+            mean_us: mean,
+        });
+        // The measured-data leg: ingest (load + gap-fill + anomaly
+        // screen) → extract → evaluate, fidelity leg included.
+        let mean = measure(&runner, &ingest, 1, 5);
+        records.push(Record {
+            name: "pipeline/ingest_clean_extract_48hh_1d",
             consumer_threads,
             iters: 5,
             mean_us: mean,
@@ -110,6 +164,7 @@ fn main() {
             mean_us: mean,
         });
     }
+    std::fs::remove_dir_all(&ds_dir).ok();
 
     let root = workspace_root();
     let host_cpus = std::thread::available_parallelism().map_or(0, |n| n.get());

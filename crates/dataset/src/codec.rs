@@ -1,0 +1,472 @@
+//! Loss-free codecs for measured series: chunked `FXM1` binary and
+//! `interval_start,kwh` CSV.
+//!
+//! Both formats carry gaps explicitly (a canonical `NaN` payload in the
+//! binary format, an empty `kwh` field in CSV) and round-trip exactly:
+//! the binary format stores raw IEEE-754 bits, and the CSV writer uses
+//! Rust's shortest round-trip float rendering, so
+//! `decode(encode(m)) == m` byte for byte in both directions.
+//!
+//! ## `FXM1` layout (all little-endian)
+//!
+//! | offset | size | field |
+//! |--------|------|-------|
+//! | 0      | 4    | magic `b"FXM1"` |
+//! | 4      | 8    | start (i64 minutes since flextract epoch) |
+//! | 12     | 4    | resolution (u32 minutes) |
+//! | 16     | 8    | total length (u64 interval count) |
+//! | 24     | 4    | chunk length (u32 intervals per chunk) |
+//! | 28     | …    | chunk frames |
+//!
+//! Each chunk frame is `[u32 count][count × f64]`, with `count` equal
+//! to the chunk length except for the final chunk. Chunk framing lets
+//! a reader process one chunk at a time ([`for_each_chunk`]) without
+//! materialising the whole value vector — available for streaming
+//! consumers, though the bundled tooling currently decodes whole
+//! series (`inspect` summarises from the manifest alone).
+
+use crate::{DatasetError, MeasuredSeries};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use flextract_series::SeriesError;
+use flextract_time::{Resolution, Timestamp};
+
+/// Format magic: "FXM" (flextract measured) + version 1.
+pub const MAGIC: [u8; 4] = *b"FXM1";
+
+/// Size in bytes of the fixed header.
+pub const HEADER_LEN: usize = 28;
+
+/// Default intervals per chunk: one 15-min day. Chosen so a chunk is a
+/// few KiB — small enough to stream, large enough that framing
+/// overhead (4 bytes per chunk) is noise.
+pub const DEFAULT_CHUNK_LEN: usize = 96;
+
+/// The canonical gap payload: every `NaN` is normalised to this bit
+/// pattern on encode, so encoding is a pure function of the series
+/// (two equal series always encode to identical bytes).
+const GAP_BITS: u64 = 0x7FF8_0000_0000_0000;
+
+/// Encode a measured series into a freshly allocated buffer using
+/// [`DEFAULT_CHUNK_LEN`]-interval chunks.
+pub fn encode(series: &MeasuredSeries) -> Bytes {
+    encode_chunked(series, DEFAULT_CHUNK_LEN)
+}
+
+/// Encode with an explicit chunk length (≥ 1; clamped from 0).
+pub fn encode_chunked(series: &MeasuredSeries, chunk_len: usize) -> Bytes {
+    let chunk_len = chunk_len.max(1);
+    let n = series.len();
+    let chunks = n.div_ceil(chunk_len);
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + 4 * chunks + 8 * n);
+    buf.put_slice(&MAGIC);
+    buf.put_i64_le(series.start().as_minutes());
+    buf.put_u32_le(series.resolution().minutes() as u32);
+    buf.put_u64_le(n as u64);
+    buf.put_u32_le(chunk_len as u32);
+    for chunk in series.values().chunks(chunk_len) {
+        buf.put_u32_le(chunk.len() as u32);
+        for &v in chunk {
+            buf.put_u64_le(if v.is_nan() { GAP_BITS } else { v.to_bits() });
+        }
+    }
+    buf.freeze()
+}
+
+/// Parsed `FXM1` header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// First instant covered by the series.
+    pub start: Timestamp,
+    /// Interval width.
+    pub resolution: Resolution,
+    /// Total interval count across all chunks.
+    pub len: usize,
+    /// Intervals per chunk (the final chunk may be shorter).
+    pub chunk_len: usize,
+}
+
+fn codec_err(file: &str, what: &'static str) -> DatasetError {
+    DatasetError::Codec {
+        file: file.to_string(),
+        what: what.to_string(),
+    }
+}
+
+/// Decode just the header of an `FXM1` buffer. `file` names the source
+/// in errors.
+pub fn decode_header(buf: &mut impl Buf, file: &str) -> Result<Header, DatasetError> {
+    if buf.remaining() < HEADER_LEN {
+        return Err(codec_err(file, "buffer shorter than header"));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if magic != MAGIC {
+        return Err(codec_err(file, "bad magic (expected FXM1)"));
+    }
+    let start = Timestamp::from_minutes(buf.get_i64_le());
+    let resolution = Resolution::from_minutes(buf.get_u32_le() as i64)
+        .map_err(|_| codec_err(file, "invalid resolution"))?;
+    if !start.is_aligned(resolution) {
+        return Err(codec_err(file, "unaligned start"));
+    }
+    let len = buf.get_u64_le();
+    if len > (usize::MAX / 8) as u64 {
+        return Err(codec_err(file, "length overflow"));
+    }
+    let chunk_len = buf.get_u32_le() as usize;
+    if chunk_len == 0 {
+        return Err(codec_err(file, "zero chunk length"));
+    }
+    Ok(Header {
+        start,
+        resolution,
+        len: len as usize,
+        chunk_len,
+    })
+}
+
+/// Stream the chunks of an `FXM1` buffer through `visit` without ever
+/// holding more than one chunk of decoded values. Returns the header.
+///
+/// `visit` receives the index of the first interval in the chunk and
+/// the chunk's values (gaps as `NaN`).
+pub fn for_each_chunk(
+    mut buf: impl Buf,
+    file: &str,
+    mut visit: impl FnMut(usize, &[f64]),
+) -> Result<Header, DatasetError> {
+    let header = decode_header(&mut buf, file)?;
+    // The header's chunk_len is attacker-controlled; cap the upfront
+    // allocation by what the remaining buffer could actually hold so a
+    // corrupt file yields a codec error, not a huge allocation.
+    let cap = header.chunk_len.min(header.len).min(buf.remaining() / 8);
+    let mut chunk = Vec::with_capacity(cap);
+    let mut offset = 0usize;
+    while offset < header.len {
+        let expected = header.chunk_len.min(header.len - offset);
+        if buf.remaining() < 4 {
+            return Err(codec_err(file, "truncated chunk frame"));
+        }
+        let count = buf.get_u32_le() as usize;
+        if count != expected {
+            return Err(codec_err(file, "chunk count disagrees with header"));
+        }
+        if buf.remaining() < count * 8 {
+            return Err(codec_err(file, "truncated chunk payload"));
+        }
+        chunk.clear();
+        for _ in 0..count {
+            let v = f64::from_bits(buf.get_u64_le());
+            if v.is_infinite() {
+                return Err(codec_err(file, "infinite value in chunk payload"));
+            }
+            chunk.push(v);
+        }
+        visit(offset, &chunk);
+        offset += count;
+    }
+    if buf.remaining() > 0 {
+        return Err(codec_err(file, "trailing bytes after final chunk"));
+    }
+    Ok(header)
+}
+
+/// Decode a full measured series from an `FXM1` buffer. `file` names
+/// the source in errors.
+pub fn decode(buf: impl Buf, file: &str) -> Result<MeasuredSeries, DatasetError> {
+    let mut values = Vec::new();
+    let header = for_each_chunk(buf, file, |_, chunk| values.extend_from_slice(chunk))?;
+    MeasuredSeries::new(header.start, header.resolution, values).map_err(|e| match e {
+        SeriesError::UnalignedStart => codec_err(file, "unaligned start"),
+        other => DatasetError::Series(other),
+    })
+}
+
+/// Render a measured series as `interval_start,kwh` CSV; a gap is an
+/// empty `kwh` field. Values use Rust's shortest round-trip float
+/// rendering, so parsing the output reproduces the series exactly.
+pub fn to_csv(series: &MeasuredSeries) -> String {
+    let mut out = String::with_capacity(series.len() * 28 + 20);
+    out.push_str("interval_start,kwh\n");
+    for (i, &v) in series.values().iter().enumerate() {
+        let t = series.timestamp_of(i);
+        if v.is_nan() {
+            out.push_str(&format!("{t},\n"));
+        } else {
+            out.push_str(&format!("{t},{v}\n"));
+        }
+    }
+    out
+}
+
+/// Parse `interval_start,kwh` CSV into a measured series.
+///
+/// Every row's timestamp must land exactly on the grid implied by the
+/// first two rows (same spacing, no missing rows — a missing *value* is
+/// an empty `kwh` field, not an absent line). Errors name `file`, the
+/// 1-based row, and the offending column.
+pub fn from_csv(text: &str, file: &str) -> Result<MeasuredSeries, DatasetError> {
+    let mut rows: Vec<(usize, Timestamp, f64)> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let row = lineno + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with("interval_start") {
+            continue;
+        }
+        let Some((ts_part, kwh_part)) = line.rsplit_once(',') else {
+            return Err(DatasetError::Csv {
+                file: file.to_string(),
+                row,
+                column: "interval_start",
+                what: "expected `timestamp,kwh`".to_string(),
+            });
+        };
+        let t: Timestamp = ts_part.trim().parse().map_err(|e| DatasetError::Csv {
+            file: file.to_string(),
+            row,
+            column: "interval_start",
+            what: format!("bad timestamp `{}`: {e}", ts_part.trim()),
+        })?;
+        let kwh_part = kwh_part.trim();
+        let v: f64 = if kwh_part.is_empty() {
+            f64::NAN
+        } else {
+            let parsed: f64 = kwh_part.parse().map_err(|_| DatasetError::Csv {
+                file: file.to_string(),
+                row,
+                column: "kwh",
+                what: format!("not a number: `{kwh_part}`"),
+            })?;
+            if parsed.is_infinite() || parsed.is_nan() {
+                return Err(DatasetError::Csv {
+                    file: file.to_string(),
+                    row,
+                    column: "kwh",
+                    what: format!("non-finite value `{kwh_part}` (use an empty field for a gap)"),
+                });
+            }
+            parsed
+        };
+        rows.push((row, t, v));
+    }
+    if rows.len() < 2 {
+        return Err(DatasetError::Invalid {
+            file: file.to_string(),
+            what: "CSV needs at least two data rows".to_string(),
+        });
+    }
+    let step = (rows[1].1 - rows[0].1).as_minutes();
+    let resolution = Resolution::from_minutes(step).map_err(|_| DatasetError::Csv {
+        file: file.to_string(),
+        row: rows[1].0,
+        column: "interval_start",
+        what: format!("rows are {step} min apart, which does not divide a day"),
+    })?;
+    let start = rows[0].1;
+    for (i, &(row, t, _)) in rows.iter().enumerate() {
+        let expected = start + resolution.interval() * i as i64;
+        if t != expected {
+            return Err(DatasetError::Csv {
+                file: file.to_string(),
+                row,
+                column: "interval_start",
+                what: format!("timestamp {t} is off-grid (expected {expected})"),
+            });
+        }
+    }
+    MeasuredSeries::new(
+        start,
+        resolution,
+        rows.into_iter().map(|(_, _, v)| v).collect(),
+    )
+    .map_err(|e| match e {
+        SeriesError::UnalignedStart => DatasetError::Csv {
+            file: file.to_string(),
+            row: 2,
+            column: "interval_start",
+            what: "series start is not aligned to the resolution grid".to_string(),
+        },
+        other => DatasetError::Series(other),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: &str) -> Timestamp {
+        s.parse().unwrap()
+    }
+
+    fn sample() -> MeasuredSeries {
+        MeasuredSeries::new(
+            ts("2013-03-18"),
+            Resolution::MIN_15,
+            vec![0.25, f64::NAN, 0.75, 1.0, f64::NAN],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_gaps() {
+        let m = sample();
+        let bytes = encode(&m);
+        let back = decode(bytes, "test.fxm").unwrap();
+        assert_eq!(back.start(), m.start());
+        assert_eq!(back.resolution(), m.resolution());
+        assert_eq!(back.gap_count(), 2);
+        for (a, b) in back.values().iter().zip(m.values()) {
+            assert!(a.is_nan() == b.is_nan());
+            if !a.is_nan() {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic_across_nan_payloads() {
+        // A NaN produced by arithmetic may carry a different bit
+        // pattern than f64::NAN; encoding canonicalises them.
+        let quiet = f64::NAN;
+        let arithmetic = f64::from_bits(0x7FF8_0000_0000_0001);
+        assert!(arithmetic.is_nan());
+        let a =
+            MeasuredSeries::new(ts("2013-03-18"), Resolution::MIN_15, vec![1.0, quiet]).unwrap();
+        let b = MeasuredSeries::new(ts("2013-03-18"), Resolution::MIN_15, vec![1.0, arithmetic])
+            .unwrap();
+        assert_eq!(encode(&a), encode(&b));
+    }
+
+    #[test]
+    fn chunk_framing_is_respected() {
+        let values: Vec<f64> = (0..250).map(|i| i as f64 * 0.01).collect();
+        let m = MeasuredSeries::new(ts("2013-03-18"), Resolution::MIN_1, values).unwrap();
+        let bytes = encode_chunked(&m, 96);
+        let mut offsets = Vec::new();
+        let header = for_each_chunk(bytes.clone(), "t.fxm", |off, chunk| {
+            offsets.push((off, chunk.len()));
+        })
+        .unwrap();
+        assert_eq!(header.len, 250);
+        assert_eq!(header.chunk_len, 96);
+        assert_eq!(offsets, vec![(0, 96), (96, 96), (192, 58)]);
+        let back = decode(bytes, "t.fxm").unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn rejects_malformed_buffers() {
+        let raw = encode(&sample());
+        assert!(matches!(
+            decode(raw.slice(..10), "t.fxm"),
+            Err(DatasetError::Codec { .. })
+        ));
+        let mut bad_magic = raw.to_vec();
+        bad_magic[0] = b'X';
+        let err = decode(Bytes::from(bad_magic), "t.fxm").unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+        // Truncated payload.
+        assert!(matches!(
+            decode(raw.slice(..raw.len() - 4), "t.fxm"),
+            Err(DatasetError::Codec { .. })
+        ));
+        // Trailing junk.
+        let mut long = raw.to_vec();
+        long.push(0);
+        let err = decode(Bytes::from(long), "t.fxm").unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+        // Infinity in the payload.
+        let mut inf = raw.to_vec();
+        let val_at = HEADER_LEN + 4; // first chunk frame count, then first value
+        inf[val_at..val_at + 8].copy_from_slice(&f64::INFINITY.to_bits().to_le_bytes());
+        let err = decode(Bytes::from(inf), "t.fxm").unwrap_err();
+        assert!(err.to_string().contains("infinite"), "{err}");
+    }
+
+    #[test]
+    fn huge_declared_lengths_fail_without_allocating() {
+        // A header claiming u32::MAX-interval chunks with no payload
+        // must produce a codec error, not a multi-GiB allocation.
+        let mut buf = BytesMut::new();
+        buf.put_slice(&MAGIC);
+        buf.put_i64_le(0); // aligned start
+        buf.put_u32_le(15);
+        buf.put_u64_le(u64::from(u32::MAX));
+        buf.put_u32_le(u32::MAX);
+        let err = decode(buf.freeze(), "t.fxm").unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn csv_round_trip_is_exact() {
+        let m = MeasuredSeries::new(
+            ts("2013-03-18"),
+            Resolution::MIN_15,
+            vec![0.1 + 0.2, f64::NAN, 1.0 / 3.0, 9.079835455161108],
+        )
+        .unwrap();
+        let csv = to_csv(&m);
+        let back = from_csv(&csv, "t.csv").unwrap();
+        assert_eq!(back.start(), m.start());
+        for (a, b) in back.values().iter().zip(m.values()) {
+            assert!(a.is_nan() == b.is_nan());
+            if !a.is_nan() {
+                assert_eq!(a.to_bits(), b.to_bits(), "shortest-float must round-trip");
+            }
+        }
+        // And the re-render is byte-identical.
+        assert_eq!(to_csv(&back), csv);
+    }
+
+    #[test]
+    fn csv_errors_name_file_row_and_column() {
+        let bad_value = "interval_start,kwh\n2013-03-18 00:00,1.0\n2013-03-18 00:15,abc\n";
+        let err = from_csv(bad_value, "bad.csv").unwrap_err();
+        assert_eq!(
+            err,
+            DatasetError::Csv {
+                file: "bad.csv".into(),
+                row: 3,
+                column: "kwh",
+                what: "not a number: `abc`".into(),
+            }
+        );
+
+        let bad_ts = "interval_start,kwh\nnot-a-time,1.0\n2013-03-18 00:15,1.0\n";
+        let err = from_csv(bad_ts, "bad.csv").unwrap_err();
+        assert!(matches!(
+            err,
+            DatasetError::Csv {
+                row: 2,
+                column: "interval_start",
+                ..
+            }
+        ));
+
+        // Off-grid timestamp (a skipped row) is named precisely.
+        let skipped =
+            "interval_start,kwh\n2013-03-18 00:00,1.0\n2013-03-18 00:15,1.0\n2013-03-18 01:00,1.0\n";
+        let err = from_csv(skipped, "bad.csv").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("row 4"), "{msg}");
+        assert!(msg.contains("off-grid"), "{msg}");
+
+        // Explicit NaN text is rejected — gaps are empty fields.
+        let nan_text = "interval_start,kwh\n2013-03-18 00:00,NaN\n2013-03-18 00:15,1.0\n";
+        let err = from_csv(nan_text, "bad.csv").unwrap_err();
+        assert!(err.to_string().contains("empty field"), "{err}");
+
+        // Too few rows.
+        let err = from_csv("interval_start,kwh\n2013-03-18 00:00,1.0\n", "bad.csv").unwrap_err();
+        assert!(matches!(err, DatasetError::Invalid { .. }));
+    }
+
+    #[test]
+    fn gap_only_fields_parse_as_gaps() {
+        let csv = "interval_start,kwh\n2013-03-18 00:00,\n2013-03-18 00:15,0.5\n";
+        let m = from_csv(csv, "t.csv").unwrap();
+        assert_eq!(m.gap_count(), 1);
+        assert!(m.values()[0].is_nan());
+        assert_eq!(m.values()[1], 0.5);
+    }
+}

@@ -1,0 +1,845 @@
+//! The on-disk dataset: a manifest plus one series file per consumer.
+//!
+//! A dataset is a directory:
+//!
+//! ```text
+//! <dir>/
+//!   manifest.json          — fleet metadata + consumer directory
+//!   consumer_<id>.csv|.fxm — measured series, one file per consumer
+//!   truth_<id>.csv|.fxm    — (exported datasets) undegraded total
+//!   flex_<id>.csv|.fxm     — (exported datasets) true flexible series
+//! ```
+//!
+//! The layout is columnar in the only sense that matters at this scale:
+//! each consumer's series is its own contiguous column file, so loading
+//! consumer `i` touches `O(intervals)` bytes regardless of fleet size,
+//! and the scenario runner's sharded workers can pull consumers by
+//! index concurrently through a shared [`Dataset`] handle (`&self`
+//! loads — no interior mutability, no cache). Ground-truth files ride
+//! along only when the dataset was exported from the simulator; real
+//! metered feeds simply do not have them.
+
+use crate::codec;
+use crate::degrade::Degradation;
+use crate::{DatasetError, MeasuredSeries};
+use flextract_time::{Resolution, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Current manifest format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// The manifest file name inside a dataset directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// How the series files of a dataset are encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SeriesCodec {
+    /// `interval_start,kwh` text rows; an empty `kwh` field is a gap.
+    Csv,
+    /// The chunked `FXM1` binary format.
+    Binary,
+}
+
+impl SeriesCodec {
+    /// The file extension used by this codec.
+    pub fn extension(self) -> &'static str {
+        match self {
+            SeriesCodec::Csv => "csv",
+            SeriesCodec::Binary => "fxm",
+        }
+    }
+}
+
+/// What kind of consumer a series belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConsumerKind {
+    /// A residential household.
+    Household,
+    /// An industrial site.
+    Industrial,
+}
+
+/// One consumer's entry in the manifest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConsumerEntry {
+    /// Stable identifier (also the file stem suffix).
+    pub id: String,
+    /// Household or industrial site.
+    pub kind: ConsumerKind,
+    /// Measured-series file name, relative to the dataset directory.
+    pub measured: String,
+    /// Undegraded ground-truth total series file (exported datasets).
+    pub truth_total: Option<String>,
+    /// Ground-truth flexible series file (exported datasets).
+    pub truth_flex: Option<String>,
+    /// Missing intervals in the measured series (denormalised from the
+    /// file so `inspect` can summarise without decoding everything).
+    pub gap_count: usize,
+}
+
+/// Dataset-level metadata plus the consumer directory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Manifest format version (currently [`FORMAT_VERSION`]).
+    pub format: u32,
+    /// Dataset name.
+    pub name: String,
+    /// One-line human description.
+    pub description: String,
+    /// First instant covered by every measured series, `YYYY-MM-DD
+    /// [HH:MM]`.
+    pub start: String,
+    /// Resolution of every measured series, in minutes.
+    pub resolution_min: i64,
+    /// Interval count of every measured series.
+    pub intervals: usize,
+    /// How the series files are encoded.
+    pub codec: SeriesCodec,
+    /// Name of the scenario this dataset was exported from, if any.
+    pub source_scenario: Option<String>,
+    /// The degradation applied at export time, if any.
+    pub degradation: Option<Degradation>,
+    /// The export seed (degradation RNG base), if exported.
+    pub seed: Option<u64>,
+    /// The consumers, in index order.
+    pub consumers: Vec<ConsumerEntry>,
+}
+
+impl Manifest {
+    /// The declared start timestamp, parsed.
+    pub fn start_timestamp(&self) -> Result<Timestamp, DatasetError> {
+        self.start.parse().map_err(|e| DatasetError::Manifest {
+            path: MANIFEST_FILE.to_string(),
+            what: format!("start `{}`: {e}", self.start),
+        })
+    }
+
+    /// The declared resolution, parsed.
+    pub fn resolution(&self) -> Result<Resolution, DatasetError> {
+        Resolution::from_minutes(self.resolution_min).map_err(|e| DatasetError::Manifest {
+            path: MANIFEST_FILE.to_string(),
+            what: format!("resolution_min {}: {e}", self.resolution_min),
+        })
+    }
+}
+
+/// One consumer loaded from a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetRecord {
+    /// The manifest entry this record was loaded from.
+    pub entry: ConsumerEntry,
+    /// The measured series (gaps as `NaN`).
+    pub measured: MeasuredSeries,
+    /// Undegraded ground-truth total, when the dataset carries it.
+    pub truth_total: Option<flextract_series::TimeSeries>,
+    /// Ground-truth flexible series, when the dataset carries it.
+    pub truth_flex: Option<flextract_series::TimeSeries>,
+}
+
+/// A dataset opened for reading. Loading is per consumer and takes
+/// `&self`, so one handle can be shared across shard workers.
+#[derive(Debug)]
+pub struct Dataset {
+    dir: PathBuf,
+    manifest: Manifest,
+}
+
+fn read_file(path: &Path) -> Result<Vec<u8>, DatasetError> {
+    std::fs::read(path).map_err(|e| DatasetError::Io {
+        path: path.display().to_string(),
+        what: e.to_string(),
+    })
+}
+
+impl Dataset {
+    /// Open `dir`, parse and validate its manifest.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Dataset, DatasetError> {
+        let dir = dir.as_ref().to_path_buf();
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let raw = read_file(&manifest_path)?;
+        let text = String::from_utf8(raw).map_err(|_| DatasetError::Manifest {
+            path: manifest_path.display().to_string(),
+            what: "not valid UTF-8".to_string(),
+        })?;
+        let manifest: Manifest =
+            serde_json::from_str(&text).map_err(|e| DatasetError::Manifest {
+                path: manifest_path.display().to_string(),
+                what: e.to_string(),
+            })?;
+        let invalid = |what: String| DatasetError::Manifest {
+            path: manifest_path.display().to_string(),
+            what,
+        };
+        if manifest.format != FORMAT_VERSION {
+            return Err(invalid(format!(
+                "unsupported format version {} (this build reads {FORMAT_VERSION})",
+                manifest.format
+            )));
+        }
+        if manifest.consumers.is_empty() {
+            return Err(invalid("dataset has no consumers".to_string()));
+        }
+        let start = manifest.start_timestamp()?;
+        let res = manifest.resolution()?;
+        if !start.is_aligned(res) {
+            return Err(invalid(format!(
+                "start {} is not aligned to the {}-min grid",
+                manifest.start, manifest.resolution_min
+            )));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for entry in &manifest.consumers {
+            if !seen.insert(entry.id.clone()) {
+                return Err(invalid(format!("duplicate consumer id `{}`", entry.id)));
+            }
+            for file in [Some(&entry.measured), entry.truth_total.as_ref()]
+                .into_iter()
+                .flatten()
+                .chain(entry.truth_flex.as_ref())
+            {
+                if !dir.join(file).is_file() {
+                    return Err(invalid(format!(
+                        "consumer `{}` names missing file {file}",
+                        entry.id
+                    )));
+                }
+            }
+        }
+        Ok(Dataset { dir, manifest })
+    }
+
+    /// The parsed manifest.
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// The dataset directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of consumers.
+    pub fn len(&self) -> usize {
+        self.manifest.consumers.len()
+    }
+
+    /// `true` if the dataset has no consumers (never true for an opened
+    /// dataset — `open` rejects empty manifests).
+    pub fn is_empty(&self) -> bool {
+        self.manifest.consumers.is_empty()
+    }
+
+    fn load_measured_file(&self, file: &str) -> Result<MeasuredSeries, DatasetError> {
+        let path = self.dir.join(file);
+        let raw = read_file(&path)?;
+        let display = path.display().to_string();
+        if raw.starts_with(&codec::MAGIC) {
+            codec::decode(raw.as_slice(), &display)
+        } else {
+            let text = String::from_utf8(raw).map_err(|_| DatasetError::Invalid {
+                file: display.clone(),
+                what: "not valid UTF-8 (and not FXM1 binary)".to_string(),
+            })?;
+            codec::from_csv(&text, &display)
+        }
+    }
+
+    /// Load a ground-truth file and validate it against the manifest:
+    /// gap-free, same start, and covering the same horizon as the
+    /// measured grid (truth may be finer — it is the undegraded series
+    /// at its native resolution — but a short or shifted truth file
+    /// would silently corrupt the fidelity numbers).
+    fn load_truth_file(
+        &self,
+        file: &str,
+        start: Timestamp,
+    ) -> Result<flextract_series::TimeSeries, DatasetError> {
+        let measured = self.load_measured_file(file)?;
+        let gaps = measured.gap_count();
+        let display = || self.dir.join(file).display().to_string();
+        if measured.start() != start {
+            return Err(DatasetError::Invalid {
+                file: display(),
+                what: format!(
+                    "ground-truth series starts at {} but the manifest declares {}",
+                    measured.start(),
+                    self.manifest.start
+                ),
+            });
+        }
+        let covered = measured.len() as i64 * measured.resolution().minutes();
+        let declared = self.manifest.intervals as i64 * self.manifest.resolution_min;
+        if covered != declared {
+            return Err(DatasetError::Invalid {
+                file: display(),
+                what: format!(
+                    "ground-truth series covers {covered} min but the manifest grid \
+                     covers {declared} min"
+                ),
+            });
+        }
+        measured.into_series().map_err(|_| DatasetError::Invalid {
+            file: display(),
+            what: format!("ground-truth series has {gaps} gap(s); truth files must be gap-free"),
+        })
+    }
+
+    /// Load consumer `idx` (measured series plus any ground truth),
+    /// validating it against the manifest's declared grid.
+    pub fn consumer(&self, idx: usize) -> Result<DatasetRecord, DatasetError> {
+        self.load_consumer(idx, true)
+    }
+
+    /// Like [`Dataset::consumer`], but skip loading the ground-truth
+    /// *total* series (`truth_total` comes back `None` even when the
+    /// manifest names it). `truth_flex` still loads — it is the
+    /// scoring reference. For callers that will not run a fidelity
+    /// comparison, this avoids reading and decoding one file per
+    /// consumer for nothing.
+    pub fn consumer_without_truth_total(&self, idx: usize) -> Result<DatasetRecord, DatasetError> {
+        self.load_consumer(idx, false)
+    }
+
+    fn load_consumer(
+        &self,
+        idx: usize,
+        with_truth_total: bool,
+    ) -> Result<DatasetRecord, DatasetError> {
+        let Some(entry) = self.manifest.consumers.get(idx) else {
+            return Err(DatasetError::OutOfRange {
+                index: idx,
+                len: self.manifest.consumers.len(),
+            });
+        };
+        let measured = self.load_measured_file(&entry.measured)?;
+        let file = self.dir.join(&entry.measured).display().to_string();
+        let start = self.manifest.start_timestamp()?;
+        let res = self.manifest.resolution()?;
+        if measured.start() != start {
+            return Err(DatasetError::Invalid {
+                file,
+                what: format!(
+                    "series starts at {} but the manifest declares {}",
+                    measured.start(),
+                    self.manifest.start
+                ),
+            });
+        }
+        if measured.resolution() != res {
+            return Err(DatasetError::Invalid {
+                file,
+                what: format!(
+                    "series resolution is {} but the manifest declares {} min",
+                    measured.resolution(),
+                    self.manifest.resolution_min
+                ),
+            });
+        }
+        if measured.len() != self.manifest.intervals {
+            return Err(DatasetError::Invalid {
+                file,
+                what: format!(
+                    "series has {} intervals but the manifest declares {}",
+                    measured.len(),
+                    self.manifest.intervals
+                ),
+            });
+        }
+        let truth_total = if with_truth_total {
+            entry
+                .truth_total
+                .as_ref()
+                .map(|f| self.load_truth_file(f, start))
+                .transpose()?
+        } else {
+            None
+        };
+        let truth_flex = entry
+            .truth_flex
+            .as_ref()
+            .map(|f| self.load_truth_file(f, start))
+            .transpose()?;
+        Ok(DatasetRecord {
+            entry: entry.clone(),
+            measured,
+            truth_total,
+            truth_flex,
+        })
+    }
+}
+
+/// Writes a dataset directory consumer by consumer, then the manifest.
+///
+/// The writer holds only the manifest in memory; each consumer's series
+/// goes straight to disk, so exporting a large fleet stays memory-light.
+#[derive(Debug)]
+pub struct DatasetWriter {
+    dir: PathBuf,
+    manifest: Manifest,
+}
+
+impl DatasetWriter {
+    /// Create the dataset directory (and parents) and an empty
+    /// manifest. `start`, `resolution` and `intervals` declare the grid
+    /// every measured series must share.
+    #[allow(clippy::too_many_arguments)]
+    pub fn create(
+        dir: impl AsRef<Path>,
+        name: &str,
+        description: &str,
+        start: Timestamp,
+        resolution: Resolution,
+        intervals: usize,
+        codec: SeriesCodec,
+    ) -> Result<DatasetWriter, DatasetError> {
+        let dir = dir.as_ref().to_path_buf();
+        // A 1-row CSV cannot be read back (the parser infers the
+        // resolution from row spacing), so refuse to write one.
+        if codec == SeriesCodec::Csv && intervals < 2 {
+            return Err(DatasetError::Invalid {
+                file: dir.display().to_string(),
+                what: format!(
+                    "the CSV codec needs at least 2 intervals (got {intervals}); \
+                     use the binary codec for single-interval series"
+                ),
+            });
+        }
+        std::fs::create_dir_all(&dir).map_err(|e| DatasetError::Io {
+            path: dir.display().to_string(),
+            what: e.to_string(),
+        })?;
+        Ok(DatasetWriter {
+            dir,
+            manifest: Manifest {
+                format: FORMAT_VERSION,
+                name: name.to_string(),
+                description: description.to_string(),
+                start: start.to_string(),
+                resolution_min: resolution.minutes(),
+                intervals,
+                codec,
+                source_scenario: None,
+                degradation: None,
+                seed: None,
+                consumers: Vec::new(),
+            },
+        })
+    }
+
+    /// Record export provenance in the manifest.
+    pub fn set_provenance(&mut self, source_scenario: &str, degradation: Degradation, seed: u64) {
+        self.manifest.source_scenario = Some(source_scenario.to_string());
+        self.manifest.degradation = Some(degradation);
+        self.manifest.seed = Some(seed);
+    }
+
+    fn write_series_file(&self, file: &str, series: &MeasuredSeries) -> Result<(), DatasetError> {
+        let path = self.dir.join(file);
+        let bytes = match self.manifest.codec {
+            SeriesCodec::Csv => codec::to_csv(series).into_bytes(),
+            SeriesCodec::Binary => codec::encode(series).to_vec(),
+        };
+        std::fs::write(&path, bytes).map_err(|e| DatasetError::Io {
+            path: path.display().to_string(),
+            what: e.to_string(),
+        })
+    }
+
+    /// Append one consumer: the measured series plus optional ground
+    /// truth. The measured series must sit on the declared grid.
+    pub fn write_consumer(
+        &mut self,
+        id: &str,
+        kind: ConsumerKind,
+        measured: &MeasuredSeries,
+        truth_total: Option<&flextract_series::TimeSeries>,
+        truth_flex: Option<&flextract_series::TimeSeries>,
+    ) -> Result<(), DatasetError> {
+        let declared = |what: String| DatasetError::Invalid {
+            file: format!("consumer `{id}`"),
+            what,
+        };
+        if measured.start().to_string() != self.manifest.start {
+            return Err(declared(format!(
+                "starts at {} but the dataset declares {}",
+                measured.start(),
+                self.manifest.start
+            )));
+        }
+        if measured.resolution().minutes() != self.manifest.resolution_min {
+            return Err(declared(format!(
+                "resolution {} does not match the declared {} min",
+                measured.resolution(),
+                self.manifest.resolution_min
+            )));
+        }
+        if measured.len() != self.manifest.intervals {
+            return Err(declared(format!(
+                "{} intervals but the dataset declares {}",
+                measured.len(),
+                self.manifest.intervals
+            )));
+        }
+        let ext = self.manifest.codec.extension();
+        let measured_file = format!("consumer_{id}.{ext}");
+        self.write_series_file(&measured_file, measured)?;
+        let truth_total_file = truth_total
+            .map(|s| {
+                let file = format!("truth_{id}.{ext}");
+                self.write_series_file(&file, &MeasuredSeries::from_series(s))
+                    .map(|()| file)
+            })
+            .transpose()?;
+        let truth_flex_file = truth_flex
+            .map(|s| {
+                let file = format!("flex_{id}.{ext}");
+                self.write_series_file(&file, &MeasuredSeries::from_series(s))
+                    .map(|()| file)
+            })
+            .transpose()?;
+        self.manifest.consumers.push(ConsumerEntry {
+            id: id.to_string(),
+            kind,
+            measured: measured_file,
+            truth_total: truth_total_file,
+            truth_flex: truth_flex_file,
+            gap_count: measured.gap_count(),
+        });
+        Ok(())
+    }
+
+    /// Write `manifest.json` and finish. Returns the manifest.
+    ///
+    /// Also removes series files from previous writes into the same
+    /// directory that this manifest no longer references (a re-export
+    /// with fewer consumers or a different codec must not leave orphans
+    /// beside the manifest). Only files matching the writer's own
+    /// naming scheme are touched.
+    pub fn finish(self) -> Result<Manifest, DatasetError> {
+        let path = self.dir.join(MANIFEST_FILE);
+        let json =
+            serde_json::to_string_pretty(&self.manifest).map_err(|e| DatasetError::Manifest {
+                path: path.display().to_string(),
+                what: format!("serialise: {e}"),
+            })? + "\n";
+        std::fs::write(&path, json).map_err(|e| DatasetError::Io {
+            path: path.display().to_string(),
+            what: e.to_string(),
+        })?;
+        let referenced: std::collections::BTreeSet<&str> = self
+            .manifest
+            .consumers
+            .iter()
+            .flat_map(|c| {
+                [Some(c.measured.as_str()), c.truth_total.as_deref()]
+                    .into_iter()
+                    .flatten()
+                    .chain(c.truth_flex.as_deref())
+            })
+            .collect();
+        if let Ok(entries) = std::fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name().to_string_lossy().to_string();
+                let ours = ["consumer_", "truth_", "flex_"]
+                    .iter()
+                    .any(|p| name.starts_with(p))
+                    && [".csv", ".fxm"].iter().any(|e| name.ends_with(e));
+                if ours && !referenced.contains(name.as_str()) {
+                    std::fs::remove_file(entry.path()).map_err(|e| DatasetError::Io {
+                        path: entry.path().display().to_string(),
+                        what: format!("removing stale series file: {e}"),
+                    })?;
+                }
+            }
+        }
+        Ok(self.manifest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextract_series::TimeSeries;
+
+    fn ts(s: &str) -> Timestamp {
+        s.parse().unwrap()
+    }
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "flextract_dataset_store_{tag}_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_measured() -> MeasuredSeries {
+        MeasuredSeries::new(
+            ts("2013-03-18"),
+            Resolution::MIN_15,
+            vec![0.5, f64::NAN, 0.7, 0.9],
+        )
+        .unwrap()
+    }
+
+    fn write_sample(dir: &Path, codec: SeriesCodec) -> Manifest {
+        let mut w = DatasetWriter::create(
+            dir,
+            "unit",
+            "unit-test dataset",
+            ts("2013-03-18"),
+            Resolution::MIN_15,
+            4,
+            codec,
+        )
+        .unwrap();
+        let truth = TimeSeries::new(
+            ts("2013-03-18"),
+            Resolution::MIN_15,
+            vec![0.5, 0.6, 0.7, 0.9],
+        )
+        .unwrap();
+        let flex = TimeSeries::new(
+            ts("2013-03-18"),
+            Resolution::MIN_15,
+            vec![0.1, 0.0, 0.2, 0.0],
+        )
+        .unwrap();
+        w.write_consumer(
+            "0",
+            ConsumerKind::Household,
+            &sample_measured(),
+            Some(&truth),
+            Some(&flex),
+        )
+        .unwrap();
+        w.write_consumer(
+            "1",
+            ConsumerKind::Industrial,
+            &sample_measured(),
+            None,
+            None,
+        )
+        .unwrap();
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn round_trip_csv_and_binary() {
+        for codec in [SeriesCodec::Csv, SeriesCodec::Binary] {
+            let dir = scratch(codec.extension());
+            let manifest = write_sample(&dir, codec);
+            assert_eq!(manifest.consumers.len(), 2);
+            assert_eq!(manifest.consumers[0].gap_count, 1);
+
+            let ds = Dataset::open(&dir).unwrap();
+            assert_eq!(ds.len(), 2);
+            let rec = ds.consumer(0).unwrap();
+            assert_eq!(rec.measured.gap_count(), 1);
+            assert_eq!(rec.entry.kind, ConsumerKind::Household);
+            let truth = rec.truth_total.unwrap();
+            assert_eq!(truth.values(), &[0.5, 0.6, 0.7, 0.9]);
+            assert!(rec.truth_flex.is_some());
+            let rec1 = ds.consumer(1).unwrap();
+            assert!(rec1.truth_total.is_none());
+            assert_eq!(rec1.entry.kind, ConsumerKind::Industrial);
+            assert!(matches!(
+                ds.consumer(2),
+                Err(DatasetError::OutOfRange { index: 2, len: 2 })
+            ));
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn open_rejects_missing_and_malformed_manifests() {
+        let dir = scratch("missing");
+        assert!(matches!(Dataset::open(&dir), Err(DatasetError::Io { .. })));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(MANIFEST_FILE), "{ not json").unwrap();
+        let err = Dataset::open(&dir).unwrap_err();
+        assert!(err.to_string().contains("manifest.json"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_rejects_manifest_naming_missing_files() {
+        let dir = scratch("dangling");
+        write_sample(&dir, SeriesCodec::Csv);
+        std::fs::remove_file(dir.join("consumer_1.csv")).unwrap();
+        let err = Dataset::open(&dir).unwrap_err();
+        assert!(err.to_string().contains("consumer_1.csv"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn consumer_grid_must_match_manifest() {
+        let dir = scratch("grid");
+        write_sample(&dir, SeriesCodec::Csv);
+        // Rewrite consumer 1 with a wrong interval count.
+        let short =
+            MeasuredSeries::new(ts("2013-03-18"), Resolution::MIN_15, vec![0.5, 0.6]).unwrap();
+        std::fs::write(dir.join("consumer_1.csv"), codec::to_csv(&short)).unwrap();
+        let ds = Dataset::open(&dir).unwrap();
+        let err = ds.consumer(1).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("consumer_1.csv"), "{msg}");
+        assert!(msg.contains("2 intervals"), "{msg}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truth_files_must_match_the_manifest_horizon() {
+        let dir = scratch("truthgrid");
+        write_sample(&dir, SeriesCodec::Csv);
+        // Truncate the truth series to half the horizon: loading must
+        // fail instead of silently feeding the fidelity leg bad data.
+        let short =
+            MeasuredSeries::new(ts("2013-03-18"), Resolution::MIN_15, vec![0.5, 0.6]).unwrap();
+        std::fs::write(dir.join("truth_0.csv"), codec::to_csv(&short)).unwrap();
+        let ds = Dataset::open(&dir).unwrap();
+        let err = ds.consumer(0).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("truth_0.csv"), "{msg}");
+        assert!(msg.contains("covers 30 min"), "{msg}");
+        // A shifted start is rejected too.
+        let shifted = MeasuredSeries::new(
+            ts("2013-03-19"),
+            Resolution::MIN_15,
+            vec![0.5, 0.6, 0.7, 0.9],
+        )
+        .unwrap();
+        std::fs::write(dir.join("truth_0.csv"), codec::to_csv(&shifted)).unwrap();
+        let err = ds.consumer(0).unwrap_err();
+        assert!(err.to_string().contains("starts at"), "{err}");
+        // A finer-resolution truth covering the same horizon is fine
+        // (exports write truth at the simulator's native resolution).
+        let fine = MeasuredSeries::new(ts("2013-03-18"), Resolution::MIN_5, vec![0.1; 12]).unwrap();
+        std::fs::write(dir.join("truth_0.csv"), codec::to_csv(&fine)).unwrap();
+        assert!(ds.consumer(0).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn finish_removes_stale_series_files_from_previous_exports() {
+        let dir = scratch("restale");
+        write_sample(&dir, SeriesCodec::Csv); // 2 consumers + truth files
+        let mut w = DatasetWriter::create(
+            &dir,
+            "unit",
+            "d",
+            ts("2013-03-18"),
+            Resolution::MIN_15,
+            4,
+            SeriesCodec::Binary,
+        )
+        .unwrap();
+        w.write_consumer("0", ConsumerKind::Household, &sample_measured(), None, None)
+            .unwrap();
+        w.finish().unwrap();
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().to_string())
+            .collect();
+        assert!(
+            !names.iter().any(|n| n.ends_with(".csv")),
+            "stale CSV files survived the re-export: {names:?}"
+        );
+        assert_eq!(
+            names.iter().filter(|n| n.ends_with(".fxm")).count(),
+            1,
+            "{names:?}"
+        );
+        let ds = Dataset::open(&dir).unwrap();
+        assert_eq!(ds.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truth_files_must_be_gap_free() {
+        let dir = scratch("truthgap");
+        write_sample(&dir, SeriesCodec::Csv);
+        std::fs::write(dir.join("truth_0.csv"), codec::to_csv(&sample_measured())).unwrap();
+        let ds = Dataset::open(&dir).unwrap();
+        let err = ds.consumer(0).unwrap_err();
+        assert!(err.to_string().contains("gap-free"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn writer_rejects_off_grid_consumers() {
+        let dir = scratch("offgrid");
+        let mut w = DatasetWriter::create(
+            &dir,
+            "unit",
+            "d",
+            ts("2013-03-18"),
+            Resolution::MIN_15,
+            4,
+            SeriesCodec::Csv,
+        )
+        .unwrap();
+        let wrong_len =
+            MeasuredSeries::new(ts("2013-03-18"), Resolution::MIN_15, vec![1.0; 5]).unwrap();
+        assert!(w
+            .write_consumer("x", ConsumerKind::Household, &wrong_len, None, None)
+            .is_err());
+        let wrong_res =
+            MeasuredSeries::new(ts("2013-03-18"), Resolution::HOUR_1, vec![1.0; 4]).unwrap();
+        assert!(w
+            .write_consumer("x", ConsumerKind::Household, &wrong_res, None, None)
+            .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn csv_writer_rejects_single_interval_grids() {
+        let dir = scratch("csv1row");
+        let err = DatasetWriter::create(
+            &dir,
+            "unit",
+            "d",
+            ts("2013-03-18"),
+            Resolution::MIN_15,
+            1,
+            SeriesCodec::Csv,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("at least 2 intervals"), "{err}");
+        // The binary codec handles single-interval series fine.
+        let mut w = DatasetWriter::create(
+            &dir,
+            "unit",
+            "d",
+            ts("2013-03-18"),
+            Resolution::MIN_15,
+            1,
+            SeriesCodec::Binary,
+        )
+        .unwrap();
+        let one = MeasuredSeries::new(ts("2013-03-18"), Resolution::MIN_15, vec![0.5]).unwrap();
+        w.write_consumer("0", ConsumerKind::Household, &one, None, None)
+            .unwrap();
+        w.finish().unwrap();
+        let ds = Dataset::open(&dir).unwrap();
+        assert_eq!(ds.consumer(0).unwrap().measured.values(), &[0.5]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicate_ids_are_rejected_on_open() {
+        let dir = scratch("dup");
+        let mut manifest = write_sample(&dir, SeriesCodec::Csv);
+        manifest.consumers[1].id = manifest.consumers[0].id.clone();
+        std::fs::write(
+            dir.join(MANIFEST_FILE),
+            serde_json::to_string_pretty(&manifest).unwrap(),
+        )
+        .unwrap();
+        let err = Dataset::open(&dir).unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests for the dataset layer.
+//!
+//! 1. **Codec round-trips** — CSV and chunked `FXM1` reproduce a
+//!    measured series exactly, gaps included, for any chunk length.
+//! 2. **Gap-fill energy bound** — `fill_gaps` stays within the bound
+//!    documented on [`flextract_series::missing::fill_gaps`]: every
+//!    anchored strategy adds between `gaps·min` and `gaps·max` of the
+//!    finite values, and `Zero` adds exactly nothing.
+//! 3. **Degradation determinism** — equal seeds produce byte-identical
+//!    measured series.
+
+use flextract_dataset::{codec, Degradation, MeasuredSeries};
+use flextract_series::{missing, FillStrategy, TimeSeries};
+use flextract_time::{Resolution, Timestamp};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn start() -> Timestamp {
+    "2013-03-18".parse().unwrap()
+}
+
+/// A raw metered vector: finite non-negative values with gaps mixed in,
+/// never all-gaps.
+fn arb_metered(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => 0.0_f64..5.0,
+            1 => Just(f64::NAN),
+        ],
+        2..max_len,
+    )
+    .prop_map(|mut v| {
+        if v.iter().all(|x| x.is_nan()) {
+            v[0] = 1.0;
+        }
+        v
+    })
+}
+
+fn arb_fill() -> impl Strategy<Value = FillStrategy> {
+    prop_oneof![
+        Just(FillStrategy::Linear),
+        Just(FillStrategy::Previous),
+        Just(FillStrategy::SeasonalDaily),
+        Just(FillStrategy::Zero),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn binary_codec_round_trips_any_series(values in arb_metered(300), chunk_len in 1_usize..64) {
+        let m = MeasuredSeries::new(start(), Resolution::MIN_15, values).unwrap();
+        let bytes = codec::encode_chunked(&m, chunk_len);
+        let back = codec::decode(bytes, "prop.fxm").unwrap();
+        prop_assert_eq!(back.len(), m.len());
+        prop_assert_eq!(back.gap_count(), m.gap_count());
+        for (a, b) in back.values().iter().zip(m.values()) {
+            prop_assert!(a.is_nan() == b.is_nan());
+            if !a.is_nan() {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn csv_codec_round_trips_any_series(values in arb_metered(120)) {
+        let m = MeasuredSeries::new(start(), Resolution::MIN_15, values).unwrap();
+        let text = codec::to_csv(&m);
+        let back = codec::from_csv(&text, "prop.csv").unwrap();
+        prop_assert_eq!(back.len(), m.len());
+        for (a, b) in back.values().iter().zip(m.values()) {
+            prop_assert!(a.is_nan() == b.is_nan());
+            if !a.is_nan() {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "shortest-float must round-trip");
+            }
+        }
+    }
+
+    #[test]
+    fn fill_gaps_respects_the_documented_energy_bound(
+        values in arb_metered(200),
+        strategy in arb_fill(),
+    ) {
+        let gaps = missing::gap_count(&values);
+        let finite: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+        let observed: f64 = finite.iter().sum();
+        let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut filled = values.clone();
+        let n = missing::fill_gaps(&mut filled, strategy, 96).unwrap();
+        prop_assert_eq!(n, gaps);
+        prop_assert!(filled.iter().all(|v| v.is_finite()));
+        let total: f64 = filled.iter().sum();
+        match strategy {
+            FillStrategy::Zero => {
+                prop_assert!((total - observed).abs() < 1e-9, "Zero adds no energy");
+            }
+            _ => {
+                prop_assert!(
+                    total >= observed + gaps as f64 * lo - 1e-9,
+                    "{strategy:?}: total {total} below bound (observed {observed}, {gaps} gaps, min {lo})"
+                );
+                prop_assert!(
+                    total <= observed + gaps as f64 * hi + 1e-9,
+                    "{strategy:?}: total {total} above bound (observed {observed}, {gaps} gaps, max {hi})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degradation_is_a_pure_function_of_seed(
+        seed in any::<u64>(),
+        gap_rate in 0.0_f64..0.2,
+        noise in 0.0_f64..0.1,
+    ) {
+        let series = TimeSeries::new(
+            start(),
+            Resolution::MIN_15,
+            (0..192).map(|i| 0.2 + (i % 7) as f64 * 0.05).collect(),
+        )
+        .unwrap();
+        let d = Degradation {
+            noise_std: noise,
+            gap_rate,
+            ..Degradation::default()
+        };
+        let a = d.apply(&series, &mut StdRng::seed_from_u64(seed)).unwrap();
+        let b = d.apply(&series, &mut StdRng::seed_from_u64(seed)).unwrap();
+        prop_assert_eq!(codec::encode(&a), codec::encode(&b));
+    }
+}

@@ -32,9 +32,11 @@
 pub mod events;
 pub mod frequency;
 pub mod matching;
+pub mod pipeline;
 pub mod schedule;
 
 pub use events::{detect_edges, Edge, EdgeDirection};
 pub use frequency::{ApplianceUsageRow, FrequencyTable};
 pub use matching::{detect_activations, DetectedActivation, MatchConfig, MatchMetric};
+pub use pipeline::{disaggregate, DisaggConfig, DisaggResult};
 pub use schedule::{MinedSchedule, ScheduleSlot};

@@ -29,9 +29,11 @@
 
 pub mod accuracy;
 pub mod experiments;
+pub mod fidelity;
 pub mod fig5;
 pub mod realism;
 
 pub use accuracy::GroundTruthScore;
+pub use fidelity::FidelityReport;
 pub use fig5::{fig5_day, Fig5Expected, FIG5_EXPECTED};
 pub use realism::RealismReport;

@@ -45,14 +45,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod export;
 mod report;
 mod runner;
 pub mod shard;
+mod source;
 mod spec;
 
-pub use report::{AggregationReport, ScenarioOutcome, ScenarioReport, ScheduleReport};
+pub use export::{export_dataset, ExportOptions, ExportSummary};
+pub use report::{
+    AggregationReport, IngestionReport, ScenarioOutcome, ScenarioReport, ScheduleReport,
+};
 pub use runner::ScenarioRunner;
-pub use spec::{load_dir, load_file, AggregationPolicy, ExtractorChoice, Scenario, Workload};
+pub use spec::{
+    load_dir, load_file, AggregationPolicy, DatasetCleaning, ExtractorChoice, Scenario, Workload,
+};
+
+/// Per-consumer-index RNG stream separation, shared by the runner's
+/// extraction legs and the exporter's degradation draws (the exporter
+/// additionally salts it) so the two streams stay aligned per index.
+pub(crate) const CONSUMER_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Errors surfaced by scenario loading, validation, and execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,6 +101,8 @@ pub enum ScenarioError {
     Agg(flextract_agg::AggError),
     /// A series operation failed.
     Series(flextract_series::SeriesError),
+    /// The dataset layer failed (open, decode, clean, or export).
+    Dataset(flextract_dataset::DatasetError),
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -106,6 +120,7 @@ impl std::fmt::Display for ScenarioError {
             ScenarioError::Extraction(e) => write!(f, "extraction failed: {e}"),
             ScenarioError::Agg(e) => write!(f, "aggregation/scheduling failed: {e}"),
             ScenarioError::Series(e) => write!(f, "series error: {e}"),
+            ScenarioError::Dataset(e) => write!(f, "dataset error: {e}"),
         }
     }
 }
@@ -133,6 +148,12 @@ impl From<flextract_agg::AggError> for ScenarioError {
 impl From<flextract_series::SeriesError> for ScenarioError {
     fn from(e: flextract_series::SeriesError) -> Self {
         ScenarioError::Series(e)
+    }
+}
+
+impl From<flextract_dataset::DatasetError> for ScenarioError {
+    fn from(e: flextract_dataset::DatasetError) -> Self {
+        ScenarioError::Dataset(e)
     }
 }
 

@@ -5,8 +5,42 @@
 //! wraps it together with the measured wall time and the raw offers,
 //! which vary run to run and are therefore kept out of the snapshot.
 
+use flextract_dataset::CleaningReport;
+use flextract_eval::FidelityReport;
 use flextract_flexoffer::FlexOffer;
 use serde::{Deserialize, Serialize};
+
+/// Ingestion-stage metrics (present for dataset-backed workloads).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IngestionReport {
+    /// Resolution of the measured series on disk (minutes) — the
+    /// market series is resampled from this.
+    pub source_resolution_min: i64,
+    /// Fleet-wide cleaning tally (per-consumer tallies summed).
+    pub cleaning: CleaningReport,
+    /// Appliance cycles recovered by the disaggregation stage (0 when
+    /// the workload does not disaggregate).
+    pub disagg_detections: usize,
+    /// Energy the disaggregation attributed to appliances (kWh).
+    pub disagg_explained_kwh: f64,
+}
+
+impl IngestionReport {
+    /// An empty tally at the given source resolution.
+    pub fn new(source_resolution_min: i64) -> Self {
+        IngestionReport {
+            source_resolution_min,
+            cleaning: CleaningReport::default(),
+            disagg_detections: 0,
+            disagg_explained_kwh: 0.0,
+        }
+    }
+
+    /// Merge one consumer's cleaning tally into the fleet tally.
+    pub fn absorb_cleaning(&mut self, cleaning: &CleaningReport) {
+        self.cleaning.absorb(cleaning);
+    }
+}
 
 /// Aggregation-stage metrics (present when the policy aggregates).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -67,6 +101,11 @@ pub struct ScenarioReport {
     pub aggregation: Option<AggregationReport>,
     /// Scheduling metrics, when the policy scheduled.
     pub schedule: Option<ScheduleReport>,
+    /// Ingestion metrics, when the workload is dataset-backed.
+    pub ingestion: Option<IngestionReport>,
+    /// Measured-vs-ground-truth fidelity, when the dataset carries the
+    /// simulator ground truth it was exported with.
+    pub fidelity: Option<FidelityReport>,
 }
 
 impl ScenarioReport {
@@ -96,6 +135,20 @@ impl ScenarioReport {
                 ", schedule +{:.1} % (RES use {:.2})",
                 sched.imbalance_improvement * 100.0,
                 sched.res_utilisation
+            ));
+        }
+        if let Some(ing) = &self.ingestion {
+            line.push_str(&format!(
+                ", ingested @{} min ({} gaps filled, {} anomalies screened)",
+                ing.source_resolution_min,
+                ing.cleaning.gaps_filled,
+                ing.cleaning.anomalies_screened
+            ));
+        }
+        if let Some(fid) = &self.fidelity {
+            line.push_str(&format!(
+                ", fidelity Δ{:+.2} kWh / Δ{:+} offers vs ground truth",
+                fid.extracted_kwh_delta, fid.offer_delta
             ));
         }
         line
@@ -141,6 +194,8 @@ mod tests {
                 flexibility_loss_h: 1.5,
             }),
             schedule: None,
+            ingestion: None,
+            fidelity: None,
         }
     }
 
@@ -165,5 +220,26 @@ mod tests {
             res_utilisation: 0.8,
         });
         assert!(r.summary().contains("schedule"));
+    }
+
+    #[test]
+    fn summary_mentions_ingestion_and_fidelity_when_present() {
+        let mut r = report();
+        let mut ing = IngestionReport::new(15);
+        ing.absorb_cleaning(&flextract_dataset::CleaningReport {
+            gaps_filled: 7,
+            anomalies_screened: 2,
+            anomalous_intervals: 5,
+            screened_kwh: 1.25,
+        });
+        assert_eq!(ing.cleaning.gaps_filled, 7);
+        r.ingestion = Some(ing);
+        r.fidelity = Some(FidelityReport::compare(4.5, 9, 5.0, 12));
+        let s = r.summary();
+        assert!(s.contains("7 gaps filled"), "{s}");
+        assert!(s.contains("fidelity"), "{s}");
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: ScenarioReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
     }
 }

@@ -1,4 +1,5 @@
-//! Executes scenarios: simulate → extract → aggregate → evaluate.
+//! Executes scenarios: (simulate | ingest) → extract → aggregate →
+//! evaluate.
 //!
 //! Parallelism happens on two levels, both deterministic:
 //!
@@ -13,15 +14,26 @@
 //!   worker — so a report is byte-identical at every thread count,
 //!   which is what keeps the `tests/golden/` snapshots stable.
 //!
-//! Memory stays flat in the fleet size: consumers are simulated on
-//! demand and dropped after merging, with the shard window bounding how
-//! many finished consumers can await their merge turn. A 10k-household
-//! stress scenario holds `O(consumer_threads)` households at a time.
+//! Consumers come from a [`crate::source::ConsumerSource`]: simulated
+//! on demand, or ingested from an on-disk dataset (cleaned, optionally
+//! disaggregated). Both satisfy the same random-access contract, so the
+//! sharding and the ordered merge apply unchanged. Dataset-backed runs
+//! with ground truth additionally run the **fidelity leg**: the same
+//! extractor on the undegraded series, merged with the same index
+//! ordering, so the measured-vs-truth deltas are as deterministic as
+//! everything else in the report.
+//!
+//! Memory stays flat in the fleet size: consumers are built on demand
+//! and dropped after merging, with the shard window bounding how many
+//! finished consumers can await their merge turn.
 
-use crate::report::{AggregationReport, ScenarioOutcome, ScenarioReport, ScheduleReport};
+use crate::report::{
+    AggregationReport, IngestionReport, ScenarioOutcome, ScenarioReport, ScheduleReport,
+};
 use crate::shard::ordered_parallel_map;
-use crate::spec::{AggregationPolicy, ExtractorChoice, Scenario, Workload};
-use crate::ScenarioError;
+use crate::source::{ConsumerInput, ConsumerSource};
+use crate::spec::{AggregationPolicy, ExtractorChoice, Scenario};
+use crate::{ScenarioError, CONSUMER_SEED_STRIDE};
 use flextract_agg::{aggregate_offers, schedule_offers, AggregationConfig, ScheduleConfig};
 use flextract_appliance::Catalog;
 use flextract_core::{
@@ -29,15 +41,11 @@ use flextract_core::{
     FrequencyBasedExtractor, MultiTariffExtractor, PeakExtractor, RandomExtractor,
     ScheduleBasedExtractor,
 };
-use flextract_eval::GroundTruthScore;
+use flextract_eval::{FidelityReport, GroundTruthScore};
 use flextract_flexoffer::FlexOffer;
-use flextract_series::{resample, TimeSeries};
-use flextract_sim::{
-    simulate_household_with_catalog, simulate_industrial, simulate_tariff_pair,
-    simulate_wind_production, FleetConfig, HouseholdArchetype, IndustrialConfig,
-    SimulatedHousehold, TariffResponse, WindFarmConfig,
-};
-use flextract_time::{Duration, Resolution, TimeRange};
+use flextract_series::TimeSeries;
+use flextract_sim::{simulate_wind_production, WindFarmConfig};
+use flextract_time::{Resolution, TimeRange};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -66,18 +74,6 @@ impl Default for ScenarioRunner {
     }
 }
 
-/// Everything the extraction stage needs for one consumer.
-struct ConsumerInput {
-    /// Observed consumption at the market resolution.
-    market: TimeSeries,
-    /// Ground-truth flexible consumption at the market resolution.
-    truth: TimeSeries,
-    /// 1-min fine series (households only; appliance-level extractors).
-    fine: Option<TimeSeries>,
-    /// One-tariff reference series (multi-tariff extractor only).
-    reference: Option<TimeSeries>,
-}
-
 /// Streaming accumulator over the per-consumer extraction outputs.
 /// Feed it in consumer index order and the folded series are bit-equal
 /// to a serial loop's, whatever produced the inputs.
@@ -87,16 +83,32 @@ struct Accumulator {
     extracted: Option<TimeSeries>,
     modified: Option<TimeSeries>,
     offers: Vec<FlexOffer>,
+    ingestion: Option<IngestionReport>,
+    /// Fidelity-leg tallies: energy/offers extracted from the measured
+    /// and ground-truth series, and how many consumers carried ground
+    /// truth. Both energy sides sum per consumer in the same order, so
+    /// an identity export yields a delta of exactly 0.0 (the merged
+    /// `extracted` series associates its additions differently and can
+    /// drift in the last ulp).
+    fidelity_measured_kwh: f64,
+    fidelity_truth_kwh: f64,
+    fidelity_truth_offers: usize,
+    fidelity_consumers: usize,
 }
 
 impl Accumulator {
-    fn new() -> Self {
+    fn new(source_resolution_min: Option<i64>) -> Self {
         Accumulator {
             total: None,
             truth: None,
             extracted: None,
             modified: None,
             offers: Vec::new(),
+            ingestion: source_resolution_min.map(IngestionReport::new),
+            fidelity_measured_kwh: 0.0,
+            fidelity_truth_kwh: 0.0,
+            fidelity_truth_offers: 0,
+            fidelity_consumers: 0,
         }
     }
 
@@ -112,12 +124,25 @@ impl Accumulator {
         &mut self,
         consumer: &ConsumerInput,
         out: ExtractionOutput,
+        fidelity_out: Option<ExtractionOutput>,
     ) -> Result<(), ScenarioError> {
         Self::add_series(&mut self.total, &consumer.market)?;
         Self::add_series(&mut self.truth, &consumer.truth)?;
         Self::add_series(&mut self.extracted, &out.extracted_series)?;
         Self::add_series(&mut self.modified, &out.modified_series)?;
+        let measured_kwh = out.extracted_energy();
         self.offers.extend(out.flex_offers);
+        if let (Some(ingestion), Some(cleaning)) = (&mut self.ingestion, &consumer.cleaning) {
+            ingestion.absorb_cleaning(cleaning);
+            ingestion.disagg_detections += consumer.disagg_detections;
+            ingestion.disagg_explained_kwh += consumer.disagg_explained_kwh;
+        }
+        if let Some(fid) = fidelity_out {
+            self.fidelity_measured_kwh += measured_kwh;
+            self.fidelity_truth_kwh += fid.extracted_energy();
+            self.fidelity_truth_offers += fid.flex_offers.len();
+            self.fidelity_consumers += 1;
+        }
         Ok(())
     }
 }
@@ -165,14 +190,15 @@ impl ScenarioRunner {
         };
 
         let catalog = Catalog::extended();
-        let factory = ConsumerFactory::new(scenario, horizon, res, &catalog);
+        let source = ConsumerSource::new(scenario, horizon, res, &catalog)?;
         let extractor: &dyn FlexibilityExtractor = extractor.as_ref();
-        let mut acc = Accumulator::new();
+        let mut acc = Accumulator::new(source.source_resolution_min());
+        let consumers = source.len();
         ordered_parallel_map(
-            factory.len(),
+            consumers,
             self.consumer_threads,
             |idx| {
-                let consumer = factory.consumer(idx)?;
+                let consumer = source.consumer(idx)?;
                 let mut input = ExtractionInput::household(&consumer.market);
                 if let Some(fine) = &consumer.fine {
                     input = input.with_fine_series(fine).with_catalog(&catalog);
@@ -183,12 +209,31 @@ impl ScenarioRunner {
                 // Seeded per consumer *index*, never per worker: the
                 // offer stream is independent of scheduling.
                 let mut rng = StdRng::seed_from_u64(
-                    scenario.seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    scenario.seed ^ (idx as u64).wrapping_mul(CONSUMER_SEED_STRIDE),
                 );
                 let out = extractor.extract(&input, &mut rng)?;
-                Ok((consumer, out))
+                // The fidelity leg: the same extractor on the
+                // undegraded ground-truth series, re-seeded with the
+                // *same* per-index seed — a paired comparison that
+                // controls the stochastic-extractor variable, so an
+                // identity export measures exactly zero delta and a
+                // degraded one measures pure degradation effect.
+                let fidelity_out = match &consumer.fidelity_market {
+                    None => None,
+                    Some(truth_total) => {
+                        let mut input = ExtractionInput::household(truth_total);
+                        if let Some(fine) = &consumer.fidelity_fine {
+                            input = input.with_fine_series(fine).with_catalog(&catalog);
+                        }
+                        let mut rng = StdRng::seed_from_u64(
+                            scenario.seed ^ (idx as u64).wrapping_mul(CONSUMER_SEED_STRIDE),
+                        );
+                        Some(extractor.extract(&input, &mut rng)?)
+                    }
+                };
+                Ok((consumer, out, fidelity_out))
             },
-            |_, (consumer, out)| acc.add(&consumer, out),
+            |_, (consumer, out, fidelity_out)| acc.add(&consumer, out, fidelity_out),
         )?;
 
         // `validate` guarantees at least one consumer.
@@ -202,6 +247,20 @@ impl ScenarioRunner {
         let peak_after = modified.argmax().map_or(0.0, |(_, v)| v);
         let (aggregation, schedule) =
             self.downstream(scenario, horizon, res, &acc.offers, &total, &modified)?;
+
+        // The fidelity section compares like with like, so it appears
+        // only when *every* consumer carried a ground-truth series.
+        // Both energy sides are the per-consumer paired tallies, not
+        // `extracted.total_energy()` — same summation order on both
+        // legs is what makes an identity export's delta exactly 0.0.
+        let fidelity = (acc.fidelity_consumers == consumers).then(|| {
+            FidelityReport::compare(
+                acc.fidelity_measured_kwh,
+                acc.offers.len(),
+                acc.fidelity_truth_kwh,
+                acc.fidelity_truth_offers,
+            )
+        });
 
         let total_energy = total.total_energy();
         let report = ScenarioReport {
@@ -230,6 +289,8 @@ impl ScenarioRunner {
             },
             aggregation,
             schedule,
+            ingestion: acc.ingestion,
+            fidelity,
         };
         Ok(ScenarioOutcome {
             report,
@@ -321,172 +382,4 @@ impl ScenarioRunner {
         indexed.sort_by_key(|(i, _)| *i);
         indexed.into_iter().map(|(_, r)| r).collect()
     }
-}
-
-/// Builds any consumer of a scenario's workload by index, on demand —
-/// the random-access source the shard workers pull from. Building a
-/// consumer touches nothing but `&self`, so the factory is shared
-/// across workers; large workloads are never materialised as a whole.
-struct ConsumerFactory<'a> {
-    scenario: &'a Scenario,
-    horizon: TimeRange,
-    res: Resolution,
-    catalog: &'a Catalog,
-    households: Vec<flextract_sim::HouseholdConfig>,
-    tariff_sensitivity: f64,
-    sites: usize,
-    site_pattern: flextract_sim::ShiftPattern,
-}
-
-impl<'a> ConsumerFactory<'a> {
-    fn new(
-        scenario: &'a Scenario,
-        horizon: TimeRange,
-        res: Resolution,
-        catalog: &'a Catalog,
-    ) -> Self {
-        let (households, tariff_sensitivity, sites, site_pattern) = match &scenario.workload {
-            Workload::Households {
-                households,
-                archetype_mix,
-                tariff_sensitivity,
-            } => (
-                fleet_configs(
-                    scenario,
-                    *households,
-                    archetype_mix.clone(),
-                    *tariff_sensitivity,
-                ),
-                *tariff_sensitivity,
-                0,
-                flextract_sim::ShiftPattern::TwoShift,
-            ),
-            Workload::Industrial { sites, pattern } => (Vec::new(), 0.0, *sites, *pattern),
-            Workload::Mixed { households, sites } => (
-                fleet_configs(
-                    scenario,
-                    *households,
-                    FleetConfig::default().archetype_mix,
-                    0.0,
-                ),
-                0.0,
-                *sites,
-                flextract_sim::ShiftPattern::TwoShift,
-            ),
-        };
-        ConsumerFactory {
-            scenario,
-            horizon,
-            res,
-            catalog,
-            households,
-            tariff_sensitivity,
-            sites,
-            site_pattern,
-        }
-    }
-
-    /// Total consumers (households first, then industrial sites).
-    fn len(&self) -> usize {
-        self.households.len() + self.sites
-    }
-
-    /// Build consumer `idx` (simulate + resample), independent of every
-    /// other index.
-    fn consumer(&self, idx: usize) -> Result<ConsumerInput, ScenarioError> {
-        if idx < self.households.len() {
-            self.household(&self.households[idx])
-        } else {
-            self.site(idx - self.households.len())
-        }
-    }
-
-    fn household(
-        &self,
-        cfg: &flextract_sim::HouseholdConfig,
-    ) -> Result<ConsumerInput, ScenarioError> {
-        if self.scenario.extractor == ExtractorChoice::MultiTariff {
-            // §3.3 needs the same consumer's one-tariff typical period
-            // as reference: simulate the preceding horizon flat.
-            let ref_horizon = TimeRange::starting_at(
-                self.horizon.start() - Duration::days(self.scenario.days),
-                Duration::days(self.scenario.days),
-            )
-            .expect("days >= 1 by validation");
-            let (flat, multi) = simulate_tariff_pair(
-                cfg,
-                ref_horizon,
-                self.horizon,
-                TariffResponse::overnight(self.tariff_sensitivity),
-            );
-            let SimulatedHousehold {
-                series,
-                flexible_series,
-                ..
-            } = multi;
-            return Ok(ConsumerInput {
-                market: resample::to_resolution_owned(series, self.res)?,
-                truth: resample::to_resolution_owned(flexible_series, self.res)?,
-                fine: None,
-                reference: Some(resample::to_resolution_owned(flat.series, self.res)?),
-            });
-        }
-        let sim = simulate_household_with_catalog(cfg, self.horizon, self.catalog);
-        let needs_fine = matches!(
-            self.scenario.extractor,
-            ExtractorChoice::Frequency | ExtractorChoice::Schedule
-        );
-        // Clone the 1-min series only when an appliance-level extractor
-        // needs it; the market/truth conversions consume the simulated
-        // series, so a 1-min market resolution moves instead of cloning.
-        let fine = needs_fine.then(|| sim.series.clone());
-        let SimulatedHousehold {
-            series,
-            flexible_series,
-            ..
-        } = sim;
-        Ok(ConsumerInput {
-            market: resample::to_resolution_owned(series, self.res)?,
-            truth: resample::to_resolution_owned(flexible_series, self.res)?,
-            fine,
-            reference: None,
-        })
-    }
-
-    fn site(&self, site_idx: usize) -> Result<ConsumerInput, ScenarioError> {
-        let cfg = IndustrialConfig {
-            pattern: self.site_pattern,
-            seed: self.scenario.seed ^ (0x1D00D + site_idx as u64),
-            ..IndustrialConfig::medium_plant(site_idx as u64)
-        };
-        let sim = simulate_industrial(&cfg, self.horizon);
-        Ok(ConsumerInput {
-            market: resample::to_resolution_owned(sim.series, self.res)?,
-            truth: resample::to_resolution_owned(sim.flexible_series, self.res)?,
-            fine: None,
-            reference: None,
-        })
-    }
-}
-
-/// Materialise household configs for a scenario's fleet parameters.
-/// Validation has already run, so the mix is sampleable.
-fn fleet_configs(
-    scenario: &Scenario,
-    households: usize,
-    archetype_mix: Vec<(HouseholdArchetype, f64)>,
-    tariff_sensitivity: f64,
-) -> Vec<flextract_sim::HouseholdConfig> {
-    let fleet = FleetConfig {
-        households,
-        base_seed: scenario.seed,
-        archetype_mix,
-        tariff_response: (tariff_sensitivity > 0.0
-            && scenario.extractor != ExtractorChoice::MultiTariff)
-            .then(|| TariffResponse::overnight(tariff_sensitivity)),
-        threads: 1,
-    };
-    fleet
-        .try_household_configs()
-        .expect("scenario validation covers the fleet config")
 }

@@ -8,12 +8,33 @@
 //! `scenarios/` and double as golden-file regression fixtures.
 
 use crate::ScenarioError;
+use flextract_series::FillStrategy;
 use flextract_sim::{FleetConfig, HouseholdArchetype, ShiftPattern};
 use flextract_time::{Duration, Resolution, TimeRange, Timestamp};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
-/// Which consumers the scenario simulates.
+/// The cleaning stage of a dataset-backed workload (see
+/// [`flextract_dataset::ingest`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetCleaning {
+    /// Gap-fill strategy (also re-fills screened anomalies).
+    pub fill: FillStrategy,
+    /// Whether to screen anomalies (rolling z-score) after gap fill.
+    pub screen_anomalies: bool,
+}
+
+impl Default for DatasetCleaning {
+    fn default() -> Self {
+        DatasetCleaning {
+            fill: FillStrategy::Linear,
+            screen_anomalies: false,
+        }
+    }
+}
+
+/// Which consumers the scenario runs — simulated, or ingested from a
+/// metered dataset on disk.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Workload {
     /// A residential fleet.
@@ -41,15 +62,40 @@ pub enum Workload {
         /// Number of two-shift plants.
         sites: usize,
     },
+    /// Metered consumers ingested from a dataset directory (see the
+    /// README's "measured-data pipeline" section). The pipeline becomes
+    /// ingest → gap-fill → anomaly-screen → (optionally) disaggregate →
+    /// extract, and — when the dataset carries simulator ground truth —
+    /// the report gains a fidelity section.
+    Dataset {
+        /// Dataset directory; a relative path resolves against the
+        /// process working directory.
+        path: String,
+        /// Expected consumer count. Pinned in the spec so
+        /// [`Workload::consumers`] needs no I/O and a swapped-out
+        /// dataset cannot silently change the scenario's shape; the
+        /// runner errors if the manifest disagrees.
+        consumers: usize,
+        /// The cleaning stage configuration.
+        cleaning: DatasetCleaning,
+        /// Run the disaggregation pipeline on the cleaned series. This
+        /// attaches the cleaned fine series and the appliance catalog
+        /// to extraction (enabling the appliance-level extractors on
+        /// measured data) and, when the dataset has no ground-truth
+        /// flexible series, makes the NILM estimate the scoring
+        /// reference.
+        disaggregate: bool,
+    },
 }
 
 impl Workload {
-    /// Total number of simulated consumers.
+    /// Total number of consumers (declared count for datasets).
     pub fn consumers(&self) -> usize {
         match self {
             Workload::Households { households, .. } => *households,
             Workload::Industrial { sites, .. } => *sites,
             Workload::Mixed { households, sites } => households + sites,
+            Workload::Dataset { consumers, .. } => *consumers,
         }
     }
 }
@@ -212,14 +258,47 @@ impl Scenario {
                     );
                 }
             }
+            Workload::Dataset {
+                path, consumers, ..
+            } => {
+                if path.is_empty() {
+                    return Err(self.invalid("a dataset workload needs a non-empty path"));
+                }
+                if *consumers == 0 {
+                    return Err(self.invalid("a dataset workload needs consumers >= 1"));
+                }
+            }
         }
         match self.extractor {
             ExtractorChoice::Frequency | ExtractorChoice::Schedule
-                if !matches!(self.workload, Workload::Households { .. }) =>
+                if matches!(
+                    self.workload,
+                    Workload::Dataset {
+                        disaggregate: false,
+                        ..
+                    }
+                ) =>
             {
                 return Err(self.invalid(
-                    "appliance-level extractors need a Households workload \
-                     (they require the 1-min fine series and the catalog)",
+                    "appliance-level extractors on a dataset workload need \
+                     disaggregate = true (they require the fine series and the catalog)",
+                ));
+            }
+            ExtractorChoice::Frequency | ExtractorChoice::Schedule
+                if !matches!(
+                    self.workload,
+                    Workload::Households { .. } | Workload::Dataset { .. }
+                ) =>
+            {
+                return Err(self.invalid(
+                    "appliance-level extractors need a Households or Dataset workload \
+                     (they require the fine series and the catalog)",
+                ));
+            }
+            ExtractorChoice::MultiTariff if matches!(self.workload, Workload::Dataset { .. }) => {
+                return Err(self.invalid(
+                    "the multi-tariff extractor needs a simulated Households workload \
+                     (the metered format carries no same-consumer one-tariff reference)",
                 ));
             }
             ExtractorChoice::MultiTariff => {
@@ -398,6 +477,61 @@ mod tests {
         };
         let err = s.validate().unwrap_err();
         assert!(err.to_string().contains("archetype"), "{err}");
+    }
+
+    pub(crate) fn tiny_dataset(name: &str, path: &str, consumers: usize) -> Scenario {
+        Scenario {
+            workload: Workload::Dataset {
+                path: path.into(),
+                consumers,
+                cleaning: DatasetCleaning::default(),
+                disaggregate: false,
+            },
+            ..tiny(name)
+        }
+    }
+
+    #[test]
+    fn dataset_workload_round_trips_and_validates() {
+        let s = tiny_dataset("ds", "datasets/unit", 3);
+        s.validate().unwrap();
+        let json = serde_json::to_string_pretty(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+
+        let bad = tiny_dataset("ds", "", 3);
+        assert!(bad.validate().unwrap_err().to_string().contains("path"));
+        let bad = tiny_dataset("ds", "datasets/unit", 0);
+        assert!(bad
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("consumers"));
+    }
+
+    #[test]
+    fn dataset_extractor_compatibility_is_enforced() {
+        // Appliance-level extractors need disaggregate = true.
+        let mut s = tiny_dataset("ds", "datasets/unit", 2);
+        s.extractor = ExtractorChoice::Frequency;
+        assert!(s
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("disaggregate"));
+        if let Workload::Dataset { disaggregate, .. } = &mut s.workload {
+            *disaggregate = true;
+        }
+        s.validate().unwrap();
+
+        // Multi-tariff has no reference series in the metered format.
+        let mut s = tiny_dataset("ds", "datasets/unit", 2);
+        s.extractor = ExtractorChoice::MultiTariff;
+        assert!(s
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("one-tariff reference"));
     }
 
     #[test]

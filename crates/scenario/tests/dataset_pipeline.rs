@@ -1,0 +1,236 @@
+//! Property tests for the measured-data pipeline: export → ingest.
+//!
+//! 1. **Lossless round-trip** — exporting a simulated fleet with the
+//!    identity degradation and ingesting it back yields series
+//!    *byte-identical* (bit-for-bit f64s) to the simulator's output,
+//!    through both the CSV and the binary codec.
+//! 2. **Thread invariance** — a dataset-backed scenario report is
+//!    byte-identical at every consumer-thread count, exactly like the
+//!    simulated workloads (the sharded merge contract).
+
+use flextract_appliance::Catalog;
+use flextract_dataset::{Dataset, SeriesCodec};
+use flextract_dataset::{Manifest, MANIFEST_FILE};
+use flextract_scenario::{
+    export_dataset, AggregationPolicy, DatasetCleaning, ExportOptions, ExtractorChoice, Scenario,
+    ScenarioRunner, Workload,
+};
+use flextract_series::FillStrategy;
+use flextract_sim::{simulate_household_with_catalog, FleetConfig, HouseholdArchetype};
+use flextract_time::{Duration, TimeRange, Timestamp};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn scratch(tag: &str, case: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "flextract_ds_pipeline_{tag}_{case}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn source_scenario(households: usize, days: i64, seed: u64) -> Scenario {
+    Scenario {
+        name: "prop_source".into(),
+        description: "property-generated export source".into(),
+        workload: Workload::Households {
+            households,
+            archetype_mix: vec![
+                (HouseholdArchetype::Couple, 0.6),
+                (HouseholdArchetype::FamilyWithChildren, 0.4),
+            ],
+            tariff_sensitivity: 0.0,
+        },
+        start: "2013-03-18".into(),
+        days,
+        resolution_min: 15,
+        extractor: ExtractorChoice::Peak,
+        flexible_share: 0.05,
+        aggregation: AggregationPolicy::None,
+        res_capacity_share: 0.0,
+        seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn undegraded_export_ingests_byte_identically(
+        households in 1_usize..3,
+        seed in any::<u64>(),
+        binary in any::<bool>(),
+    ) {
+        let scenario = source_scenario(households, 1, seed);
+        let dir = scratch("roundtrip", seed ^ households as u64);
+        let options = ExportOptions {
+            codec: if binary { SeriesCodec::Binary } else { SeriesCodec::Csv },
+            ..ExportOptions::default()
+        };
+        let summary = export_dataset(&scenario, &dir, &options).unwrap();
+        prop_assert_eq!(summary.consumers, households);
+        prop_assert_eq!(summary.gap_count, 0, "identity degradation injects nothing");
+
+        // Re-simulate the fleet through the public API — the exact
+        // configs the exporter used — and compare bit for bit.
+        let horizon = TimeRange::starting_at(
+            "2013-03-18".parse::<Timestamp>().unwrap(),
+            Duration::days(1),
+        )
+        .unwrap();
+        let catalog = Catalog::extended();
+        let fleet = FleetConfig {
+            households,
+            base_seed: seed,
+            archetype_mix: vec![
+                (HouseholdArchetype::Couple, 0.6),
+                (HouseholdArchetype::FamilyWithChildren, 0.4),
+            ],
+            tariff_response: None,
+            threads: 1,
+        };
+        let configs = fleet.try_household_configs().unwrap();
+        let dataset = Dataset::open(&dir).unwrap();
+        prop_assert_eq!(dataset.len(), households);
+        for (idx, cfg) in configs.iter().enumerate() {
+            let sim = simulate_household_with_catalog(cfg, horizon, &catalog);
+            let record = dataset.consumer(idx).unwrap();
+            prop_assert_eq!(record.measured.gap_count(), 0);
+            let measured = record.measured.into_series().unwrap();
+            prop_assert_eq!(measured.start(), sim.series.start());
+            prop_assert_eq!(measured.resolution(), sim.series.resolution());
+            prop_assert_eq!(measured.len(), sim.series.len());
+            for (a, b) in measured.values().iter().zip(sim.series.values()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "ingest(export(fleet)) must be exact");
+            }
+            // Ground truth rides along bit-exactly too.
+            let truth = record.truth_flex.unwrap();
+            for (a, b) in truth.values().iter().zip(sim.flexible_series.values()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dataset_backed_reports_are_thread_count_invariant(
+        seed in any::<u64>(),
+        gap_rate in 0.0_f64..0.1,
+    ) {
+        let source = source_scenario(2, 1, seed);
+        let dir = scratch("threads", seed);
+        let options = ExportOptions {
+            degradation: flextract_dataset::Degradation {
+                resolution_min: Some(15),
+                noise_std: 0.02,
+                gap_rate,
+                ..flextract_dataset::Degradation::default()
+            },
+            ..ExportOptions::default()
+        };
+        export_dataset(&source, &dir, &options).unwrap();
+
+        let scenario = Scenario {
+            name: "prop_dataset_run".into(),
+            description: "thread-invariance case".into(),
+            workload: Workload::Dataset {
+                path: dir.display().to_string(),
+                consumers: 2,
+                cleaning: DatasetCleaning {
+                    fill: FillStrategy::Linear,
+                    screen_anomalies: true,
+                },
+                disaggregate: false,
+            },
+            ..source_scenario(2, 1, seed)
+        };
+        let serial = ScenarioRunner::with_threads(1)
+            .with_consumer_threads(1)
+            .run(&scenario)
+            .unwrap();
+        let reference = serde_json::to_string_pretty(&serial.report).unwrap();
+        for threads in [2, 3] {
+            let sharded = ScenarioRunner::with_threads(1)
+                .with_consumer_threads(threads)
+                .run(&scenario)
+                .unwrap();
+            prop_assert_eq!(
+                &serde_json::to_string_pretty(&sharded.report).unwrap(),
+                &reference,
+                "report drifted at consumer_threads={}",
+                threads
+            );
+        }
+        // The fidelity section exists (the export carried truth) and is
+        // itself deterministic.
+        prop_assert!(serial.report.fidelity.is_some());
+        prop_assert!(serial.report.ingestion.is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn dataset_scenarios_validate_resolution_and_skip_partial_fidelity() {
+    let source = source_scenario(2, 1, 77);
+    let dir = scratch("partial", 77);
+    // Export on a 15-min grid so a finer market resolution can't
+    // divide it.
+    let options = ExportOptions {
+        degradation: flextract_dataset::Degradation {
+            resolution_min: Some(15),
+            ..flextract_dataset::Degradation::default()
+        },
+        ..ExportOptions::default()
+    };
+    export_dataset(&source, &dir, &options).unwrap();
+
+    let ds_scenario = |resolution_min: i64| Scenario {
+        name: "ds_case".into(),
+        description: "dataset-backed validation case".into(),
+        workload: Workload::Dataset {
+            path: dir.to_str().unwrap().into(),
+            consumers: 2,
+            cleaning: DatasetCleaning::default(),
+            disaggregate: false,
+        },
+        resolution_min,
+        ..source_scenario(2, 1, 7)
+    };
+
+    // A market resolution finer than the on-disk grid fails with an
+    // error naming both resolutions, not a bare series error.
+    let err = ScenarioRunner::with_threads(1)
+        .run(&ds_scenario(5))
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("cannot be resampled"), "{msg}");
+    assert!(msg.contains("15 min"), "{msg}");
+
+    // Partial truth coverage: strip consumer 0's ground truth. The run
+    // still succeeds, and the fidelity section is simply absent (it
+    // only compares like with like).
+    let manifest_path = dir.join(MANIFEST_FILE);
+    let mut manifest: Manifest =
+        serde_json::from_str(&std::fs::read_to_string(&manifest_path).unwrap()).unwrap();
+    for file in manifest.consumers[0]
+        .truth_total
+        .take()
+        .into_iter()
+        .chain(manifest.consumers[0].truth_flex.take())
+    {
+        std::fs::remove_file(dir.join(file)).unwrap();
+    }
+    std::fs::write(
+        &manifest_path,
+        serde_json::to_string_pretty(&manifest).unwrap(),
+    )
+    .unwrap();
+
+    let outcome = ScenarioRunner::with_threads(1)
+        .run(&ds_scenario(15))
+        .unwrap();
+    assert!(outcome.report.fidelity.is_none());
+    assert!(outcome.report.ingestion.is_some());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -105,6 +105,35 @@ pub fn rolling_anomalies(
     collect_runs(series, &expected, &band)
 }
 
+/// Replace every interval covered by `anomalies` with `NaN` in a copy
+/// of the series' values — the hand-off from detection to the gap-fill
+/// machinery ([`crate::missing`]). Screening an anomaly means treating
+/// it as if the meter had not reported at all: the masked intervals
+/// become gaps and are re-filled from the surrounding signal, which is
+/// how the dataset ingestion pipeline neutralises spikes and dropouts.
+///
+/// Anomalies entirely outside the series span (or starting off-grid)
+/// are ignored; runs overhanging either end are clipped to the overlap.
+pub fn mask_anomalies(series: &TimeSeries, anomalies: &[Anomaly]) -> Vec<f64> {
+    let mut values = series.values().to_vec();
+    let res_min = series.resolution().minutes();
+    for a in anomalies {
+        let offset_min = (a.start - series.start()).as_minutes();
+        if offset_min.rem_euclid(res_min) != 0 {
+            continue;
+        }
+        let idx = offset_min.div_euclid(res_min);
+        let begin = idx.clamp(0, series.len() as i64);
+        let end = idx
+            .saturating_add(a.intervals as i64)
+            .clamp(begin, series.len() as i64);
+        for v in &mut values[begin as usize..end as usize] {
+            *v = f64::NAN;
+        }
+    }
+    values
+}
+
 fn collect_runs(series: &TimeSeries, expected: &[f64], band: &[f64]) -> Vec<Anomaly> {
     let mut out = Vec::new();
     let mut run: Option<(usize, AnomalyDirection, f64, f64)> = None;
@@ -230,6 +259,56 @@ mod tests {
         let s = TimeSeries::new(ts("2013-03-18"), Resolution::MIN_15, vec![0.5; 10]).unwrap();
         assert!(rolling_anomalies(&s, 24, 3.0, 0.05).is_empty());
         assert!(seasonal_anomalies(&s, 2.0, 0.05).is_err()); // no whole day
+    }
+
+    #[test]
+    fn mask_anomalies_turns_runs_into_gaps() {
+        let s = series_with_block();
+        let anomalies = seasonal_anomalies(&s, 2.0, 0.05).unwrap();
+        let masked = mask_anomalies(&s, &anomalies);
+        let nan_count = masked.iter().filter(|v| v.is_nan()).count();
+        assert_eq!(nan_count, 4, "exactly the planted block is masked");
+        for (i, v) in masked.iter().enumerate() {
+            if (7 * 96 + 40..7 * 96 + 44).contains(&i) {
+                assert!(v.is_nan());
+            } else {
+                assert!(!v.is_nan());
+            }
+        }
+        // A run extending past the end is clipped, one before the
+        // start is ignored.
+        let wild = vec![
+            Anomaly {
+                start: ts("2013-03-25 23:45"),
+                intervals: 10,
+                direction: AnomalyDirection::High,
+                deviation_kwh: 1.0,
+                max_z: 2.0,
+            },
+            Anomaly {
+                start: ts("2013-03-01"),
+                intervals: 3,
+                direction: AnomalyDirection::Low,
+                deviation_kwh: -1.0,
+                max_z: 2.0,
+            },
+        ];
+        let masked = mask_anomalies(&s, &wild);
+        assert_eq!(masked.iter().filter(|v| v.is_nan()).count(), 1);
+        assert!(masked[8 * 96 - 1].is_nan());
+        // A run overhanging the *start* is clipped symmetrically: the
+        // in-span part is masked.
+        let overhang = vec![Anomaly {
+            start: ts("2013-03-17 23:45"),
+            intervals: 3,
+            direction: AnomalyDirection::High,
+            deviation_kwh: 1.0,
+            max_z: 2.0,
+        }];
+        let masked = mask_anomalies(&s, &overhang);
+        assert!(masked[0].is_nan());
+        assert!(masked[1].is_nan());
+        assert_eq!(masked.iter().filter(|v| v.is_nan()).count(), 2);
     }
 
     #[test]

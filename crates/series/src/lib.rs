@@ -59,6 +59,7 @@ pub mod segment;
 mod series;
 pub mod stats;
 
+pub use missing::FillStrategy;
 pub use peaks::{Peak, PeakThreshold};
 pub use series::TimeSeries;
 

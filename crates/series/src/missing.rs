@@ -45,6 +45,38 @@ pub fn has_gaps(values: &[f64]) -> bool {
 /// Returns the number of gaps filled. Errors with
 /// [`SeriesError::Empty`] when *all* values are gaps (nothing to anchor
 /// any strategy except [`FillStrategy::Zero`], which always succeeds).
+///
+/// # Edge (leading/trailing) gap behavior, per strategy
+///
+/// A gap run touching the start or end of the vector has only one
+/// finite neighbour, so every strategy defines its edge behavior
+/// explicitly:
+///
+/// * [`FillStrategy::Linear`] — an interior run interpolates between
+///   its two finite neighbours; a **leading** run takes the first
+///   finite value and a **trailing** run takes the last finite value
+///   (nearest-neighbour extension, no extrapolated slope).
+/// * [`FillStrategy::Previous`] — every gap repeats the previous
+///   finite value; a **leading** run, which has no previous value,
+///   takes the *first finite* value (backward fill at the edge only).
+///   Trailing runs are ordinary carry-forward.
+/// * [`FillStrategy::SeasonalDaily`] — edges behave like interior
+///   gaps (the phase mean does not care about position); only a phase
+///   missing on *every* day falls back to [`FillStrategy::Linear`],
+///   inheriting its edge rules.
+/// * [`FillStrategy::Zero`] — position never matters; every gap
+///   becomes `0.0`.
+///
+/// # Energy bound
+///
+/// For every strategy except [`FillStrategy::Zero`], each filled value
+/// is a convex combination of finite values already present in the
+/// vector, so it lies within `[min, max]` of the finite values. The
+/// total energy after filling is therefore bounded by
+/// `observed + gaps·min ≤ total ≤ observed + gaps·max`, where
+/// `observed` is the sum of the finite values. [`FillStrategy::Zero`]
+/// adds exactly zero energy: `total == observed`. The dataset-layer
+/// property tests pin this bound.
 pub fn fill_gaps(
     values: &mut [f64],
     strategy: FillStrategy,
@@ -235,6 +267,73 @@ mod tests {
         fill_gaps(&mut v, FillStrategy::SeasonalDaily, 2).unwrap();
         assert!((v[1] - 2.0).abs() < 1e-12);
         assert!((v[3] - 3.0).abs() < 1e-12); // trailing edge-extend
+    }
+
+    #[test]
+    fn previous_edge_behavior_is_backward_fill_at_the_leading_edge_only() {
+        // Leading run: no previous value exists, so the *first finite*
+        // value is used (documented backward fill at the edge).
+        let mut v = vec![NAN, NAN, 7.0, 1.0];
+        fill_gaps(&mut v, FillStrategy::Previous, 96).unwrap();
+        assert_eq!(v, vec![7.0, 7.0, 7.0, 1.0]);
+        // Trailing run: ordinary carry-forward of the last finite value.
+        let mut v = vec![3.0, 9.0, NAN, NAN];
+        fill_gaps(&mut v, FillStrategy::Previous, 96).unwrap();
+        assert_eq!(v, vec![3.0, 9.0, 9.0, 9.0]);
+    }
+
+    #[test]
+    fn linear_edge_behavior_is_nearest_finite_no_extrapolation() {
+        // Leading run extends the first finite value backwards (no
+        // slope extrapolation from the 4.0→8.0 ramp).
+        let mut v = vec![NAN, NAN, 4.0, 8.0];
+        fill_gaps(&mut v, FillStrategy::Linear, 96).unwrap();
+        assert_eq!(v, vec![4.0, 4.0, 4.0, 8.0]);
+        // Trailing run extends the last finite value forwards.
+        let mut v = vec![4.0, 8.0, NAN, NAN];
+        fill_gaps(&mut v, FillStrategy::Linear, 96).unwrap();
+        assert_eq!(v, vec![4.0, 8.0, 8.0, 8.0]);
+    }
+
+    #[test]
+    fn seasonal_edge_gaps_use_the_phase_mean_like_interior_ones() {
+        // Phase 0 of the first period is missing, but phase 0 has a
+        // finite sample in the second period — the edge gap takes the
+        // phase mean, not a linear extension.
+        let mut v = vec![NAN, 1.0, 6.0, 1.0];
+        fill_gaps(&mut v, FillStrategy::SeasonalDaily, 2).unwrap();
+        assert_eq!(v, vec![6.0, 1.0, 6.0, 1.0]);
+    }
+
+    #[test]
+    fn fill_stays_within_the_documented_energy_bound() {
+        for strategy in [
+            FillStrategy::Linear,
+            FillStrategy::Previous,
+            FillStrategy::SeasonalDaily,
+        ] {
+            let mut v = vec![NAN, 2.0, NAN, NAN, 8.0, NAN, 5.0, NAN];
+            let finite: Vec<f64> = v.iter().copied().filter(|x| !x.is_nan()).collect();
+            let observed: f64 = finite.iter().sum();
+            let (lo, hi) = (2.0, 8.0);
+            let gaps = fill_gaps(&mut v, strategy, 4).unwrap();
+            assert_eq!(gaps, 5);
+            let total: f64 = v.iter().sum();
+            assert!(
+                total >= observed + gaps as f64 * lo - 1e-9
+                    && total <= observed + gaps as f64 * hi + 1e-9,
+                "{strategy:?}: total {total} outside bound"
+            );
+            // And every filled value individually sits in [min, max].
+            assert!(
+                v.iter().all(|&x| (lo..=hi).contains(&x)),
+                "{strategy:?}: {v:?}"
+            );
+        }
+        // Zero adds exactly nothing.
+        let mut v = vec![NAN, 2.0, NAN, 8.0];
+        fill_gaps(&mut v, FillStrategy::Zero, 4).unwrap();
+        assert_eq!(v.iter().sum::<f64>(), 10.0);
     }
 
     #[test]

@@ -15,13 +15,14 @@ use flextract::core::{
     BasicExtractor, ExtractionConfig, ExtractionInput, FlexibilityExtractor, PeakExtractor,
     RandomExtractor,
 };
+use flextract::dataset::{CleaningConfig, Dataset, Degradation, SeriesCodec};
 use flextract::eval::experiments::{
     aggregation_study, approach_comparison, granularity, share_sweep, tariff_study,
     threshold_ablation, ExperimentParams,
 };
 use flextract::eval::fig5_day;
-use flextract::scenario::{load_dir, load_file, Scenario, ScenarioRunner};
-use flextract::series::{codec, TimeSeries};
+use flextract::scenario::{load_dir, load_file, ExportOptions, Scenario, ScenarioRunner};
+use flextract::series::{codec, missing::FillStrategy, TimeSeries};
 use flextract::sim::{simulate_fleet, FleetConfig};
 use flextract::time::{Duration, Resolution, TimeRange, Timestamp};
 use rand::rngs::StdRng;
@@ -41,10 +42,20 @@ USAGE:
   flextract scenario list [--dir DIR]
   flextract scenario run (--all | --name NAME) [--dir DIR] [--threads N]
                        [--consumer-threads N] [--json]
+  flextract dataset export  --scenario FILE --out DIR [--codec csv|binary]
+                       [--resolution-min N] [--noise F] [--gap-rate F]
+                       [--mean-gap-len F] [--anomaly-rate F]
+                       [--anomaly-factor F] [--anomaly-len N]
+                       [--seed S] [--no-truth]
+  flextract dataset inspect --dataset DIR
+  flextract dataset ingest  --dataset DIR [--fill linear|previous|seasonal|zero]
+                       [--screen-anomalies] [--consumer N]
   flextract help
 
 The scenario corpus lives in scenarios/ (one JSON spec per scenario);
-see the README for the spec format and the golden-file workflow.
+datasets are directories with a manifest.json plus one series file per
+consumer. See the README for the spec and dataset formats and the
+golden-file workflow.
 ";
 
 /// Minimal flag parser: `--key value` pairs after the positionals.
@@ -129,6 +140,15 @@ fn run(args: &[String]) -> Result<(), String> {
             cmd_scenario(
                 action,
                 &Flags::parse_with_switches(&args[2..], &["all", "json"])?,
+            )
+        }
+        "dataset" => {
+            let Some(action) = args.get(1) else {
+                return Err("dataset needs an action (export|inspect|ingest)".into());
+            };
+            cmd_dataset(
+                action,
+                &Flags::parse_with_switches(&args[2..], &["screen-anomalies", "no-truth"])?,
             )
         }
         "help" | "--help" | "-h" => {
@@ -422,6 +442,163 @@ fn cmd_scenario(action: &str, flags: &Flags) -> Result<(), String> {
         }
         other => Err(format!("unknown scenario action '{other}' (list|run)")),
     }
+}
+
+fn cmd_dataset(action: &str, flags: &Flags) -> Result<(), String> {
+    match action {
+        "export" => cmd_dataset_export(flags),
+        "inspect" => cmd_dataset_inspect(flags),
+        "ingest" => cmd_dataset_ingest(flags),
+        other => Err(format!(
+            "unknown dataset action '{other}' (export|inspect|ingest)"
+        )),
+    }
+}
+
+fn cmd_dataset_export(flags: &Flags) -> Result<(), String> {
+    let spec = flags
+        .get("scenario")
+        .ok_or("dataset export needs --scenario FILE")?;
+    let out = flags.get("out").ok_or("dataset export needs --out DIR")?;
+    let scenario = load_file(Path::new(spec)).map_err(|e| e.to_string())?;
+    let codec = match flags.get("codec").unwrap_or("csv") {
+        "csv" => SeriesCodec::Csv,
+        "binary" | "fxm" => SeriesCodec::Binary,
+        other => return Err(format!("unknown codec '{other}' (csv|binary)")),
+    };
+    let mut degradation = Degradation::default();
+    if let Some(raw) = flags.get("resolution-min") {
+        degradation.resolution_min = Some(
+            raw.parse()
+                .map_err(|_| format!("invalid value '{raw}' for --resolution-min"))?,
+        );
+    }
+    degradation.noise_std = flags.get_parsed("noise", degradation.noise_std)?;
+    degradation.gap_rate = flags.get_parsed("gap-rate", degradation.gap_rate)?;
+    degradation.mean_gap_len = flags.get_parsed("mean-gap-len", degradation.mean_gap_len)?;
+    degradation.anomaly_rate = flags.get_parsed("anomaly-rate", degradation.anomaly_rate)?;
+    degradation.anomaly_factor = flags.get_parsed("anomaly-factor", degradation.anomaly_factor)?;
+    degradation.anomaly_len = flags.get_parsed("anomaly-len", degradation.anomaly_len)?;
+    let seed = flags
+        .get("seed")
+        .map(|raw| {
+            raw.parse::<u64>()
+                .map_err(|_| format!("invalid value '{raw}' for --seed"))
+        })
+        .transpose()?;
+    let options = ExportOptions {
+        degradation,
+        codec,
+        seed,
+        include_truth: flags.get("no-truth").is_none(),
+    };
+    let summary = flextract::scenario::export_dataset(&scenario, Path::new(out), &options)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "exported `{}`: {} consumers × {} intervals @ {} min → {} ({} gaps injected)",
+        scenario.name,
+        summary.consumers,
+        summary.intervals,
+        summary.resolution_min,
+        summary.dir.display(),
+        summary.gap_count
+    );
+    Ok(())
+}
+
+fn cmd_dataset_inspect(flags: &Flags) -> Result<(), String> {
+    let dir = flags
+        .get("dataset")
+        .ok_or("dataset inspect needs --dataset DIR")?;
+    let ds = Dataset::open(Path::new(dir)).map_err(|e| e.to_string())?;
+    let m = ds.manifest();
+    println!(
+        "{}: {} consumers × {} intervals @ {} min from {} ({} codec) — {}",
+        m.name,
+        m.consumers.len(),
+        m.intervals,
+        m.resolution_min,
+        m.start,
+        match m.codec {
+            SeriesCodec::Csv => "csv",
+            SeriesCodec::Binary => "binary",
+        },
+        m.description
+    );
+    if let Some(src) = &m.source_scenario {
+        println!(
+            "  exported from scenario `{src}` (degradation seed {})",
+            m.seed.map_or("?".to_string(), |s| s.to_string())
+        );
+    }
+    for (i, c) in m.consumers.iter().enumerate() {
+        println!(
+            "  [{i}] {} ({:?}): {} gap(s){}",
+            c.id,
+            c.kind,
+            c.gap_count,
+            if c.truth_total.is_some() {
+                ", carries ground truth"
+            } else {
+                ""
+            }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_dataset_ingest(flags: &Flags) -> Result<(), String> {
+    let dir = flags
+        .get("dataset")
+        .ok_or("dataset ingest needs --dataset DIR")?;
+    let fill = match flags.get("fill").unwrap_or("linear") {
+        "linear" => FillStrategy::Linear,
+        "previous" => FillStrategy::Previous,
+        "seasonal" => FillStrategy::SeasonalDaily,
+        "zero" => FillStrategy::Zero,
+        other => {
+            return Err(format!(
+                "unknown fill strategy '{other}' (linear|previous|seasonal|zero)"
+            ))
+        }
+    };
+    let cfg = CleaningConfig {
+        fill,
+        screen_anomalies: flags.get("screen-anomalies").is_some(),
+        ..CleaningConfig::default()
+    };
+    let ds = Dataset::open(Path::new(dir)).map_err(|e| e.to_string())?;
+    let indices: Vec<usize> = match flags.get("consumer") {
+        Some(raw) => {
+            let idx: usize = raw
+                .parse()
+                .map_err(|_| format!("invalid value '{raw}' for --consumer"))?;
+            if idx >= ds.len() {
+                return Err(format!(
+                    "--consumer {idx} out of range (dataset has {} consumers)",
+                    ds.len()
+                ));
+            }
+            vec![idx]
+        }
+        None => (0..ds.len()).collect(),
+    };
+    for idx in indices {
+        let record = ds.consumer(idx).map_err(|e| e.to_string())?;
+        let id = record.entry.id.clone();
+        let (series, report) =
+            flextract::dataset::ingest::clean(record.measured, &cfg).map_err(|e| e.to_string())?;
+        println!(
+            "  [{idx}] {id}: {} gap(s) filled, {} anomaly run(s) screened \
+             ({} interval(s), {:.3} kWh adjusted) → {:.2} kWh clean",
+            report.gaps_filled,
+            report.anomalies_screened,
+            report.anomalous_intervals,
+            report.screened_kwh,
+            series.total_energy()
+        );
+    }
+    Ok(())
 }
 
 /// Read a series from `.fxt` (binary codec) or `.csv`

@@ -23,6 +23,7 @@
 //! | [`core`] | `flextract-core` | **the five extraction approaches** |
 //! | [`agg`] | `flextract-agg` | flex-offer aggregation & RES scheduling |
 //! | [`eval`] | `flextract-eval` | realism metrics, ground truth, experiments |
+//! | [`dataset`] | `flextract-dataset` | metered-series store, degradation, cleaning |
 //! | [`scenario`] | `flextract-scenario` | declarative scenario corpus + parallel runner |
 //!
 //! ## Quickstart
@@ -65,6 +66,11 @@ pub mod appliance {
 /// The paper's contribution: the flexibility-extraction approaches.
 pub mod core {
     pub use flextract_core::*;
+}
+
+/// Metered-series datasets: columnar store, degradation, cleaning.
+pub mod dataset {
+    pub use flextract_dataset::*;
 }
 
 /// Appliance-level load disaggregation (§4 step 1).

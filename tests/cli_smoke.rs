@@ -364,6 +364,230 @@ fn scenario_invalid_specs_fail_with_a_message_not_a_backtrace() {
 }
 
 #[test]
+fn dataset_export_inspect_ingest_round_trip() {
+    let dir = scratch_dir("dataset");
+    let ds_dir = dir.join("metered");
+    let ds_flag = ds_dir.to_str().unwrap();
+
+    // 1. Export the committed source fleet with a degradation that
+    //    guarantees gaps, in binary form.
+    let export = flextract(&[
+        "dataset",
+        "export",
+        "--scenario",
+        "datasets/sources/src_gap_heavy.json",
+        "--out",
+        ds_flag,
+        "--codec",
+        "binary",
+        "--resolution-min",
+        "15",
+        "--gap-rate",
+        "0.1",
+        "--seed",
+        "11",
+    ]);
+    assert!(
+        export.status.success(),
+        "dataset export failed: {}",
+        String::from_utf8_lossy(&export.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&export.stdout);
+    assert!(stdout.contains("exported `src_gap_heavy`"), "{stdout}");
+    assert!(ds_dir.join("manifest.json").is_file());
+    assert!(ds_dir.join("consumer_0.fxm").is_file());
+
+    // 2. Inspect summarises the manifest.
+    let inspect = flextract(&["dataset", "inspect", "--dataset", ds_flag]);
+    assert!(
+        inspect.status.success(),
+        "dataset inspect failed: {}",
+        String::from_utf8_lossy(&inspect.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&inspect.stdout);
+    assert!(stdout.contains("2 consumers"), "{stdout}");
+    assert!(stdout.contains("carries ground truth"), "{stdout}");
+
+    // 3. Ingest cleans every consumer and reports the repairs.
+    let ingest = flextract(&[
+        "dataset",
+        "ingest",
+        "--dataset",
+        ds_flag,
+        "--fill",
+        "previous",
+        "--screen-anomalies",
+    ]);
+    assert!(
+        ingest.status.success(),
+        "dataset ingest failed: {}",
+        String::from_utf8_lossy(&ingest.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&ingest.stdout);
+    assert!(stdout.contains("gap(s) filled"), "{stdout}");
+
+    // 4. A single consumer can be ingested by index.
+    let one = flextract(&["dataset", "ingest", "--dataset", ds_flag, "--consumer", "1"]);
+    assert!(one.status.success());
+    assert_eq!(String::from_utf8_lossy(&one.stdout).lines().count(), 1);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dataset_malformed_csv_and_unaligned_timestamps_exit_nonzero() {
+    let dir = scratch_dir("dataset_bad");
+    let ds_dir = dir.join("metered");
+    let ds_flag = ds_dir.to_str().unwrap();
+    let export = flextract(&[
+        "dataset",
+        "export",
+        "--scenario",
+        "datasets/sources/src_household_1min.json",
+        "--out",
+        ds_flag,
+        "--resolution-min",
+        "15",
+    ]);
+    assert!(export.status.success());
+
+    let consumer = ds_dir.join("consumer_0.csv");
+    let pristine = std::fs::read_to_string(&consumer).unwrap();
+
+    // A non-numeric kwh value must exit non-zero naming file, row and
+    // column.
+    let mut lines: Vec<String> = pristine.lines().map(String::from).collect();
+    lines[17] = lines[17].split(',').next().unwrap().to_string() + ",abc";
+    std::fs::write(&consumer, lines.join("\n") + "\n").unwrap();
+    let bad = flextract(&["dataset", "ingest", "--dataset", ds_flag]);
+    assert!(!bad.status.success(), "malformed CSV must fail");
+    let stderr = String::from_utf8_lossy(&bad.stderr);
+    assert!(stderr.contains("consumer_0.csv"), "{stderr}");
+    assert!(stderr.contains("row 18"), "{stderr}");
+    assert!(stderr.contains("`kwh`"), "{stderr}");
+
+    // An off-grid (unaligned) timestamp must exit non-zero too.
+    let mut lines: Vec<String> = pristine.lines().map(String::from).collect();
+    let kwh = lines[17].split(',').nth(1).unwrap().to_string();
+    lines[17] = format!("2013-03-18 04:07,{kwh}");
+    std::fs::write(&consumer, lines.join("\n") + "\n").unwrap();
+    let bad = flextract(&["dataset", "ingest", "--dataset", ds_flag]);
+    assert!(!bad.status.success(), "unaligned timestamp must fail");
+    let stderr = String::from_utf8_lossy(&bad.stderr);
+    assert!(stderr.contains("off-grid"), "{stderr}");
+    assert!(stderr.contains("row 18"), "{stderr}");
+
+    // Scenario-level: a dataset-backed scenario pointing at the broken
+    // dataset fails with the same context, not a panic.
+    let spec = format!(
+        r#"{{
+  "name": "broken_ds",
+  "description": "points at a corrupted dataset",
+  "workload": {{
+    "Dataset": {{
+      "path": "{}",
+      "consumers": 3,
+      "cleaning": {{ "fill": "Linear", "screen_anomalies": false }},
+      "disaggregate": false
+    }}
+  }},
+  "start": "2013-03-18",
+  "days": 1,
+  "resolution_min": 15,
+  "extractor": "Peak",
+  "flexible_share": 0.05,
+  "aggregation": "None",
+  "res_capacity_share": 0.0,
+  "seed": 1
+}}"#,
+        ds_flag.replace('\\', "/")
+    );
+    std::fs::write(dir.join("broken_ds.json"), spec).unwrap();
+    let run = flextract(&[
+        "scenario",
+        "run",
+        "--dir",
+        dir.to_str().unwrap(),
+        "--name",
+        "broken_ds",
+    ]);
+    assert!(!run.status.success(), "broken dataset must fail the run");
+    let stderr = String::from_utf8_lossy(&run.stderr);
+    assert!(stderr.contains("consumer_0.csv"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dataset_bad_invocations_exit_nonzero() {
+    for args in [
+        &["dataset"] as &[&str],
+        &["dataset", "frobnicate"],
+        &["dataset", "export"],
+        &[
+            "dataset",
+            "export",
+            "--scenario",
+            "/no/such/spec.json",
+            "--out",
+            "/tmp/unused",
+        ],
+        &["dataset", "inspect"],
+        &[
+            "dataset",
+            "inspect",
+            "--dataset",
+            "/definitely/not/a/dataset",
+        ],
+        &[
+            "dataset",
+            "ingest",
+            "--dataset",
+            "/definitely/not/a/dataset",
+        ],
+        &[
+            "dataset",
+            "ingest",
+            "--dataset",
+            "datasets/ds_gap_heavy",
+            "--fill",
+            "bogus",
+        ],
+        &[
+            "dataset",
+            "ingest",
+            "--dataset",
+            "datasets/ds_gap_heavy",
+            "--consumer",
+            "99",
+        ],
+    ] {
+        let out = flextract(args);
+        assert!(!out.status.success(), "expected failure for args {args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("error:"),
+            "stderr for {args:?} should explain: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn dataset_backed_scenario_runs_from_the_cli() {
+    let run = flextract(&["scenario", "run", "--name", "ds_degraded_15min", "--json"]);
+    assert!(
+        run.status.success(),
+        "dataset-backed scenario failed: {}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&run.stdout);
+    assert!(stdout.contains("\"ingestion\""), "{stdout}");
+    assert!(stdout.contains("\"fidelity\""), "{stdout}");
+    assert!(stdout.contains("\"gaps_filled\": 7"), "{stdout}");
+}
+
+#[test]
 fn help_prints_usage() {
     let out = flextract(&["help"]);
     assert!(out.status.success());

@@ -1,0 +1,132 @@
+//! Regeneration gate for the committed corpus datasets.
+//!
+//! Every dataset under `datasets/` (except `sources/`, which holds the
+//! export-source scenario specs) must be exactly reproducible from its
+//! own provenance record: the manifest names the source scenario, the
+//! degradation, the seed and the codec, so `export_dataset` can re-run
+//! the export and every file must come back byte-identical. Run with
+//! `UPDATE_GOLDEN=1` to regenerate the committed datasets in place
+//! after an intentional simulator or exporter change (then regenerate
+//! the scenario goldens too — dataset bytes feed the reports).
+
+use flextract::dataset::{Dataset, MANIFEST_FILE};
+use flextract::scenario::{export_dataset, load_file, ExportOptions};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// All regular files in `dir`, keyed by file name.
+fn dir_files(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut files = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).expect("dataset dir is readable") {
+        let entry = entry.expect("dataset dir entry");
+        let path = entry.path();
+        if path.is_file() {
+            files.insert(
+                entry.file_name().to_string_lossy().to_string(),
+                std::fs::read(&path).expect("dataset file is readable"),
+            );
+        }
+    }
+    files
+}
+
+#[test]
+fn committed_datasets_regenerate_byte_identically() {
+    let root = repo_root();
+    let datasets_dir = root.join("datasets");
+    let update = std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1");
+
+    let mut dataset_dirs: Vec<PathBuf> = std::fs::read_dir(&datasets_dir)
+        .expect("datasets/ exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir() && p.file_name().is_some_and(|n| n != "sources"))
+        .collect();
+    dataset_dirs.sort();
+    assert!(
+        dataset_dirs.len() >= 3,
+        "committed dataset corpus shrank to {} datasets",
+        dataset_dirs.len()
+    );
+
+    let mut failures = Vec::new();
+    for dir in dataset_dirs {
+        let name = dir.file_name().unwrap().to_string_lossy().to_string();
+        let ds = Dataset::open(&dir).expect("committed dataset opens");
+        let manifest = ds.manifest().clone();
+        let source = manifest
+            .source_scenario
+            .as_ref()
+            .unwrap_or_else(|| panic!("{name}: committed datasets must record their source"));
+        let spec_path = datasets_dir.join("sources").join(format!("{source}.json"));
+        let scenario = load_file(&spec_path)
+            .unwrap_or_else(|e| panic!("{name}: source spec {} : {e}", spec_path.display()));
+        let options = ExportOptions {
+            degradation: manifest
+                .degradation
+                .clone()
+                .expect("exported manifests record the degradation"),
+            codec: manifest.codec,
+            seed: manifest.seed,
+            include_truth: manifest.consumers[0].truth_total.is_some(),
+        };
+        if update {
+            export_dataset(&scenario, &dir, &options).expect("regeneration succeeds");
+            continue;
+        }
+        let fresh_dir = std::env::temp_dir().join(format!(
+            "flextract_dataset_golden_{name}_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&fresh_dir);
+        export_dataset(&scenario, &fresh_dir, &options).expect("regeneration succeeds");
+        let committed = dir_files(&dir);
+        let fresh = dir_files(&fresh_dir);
+        let committed_names: Vec<&String> = committed.keys().collect();
+        let fresh_names: Vec<&String> = fresh.keys().collect();
+        if committed_names != fresh_names {
+            failures.push(format!(
+                "{name}: file sets differ (committed {committed_names:?} vs fresh {fresh_names:?})"
+            ));
+        } else {
+            for (file, bytes) in &committed {
+                if fresh[file] != *bytes {
+                    failures.push(format!(
+                        "{name}/{file}: drifted from its provenance \
+                         (UPDATE_GOLDEN=1 regenerates after intentional changes)"
+                    ));
+                }
+            }
+        }
+        std::fs::remove_dir_all(&fresh_dir).ok();
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}
+
+#[test]
+fn committed_manifests_are_internally_consistent() {
+    let root = repo_root();
+    for entry in std::fs::read_dir(root.join("datasets")).expect("datasets/ exists") {
+        let path = entry.expect("entry").path();
+        if !path.is_dir() || path.file_name().is_some_and(|n| n == "sources") {
+            continue;
+        }
+        let ds = Dataset::open(&path).expect("committed dataset opens");
+        assert!(path.join(MANIFEST_FILE).is_file());
+        // Every consumer loads cleanly and sits on the declared grid.
+        for idx in 0..ds.len() {
+            let record = ds
+                .consumer(idx)
+                .unwrap_or_else(|e| panic!("{}: consumer {idx}: {e}", path.display()));
+            assert_eq!(
+                record.measured.len(),
+                ds.manifest().intervals,
+                "{}: consumer {idx} off-grid",
+                path.display()
+            );
+        }
+    }
+}
