@@ -9,19 +9,22 @@
 //! with `cargo bench -p flextract-bench --bench bench_pipeline`; commit
 //! the regenerated JSON when the numbers move for a reason.
 
-use flextract_dataset::Degradation;
+use flextract_dataset::{
+    ConsumerKind, Dataset, DatasetWriter, Degradation, MeasuredSeries, Scan, SeriesCodec,
+};
 use flextract_scenario::{
     export_dataset, AggregationPolicy, DatasetCleaning, ExportOptions, ExtractorChoice, Scenario,
     ScenarioRunner, Workload,
 };
 use flextract_series::FillStrategy;
 use flextract_sim::HouseholdArchetype;
+use flextract_time::{Duration, Resolution, TimeRange, Timestamp};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// One measured configuration.
 struct Record {
-    name: &'static str,
+    name: String,
     consumer_threads: usize,
     iters: u32,
     mean_us: f64,
@@ -61,12 +64,19 @@ fn fleet_scenario(name: &str, households: usize) -> Scenario {
 /// Time `runner.run(scenario)` for `iters` iterations after `warmup`
 /// untimed ones; returns the mean µs per iteration.
 fn measure(runner: &ScenarioRunner, scenario: &Scenario, warmup: u32, iters: u32) -> f64 {
-    for _ in 0..warmup {
+    measure_fn(warmup, iters, || {
         std::hint::black_box(runner.run(scenario).expect("benchmark scenario runs"));
+    })
+}
+
+/// Time an arbitrary closure; returns the mean µs per iteration.
+fn measure_fn(warmup: u32, iters: u32, mut f: impl FnMut()) -> f64 {
+    for _ in 0..warmup {
+        f();
     }
     let start = Instant::now();
     for _ in 0..iters {
-        std::hint::black_box(runner.run(scenario).expect("benchmark scenario runs"));
+        f();
     }
     start.elapsed().as_secs_f64() * 1e6 / f64::from(iters)
 }
@@ -127,6 +137,102 @@ fn ingest_scenario(dir: &Path) -> Scenario {
     }
 }
 
+/// Write a 30-day 1-min 4-consumer dataset in the given codec and
+/// return its directory. Synthetic values (no simulation) so the bench
+/// isolates the storage layer.
+fn query_dataset(codec: SeriesCodec, tag: &str) -> PathBuf {
+    let start: Timestamp = "2013-03-18".parse().expect("static date");
+    let intervals = 30 * 1440;
+    let dir = std::env::temp_dir().join(format!(
+        "flextract_bench_query_{tag}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut w = DatasetWriter::create(
+        &dir,
+        "bench_query",
+        "30-day query benchmark fleet",
+        start,
+        Resolution::MIN_1,
+        intervals,
+        codec,
+    )
+    .expect("benchmark dataset dir is writable");
+    for c in 0..4_usize {
+        let values: Vec<f64> = (0..intervals)
+            .map(|i| {
+                let x = (i * 37 + c * 13) % 101;
+                if x == 100 {
+                    f64::NAN
+                } else {
+                    0.2 + x as f64 * 0.01
+                }
+            })
+            .collect();
+        let m = MeasuredSeries::new(start, Resolution::MIN_1, values).expect("finite values");
+        w.write_consumer(&c.to_string(), ConsumerKind::Household, &m, None, None)
+            .expect("consumer writes");
+    }
+    w.finish().expect("manifest writes");
+    dir
+}
+
+/// The query-engine stages: a one-day slice out of a 30-day series and
+/// a whole-series aggregate, on FXM2 (chunk-skipping) vs FXM1 (full
+/// decode). Each iteration re-reads the files — the out-of-core serving
+/// shape, not a warm in-memory scan.
+fn query_benches(records: &mut Vec<Record>) {
+    let start: Timestamp = "2013-03-18".parse().expect("static date");
+    let day15 =
+        TimeRange::starting_at(start + Duration::days(14), Duration::days(1)).expect("1 day");
+    for (codec, tag) in [
+        (SeriesCodec::Binary, "fxm2"),
+        (SeriesCodec::BinaryV1, "fxm1"),
+    ] {
+        let dir = query_dataset(codec, tag);
+        let ds = Dataset::open(&dir).expect("benchmark dataset opens");
+        let iters = 30;
+        let mean = measure_fn(3, iters, || {
+            for c in 0..ds.len() {
+                std::hint::black_box(ds.consumer_slice(c, day15).expect("slice reads"));
+            }
+        });
+        records.push(Record {
+            name: format!("query/time_slice_1d_of_30d/{tag}"),
+            consumer_threads: 1,
+            iters,
+            mean_us: mean,
+        });
+        let scan = Scan::new();
+        let mean = measure_fn(3, iters, || {
+            for c in 0..ds.len() {
+                std::hint::black_box(ds.consumer_aggregates(c, &scan).expect("aggregates"));
+            }
+        });
+        records.push(Record {
+            name: format!("query/full_scan_agg/{tag}"),
+            consumer_threads: 1,
+            iters,
+            mean_us: mean,
+        });
+        // Print the pushdown audit once per codec so the skip ratio is
+        // on record next to the timings.
+        let (_, slice_report) = ds.consumer_slice(0, day15).expect("slice reads");
+        let (_, agg_report) = ds.consumer_aggregates(0, &scan).expect("aggregates");
+        println!(
+            "query/{tag}: slice decoded {}/{} chunks, full-scan agg decoded {}/{} \
+             (skip fractions {:.3} / {:.3})",
+            slice_report.chunks_decoded,
+            slice_report.chunks_total,
+            agg_report.chunks_decoded,
+            agg_report.chunks_total,
+            slice_report.skip_fraction(),
+            agg_report.skip_fraction(),
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
 fn main() {
     let mid = fleet_scenario("bench_mid_fleet", 48);
     let stress = fleet_scenario("bench_stress_10k", 10_000);
@@ -140,7 +246,7 @@ fn main() {
         let runner = ScenarioRunner::with_threads(1).with_consumer_threads(consumer_threads);
         let mean = measure(&runner, &mid, 1, 5);
         records.push(Record {
-            name: "pipeline/mid_fleet_48hh_1d",
+            name: "pipeline/mid_fleet_48hh_1d".into(),
             consumer_threads,
             iters: 5,
             mean_us: mean,
@@ -149,7 +255,7 @@ fn main() {
         // screen) → extract → evaluate, fidelity leg included.
         let mean = measure(&runner, &ingest, 1, 5);
         records.push(Record {
-            name: "pipeline/ingest_clean_extract_48hh_1d",
+            name: "pipeline/ingest_clean_extract_48hh_1d".into(),
             consumer_threads,
             iters: 5,
             mean_us: mean,
@@ -158,13 +264,14 @@ fn main() {
         // the sample count low, skip the warm-up.
         let mean = measure(&runner, &stress, 0, 2);
         records.push(Record {
-            name: "pipeline/stress_10k_households_1d",
+            name: "pipeline/stress_10k_households_1d".into(),
             consumer_threads,
             iters: 2,
             mean_us: mean,
         });
     }
     std::fs::remove_dir_all(&ds_dir).ok();
+    query_benches(&mut records);
 
     let root = workspace_root();
     let host_cpus = std::thread::available_parallelism().map_or(0, |n| n.get());

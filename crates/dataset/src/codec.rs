@@ -1,185 +1,55 @@
-//! Loss-free codecs for measured series: chunked `FXM1` binary and
-//! `interval_start,kwh` CSV.
+//! Loss-free codecs for measured series: the chunked binary frame
+//! formats (stat-carrying `FXM2` and legacy `FXM1`, both owned by
+//! [`flextract_frame::fxm`]) and `interval_start,kwh` CSV.
 //!
-//! Both formats carry gaps explicitly (a canonical `NaN` payload in the
-//! binary format, an empty `kwh` field in CSV) and round-trip exactly:
-//! the binary format stores raw IEEE-754 bits, and the CSV writer uses
+//! All formats carry gaps explicitly (a canonical `NaN` payload in the
+//! binary formats, an empty `kwh` field in CSV) and round-trip exactly:
+//! the binary formats store raw IEEE-754 bits, and the CSV writer uses
 //! Rust's shortest round-trip float rendering, so
 //! `decode(encode(m)) == m` byte for byte in both directions.
 //!
-//! ## `FXM1` layout (all little-endian)
-//!
-//! | offset | size | field |
-//! |--------|------|-------|
-//! | 0      | 4    | magic `b"FXM1"` |
-//! | 4      | 8    | start (i64 minutes since flextract epoch) |
-//! | 12     | 4    | resolution (u32 minutes) |
-//! | 16     | 8    | total length (u64 interval count) |
-//! | 24     | 4    | chunk length (u32 intervals per chunk) |
-//! | 28     | …    | chunk frames |
-//!
-//! Each chunk frame is `[u32 count][count × f64]`, with `count` equal
-//! to the chunk length except for the final chunk. Chunk framing lets
-//! a reader process one chunk at a time ([`for_each_chunk`]) without
-//! materialising the whole value vector — available for streaming
-//! consumers, though the bundled tooling currently decodes whole
-//! series (`inspect` summarises from the manifest alone).
+//! The binary layouts (including the `FXM2` per-chunk statistics and
+//! footer chunk index) are documented on [`flextract_frame::fxm`];
+//! this module adapts them to [`DatasetError`] and keeps the CSV
+//! format, which is row-shaped and needs row/column error context the
+//! frame layer has no concept of.
 
 use crate::{DatasetError, MeasuredSeries};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::Bytes;
+use flextract_frame::fxm;
 use flextract_series::SeriesError;
 use flextract_time::{Resolution, Timestamp};
 
-/// Format magic: "FXM" (flextract measured) + version 1.
-pub const MAGIC: [u8; 4] = *b"FXM1";
+pub use flextract_frame::fxm::{sniff, FxmVersion, DEFAULT_CHUNK_LEN};
 
-/// Size in bytes of the fixed header.
-pub const HEADER_LEN: usize = 28;
-
-/// Default intervals per chunk: one 15-min day. Chosen so a chunk is a
-/// few KiB — small enough to stream, large enough that framing
-/// overhead (4 bytes per chunk) is noise.
-pub const DEFAULT_CHUNK_LEN: usize = 96;
-
-/// The canonical gap payload: every `NaN` is normalised to this bit
-/// pattern on encode, so encoding is a pure function of the series
-/// (two equal series always encode to identical bytes).
-const GAP_BITS: u64 = 0x7FF8_0000_0000_0000;
-
-/// Encode a measured series into a freshly allocated buffer using
-/// [`DEFAULT_CHUNK_LEN`]-interval chunks.
+/// Encode a measured series as `FXM2` (per-chunk statistics + footer
+/// chunk index) using [`DEFAULT_CHUNK_LEN`]-interval chunks.
 pub fn encode(series: &MeasuredSeries) -> Bytes {
-    encode_chunked(series, DEFAULT_CHUNK_LEN)
+    fxm::encode(series)
 }
 
-/// Encode with an explicit chunk length (≥ 1; clamped from 0).
-pub fn encode_chunked(series: &MeasuredSeries, chunk_len: usize) -> Bytes {
-    let chunk_len = chunk_len.max(1);
-    let n = series.len();
-    let chunks = n.div_ceil(chunk_len);
-    let mut buf = BytesMut::with_capacity(HEADER_LEN + 4 * chunks + 8 * n);
-    buf.put_slice(&MAGIC);
-    buf.put_i64_le(series.start().as_minutes());
-    buf.put_u32_le(series.resolution().minutes() as u32);
-    buf.put_u64_le(n as u64);
-    buf.put_u32_le(chunk_len as u32);
-    for chunk in series.values().chunks(chunk_len) {
-        buf.put_u32_le(chunk.len() as u32);
-        for &v in chunk {
-            buf.put_u64_le(if v.is_nan() { GAP_BITS } else { v.to_bits() });
-        }
-    }
-    buf.freeze()
+/// Encode as `FXM2` with an explicit chunk length. Errors on
+/// `chunk_len == 0` (never silently clamped).
+pub fn encode_chunked(series: &MeasuredSeries, chunk_len: usize) -> Result<Bytes, DatasetError> {
+    fxm::encode_chunked(series, chunk_len).map_err(Into::into)
 }
 
-/// Parsed `FXM1` header.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Header {
-    /// First instant covered by the series.
-    pub start: Timestamp,
-    /// Interval width.
-    pub resolution: Resolution,
-    /// Total interval count across all chunks.
-    pub len: usize,
-    /// Intervals per chunk (the final chunk may be shorter).
-    pub chunk_len: usize,
+/// Encode as legacy `FXM1` (no statistics — readers fall back to full
+/// decodes) using [`DEFAULT_CHUNK_LEN`]-interval chunks.
+pub fn encode_v1(series: &MeasuredSeries) -> Bytes {
+    fxm::encode_v1(series)
 }
 
-fn codec_err(file: &str, what: &'static str) -> DatasetError {
-    DatasetError::Codec {
-        file: file.to_string(),
-        what: what.to_string(),
-    }
+/// Encode as legacy `FXM1` with an explicit chunk length (same
+/// zero-chunk-length contract as [`encode_chunked`]).
+pub fn encode_chunked_v1(series: &MeasuredSeries, chunk_len: usize) -> Result<Bytes, DatasetError> {
+    fxm::encode_chunked_v1(series, chunk_len).map_err(Into::into)
 }
 
-/// Decode just the header of an `FXM1` buffer. `file` names the source
-/// in errors.
-pub fn decode_header(buf: &mut impl Buf, file: &str) -> Result<Header, DatasetError> {
-    if buf.remaining() < HEADER_LEN {
-        return Err(codec_err(file, "buffer shorter than header"));
-    }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if magic != MAGIC {
-        return Err(codec_err(file, "bad magic (expected FXM1)"));
-    }
-    let start = Timestamp::from_minutes(buf.get_i64_le());
-    let resolution = Resolution::from_minutes(buf.get_u32_le() as i64)
-        .map_err(|_| codec_err(file, "invalid resolution"))?;
-    if !start.is_aligned(resolution) {
-        return Err(codec_err(file, "unaligned start"));
-    }
-    let len = buf.get_u64_le();
-    if len > (usize::MAX / 8) as u64 {
-        return Err(codec_err(file, "length overflow"));
-    }
-    let chunk_len = buf.get_u32_le() as usize;
-    if chunk_len == 0 {
-        return Err(codec_err(file, "zero chunk length"));
-    }
-    Ok(Header {
-        start,
-        resolution,
-        len: len as usize,
-        chunk_len,
-    })
-}
-
-/// Stream the chunks of an `FXM1` buffer through `visit` without ever
-/// holding more than one chunk of decoded values. Returns the header.
-///
-/// `visit` receives the index of the first interval in the chunk and
-/// the chunk's values (gaps as `NaN`).
-pub fn for_each_chunk(
-    mut buf: impl Buf,
-    file: &str,
-    mut visit: impl FnMut(usize, &[f64]),
-) -> Result<Header, DatasetError> {
-    let header = decode_header(&mut buf, file)?;
-    // The header's chunk_len is attacker-controlled; cap the upfront
-    // allocation by what the remaining buffer could actually hold so a
-    // corrupt file yields a codec error, not a huge allocation.
-    let cap = header.chunk_len.min(header.len).min(buf.remaining() / 8);
-    let mut chunk = Vec::with_capacity(cap);
-    let mut offset = 0usize;
-    while offset < header.len {
-        let expected = header.chunk_len.min(header.len - offset);
-        if buf.remaining() < 4 {
-            return Err(codec_err(file, "truncated chunk frame"));
-        }
-        let count = buf.get_u32_le() as usize;
-        if count != expected {
-            return Err(codec_err(file, "chunk count disagrees with header"));
-        }
-        if buf.remaining() < count * 8 {
-            return Err(codec_err(file, "truncated chunk payload"));
-        }
-        chunk.clear();
-        for _ in 0..count {
-            let v = f64::from_bits(buf.get_u64_le());
-            if v.is_infinite() {
-                return Err(codec_err(file, "infinite value in chunk payload"));
-            }
-            chunk.push(v);
-        }
-        visit(offset, &chunk);
-        offset += count;
-    }
-    if buf.remaining() > 0 {
-        return Err(codec_err(file, "trailing bytes after final chunk"));
-    }
-    Ok(header)
-}
-
-/// Decode a full measured series from an `FXM1` buffer. `file` names
-/// the source in errors.
-pub fn decode(buf: impl Buf, file: &str) -> Result<MeasuredSeries, DatasetError> {
-    let mut values = Vec::new();
-    let header = for_each_chunk(buf, file, |_, chunk| values.extend_from_slice(chunk))?;
-    MeasuredSeries::new(header.start, header.resolution, values).map_err(|e| match e {
-        SeriesError::UnalignedStart => codec_err(file, "unaligned start"),
-        other => DatasetError::Series(other),
-    })
+/// Decode a full measured series from a binary frame buffer (either
+/// version, sniffed by magic). `file` names the source in errors.
+pub fn decode(buf: &[u8], file: &str) -> Result<MeasuredSeries, DatasetError> {
+    fxm::decode(buf, file).map_err(Into::into)
 }
 
 /// Render a measured series as `interval_start,kwh` CSV; a gap is an
@@ -308,93 +178,48 @@ mod tests {
     }
 
     #[test]
-    fn binary_round_trip_preserves_gaps() {
+    fn both_binary_versions_round_trip_through_the_dataset_layer() {
         let m = sample();
-        let bytes = encode(&m);
-        let back = decode(bytes, "test.fxm").unwrap();
-        assert_eq!(back.start(), m.start());
-        assert_eq!(back.resolution(), m.resolution());
-        assert_eq!(back.gap_count(), 2);
-        for (a, b) in back.values().iter().zip(m.values()) {
-            assert!(a.is_nan() == b.is_nan());
-            if !a.is_nan() {
-                assert_eq!(a.to_bits(), b.to_bits());
+        for bytes in [encode(&m), encode_v1(&m)] {
+            let back = decode(&bytes, "test.fxm").unwrap();
+            assert_eq!(back.start(), m.start());
+            assert_eq!(back.resolution(), m.resolution());
+            assert_eq!(back.gap_count(), 2);
+            for (a, b) in back.values().iter().zip(m.values()) {
+                assert!(a.is_nan() == b.is_nan());
+                if !a.is_nan() {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
             }
         }
+        assert_eq!(sniff(&encode(&m)), Some(FxmVersion::V2));
+        assert_eq!(sniff(&encode_v1(&m)), Some(FxmVersion::V1));
     }
 
     #[test]
-    fn encoding_is_deterministic_across_nan_payloads() {
-        // A NaN produced by arithmetic may carry a different bit
-        // pattern than f64::NAN; encoding canonicalises them.
-        let quiet = f64::NAN;
-        let arithmetic = f64::from_bits(0x7FF8_0000_0000_0001);
-        assert!(arithmetic.is_nan());
-        let a =
-            MeasuredSeries::new(ts("2013-03-18"), Resolution::MIN_15, vec![1.0, quiet]).unwrap();
-        let b = MeasuredSeries::new(ts("2013-03-18"), Resolution::MIN_15, vec![1.0, arithmetic])
-            .unwrap();
-        assert_eq!(encode(&a), encode(&b));
-    }
-
-    #[test]
-    fn chunk_framing_is_respected() {
-        let values: Vec<f64> = (0..250).map(|i| i as f64 * 0.01).collect();
-        let m = MeasuredSeries::new(ts("2013-03-18"), Resolution::MIN_1, values).unwrap();
-        let bytes = encode_chunked(&m, 96);
-        let mut offsets = Vec::new();
-        let header = for_each_chunk(bytes.clone(), "t.fxm", |off, chunk| {
-            offsets.push((off, chunk.len()));
-        })
-        .unwrap();
-        assert_eq!(header.len, 250);
-        assert_eq!(header.chunk_len, 96);
-        assert_eq!(offsets, vec![(0, 96), (96, 96), (192, 58)]);
-        let back = decode(bytes, "t.fxm").unwrap();
-        assert_eq!(back, m);
-    }
-
-    #[test]
-    fn rejects_malformed_buffers() {
-        let raw = encode(&sample());
-        assert!(matches!(
-            decode(raw.slice(..10), "t.fxm"),
-            Err(DatasetError::Codec { .. })
-        ));
-        let mut bad_magic = raw.to_vec();
-        bad_magic[0] = b'X';
-        let err = decode(Bytes::from(bad_magic), "t.fxm").unwrap_err();
-        assert!(err.to_string().contains("magic"), "{err}");
-        // Truncated payload.
-        assert!(matches!(
-            decode(raw.slice(..raw.len() - 4), "t.fxm"),
-            Err(DatasetError::Codec { .. })
-        ));
-        // Trailing junk.
+    fn frame_errors_convert_to_dataset_errors() {
+        let m = sample();
+        // Zero chunk length surfaces as an Invalid error, not a clamp.
+        let err = encode_chunked(&m, 0).unwrap_err();
+        assert!(matches!(err, DatasetError::Invalid { .. }));
+        assert!(err.to_string().contains("at least 1"), "{err}");
+        let err = encode_chunked_v1(&m, 0).unwrap_err();
+        assert!(matches!(err, DatasetError::Invalid { .. }));
+        // Trailing garbage keeps the byte offset in the message.
+        let raw = encode_v1(&m);
+        let clean_len = raw.len();
         let mut long = raw.to_vec();
         long.push(0);
-        let err = decode(Bytes::from(long), "t.fxm").unwrap_err();
-        assert!(err.to_string().contains("trailing"), "{err}");
-        // Infinity in the payload.
-        let mut inf = raw.to_vec();
-        let val_at = HEADER_LEN + 4; // first chunk frame count, then first value
-        inf[val_at..val_at + 8].copy_from_slice(&f64::INFINITY.to_bits().to_le_bytes());
-        let err = decode(Bytes::from(inf), "t.fxm").unwrap_err();
-        assert!(err.to_string().contains("infinite"), "{err}");
-    }
-
-    #[test]
-    fn huge_declared_lengths_fail_without_allocating() {
-        // A header claiming u32::MAX-interval chunks with no payload
-        // must produce a codec error, not a multi-GiB allocation.
-        let mut buf = BytesMut::new();
-        buf.put_slice(&MAGIC);
-        buf.put_i64_le(0); // aligned start
-        buf.put_u32_le(15);
-        buf.put_u64_le(u64::from(u32::MAX));
-        buf.put_u32_le(u32::MAX);
-        let err = decode(buf.freeze(), "t.fxm").unwrap_err();
-        assert!(err.to_string().contains("truncated"), "{err}");
+        let err = decode(&long, "t.fxm").unwrap_err();
+        assert!(matches!(err, DatasetError::Codec { .. }));
+        let msg = err.to_string();
+        assert!(msg.contains("trailing"), "{msg}");
+        assert!(msg.contains(&format!("offset {clean_len}")), "{msg}");
+        // Malformed headers stay codec errors.
+        assert!(matches!(
+            decode(&raw[..10], "t.fxm"),
+            Err(DatasetError::Codec { .. })
+        ));
     }
 
     #[test]

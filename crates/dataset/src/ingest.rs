@@ -14,6 +14,13 @@
 //! Both repairs are pure functions of the input, so a cleaned dataset
 //! consumer is as deterministic as a simulated one — which is what lets
 //! dataset-backed scenarios live in the golden-file corpus.
+//!
+//! Cleaning is **chunk-windowed**: its input is a scan window
+//! (typically the scenario horizon materialized through
+//! [`crate::Dataset::consumer_in`], which assembles only the chunks
+//! overlapping the window), never the whole stored series — so
+//! gap-fill and the rolling-z screen cost `O(window)`, not `O(file)`,
+//! when a scenario reads one day of a month-long feed.
 
 use crate::{DatasetError, MeasuredSeries};
 use flextract_series::{anomaly, missing, FillStrategy, TimeSeries};

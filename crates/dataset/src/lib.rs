@@ -16,10 +16,12 @@
 //! * [`MeasuredSeries`] — a raw metered series in which gaps are
 //!   first-class (`NaN` intervals), unlike
 //!   [`TimeSeries`](flextract_series::TimeSeries) whose invariant is
-//!   all-finite values;
-//! * [`codec`] — the chunked `FXM1` binary format and the
-//!   `interval_start,kwh` CSV format (an empty `kwh` field is a gap),
-//!   both loss-free;
+//!   all-finite values (re-exported from
+//!   [`flextract_frame`], which owns the columnar substrate);
+//! * [`codec`] — the chunked binary formats (`FXM2` with per-chunk
+//!   statistics, legacy `FXM1`) delegated to
+//!   [`flextract_frame::fxm`], and the `interval_start,kwh` CSV format
+//!   (an empty `kwh` field is a gap), all loss-free;
 //! * [`degrade`] — seeded, deterministic degradation operators
 //!   (downsampling, measurement noise, anomaly spikes, gap injection)
 //!   applied when a simulated fleet is exported to the metered format;
@@ -29,7 +31,9 @@
 //! * [`store`] — the on-disk dataset: one `manifest.json` naming the
 //!   fleet plus one series file per consumer (and, for exported
 //!   datasets, the simulator ground truth), loadable consumer by
-//!   consumer so a large fleet never has to fit in memory at once.
+//!   consumer — wholly, or as **ranged reads** that decode only the
+//!   chunks overlapping a time slice, or as streamed chunk-stat
+//!   aggregates that may touch no payload at all.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,12 +41,13 @@
 pub mod codec;
 pub mod degrade;
 pub mod ingest;
-mod measured;
 pub mod store;
 
 pub use degrade::Degradation;
+pub use flextract_frame::{
+    Aggregates, ChunkStats, Frame, FrameError, MeasuredSeries, Predicate, Scan, ScanReport,
+};
 pub use ingest::{CleaningConfig, CleaningReport};
-pub use measured::MeasuredSeries;
 pub use store::{
     ConsumerEntry, ConsumerKind, Dataset, DatasetRecord, DatasetWriter, Manifest, SeriesCodec,
     MANIFEST_FILE,
@@ -136,6 +141,36 @@ impl std::error::Error for DatasetError {}
 impl From<SeriesError> for DatasetError {
     fn from(e: SeriesError) -> Self {
         DatasetError::Series(e)
+    }
+}
+
+impl From<FrameError> for DatasetError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Codec { file, what } => DatasetError::Codec { file, what },
+            // The typed trailing-bytes error keeps its offset in the
+            // message; frame-level callers can still match the typed
+            // variant directly.
+            FrameError::TrailingBytes {
+                file,
+                offset,
+                trailing,
+            } => DatasetError::Codec {
+                file,
+                what: format!(
+                    "{trailing} trailing byte(s) after the final chunk at byte offset {offset}"
+                ),
+            },
+            FrameError::ZeroChunkLen => DatasetError::Invalid {
+                file: "<encode>".to_string(),
+                what: "chunk length must be at least 1 (got 0)".to_string(),
+            },
+            FrameError::Scan { what } => DatasetError::Invalid {
+                file: "<scan>".to_string(),
+                what,
+            },
+            FrameError::Series(e) => DatasetError::Series(e),
+        }
     }
 }
 

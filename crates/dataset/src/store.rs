@@ -10,19 +10,25 @@
 //!   flex_<id>.csv|.fxm     — (exported datasets) true flexible series
 //! ```
 //!
-//! The layout is columnar in the only sense that matters at this scale:
-//! each consumer's series is its own contiguous column file, so loading
-//! consumer `i` touches `O(intervals)` bytes regardless of fleet size,
-//! and the scenario runner's sharded workers can pull consumers by
-//! index concurrently through a shared [`Dataset`] handle (`&self`
-//! loads — no interior mutability, no cache). Ground-truth files ride
-//! along only when the dataset was exported from the simulator; real
-//! metered feeds simply do not have them.
+//! The layout is columnar twice over: each consumer's series is its
+//! own contiguous column file (loading consumer `i` touches
+//! `O(intervals)` bytes regardless of fleet size), and each file is a
+//! chunked [`Frame`] — FXM2 files carry per-chunk statistics and a
+//! footer index, so **ranged reads** ([`Dataset::consumer_in`],
+//! [`Dataset::consumer_slice`]) decode only the chunks overlapping a
+//! time slice and stat queries ([`Dataset::consumer_aggregates`]) may
+//! decode no payload at all. The scenario runner's sharded workers
+//! pull consumers by index concurrently through a shared [`Dataset`]
+//! handle (`&self` loads — no interior mutability, no cache).
+//! Ground-truth files ride along only when the dataset was exported
+//! from the simulator; real metered feeds simply do not have them.
 
 use crate::codec;
 use crate::degrade::Degradation;
 use crate::{DatasetError, MeasuredSeries};
-use flextract_time::{Resolution, Timestamp};
+use bytes::Bytes;
+use flextract_frame::{Aggregates, Frame, Scan, ScanReport};
+use flextract_time::{Resolution, TimeRange, Timestamp};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 
@@ -37,8 +43,15 @@ pub const MANIFEST_FILE: &str = "manifest.json";
 pub enum SeriesCodec {
     /// `interval_start,kwh` text rows; an empty `kwh` field is a gap.
     Csv,
-    /// The chunked `FXM1` binary format.
+    /// The chunked `FXM2` binary format: per-chunk statistics plus a
+    /// footer chunk index, enabling ranged reads and stat pushdown.
     Binary,
+    /// The legacy chunked `FXM1` binary format (no statistics; readers
+    /// fall back to full decodes). Kept as an export escape hatch and
+    /// for reading pre-FXM2 datasets — the read path sniffs the magic,
+    /// so either binary flavour loads regardless of the manifest's
+    /// declared codec.
+    BinaryV1,
 }
 
 impl SeriesCodec {
@@ -46,7 +59,16 @@ impl SeriesCodec {
     pub fn extension(self) -> &'static str {
         match self {
             SeriesCodec::Csv => "csv",
-            SeriesCodec::Binary => "fxm",
+            SeriesCodec::Binary | SeriesCodec::BinaryV1 => "fxm",
+        }
+    }
+
+    /// Human-readable label (matches the CLI `--codec` values).
+    pub fn label(self) -> &'static str {
+        match self {
+            SeriesCodec::Csv => "csv",
+            SeriesCodec::Binary => "fxm2",
+            SeriesCodec::BinaryV1 => "fxm1",
         }
     }
 }
@@ -230,18 +252,37 @@ impl Dataset {
         self.manifest.consumers.is_empty()
     }
 
-    fn load_measured_file(&self, file: &str) -> Result<MeasuredSeries, DatasetError> {
+    /// Open `file` as a chunk-addressable [`Frame`]: binary formats
+    /// open lazily (FXM2) or with one decode pass (FXM1); CSV parses
+    /// and is chunked virtually.
+    fn load_frame(&self, file: &str) -> Result<Frame, DatasetError> {
         let path = self.dir.join(file);
         let raw = read_file(&path)?;
         let display = path.display().to_string();
-        if raw.starts_with(&codec::MAGIC) {
-            codec::decode(raw.as_slice(), &display)
+        if codec::sniff(&raw).is_some() {
+            Frame::from_fxm_bytes(Bytes::from(raw), &display).map_err(Into::into)
         } else {
             let text = String::from_utf8(raw).map_err(|_| DatasetError::Invalid {
                 file: display.clone(),
-                what: "not valid UTF-8 (and not FXM1 binary)".to_string(),
+                what: "not valid UTF-8 (and not FXM1/FXM2 binary)".to_string(),
             })?;
-            codec::from_csv(&text, &display)
+            let measured = codec::from_csv(&text, &display)?;
+            Frame::from_measured(measured, codec::DEFAULT_CHUNK_LEN, &display).map_err(Into::into)
+        }
+    }
+
+    /// Materialize a frame, whole or sliced to `range` (a ranged read:
+    /// only the chunks overlapping the slice decode).
+    fn materialize(frame: Frame, range: Option<TimeRange>) -> Result<MeasuredSeries, DatasetError> {
+        match range {
+            // Whole-series read: already-materialized frames (FXM1,
+            // CSV) move their values instead of copying.
+            None => frame.into_measured().map_err(Into::into),
+            Some(r) => Scan::new()
+                .time_slice(r)
+                .materialize(&frame)
+                .map(|(series, _)| series)
+                .map_err(Into::into),
         }
     }
 
@@ -249,26 +290,27 @@ impl Dataset {
     /// gap-free, same start, and covering the same horizon as the
     /// measured grid (truth may be finer — it is the undegraded series
     /// at its native resolution — but a short or shifted truth file
-    /// would silently corrupt the fidelity numbers).
+    /// would silently corrupt the fidelity numbers). With a `range`,
+    /// only the overlapping part is materialized.
     fn load_truth_file(
         &self,
         file: &str,
         start: Timestamp,
+        range: Option<TimeRange>,
     ) -> Result<flextract_series::TimeSeries, DatasetError> {
-        let measured = self.load_measured_file(file)?;
-        let gaps = measured.gap_count();
+        let frame = self.load_frame(file)?;
+        let header = *frame.header();
         let display = || self.dir.join(file).display().to_string();
-        if measured.start() != start {
+        if header.start != start {
             return Err(DatasetError::Invalid {
                 file: display(),
                 what: format!(
                     "ground-truth series starts at {} but the manifest declares {}",
-                    measured.start(),
-                    self.manifest.start
+                    header.start, self.manifest.start
                 ),
             });
         }
-        let covered = measured.len() as i64 * measured.resolution().minutes();
+        let covered = header.len as i64 * header.resolution.minutes();
         let declared = self.manifest.intervals as i64 * self.manifest.resolution_min;
         if covered != declared {
             return Err(DatasetError::Invalid {
@@ -279,6 +321,19 @@ impl Dataset {
                 ),
             });
         }
+        let measured = Self::materialize(frame, range)?;
+        if measured.is_empty() {
+            // Distinguish a non-overlapping range from file corruption:
+            // an empty slice is a caller problem, not a gap problem.
+            return Err(DatasetError::Invalid {
+                file: display(),
+                what: format!(
+                    "requested range {} does not overlap the stored series",
+                    range.expect("a whole-series read is never empty (open rejects empty grids)")
+                ),
+            });
+        }
+        let gaps = measured.gap_count();
         measured.into_series().map_err(|_| DatasetError::Invalid {
             file: display(),
             what: format!("ground-truth series has {gaps} gap(s); truth files must be gap-free"),
@@ -288,7 +343,7 @@ impl Dataset {
     /// Load consumer `idx` (measured series plus any ground truth),
     /// validating it against the manifest's declared grid.
     pub fn consumer(&self, idx: usize) -> Result<DatasetRecord, DatasetError> {
-        self.load_consumer(idx, true)
+        self.load_consumer(idx, true, None)
     }
 
     /// Like [`Dataset::consumer`], but skip loading the ground-truth
@@ -298,13 +353,107 @@ impl Dataset {
     /// comparison, this avoids reading and decoding one file per
     /// consumer for nothing.
     pub fn consumer_without_truth_total(&self, idx: usize) -> Result<DatasetRecord, DatasetError> {
-        self.load_consumer(idx, false)
+        self.load_consumer(idx, false, None)
+    }
+
+    /// Ranged consumer read: like [`Dataset::consumer`] /
+    /// [`Dataset::consumer_without_truth_total`], but every series
+    /// (measured and ground truth) is materialized only over `range` —
+    /// for FXM2 files, chunks outside the range are never decoded.
+    /// The file's declared grid is still validated against the
+    /// manifest in full (a header check, no decode).
+    pub fn consumer_in(
+        &self,
+        idx: usize,
+        range: TimeRange,
+        with_truth_total: bool,
+    ) -> Result<DatasetRecord, DatasetError> {
+        self.load_consumer(idx, with_truth_total, Some(range))
+    }
+
+    /// The grid-validated lazy frame of consumer `idx`'s measured
+    /// series — the entry point for scans and pushdown queries.
+    pub fn consumer_frame(&self, idx: usize) -> Result<Frame, DatasetError> {
+        let Some(entry) = self.manifest.consumers.get(idx) else {
+            return Err(DatasetError::OutOfRange {
+                index: idx,
+                len: self.manifest.consumers.len(),
+            });
+        };
+        let frame = self.load_frame(&entry.measured)?;
+        self.validate_grid(&frame, &entry.measured)?;
+        Ok(frame)
+    }
+
+    /// Ranged read of consumer `idx`'s measured series: decode only
+    /// the chunks overlapping `range`, returning the slice and the
+    /// scan report (how many chunks were skipped vs decoded).
+    pub fn consumer_slice(
+        &self,
+        idx: usize,
+        range: TimeRange,
+    ) -> Result<(MeasuredSeries, ScanReport), DatasetError> {
+        let frame = self.consumer_frame(idx)?;
+        Scan::new()
+            .time_slice(range)
+            .materialize(&frame)
+            .map_err(Into::into)
+    }
+
+    /// Execute `scan` against consumer `idx`'s measured series,
+    /// returning aggregates plus the pushdown report. FXM2 files
+    /// answer stat-coverable queries without decoding any payload.
+    pub fn consumer_aggregates(
+        &self,
+        idx: usize,
+        scan: &Scan,
+    ) -> Result<(Aggregates, ScanReport), DatasetError> {
+        let frame = self.consumer_frame(idx)?;
+        scan.aggregates(&frame).map_err(Into::into)
+    }
+
+    /// Check a frame's header against the manifest's declared grid —
+    /// a constant-time check that decodes nothing.
+    fn validate_grid(&self, frame: &Frame, file: &str) -> Result<(), DatasetError> {
+        let header = frame.header();
+        let file = self.dir.join(file).display().to_string();
+        let start = self.manifest.start_timestamp()?;
+        let res = self.manifest.resolution()?;
+        if header.start != start {
+            return Err(DatasetError::Invalid {
+                file,
+                what: format!(
+                    "series starts at {} but the manifest declares {}",
+                    header.start, self.manifest.start
+                ),
+            });
+        }
+        if header.resolution != res {
+            return Err(DatasetError::Invalid {
+                file,
+                what: format!(
+                    "series resolution is {} but the manifest declares {} min",
+                    header.resolution, self.manifest.resolution_min
+                ),
+            });
+        }
+        if header.len != self.manifest.intervals {
+            return Err(DatasetError::Invalid {
+                file,
+                what: format!(
+                    "series has {} intervals but the manifest declares {}",
+                    header.len, self.manifest.intervals
+                ),
+            });
+        }
+        Ok(())
     }
 
     fn load_consumer(
         &self,
         idx: usize,
         with_truth_total: bool,
+        range: Option<TimeRange>,
     ) -> Result<DatasetRecord, DatasetError> {
         let Some(entry) = self.manifest.consumers.get(idx) else {
             return Err(DatasetError::OutOfRange {
@@ -312,45 +461,15 @@ impl Dataset {
                 len: self.manifest.consumers.len(),
             });
         };
-        let measured = self.load_measured_file(&entry.measured)?;
-        let file = self.dir.join(&entry.measured).display().to_string();
+        let frame = self.load_frame(&entry.measured)?;
+        self.validate_grid(&frame, &entry.measured)?;
+        let measured = Self::materialize(frame, range)?;
         let start = self.manifest.start_timestamp()?;
-        let res = self.manifest.resolution()?;
-        if measured.start() != start {
-            return Err(DatasetError::Invalid {
-                file,
-                what: format!(
-                    "series starts at {} but the manifest declares {}",
-                    measured.start(),
-                    self.manifest.start
-                ),
-            });
-        }
-        if measured.resolution() != res {
-            return Err(DatasetError::Invalid {
-                file,
-                what: format!(
-                    "series resolution is {} but the manifest declares {} min",
-                    measured.resolution(),
-                    self.manifest.resolution_min
-                ),
-            });
-        }
-        if measured.len() != self.manifest.intervals {
-            return Err(DatasetError::Invalid {
-                file,
-                what: format!(
-                    "series has {} intervals but the manifest declares {}",
-                    measured.len(),
-                    self.manifest.intervals
-                ),
-            });
-        }
         let truth_total = if with_truth_total {
             entry
                 .truth_total
                 .as_ref()
-                .map(|f| self.load_truth_file(f, start))
+                .map(|f| self.load_truth_file(f, start, range))
                 .transpose()?
         } else {
             None
@@ -358,7 +477,7 @@ impl Dataset {
         let truth_flex = entry
             .truth_flex
             .as_ref()
-            .map(|f| self.load_truth_file(f, start))
+            .map(|f| self.load_truth_file(f, start, range))
             .transpose()?;
         Ok(DatasetRecord {
             entry: entry.clone(),
@@ -439,6 +558,7 @@ impl DatasetWriter {
         let bytes = match self.manifest.codec {
             SeriesCodec::Csv => codec::to_csv(series).into_bytes(),
             SeriesCodec::Binary => codec::encode(series).to_vec(),
+            SeriesCodec::BinaryV1 => codec::encode_v1(series).to_vec(),
         };
         std::fs::write(&path, bytes).map_err(|e| DatasetError::Io {
             path: path.display().to_string(),
@@ -825,6 +945,102 @@ mod tests {
         w.finish().unwrap();
         let ds = Dataset::open(&dir).unwrap();
         assert_eq!(ds.consumer(0).unwrap().measured.values(), &[0.5]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ranged_reads_slice_without_decoding_everything() {
+        use flextract_time::Duration;
+        // Two days of 15-min data in FXM2: 192 intervals, 2 chunks of
+        // 96 — a one-day slice must decode exactly one chunk.
+        let dir = scratch("ranged");
+        let mut w = DatasetWriter::create(
+            &dir,
+            "unit",
+            "ranged-read dataset",
+            ts("2013-03-18"),
+            Resolution::MIN_15,
+            192,
+            SeriesCodec::Binary,
+        )
+        .unwrap();
+        let values: Vec<f64> = (0..192)
+            .map(|i| if i == 100 { f64::NAN } else { i as f64 * 0.01 })
+            .collect();
+        let m = MeasuredSeries::new(ts("2013-03-18"), Resolution::MIN_15, values).unwrap();
+        let truth = TimeSeries::new(
+            ts("2013-03-18"),
+            Resolution::MIN_15,
+            (0..192).map(|i| i as f64 * 0.01).collect(),
+        )
+        .unwrap();
+        w.write_consumer("0", ConsumerKind::Household, &m, Some(&truth), Some(&truth))
+            .unwrap();
+        w.finish().unwrap();
+
+        let ds = Dataset::open(&dir).unwrap();
+        let day2 = TimeRange::starting_at(ts("2013-03-19"), Duration::days(1)).unwrap();
+        let (slice, report) = ds.consumer_slice(0, day2).unwrap();
+        assert_eq!(slice.start(), ts("2013-03-19"));
+        assert_eq!(slice.len(), 96);
+        assert_eq!(report.chunks_decoded, 1, "{report:?}");
+        assert_eq!(report.chunks_skipped_slice, 1);
+        for (j, v) in slice.values().iter().enumerate() {
+            let orig = m.values()[96 + j];
+            assert!(v.is_nan() == orig.is_nan());
+            if !v.is_nan() {
+                assert_eq!(v.to_bits(), orig.to_bits());
+            }
+        }
+
+        // The ranged record slices measured AND truth to the range.
+        let record = ds.consumer_in(0, day2, true).unwrap();
+        assert_eq!(record.measured.len(), 96);
+        assert_eq!(record.measured.gap_count(), 1);
+        let truth_slice = record.truth_total.unwrap();
+        assert_eq!(truth_slice.start(), ts("2013-03-19"));
+        assert_eq!(truth_slice.len(), 96);
+        assert_eq!(truth_slice.values()[0], 0.96);
+
+        // Aggregates over the whole series answer from stats alone.
+        let (agg, report) = ds.consumer_aggregates(0, &Scan::new()).unwrap();
+        assert_eq!(report.chunks_decoded, 0);
+        assert_eq!(report.chunks_stats_only, 2);
+        assert_eq!(agg.gaps, 1);
+        assert_eq!(agg.observed, 191);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn binary_v1_datasets_write_and_read_back() {
+        let dir = scratch("binv1");
+        let mut w = DatasetWriter::create(
+            &dir,
+            "unit",
+            "legacy-codec dataset",
+            ts("2013-03-18"),
+            Resolution::MIN_15,
+            4,
+            SeriesCodec::BinaryV1,
+        )
+        .unwrap();
+        w.write_consumer("0", ConsumerKind::Household, &sample_measured(), None, None)
+            .unwrap();
+        w.finish().unwrap();
+        // The file carries the FXM1 magic and the read path sniffs it.
+        let raw = std::fs::read(dir.join("consumer_0.fxm")).unwrap();
+        assert_eq!(codec::sniff(&raw), Some(codec::FxmVersion::V1));
+        let ds = Dataset::open(&dir).unwrap();
+        assert_eq!(ds.manifest().codec, SeriesCodec::BinaryV1);
+        let rec = ds.consumer(0).unwrap();
+        assert_eq!(rec.measured.gap_count(), 1);
+        // Frames over v1 files carry no stats: scans degrade to full
+        // decodes but still answer.
+        let frame = ds.consumer_frame(0).unwrap();
+        assert!(frame.chunks().iter().all(|c| c.stats.is_none()));
+        let (agg, report) = ds.consumer_aggregates(0, &Scan::new()).unwrap();
+        assert_eq!(agg.gaps, 1);
+        assert_eq!(report.chunks_stats_only, 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -53,14 +53,19 @@ proptest! {
     #[test]
     fn binary_codec_round_trips_any_series(values in arb_metered(300), chunk_len in 1_usize..64) {
         let m = MeasuredSeries::new(start(), Resolution::MIN_15, values).unwrap();
-        let bytes = codec::encode_chunked(&m, chunk_len);
-        let back = codec::decode(bytes, "prop.fxm").unwrap();
-        prop_assert_eq!(back.len(), m.len());
-        prop_assert_eq!(back.gap_count(), m.gap_count());
-        for (a, b) in back.values().iter().zip(m.values()) {
-            prop_assert!(a.is_nan() == b.is_nan());
-            if !a.is_nan() {
-                prop_assert_eq!(a.to_bits(), b.to_bits());
+        // Both binary flavours: FXM2 (stats + footer) and legacy FXM1.
+        for bytes in [
+            codec::encode_chunked(&m, chunk_len).unwrap(),
+            codec::encode_chunked_v1(&m, chunk_len).unwrap(),
+        ] {
+            let back = codec::decode(&bytes, "prop.fxm").unwrap();
+            prop_assert_eq!(back.len(), m.len());
+            prop_assert_eq!(back.gap_count(), m.gap_count());
+            for (a, b) in back.values().iter().zip(m.values()) {
+                prop_assert!(a.is_nan() == b.is_nan());
+                if !a.is_nan() {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
             }
         }
     }

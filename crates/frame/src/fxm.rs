@@ -1,0 +1,873 @@
+//! The chunked binary frame formats: legacy `FXM1` and stat-carrying
+//! `FXM2`, plus the [`Frame`] reader that serves both (and materialized
+//! in-memory series) behind one chunk-oriented interface.
+//!
+//! ## `FXM1` layout (all little-endian)
+//!
+//! | offset | size | field |
+//! |--------|------|-------|
+//! | 0      | 4    | magic `b"FXM1"` |
+//! | 4      | 8    | start (i64 minutes since flextract epoch) |
+//! | 12     | 4    | resolution (u32 minutes) |
+//! | 16     | 8    | total length (u64 interval count) |
+//! | 24     | 4    | chunk length (u32 intervals per chunk) |
+//! | 28     | …    | chunk frames `[u32 count][count × f64]` |
+//!
+//! ## `FXM2` layout (all little-endian)
+//!
+//! | offset | size | field |
+//! |--------|------|-------|
+//! | 0      | 4    | magic `b"FXM2"` |
+//! | 4      | 8    | start (i64 minutes since flextract epoch) |
+//! | 12     | 4    | resolution (u32 minutes) |
+//! | 16     | 8    | total length (u64 interval count) |
+//! | 24     | 4    | chunk length (u32 intervals per chunk) |
+//! | 28     | …    | chunk frames (see below) |
+//! | F      | 8·C  | footer: absolute byte offset of each chunk frame |
+//! | F+8·C  | 8    | `F` (absolute byte offset of the footer) |
+//! | F+8·C+8| 4    | end magic `b"2MXF"` |
+//!
+//! Each `FXM2` chunk frame is
+//! `[u32 count][u32 gap_count][f64 min][f64 max][f64 sum][count × f64]`:
+//! a 32-byte statistics header followed by the raw IEEE-754 payload.
+//! `count` equals the chunk length except for the final chunk. The
+//! statistics cover the chunk's **observed** (non-gap) values; for an
+//! all-gap chunk `min`/`max` carry the canonical gap payload.
+//!
+//! A reader seeks to the 12-byte tail, follows the footer to the chunk
+//! offsets, and reads the 32-byte statistics headers without touching
+//! any payload — which is what lets a [`Scan`](crate::scan::Scan) skip
+//! whole chunks. Byte accounting is exact end to end: every slack or
+//! trailing byte is a decode error, never silently ignored.
+//!
+//! Both formats carry gaps explicitly (every `NaN` is normalised to one
+//! canonical bit pattern on encode, so encoding is a pure function of
+//! the series) and round-trip bit-exactly.
+
+use crate::stats::ChunkStats;
+use crate::{FrameError, MeasuredSeries};
+use bytes::{BufMut, Bytes, BytesMut};
+use flextract_series::SeriesError;
+use flextract_time::{Resolution, Timestamp};
+
+/// Format magic of the legacy stat-less format.
+pub const MAGIC_V1: [u8; 4] = *b"FXM1";
+
+/// Format magic of the stat-carrying format.
+pub const MAGIC_V2: [u8; 4] = *b"FXM2";
+
+/// End marker closing an `FXM2` buffer (the magic, mirrored).
+pub const END_MAGIC_V2: [u8; 4] = *b"2MXF";
+
+/// Size in bytes of the fixed header (both versions).
+pub const HEADER_LEN: usize = 28;
+
+/// Size in bytes of an `FXM2` chunk-frame statistics header.
+pub const V2_CHUNK_HEADER_LEN: usize = 4 + 4 + 8 + 8 + 8;
+
+/// Size in bytes of the `FXM2` tail (footer offset + end magic).
+pub const V2_TAIL_LEN: usize = 8 + 4;
+
+/// Default intervals per chunk: one 15-min day. Chosen so a chunk is a
+/// few KiB — small enough to stream and skip, large enough that framing
+/// overhead (4–32 bytes per chunk) is noise.
+pub const DEFAULT_CHUNK_LEN: usize = 96;
+
+/// The canonical gap payload: every `NaN` is normalised to this bit
+/// pattern on encode, so encoding is a pure function of the series
+/// (two equal series always encode to identical bytes).
+const GAP_BITS: u64 = 0x7FF8_0000_0000_0000;
+
+/// Which binary format a buffer carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FxmVersion {
+    /// Legacy `FXM1`: chunk frames without statistics or footer.
+    V1,
+    /// `FXM2`: per-chunk statistics plus a footer chunk index.
+    V2,
+}
+
+/// Identify the binary format of `bytes` by magic, if any.
+pub fn sniff(bytes: &[u8]) -> Option<FxmVersion> {
+    if bytes.starts_with(&MAGIC_V1) {
+        Some(FxmVersion::V1)
+    } else if bytes.starts_with(&MAGIC_V2) {
+        Some(FxmVersion::V2)
+    } else {
+        None
+    }
+}
+
+fn codec_err(file: &str, what: impl Into<String>) -> FrameError {
+    FrameError::Codec {
+        file: file.to_string(),
+        what: what.into(),
+    }
+}
+
+fn put_value(buf: &mut BytesMut, v: f64) {
+    buf.put_u64_le(if v.is_nan() { GAP_BITS } else { v.to_bits() });
+}
+
+/// Encode a measured series as `FXM2` using
+/// [`DEFAULT_CHUNK_LEN`]-interval chunks.
+pub fn encode(series: &MeasuredSeries) -> Bytes {
+    encode_chunked(series, DEFAULT_CHUNK_LEN).expect("default chunk length is non-zero")
+}
+
+/// Encode a measured series as `FXM2` with an explicit chunk length.
+///
+/// Errors with [`FrameError::ZeroChunkLen`] for `chunk_len == 0` — a
+/// zero-interval chunk grid is undefined and is never silently
+/// clamped.
+pub fn encode_chunked(series: &MeasuredSeries, chunk_len: usize) -> Result<Bytes, FrameError> {
+    if chunk_len == 0 {
+        return Err(FrameError::ZeroChunkLen);
+    }
+    let n = series.len();
+    let chunks = n.div_ceil(chunk_len);
+    let mut buf =
+        BytesMut::with_capacity(HEADER_LEN + chunks * (V2_CHUNK_HEADER_LEN + 8) + 8 * n + 12);
+    buf.put_slice(&MAGIC_V2);
+    buf.put_i64_le(series.start().as_minutes());
+    buf.put_u32_le(series.resolution().minutes() as u32);
+    buf.put_u64_le(n as u64);
+    buf.put_u32_le(chunk_len as u32);
+    let mut offsets = Vec::with_capacity(chunks);
+    for chunk in series.values().chunks(chunk_len) {
+        offsets.push(buf.len() as u64);
+        let stats = ChunkStats::from_values(chunk);
+        buf.put_u32_le(chunk.len() as u32);
+        buf.put_u32_le(stats.gaps);
+        put_value(&mut buf, stats.min);
+        put_value(&mut buf, stats.max);
+        put_value(&mut buf, stats.sum);
+        for &v in chunk {
+            put_value(&mut buf, v);
+        }
+    }
+    let footer = buf.len() as u64;
+    for o in offsets {
+        buf.put_u64_le(o);
+    }
+    buf.put_u64_le(footer);
+    buf.put_slice(&END_MAGIC_V2);
+    Ok(buf.freeze())
+}
+
+/// Encode a measured series as legacy `FXM1` using
+/// [`DEFAULT_CHUNK_LEN`]-interval chunks.
+pub fn encode_v1(series: &MeasuredSeries) -> Bytes {
+    encode_chunked_v1(series, DEFAULT_CHUNK_LEN).expect("default chunk length is non-zero")
+}
+
+/// Encode a measured series as legacy `FXM1` with an explicit chunk
+/// length (same [`FrameError::ZeroChunkLen`] contract as
+/// [`encode_chunked`]).
+pub fn encode_chunked_v1(series: &MeasuredSeries, chunk_len: usize) -> Result<Bytes, FrameError> {
+    if chunk_len == 0 {
+        return Err(FrameError::ZeroChunkLen);
+    }
+    let n = series.len();
+    let chunks = n.div_ceil(chunk_len);
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + 4 * chunks + 8 * n);
+    buf.put_slice(&MAGIC_V1);
+    buf.put_i64_le(series.start().as_minutes());
+    buf.put_u32_le(series.resolution().minutes() as u32);
+    buf.put_u64_le(n as u64);
+    buf.put_u32_le(chunk_len as u32);
+    for chunk in series.values().chunks(chunk_len) {
+        buf.put_u32_le(chunk.len() as u32);
+        for &v in chunk {
+            put_value(&mut buf, v);
+        }
+    }
+    Ok(buf.freeze())
+}
+
+/// Parsed fixed header (identical in both versions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// First instant covered by the series.
+    pub start: Timestamp,
+    /// Interval width.
+    pub resolution: Resolution,
+    /// Total interval count across all chunks.
+    pub len: usize,
+    /// Intervals per chunk (the final chunk may be shorter).
+    pub chunk_len: usize,
+}
+
+impl FrameHeader {
+    /// Number of chunks implied by `len` and `chunk_len`.
+    pub fn chunk_count(&self) -> usize {
+        self.len.div_ceil(self.chunk_len)
+    }
+}
+
+/// One chunk's placement and (for `FXM2`) statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChunkMeta {
+    /// Global index of the chunk's first interval.
+    pub first: usize,
+    /// Number of intervals in the chunk.
+    pub len: usize,
+    /// Statistics, when the format carries them (`FXM2` only).
+    pub stats: Option<ChunkStats>,
+    /// Absolute byte offset of the chunk frame (0 for materialized
+    /// frames, which have no backing buffer).
+    offset: usize,
+}
+
+/// How a [`Frame`] serves its chunks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Lazy `FXM2`: chunks decode on demand, statistics are indexed.
+    FxmV2,
+    /// Legacy `FXM1`: fully decoded at open (no statistics to push
+    /// down), chunks served from memory.
+    FxmV1,
+    /// An in-memory series (e.g. parsed from CSV) chunked virtually.
+    Materialized,
+}
+
+/// A chunk-addressable view over one measured series.
+///
+/// `FXM2` buffers open lazily — the constructor reads only the header,
+/// the footer index and the 32-byte per-chunk statistics headers;
+/// payloads decode on demand through [`Frame::chunk_values`]. `FXM1`
+/// and in-memory series degrade gracefully: they are materialized up
+/// front and chunked virtually, so every scan still runs (it just
+/// cannot skip decode work it has already paid for).
+#[derive(Debug, Clone)]
+pub struct Frame {
+    file: String,
+    header: FrameHeader,
+    kind: FrameKind,
+    /// The raw buffer (`FxmV2` only; empty otherwise).
+    buf: Bytes,
+    /// Materialized values (`FxmV1`/`Materialized` only; empty for v2).
+    values: Vec<f64>,
+    chunks: Vec<ChunkMeta>,
+}
+
+fn read_u32(buf: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(buf[at..at + 4].try_into().expect("4 bytes"))
+}
+
+fn read_u64(buf: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(buf[at..at + 8].try_into().expect("8 bytes"))
+}
+
+fn read_f64(buf: &[u8], at: usize) -> f64 {
+    f64::from_bits(read_u64(buf, at))
+}
+
+/// Decode the fixed header shared by both versions, returning the
+/// version alongside.
+pub fn decode_header(buf: &[u8], file: &str) -> Result<(FrameHeader, FxmVersion), FrameError> {
+    if buf.len() < HEADER_LEN {
+        return Err(codec_err(file, "buffer shorter than header"));
+    }
+    let version = sniff(buf).ok_or_else(|| codec_err(file, "bad magic (expected FXM1 or FXM2)"))?;
+    let start = Timestamp::from_minutes(read_u64(buf, 4) as i64);
+    let resolution = Resolution::from_minutes(read_u32(buf, 12) as i64)
+        .map_err(|_| codec_err(file, "invalid resolution"))?;
+    if !start.is_aligned(resolution) {
+        return Err(codec_err(file, "unaligned start"));
+    }
+    let len = read_u64(buf, 16);
+    if len > (usize::MAX / 8) as u64 {
+        return Err(codec_err(file, "length overflow"));
+    }
+    let chunk_len = read_u32(buf, 24) as usize;
+    if chunk_len == 0 {
+        return Err(codec_err(file, "zero chunk length"));
+    }
+    Ok((
+        FrameHeader {
+            start,
+            resolution,
+            len: len as usize,
+            chunk_len,
+        },
+        version,
+    ))
+}
+
+impl Frame {
+    /// Open a binary frame buffer (either version). `file` names the
+    /// source in errors.
+    pub fn from_fxm_bytes(bytes: Bytes, file: &str) -> Result<Frame, FrameError> {
+        let (header, version) = decode_header(&bytes, file)?;
+        match version {
+            FxmVersion::V2 => Self::open_v2(bytes, header, file),
+            FxmVersion::V1 => Self::open_v1(&bytes, header, file),
+        }
+    }
+
+    /// Wrap an already-materialized series as a virtually chunked
+    /// frame (the CSV path). Statistics are not computed — the decode
+    /// cost has already been paid, so there is nothing left to skip.
+    pub fn from_measured(
+        series: MeasuredSeries,
+        chunk_len: usize,
+        file: &str,
+    ) -> Result<Frame, FrameError> {
+        if chunk_len == 0 {
+            return Err(FrameError::ZeroChunkLen);
+        }
+        let header = FrameHeader {
+            start: series.start(),
+            resolution: series.resolution(),
+            len: series.len(),
+            chunk_len,
+        };
+        Ok(Frame {
+            file: file.to_string(),
+            chunks: virtual_chunks(&header),
+            header,
+            kind: FrameKind::Materialized,
+            buf: Bytes::new(),
+            values: series.into_values(),
+        })
+    }
+
+    fn open_v2(bytes: Bytes, header: FrameHeader, file: &str) -> Result<Frame, FrameError> {
+        let chunks = parse_v2_chunks(&bytes, &header, file)?;
+        Ok(Frame {
+            file: file.to_string(),
+            header,
+            kind: FrameKind::FxmV2,
+            buf: bytes,
+            values: Vec::new(),
+            chunks,
+        })
+    }
+    fn open_v1(buf: &[u8], header: FrameHeader, file: &str) -> Result<Frame, FrameError> {
+        // Sequential decode: v1 has no footer, so the only way to find
+        // chunk boundaries is to walk them — a full decode.
+        // The header's chunk_len is attacker-controlled; cap the
+        // upfront allocation by what the buffer could actually hold so
+        // a corrupt file yields a codec error, not a huge allocation.
+        let mut values = Vec::with_capacity(header.len.min(buf.len() / 8));
+        let mut at = HEADER_LEN;
+        while values.len() < header.len {
+            let expected = header.chunk_len.min(header.len - values.len());
+            if at + 4 > buf.len() {
+                return Err(codec_err(file, "truncated chunk frame"));
+            }
+            let count = read_u32(buf, at) as usize;
+            if count != expected {
+                return Err(codec_err(file, "chunk count disagrees with header"));
+            }
+            at += 4;
+            if at + count * 8 > buf.len() {
+                return Err(codec_err(file, "truncated chunk payload"));
+            }
+            for _ in 0..count {
+                let v = read_f64(buf, at);
+                if v.is_infinite() {
+                    return Err(codec_err(file, "infinite value in chunk payload"));
+                }
+                values.push(v);
+                at += 8;
+            }
+        }
+        if at < buf.len() {
+            return Err(FrameError::TrailingBytes {
+                file: file.to_string(),
+                offset: at,
+                trailing: buf.len() - at,
+            });
+        }
+        Ok(Frame {
+            file: file.to_string(),
+            chunks: virtual_chunks(&header),
+            header,
+            kind: FrameKind::FxmV1,
+            buf: Bytes::new(),
+            values,
+        })
+    }
+
+    /// The fixed header.
+    pub fn header(&self) -> &FrameHeader {
+        &self.header
+    }
+
+    /// How this frame serves its chunks.
+    pub fn kind(&self) -> FrameKind {
+        self.kind
+    }
+
+    /// The source file (or buffer label), for error context.
+    pub fn file(&self) -> &str {
+        &self.file
+    }
+
+    /// The chunk directory, in interval order.
+    pub fn chunks(&self) -> &[ChunkMeta] {
+        &self.chunks
+    }
+
+    /// The values of chunk `i`, decoding on demand for lazy frames.
+    /// `scratch` is the decode buffer (reused across calls); the
+    /// returned slice borrows either `scratch` or the frame itself.
+    pub fn chunk_values<'a>(
+        &'a self,
+        i: usize,
+        scratch: &'a mut Vec<f64>,
+    ) -> Result<&'a [f64], FrameError> {
+        let meta = &self.chunks[i];
+        match self.kind {
+            FrameKind::FxmV1 | FrameKind::Materialized => {
+                Ok(&self.values[meta.first..meta.first + meta.len])
+            }
+            FrameKind::FxmV2 => {
+                read_v2_payload(&self.buf, meta, &self.file, scratch)?;
+                Ok(scratch.as_slice())
+            }
+        }
+    }
+
+    /// Fully decode the frame into a measured series.
+    pub fn decode(&self) -> Result<MeasuredSeries, FrameError> {
+        let mut values = Vec::with_capacity(self.header.len);
+        let mut scratch = Vec::new();
+        for i in 0..self.chunks.len() {
+            values.extend_from_slice(self.chunk_values(i, &mut scratch)?);
+        }
+        MeasuredSeries::new(self.header.start, self.header.resolution, values).map_err(
+            |e| match e {
+                SeriesError::UnalignedStart => codec_err(&self.file, "unaligned start"),
+                other => FrameError::Series(other),
+            },
+        )
+    }
+
+    /// Consume the frame into a fully decoded measured series —
+    /// already-materialized frames move their values instead of
+    /// copying.
+    pub fn into_measured(self) -> Result<MeasuredSeries, FrameError> {
+        match self.kind {
+            FrameKind::FxmV2 => self.decode(),
+            FrameKind::FxmV1 | FrameKind::Materialized => {
+                MeasuredSeries::new(self.header.start, self.header.resolution, self.values).map_err(
+                    |e| match e {
+                        SeriesError::UnalignedStart => codec_err(&self.file, "unaligned start"),
+                        other => FrameError::Series(other),
+                    },
+                )
+            }
+        }
+    }
+}
+
+/// Parse an `FXM2` buffer's footer index and per-chunk statistics
+/// headers into the chunk directory, enforcing exact byte accounting
+/// (no payload is decoded). All size arithmetic is bounded by the
+/// buffer length *before* it happens, so a crafted header yields a
+/// codec error, never an overflow or a huge allocation.
+fn parse_v2_chunks(
+    buf: &[u8],
+    header: &FrameHeader,
+    file: &str,
+) -> Result<Vec<ChunkMeta>, FrameError> {
+    let chunks = header.chunk_count();
+    // Bound the declared chunk count by what the buffer could hold
+    // before any multiplication: each chunk needs 8 footer bytes.
+    let avail = buf.len().saturating_sub(HEADER_LEN + V2_TAIL_LEN);
+    if chunks > avail / 8 {
+        return Err(codec_err(file, "buffer shorter than footer"));
+    }
+    let footer_len = chunks * 8 + V2_TAIL_LEN;
+    if buf[buf.len() - 4..] != END_MAGIC_V2 {
+        return Err(codec_err(
+            file,
+            "missing FXM2 end marker (truncated buffer or trailing bytes)",
+        ));
+    }
+    let footer_off = read_u64(buf, buf.len() - V2_TAIL_LEN);
+    let expected_footer = (buf.len() - footer_len) as u64;
+    if footer_off != expected_footer {
+        return Err(codec_err(
+            file,
+            format!(
+                "footer offset {footer_off} does not line up with the chunk index \
+                 (expected {expected_footer}; truncated buffer or trailing bytes)"
+            ),
+        ));
+    }
+    let mut metas: Vec<ChunkMeta> = Vec::with_capacity(chunks);
+    let mut expected_off = HEADER_LEN as u64;
+    for c in 0..chunks {
+        let off = read_u64(buf, footer_off as usize + c * 8);
+        if off != expected_off {
+            return Err(codec_err(
+                file,
+                format!("chunk {c} offset {off} disagrees with the frame layout"),
+            ));
+        }
+        let first = c * header.chunk_len;
+        let len = header.chunk_len.min(header.len - first);
+        // `off` equals `expected_off`, which grows contiguously and is
+        // re-checked against `footer_off` below, so `at` is in range.
+        let at = off as usize;
+        if at + V2_CHUNK_HEADER_LEN + len * 8 > footer_off as usize {
+            return Err(codec_err(file, "truncated chunk frame"));
+        }
+        let count = read_u32(buf, at) as usize;
+        if count != len {
+            return Err(codec_err(file, "chunk count disagrees with header"));
+        }
+        let gaps = read_u32(buf, at + 4);
+        if gaps as usize > len {
+            return Err(codec_err(file, "chunk gap count exceeds chunk length"));
+        }
+        let min = read_f64(buf, at + 8);
+        let max = read_f64(buf, at + 16);
+        let sum = read_f64(buf, at + 24);
+        if min.is_infinite() || max.is_infinite() || !sum.is_finite() {
+            return Err(codec_err(file, "non-finite chunk statistics"));
+        }
+        if (gaps as usize == len) != (min.is_nan() || max.is_nan()) {
+            return Err(codec_err(
+                file,
+                "chunk statistics disagree with the gap count",
+            ));
+        }
+        metas.push(ChunkMeta {
+            first,
+            len,
+            stats: Some(ChunkStats {
+                gaps,
+                min,
+                max,
+                sum,
+            }),
+            offset: at,
+        });
+        expected_off = (at + V2_CHUNK_HEADER_LEN + len * 8) as u64;
+    }
+    if expected_off != footer_off {
+        return Err(codec_err(
+            file,
+            "slack bytes between the final chunk and the footer",
+        ));
+    }
+    Ok(metas)
+}
+
+/// Decode one `FXM2` chunk payload into `out` (cleared first).
+fn read_v2_payload(
+    buf: &[u8],
+    meta: &ChunkMeta,
+    file: &str,
+    out: &mut Vec<f64>,
+) -> Result<(), FrameError> {
+    out.clear();
+    out.reserve(meta.len);
+    let mut at = meta.offset + V2_CHUNK_HEADER_LEN;
+    for _ in 0..meta.len {
+        let v = read_f64(buf, at);
+        if v.is_infinite() {
+            return Err(codec_err(file, "infinite value in chunk payload"));
+        }
+        out.push(v);
+        at += 8;
+    }
+    Ok(())
+}
+
+fn virtual_chunks(header: &FrameHeader) -> Vec<ChunkMeta> {
+    (0..header.chunk_count())
+        .map(|c| {
+            let first = c * header.chunk_len;
+            ChunkMeta {
+                first,
+                len: header.chunk_len.min(header.len - first),
+                stats: None,
+                offset: 0,
+            }
+        })
+        .collect()
+}
+
+/// Decode a full measured series from a binary frame buffer (either
+/// version). `file` names the source in errors. Works on the borrowed
+/// buffer directly — no copy of the input is made.
+pub fn decode(buf: &[u8], file: &str) -> Result<MeasuredSeries, FrameError> {
+    let (header, version) = decode_header(buf, file)?;
+    let frame = match version {
+        FxmVersion::V1 => Frame::open_v1(buf, header, file)?,
+        FxmVersion::V2 => {
+            let chunks = parse_v2_chunks(buf, &header, file)?;
+            let mut values = Vec::with_capacity(header.len);
+            let mut scratch = Vec::new();
+            for meta in &chunks {
+                read_v2_payload(buf, meta, file, &mut scratch)?;
+                values.extend_from_slice(&scratch);
+            }
+            return MeasuredSeries::new(header.start, header.resolution, values).map_err(
+                |e| match e {
+                    SeriesError::UnalignedStart => codec_err(file, "unaligned start"),
+                    other => FrameError::Series(other),
+                },
+            );
+        }
+    };
+    frame.into_measured()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: &str) -> Timestamp {
+        s.parse().unwrap()
+    }
+
+    fn sample() -> MeasuredSeries {
+        MeasuredSeries::new(
+            ts("2013-03-18"),
+            Resolution::MIN_15,
+            vec![0.25, f64::NAN, 0.75, 1.0, f64::NAN],
+        )
+        .unwrap()
+    }
+
+    fn assert_series_eq(a: &MeasuredSeries, b: &MeasuredSeries) {
+        assert_eq!(a.start(), b.start());
+        assert_eq!(a.resolution(), b.resolution());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.values().iter().zip(b.values()) {
+            assert!(x.is_nan() == y.is_nan());
+            if !x.is_nan() {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn v2_round_trip_preserves_gaps() {
+        let m = sample();
+        let bytes = encode(&m);
+        assert_eq!(sniff(&bytes), Some(FxmVersion::V2));
+        let back = decode(&bytes, "t.fxm").unwrap();
+        assert_eq!(back.gap_count(), 2);
+        assert_series_eq(&back, &m);
+    }
+
+    #[test]
+    fn v1_round_trip_preserves_gaps() {
+        let m = sample();
+        let bytes = encode_v1(&m);
+        assert_eq!(sniff(&bytes), Some(FxmVersion::V1));
+        let back = decode(&bytes, "t.fxm").unwrap();
+        assert_series_eq(&back, &m);
+    }
+
+    #[test]
+    fn encoding_is_deterministic_across_nan_payloads() {
+        // A NaN produced by arithmetic may carry a different bit
+        // pattern than f64::NAN; encoding canonicalises them.
+        let arithmetic = f64::from_bits(0x7FF8_0000_0000_0001);
+        assert!(arithmetic.is_nan());
+        let a =
+            MeasuredSeries::new(ts("2013-03-18"), Resolution::MIN_15, vec![1.0, f64::NAN]).unwrap();
+        let b = MeasuredSeries::new(ts("2013-03-18"), Resolution::MIN_15, vec![1.0, arithmetic])
+            .unwrap();
+        assert_eq!(encode(&a), encode(&b));
+        assert_eq!(encode_v1(&a), encode_v1(&b));
+    }
+
+    #[test]
+    fn zero_chunk_length_is_a_typed_error_not_a_clamp() {
+        let m = sample();
+        assert_eq!(encode_chunked(&m, 0), Err(FrameError::ZeroChunkLen));
+        assert_eq!(encode_chunked_v1(&m, 0), Err(FrameError::ZeroChunkLen));
+        // 1 is the smallest valid chunk length and round-trips.
+        let back = decode(&encode_chunked(&m, 1).unwrap(), "t.fxm").unwrap();
+        assert_series_eq(&back, &m);
+    }
+
+    #[test]
+    fn v2_chunk_directory_carries_stats() {
+        let values: Vec<f64> = (0..250)
+            .map(|i| {
+                if i % 10 == 3 {
+                    f64::NAN
+                } else {
+                    i as f64 * 0.01
+                }
+            })
+            .collect();
+        let m = MeasuredSeries::new(ts("2013-03-18"), Resolution::MIN_1, values).unwrap();
+        let frame = Frame::from_fxm_bytes(encode_chunked(&m, 96).unwrap(), "t.fxm").unwrap();
+        assert_eq!(frame.kind(), FrameKind::FxmV2);
+        assert_eq!(frame.chunks().len(), 3);
+        let lens: Vec<usize> = frame.chunks().iter().map(|c| c.len).collect();
+        assert_eq!(lens, vec![96, 96, 58]);
+        for meta in frame.chunks() {
+            let stats = meta.stats.expect("v2 chunks carry stats");
+            let recomputed =
+                ChunkStats::from_values(&m.values()[meta.first..meta.first + meta.len]);
+            assert_eq!(stats.gaps, recomputed.gaps);
+            assert_eq!(stats.min.to_bits(), recomputed.min.to_bits());
+            assert_eq!(stats.max.to_bits(), recomputed.max.to_bits());
+            assert_eq!(stats.sum.to_bits(), recomputed.sum.to_bits());
+        }
+        assert_series_eq(&frame.decode().unwrap(), &m);
+    }
+
+    #[test]
+    fn v1_trailing_garbage_is_a_typed_error_naming_the_offset() {
+        let raw = encode_v1(&sample());
+        let clean_len = raw.len();
+        let mut long = raw.to_vec();
+        long.extend_from_slice(&[0xAB, 0xCD, 0xEF]);
+        let err = decode(&long, "t.fxm").unwrap_err();
+        assert_eq!(
+            err,
+            FrameError::TrailingBytes {
+                file: "t.fxm".into(),
+                offset: clean_len,
+                trailing: 3,
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains(&clean_len.to_string()), "{msg}");
+        assert!(msg.contains("trailing"), "{msg}");
+    }
+
+    #[test]
+    fn v2_trailing_garbage_and_slack_bytes_are_rejected() {
+        let raw = encode(&sample());
+        // Trailing garbage after the end marker.
+        let mut long = raw.to_vec();
+        long.push(0);
+        let err = decode(&long, "t.fxm").unwrap_err();
+        assert!(err.to_string().contains("end marker"), "{err}");
+        // Truncation anywhere in the tail.
+        assert!(decode(&raw[..raw.len() - 1], "t.fxm").is_err());
+        assert!(decode(&raw[..HEADER_LEN + 3], "t.fxm").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_buffers() {
+        let raw = encode(&sample());
+        assert!(matches!(
+            decode(&raw[..10], "t.fxm"),
+            Err(FrameError::Codec { .. })
+        ));
+        let mut bad_magic = raw.to_vec();
+        bad_magic[0] = b'X';
+        let err = decode(&bad_magic, "t.fxm").unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+        // Infinity in a v2 payload.
+        let mut inf = raw.to_vec();
+        let val_at = HEADER_LEN + V2_CHUNK_HEADER_LEN;
+        inf[val_at..val_at + 8].copy_from_slice(&f64::INFINITY.to_bits().to_le_bytes());
+        let frame = Frame::from_fxm_bytes(Bytes::from(inf), "t.fxm").unwrap();
+        let err = frame.decode().unwrap_err();
+        assert!(err.to_string().contains("infinite"), "{err}");
+        // Truncated v1 payload.
+        let v1 = encode_v1(&sample());
+        assert!(matches!(
+            decode(&v1[..v1.len() - 4], "t.fxm"),
+            Err(FrameError::Codec { .. })
+        ));
+        // Infinity in a v1 payload.
+        let mut inf = v1.to_vec();
+        let val_at = HEADER_LEN + 4;
+        inf[val_at..val_at + 8].copy_from_slice(&f64::INFINITY.to_bits().to_le_bytes());
+        let err = decode(&inf, "t.fxm").unwrap_err();
+        assert!(err.to_string().contains("infinite"), "{err}");
+    }
+
+    #[test]
+    fn v2_rejects_corrupt_stats_and_offsets() {
+        let raw = encode(&sample()).to_vec();
+        // Corrupt the gap count of chunk 0 (offset HEADER_LEN + 4).
+        let mut bad = raw.clone();
+        bad[HEADER_LEN + 4..HEADER_LEN + 8].copy_from_slice(&99u32.to_le_bytes());
+        let err = Frame::from_fxm_bytes(Bytes::from(bad), "t.fxm").unwrap_err();
+        assert!(err.to_string().contains("gap count"), "{err}");
+        // Corrupt the footer offset of chunk 0.
+        let mut bad = raw.clone();
+        let footer_at = raw.len() - V2_TAIL_LEN - 8;
+        bad[footer_at..footer_at + 8].copy_from_slice(&7u64.to_le_bytes());
+        let err = Frame::from_fxm_bytes(Bytes::from(bad), "t.fxm").unwrap_err();
+        assert!(err.to_string().contains("offset"), "{err}");
+        // Non-finite statistics.
+        let mut bad = raw;
+        bad[HEADER_LEN + 8..HEADER_LEN + 16]
+            .copy_from_slice(&f64::INFINITY.to_bits().to_le_bytes());
+        let err = Frame::from_fxm_bytes(Bytes::from(bad), "t.fxm").unwrap_err();
+        assert!(err.to_string().contains("statistics"), "{err}");
+    }
+
+    #[test]
+    fn huge_declared_lengths_fail_without_allocating() {
+        // A v1 header claiming u32::MAX-interval chunks with no payload
+        // must produce a codec error, not a multi-GiB allocation.
+        let mut buf = BytesMut::new();
+        buf.put_slice(&MAGIC_V1);
+        buf.put_i64_le(0);
+        buf.put_u32_le(15);
+        buf.put_u64_le(u64::from(u32::MAX));
+        buf.put_u32_le(u32::MAX);
+        let err = decode(&buf.freeze(), "t.fxm").unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+        // Same for a v2 header: the footer check trips first.
+        let mut buf = BytesMut::new();
+        buf.put_slice(&MAGIC_V2);
+        buf.put_i64_le(0);
+        buf.put_u32_le(15);
+        buf.put_u64_le(u64::from(u32::MAX));
+        buf.put_u32_le(1);
+        let err = decode(&buf.freeze(), "t.fxm").unwrap_err();
+        assert!(err.to_string().contains("footer"), "{err}");
+        // The largest length the header check admits must not overflow
+        // the footer-size arithmetic (chunks·8 + tail would wrap).
+        let mut buf = BytesMut::new();
+        buf.put_slice(&MAGIC_V2);
+        buf.put_i64_le(0);
+        buf.put_u32_le(15);
+        buf.put_u64_le((usize::MAX / 8) as u64);
+        buf.put_u32_le(1);
+        buf.put_slice(&[0u8; 16]); // some plausible-looking tail bytes
+        let err = decode(&buf.freeze(), "t.fxm").unwrap_err();
+        assert!(err.to_string().contains("footer"), "{err}");
+    }
+
+    #[test]
+    fn materialized_frames_chunk_virtually() {
+        let m = sample();
+        let frame = Frame::from_measured(m.clone(), 2, "mem").unwrap();
+        assert_eq!(frame.kind(), FrameKind::Materialized);
+        assert_eq!(frame.chunks().len(), 3);
+        assert!(frame.chunks().iter().all(|c| c.stats.is_none()));
+        let mut scratch = Vec::new();
+        assert_eq!(
+            frame.chunk_values(1, &mut scratch).unwrap(),
+            &m.values()[2..4]
+        );
+        assert_series_eq(&frame.decode().unwrap(), &m);
+        assert!(matches!(
+            Frame::from_measured(m, 0, "mem"),
+            Err(FrameError::ZeroChunkLen)
+        ));
+    }
+
+    #[test]
+    fn empty_series_round_trip_both_versions() {
+        let m = MeasuredSeries::new(ts("2013-03-18"), Resolution::MIN_15, vec![]).unwrap();
+        for bytes in [encode(&m), encode_v1(&m)] {
+            let frame = Frame::from_fxm_bytes(bytes, "t.fxm").unwrap();
+            assert_eq!(frame.chunks().len(), 0);
+            assert_eq!(frame.decode().unwrap().len(), 0);
+        }
+    }
+}

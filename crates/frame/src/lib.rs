@@ -1,0 +1,136 @@
+//! # flextract-frame
+//!
+//! The columnar chunk-stat frame engine underneath the flextract
+//! dataset store: measured series encoded as sequences of fixed-length
+//! chunks, each carrying its own statistics (min, max, sum, gap count),
+//! plus a footer chunk index — and a lazy [`Scan`] pipeline that plans
+//! against those statistics so readers can answer time-sliced and
+//! predicate queries **without decoding non-matching chunks**.
+//!
+//! The design follows the shape of columnar analytics engines (row
+//! groups with per-group statistics and predicate pushdown): chunk
+//! statistics are written once at encode time and are cheap to read
+//! (a fixed-size header per chunk, addressed through the footer index),
+//! so a query over a month-long series that only needs one day touches
+//! one day's chunks.
+//!
+//! Three frame kinds exist behind one [`Frame`] type:
+//!
+//! * **FXM2** — the stat-carrying chunked binary format ([`fxm`]):
+//!   opened lazily, chunks decode on demand, statistics come from the
+//!   chunk headers via the footer index.
+//! * **FXM1** — the legacy chunked binary format without statistics:
+//!   degrades gracefully to a full decode at open time (the scan still
+//!   answers every query, it just cannot skip decode work).
+//! * **Materialized** — any in-memory series (e.g. parsed from CSV):
+//!   same degradation, values are served from memory.
+//!
+//! The scan surface is [`Scan`]: `time_slice` + chunk predicates +
+//! aggregates (`sum`/`mean`/`min`/`max`/`gaps`), `peak` (argmax with
+//! timestamp), `collect` (selected intervals) and `materialize`
+//! (a ranged read as a [`MeasuredSeries`], optionally resampled).
+//! Every execution returns a [`ScanReport`] counting exactly which
+//! chunks were decoded, skipped by the time slice, skipped by
+//! statistics, or answered from statistics alone.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fxm;
+mod measured;
+pub mod scan;
+pub mod stats;
+
+pub use fxm::{Frame, FrameHeader, FxmVersion, DEFAULT_CHUNK_LEN};
+pub use measured::MeasuredSeries;
+pub use scan::{Aggregates, Predicate, Scan, ScanReport};
+pub use stats::ChunkStats;
+
+use flextract_series::SeriesError;
+
+/// Errors surfaced by frame encoding, decoding, and scanning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameError {
+    /// A binary frame buffer failed to decode.
+    Codec {
+        /// The offending file (or buffer label).
+        file: String,
+        /// What is wrong with the buffer.
+        what: String,
+    },
+    /// The buffer continues past the end of the encoded frame — the
+    /// classic "trailing garbage" corruption. `offset` is the byte
+    /// position where the first unexpected byte sits; `trailing` is
+    /// how many bytes follow it.
+    TrailingBytes {
+        /// The offending file (or buffer label).
+        file: String,
+        /// Byte offset of the first trailing byte.
+        offset: usize,
+        /// Number of trailing bytes.
+        trailing: usize,
+    },
+    /// `encode_chunked` was asked for zero-interval chunks, which
+    /// would make the chunk grid undefined.
+    ZeroChunkLen,
+    /// A scan was configured out of domain (e.g. a resample target the
+    /// source resolution does not divide).
+    Scan {
+        /// Which part of the scan is invalid.
+        what: String,
+    },
+    /// A series-level invariant was violated while assembling a result.
+    Series(SeriesError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Codec { file, what } => write!(f, "{file}: codec error: {what}"),
+            FrameError::TrailingBytes {
+                file,
+                offset,
+                trailing,
+            } => write!(
+                f,
+                "{file}: codec error: {trailing} trailing byte(s) after the final chunk \
+                 at byte offset {offset}"
+            ),
+            FrameError::ZeroChunkLen => {
+                write!(f, "chunk length must be at least 1 (got 0)")
+            }
+            FrameError::Scan { what } => write!(f, "invalid scan: {what}"),
+            FrameError::Series(e) => write!(f, "series error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<SeriesError> for FrameError {
+    fn from(e: SeriesError) -> Self {
+        FrameError::Series(e)
+    }
+}
+
+#[cfg(test)]
+mod lib_tests {
+    use super::*;
+
+    #[test]
+    fn error_display_names_file_and_offset() {
+        let e = FrameError::TrailingBytes {
+            file: "consumer_0.fxm".into(),
+            offset: 1234,
+            trailing: 7,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("consumer_0.fxm"), "{msg}");
+        assert!(msg.contains("1234"), "{msg}");
+        assert!(msg.contains("7 trailing"), "{msg}");
+
+        assert!(FrameError::ZeroChunkLen.to_string().contains("at least 1"));
+        let e: FrameError = SeriesError::Empty.into();
+        assert!(e.to_string().contains("series"));
+    }
+}

@@ -1,6 +1,5 @@
 //! The raw metered series type: gaps are first-class.
 
-use crate::DatasetError;
 use flextract_series::{missing, FillStrategy, SeriesError, TimeSeries};
 use flextract_time::{Resolution, Timestamp};
 
@@ -14,8 +13,8 @@ use flextract_time::{Resolution, Timestamp};
 /// but it cannot report infinity).
 ///
 /// A `MeasuredSeries` becomes extraction-ready by going through the
-/// cleaning stage ([`crate::ingest::clean`]), which fills gaps and
-/// screens anomalies, yielding a strict `TimeSeries`.
+/// dataset cleaning stage, which fills gaps and screens anomalies,
+/// yielding a strict `TimeSeries`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MeasuredSeries {
     start: Timestamp,
@@ -80,6 +79,11 @@ impl MeasuredSeries {
         &self.values
     }
 
+    /// Consume the series, yielding its raw values.
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+
     /// The start instant of interval `i`.
     pub fn timestamp_of(&self, i: usize) -> Timestamp {
         self.start + self.resolution.interval() * i as i64
@@ -114,7 +118,7 @@ impl MeasuredSeries {
     /// [`TimeSeries`]; returns the filled series and how many gaps
     /// were filled. See [`missing::fill_gaps`] for per-strategy
     /// edge behavior and the energy bound.
-    pub fn fill(self, strategy: FillStrategy) -> Result<(TimeSeries, usize), DatasetError> {
+    pub fn fill(self, strategy: FillStrategy) -> Result<(TimeSeries, usize), SeriesError> {
         let MeasuredSeries {
             start,
             resolution,

@@ -31,7 +31,10 @@ const EXPORT_SEED_SALT: u64 = 0xDA7A_0000_EC5B_0000;
 pub struct ExportOptions {
     /// The degradation applied to every consumer (default: identity).
     pub degradation: Degradation,
-    /// Series file encoding (default: CSV, the readable one).
+    /// Series file encoding (default: FXM2 binary — per-chunk
+    /// statistics plus a footer chunk index, so readers can run
+    /// ranged and pushdown scans; `Csv` for a readable export,
+    /// `BinaryV1` as the legacy escape hatch).
     pub codec: SeriesCodec,
     /// Degradation RNG base seed (default: the scenario's seed).
     pub seed: Option<u64>,
@@ -45,7 +48,7 @@ impl Default for ExportOptions {
     fn default() -> Self {
         ExportOptions {
             degradation: Degradation::default(),
-            codec: SeriesCodec::Csv,
+            codec: SeriesCodec::Binary,
             seed: None,
             include_truth: true,
         }

@@ -325,8 +325,16 @@ impl<'a> SimulatedSource<'a> {
 /// resolution. Loading is per consumer through `&self`, so the source
 /// satisfies the same random-access contract as [`SimulatedSource`] and
 /// the sharded runner treats both uniformly.
+///
+/// Loads are **ranged**: only the scenario horizon is materialized
+/// (via [`Dataset::consumer_in`]), so a dataset may cover more time
+/// than the scenario uses — for FXM2 files, chunks outside the horizon
+/// are never decoded, and the cleaning stage (gap-fill and the
+/// rolling-z screen) runs on the chunk-assembled horizon window
+/// instead of the whole stored series.
 pub(crate) struct DatasetSource<'a> {
     dataset: Dataset,
+    horizon: TimeRange,
     cleaning: CleaningConfig,
     disaggregate: bool,
     /// Run the paired ground-truth extraction leg — true only when the
@@ -363,17 +371,24 @@ impl<'a> DatasetSource<'a> {
             )));
         }
         let start = manifest.start_timestamp()?;
-        if start != horizon.start() {
+        let covered = TimeRange::starting_at(
+            start,
+            Duration::minutes(manifest.intervals as i64 * manifest.resolution_min),
+        )
+        .expect("interval counts are non-negative");
+        // The dataset must *cover* the horizon (it may cover more —
+        // the loads are ranged, so only the horizon is ever decoded).
+        if !covered.contains_range(horizon) {
             return Err(invalid(format!(
-                "dataset starts at {start} but the scenario starts at {}",
-                horizon.start()
+                "dataset covers {covered} but the scenario horizon {horizon} is not inside it"
             )));
         }
-        let covered_min = manifest.intervals as i64 * manifest.resolution_min;
-        if covered_min != horizon.duration().as_minutes() {
+        if (horizon.start() - start).as_minutes() % manifest.resolution_min != 0 {
             return Err(invalid(format!(
-                "dataset covers {covered_min} min but the scenario horizon is {} min",
-                horizon.duration().as_minutes()
+                "scenario start {} is not aligned to the dataset's {}-min grid (dataset \
+                 starts at {start})",
+                horizon.start(),
+                manifest.resolution_min
             )));
         }
         if res.minutes() % manifest.resolution_min != 0 {
@@ -393,6 +408,7 @@ impl<'a> DatasetSource<'a> {
         Ok(DatasetSource {
             source_resolution_min: manifest.resolution_min,
             dataset,
+            horizon,
             cleaning: CleaningConfig {
                 fill: cleaning.fill,
                 screen_anomalies: cleaning.screen_anomalies,
@@ -410,13 +426,11 @@ impl<'a> DatasetSource<'a> {
     }
 
     fn consumer(&self, idx: usize) -> Result<ConsumerInput, ScenarioError> {
-        // Without a fidelity leg the truth-total file would be loaded
-        // only to be dropped; skip the read entirely.
-        let record = if self.fidelity {
-            self.dataset.consumer(idx)?
-        } else {
-            self.dataset.consumer_without_truth_total(idx)?
-        };
+        // Ranged read: only the chunks overlapping the scenario
+        // horizon are decoded. Without a fidelity leg the truth-total
+        // file would be loaded only to be dropped; skip the read
+        // entirely.
+        let record = self.dataset.consumer_in(idx, self.horizon, self.fidelity)?;
         let (cleaned, cleaning) = ingest::clean(record.measured, &self.cleaning)?;
 
         let mut disagg_detections = 0;

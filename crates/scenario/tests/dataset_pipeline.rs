@@ -171,6 +171,69 @@ proptest! {
 }
 
 #[test]
+fn scenarios_read_only_their_horizon_from_larger_datasets() {
+    // Export TWO days of measured data, then run a ONE-day scenario
+    // against it: the scan-backed source must slice the horizon out
+    // instead of rejecting the dataset (or decoding all of it).
+    let source = source_scenario(2, 2, 99);
+    let dir = scratch("cover", 99);
+    let options = ExportOptions {
+        degradation: flextract_dataset::Degradation {
+            resolution_min: Some(15),
+            gap_rate: 0.02,
+            ..flextract_dataset::Degradation::default()
+        },
+        ..ExportOptions::default()
+    };
+    export_dataset(&source, &dir, &options).unwrap();
+
+    let one_day = Scenario {
+        name: "ds_one_day_of_two".into(),
+        description: "horizon-sliced dataset run".into(),
+        workload: Workload::Dataset {
+            path: dir.display().to_string(),
+            consumers: 2,
+            cleaning: DatasetCleaning::default(),
+            disaggregate: false,
+        },
+        ..source_scenario(2, 1, 7)
+    };
+    let outcome = ScenarioRunner::with_threads(1).run(&one_day).unwrap();
+    assert_eq!(outcome.report.intervals, 96, "one day at 15 min");
+
+    // The ranged store read behind it decodes only the first day's
+    // chunks (FXM2 is the default export codec).
+    let ds = Dataset::open(&dir).unwrap();
+    assert_eq!(ds.manifest().codec, SeriesCodec::Binary);
+    let day1 = TimeRange::starting_at("2013-03-18".parse().unwrap(), Duration::days(1)).unwrap();
+    let (slice, report) = ds.consumer_slice(0, day1).unwrap();
+    assert_eq!(slice.len(), 96);
+    assert_eq!(report.chunks_decoded, 1, "{report:?}");
+    assert_eq!(report.chunks_skipped_slice, 1, "{report:?}");
+
+    // Sliced and whole-series loads agree bit for bit on the overlap.
+    let whole = ds.consumer(0).unwrap().measured;
+    for (a, b) in slice.values().iter().zip(whole.values()) {
+        assert!(a.is_nan() == b.is_nan());
+        if !a.is_nan() {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    // A horizon the dataset does NOT cover is rejected with a message
+    // naming both spans.
+    let shifted = Scenario {
+        start: "2013-03-19".into(),
+        days: 2,
+        ..one_day.clone()
+    };
+    let err = ScenarioRunner::with_threads(1).run(&shifted).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("not inside it"), "{msg}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn dataset_scenarios_validate_resolution_and_skip_partial_fidelity() {
     let source = source_scenario(2, 1, 77);
     let dir = scratch("partial", 77);

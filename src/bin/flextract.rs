@@ -15,18 +15,22 @@ use flextract::core::{
     BasicExtractor, ExtractionConfig, ExtractionInput, FlexibilityExtractor, PeakExtractor,
     RandomExtractor,
 };
-use flextract::dataset::{CleaningConfig, Dataset, Degradation, SeriesCodec};
+use flextract::dataset::{
+    Aggregates, CleaningConfig, Dataset, Degradation, Predicate, Scan, SeriesCodec,
+};
 use flextract::eval::experiments::{
     aggregation_study, approach_comparison, granularity, share_sweep, tariff_study,
     threshold_ablation, ExperimentParams,
 };
 use flextract::eval::fig5_day;
+use flextract::flexoffer::FlexOffer;
 use flextract::scenario::{load_dir, load_file, ExportOptions, Scenario, ScenarioRunner};
 use flextract::series::{codec, missing::FillStrategy, TimeSeries};
 use flextract::sim::{simulate_fleet, FleetConfig};
 use flextract::time::{Duration, Resolution, TimeRange, Timestamp};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::Serialize;
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -42,7 +46,7 @@ USAGE:
   flextract scenario list [--dir DIR]
   flextract scenario run (--all | --name NAME) [--dir DIR] [--threads N]
                        [--consumer-threads N] [--json]
-  flextract dataset export  --scenario FILE --out DIR [--codec csv|binary]
+  flextract dataset export  --scenario FILE --out DIR [--codec fxm2|fxm1|csv]
                        [--resolution-min N] [--noise F] [--gap-rate F]
                        [--mean-gap-len F] [--anomaly-rate F]
                        [--anomaly-factor F] [--anomaly-len N]
@@ -50,12 +54,19 @@ USAGE:
   flextract dataset inspect --dataset DIR
   flextract dataset ingest  --dataset DIR [--fill linear|previous|seasonal|zero]
                        [--screen-anomalies] [--consumer N]
+  flextract query      --dataset DIR [--consumer N] [--from TS] [--to TS]
+                       [--agg stats|sum|mean|peak|gaps]
+                       [--where gaps|min-below:F|max-above:F]
+                       [--resolution-min N] [--json]
+  flextract query      --offers FILE.json [--from TS] [--to TS] [--json]
   flextract help
 
 The scenario corpus lives in scenarios/ (one JSON spec per scenario);
 datasets are directories with a manifest.json plus one series file per
-consumer. See the README for the spec and dataset formats and the
-golden-file workflow.
+consumer. `query` runs time-sliced aggregate queries over a dataset
+directory (FXM2 files answer from chunk statistics, skipping
+non-matching chunks) or over an exported flex-offer set. See the
+README for the spec and dataset formats and the golden-file workflow.
 ";
 
 /// Minimal flag parser: `--key value` pairs after the positionals.
@@ -151,6 +162,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 &Flags::parse_with_switches(&args[2..], &["screen-anomalies", "no-truth"])?,
             )
         }
+        "query" => cmd_query(&Flags::parse_with_switches(&args[1..], &["json"])?),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -461,10 +473,14 @@ fn cmd_dataset_export(flags: &Flags) -> Result<(), String> {
         .ok_or("dataset export needs --scenario FILE")?;
     let out = flags.get("out").ok_or("dataset export needs --out DIR")?;
     let scenario = load_file(Path::new(spec)).map_err(|e| e.to_string())?;
-    let codec = match flags.get("codec").unwrap_or("csv") {
+    // FXM2 is the default: per-chunk statistics + footer index, so the
+    // exported dataset supports ranged reads and pushdown queries.
+    // `fxm1` is the legacy escape hatch, `csv` the readable one.
+    let codec = match flags.get("codec").unwrap_or("fxm2") {
         "csv" => SeriesCodec::Csv,
-        "binary" | "fxm" => SeriesCodec::Binary,
-        other => return Err(format!("unknown codec '{other}' (csv|binary)")),
+        "binary" | "fxm" | "fxm2" => SeriesCodec::Binary,
+        "fxm1" => SeriesCodec::BinaryV1,
+        other => return Err(format!("unknown codec '{other}' (fxm2|fxm1|csv)")),
     };
     let mut degradation = Degradation::default();
     if let Some(raw) = flags.get("resolution-min") {
@@ -519,10 +535,7 @@ fn cmd_dataset_inspect(flags: &Flags) -> Result<(), String> {
         m.intervals,
         m.resolution_min,
         m.start,
-        match m.codec {
-            SeriesCodec::Csv => "csv",
-            SeriesCodec::Binary => "binary",
-        },
+        m.codec.label(),
         m.description
     );
     if let Some(src) = &m.source_scenario {
@@ -531,17 +544,57 @@ fn cmd_dataset_inspect(flags: &Flags) -> Result<(), String> {
             m.seed.map_or("?".to_string(), |s| s.to_string())
         );
     }
-    for (i, c) in m.consumers.iter().enumerate() {
+    let truth_suffix = |c: &flextract::dataset::ConsumerEntry| {
+        if c.truth_total.is_some() {
+            ", carries ground truth"
+        } else {
+            ""
+        }
+    };
+    if m.codec == SeriesCodec::Binary {
+        // FXM2: per-consumer stats are *streamed*, one consumer at a
+        // time, straight from the chunk statistics headers — no
+        // payload ever decodes and nothing is materialized.
+        let mut stat_only_chunks = 0usize;
+        let mut total_chunks = 0usize;
+        for (i, c) in m.consumers.iter().enumerate() {
+            let (agg, report) = ds
+                .consumer_aggregates(i, &Scan::new())
+                .map_err(|e| e.to_string())?;
+            stat_only_chunks += report.chunks_stats_only;
+            total_chunks += report.chunks_total;
+            println!(
+                "  [{i}] {} ({:?}): {} gap(s){} — {:.2} kWh observed, min {} max {} per interval",
+                c.id,
+                c.kind,
+                agg.gaps,
+                truth_suffix(c),
+                agg.sum_kwh,
+                agg.min.map_or("-".to_string(), |v| format!("{v:.3}")),
+                agg.max.map_or("-".to_string(), |v| format!("{v:.3}")),
+            );
+        }
         println!(
-            "  [{i}] {} ({:?}): {} gap(s){}",
-            c.id,
-            c.kind,
-            c.gap_count,
-            if c.truth_total.is_some() {
-                ", carries ground truth"
-            } else {
-                ""
-            }
+            "  {stat_only_chunks}/{total_chunks} chunks summarised from statistics alone \
+             (no payload decode)"
+        );
+    } else {
+        // Stat-less codecs would need a full decode per consumer just
+        // to print a summary line; answer from the manifest instead
+        // and leave per-interval statistics to `flextract query`.
+        for (i, c) in m.consumers.iter().enumerate() {
+            println!(
+                "  [{i}] {} ({:?}): {} gap(s){}",
+                c.id,
+                c.kind,
+                c.gap_count,
+                truth_suffix(c)
+            );
+        }
+        println!(
+            "  (per-interval statistics need the fxm2 codec; this {} dataset is \
+             summarised from the manifest — use `flextract query` to scan it)",
+            m.codec.label()
         );
     }
     Ok(())
@@ -597,6 +650,385 @@ fn cmd_dataset_ingest(flags: &Flags) -> Result<(), String> {
             report.screened_kwh,
             series.total_energy()
         );
+    }
+    Ok(())
+}
+
+/// One consumer's row in a `flextract query` result.
+#[derive(Serialize)]
+struct QueryRow {
+    consumer: String,
+    intervals: usize,
+    observed: usize,
+    gaps: usize,
+    sum_kwh: f64,
+    mean_kwh: Option<f64>,
+    min_kwh: Option<f64>,
+    max_kwh: Option<f64>,
+    peak_at: Option<String>,
+    peak_kwh: Option<f64>,
+    chunks_total: usize,
+    chunks_decoded: usize,
+    chunks_skipped: usize,
+    chunks_stats_only: usize,
+}
+
+/// Parse `--from`/`--to` into a time slice over `[default_from,
+/// default_to)`; errors name the offending flag.
+fn parse_slice(
+    flags: &Flags,
+    default_from: Timestamp,
+    default_to: Timestamp,
+) -> Result<TimeRange, String> {
+    let parse = |name: &str, default: Timestamp| -> Result<Timestamp, String> {
+        match flags.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|e| format!("invalid value '{raw}' for --{name}: {e}")),
+        }
+    };
+    let from = parse("from", default_from)?;
+    let to = parse("to", default_to)?;
+    TimeRange::new(from, to)
+        .map_err(|_| format!("--to {to} lies before --from {from} (empty query range)"))
+}
+
+fn cmd_query(flags: &Flags) -> Result<(), String> {
+    match (flags.get("dataset"), flags.get("offers")) {
+        (Some(_), Some(_)) => Err("query takes --dataset DIR or --offers FILE, not both".into()),
+        (Some(dir), None) => query_dataset(dir, flags),
+        (None, Some(file)) => query_offers(file, flags),
+        (None, None) => Err("query needs --dataset DIR or --offers FILE".into()),
+    }
+}
+
+/// Parse the `--where` predicate, naming the flag in errors.
+fn parse_predicate(raw: &str) -> Result<Predicate, String> {
+    let invalid = |what: String| {
+        format!("invalid value '{raw}' for --where: {what} (gaps|min-below:F|max-above:F)")
+    };
+    if raw == "gaps" {
+        return Ok(Predicate::HasGaps);
+    }
+    let threshold = |rest: &str| -> Result<f64, String> {
+        let v: f64 = rest
+            .parse()
+            .map_err(|_| invalid(format!("threshold `{rest}` is not a number")))?;
+        if !v.is_finite() {
+            return Err(invalid("threshold must be finite".into()));
+        }
+        Ok(v)
+    };
+    if let Some(rest) = raw.strip_prefix("min-below:") {
+        return Ok(Predicate::MinBelow(threshold(rest)?));
+    }
+    if let Some(rest) = raw.strip_prefix("max-above:") {
+        return Ok(Predicate::MaxAbove(threshold(rest)?));
+    }
+    Err(invalid("unknown predicate".into()))
+}
+
+fn query_dataset(dir: &str, flags: &Flags) -> Result<(), String> {
+    let want_agg = flags.get("agg").unwrap_or("stats");
+    if !["stats", "sum", "mean", "peak", "gaps"].contains(&want_agg) {
+        return Err(format!(
+            "invalid value '{want_agg}' for --agg (stats|sum|mean|peak|gaps)"
+        ));
+    }
+    let predicate = flags.get("where").map(parse_predicate).transpose()?;
+    let resample = flags
+        .get("resolution-min")
+        .map(|raw| -> Result<Resolution, String> {
+            let minutes: i64 = raw
+                .parse()
+                .map_err(|_| format!("invalid value '{raw}' for --resolution-min"))?;
+            Resolution::from_minutes(minutes)
+                .map_err(|e| format!("invalid value '{raw}' for --resolution-min: {e}"))
+        })
+        .transpose()?;
+    if resample.is_some() && predicate.is_some() {
+        return Err(
+            "--where cannot combine with --resolution-min (a filtered selection \
+                    is not a contiguous series to resample)"
+                .into(),
+        );
+    }
+
+    let ds = Dataset::open(Path::new(dir)).map_err(|e| e.to_string())?;
+    let manifest = ds.manifest();
+    let ds_start = manifest.start_timestamp().map_err(|e| e.to_string())?;
+    let ds_end = ds_start + Duration::minutes(manifest.intervals as i64 * manifest.resolution_min);
+    let slice = parse_slice(flags, ds_start, ds_end)?;
+    let mut scan = Scan::new().time_slice(slice);
+    if let Some(p) = predicate {
+        scan = scan.with_predicate(p);
+    }
+
+    let indices: Vec<usize> = match flags.get("consumer") {
+        Some(raw) => {
+            let idx: usize = raw
+                .parse()
+                .map_err(|_| format!("invalid value '{raw}' for --consumer"))?;
+            if idx >= ds.len() {
+                return Err(format!(
+                    "--consumer {idx} out of range (dataset has {} consumers)",
+                    ds.len()
+                ));
+            }
+            vec![idx]
+        }
+        None => (0..ds.len()).collect(),
+    };
+
+    let mut rows = Vec::with_capacity(indices.len());
+    for idx in indices {
+        let id = manifest.consumers[idx].id.clone();
+        // One file read + frame open per consumer; every execution
+        // below scans the same frame.
+        let frame = ds.consumer_frame(idx).map_err(|e| e.to_string())?;
+        let (agg, report, resampled) = match resample {
+            None => {
+                let (agg, report) = scan.aggregates(&frame).map_err(|e| e.to_string())?;
+                (agg, report, None)
+            }
+            Some(target) => {
+                let (series, report) = scan
+                    .materialize_resampled(&frame, target)
+                    .map_err(|e| e.to_string())?;
+                (
+                    Aggregates::from_values(series.values()),
+                    report,
+                    Some(series),
+                )
+            }
+        };
+        let peak = if want_agg == "peak" {
+            match &resampled {
+                // The audit row keeps the aggregate scan's counters;
+                // the peak pass is a second scan with its own (small)
+                // decode cost, not folded in.
+                None => scan.peak(&frame).map_err(|e| e.to_string())?.0,
+                Some(series) => series
+                    .values()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| !v.is_nan())
+                    .fold(None::<(usize, f64)>, |best, (i, &v)| match best {
+                        Some((_, bv)) if v <= bv => best,
+                        _ => Some((i, v)),
+                    })
+                    .map(|(i, v)| (series.timestamp_of(i), v)),
+            }
+        } else {
+            None
+        };
+        rows.push(QueryRow {
+            consumer: id,
+            intervals: agg.intervals,
+            observed: agg.observed,
+            gaps: agg.gaps,
+            sum_kwh: agg.sum_kwh,
+            mean_kwh: agg.mean(),
+            min_kwh: agg.min,
+            max_kwh: agg.max,
+            peak_at: peak.map(|(t, _)| t.to_string()),
+            peak_kwh: peak.map(|(_, v)| v),
+            chunks_total: report.chunks_total,
+            chunks_decoded: report.chunks_decoded,
+            chunks_skipped: report.chunks_skipped_slice + report.chunks_skipped_stats,
+            chunks_stats_only: report.chunks_stats_only,
+        });
+    }
+
+    if flags.get("json").is_some() {
+        let json = serde_json::to_string_pretty(&rows)
+            .map_err(|e| format!("serialise query rows: {e}"))?;
+        println!("{json}");
+        return Ok(());
+    }
+    // The chosen aggregate selects the printed columns (JSON rows
+    // always carry every field — scripts pick what they need).
+    println!("query over {slice} ({want_agg}):");
+    let fmt_opt = |v: Option<f64>| v.map_or("-".to_string(), |v| format!("{v:.3}"));
+    let audit = |r: &QueryRow| {
+        format!(
+            "{}/{}/{}",
+            r.chunks_decoded, r.chunks_skipped, r.chunks_stats_only
+        )
+    };
+    match want_agg {
+        "sum" => {
+            println!(
+                "{:<10} {:>9} {:>12} {:>22}",
+                "consumer", "intervals", "sum kWh", "chunks dec/skip/stat"
+            );
+            for r in &rows {
+                println!(
+                    "{:<10} {:>9} {:>12.3} {:>22}",
+                    r.consumer,
+                    r.intervals,
+                    r.sum_kwh,
+                    audit(r)
+                );
+            }
+        }
+        "mean" => {
+            println!(
+                "{:<10} {:>9} {:>9} {:>22}",
+                "consumer", "observed", "mean", "chunks dec/skip/stat"
+            );
+            for r in &rows {
+                println!(
+                    "{:<10} {:>9} {:>9} {:>22}",
+                    r.consumer,
+                    r.observed,
+                    fmt_opt(r.mean_kwh),
+                    audit(r)
+                );
+            }
+        }
+        "gaps" => {
+            println!(
+                "{:<10} {:>9} {:>6} {:>7} {:>22}",
+                "consumer", "intervals", "gaps", "gap %", "chunks dec/skip/stat"
+            );
+            for r in &rows {
+                let pct = if r.intervals > 0 {
+                    100.0 * r.gaps as f64 / r.intervals as f64
+                } else {
+                    0.0
+                };
+                println!(
+                    "{:<10} {:>9} {:>6} {:>6.1}% {:>22}",
+                    r.consumer,
+                    r.intervals,
+                    r.gaps,
+                    pct,
+                    audit(r)
+                );
+            }
+        }
+        // "stats" and "peak" print the full row (peak adds its line).
+        _ => {
+            println!(
+                "{:<10} {:>9} {:>9} {:>6} {:>12} {:>9} {:>8} {:>8} {:>22}",
+                "consumer",
+                "intervals",
+                "observed",
+                "gaps",
+                "sum kWh",
+                "mean",
+                "min",
+                "max",
+                "chunks dec/skip/stat"
+            );
+            for r in &rows {
+                println!(
+                    "{:<10} {:>9} {:>9} {:>6} {:>12.3} {:>9} {:>8} {:>8} {:>22}",
+                    r.consumer,
+                    r.intervals,
+                    r.observed,
+                    r.gaps,
+                    r.sum_kwh,
+                    fmt_opt(r.mean_kwh),
+                    fmt_opt(r.min_kwh),
+                    fmt_opt(r.max_kwh),
+                    audit(r),
+                );
+                if let (Some(at), Some(kwh)) = (&r.peak_at, r.peak_kwh) {
+                    println!("{:<10}   peak {kwh:.3} kWh at {at}", "");
+                }
+            }
+        }
+    }
+    let decoded: usize = rows.iter().map(|r| r.chunks_decoded).sum();
+    let total: usize = rows.iter().map(|r| r.chunks_total).sum();
+    println!(
+        "{} consumer(s); decoded {decoded}/{total} chunks ({:.0} % skipped)",
+        rows.len(),
+        if total > 0 {
+            100.0 * (1.0 - decoded as f64 / total as f64)
+        } else {
+            0.0
+        }
+    );
+    Ok(())
+}
+
+/// Summary of an offer-set query.
+#[derive(Serialize)]
+struct OfferQuerySummary {
+    offers: usize,
+    selected: usize,
+    energy_min_kwh: f64,
+    energy_max_kwh: f64,
+    energy_flexibility_kwh: f64,
+    time_flexibility_h: f64,
+    earliest_start: Option<String>,
+    latest_end: Option<String>,
+}
+
+fn query_offers(file: &str, flags: &Flags) -> Result<(), String> {
+    if flags.get("agg").is_some() || flags.get("where").is_some() {
+        return Err(
+            "--agg/--where apply to --dataset queries only (an offer set has \
+                    no interval series to aggregate)"
+                .into(),
+        );
+    }
+    let text = std::fs::read_to_string(file).map_err(|e| format!("read {file}: {e}"))?;
+    let offers: Vec<FlexOffer> = serde_json::from_str(&text)
+        .map_err(|e| format!("{file}: not a flex-offer JSON array: {e}"))?;
+    let far_past = Timestamp::from_minutes(i64::MIN / 4);
+    let far_future = Timestamp::from_minutes(i64::MAX / 4);
+    let slice = parse_slice(flags, far_past, far_future)?;
+    let selected: Vec<&FlexOffer> = offers
+        .iter()
+        .filter(|o| o.execution_window().overlaps(slice))
+        .collect();
+    let mut summary = OfferQuerySummary {
+        offers: offers.len(),
+        selected: selected.len(),
+        energy_min_kwh: 0.0,
+        energy_max_kwh: 0.0,
+        energy_flexibility_kwh: 0.0,
+        time_flexibility_h: 0.0,
+        earliest_start: None,
+        latest_end: None,
+    };
+    let mut earliest: Option<Timestamp> = None;
+    let mut latest: Option<Timestamp> = None;
+    for o in &selected {
+        let energy = o.total_energy();
+        summary.energy_min_kwh += energy.min;
+        summary.energy_max_kwh += energy.max;
+        summary.energy_flexibility_kwh += o.energy_flexibility();
+        summary.time_flexibility_h += o.time_flexibility().as_hours_f64();
+        earliest = Some(earliest.map_or(o.earliest_start(), |t| t.min(o.earliest_start())));
+        latest = Some(latest.map_or(o.latest_end(), |t| t.max(o.latest_end())));
+    }
+    summary.earliest_start = earliest.map(|t| t.to_string());
+    summary.latest_end = latest.map(|t| t.to_string());
+    if flags.get("json").is_some() {
+        let json = serde_json::to_string_pretty(&summary)
+            .map_err(|e| format!("serialise offer summary: {e}"))?;
+        println!("{json}");
+        return Ok(());
+    }
+    println!(
+        "{}/{} offer(s) overlap the query window",
+        summary.selected, summary.offers
+    );
+    println!(
+        "  energy {:.3}..{:.3} kWh ({:.3} kWh flexible), {:.1} h total time flexibility",
+        summary.energy_min_kwh,
+        summary.energy_max_kwh,
+        summary.energy_flexibility_kwh,
+        summary.time_flexibility_h
+    );
+    if let (Some(a), Some(b)) = (&summary.earliest_start, &summary.latest_end) {
+        println!("  execution span [{a} .. {b})");
     }
     Ok(())
 }

@@ -23,6 +23,7 @@
 //! | [`core`] | `flextract-core` | **the five extraction approaches** |
 //! | [`agg`] | `flextract-agg` | flex-offer aggregation & RES scheduling |
 //! | [`eval`] | `flextract-eval` | realism metrics, ground truth, experiments |
+//! | [`frame`] | `flextract-frame` | columnar chunk-stat frames (FXM2) + lazy scans |
 //! | [`dataset`] | `flextract-dataset` | metered-series store, degradation, cleaning |
 //! | [`scenario`] | `flextract-scenario` | declarative scenario corpus + parallel runner |
 //!
@@ -86,6 +87,11 @@ pub mod eval {
 /// The MIRABEL flex-offer object model (Figure 1).
 pub mod flexoffer {
     pub use flextract_flexoffer::*;
+}
+
+/// Columnar chunk-stat frames: the FXM2 codec and lazy pushdown scans.
+pub mod frame {
+    pub use flextract_frame::*;
 }
 
 /// Declarative scenario corpus + parallel pipeline runner.

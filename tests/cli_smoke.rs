@@ -439,6 +439,8 @@ fn dataset_malformed_csv_and_unaligned_timestamps_exit_nonzero() {
     let dir = scratch_dir("dataset_bad");
     let ds_dir = dir.join("metered");
     let ds_flag = ds_dir.to_str().unwrap();
+    // Export as CSV explicitly (the default codec is FXM2 binary) so
+    // the test can corrupt a text row below.
     let export = flextract(&[
         "dataset",
         "export",
@@ -448,6 +450,8 @@ fn dataset_malformed_csv_and_unaligned_timestamps_exit_nonzero() {
         ds_flag,
         "--resolution-min",
         "15",
+        "--codec",
+        "csv",
     ]);
     assert!(export.status.success());
 
@@ -569,6 +573,255 @@ fn dataset_bad_invocations_exit_nonzero() {
         assert!(
             stderr.contains("error:"),
             "stderr for {args:?} should explain: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn query_dataset_and_offers_round_trip() {
+    let dir = scratch_dir("query");
+    let ds_dir = dir.join("metered");
+    let ds_flag = ds_dir.to_str().unwrap();
+
+    // An FXM2 dataset (the default codec) with guaranteed gaps.
+    let export = flextract(&[
+        "dataset",
+        "export",
+        "--scenario",
+        "datasets/sources/src_gap_heavy.json",
+        "--out",
+        ds_flag,
+        "--resolution-min",
+        "15",
+        "--gap-rate",
+        "0.1",
+        "--seed",
+        "11",
+    ]);
+    assert!(
+        export.status.success(),
+        "dataset export failed: {}",
+        String::from_utf8_lossy(&export.stderr)
+    );
+
+    // A whole-dataset stats query answers from chunk statistics.
+    let q = flextract(&["query", "--dataset", ds_flag]);
+    assert!(
+        q.status.success(),
+        "query failed: {}",
+        String::from_utf8_lossy(&q.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&q.stdout);
+    assert!(stdout.contains("consumer"), "{stdout}");
+    assert!(
+        stdout.contains("100 % skipped"),
+        "FXM2 full-scan stats must skip every decode: {stdout}"
+    );
+
+    // A time-sliced gap query with JSON output.
+    let q = flextract(&[
+        "query",
+        "--dataset",
+        ds_flag,
+        "--from",
+        "2013-03-18 06:00",
+        "--to",
+        "2013-03-18 18:00",
+        "--where",
+        "gaps",
+        "--json",
+    ]);
+    assert!(
+        q.status.success(),
+        "sliced query failed: {}",
+        String::from_utf8_lossy(&q.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&q.stdout);
+    assert!(
+        stdout.trim_start().starts_with('['),
+        "--json emits an array: {stdout}"
+    );
+    assert!(stdout.contains("\"chunks_decoded\""), "{stdout}");
+
+    // Peak queries locate the argmax with a timestamp.
+    let q = flextract(&["query", "--dataset", ds_flag, "--agg", "peak"]);
+    assert!(q.status.success());
+    assert!(
+        String::from_utf8_lossy(&q.stdout).contains("peak"),
+        "peak row expected"
+    );
+
+    // Each aggregate selects its own column set in table mode.
+    let q = flextract(&["query", "--dataset", ds_flag, "--agg", "gaps"]);
+    assert!(q.status.success());
+    let stdout = String::from_utf8_lossy(&q.stdout);
+    assert!(stdout.contains("gap %"), "{stdout}");
+    assert!(
+        !stdout.contains("mean"),
+        "gaps view hides the stats columns: {stdout}"
+    );
+    let q = flextract(&["query", "--dataset", ds_flag, "--agg", "sum"]);
+    assert!(q.status.success());
+    let stdout = String::from_utf8_lossy(&q.stdout);
+    assert!(
+        stdout.contains("sum kWh") && !stdout.contains("gap %"),
+        "{stdout}"
+    );
+
+    // Offer-set queries: extract offers to JSON, then query them.
+    let sim_dir = dir.join("sim");
+    let sim = flextract(&[
+        "simulate",
+        "--households",
+        "1",
+        "--days",
+        "2",
+        "--seed",
+        "7",
+        "--out",
+        sim_dir.to_str().unwrap(),
+    ]);
+    assert!(sim.status.success());
+    let offers_path = dir.join("offers.json");
+    let extract = flextract(&[
+        "extract",
+        "--input",
+        sim_dir.join("household_0.csv").to_str().unwrap(),
+        "--out",
+        offers_path.to_str().unwrap(),
+    ]);
+    assert!(extract.status.success());
+    let q = flextract(&[
+        "query",
+        "--offers",
+        offers_path.to_str().unwrap(),
+        "--from",
+        "2013-03-18",
+        "--to",
+        "2013-03-19",
+    ]);
+    assert!(
+        q.status.success(),
+        "offers query failed: {}",
+        String::from_utf8_lossy(&q.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&q.stdout);
+    assert!(stdout.contains("overlap the query window"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn malformed_queries_exit_nonzero_naming_the_bad_field() {
+    // Each case must fail AND name the offending flag, so the user
+    // can fix the query instead of guessing.
+    for (args, field) in [
+        (&["query"] as &[&str], "--dataset"),
+        (
+            &[
+                "query",
+                "--dataset",
+                "datasets/ds_household_1min",
+                "--agg",
+                "bogus",
+            ],
+            "--agg",
+        ),
+        (
+            &[
+                "query",
+                "--dataset",
+                "datasets/ds_household_1min",
+                "--where",
+                "frobnicate",
+            ],
+            "--where",
+        ),
+        (
+            &[
+                "query",
+                "--dataset",
+                "datasets/ds_household_1min",
+                "--where",
+                "min-below:xyz",
+            ],
+            "--where",
+        ),
+        (
+            &[
+                "query",
+                "--dataset",
+                "datasets/ds_household_1min",
+                "--from",
+                "not-a-time",
+            ],
+            "--from",
+        ),
+        (
+            &[
+                "query",
+                "--dataset",
+                "datasets/ds_household_1min",
+                "--from",
+                "2013-03-19",
+                "--to",
+                "2013-03-18",
+            ],
+            "--to",
+        ),
+        (
+            &[
+                "query",
+                "--dataset",
+                "datasets/ds_household_1min",
+                "--consumer",
+                "99",
+            ],
+            "--consumer",
+        ),
+        (
+            &[
+                "query",
+                "--dataset",
+                "datasets/ds_household_1min",
+                "--resolution-min",
+                "7",
+            ],
+            "--resolution-min",
+        ),
+        (
+            &[
+                "query",
+                "--dataset",
+                "datasets/ds_household_1min",
+                "--where",
+                "gaps",
+                "--resolution-min",
+                "15",
+            ],
+            "--where",
+        ),
+        (
+            &["query", "--offers", "/no/such/offers.json"],
+            "/no/such/offers.json",
+        ),
+        (
+            &[
+                "query",
+                "--offers",
+                "x.json",
+                "--dataset",
+                "datasets/ds_household_1min",
+            ],
+            "not both",
+        ),
+    ] {
+        let out = flextract(args);
+        assert!(!out.status.success(), "expected failure for args {args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("error:") && stderr.contains(field),
+            "stderr for {args:?} should name {field}: {stderr}"
         );
     }
 }
