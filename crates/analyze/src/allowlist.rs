@@ -1,0 +1,307 @@
+//! The `analyze.toml` suppression allowlist.
+//!
+//! Static analysis without an escape hatch rots: the first
+//! false-positive either gets the gate turned off or the lint deleted.
+//! The escape hatch here is deliberate and audited — every suppression
+//! is an `[[suppress]]` entry that must name the lint, the path, and a
+//! written `justification`. Entries without a justification do not
+//! suppress anything (they become `invalid-suppression` findings), and
+//! entries that match nothing become `unused-suppression` findings so
+//! the allowlist cannot silently outlive the code it excused.
+//!
+//! The format is a deliberately minimal TOML subset (this crate is
+//! dependency-free): `[[suppress]]` tables with string-valued keys
+//! `lint`, `path`, `contains` (optional) and `justification`.
+
+use crate::findings::Finding;
+
+/// One audited suppression entry.
+#[derive(Debug, Clone, Default)]
+pub struct Suppression {
+    /// Lint id the entry suppresses.
+    pub lint: String,
+    /// File path the entry applies to — exact, or a prefix when it
+    /// ends with `/`.
+    pub path: String,
+    /// Optional substring the offending source line must contain
+    /// (narrows the suppression to specific expressions).
+    pub contains: Option<String>,
+    /// Why the violation is acceptable. Required.
+    pub justification: String,
+    /// Line of the `[[suppress]]` header in `analyze.toml`.
+    pub line: usize,
+}
+
+impl Suppression {
+    fn matches(&self, finding: &Finding) -> bool {
+        if self.lint != finding.lint {
+            return false;
+        }
+        let path_ok = if let Some(prefix) = self.path.strip_suffix('/') {
+            finding.file.starts_with(prefix)
+        } else {
+            finding.file == self.path
+        };
+        if !path_ok {
+            return false;
+        }
+        match &self.contains {
+            Some(needle) => finding.excerpt.contains(needle.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A parsed allowlist.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    /// The entries, in file order.
+    pub entries: Vec<Suppression>,
+    /// Where the allowlist was loaded from (for findings it emits).
+    pub source: String,
+}
+
+impl Allowlist {
+    /// Parse allowlist text. Errors name the line; an empty or
+    /// comment-only file is a valid empty allowlist.
+    pub fn parse(text: &str, source: &str) -> Result<Allowlist, String> {
+        let mut entries: Vec<Suppression> = Vec::new();
+        let mut in_entry = false;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[suppress]]" {
+                entries.push(Suppression {
+                    line: lineno,
+                    ..Suppression::default()
+                });
+                in_entry = true;
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(format!(
+                    "{source}:{lineno}: unknown table {line:?} (only [[suppress]] is supported)"
+                ));
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("{source}:{lineno}: expected `key = \"value\"`"));
+            };
+            if !in_entry {
+                return Err(format!(
+                    "{source}:{lineno}: key outside a [[suppress]] entry"
+                ));
+            }
+            let value = parse_string(value.trim())
+                .ok_or_else(|| format!("{source}:{lineno}: value must be a quoted string"))?;
+            let entry = entries
+                .last_mut()
+                .expect("in_entry implies at least one entry");
+            match key.trim() {
+                "lint" => entry.lint = value,
+                "path" => entry.path = value,
+                "contains" => entry.contains = Some(value),
+                "justification" => entry.justification = value,
+                other => {
+                    return Err(format!(
+                        "{source}:{lineno}: unknown key {other:?} \
+                         (lint|path|contains|justification)"
+                    ));
+                }
+            }
+        }
+        Ok(Allowlist {
+            entries,
+            source: source.to_string(),
+        })
+    }
+
+    /// Load from a file; a missing file is an empty allowlist.
+    pub fn load(path: &std::path::Path) -> Result<Allowlist, String> {
+        let source = path.display().to_string();
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::parse(&text, &source),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Allowlist::default()),
+            Err(e) => Err(format!("cannot read {source}: {e}")),
+        }
+    }
+
+    /// Partition findings into (kept, suppressed-count) and append the
+    /// allowlist's own meta findings: entries missing a justification
+    /// (which never suppress) and entries that matched nothing.
+    pub fn apply(&self, findings: Vec<Finding>) -> (Vec<Finding>, usize) {
+        let mut used = vec![false; self.entries.len()];
+        let mut kept = Vec::new();
+        let mut suppressed = 0usize;
+        for finding in findings {
+            let hit = self
+                .entries
+                .iter()
+                .enumerate()
+                .find(|(_, e)| !e.justification.trim().is_empty() && e.matches(&finding));
+            match hit {
+                Some((i, _)) => {
+                    used[i] = true;
+                    suppressed += 1;
+                }
+                None => kept.push(finding),
+            }
+        }
+        for (i, entry) in self.entries.iter().enumerate() {
+            if entry.justification.trim().is_empty() {
+                kept.push(Finding {
+                    file: self.source.clone(),
+                    line: entry.line,
+                    col: 1,
+                    lint: "invalid-suppression".into(),
+                    message: format!(
+                        "suppression for lint `{}` on `{}` has no justification; it \
+                         suppresses nothing until one is written",
+                        entry.lint, entry.path
+                    ),
+                    suggestion: "add `justification = \"…\"` explaining why this \
+                                 violation is sound"
+                        .into(),
+                    excerpt: String::new(),
+                });
+            } else if !used[i] {
+                kept.push(Finding {
+                    file: self.source.clone(),
+                    line: entry.line,
+                    col: 1,
+                    lint: "unused-suppression".into(),
+                    message: format!(
+                        "suppression for lint `{}` on `{}` matched no finding",
+                        entry.lint, entry.path
+                    ),
+                    suggestion: "the violation it excused is gone — delete the entry".into(),
+                    excerpt: String::new(),
+                });
+            }
+        }
+        (kept, suppressed)
+    }
+}
+
+/// Strip a `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match b {
+            b'\\' if in_str => escaped = true,
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parse a double-quoted TOML string with minimal escapes.
+fn parse_string(raw: &str) -> Option<String> {
+    let inner = raw.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            'n' => out.push('\n'),
+            't' => out.push('\t'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(lint: &str, file: &str, excerpt: &str) -> Finding {
+        Finding {
+            file: file.into(),
+            line: 1,
+            col: 1,
+            lint: lint.into(),
+            message: String::new(),
+            suggestion: String::new(),
+            excerpt: excerpt.into(),
+        }
+    }
+
+    const GOOD: &str = r#"
+# comment
+[[suppress]]
+lint = "nondeterministic-time"
+path = "crates/scenario/src/runner.rs"
+contains = "Instant::now"
+justification = "wall time feeds the outcome, not the report"
+"#;
+
+    #[test]
+    fn suppresses_matching_finding_and_counts() {
+        let al = Allowlist::parse(GOOD, "analyze.toml").unwrap();
+        let f = finding(
+            "nondeterministic-time",
+            "crates/scenario/src/runner.rs",
+            "let started = Instant::now();",
+        );
+        let (kept, suppressed) = al.apply(vec![f]);
+        assert_eq!(suppressed, 1);
+        assert!(kept.is_empty(), "{kept:?}");
+    }
+
+    #[test]
+    fn unused_entry_is_flagged() {
+        let al = Allowlist::parse(GOOD, "analyze.toml").unwrap();
+        let (kept, suppressed) = al.apply(vec![]);
+        assert_eq!(suppressed, 0);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].lint, "unused-suppression");
+        assert_eq!(kept[0].line, 3);
+    }
+
+    #[test]
+    fn missing_justification_never_suppresses() {
+        let text = "[[suppress]]\nlint = \"panic-surface\"\npath = \"a.rs\"\n";
+        let al = Allowlist::parse(text, "analyze.toml").unwrap();
+        let (kept, suppressed) = al.apply(vec![finding("panic-surface", "a.rs", "x.unwrap()")]);
+        assert_eq!(suppressed, 0);
+        assert_eq!(kept.len(), 2, "{kept:?}");
+        assert!(kept.iter().any(|f| f.lint == "invalid-suppression"));
+    }
+
+    #[test]
+    fn prefix_paths_and_contains_narrowing() {
+        let text = "[[suppress]]\nlint = \"l\"\npath = \"crates/x/\"\ncontains = \"ok()\"\njustification = \"j\"\n";
+        let al = Allowlist::parse(text, "t").unwrap();
+        let (kept, s) = al.apply(vec![
+            finding("l", "crates/x/src/a.rs", "ok()"),
+            finding("l", "crates/x/src/a.rs", "nope()"),
+            finding("l", "crates/y/src/a.rs", "ok()"),
+        ]);
+        assert_eq!(s, 1);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn parse_errors_name_the_line() {
+        let err = Allowlist::parse("[[suppress]]\nlint = bare\n", "t").unwrap_err();
+        assert!(err.contains("t:2"), "{err}");
+        let err = Allowlist::parse("lint = \"x\"\n", "t").unwrap_err();
+        assert!(err.contains("outside"), "{err}");
+    }
+}

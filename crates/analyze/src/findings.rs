@@ -1,0 +1,162 @@
+//! Structured lint findings and their text / JSON renderings.
+
+/// One lint violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Path relative to the analysis root, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Lint identifier (kebab-case).
+    pub lint: String,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it (or how to justify keeping it).
+    pub suggestion: String,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+impl Finding {
+    /// Stable ordering: by file, then line, column, lint.
+    pub fn sort_key(&self) -> (String, usize, usize, String) {
+        (self.file.clone(), self.line, self.col, self.lint.clone())
+    }
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.file, self.line, self.col, self.lint, self.message
+        )?;
+        if !self.excerpt.is_empty() {
+            writeln!(f, "    | {}", self.excerpt)?;
+        }
+        write!(f, "    = help: {}", self.suggestion)
+    }
+}
+
+/// The result of one analysis run.
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    /// Unsuppressed findings, sorted by location.
+    pub findings: Vec<Finding>,
+    /// How many findings an `analyze.toml` entry suppressed.
+    pub suppressed: usize,
+    /// How many files were scanned.
+    pub files_scanned: usize,
+}
+
+impl Analysis {
+    /// `true` when the tree is clean (no unsuppressed findings).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Human-readable report (one block per finding plus a summary).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.to_string());
+            out.push_str("\n\n");
+        }
+        out.push_str(&format!(
+            "flextract-analyze: {} finding(s), {} suppressed by analyze.toml, {} file(s) scanned\n",
+            self.findings.len(),
+            self.suppressed,
+            self.files_scanned
+        ));
+        out
+    }
+
+    /// Machine-readable report (hand-rolled JSON: this crate is
+    /// dependency-free by design).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"file\": {}, \"line\": {}, \"col\": {}, \"lint\": {}, \
+                 \"message\": {}, \"suggestion\": {}, \"excerpt\": {}}}",
+                json_str(&f.file),
+                f.line,
+                f.col,
+                json_str(&f.lint),
+                json_str(&f.message),
+                json_str(&f.suggestion),
+                json_str(&f.excerpt),
+            ));
+        }
+        out.push_str(&format!(
+            "\n  ],\n  \"total\": {},\n  \"suppressed\": {},\n  \"files_scanned\": {}\n}}\n",
+            self.findings.len(),
+            self.suppressed,
+            self.files_scanned
+        ));
+        out
+    }
+}
+
+/// Escape a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding() -> Finding {
+        Finding {
+            file: "crates/x/src/lib.rs".into(),
+            line: 3,
+            col: 9,
+            lint: "panic-surface".into(),
+            message: "`.unwrap()` in a decode path".into(),
+            suggestion: "return a typed error".into(),
+            excerpt: "let v = buf.first().unwrap();".into(),
+        }
+    }
+
+    #[test]
+    fn display_names_file_line_col_and_lint() {
+        let text = finding().to_string();
+        assert!(text.contains("crates/x/src/lib.rs:3:9"), "{text}");
+        assert!(text.contains("[panic-surface]"), "{text}");
+        assert!(text.contains("help:"), "{text}");
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let mut a = Analysis {
+            findings: vec![finding()],
+            suppressed: 2,
+            files_scanned: 10,
+        };
+        a.findings[0].message = "say \"no\"\n".into();
+        let json = a.render_json();
+        assert!(json.contains("\\\"no\\\"\\n"), "{json}");
+        assert!(json.contains("\"total\": 1"), "{json}");
+        assert!(json.contains("\"suppressed\": 2"), "{json}");
+    }
+}

@@ -1,0 +1,408 @@
+//! Source masking: reduce a Rust source file to its *code* bytes.
+//!
+//! The lint patterns in this crate are lexical, so they must never
+//! match inside a comment, a string literal, a raw string, a byte
+//! string, or a char literal — `// no SystemTime::now here` is not a
+//! violation. [`mask_code`] blanks every non-code byte with a space
+//! while preserving the file's exact byte length and line structure,
+//! so byte offsets into the masked text are byte offsets into the
+//! original file.
+//!
+//! [`mask_tests`] additionally blanks `#[cfg(test)]` / `#[test]`
+//! regions: test code is allowed to `unwrap()` and to iterate hash
+//! maps, because nothing a test does can leak into a shipped report.
+
+/// `true` for bytes that may appear inside a Rust identifier.
+pub fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Blank comments and string/char literal *contents* (quotes included)
+/// with spaces, preserving newlines and byte positions. Handles line
+/// comments, nested block comments, string escapes, raw strings with
+/// any `#` depth, byte/raw-byte strings, raw identifiers (`r#type`),
+/// char literals, and lifetimes (`'a` is code, `'x'` is not).
+pub fn mask_code(src: &str) -> String {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut out = vec![b' '; n];
+    // Newlines survive masking so line/col arithmetic stays exact.
+    for (i, &c) in b.iter().enumerate() {
+        if c == b'\n' {
+            out[i] = b'\n';
+        }
+    }
+    let mut i = 0;
+    while i < n {
+        let c = b[i];
+        // Line comment.
+        if c == b'/' && i + 1 < n && b[i + 1] == b'/' {
+            while i < n && b[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nested).
+        if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Possible raw / byte string prefix — only when not inside an
+        // identifier (`attr"` is not valid Rust, but `bar` must not
+        // eat a following quote).
+        let at_word_start = i == 0 || !is_ident(b[i - 1]);
+        if at_word_start && (c == b'r' || c == b'b') {
+            let mut j = i;
+            if b[j] == b'b' {
+                j += 1;
+            }
+            let raw = j < n && b[j] == b'r';
+            if raw {
+                j += 1;
+            }
+            let mut hashes = 0;
+            while raw && j < n && b[j] == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && b[j] == b'"' && (raw || b[i] == b'b') {
+                if raw {
+                    // Raw (byte) string: ends at `"` + `hashes` hashes.
+                    i = j + 1;
+                    'raw: while i < n {
+                        if b[i] == b'"' {
+                            let mut k = 0;
+                            while k < hashes && i + 1 + k < n && b[i + 1 + k] == b'#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                i += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        i += 1;
+                    }
+                    continue;
+                }
+                // Byte string `b"…"`: same escape rules as a string.
+                i = consume_string(b, j);
+                continue;
+            }
+            if raw && hashes > 0 {
+                // Raw identifier `r#type`: plain code.
+                while i < j {
+                    out[i] = b[i];
+                    i += 1;
+                }
+                continue;
+            }
+            // Plain identifier starting with r/b.
+            out[i] = c;
+            i += 1;
+            continue;
+        }
+        // String literal.
+        if c == b'"' {
+            i = consume_string(b, i);
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == b'\'' {
+            if i + 1 < n && b[i + 1] == b'\\' {
+                // Escaped char literal.
+                let mut j = i + 2;
+                if j < n {
+                    j += 1; // the escaped byte
+                }
+                while j < n && b[j] != b'\'' {
+                    j += 1;
+                }
+                i = (j + 1).min(n);
+                continue;
+            }
+            if i + 2 < n && is_ident(b[i + 1]) && b[i + 2] != b'\'' {
+                // Lifetime: keep as code.
+                out[i] = c;
+                i += 1;
+                continue;
+            }
+            if i + 2 < n && b[i + 2] == b'\'' {
+                // One-byte char literal.
+                i += 3;
+                continue;
+            }
+            // Bare quote (macro token, `'static` at EOF, …): code.
+            out[i] = c;
+            i += 1;
+            continue;
+        }
+        out[i] = c;
+        i += 1;
+    }
+    // Safe: we only wrote ASCII over ASCII positions; multi-byte
+    // UTF-8 sequences were blanked with spaces byte-for-byte.
+    String::from_utf8(out).unwrap_or_default()
+}
+
+/// Advance past a string literal starting at the opening quote
+/// `b[at] == b'"'`; returns the index one past the closing quote.
+fn consume_string(b: &[u8], at: usize) -> usize {
+    let n = b.len();
+    let mut i = at + 1;
+    while i < n {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+/// Blank `#[cfg(test)]` / `#[test]` items in already-masked code:
+/// from the attribute through the end of the item it gates (the
+/// matching close brace of the item's block, or the terminating `;`).
+/// `#[cfg_attr(…)]` and `#[cfg(not(test))]` regions stay live — they
+/// compile into the shipped library.
+pub fn mask_tests(code: &str) -> String {
+    let mut b = code.as_bytes().to_vec();
+    let n = b.len();
+    let mut i = 0;
+    while i < n {
+        if b[i] != b'#' {
+            i += 1;
+            continue;
+        }
+        let Some((inner, after)) = read_attribute(&b, i) else {
+            i += 1;
+            continue;
+        };
+        if !attr_gates_test(&inner) {
+            i = after;
+            continue;
+        }
+        // Skip any further attributes between the test gate and the
+        // item itself.
+        let mut j = after;
+        loop {
+            while j < n && (b[j] as char).is_whitespace() {
+                j += 1;
+            }
+            if j < n && b[j] == b'#' {
+                if let Some((_, a)) = read_attribute(&b, j) {
+                    j = a;
+                    continue;
+                }
+            }
+            break;
+        }
+        // The item ends at its block's matching close brace, or at a
+        // `;` that appears before any block opens.
+        let mut depth = 0usize;
+        let mut end = n;
+        while j < n {
+            match b[j] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end = j + 1;
+                        break;
+                    }
+                }
+                b';' if depth == 0 => {
+                    end = j + 1;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        for cell in b.iter_mut().take(end).skip(i) {
+            if *cell != b'\n' {
+                *cell = b' ';
+            }
+        }
+        i = end;
+    }
+    String::from_utf8(b).unwrap_or_default()
+}
+
+/// If an attribute `#[…]` starts at `at`, return its inner text and
+/// the index one past the closing `]`.
+fn read_attribute(b: &[u8], at: usize) -> Option<(String, usize)> {
+    let n = b.len();
+    let mut i = at + 1;
+    while i < n && (b[i] as char).is_whitespace() {
+        i += 1;
+    }
+    if i >= n || b[i] != b'[' {
+        return None;
+    }
+    let open = i;
+    let mut depth = 0usize;
+    while i < n {
+        match b[i] {
+            b'[' => depth += 1,
+            b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    let inner = String::from_utf8_lossy(&b[open + 1..i]).into_owned();
+                    return Some((inner, i + 1));
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Does this attribute body gate test-only code?
+fn attr_gates_test(inner: &str) -> bool {
+    let t: String = inner.split_whitespace().collect();
+    if t.starts_with("cfg_attr") {
+        return false;
+    }
+    if t == "test" {
+        return true;
+    }
+    if !t.starts_with("cfg(") {
+        return false;
+    }
+    if t.contains("not(test") {
+        return false;
+    }
+    // Word-boundary search for `test` inside the cfg expression.
+    let bytes = t.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = t[from..].find("test") {
+        let s = from + pos;
+        let before_ok = s == 0 || !is_ident(bytes[s - 1]);
+        let after_ok = s + 4 >= bytes.len() || !is_ident(bytes[s + 4]);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = s + 4;
+    }
+    false
+}
+
+/// Byte offset → (1-based line, 1-based column).
+pub fn line_col(src: &str, offset: usize) -> (usize, usize) {
+    let upto = &src.as_bytes()[..offset.min(src.len())];
+    let line = upto.iter().filter(|&&c| c == b'\n').count() + 1;
+    let col = offset - upto.iter().rposition(|&c| c == b'\n').map_or(0, |p| p + 1) + 1;
+    (line, col)
+}
+
+/// The full (1-based) line of `src` containing byte `offset`, trimmed.
+pub fn line_text(src: &str, offset: usize) -> &str {
+    let bytes = src.as_bytes();
+    let offset = offset.min(src.len());
+    let start = bytes[..offset]
+        .iter()
+        .rposition(|&c| c == b'\n')
+        .map_or(0, |p| p + 1);
+    let end = bytes[offset..]
+        .iter()
+        .position(|&c| c == b'\n')
+        .map_or(src.len(), |p| offset + p);
+    src[start..end].trim()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = r##"let x = "SystemTime::now"; // SystemTime::now
+/* SystemTime::now */ let y = 1;"##;
+        let code = mask_code(src);
+        assert!(!code.contains("SystemTime"), "{code}");
+        assert!(code.contains("let x ="));
+        assert!(code.contains("let y = 1;"));
+        assert_eq!(code.len(), src.len());
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let src = r####"let s = r#"unwrap() inside"#; let t = r##"x "# y"##; s.len()"####;
+        let code = mask_code(src);
+        assert!(!code.contains("unwrap"));
+        assert!(code.contains("s.len()"));
+    }
+
+    #[test]
+    fn byte_strings_and_raw_identifiers() {
+        let src = "let m = b\"panic!\"; let r#type = 1; br#\"panic!\"#; type_ok()";
+        let code = mask_code(src);
+        assert!(!code.contains("panic!"), "{code}");
+        assert!(code.contains("r#type"));
+        assert!(code.contains("type_ok()"));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_do_not() {
+        let src = "fn f<'a>(x: &'a str) -> char { let c = 'x'; let n = '\\n'; c }";
+        let code = mask_code(src);
+        assert!(code.contains("'a>"));
+        assert!(code.contains("&'a str"));
+        assert!(!code.contains("'x'"));
+        assert!(code.contains("let c ="));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* a /* nested unwrap() */ still comment */ live()";
+        let code = mask_code(src);
+        assert!(!code.contains("unwrap"));
+        assert!(code.contains("live()"));
+    }
+
+    #[test]
+    fn cfg_test_module_is_masked() {
+        let src = "fn live() { x.unwrap_live(); }\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn also_live() {}";
+        let code = mask_tests(&mask_code(src));
+        assert!(!code.contains(".unwrap()"), "{code}");
+        assert!(code.contains("unwrap_live"));
+        assert!(code.contains("also_live"));
+    }
+
+    #[test]
+    fn test_attribute_fn_is_masked_but_cfg_attr_is_not() {
+        let src = "#[test]\nfn t() { a.unwrap(); }\n#[cfg_attr(feature = \"x\", derive(Debug))]\nstruct Live { a: u8 }";
+        let code = mask_tests(&mask_code(src));
+        assert!(!code.contains("unwrap"));
+        assert!(code.contains("struct Live"));
+    }
+
+    #[test]
+    fn cfg_not_test_stays_live() {
+        let src = "#[cfg(not(test))]\nfn live() { a.unwrap(); }";
+        let code = mask_tests(&mask_code(src));
+        assert!(code.contains("unwrap"));
+    }
+
+    #[test]
+    fn line_col_is_one_based() {
+        let src = "ab\ncd\nef";
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, 4), (2, 2));
+        assert_eq!(line_col(src, 6), (3, 1));
+        assert_eq!(line_text(src, 4), "cd");
+    }
+}

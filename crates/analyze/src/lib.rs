@@ -1,0 +1,257 @@
+//! # flextract-analyze
+//!
+//! A workspace lint engine that statically enforces the determinism
+//! and panic-safety invariants the golden files depend on.
+//!
+//! Every guarantee this reproduction makes — byte-identical
+//! `ScenarioReport`s at any thread count, stats-only scans
+//! bit-identical to full decodes, codecs that return typed errors on
+//! hostile bytes — is otherwise enforced only *dynamically*, after the
+//! fact, by goldens and proptests. This crate adds the static layer:
+//! an offline, dependency-free pass over the workspace's Rust sources
+//! that rejects the violation at the source line before any test has
+//! to fail.
+//!
+//! The pieces:
+//!
+//! * [`lexer`] — comment/string/raw-string-aware masking, so lexical
+//!   patterns never fire inside comments, literals, or `#[cfg(test)]`
+//!   regions;
+//! * [`walker`] — a deterministic file walker that classifies every
+//!   file by crate role (library, binary, test, bench, example,
+//!   vendor);
+//! * [`lints`] — the lint catalogue (see its module docs for the
+//!   invariant each lint encodes);
+//! * [`allowlist`] — the `analyze.toml` escape hatch, where every
+//!   suppression must carry a written justification and unused
+//!   entries are themselves findings;
+//! * [`findings`] — structured `file:line:col` findings with text and
+//!   JSON renderings.
+//!
+//! The CLI surface is `flextract analyze [--root DIR] [--json]`; CI
+//! runs it as a hard gate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allowlist;
+pub mod findings;
+pub mod lexer;
+pub mod lints;
+pub mod walker;
+
+pub use allowlist::{Allowlist, Suppression};
+pub use findings::{Analysis, Finding};
+pub use lints::{LintDef, LINTS};
+pub use walker::{Role, SourceFile};
+
+use std::path::Path;
+
+/// Name of the allowlist file at the analysis root.
+pub const ALLOWLIST_FILE: &str = "analyze.toml";
+
+/// Run the full analysis over the workspace at `root` with the given
+/// allowlist. Findings come back sorted by `(file, line, col, lint)`.
+pub fn analyze_tree(root: &Path, allowlist: &Allowlist) -> Result<Analysis, String> {
+    let files = walker::walk(root)?;
+    let mut findings = Vec::new();
+    let mut scanned = 0usize;
+    for file in &files {
+        scanned += 1;
+        let src = std::fs::read_to_string(&file.path)
+            .map_err(|e| format!("cannot read {}: {e}", file.path.display()))?;
+        scan_file(file, &src, &mut findings);
+    }
+    let (mut kept, suppressed) = allowlist.apply(findings);
+    kept.sort_by_key(|f| f.sort_key());
+    Ok(Analysis {
+        findings: kept,
+        suppressed,
+        files_scanned: scanned,
+    })
+}
+
+/// Load the allowlist that belongs to `root` (missing file = empty).
+pub fn load_allowlist(root: &Path) -> Result<Allowlist, String> {
+    Allowlist::load(&root.join(ALLOWLIST_FILE))
+}
+
+/// Scan one file's source text, appending findings.
+fn scan_file(file: &SourceFile, src: &str, findings: &mut Vec<Finding>) {
+    let name = file.rel.rsplit('/').next().unwrap_or(&file.rel);
+    if name == "Cargo.toml" {
+        scan_vendor_manifest(file, src, findings);
+        return;
+    }
+    if file.role == Role::Vendor && name == "build.rs" {
+        findings.push(Finding {
+            file: file.rel.clone(),
+            line: 1,
+            col: 1,
+            lint: "vendor-hygiene".into(),
+            message: "vendored stand-in carries a build script — build-time code execution \
+                      is outside the offline supply-chain discipline"
+                .into(),
+            suggestion: "vendored crates must build from plain sources; inline whatever the \
+                         script generated"
+                .into(),
+            excerpt: String::new(),
+        });
+        // The script body is still scanned for net/process below.
+    }
+    let code = lexer::mask_tests(&lexer::mask_code(src));
+    for lint in LINTS {
+        if !lint.applies(file.role, &file.rel) {
+            continue;
+        }
+        for &pat in lint.patterns {
+            for offset in lints::find_matches(&code, pat) {
+                let (line, col) = lexer::line_col(src, offset);
+                findings.push(Finding {
+                    file: file.rel.clone(),
+                    line,
+                    col,
+                    lint: lint.id.into(),
+                    message: lint.message.into(),
+                    suggestion: lint.suggestion.into(),
+                    excerpt: lexer::line_text(src, offset).to_string(),
+                });
+            }
+        }
+    }
+    forbid_unsafe_check(file, &code, findings);
+}
+
+/// `forbid-unsafe`: every library crate root must carry
+/// `#![forbid(unsafe_code)]`, making the tree's unsafe-free state a
+/// compile-time guarantee rather than a habit.
+fn forbid_unsafe_check(file: &SourceFile, code: &str, findings: &mut Vec<Finding>) {
+    let is_crate_root = file.role == Role::Library
+        && (file.rel == "src/lib.rs"
+            || (file.rel.starts_with("crates/") && file.rel.ends_with("/src/lib.rs")));
+    if !is_crate_root {
+        return;
+    }
+    let normalized: String = code.split_whitespace().collect();
+    if !normalized.contains("#![forbid(unsafe_code)]") {
+        findings.push(Finding {
+            file: file.rel.clone(),
+            line: 1,
+            col: 1,
+            lint: "forbid-unsafe".into(),
+            message: "library crate root does not forbid unsafe code".into(),
+            suggestion: "add `#![forbid(unsafe_code)]` to the crate root".into(),
+            excerpt: String::new(),
+        });
+    }
+}
+
+/// `vendor-hygiene` for manifests: a vendored crate must not declare a
+/// build script or build-dependencies.
+fn scan_vendor_manifest(file: &SourceFile, src: &str, findings: &mut Vec<Finding>) {
+    for (idx, raw) in src.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        let build_script = line
+            .split_once('=')
+            .is_some_and(|(k, _)| k.trim() == "build");
+        if build_script || line == "[build-dependencies]" {
+            findings.push(Finding {
+                file: file.rel.clone(),
+                line: idx + 1,
+                col: 1,
+                lint: "vendor-hygiene".into(),
+                message: "vendored manifest declares a build script or build-dependencies".into(),
+                suggestion: "vendored crates must build from plain sources with no \
+                             build-time code execution"
+                    .into(),
+                excerpt: raw.trim().to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use walker::{Role, SourceFile};
+
+    fn file(rel: &str, role: Role) -> SourceFile {
+        SourceFile {
+            rel: rel.into(),
+            path: std::path::PathBuf::from(rel),
+            role,
+        }
+    }
+
+    #[test]
+    fn scan_flags_and_locates() {
+        let src = "fn f() {\n    let t = std::time::SystemTime::now();\n}\n";
+        let mut findings = Vec::new();
+        scan_file(
+            &file("crates/core/src/peak.rs", Role::Library),
+            src,
+            &mut findings,
+        );
+        let hit = findings
+            .iter()
+            .find(|f| f.lint == "nondeterministic-time")
+            .expect("must flag");
+        assert_eq!((hit.line, hit.col), (2, 24));
+        assert!(hit.excerpt.contains("SystemTime::now"));
+    }
+
+    #[test]
+    fn test_role_is_exempt() {
+        let src = "fn f() { let t = SystemTime::now(); x.unwrap(); }\n";
+        let mut findings = Vec::new();
+        scan_file(
+            &file("crates/frame/tests/x.rs", Role::TestCode),
+            src,
+            &mut findings,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn vendor_manifest_build_script_flagged() {
+        let src =
+            "[package]\nname = \"x\"\nbuild = \"build.rs\"\n\n[build-dependencies]\ncc = \"1\"\n";
+        let mut findings = Vec::new();
+        scan_file(
+            &file("vendor/x/Cargo.toml", Role::Vendor),
+            src,
+            &mut findings,
+        );
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().all(|f| f.lint == "vendor-hygiene"));
+        assert_eq!(findings[0].line, 3);
+    }
+
+    #[test]
+    fn missing_forbid_unsafe_flagged_on_crate_roots_only() {
+        let mut findings = Vec::new();
+        scan_file(
+            &file("crates/x/src/lib.rs", Role::Library),
+            "pub fn f() {}\n",
+            &mut findings,
+        );
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].lint, "forbid-unsafe");
+
+        let mut findings = Vec::new();
+        scan_file(
+            &file("crates/x/src/lib.rs", Role::Library),
+            "#![forbid(unsafe_code)]\npub fn f() {}\n",
+            &mut findings,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+
+        let mut findings = Vec::new();
+        scan_file(
+            &file("crates/x/src/other.rs", Role::Library),
+            "pub fn f() {}\n",
+            &mut findings,
+        );
+        assert!(findings.is_empty());
+    }
+}

@@ -1,0 +1,308 @@
+//! The lint catalogue: each lint encodes one invariant the golden
+//! files and proptests enforce dynamically, moved up to the source
+//! line.
+//!
+//! | lint | invariant |
+//! |------|-----------|
+//! | `nondeterministic-time` | reports are pure functions of spec+seed — no wall clock in library code |
+//! | `unordered-iteration` | nothing ordered ever flows out of a hash table's iteration order |
+//! | `seedless-rng` | every RNG is constructed from an explicit seed |
+//! | `panic-surface` | codec/scan/cleaning/ingestion paths return typed errors, never panic |
+//! | `unchecked-indexing` | those same paths never index slices directly |
+//! | `float-fold` | merge/aggregate paths use the canonical per-chunk-then-in-order folds |
+//! | `vendor-hygiene` | vendored stand-ins stay offline: no net, no process, no build scripts |
+//! | `forbid-unsafe` | every library crate root carries `#![forbid(unsafe_code)]` |
+//!
+//! Lints are lexical (they scan masked code — see [`crate::lexer`]),
+//! which keeps the engine dependency-free and fast. The trade-off is
+//! honesty about scope: a pattern spelled across lines (`SystemTime ::
+//! now`) escapes; the dynamic layer (goldens, proptests) still catches
+//! what the static layer misses.
+
+use crate::lexer::is_ident;
+use crate::walker::Role;
+
+/// How a lint recognises a violation in masked code.
+#[derive(Debug, Clone, Copy)]
+pub enum Pat {
+    /// Literal substring, with identifier-boundary checks at whichever
+    /// ends of the pattern are identifier characters.
+    Substr(&'static str),
+    /// A direct index expression: `[` immediately following an
+    /// identifier, `)`, or `]` (excluding keyword heads like `let`).
+    Index,
+}
+
+/// One lint definition.
+#[derive(Debug, Clone, Copy)]
+pub struct LintDef {
+    /// Kebab-case identifier, stable across releases.
+    pub id: &'static str,
+    /// Roles the lint applies to.
+    pub roles: &'static [Role],
+    /// Path prefixes (trailing `/`) or exact paths the lint is scoped
+    /// to; empty = every file of a matching role.
+    pub paths: &'static [&'static str],
+    /// Violation patterns.
+    pub patterns: &'static [Pat],
+    /// What is wrong when a pattern matches.
+    pub message: &'static str,
+    /// The fix to steer towards.
+    pub suggestion: &'static str,
+}
+
+impl LintDef {
+    /// Does the lint apply to this file?
+    pub fn applies(&self, role: Role, rel: &str) -> bool {
+        if !self.roles.contains(&role) {
+            return false;
+        }
+        if self.paths.is_empty() {
+            return true;
+        }
+        self.paths.iter().any(|p| {
+            p.strip_suffix('/')
+                .map_or(rel == *p, |prefix| rel.starts_with(prefix))
+        })
+    }
+}
+
+const LIB: &[Role] = &[Role::Library];
+const LIB_BIN: &[Role] = &[Role::Library, Role::Binary];
+const VENDOR: &[Role] = &[Role::Vendor];
+
+/// Decode/cleaning/ingestion paths where panicking on input bytes is a
+/// production outage, not a bug report: the frame codec and scan
+/// engine, the dataset store/codecs, and the series-level cleaning
+/// primitives they call.
+const PANIC_SURFACE_PATHS: &[&str] = &[
+    "crates/frame/src/",
+    "crates/dataset/src/",
+    "crates/series/src/codec.rs",
+    "crates/series/src/missing.rs",
+    "crates/series/src/resample.rs",
+    "crates/series/src/rolling.rs",
+    "crates/series/src/anomaly.rs",
+];
+
+/// Merge/aggregate contexts where an ad-hoc float reduction can break
+/// byte-stability under parallelism: the frame scan folds, the
+/// scenario runner/merge layer, and flex-offer aggregation.
+const FLOAT_FOLD_PATHS: &[&str] = &[
+    "crates/frame/src/",
+    "crates/scenario/src/",
+    "crates/agg/src/",
+];
+
+/// The shipped lint catalogue.
+pub const LINTS: &[LintDef] = &[
+    LintDef {
+        id: "nondeterministic-time",
+        roles: LIB_BIN,
+        paths: &[],
+        patterns: &[Pat::Substr("SystemTime::now"), Pat::Substr("Instant::now")],
+        message: "wall-clock read in pipeline code — reports must be pure functions of \
+                  spec and seed",
+        suggestion: "derive timing from the scenario spec; if this measures wall time that \
+                     never reaches a report, suppress it in analyze.toml with a justification",
+    },
+    LintDef {
+        id: "unordered-iteration",
+        roles: LIB_BIN,
+        paths: &[],
+        patterns: &[Pat::Substr("HashMap"), Pat::Substr("HashSet")],
+        message: "hash-ordered collection in library code — iteration order is \
+                  nondeterministic and must never reach a report or serialization",
+        suggestion: "use BTreeMap/BTreeSet (or sort before iterating); if the map is only \
+                     ever keyed, never iterated, suppress with a justification saying so",
+    },
+    LintDef {
+        id: "seedless-rng",
+        roles: LIB_BIN,
+        paths: &[],
+        patterns: &[
+            Pat::Substr("from_entropy"),
+            Pat::Substr("thread_rng"),
+            Pat::Substr("rand::rng()"),
+            Pat::Substr("rand::random()"),
+            Pat::Substr("entropy_seed"),
+        ],
+        message: "RNG constructed without an explicit seed — identical specs would stop \
+                  producing identical outputs",
+        suggestion: "thread an explicit seed in (StdRng::seed_from_u64) — per-consumer-index \
+                     seeding is the workspace convention",
+    },
+    LintDef {
+        id: "panic-surface",
+        roles: LIB,
+        paths: PANIC_SURFACE_PATHS,
+        patterns: &[
+            Pat::Substr(".unwrap()"),
+            Pat::Substr(".expect("),
+            Pat::Substr("panic!"),
+            Pat::Substr("unreachable!"),
+            Pat::Substr("todo!"),
+            Pat::Substr("unimplemented!"),
+        ],
+        message: "possible panic in a codec/scan/cleaning/ingestion path — hostile bytes \
+                  must surface as typed errors, not process aborts",
+        suggestion: "return a typed error (FrameError/DatasetError/SeriesError) naming the \
+                     offset instead of panicking",
+    },
+    LintDef {
+        id: "unchecked-indexing",
+        roles: LIB,
+        paths: PANIC_SURFACE_PATHS,
+        patterns: &[Pat::Index],
+        message: "direct slice indexing in a codec/scan/cleaning/ingestion path — an \
+                  attacker-controlled length or offset here is a process abort",
+        suggestion: "use .get()/.get_mut() and surface a typed error naming the offset; \
+                     for internally-bounded window arithmetic, suppress per file with a \
+                     justification naming the bound",
+    },
+    LintDef {
+        id: "float-fold",
+        roles: LIB,
+        paths: FLOAT_FOLD_PATHS,
+        patterns: &[
+            Pat::Substr(".sum::<f64>"),
+            Pat::Substr(".sum::<f32>"),
+            Pat::Substr(".fold(0.0"),
+            Pat::Substr(".fold(0f64"),
+            Pat::Substr(".product::<f64>"),
+        ],
+        message: "ad-hoc float reduction in a merge/aggregate context — float addition is \
+                  non-associative, so fold order must be pinned explicitly",
+        suggestion: "fold through the canonical helpers (ChunkStats::from_values / \
+                     Aggregates::absorb: per chunk first, then across chunks in order)",
+    },
+    LintDef {
+        id: "vendor-hygiene",
+        roles: VENDOR,
+        paths: &[],
+        patterns: &[
+            Pat::Substr("std::net"),
+            Pat::Substr("std::process"),
+            Pat::Substr("TcpStream"),
+            Pat::Substr("UdpSocket"),
+            Pat::Substr("Command::new"),
+        ],
+        message: "vendored stand-in reaches for the network or a subprocess — the offline \
+                  supply-chain discipline forbids both",
+        suggestion: "vendored crates implement exactly the API surface the workspace uses; \
+                     delete the capability or move the code out of vendor/",
+    },
+];
+
+/// Keywords that may directly precede `[` without forming an index
+/// expression (`let [a, b] = …`, `return [x]`, …).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "in", "mut", "ref", "return", "else", "match", "box", "static", "move", "dyn", "break",
+    "continue", "yield", "await", "as", "impl", "where", "for", "const",
+];
+
+/// Scan masked code for a pattern; returns byte offsets of matches.
+pub fn find_matches(code: &str, pat: Pat) -> Vec<usize> {
+    match pat {
+        Pat::Substr(needle) => find_substr(code, needle),
+        Pat::Index => find_index_exprs(code),
+    }
+}
+
+fn find_substr(code: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let nb = needle.as_bytes();
+    let cb = code.as_bytes();
+    let head_ident = nb.first().copied().is_some_and(is_ident);
+    let tail_ident = nb.last().copied().is_some_and(is_ident);
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(needle) {
+        let s = from + pos;
+        let e = s + nb.len();
+        let before_ok = !head_ident || s == 0 || !is_ident(cb[s - 1]);
+        let after_ok = !tail_ident || e >= cb.len() || !is_ident(cb[e]);
+        if before_ok && after_ok {
+            out.push(s);
+        }
+        from = s + 1;
+    }
+    out
+}
+
+fn find_index_exprs(code: &str) -> Vec<usize> {
+    let b = code.as_bytes();
+    let mut out = Vec::new();
+    for (i, &c) in b.iter().enumerate() {
+        if c != b'[' {
+            continue;
+        }
+        // Previous non-space byte decides whether this `[` indexes.
+        let Some(p) = b[..i].iter().rposition(|&x| x != b' ' && x != b'\n') else {
+            continue;
+        };
+        let prev = b[p];
+        if !(is_ident(prev) || prev == b')' || prev == b']') {
+            continue;
+        }
+        if is_ident(prev) {
+            let mut s = p;
+            while s > 0 && is_ident(b[s - 1]) {
+                s -= 1;
+            }
+            // Reject lifetime heads (`&'a [f64]` is a slice type) and
+            // keyword heads (`let [a, b] = …` is a pattern).
+            if s > 0 && b[s - 1] == b'\'' {
+                continue;
+            }
+            let word = &code[s..=p];
+            if NON_INDEX_KEYWORDS.contains(&word) {
+                continue;
+            }
+        }
+        out.push(i);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substr_boundaries() {
+        let hits = find_matches(
+            "let m: HashMap<u8, u8>; MyHashMapLike x;",
+            Pat::Substr("HashMap"),
+        );
+        assert_eq!(hits.len(), 1);
+        let hits = find_matches("a.unwrap(); a.unwrap_or(0);", Pat::Substr(".unwrap()"));
+        assert_eq!(hits.len(), 1);
+        let hits = find_matches("core::panic!(\"x\")", Pat::Substr("panic!"));
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn index_expressions_only() {
+        let code = "let [a, b] = pair; let x = buf[at]; let t: [u8; 4] = [0; 4]; \
+                    v.push(arr[0][1]); vec![1]; #[derive(Debug)] f()[2]; &mut [0.0]";
+        let hits = find_matches(code, Pat::Index);
+        // buf[at], arr[0], [0][1], f()[2]
+        assert_eq!(hits.len(), 4, "{hits:?}");
+    }
+
+    #[test]
+    fn lint_scoping_by_role_and_path() {
+        let panic = LINTS.iter().find(|l| l.id == "panic-surface").unwrap();
+        assert!(panic.applies(Role::Library, "crates/frame/src/fxm.rs"));
+        assert!(panic.applies(Role::Library, "crates/series/src/missing.rs"));
+        assert!(!panic.applies(Role::Library, "crates/core/src/peak.rs"));
+        assert!(!panic.applies(Role::TestCode, "crates/frame/src/fxm.rs"));
+        let time = LINTS
+            .iter()
+            .find(|l| l.id == "nondeterministic-time")
+            .unwrap();
+        assert!(time.applies(Role::Library, "crates/core/src/peak.rs"));
+        assert!(time.applies(Role::Binary, "src/bin/flextract.rs"));
+        assert!(!time.applies(Role::Bench, "crates/bench/src/lib.rs"));
+    }
+}

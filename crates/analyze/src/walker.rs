@@ -1,0 +1,161 @@
+//! Deterministic workspace file walker with crate-role scoping.
+//!
+//! Every file the engine lints is classified by the *role* its path
+//! implies — library code, binary front end, test code, benches,
+//! examples, or vendored stand-ins — because the invariants differ by
+//! role: test code may `unwrap()`, vendored stand-ins may not touch
+//! the network, and only library code feeds the golden reports.
+
+use std::path::{Path, PathBuf};
+
+/// What kind of code a file contains, by workspace convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Library code under a crate's `src/` — the lint surface.
+    Library,
+    /// Binary front ends (`src/bin/…`).
+    Binary,
+    /// Integration/unit test files under `tests/`.
+    TestCode,
+    /// Benchmark code (`benches/`, and the `crates/bench` harness).
+    Bench,
+    /// Example binaries under `examples/`.
+    Example,
+    /// Vendored offline dependency stand-ins under `vendor/`.
+    Vendor,
+}
+
+/// One file the engine will scan.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path relative to the analysis root, `/`-separated.
+    pub rel: String,
+    /// Absolute path on disk.
+    pub path: PathBuf,
+    /// Role implied by the path.
+    pub role: Role,
+}
+
+/// Directories never descended into: build output, VCS metadata, lint
+/// fixtures (which contain intentional violations), and data trees
+/// with no Rust sources.
+const SKIP_DIRS: &[&str] = &[
+    "target",
+    ".git",
+    ".github",
+    "fixtures",
+    "golden",
+    "datasets",
+    "scenarios",
+    "node_modules",
+];
+
+/// Classify a workspace-relative path. `None` means the file is out of
+/// scope (non-Rust, or a manifest outside `vendor/`).
+pub fn classify(rel: &str) -> Option<Role> {
+    let comps: Vec<&str> = rel.split('/').collect();
+    let name = *comps.last()?;
+    let is_rust = name.ends_with(".rs");
+    let vendored = comps.first() == Some(&"vendor");
+    if vendored {
+        // Manifests and build scripts matter for vendor hygiene.
+        if is_rust || name == "Cargo.toml" {
+            return Some(Role::Vendor);
+        }
+        return None;
+    }
+    if !is_rust {
+        return None;
+    }
+    if comps.contains(&"tests") {
+        return Some(Role::TestCode);
+    }
+    if comps.contains(&"benches") {
+        return Some(Role::Bench);
+    }
+    if comps.contains(&"examples") {
+        return Some(Role::Example);
+    }
+    if comps.len() >= 2 && comps[0] == "crates" && comps[1] == "bench" {
+        return Some(Role::Bench);
+    }
+    if comps.contains(&"bin") {
+        return Some(Role::Binary);
+    }
+    Some(Role::Library)
+}
+
+/// Walk `root` depth-first in sorted order (the walk itself must be
+/// deterministic — this is the determinism linter) and classify every
+/// file. IO errors name the path they occurred on.
+pub fn walk(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut out = Vec::new();
+    walk_dir(root, root, &mut out)?;
+    out.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(out)
+}
+
+fn walk_dir(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> Result<(), String> {
+    let iter = std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut entries: Vec<PathBuf> = Vec::new();
+    for entry in iter {
+        let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        entries.push(entry.path());
+    }
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            walk_dir(root, &path, out)?;
+            continue;
+        }
+        let rel = path
+            .strip_prefix(root)
+            .map_err(|e| format!("path escape under {}: {e}", root.display()))?
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy().into_owned())
+            .collect::<Vec<_>>()
+            .join("/");
+        if let Some(role) = classify(&rel) {
+            out.push(SourceFile { rel, path, role });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_by_path() {
+        assert_eq!(classify("crates/frame/src/fxm.rs"), Some(Role::Library));
+        assert_eq!(classify("src/lib.rs"), Some(Role::Library));
+        assert_eq!(classify("src/bin/flextract.rs"), Some(Role::Binary));
+        assert_eq!(classify("tests/cli_smoke.rs"), Some(Role::TestCode));
+        assert_eq!(
+            classify("crates/frame/tests/proptests.rs"),
+            Some(Role::TestCode)
+        );
+        assert_eq!(
+            classify("crates/bench/benches/bench_pipeline.rs"),
+            Some(Role::Bench)
+        );
+        assert_eq!(
+            classify("crates/bench/src/bin/fig5_peak.rs"),
+            Some(Role::Bench)
+        );
+        assert_eq!(classify("examples/quickstart.rs"), Some(Role::Example));
+        assert_eq!(classify("vendor/rand/src/lib.rs"), Some(Role::Vendor));
+        assert_eq!(classify("vendor/rand/Cargo.toml"), Some(Role::Vendor));
+        assert_eq!(classify("Cargo.toml"), None);
+        assert_eq!(classify("README.md"), None);
+    }
+}

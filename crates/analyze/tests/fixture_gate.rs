@@ -1,0 +1,97 @@
+//! Fixture-tree tests for the lint engine: known-bad trees must flag
+//! every lint, known-good trees must stay silent, and the allowlist
+//! round-trip must suppress exactly what it justifies.
+
+use flextract_analyze::{analyze_tree, Allowlist, LINTS};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn bad_tree_triggers_every_lint() {
+    let analysis = analyze_tree(&fixture("bad"), &Allowlist::default()).unwrap();
+    let hit: BTreeSet<&str> = analysis.findings.iter().map(|f| f.lint.as_str()).collect();
+    for lint in LINTS {
+        assert!(
+            hit.contains(lint.id),
+            "lint {} never fired: {hit:?}",
+            lint.id
+        );
+    }
+    assert!(hit.contains("forbid-unsafe"), "{hit:?}");
+    assert!(hit.contains("vendor-hygiene"), "{hit:?}");
+}
+
+#[test]
+fn bad_tree_findings_carry_exact_positions() {
+    let analysis = analyze_tree(&fixture("bad"), &Allowlist::default()).unwrap();
+    let time = analysis
+        .findings
+        .iter()
+        .find(|f| f.lint == "nondeterministic-time")
+        .expect("Instant::now must flag");
+    assert_eq!(time.file, "crates/frame/src/lib.rs");
+    assert_eq!((time.line, time.col), (10, 19));
+    assert!(time.excerpt.contains("Instant::now"), "{}", time.excerpt);
+
+    let manifest = analysis
+        .findings
+        .iter()
+        .find(|f| f.lint == "vendor-hygiene" && f.file.ends_with("Cargo.toml"))
+        .expect("vendored build script must flag");
+    assert_eq!(manifest.file, "vendor/evil/Cargo.toml");
+    assert_eq!(manifest.line, 5, "the `build = \"build.rs\"` line");
+}
+
+#[test]
+fn bad_tree_renders_json_with_locations() {
+    let analysis = analyze_tree(&fixture("bad"), &Allowlist::default()).unwrap();
+    let json = analysis.render_json();
+    assert!(json.contains("\"lint\": \"unchecked-indexing\""), "{json}");
+    assert!(
+        json.contains("\"file\": \"crates/frame/src/lib.rs\""),
+        "{json}"
+    );
+    assert!(json.contains("\"suppressed\": 0"), "{json}");
+}
+
+#[test]
+fn good_tree_is_silent() {
+    let analysis = analyze_tree(&fixture("good"), &Allowlist::default()).unwrap();
+    assert!(
+        analysis.is_clean(),
+        "masked regions leaked findings:\n{}",
+        analysis.render_text()
+    );
+    assert!(analysis.files_scanned >= 3, "{}", analysis.files_scanned);
+}
+
+#[test]
+fn allowlist_round_trip_suppresses_and_audits() {
+    let root = fixture("suppressed");
+    // Without the allowlist: exactly one panic-surface finding.
+    let bare = analyze_tree(&root, &Allowlist::default()).unwrap();
+    assert_eq!(bare.findings.len(), 1, "{}", bare.render_text());
+    assert_eq!(bare.findings[0].lint, "panic-surface");
+
+    // With it: the unwrap is suppressed, and the allowlist's own
+    // defects surface as findings.
+    let allowlist = Allowlist::load(&root.join("analyze.toml")).unwrap();
+    let audited = analyze_tree(&root, &allowlist).unwrap();
+    assert_eq!(audited.suppressed, 1);
+    let lints: Vec<&str> = audited.findings.iter().map(|f| f.lint.as_str()).collect();
+    assert_eq!(
+        lints,
+        ["invalid-suppression", "unused-suppression"],
+        "{lints:?}"
+    );
+    for f in &audited.findings {
+        assert!(f.file.ends_with("analyze.toml"), "{}", f.file);
+        assert!(f.line > 0);
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture: a library file under a panic-surface/float-fold scoped path
+// that violates every source-level lint. Never compiled — only lexed by
+// the analyze engine's fixture tests. The missing crate-root
+// `#![forbid(unsafe_code)]` attribute is itself one of the violations.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn decode(buf: &[u8]) -> f64 {
+    let started = Instant::now();
+    let mut seen: HashMap<u32, f64> = HashMap::new();
+    let mut rng = rand::thread_rng();
+    let first = buf[0];
+    let head: u32 = parse_header(buf).unwrap();
+    let total = seen.values().copied().sum::<f64>();
+    let _ = (started, first, head, rng.gen::<f64>());
+    total
+}

@@ -1,0 +1,5 @@
+// Fixture: a vendored build script (its mere presence is a violation)
+// that also reaches for a subprocess.
+fn main() {
+    let _ = std::process::Command::new("curl");
+}

@@ -1,0 +1,4 @@
+// Fixture: a vendored stand-in that opens a network connection.
+pub fn phone_home() {
+    let _ = std::net::TcpStream::connect("203.0.113.7:443");
+}

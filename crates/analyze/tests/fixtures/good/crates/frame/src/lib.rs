@@ -1,0 +1,30 @@
+#![forbid(unsafe_code)]
+// Fixture: a clean library file under the strictest lint scope. Every
+// forbidden pattern below appears only where the lexer must mask it —
+// comments, string literals, raw strings, and #[cfg(test)] regions —
+// so the engine must report nothing.
+//
+// Docs may discuss SystemTime::now(), HashMap iteration and
+// thread_rng() freely.
+
+pub fn tidy(values: &[f64]) -> f64 {
+    let label = "Instant::now() inside a plain string";
+    let raw = r#"rand::thread_rng() and x.unwrap() in a raw string"#;
+    let [lo, hi] = [0usize, 1usize];
+    let first = values.get(lo).copied().unwrap_or(0.0);
+    let second = values.get(hi).copied().unwrap_or(0.0);
+    let _ = (label, raw);
+    first + second
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_panic_and_index() {
+        let xs = vec![1.0f64, 2.0];
+        let v = xs.first().copied().unwrap();
+        assert!(v + xs[1] > 0.0);
+    }
+}

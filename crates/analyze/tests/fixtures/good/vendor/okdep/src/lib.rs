@@ -1,0 +1,4 @@
+// Fixture: a clean vendored stand-in.
+pub fn add(a: u64, b: u64) -> u64 {
+    a.wrapping_add(b)
+}

@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+// Fixture: exactly one deliberate violation, excused by the sibling
+// analyze.toml — exercises the suppression round-trip.
+
+pub fn risky(xs: &[f64]) -> f64 {
+    xs.first().copied().unwrap()
+}

@@ -119,20 +119,20 @@ pub fn from_csv(text: &str, file: &str) -> Result<MeasuredSeries, DatasetError> 
         };
         rows.push((row, t, v));
     }
-    if rows.len() < 2 {
+    let (Some(&(_, start, _)), Some(&(second_row, second_t, _))) = (rows.first(), rows.get(1))
+    else {
         return Err(DatasetError::Invalid {
             file: file.to_string(),
             what: "CSV needs at least two data rows".to_string(),
         });
-    }
-    let step = (rows[1].1 - rows[0].1).as_minutes();
+    };
+    let step = (second_t - start).as_minutes();
     let resolution = Resolution::from_minutes(step).map_err(|_| DatasetError::Csv {
         file: file.to_string(),
-        row: rows[1].0,
+        row: second_row,
         column: "interval_start",
         what: format!("rows are {step} min apart, which does not divide a day"),
     })?;
-    let start = rows[0].1;
     for (i, &(row, t, _)) in rows.iter().enumerate() {
         let expected = start + resolution.interval() * i as i64;
         if t != expected {

@@ -159,7 +159,7 @@ impl Degradation {
             while i < values.len() {
                 if rng.gen_bool(self.anomaly_rate) {
                     let end = (i + self.anomaly_len).min(values.len());
-                    for v in &mut values[i..end] {
+                    for v in values.iter_mut().take(end).skip(i) {
                         *v *= self.anomaly_factor;
                     }
                     i = end;
@@ -173,7 +173,7 @@ impl Degradation {
             while i < values.len() {
                 if rng.gen_bool(self.gap_rate) {
                     let len = geometric_len(rng, self.mean_gap_len, values.len() - i);
-                    for v in &mut values[i..i + len] {
+                    for v in values.iter_mut().take(i + len).skip(i) {
                         *v = f64::NAN;
                     }
                     i += len;

@@ -161,6 +161,17 @@ impl From<FrameError> for DatasetError {
                     "{trailing} trailing byte(s) after the final chunk at byte offset {offset}"
                 ),
             },
+            FrameError::ShortRead {
+                file,
+                offset,
+                needed,
+                len,
+            } => DatasetError::Codec {
+                file,
+                what: format!(
+                    "need {needed} byte(s) at byte offset {offset}, but the buffer ends at {len}"
+                ),
+            },
             FrameError::ZeroChunkLen => DatasetError::Invalid {
                 file: "<encode>".to_string(),
                 what: "chunk length must be at least 1 (got 0)".to_string(),

@@ -327,10 +327,14 @@ impl Dataset {
             // an empty slice is a caller problem, not a gap problem.
             return Err(DatasetError::Invalid {
                 file: display(),
-                what: format!(
-                    "requested range {} does not overlap the stored series",
-                    range.expect("a whole-series read is never empty (open rejects empty grids)")
-                ),
+                what: match range {
+                    Some(range) => {
+                        format!("requested range {range} does not overlap the stored series")
+                    }
+                    // A whole-series read only comes back empty if the
+                    // file itself holds an empty grid.
+                    None => "the stored series is empty".to_string(),
+                },
             });
         }
         let gaps = measured.gap_count();

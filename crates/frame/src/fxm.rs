@@ -112,7 +112,7 @@ fn put_value(buf: &mut BytesMut, v: f64) {
 /// Encode a measured series as `FXM2` using
 /// [`DEFAULT_CHUNK_LEN`]-interval chunks.
 pub fn encode(series: &MeasuredSeries) -> Bytes {
-    encode_chunked(series, DEFAULT_CHUNK_LEN).expect("default chunk length is non-zero")
+    encode_impl(series, DEFAULT_CHUNK_LEN)
 }
 
 /// Encode a measured series as `FXM2` with an explicit chunk length.
@@ -124,6 +124,11 @@ pub fn encode_chunked(series: &MeasuredSeries, chunk_len: usize) -> Result<Bytes
     if chunk_len == 0 {
         return Err(FrameError::ZeroChunkLen);
     }
+    Ok(encode_impl(series, chunk_len))
+}
+
+/// `FXM2` encoding over a validated (non-zero) chunk length.
+fn encode_impl(series: &MeasuredSeries, chunk_len: usize) -> Bytes {
     let n = series.len();
     let chunks = n.div_ceil(chunk_len);
     let mut buf =
@@ -152,13 +157,13 @@ pub fn encode_chunked(series: &MeasuredSeries, chunk_len: usize) -> Result<Bytes
     }
     buf.put_u64_le(footer);
     buf.put_slice(&END_MAGIC_V2);
-    Ok(buf.freeze())
+    buf.freeze()
 }
 
 /// Encode a measured series as legacy `FXM1` using
 /// [`DEFAULT_CHUNK_LEN`]-interval chunks.
 pub fn encode_v1(series: &MeasuredSeries) -> Bytes {
-    encode_chunked_v1(series, DEFAULT_CHUNK_LEN).expect("default chunk length is non-zero")
+    encode_impl_v1(series, DEFAULT_CHUNK_LEN)
 }
 
 /// Encode a measured series as legacy `FXM1` with an explicit chunk
@@ -168,6 +173,11 @@ pub fn encode_chunked_v1(series: &MeasuredSeries, chunk_len: usize) -> Result<By
     if chunk_len == 0 {
         return Err(FrameError::ZeroChunkLen);
     }
+    Ok(encode_impl_v1(series, chunk_len))
+}
+
+/// `FXM1` encoding over a validated (non-zero) chunk length.
+fn encode_impl_v1(series: &MeasuredSeries, chunk_len: usize) -> Bytes {
     let n = series.len();
     let chunks = n.div_ceil(chunk_len);
     let mut buf = BytesMut::with_capacity(HEADER_LEN + 4 * chunks + 8 * n);
@@ -182,7 +192,7 @@ pub fn encode_chunked_v1(series: &MeasuredSeries, chunk_len: usize) -> Result<By
             put_value(&mut buf, v);
         }
     }
-    Ok(buf.freeze())
+    buf.freeze()
 }
 
 /// Parsed fixed header (identical in both versions).
@@ -251,16 +261,32 @@ pub struct Frame {
     chunks: Vec<ChunkMeta>,
 }
 
-fn read_u32(buf: &[u8], at: usize) -> u32 {
-    u32::from_le_bytes(buf[at..at + 4].try_into().expect("4 bytes"))
+/// Take `N` bytes at `at`, or a [`FrameError::ShortRead`] naming the
+/// offset if the buffer ends first. Every fixed-width read in the
+/// decoder goes through here — on a truncated or crafted buffer the
+/// failing offset surfaces as a typed error, never a panic.
+fn read_array<const N: usize>(buf: &[u8], at: usize, file: &str) -> Result<[u8; N], FrameError> {
+    at.checked_add(N)
+        .and_then(|end| buf.get(at..end))
+        .and_then(|bytes| <[u8; N]>::try_from(bytes).ok())
+        .ok_or_else(|| FrameError::ShortRead {
+            file: file.to_string(),
+            offset: at,
+            needed: N,
+            len: buf.len(),
+        })
 }
 
-fn read_u64(buf: &[u8], at: usize) -> u64 {
-    u64::from_le_bytes(buf[at..at + 8].try_into().expect("8 bytes"))
+fn read_u32(buf: &[u8], at: usize, file: &str) -> Result<u32, FrameError> {
+    Ok(u32::from_le_bytes(read_array(buf, at, file)?))
 }
 
-fn read_f64(buf: &[u8], at: usize) -> f64 {
-    f64::from_bits(read_u64(buf, at))
+fn read_u64(buf: &[u8], at: usize, file: &str) -> Result<u64, FrameError> {
+    Ok(u64::from_le_bytes(read_array(buf, at, file)?))
+}
+
+fn read_f64(buf: &[u8], at: usize, file: &str) -> Result<f64, FrameError> {
+    Ok(f64::from_bits(read_u64(buf, at, file)?))
 }
 
 /// Decode the fixed header shared by both versions, returning the
@@ -270,17 +296,17 @@ pub fn decode_header(buf: &[u8], file: &str) -> Result<(FrameHeader, FxmVersion)
         return Err(codec_err(file, "buffer shorter than header"));
     }
     let version = sniff(buf).ok_or_else(|| codec_err(file, "bad magic (expected FXM1 or FXM2)"))?;
-    let start = Timestamp::from_minutes(read_u64(buf, 4) as i64);
-    let resolution = Resolution::from_minutes(read_u32(buf, 12) as i64)
+    let start = Timestamp::from_minutes(read_u64(buf, 4, file)? as i64);
+    let resolution = Resolution::from_minutes(read_u32(buf, 12, file)? as i64)
         .map_err(|_| codec_err(file, "invalid resolution"))?;
     if !start.is_aligned(resolution) {
         return Err(codec_err(file, "unaligned start"));
     }
-    let len = read_u64(buf, 16);
+    let len = read_u64(buf, 16, file)?;
     if len > (usize::MAX / 8) as u64 {
         return Err(codec_err(file, "length overflow"));
     }
-    let chunk_len = read_u32(buf, 24) as usize;
+    let chunk_len = read_u32(buf, 24, file)? as usize;
     if chunk_len == 0 {
         return Err(codec_err(file, "zero chunk length"));
     }
@@ -357,7 +383,7 @@ impl Frame {
             if at + 4 > buf.len() {
                 return Err(codec_err(file, "truncated chunk frame"));
             }
-            let count = read_u32(buf, at) as usize;
+            let count = read_u32(buf, at, file)? as usize;
             if count != expected {
                 return Err(codec_err(file, "chunk count disagrees with header"));
             }
@@ -366,7 +392,7 @@ impl Frame {
                 return Err(codec_err(file, "truncated chunk payload"));
             }
             for _ in 0..count {
-                let v = read_f64(buf, at);
+                let v = read_f64(buf, at, file)?;
                 if v.is_infinite() {
                     return Err(codec_err(file, "infinite value in chunk payload"));
                 }
@@ -414,16 +440,30 @@ impl Frame {
     /// The values of chunk `i`, decoding on demand for lazy frames.
     /// `scratch` is the decode buffer (reused across calls); the
     /// returned slice borrows either `scratch` or the frame itself.
+    ///
+    /// A chunk index past the directory is a [`FrameError::Scan`], not
+    /// a panic.
     pub fn chunk_values<'a>(
         &'a self,
         i: usize,
         scratch: &'a mut Vec<f64>,
     ) -> Result<&'a [f64], FrameError> {
-        let meta = &self.chunks[i];
+        let meta = self.chunks.get(i).ok_or_else(|| FrameError::Scan {
+            what: format!(
+                "chunk index {i} out of range ({} chunks)",
+                self.chunks.len()
+            ),
+        })?;
         match self.kind {
-            FrameKind::FxmV1 | FrameKind::Materialized => {
-                Ok(&self.values[meta.first..meta.first + meta.len])
-            }
+            FrameKind::FxmV1 | FrameKind::Materialized => self
+                .values
+                .get(meta.first..meta.first + meta.len)
+                .ok_or_else(|| {
+                    codec_err(
+                        &self.file,
+                        format!("chunk {i} extends past the materialized values"),
+                    )
+                }),
             FrameKind::FxmV2 => {
                 read_v2_payload(&self.buf, meta, &self.file, scratch)?;
                 Ok(scratch.as_slice())
@@ -482,13 +522,18 @@ fn parse_v2_chunks(
         return Err(codec_err(file, "buffer shorter than footer"));
     }
     let footer_len = chunks * 8 + V2_TAIL_LEN;
-    if buf[buf.len() - 4..] != END_MAGIC_V2 {
+    let end_magic: [u8; 4] = read_array(buf, buf.len().saturating_sub(4), file)?;
+    if end_magic != END_MAGIC_V2 {
         return Err(codec_err(
             file,
             "missing FXM2 end marker (truncated buffer or trailing bytes)",
         ));
     }
-    let footer_off = read_u64(buf, buf.len() - V2_TAIL_LEN);
+    let tail_at = buf
+        .len()
+        .checked_sub(V2_TAIL_LEN)
+        .ok_or_else(|| codec_err(file, "buffer shorter than the FXM2 tail"))?;
+    let footer_off = read_u64(buf, tail_at, file)?;
     let expected_footer = (buf.len() - footer_len) as u64;
     if footer_off != expected_footer {
         return Err(codec_err(
@@ -502,7 +547,7 @@ fn parse_v2_chunks(
     let mut metas: Vec<ChunkMeta> = Vec::with_capacity(chunks);
     let mut expected_off = HEADER_LEN as u64;
     for c in 0..chunks {
-        let off = read_u64(buf, footer_off as usize + c * 8);
+        let off = read_u64(buf, footer_off as usize + c * 8, file)?;
         if off != expected_off {
             return Err(codec_err(
                 file,
@@ -517,17 +562,17 @@ fn parse_v2_chunks(
         if at + V2_CHUNK_HEADER_LEN + len * 8 > footer_off as usize {
             return Err(codec_err(file, "truncated chunk frame"));
         }
-        let count = read_u32(buf, at) as usize;
+        let count = read_u32(buf, at, file)? as usize;
         if count != len {
             return Err(codec_err(file, "chunk count disagrees with header"));
         }
-        let gaps = read_u32(buf, at + 4);
+        let gaps = read_u32(buf, at + 4, file)?;
         if gaps as usize > len {
             return Err(codec_err(file, "chunk gap count exceeds chunk length"));
         }
-        let min = read_f64(buf, at + 8);
-        let max = read_f64(buf, at + 16);
-        let sum = read_f64(buf, at + 24);
+        let min = read_f64(buf, at + 8, file)?;
+        let max = read_f64(buf, at + 16, file)?;
+        let sum = read_f64(buf, at + 24, file)?;
         if min.is_infinite() || max.is_infinite() || !sum.is_finite() {
             return Err(codec_err(file, "non-finite chunk statistics"));
         }
@@ -570,7 +615,7 @@ fn read_v2_payload(
     out.reserve(meta.len);
     let mut at = meta.offset + V2_CHUNK_HEADER_LEN;
     for _ in 0..meta.len {
-        let v = read_f64(buf, at);
+        let v = read_f64(buf, at, file)?;
         if v.is_infinite() {
             return Err(codec_err(file, "infinite value in chunk payload"));
         }
@@ -840,6 +885,44 @@ mod tests {
         buf.put_slice(&[0u8; 16]); // some plausible-looking tail bytes
         let err = decode(&buf.freeze(), "t.fxm").unwrap_err();
         assert!(err.to_string().contains("footer"), "{err}");
+    }
+
+    #[test]
+    fn every_strict_truncation_is_a_typed_error_never_a_panic() {
+        // Exhaustive: cutting a valid buffer anywhere must surface as
+        // an Err — the byte accounting leaves no prefix that decodes.
+        for raw in [encode(&sample()), encode_v1(&sample())] {
+            for cut in 0..raw.len() {
+                assert!(
+                    decode(&raw[..cut], "t.fxm").is_err(),
+                    "truncation to {cut} of {} bytes decoded",
+                    raw.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics() {
+        // Flip every byte of a valid buffer in turn; each variant must
+        // either decode or fail with a typed error — never abort.
+        for raw in [encode(&sample()), encode_v1(&sample())] {
+            let raw = raw.to_vec();
+            for i in 0..raw.len() {
+                let mut bad = raw.clone();
+                bad[i] ^= 0xFF;
+                let _ = decode(&bad, "t.fxm");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_index_out_of_range_is_a_typed_error() {
+        let frame = Frame::from_fxm_bytes(encode(&sample()), "t.fxm").unwrap();
+        let mut scratch = Vec::new();
+        let err = frame.chunk_values(99, &mut scratch).unwrap_err();
+        assert!(matches!(err, FrameError::Scan { .. }), "{err:?}");
+        assert!(err.to_string().contains("99"), "{err}");
     }
 
     #[test]

@@ -70,6 +70,18 @@ pub enum FrameError {
         /// Number of trailing bytes.
         trailing: usize,
     },
+    /// A fixed-width read ran off the end of the buffer — the decoder
+    /// needed `needed` bytes at `offset` but the buffer ends at `len`.
+    ShortRead {
+        /// The offending file (or buffer label).
+        file: String,
+        /// Byte offset where the read started.
+        offset: usize,
+        /// Number of bytes the read needed.
+        needed: usize,
+        /// Total length of the buffer.
+        len: usize,
+    },
     /// `encode_chunked` was asked for zero-interval chunks, which
     /// would make the chunk grid undefined.
     ZeroChunkLen,
@@ -95,6 +107,16 @@ impl std::fmt::Display for FrameError {
                 f,
                 "{file}: codec error: {trailing} trailing byte(s) after the final chunk \
                  at byte offset {offset}"
+            ),
+            FrameError::ShortRead {
+                file,
+                offset,
+                needed,
+                len,
+            } => write!(
+                f,
+                "{file}: codec error: need {needed} byte(s) at byte offset {offset}, \
+                 but the buffer ends at {len}"
             ),
             FrameError::ZeroChunkLen => {
                 write!(f, "chunk length must be at least 1 (got 0)")
@@ -128,6 +150,17 @@ mod lib_tests {
         assert!(msg.contains("consumer_0.fxm"), "{msg}");
         assert!(msg.contains("1234"), "{msg}");
         assert!(msg.contains("7 trailing"), "{msg}");
+
+        let e = FrameError::ShortRead {
+            file: "consumer_0.fxm".into(),
+            offset: 56,
+            needed: 8,
+            len: 60,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("consumer_0.fxm"), "{msg}");
+        assert!(msg.contains("offset 56"), "{msg}");
+        assert!(msg.contains("8 byte"), "{msg}");
 
         assert!(FrameError::ZeroChunkLen.to_string().contains("at least 1"));
         let e: FrameError = SeriesError::Empty.into();

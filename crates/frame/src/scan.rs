@@ -174,7 +174,7 @@ impl Scan {
             None => range,
             Some(prev) => prev
                 .intersect(range)
-                .unwrap_or_else(|| TimeRange::new(range.start(), range.start()).expect("empty")),
+                .unwrap_or_else(|| TimeRange::empty_at(range.start())),
         });
         self
     }
@@ -238,7 +238,7 @@ impl Scan {
             }
             let values = frame.chunk_values(ci, &mut scratch)?;
             report.chunks_decoded += 1;
-            let sliced = &values[a..b];
+            let sliced = slice_chunk(values, a, b, frame)?;
             if !self.predicates.iter().all(|p| p.matches(sliced)) {
                 continue;
             }
@@ -309,7 +309,7 @@ impl Scan {
             }
             let values = frame.chunk_values(ci, &mut scratch)?;
             report.chunks_decoded += 1;
-            let sliced = &values[a..b];
+            let sliced = slice_chunk(values, a, b, frame)?;
             if !self.predicates.iter().all(|p| p.matches(sliced)) {
                 continue;
             }
@@ -347,7 +347,7 @@ impl Scan {
             }
             let values = frame.chunk_values(ci, &mut scratch)?;
             report.chunks_decoded += 1;
-            let sliced = &values[a..b];
+            let sliced = slice_chunk(values, a, b, frame)?;
             if !self.predicates.iter().all(|p| p.matches(sliced)) {
                 continue;
             }
@@ -389,7 +389,7 @@ impl Scan {
             };
             let values = frame.chunk_values(ci, &mut scratch)?;
             report.chunks_decoded += 1;
-            out.extend_from_slice(&values[a..b]);
+            out.extend_from_slice(slice_chunk(values, a, b, frame)?);
         }
         report.intervals_selected = out.len();
         let start = h.start + h.resolution.interval() * lo as i64;
@@ -445,6 +445,25 @@ impl Scan {
         let series = MeasuredSeries::new(fine.start(), target, coarse)?;
         Ok((series, report))
     }
+}
+
+/// The `[a, b)` slice of a decoded chunk. Bounds come from
+/// [`chunk_overlap`] against the chunk directory, so a miss means the
+/// decode returned fewer values than the directory promised — a codec
+/// error naming the chunk-local range, never a panic.
+fn slice_chunk<'v>(
+    values: &'v [f64],
+    a: usize,
+    b: usize,
+    frame: &Frame,
+) -> Result<&'v [f64], FrameError> {
+    values.get(a..b).ok_or_else(|| FrameError::Codec {
+        file: frame.file().to_string(),
+        what: format!(
+            "decoded chunk holds {} value(s), too few for the selected range [{a}, {b})",
+            values.len()
+        ),
+    })
 }
 
 /// The sliced sub-range `[a, b)` of a chunk's local indices, or `None`

@@ -98,11 +98,9 @@ pub fn fill_gaps(
             }
         }
         FillStrategy::Previous => {
-            let first_finite = values
-                .iter()
-                .copied()
-                .find(|v| !v.is_nan())
-                .expect("checked: not all NaN");
+            let Some(first_finite) = values.iter().copied().find(|v| !v.is_nan()) else {
+                return Err(SeriesError::Empty);
+            };
             let mut prev = first_finite;
             for v in values.iter_mut() {
                 if v.is_nan() {
@@ -112,7 +110,7 @@ pub fn fill_gaps(
                 }
             }
         }
-        FillStrategy::Linear => fill_linear(values),
+        FillStrategy::Linear => fill_linear(values)?,
         FillStrategy::SeasonalDaily => {
             let period = intervals_per_day.max(1);
             // Per-phase means over finite values.
@@ -131,14 +129,16 @@ pub fn fill_gaps(
             }
             // Phases missing everywhere: fall back to linear.
             if has_gaps(values) {
-                fill_linear(values);
+                fill_linear(values)?;
             }
         }
     }
     Ok(gaps)
 }
 
-fn fill_linear(values: &mut [f64]) {
+/// Errors with [`SeriesError::Empty`] when the slice holds no finite
+/// value at all (nothing to interpolate from).
+fn fill_linear(values: &mut [f64]) -> Result<(), SeriesError> {
     let n = values.len();
     let mut i = 0;
     while i < n {
@@ -163,10 +163,11 @@ fn fill_linear(values: &mut [f64]) {
             }
             (Some(l), None) => values[i..j].iter_mut().for_each(|v| *v = l),
             (None, Some(r)) => values[i..j].iter_mut().for_each(|v| *v = r),
-            (None, None) => unreachable!("caller guarantees at least one finite value"),
+            (None, None) => return Err(SeriesError::Empty),
         }
         i = j;
     }
+    Ok(())
 }
 
 /// Build a gap-free [`TimeSeries`] from raw metered values, filling with

@@ -77,7 +77,10 @@ fn rolling_extreme(xs: &[f64], window: usize, keep: impl Fn(f64, f64) -> bool) -
                 deque.pop_front();
             }
         }
-        out.push(xs[*deque.front().expect("deque holds the current index")]);
+        // `i` was just pushed, so the deque is never empty here; fall
+        // back to `i` rather than panicking on the impossible case.
+        let front = deque.front().copied().unwrap_or(i);
+        out.push(xs[front]);
     }
     out
 }
@@ -91,13 +94,13 @@ pub fn rolling_median(xs: &[f64], window: usize) -> Vec<f64> {
     let mut sorted: Vec<f64> = Vec::with_capacity(window);
     for i in 0..xs.len() {
         let pos = sorted
-            .binary_search_by(|v| v.partial_cmp(&xs[i]).expect("finite values"))
+            .binary_search_by(|v| v.total_cmp(&xs[i]))
             .unwrap_or_else(|p| p);
         sorted.insert(pos, xs[i]);
         if i >= window {
             let old = xs[i - window];
             let pos = sorted
-                .binary_search_by(|v| v.partial_cmp(&old).expect("finite values"))
+                .binary_search_by(|v| v.total_cmp(&old))
                 .unwrap_or_else(|p| p);
             sorted.remove(pos);
         }

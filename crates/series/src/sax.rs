@@ -18,7 +18,7 @@
 
 use crate::stats::znormalize;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Gaussian equiprobable breakpoints for alphabet sizes 2–10
 /// (standard SAX lookup table).
@@ -135,7 +135,7 @@ pub fn find_motifs(
     if xs.len() < window_len || window_len == 0 {
         return Vec::new();
     }
-    let mut table: HashMap<Vec<u8>, Vec<usize>> = HashMap::new();
+    let mut table: BTreeMap<Vec<u8>, Vec<usize>> = BTreeMap::new();
     for start in 0..=(xs.len() - window_len) {
         let word = sax_word(&xs[start..start + window_len], word_len, alphabet);
         let entry = table.entry(word).or_default();

@@ -34,6 +34,13 @@ impl TimeRange {
         })
     }
 
+    /// The empty range anchored at `start` — infallible, since an
+    /// empty range can never be inverted. The canonical way to collapse
+    /// a selection to nothing (e.g. stacking disjoint slices).
+    pub fn empty_at(start: Timestamp) -> Self {
+        TimeRange { start, end: start }
+    }
+
     /// The full civil day containing `t` (midnight to midnight).
     pub fn day_of(t: Timestamp) -> Self {
         let start = t.start_of_day();

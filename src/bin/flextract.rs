@@ -59,6 +59,7 @@ USAGE:
                        [--where gaps|min-below:F|max-above:F]
                        [--resolution-min N] [--json]
   flextract query      --offers FILE.json [--from TS] [--to TS] [--json]
+  flextract analyze    [--root DIR] [--config FILE] [--json]
   flextract help
 
 The scenario corpus lives in scenarios/ (one JSON spec per scenario);
@@ -163,6 +164,7 @@ fn run(args: &[String]) -> Result<(), String> {
             )
         }
         "query" => cmd_query(&Flags::parse_with_switches(&args[1..], &["json"])?),
+        "analyze" => cmd_analyze(&Flags::parse_with_switches(&args[1..], &["json"])?),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -692,6 +694,32 @@ fn parse_slice(
     let to = parse("to", default_to)?;
     TimeRange::new(from, to)
         .map_err(|_| format!("--to {to} lies before --from {from} (empty query range)"))
+}
+
+/// `flextract analyze`: run the workspace lint engine and report
+/// structured findings. Exit status is the gate — any unsuppressed
+/// finding is a failure.
+fn cmd_analyze(flags: &Flags) -> Result<(), String> {
+    let root = Path::new(flags.get("root").unwrap_or("."));
+    let allowlist = match flags.get("config") {
+        Some(path) => flextract::analyze::Allowlist::load(Path::new(path))?,
+        None => flextract::analyze::load_allowlist(root)?,
+    };
+    let analysis = flextract::analyze::analyze_tree(root, &allowlist)?;
+    if flags.get("json").is_some() {
+        print!("{}", analysis.render_json());
+    } else {
+        print!("{}", analysis.render_text());
+    }
+    if analysis.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "analyze: {} unsuppressed finding(s) — fix them or add a justified \
+             suppression to analyze.toml",
+            analysis.findings.len()
+        ))
+    }
 }
 
 fn cmd_query(flags: &Flags) -> Result<(), String> {

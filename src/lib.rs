@@ -26,6 +26,7 @@
 //! | [`frame`] | `flextract-frame` | columnar chunk-stat frames (FXM2) + lazy scans |
 //! | [`dataset`] | `flextract-dataset` | metered-series store, degradation, cleaning |
 //! | [`scenario`] | `flextract-scenario` | declarative scenario corpus + parallel runner |
+//! | [`analyze`] | `flextract-analyze` | workspace lint engine (static invariant gate) |
 //!
 //! ## Quickstart
 //!
@@ -57,6 +58,12 @@
 /// Flex-offer aggregation and RES-matching scheduling (refs \[4\]\[5\]).
 pub mod agg {
     pub use flextract_agg::*;
+}
+
+/// The workspace lint engine (`flextract analyze`): static enforcement
+/// of the determinism and panic-safety invariants.
+pub mod analyze {
+    pub use flextract_analyze::*;
 }
 
 /// The appliance catalog (paper Table 1, made executable).

@@ -846,3 +846,57 @@ fn help_prints_usage() {
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
 }
+
+#[test]
+fn analyze_passes_on_the_committed_tree() {
+    let out = flextract(&["analyze"]);
+    assert!(
+        out.status.success(),
+        "the committed tree must be lint-clean: {}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 finding(s)"), "{stdout}");
+
+    let json = flextract(&["analyze", "--json"]);
+    assert!(json.status.success());
+    let stdout = String::from_utf8_lossy(&json.stdout);
+    assert!(stdout.contains("\"total\": 0"), "{stdout}");
+    assert!(stdout.contains("\"files_scanned\""), "{stdout}");
+}
+
+#[test]
+fn analyze_fails_naming_file_line_and_lint_on_a_seeded_violation() {
+    let dir = scratch_dir("analyze");
+    let src = dir.join("crates/demo/src");
+    std::fs::create_dir_all(&src).expect("fixture tree is creatable");
+    std::fs::write(
+        src.join("lib.rs"),
+        "#![forbid(unsafe_code)]\n\
+         pub fn stamp() -> u64 {\n\
+         \x20   let t = std::time::SystemTime::now();\n\
+         \x20   let _ = t;\n\
+         \x20   0\n\
+         }\n",
+    )
+    .expect("fixture file is writable");
+
+    let out = flextract(&["analyze", "--root", dir.to_str().unwrap()]);
+    assert!(
+        !out.status.success(),
+        "a seeded violation must fail the gate"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("crates/demo/src/lib.rs:3:24"),
+        "finding must name file:line:col: {stdout}"
+    );
+    assert!(stdout.contains("[nondeterministic-time]"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("error:") && stderr.contains("1 unsuppressed finding"),
+        "{stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
