@@ -10,7 +10,8 @@
 //! the regenerated JSON when the numbers move for a reason.
 
 use flextract_dataset::{
-    ConsumerKind, Dataset, DatasetWriter, Degradation, MeasuredSeries, Scan, SeriesCodec,
+    ConsumerKind, Dataset, DatasetWriter, Degradation, MeasuredSeries, Predicate, Scan,
+    SeriesCodec, ShardedWriter,
 };
 use flextract_scenario::{
     export_dataset, AggregationPolicy, DatasetCleaning, ExportOptions, ExtractorChoice, Scenario,
@@ -28,6 +29,9 @@ struct Record {
     consumer_threads: usize,
     iters: u32,
     mean_us: f64,
+    /// Free-form context recorded next to the timing (e.g. the
+    /// shard-prune ratio a sharded-store query achieved).
+    note: Option<String>,
 }
 
 /// The corpus' default archetype mix, inlined so the bench is
@@ -202,6 +206,7 @@ fn query_benches(records: &mut Vec<Record>) {
             consumer_threads: 1,
             iters,
             mean_us: mean,
+            note: None,
         });
         let scan = Scan::new();
         let mean = measure_fn(3, iters, || {
@@ -214,6 +219,7 @@ fn query_benches(records: &mut Vec<Record>) {
             consumer_threads: 1,
             iters,
             mean_us: mean,
+            note: None,
         });
         // Print the pushdown audit once per codec so the skip ratio is
         // on record next to the timings.
@@ -233,6 +239,113 @@ fn query_benches(records: &mut Vec<Record>) {
     }
 }
 
+/// The sharded-store stages: a large lightweight fleet (one day at
+/// 15 min per consumer, `BENCH_SHARD_CONSUMERS` consumers, default
+/// 100 000 — CI sets a small value) behind shard-level statistics.
+/// Measures the three serving shapes the root index is for: a
+/// time-sliced point query that routes to one shard, a fleet roll-up
+/// that opens no shard at all, and a predicate scan whose statistics
+/// prune every shard. Each iteration reopens the store cold, so the
+/// cost of *not* touching 99+% of the manifests is what's measured.
+fn shard_store_benches(records: &mut Vec<Record>) {
+    let consumers: usize = std::env::var("BENCH_SHARD_CONSUMERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    let capacity = 512;
+    let intervals = 96;
+    let start: Timestamp = "2013-03-18".parse().expect("static date");
+    let dir = std::env::temp_dir().join(format!(
+        "flextract_bench_sharded_{}_{}",
+        consumers,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut w = ShardedWriter::create(
+        &dir,
+        "bench_sharded",
+        "large lightweight fleet for shard-prune benchmarks",
+        start,
+        Resolution::MIN_15,
+        intervals,
+        SeriesCodec::Binary,
+        capacity,
+    )
+    .expect("benchmark store dir is writable");
+    for c in 0..consumers {
+        let values: Vec<f64> = (0..intervals)
+            .map(|i| 0.2 + ((i * 37 + c * 13) % 101) as f64 * 0.01)
+            .collect();
+        let m = MeasuredSeries::new(start, Resolution::MIN_15, values).expect("finite values");
+        w.write_consumer(&c.to_string(), ConsumerKind::Household, &m, None, None)
+            .expect("consumer writes");
+    }
+    let root = w.finish().expect("root commits");
+    let shards = root.shards.len();
+    println!("shard_store: {consumers} consumers in {shards} shards at capacity {capacity}");
+
+    // 1. Time-sliced single-consumer query: the root index routes to
+    //    the one shard owning the consumer; the other shards' manifests
+    //    are never read, let alone their series files.
+    let midday = TimeRange::starting_at(start + Duration::minutes(6 * 60), Duration::minutes(720))
+        .expect("12 h slice");
+    let target = consumers / 2;
+    let scan = Scan::new().time_slice(midday);
+    let iters = 20;
+    let mean = measure_fn(2, iters, || {
+        let ds = Dataset::open(&dir).expect("store opens");
+        std::hint::black_box(ds.consumer_aggregates(target, &scan).expect("point query"));
+    });
+    records.push(Record {
+        name: format!("shard_store/point_query_sliced/{consumers}c"),
+        consumer_threads: 1,
+        iters,
+        mean_us: mean,
+        note: Some(format!(
+            "opens 1/{shards} shard manifests ({:.1} % pruned)",
+            100.0 * (shards - 1) as f64 / shards as f64
+        )),
+    });
+
+    // 2. Fleet roll-up with no predicates: answered from the root's
+    //    per-shard statistics alone — zero shards opened.
+    let fleet_scan = Scan::new();
+    let ds = Dataset::open(&dir).expect("store opens");
+    let (_, report) = ds.fleet_aggregates(&fleet_scan).expect("fleet roll-up");
+    assert_eq!(report.shards_opened(), 0, "stats-only fleet scan");
+    assert_eq!(report.shards_stats_only, shards);
+    let mean = measure_fn(2, iters, || {
+        let ds = Dataset::open(&dir).expect("store opens");
+        std::hint::black_box(ds.fleet_aggregates(&fleet_scan).expect("fleet roll-up"));
+    });
+    records.push(Record {
+        name: format!("shard_store/fleet_stats_only/{consumers}c"),
+        consumer_threads: 1,
+        iters,
+        mean_us: mean,
+        note: Some(format!(
+            "opens 0/{shards} shards (100.0 % answered from roll-ups)"
+        )),
+    });
+
+    // 3. A predicate no shard satisfies: the roll-ups prune everything.
+    let prune_scan = Scan::new().with_predicate(Predicate::MaxAbove(1e9));
+    let (_, report) = ds.fleet_aggregates(&prune_scan).expect("pruned scan");
+    assert_eq!(report.shards_pruned, shards, "statistics prune every shard");
+    let mean = measure_fn(2, iters, || {
+        let ds = Dataset::open(&dir).expect("store opens");
+        std::hint::black_box(ds.fleet_aggregates(&prune_scan).expect("pruned scan"));
+    });
+    records.push(Record {
+        name: format!("shard_store/fleet_predicate_prune/{consumers}c"),
+        consumer_threads: 1,
+        iters,
+        mean_us: mean,
+        note: Some(format!("prunes {shards}/{shards} shards (100.0 % pruned)")),
+    });
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 fn main() {
     let mid = fleet_scenario("bench_mid_fleet", 48);
     let stress = fleet_scenario("bench_stress_10k", 10_000);
@@ -250,6 +363,7 @@ fn main() {
             consumer_threads,
             iters: 5,
             mean_us: mean,
+            note: None,
         });
         // The measured-data leg: ingest (load + gap-fill + anomaly
         // screen) → extract → evaluate, fidelity leg included.
@@ -259,6 +373,7 @@ fn main() {
             consumer_threads,
             iters: 5,
             mean_us: mean,
+            note: None,
         });
         // The stress fleet costs ~1 s per iteration in release: keep
         // the sample count low, skip the warm-up.
@@ -268,10 +383,12 @@ fn main() {
             consumer_threads,
             iters: 2,
             mean_us: mean,
+            note: None,
         });
     }
     std::fs::remove_dir_all(&ds_dir).ok();
     query_benches(&mut records);
+    shard_store_benches(&mut records);
 
     let root = workspace_root();
     let host_cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
@@ -284,8 +401,13 @@ fn main() {
     json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
     json.push_str("  \"benches\": [\n");
     for (i, r) in records.iter().enumerate() {
+        let note = r
+            .note
+            .as_ref()
+            .map(|n| format!(", \"note\": \"{n}\""))
+            .unwrap_or_default();
         json.push_str(&format!(
-            "    {{ \"name\": \"{}\", \"consumer_threads\": {}, \"iters\": {}, \"mean_us\": {:.1} }}{}\n",
+            "    {{ \"name\": \"{}\", \"consumer_threads\": {}, \"iters\": {}, \"mean_us\": {:.1}{note} }}{}\n",
             r.name,
             r.consumer_threads,
             r.iters,
@@ -297,8 +419,14 @@ fn main() {
 
     for r in &records {
         println!(
-            "{:<44} ct={} {:>14.1} µs/iter",
-            r.name, r.consumer_threads, r.mean_us
+            "{:<44} ct={} {:>14.1} µs/iter{}",
+            r.name,
+            r.consumer_threads,
+            r.mean_us,
+            r.note
+                .as_ref()
+                .map(|n| format!("  [{n}]"))
+                .unwrap_or_default()
         );
     }
     let out = root.join("BENCH_pipeline.json");

@@ -41,6 +41,7 @@
 pub mod codec;
 pub mod degrade;
 pub mod ingest;
+pub mod sharded;
 pub mod store;
 
 pub use degrade::Degradation;
@@ -48,6 +49,10 @@ pub use flextract_frame::{
     Aggregates, ChunkStats, Frame, FrameError, MeasuredSeries, Predicate, Scan, ScanReport,
 };
 pub use ingest::{CleaningConfig, CleaningReport};
+pub use sharded::{
+    compact, CompactionSummary, RootIndex, ShardSummary, ShardedWriter, DEFAULT_SHARD_CAPACITY,
+    ROOT_FILE, SHARDS_DIR,
+};
 pub use store::{
     ConsumerEntry, ConsumerKind, Dataset, DatasetRecord, DatasetWriter, Manifest, SeriesCodec,
     MANIFEST_FILE,
@@ -102,12 +107,23 @@ pub enum DatasetError {
         /// Which invariant is violated.
         what: String,
     },
-    /// A consumer index outside the manifest's consumer list.
+    /// A consumer index outside the dataset's consumer directory.
     OutOfRange {
         /// The requested index.
         index: usize,
         /// Number of consumers in the dataset.
         len: usize,
+        /// The dataset directory, so the message names which store was
+        /// addressed.
+        dir: String,
+    },
+    /// A manifest entry references a series file that no longer exists
+    /// on disk (renamed or deleted since export).
+    MissingSeriesFile {
+        /// The consumer id whose entry references the file.
+        consumer: String,
+        /// The expected path of the missing file.
+        path: String,
     },
     /// A series-level operation failed during cleaning or degradation.
     Series(SeriesError),
@@ -128,8 +144,19 @@ impl std::fmt::Display for DatasetError {
             } => write!(f, "{file}: row {row}, column `{column}`: {what}"),
             DatasetError::Codec { file, what } => write!(f, "{file}: codec error: {what}"),
             DatasetError::Invalid { file, what } => write!(f, "{file}: {what}"),
-            DatasetError::OutOfRange { index, len } => {
-                write!(f, "consumer index {index} out of range (dataset has {len})")
+            DatasetError::OutOfRange { index, len, dir } => {
+                write!(
+                    f,
+                    "consumer index {index} out of range for dataset {dir} \
+                     (valid range 0..{len})"
+                )
+            }
+            DatasetError::MissingSeriesFile { consumer, path } => {
+                write!(
+                    f,
+                    "consumer `{consumer}` references missing series file {path} \
+                     (renamed or deleted since export?)"
+                )
             }
             DatasetError::Series(e) => write!(f, "series error: {e}"),
         }
@@ -203,9 +230,23 @@ mod lib_tests {
         assert!(msg.contains("`kwh`"), "{msg}");
         assert!(msg.contains("abc"), "{msg}");
 
-        let e = DatasetError::OutOfRange { index: 9, len: 3 };
-        assert!(e.to_string().contains('9'));
-        assert!(e.to_string().contains('3'));
+        let e = DatasetError::OutOfRange {
+            index: 9,
+            len: 3,
+            dir: "datasets/x".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("index 9"), "{msg}");
+        assert!(msg.contains("0..3"), "{msg}");
+        assert!(msg.contains("datasets/x"), "{msg}");
+
+        let e = DatasetError::MissingSeriesFile {
+            consumer: "7".into(),
+            path: "datasets/x/consumer_7.fxm".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("`7`"), "{msg}");
+        assert!(msg.contains("consumer_7.fxm"), "{msg}");
 
         let e: DatasetError = SeriesError::Empty.into();
         assert!(e.to_string().contains("series"));

@@ -100,6 +100,11 @@ pub struct ConsumerEntry {
     pub gap_count: usize,
 }
 
+/// A series file carried as raw bytes: relative file name + contents.
+/// The unit of compaction — files move between shards byte-for-byte,
+/// never re-encoded.
+pub(crate) type RawFile = (String, Vec<u8>);
+
 /// Dataset-level metadata plus the consumer directory.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Manifest {
@@ -161,23 +166,83 @@ pub struct DatasetRecord {
 
 /// A dataset opened for reading. Loading is per consumer and takes
 /// `&self`, so one handle can be shared across shard workers.
+///
+/// Two on-disk layouts open through the same handle, sniffed like the
+/// series codecs: a directory holding a [`ROOT_FILE`](crate::ROOT_FILE)
+/// is a **sharded** store (a root index over `shards/NNNN/` directories,
+/// each an ordinary single-manifest dataset, opened lazily on first
+/// access), anything else is the **legacy** single-manifest layout.
+/// Consumer indices are global either way: a sharded store routes index
+/// `i` to the shard holding it via the root's per-shard counts, without
+/// opening any other shard.
 #[derive(Debug)]
 pub struct Dataset {
     dir: PathBuf,
-    manifest: Manifest,
+    layout: Layout,
 }
 
-fn read_file(path: &Path) -> Result<Vec<u8>, DatasetError> {
+#[derive(Debug)]
+enum Layout {
+    /// One `manifest.json` naming every consumer.
+    Legacy(Manifest),
+    /// A root index over lazily-opened shard datasets. Each slot caches
+    /// the outcome of the first open (errors included), so repeated
+    /// access neither re-reads nor flip-flops.
+    Sharded {
+        root: crate::sharded::RootIndex,
+        shards: Vec<std::sync::OnceLock<Result<Dataset, DatasetError>>>,
+    },
+}
+
+pub(crate) fn read_file(path: &Path) -> Result<Vec<u8>, DatasetError> {
     std::fs::read(path).map_err(|e| DatasetError::Io {
         path: path.display().to_string(),
         what: e.to_string(),
     })
 }
 
+/// Decode raw series-file bytes into a chunk-addressable [`Frame`]:
+/// binary formats are sniffed by magic (FXM2 opens lazily, FXM1 with
+/// one decode pass); anything else parses as CSV and is chunked
+/// virtually on the same partitioning.
+pub(crate) fn frame_from_raw(raw: Vec<u8>, display: &str) -> Result<Frame, DatasetError> {
+    if codec::sniff(&raw).is_some() {
+        Frame::from_fxm_bytes(Bytes::from(raw), display).map_err(Into::into)
+    } else {
+        let text = String::from_utf8(raw).map_err(|_| DatasetError::Invalid {
+            file: display.to_string(),
+            what: "not valid UTF-8 (and not FXM1/FXM2 binary)".to_string(),
+        })?;
+        let measured = codec::from_csv(&text, display)?;
+        Frame::from_measured(measured, codec::DEFAULT_CHUNK_LEN, display).map_err(Into::into)
+    }
+}
+
 impl Dataset {
-    /// Open `dir`, parse and validate its manifest.
+    /// Open `dir`, sniffing the layout: a directory carrying
+    /// `root.json` opens as a sharded store (shard manifests load
+    /// lazily on first access), anything else as a legacy
+    /// single-manifest dataset — the migration contract that keeps
+    /// pre-sharding directories readable, like `SeriesCodec::BinaryV1`
+    /// files staying loadable by magic.
     pub fn open(dir: impl AsRef<Path>) -> Result<Dataset, DatasetError> {
         let dir = dir.as_ref().to_path_buf();
+        if dir.join(crate::sharded::ROOT_FILE).is_file() {
+            let root = crate::sharded::read_root(&dir)?;
+            let shards = root.shards.iter().map(|_| Default::default()).collect();
+            Ok(Dataset {
+                dir,
+                layout: Layout::Sharded { root, shards },
+            })
+        } else {
+            Self::open_legacy(&dir)
+        }
+    }
+
+    /// Open `dir` as a legacy single-manifest dataset, parse and
+    /// validate its manifest.
+    pub(crate) fn open_legacy(dir: &Path) -> Result<Dataset, DatasetError> {
+        let dir = dir.to_path_buf();
         let manifest_path = dir.join(MANIFEST_FILE);
         let raw = read_file(&manifest_path)?;
         let text = String::from_utf8(raw).map_err(|_| DatasetError::Manifest {
@@ -221,19 +286,51 @@ impl Dataset {
                 .chain(entry.truth_flex.as_ref())
             {
                 if !dir.join(file).is_file() {
-                    return Err(invalid(format!(
-                        "consumer `{}` names missing file {file}",
-                        entry.id
-                    )));
+                    // Typed, not a generic io error mid-scan: the entry
+                    // and the expected path are named at open time.
+                    return Err(DatasetError::MissingSeriesFile {
+                        consumer: entry.id.clone(),
+                        path: dir.join(file).display().to_string(),
+                    });
                 }
             }
         }
-        Ok(Dataset { dir, manifest })
+        Ok(Dataset {
+            dir,
+            layout: Layout::Legacy(manifest),
+        })
     }
 
-    /// The parsed manifest.
-    pub fn manifest(&self) -> &Manifest {
-        &self.manifest
+    /// The parsed manifest of a legacy single-manifest dataset; `None`
+    /// for a sharded store (whose metadata lives in
+    /// [`Dataset::root`] and the layout-independent accessors).
+    pub fn manifest(&self) -> Option<&Manifest> {
+        match &self.layout {
+            Layout::Legacy(m) => Some(m),
+            Layout::Sharded { .. } => None,
+        }
+    }
+
+    /// The root index of a sharded store; `None` for a legacy dataset.
+    pub fn root(&self) -> Option<&crate::sharded::RootIndex> {
+        match &self.layout {
+            Layout::Legacy(_) => None,
+            Layout::Sharded { root, .. } => Some(root),
+        }
+    }
+
+    /// `true` when this dataset uses the sharded layout.
+    pub fn is_sharded(&self) -> bool {
+        matches!(self.layout, Layout::Sharded { .. })
+    }
+
+    /// Number of shards: 1 for a legacy dataset (the whole directory is
+    /// one implicit shard), the root's shard count for a sharded store.
+    pub fn shard_count(&self) -> usize {
+        match &self.layout {
+            Layout::Legacy(_) => 1,
+            Layout::Sharded { root, .. } => root.shards.len(),
+        }
     }
 
     /// The dataset directory.
@@ -241,15 +338,195 @@ impl Dataset {
         &self.dir
     }
 
-    /// Number of consumers.
+    /// Number of consumers (across every shard for a sharded store).
     pub fn len(&self) -> usize {
-        self.manifest.consumers.len()
+        match &self.layout {
+            Layout::Legacy(m) => m.consumers.len(),
+            Layout::Sharded { root, .. } => root.len(),
+        }
     }
 
     /// `true` if the dataset has no consumers (never true for an opened
-    /// dataset — `open` rejects empty manifests).
+    /// dataset — `open` rejects empty manifests and empty roots).
     pub fn is_empty(&self) -> bool {
-        self.manifest.consumers.is_empty()
+        self.len() == 0
+    }
+
+    /// Dataset name.
+    pub fn name(&self) -> &str {
+        match &self.layout {
+            Layout::Legacy(m) => &m.name,
+            Layout::Sharded { root, .. } => &root.name,
+        }
+    }
+
+    /// One-line human description.
+    pub fn description(&self) -> &str {
+        match &self.layout {
+            Layout::Legacy(m) => &m.description,
+            Layout::Sharded { root, .. } => &root.description,
+        }
+    }
+
+    /// The declared start, as stored (`YYYY-MM-DD [HH:MM]`).
+    pub fn start_str(&self) -> &str {
+        match &self.layout {
+            Layout::Legacy(m) => &m.start,
+            Layout::Sharded { root, .. } => &root.start,
+        }
+    }
+
+    /// The declared start timestamp, parsed.
+    pub fn start_timestamp(&self) -> Result<Timestamp, DatasetError> {
+        match &self.layout {
+            Layout::Legacy(m) => m.start_timestamp(),
+            Layout::Sharded { root, .. } => root.start_timestamp(),
+        }
+    }
+
+    /// The declared resolution, in minutes.
+    pub fn resolution_min(&self) -> i64 {
+        match &self.layout {
+            Layout::Legacy(m) => m.resolution_min,
+            Layout::Sharded { root, .. } => root.resolution_min,
+        }
+    }
+
+    /// The declared resolution, parsed.
+    pub fn resolution(&self) -> Result<Resolution, DatasetError> {
+        match &self.layout {
+            Layout::Legacy(m) => m.resolution(),
+            Layout::Sharded { root, .. } => root.resolution(),
+        }
+    }
+
+    /// Interval count of every measured series.
+    pub fn intervals(&self) -> usize {
+        match &self.layout {
+            Layout::Legacy(m) => m.intervals,
+            Layout::Sharded { root, .. } => root.intervals,
+        }
+    }
+
+    /// How the series files are encoded.
+    pub fn codec(&self) -> SeriesCodec {
+        match &self.layout {
+            Layout::Legacy(m) => m.codec,
+            Layout::Sharded { root, .. } => root.codec,
+        }
+    }
+
+    /// Name of the scenario this dataset was exported from, if any.
+    pub fn source_scenario(&self) -> Option<&str> {
+        match &self.layout {
+            Layout::Legacy(m) => m.source_scenario.as_deref(),
+            Layout::Sharded { root, .. } => root.source_scenario.as_deref(),
+        }
+    }
+
+    /// The degradation applied at export time, if any.
+    pub fn degradation(&self) -> Option<&Degradation> {
+        match &self.layout {
+            Layout::Legacy(m) => m.degradation.as_ref(),
+            Layout::Sharded { root, .. } => root.degradation.as_ref(),
+        }
+    }
+
+    /// The export seed, if exported.
+    pub fn seed(&self) -> Option<u64> {
+        match &self.layout {
+            Layout::Legacy(m) => m.seed,
+            Layout::Sharded { root, .. } => root.seed,
+        }
+    }
+
+    /// `true` when every consumer carries a ground-truth total series.
+    /// A sharded store answers from the root roll-up without opening
+    /// any shard.
+    pub fn all_have_truth(&self) -> bool {
+        match &self.layout {
+            Layout::Legacy(m) => m.consumers.iter().all(|c| c.truth_total.is_some()),
+            Layout::Sharded { root, .. } => root.shards.iter().all(|s| s.with_truth == s.consumers),
+        }
+    }
+
+    /// The [`DatasetError::OutOfRange`] for `index` against this
+    /// dataset, naming the valid range and the directory.
+    fn out_of_range(&self, index: usize) -> DatasetError {
+        DatasetError::OutOfRange {
+            index,
+            len: self.len(),
+            dir: self.dir.display().to_string(),
+        }
+    }
+
+    /// The manifest when this is a legacy dataset; a typed internal
+    /// error otherwise (routing always lands consumer access on a
+    /// legacy handle, so hitting this on a sharded one is a bug, but a
+    /// reportable one rather than a panic).
+    fn legacy(&self) -> Result<&Manifest, DatasetError> {
+        match &self.layout {
+            Layout::Legacy(m) => Ok(m),
+            Layout::Sharded { .. } => Err(DatasetError::Invalid {
+                file: self.dir.display().to_string(),
+                what: "internal: expected a single-manifest dataset handle".to_string(),
+            }),
+        }
+    }
+
+    /// Crate-internal accessor for shard validation.
+    pub(crate) fn legacy_manifest(&self) -> Result<&Manifest, DatasetError> {
+        self.legacy()
+    }
+
+    /// Open (or fetch the cached handle of) shard `k`. The first open
+    /// reads and validates the shard manifest against the root; the
+    /// outcome — success or error — is cached in the slot.
+    fn shard(&self, k: usize) -> Result<&Dataset, DatasetError> {
+        let Layout::Sharded { root, shards } = &self.layout else {
+            return Err(DatasetError::Invalid {
+                file: self.dir.display().to_string(),
+                what: "internal: shard access on a single-manifest dataset".to_string(),
+            });
+        };
+        let Some((summary, slot)) = root.shards.get(k).zip(shards.get(k)) else {
+            return Err(DatasetError::Invalid {
+                file: self.dir.display().to_string(),
+                what: format!(
+                    "internal: shard index {k} out of range for {} shard(s)",
+                    root.shards.len()
+                ),
+            });
+        };
+        slot.get_or_init(|| crate::sharded::open_shard(&self.dir, root, summary))
+            .as_ref()
+            .map_err(|e| e.clone())
+    }
+
+    /// Route a global consumer index to the dataset handle holding it:
+    /// `(self, idx)` for a legacy dataset, `(shard, local_idx)` for a
+    /// sharded one — found from the root's per-shard counts, opening
+    /// only that shard.
+    fn locate(&self, idx: usize) -> Result<(&Dataset, usize), DatasetError> {
+        match &self.layout {
+            Layout::Legacy(m) => {
+                if idx < m.consumers.len() {
+                    Ok((self, idx))
+                } else {
+                    Err(self.out_of_range(idx))
+                }
+            }
+            Layout::Sharded { root, .. } => {
+                let mut rel = idx;
+                for (k, summary) in root.shards.iter().enumerate() {
+                    if rel < summary.consumers {
+                        return Ok((self.shard(k)?, rel));
+                    }
+                    rel -= summary.consumers;
+                }
+                Err(self.out_of_range(idx))
+            }
+        }
     }
 
     /// Open `file` as a chunk-addressable [`Frame`]: binary formats
@@ -258,17 +535,7 @@ impl Dataset {
     fn load_frame(&self, file: &str) -> Result<Frame, DatasetError> {
         let path = self.dir.join(file);
         let raw = read_file(&path)?;
-        let display = path.display().to_string();
-        if codec::sniff(&raw).is_some() {
-            Frame::from_fxm_bytes(Bytes::from(raw), &display).map_err(Into::into)
-        } else {
-            let text = String::from_utf8(raw).map_err(|_| DatasetError::Invalid {
-                file: display.clone(),
-                what: "not valid UTF-8 (and not FXM1/FXM2 binary)".to_string(),
-            })?;
-            let measured = codec::from_csv(&text, &display)?;
-            Frame::from_measured(measured, codec::DEFAULT_CHUNK_LEN, &display).map_err(Into::into)
-        }
+        frame_from_raw(raw, &path.display().to_string())
     }
 
     /// Materialize a frame, whole or sliced to `range` (a ranged read:
@@ -298,6 +565,7 @@ impl Dataset {
         start: Timestamp,
         range: Option<TimeRange>,
     ) -> Result<flextract_series::TimeSeries, DatasetError> {
+        let manifest = self.legacy()?;
         let frame = self.load_frame(file)?;
         let header = *frame.header();
         let display = || self.dir.join(file).display().to_string();
@@ -306,12 +574,12 @@ impl Dataset {
                 file: display(),
                 what: format!(
                     "ground-truth series starts at {} but the manifest declares {}",
-                    header.start, self.manifest.start
+                    header.start, manifest.start
                 ),
             });
         }
         let covered = header.len as i64 * header.resolution.minutes();
-        let declared = self.manifest.intervals as i64 * self.manifest.resolution_min;
+        let declared = manifest.intervals as i64 * manifest.resolution_min;
         if covered != declared {
             return Err(DatasetError::Invalid {
                 file: display(),
@@ -345,9 +613,11 @@ impl Dataset {
     }
 
     /// Load consumer `idx` (measured series plus any ground truth),
-    /// validating it against the manifest's declared grid.
+    /// validating it against the manifest's declared grid. Indices are
+    /// global: a sharded store routes to the holding shard.
     pub fn consumer(&self, idx: usize) -> Result<DatasetRecord, DatasetError> {
-        self.load_consumer(idx, true, None)
+        let (ds, rel) = self.locate(idx)?;
+        ds.load_consumer(rel, true, None)
     }
 
     /// Like [`Dataset::consumer`], but skip loading the ground-truth
@@ -357,7 +627,8 @@ impl Dataset {
     /// comparison, this avoids reading and decoding one file per
     /// consumer for nothing.
     pub fn consumer_without_truth_total(&self, idx: usize) -> Result<DatasetRecord, DatasetError> {
-        self.load_consumer(idx, false, None)
+        let (ds, rel) = self.locate(idx)?;
+        ds.load_consumer(rel, false, None)
     }
 
     /// Ranged consumer read: like [`Dataset::consumer`] /
@@ -372,21 +643,34 @@ impl Dataset {
         range: TimeRange,
         with_truth_total: bool,
     ) -> Result<DatasetRecord, DatasetError> {
-        self.load_consumer(idx, with_truth_total, Some(range))
+        let (ds, rel) = self.locate(idx)?;
+        ds.load_consumer(rel, with_truth_total, Some(range))
     }
 
     /// The grid-validated lazy frame of consumer `idx`'s measured
     /// series — the entry point for scans and pushdown queries.
     pub fn consumer_frame(&self, idx: usize) -> Result<Frame, DatasetError> {
-        let Some(entry) = self.manifest.consumers.get(idx) else {
-            return Err(DatasetError::OutOfRange {
-                index: idx,
-                len: self.manifest.consumers.len(),
-            });
-        };
-        let frame = self.load_frame(&entry.measured)?;
-        self.validate_grid(&frame, &entry.measured)?;
+        let (ds, rel) = self.locate(idx)?;
+        let entry = ds.entry_local(rel)?;
+        let frame = ds.load_frame(&entry.measured)?;
+        ds.validate_grid(&frame, &entry.measured)?;
         Ok(frame)
+    }
+
+    /// Consumer `idx`'s manifest entry. For a sharded store this opens
+    /// (at most) the holding shard.
+    pub fn consumer_entry(&self, idx: usize) -> Result<ConsumerEntry, DatasetError> {
+        let (ds, rel) = self.locate(idx)?;
+        ds.entry_local(rel).cloned()
+    }
+
+    /// The local (shard-relative) manifest entry at `idx`.
+    fn entry_local(&self, idx: usize) -> Result<&ConsumerEntry, DatasetError> {
+        let manifest = self.legacy()?;
+        manifest
+            .consumers
+            .get(idx)
+            .ok_or_else(|| self.out_of_range(idx))
     }
 
     /// Ranged read of consumer `idx`'s measured series: decode only
@@ -412,23 +696,156 @@ impl Dataset {
         idx: usize,
         scan: &Scan,
     ) -> Result<(Aggregates, ScanReport), DatasetError> {
+        self.consumer_aggregates_with(idx, scan, &mut Vec::new())
+    }
+
+    /// Like [`Dataset::consumer_aggregates`], but decoding through a
+    /// caller-owned scratch buffer so a multi-consumer sweep reuses one
+    /// allocation instead of allocating per chunk per consumer.
+    pub fn consumer_aggregates_with(
+        &self,
+        idx: usize,
+        scan: &Scan,
+        scratch: &mut Vec<f64>,
+    ) -> Result<(Aggregates, ScanReport), DatasetError> {
         let frame = self.consumer_frame(idx)?;
-        scan.aggregates(&frame).map_err(Into::into)
+        scan.aggregates_with(&frame, scratch).map_err(Into::into)
+    }
+
+    /// Execute `scan` against every consumer of shard `k`, pruning the
+    /// whole shard from its roll-up when the statistics allow it:
+    ///
+    /// * any predicate excluded by the roll-up, or a time slice
+    ///   disjoint from the shard's coverage ⇒ **pruned** — neither the
+    ///   shard manifest nor any series file is opened;
+    /// * no predicates and the slice covers the whole shard ⇒
+    ///   **stats-only** — answered from the roll-up alone (built with
+    ///   the same fold association as a full scan, so the answer is
+    ///   bit-identical);
+    /// * otherwise every consumer is scanned and merged in consumer
+    ///   order, reusing `scratch` across decodes.
+    ///
+    /// The report counts this shard under `shards_*`; per-chunk
+    /// counters accumulate only when files actually open. Legacy
+    /// datasets have no shards — use [`Dataset::fleet_aggregates`].
+    pub fn shard_aggregates(
+        &self,
+        k: usize,
+        scan: &Scan,
+        scratch: &mut Vec<f64>,
+    ) -> Result<(Aggregates, ScanReport), DatasetError> {
+        let Layout::Sharded { root, .. } = &self.layout else {
+            return Err(DatasetError::Invalid {
+                file: self.dir.display().to_string(),
+                what: "internal: shard_aggregates on a single-manifest dataset".to_string(),
+            });
+        };
+        let Some(summary) = root.shards.get(k) else {
+            return Err(DatasetError::Invalid {
+                file: self.dir.display().to_string(),
+                what: format!(
+                    "internal: shard index {k} out of range for {} shard(s)",
+                    root.shards.len()
+                ),
+            });
+        };
+        let mut report = ScanReport {
+            shards_total: 1,
+            ..ScanReport::default()
+        };
+        let coverage = summary.coverage(root.resolution()?)?;
+        let disjoint = scan.slice().is_some_and(|s| !s.overlaps(coverage));
+        let excluded = scan.predicates().iter().any(|p| summary.excludes(p));
+        if disjoint || excluded {
+            report.shards_pruned = 1;
+            return Ok((Aggregates::default(), report));
+        }
+        let covers_all = scan.slice().is_none_or(|s| s.contains_range(coverage));
+        if scan.predicates().is_empty() && covers_all {
+            let agg = summary.aggregates();
+            report.shards_stats_only = 1;
+            report.intervals_selected = agg.intervals;
+            return Ok((agg, report));
+        }
+        let shard = self.shard(k)?;
+        let mut agg = Aggregates::default();
+        for rel in 0..summary.consumers {
+            let (a, r) = shard.consumer_aggregates_with(rel, scan, scratch)?;
+            agg.merge(&a);
+            report.absorb(&r);
+        }
+        Ok((agg, report))
+    }
+
+    /// Execute `scan` against every consumer in the store, in the
+    /// canonical fold order (chunk → consumer → shard → fleet), with
+    /// shard-level pruning for sharded stores. A legacy dataset counts
+    /// as one implicit shard that always opens.
+    pub fn fleet_aggregates(&self, scan: &Scan) -> Result<(Aggregates, ScanReport), DatasetError> {
+        let mut scratch = Vec::new();
+        match &self.layout {
+            Layout::Legacy(m) => {
+                let mut report = ScanReport {
+                    shards_total: 1,
+                    ..ScanReport::default()
+                };
+                let mut sub = Aggregates::default();
+                for idx in 0..m.consumers.len() {
+                    let (a, r) = self.consumer_aggregates_with(idx, scan, &mut scratch)?;
+                    sub.merge(&a);
+                    report.absorb(&r);
+                }
+                let mut agg = Aggregates::default();
+                agg.merge(&sub);
+                Ok((agg, report))
+            }
+            Layout::Sharded { root, .. } => {
+                let mut agg = Aggregates::default();
+                let mut report = ScanReport::default();
+                for k in 0..root.shards.len() {
+                    let (a, r) = self.shard_aggregates(k, scan, &mut scratch)?;
+                    agg.merge(&a);
+                    report.absorb(&r);
+                }
+                Ok((agg, report))
+            }
+        }
+    }
+
+    /// Consumer `idx`'s manifest entry plus the raw bytes of every file
+    /// it references — the compaction primitive (files are copied
+    /// byte-for-byte, never re-encoded).
+    pub(crate) fn consumer_raw(
+        &self,
+        idx: usize,
+    ) -> Result<(ConsumerEntry, Vec<RawFile>), DatasetError> {
+        let (ds, rel) = self.locate(idx)?;
+        let entry = ds.entry_local(rel)?.clone();
+        let mut files = Vec::new();
+        for file in [Some(&entry.measured), entry.truth_total.as_ref()]
+            .into_iter()
+            .flatten()
+            .chain(entry.truth_flex.as_ref())
+        {
+            files.push((file.clone(), read_file(&ds.dir.join(file))?));
+        }
+        Ok((entry, files))
     }
 
     /// Check a frame's header against the manifest's declared grid —
     /// a constant-time check that decodes nothing.
     fn validate_grid(&self, frame: &Frame, file: &str) -> Result<(), DatasetError> {
+        let manifest = self.legacy()?;
         let header = frame.header();
         let file = self.dir.join(file).display().to_string();
-        let start = self.manifest.start_timestamp()?;
-        let res = self.manifest.resolution()?;
+        let start = manifest.start_timestamp()?;
+        let res = manifest.resolution()?;
         if header.start != start {
             return Err(DatasetError::Invalid {
                 file,
                 what: format!(
                     "series starts at {} but the manifest declares {}",
-                    header.start, self.manifest.start
+                    header.start, manifest.start
                 ),
             });
         }
@@ -437,38 +854,35 @@ impl Dataset {
                 file,
                 what: format!(
                     "series resolution is {} but the manifest declares {} min",
-                    header.resolution, self.manifest.resolution_min
+                    header.resolution, manifest.resolution_min
                 ),
             });
         }
-        if header.len != self.manifest.intervals {
+        if header.len != manifest.intervals {
             return Err(DatasetError::Invalid {
                 file,
                 what: format!(
                     "series has {} intervals but the manifest declares {}",
-                    header.len, self.manifest.intervals
+                    header.len, manifest.intervals
                 ),
             });
         }
         Ok(())
     }
 
+    /// Local (shard-relative) consumer load; public callers route
+    /// through [`Dataset::locate`] first.
     fn load_consumer(
         &self,
         idx: usize,
         with_truth_total: bool,
         range: Option<TimeRange>,
     ) -> Result<DatasetRecord, DatasetError> {
-        let Some(entry) = self.manifest.consumers.get(idx) else {
-            return Err(DatasetError::OutOfRange {
-                index: idx,
-                len: self.manifest.consumers.len(),
-            });
-        };
+        let entry = self.entry_local(idx)?;
         let frame = self.load_frame(&entry.measured)?;
         self.validate_grid(&frame, &entry.measured)?;
         let measured = Self::materialize(frame, range)?;
-        let start = self.manifest.start_timestamp()?;
+        let start = self.legacy()?.start_timestamp()?;
         let truth_total = if with_truth_total {
             entry
                 .truth_total
@@ -633,6 +1047,26 @@ impl DatasetWriter {
         Ok(())
     }
 
+    /// Adopt an already-encoded consumer byte-for-byte: write its raw
+    /// series files and push its entry unchanged. The compaction
+    /// primitive — no re-encoding, no grid re-validation (the bytes
+    /// came from a validated store and are copied, not interpreted).
+    pub(crate) fn adopt_consumer_raw(
+        &mut self,
+        entry: &ConsumerEntry,
+        files: &[RawFile],
+    ) -> Result<(), DatasetError> {
+        for (name, raw) in files {
+            let path = self.dir.join(name);
+            std::fs::write(&path, raw).map_err(|e| DatasetError::Io {
+                path: path.display().to_string(),
+                what: e.to_string(),
+            })?;
+        }
+        self.manifest.consumers.push(entry.clone());
+        Ok(())
+    }
+
     /// Write `manifest.json` and finish. Returns the manifest.
     ///
     /// Also removes series files from previous writes into the same
@@ -675,6 +1109,23 @@ impl DatasetWriter {
                         what: format!("removing stale series file: {e}"),
                     })?;
                 }
+            }
+        }
+        // A single-manifest export over a previously sharded directory
+        // must remove the stale root index (layout sniffing prefers
+        // `root.json`) and the shard directories it referenced.
+        let stale_root = self.dir.join(crate::sharded::ROOT_FILE);
+        if stale_root.is_file() {
+            std::fs::remove_file(&stale_root).map_err(|e| DatasetError::Io {
+                path: stale_root.display().to_string(),
+                what: format!("removing stale root index: {e}"),
+            })?;
+            let stale_shards = self.dir.join(crate::sharded::SHARDS_DIR);
+            if stale_shards.is_dir() {
+                std::fs::remove_dir_all(&stale_shards).map_err(|e| DatasetError::Io {
+                    path: stale_shards.display().to_string(),
+                    what: format!("removing stale shard directories: {e}"),
+                })?;
             }
         }
         Ok(self.manifest)
@@ -771,8 +1222,17 @@ mod tests {
             assert_eq!(rec1.entry.kind, ConsumerKind::Industrial);
             assert!(matches!(
                 ds.consumer(2),
-                Err(DatasetError::OutOfRange { index: 2, len: 2 })
+                Err(DatasetError::OutOfRange {
+                    index: 2,
+                    len: 2,
+                    ..
+                })
             ));
+            // The out-of-range message names the dataset directory and
+            // the valid range.
+            let msg = ds.consumer(2).unwrap_err().to_string();
+            assert!(msg.contains("0..2"), "{msg}");
+            assert!(msg.contains(&dir.display().to_string()), "{msg}");
             std::fs::remove_dir_all(&dir).ok();
         }
     }
@@ -794,7 +1254,13 @@ mod tests {
         write_sample(&dir, SeriesCodec::Csv);
         std::fs::remove_file(dir.join("consumer_1.csv")).unwrap();
         let err = Dataset::open(&dir).unwrap_err();
-        assert!(err.to_string().contains("consumer_1.csv"), "{err}");
+        assert!(
+            matches!(err, DatasetError::MissingSeriesFile { .. }),
+            "{err:?}"
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("consumer_1.csv"), "{msg}");
+        assert!(msg.contains("`1`"), "{msg}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -1035,7 +1501,9 @@ mod tests {
         let raw = std::fs::read(dir.join("consumer_0.fxm")).unwrap();
         assert_eq!(codec::sniff(&raw), Some(codec::FxmVersion::V1));
         let ds = Dataset::open(&dir).unwrap();
-        assert_eq!(ds.manifest().codec, SeriesCodec::BinaryV1);
+        assert_eq!(ds.manifest().unwrap().codec, SeriesCodec::BinaryV1);
+        assert_eq!(ds.codec(), SeriesCodec::BinaryV1);
+        assert!(!ds.is_sharded());
         let rec = ds.consumer(0).unwrap();
         assert_eq!(rec.measured.gap_count(), 1);
         // Frames over v1 files carry no stats: scans degrade to full

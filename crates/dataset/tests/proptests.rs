@@ -9,7 +9,9 @@
 //! 3. **Degradation determinism** — equal seeds produce byte-identical
 //!    measured series.
 
-use flextract_dataset::{codec, Degradation, MeasuredSeries};
+use flextract_dataset::{
+    codec, ConsumerKind, Dataset, Degradation, MeasuredSeries, SeriesCodec, ShardedWriter,
+};
 use flextract_series::{missing, FillStrategy, TimeSeries};
 use flextract_time::{Resolution, Timestamp};
 use proptest::prelude::*;
@@ -136,5 +138,106 @@ proptest! {
         let a = d.apply(&series, &mut StdRng::seed_from_u64(seed)).unwrap();
         let b = d.apply(&series, &mut StdRng::seed_from_u64(seed)).unwrap();
         prop_assert_eq!(codec::encode(&a), codec::encode(&b));
+    }
+
+    /// **Compaction round-trip** — for any fleet, shard capacity and
+    /// append-batch split, `compact(append*(export(fleet)))` yields a
+    /// store whose shard grouping, roll-ups (modulo shard id — ids are
+    /// generation counters) and every consumer's series bytes are
+    /// bit-identical to exporting the whole fleet in one session.
+    #[test]
+    fn compaction_round_trips_to_a_fresh_export(
+        fleet in proptest::collection::vec(arb_metered(40).prop_map(|mut v| { v.truncate(24); v }), 1..9),
+        capacity in 1_usize..5,
+        split in 1_usize..8,
+    ) {
+        let intervals = 24;
+        let fleet: Vec<Vec<f64>> = fleet
+            .into_iter()
+            .map(|mut v| {
+                v.resize(intervals, 0.5);
+                v
+            })
+            .collect();
+        let series = |values: &[f64]| {
+            MeasuredSeries::new(start(), Resolution::MIN_15, values.to_vec()).unwrap()
+        };
+        let scratch = |tag: &str| {
+            let dir = std::env::temp_dir().join(format!(
+                "flextract_prop_compact_{tag}_{}_{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            dir
+        };
+        let writer = |dir: &std::path::Path| {
+            ShardedWriter::create(
+                dir,
+                "prop",
+                "compaction proptest",
+                start(),
+                Resolution::MIN_15,
+                intervals,
+                SeriesCodec::Binary,
+                capacity,
+            )
+            .unwrap()
+        };
+
+        // One-session fresh export of the whole fleet.
+        let fresh_dir = scratch("fresh");
+        let mut w = writer(&fresh_dir);
+        for (i, values) in fleet.iter().enumerate() {
+            w.write_consumer(&i.to_string(), ConsumerKind::Household, &series(values), None, None)
+                .unwrap();
+        }
+        let fresh_root = w.finish().unwrap();
+
+        // The same fleet through export + append sessions in batches of
+        // `split`, then compaction.
+        let frag_dir = scratch("frag");
+        let mut batches = fleet.chunks(split).enumerate();
+        let (_, first) = batches.next().unwrap();
+        let mut w = writer(&frag_dir);
+        let mut next = 0_usize;
+        for values in first {
+            w.write_consumer(&next.to_string(), ConsumerKind::Household, &series(values), None, None)
+                .unwrap();
+            next += 1;
+        }
+        w.finish().unwrap();
+        for (_, batch) in batches {
+            let mut w = ShardedWriter::append(&frag_dir).unwrap();
+            for values in batch {
+                w.write_consumer(&next.to_string(), ConsumerKind::Household, &series(values), None, None)
+                    .unwrap();
+                next += 1;
+            }
+            w.finish().unwrap();
+        }
+        let summary = flextract_dataset::compact(&frag_dir).unwrap();
+
+        // Same shard grouping and bit-identical roll-ups, id aside.
+        prop_assert_eq!(summary.root.shards.len(), fresh_root.shards.len());
+        for (a, b) in summary.root.shards.iter().zip(&fresh_root.shards) {
+            let mut a = a.clone();
+            a.id = b.id;
+            prop_assert_eq!(&a, b);
+        }
+        // Every consumer's stored series reads back bit-identical.
+        let fresh = Dataset::open(&fresh_dir).unwrap();
+        let compacted = Dataset::open(&frag_dir).unwrap();
+        prop_assert_eq!(fresh.len(), compacted.len());
+        for i in 0..fresh.len() {
+            let a = fresh.consumer(i).unwrap();
+            let b = compacted.consumer(i).unwrap();
+            prop_assert_eq!(&a.entry.id, &b.entry.id);
+            for (x, y) in a.measured.values().iter().zip(b.measured.values()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        std::fs::remove_dir_all(&fresh_dir).ok();
+        std::fs::remove_dir_all(&frag_dir).ok();
     }
 }

@@ -68,6 +68,14 @@ impl Predicate {
 }
 
 /// What a scan execution actually touched — the pushdown audit trail.
+///
+/// Single-frame executions fill only the `chunks_*`/`intervals_selected`
+/// counters. Dataset-level scans over a sharded store add one more
+/// pruning tier with the `shards_*` counters: a shard whose roll-up
+/// statistics prove no consumer can match is *pruned* (its manifest and
+/// files are never opened), and a shard fully answerable from its
+/// roll-up alone is *stats-only* — the same stats-only-exclude contract
+/// as chunk pushdown, one level up.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ScanReport {
     /// Chunks in the frame.
@@ -84,6 +92,15 @@ pub struct ScanReport {
     pub chunks_decoded: usize,
     /// Intervals that contributed to the result.
     pub intervals_selected: usize,
+    /// Shards in the store (0 for single-frame scans; 1 for a legacy
+    /// single-manifest dataset).
+    pub shards_total: usize,
+    /// Shards excluded by their roll-up statistics or time coverage —
+    /// neither their manifest nor any series file was opened.
+    pub shards_pruned: usize,
+    /// Shards answered entirely from their roll-up summary (manifest
+    /// and series files never opened).
+    pub shards_stats_only: usize,
 }
 
 impl ScanReport {
@@ -96,6 +113,27 @@ impl ScanReport {
         } else {
             1.0 - self.chunks_decoded as f64 / self.chunks_total as f64
         }
+    }
+
+    /// Shards whose manifest (and therefore files) had to be opened.
+    pub fn shards_opened(&self) -> usize {
+        self.shards_total
+            .saturating_sub(self.shards_pruned + self.shards_stats_only)
+    }
+
+    /// Fold another execution's counters into this report — the audit
+    /// aggregation for multi-consumer and multi-shard scans. Plain
+    /// counter addition, so folding order cannot matter.
+    pub fn absorb(&mut self, other: &ScanReport) {
+        self.chunks_total += other.chunks_total;
+        self.chunks_skipped_slice += other.chunks_skipped_slice;
+        self.chunks_skipped_stats += other.chunks_skipped_stats;
+        self.chunks_stats_only += other.chunks_stats_only;
+        self.chunks_decoded += other.chunks_decoded;
+        self.intervals_selected += other.intervals_selected;
+        self.shards_total += other.shards_total;
+        self.shards_pruned += other.shards_pruned;
+        self.shards_stats_only += other.shards_stats_only;
     }
 }
 
@@ -135,7 +173,36 @@ impl Aggregates {
         (self.observed > 0).then(|| self.sum_kwh / self.observed as f64)
     }
 
-    fn absorb(&mut self, stats: &ChunkStats, len: usize) {
+    /// Fold another aggregate into this one, in caller-chosen order —
+    /// the canonical multi-series fold. The hierarchy is fixed: chunk
+    /// stats fold into a per-series aggregate (in chunk order) via
+    /// [`Aggregates::absorb`], per-series aggregates merge into a
+    /// per-shard subtotal (in consumer order), and subtotals merge into
+    /// the fleet total (in shard order). Keeping every path on that one
+    /// association is what makes a statistics-only answer bit-identical
+    /// to a full decode.
+    pub fn merge(&mut self, other: &Aggregates) {
+        self.intervals += other.intervals;
+        self.observed += other.observed;
+        self.gaps += other.gaps;
+        self.sum_kwh += other.sum_kwh;
+        if let Some(m) = other.min {
+            if self.min.is_none_or(|cur| m < cur) {
+                self.min = Some(m);
+            }
+        }
+        if let Some(m) = other.max {
+            if self.max.is_none_or(|cur| m > cur) {
+                self.max = Some(m);
+            }
+        }
+    }
+
+    /// Fold one chunk's statistics into the aggregate — the exact
+    /// per-chunk step every scan execution uses, public so store-level
+    /// roll-ups (per-shard summaries) are built with the same
+    /// association as the scans that later verify them.
+    pub fn absorb(&mut self, stats: &ChunkStats, len: usize) {
         self.intervals += len;
         self.gaps += stats.gaps as usize;
         self.observed += len - stats.gaps as usize;
@@ -213,13 +280,23 @@ impl Scan {
 
     /// Compute all aggregates over the selected intervals in one pass.
     pub fn aggregates(&self, frame: &Frame) -> Result<(Aggregates, ScanReport), FrameError> {
+        self.aggregates_with(frame, &mut Vec::new())
+    }
+
+    /// [`Scan::aggregates`] with a caller-supplied decode buffer, so a
+    /// multi-consumer scan reuses one allocation across every frame it
+    /// visits instead of growing a fresh `Vec` per consumer.
+    pub fn aggregates_with(
+        &self,
+        frame: &Frame,
+        scratch: &mut Vec<f64>,
+    ) -> Result<(Aggregates, ScanReport), FrameError> {
         let (lo, hi) = self.bounds(frame);
         let mut report = ScanReport {
             chunks_total: frame.chunks().len(),
             ..ScanReport::default()
         };
         let mut agg = Aggregates::default();
-        let mut scratch = Vec::new();
         for (ci, meta) in frame.chunks().iter().enumerate() {
             let Some((a, b)) = chunk_overlap(meta, lo, hi) else {
                 report.chunks_skipped_slice += 1;
@@ -236,7 +313,7 @@ impl Scan {
                     continue;
                 }
             }
-            let values = frame.chunk_values(ci, &mut scratch)?;
+            let values = frame.chunk_values(ci, scratch)?;
             report.chunks_decoded += 1;
             let sliced = slice_chunk(values, a, b, frame)?;
             if !self.predicates.iter().all(|p| p.matches(sliced)) {
@@ -260,6 +337,16 @@ impl Scan {
         &self,
         frame: &Frame,
     ) -> Result<(Option<(Timestamp, f64)>, ScanReport), FrameError> {
+        self.peak_with(frame, &mut Vec::new())
+    }
+
+    /// [`Scan::peak`] with a caller-supplied decode buffer (see
+    /// [`Scan::aggregates_with`]).
+    pub fn peak_with(
+        &self,
+        frame: &Frame,
+        scratch: &mut Vec<f64>,
+    ) -> Result<(Option<(Timestamp, f64)>, ScanReport), FrameError> {
         let (lo, hi) = self.bounds(frame);
         let h = *frame.header();
         let mut report = ScanReport {
@@ -267,7 +354,6 @@ impl Scan {
             ..ScanReport::default()
         };
         let mut best: Option<(usize, f64)> = None;
-        let mut scratch = Vec::new();
         for (ci, meta) in frame.chunks().iter().enumerate() {
             let Some((a, b)) = chunk_overlap(meta, lo, hi) else {
                 report.chunks_skipped_slice += 1;
@@ -288,7 +374,7 @@ impl Scan {
                         continue;
                     }
                     let max = stats.max;
-                    let values = frame.chunk_values(ci, &mut scratch)?;
+                    let values = frame.chunk_values(ci, scratch)?;
                     report.chunks_decoded += 1;
                     report.intervals_selected += meta.len;
                     // Statistics are sanity-checked at open but never
@@ -307,7 +393,7 @@ impl Scan {
                     continue;
                 }
             }
-            let values = frame.chunk_values(ci, &mut scratch)?;
+            let values = frame.chunk_values(ci, scratch)?;
             report.chunks_decoded += 1;
             let sliced = slice_chunk(values, a, b, frame)?;
             if !self.predicates.iter().all(|p| p.matches(sliced)) {
@@ -367,6 +453,16 @@ impl Scan {
     /// are decoded. Errors if the scan carries predicates (a filtered
     /// selection is not contiguous).
     pub fn materialize(&self, frame: &Frame) -> Result<(MeasuredSeries, ScanReport), FrameError> {
+        self.materialize_with(frame, &mut Vec::new())
+    }
+
+    /// [`Scan::materialize`] with a caller-supplied decode buffer (see
+    /// [`Scan::aggregates_with`]).
+    pub fn materialize_with(
+        &self,
+        frame: &Frame,
+        scratch: &mut Vec<f64>,
+    ) -> Result<(MeasuredSeries, ScanReport), FrameError> {
         if !self.predicates.is_empty() {
             return Err(FrameError::Scan {
                 what: "materialize cannot combine with predicates (a filtered selection \
@@ -381,13 +477,12 @@ impl Scan {
             ..ScanReport::default()
         };
         let mut out = Vec::with_capacity(hi - lo);
-        let mut scratch = Vec::new();
         for (ci, meta) in frame.chunks().iter().enumerate() {
             let Some((a, b)) = chunk_overlap(meta, lo, hi) else {
                 report.chunks_skipped_slice += 1;
                 continue;
             };
-            let values = frame.chunk_values(ci, &mut scratch)?;
+            let values = frame.chunk_values(ci, scratch)?;
             report.chunks_decoded += 1;
             out.extend_from_slice(slice_chunk(values, a, b, frame)?);
         }
@@ -405,7 +500,18 @@ impl Scan {
         frame: &Frame,
         target: Resolution,
     ) -> Result<(MeasuredSeries, ScanReport), FrameError> {
-        let (fine, report) = self.materialize(frame)?;
+        self.materialize_resampled_with(frame, target, &mut Vec::new())
+    }
+
+    /// [`Scan::materialize_resampled`] with a caller-supplied decode
+    /// buffer (see [`Scan::aggregates_with`]).
+    pub fn materialize_resampled_with(
+        &self,
+        frame: &Frame,
+        target: Resolution,
+        scratch: &mut Vec<f64>,
+    ) -> Result<(MeasuredSeries, ScanReport), FrameError> {
+        let (fine, report) = self.materialize_with(frame, scratch)?;
         let res = fine.resolution();
         let k = target.ratio_to(res).ok_or_else(|| FrameError::Scan {
             what: format!("cannot resample {res} to {target} (must be a coarser multiple)"),
@@ -696,6 +802,48 @@ mod tests {
             .materialize_resampled(&frame, Resolution::MIN_5)
             .unwrap_err();
         assert!(err.to_string().contains("coarser"), "{err}");
+    }
+
+    #[test]
+    fn scratch_reuse_and_report_absorb_match_the_allocating_paths() {
+        let m = sample();
+        let frame = v2_frame(&m);
+        let mut scratch = Vec::new();
+        let scan = Scan::new().with_predicate(Predicate::MaxAbove(1.0));
+        let (a0, r0) = scan.aggregates(&frame).unwrap();
+        let (a1, r1) = scan.aggregates_with(&frame, &mut scratch).unwrap();
+        assert_eq!(a0, a1);
+        assert_eq!(r0, r1);
+        let (p0, _) = Scan::new().peak(&frame).unwrap();
+        let (p1, _) = Scan::new().peak_with(&frame, &mut scratch).unwrap();
+        assert_eq!(p0, p1);
+        let slice = TimeRange::new(ts("2013-03-18 12:15"), ts("2013-03-19 00:00")).unwrap();
+        let (s0, _) = Scan::new().time_slice(slice).materialize(&frame).unwrap();
+        let (s1, _) = Scan::new()
+            .time_slice(slice)
+            .materialize_with(&frame, &mut scratch)
+            .unwrap();
+        assert_eq!(s0.start(), s1.start());
+        let bits = |s: &MeasuredSeries| s.values().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&s0), bits(&s1));
+        // Report absorption is plain counter addition; the shard-tier
+        // counters stay zero for single-frame scans and fold in from
+        // dataset-level audits.
+        let mut total = ScanReport::default();
+        total.absorb(&r0);
+        total.absorb(&r1);
+        assert_eq!(total.chunks_total, r0.chunks_total * 2);
+        assert_eq!(total.chunks_decoded, r0.chunks_decoded * 2);
+        assert_eq!(total.shards_total, 0);
+        let shardy = ScanReport {
+            shards_total: 4,
+            shards_pruned: 2,
+            shards_stats_only: 1,
+            ..ScanReport::default()
+        };
+        total.absorb(&shardy);
+        assert_eq!(total.shards_total, 4);
+        assert_eq!(total.shards_opened(), 1);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use crate::source::SimulatedSource;
 use crate::spec::{ExtractorChoice, Scenario, Workload};
 use crate::{ScenarioError, CONSUMER_SEED_STRIDE};
 use flextract_appliance::Catalog;
-use flextract_dataset::{DatasetWriter, Degradation, SeriesCodec};
+use flextract_dataset::{DatasetWriter, Degradation, SeriesCodec, ShardedWriter};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::{Path, PathBuf};
@@ -42,6 +42,11 @@ pub struct ExportOptions {
     /// ones (default: true; turn off to produce a dataset shaped like
     /// real metered data, which has no ground truth).
     pub include_truth: bool,
+    /// Export to the sharded layout with this many consumers per shard
+    /// (default: `None` — the legacy single-manifest layout). Large
+    /// fleets should shard: readers then open `O(shards)` metadata and
+    /// prune whole shards from the per-shard statistics roll-ups.
+    pub shard_capacity: Option<usize>,
 }
 
 impl Default for ExportOptions {
@@ -51,6 +56,50 @@ impl Default for ExportOptions {
             codec: SeriesCodec::Binary,
             seed: None,
             include_truth: true,
+            shard_capacity: None,
+        }
+    }
+}
+
+/// The layout-dispatched export sink: one legacy manifest, or the
+/// sharded store. Both stream consumer by consumer and stay
+/// memory-light.
+#[derive(Debug)]
+// Both variants boxed: the writers carry manifest and per-shard
+// roll-up state, and the enum lives on the export stack frame.
+enum ExportWriter {
+    Flat(Box<DatasetWriter>),
+    Sharded(Box<ShardedWriter>),
+}
+
+impl ExportWriter {
+    fn set_provenance(&mut self, scenario: &str, degradation: Degradation, seed: u64) {
+        match self {
+            ExportWriter::Flat(w) => w.set_provenance(scenario, degradation, seed),
+            ExportWriter::Sharded(w) => w.set_provenance(scenario, degradation, seed),
+        }
+    }
+
+    fn write_consumer(
+        &mut self,
+        id: &str,
+        kind: flextract_dataset::ConsumerKind,
+        measured: &flextract_dataset::MeasuredSeries,
+        truth_total: Option<&flextract_series::TimeSeries>,
+        truth_flex: Option<&flextract_series::TimeSeries>,
+    ) -> Result<(), flextract_dataset::DatasetError> {
+        match self {
+            ExportWriter::Flat(w) => w.write_consumer(id, kind, measured, truth_total, truth_flex),
+            ExportWriter::Sharded(w) => {
+                w.write_consumer(id, kind, measured, truth_total, truth_flex)
+            }
+        }
+    }
+
+    fn finish(self) -> Result<(), flextract_dataset::DatasetError> {
+        match self {
+            ExportWriter::Flat(w) => w.finish().map(|_| ()),
+            ExportWriter::Sharded(w) => w.finish().map(|_| ()),
         }
     }
 }
@@ -111,7 +160,7 @@ pub fn export_dataset(
     let source = SimulatedSource::new(scenario, horizon, res, &catalog);
     let seed = options.seed.unwrap_or(scenario.seed);
 
-    let mut writer: Option<DatasetWriter> = None;
+    let mut writer: Option<ExportWriter> = None;
     let mut gap_count = 0;
     let mut intervals = 0;
     let mut resolution_min = 0;
@@ -126,15 +175,27 @@ pub fn export_dataset(
             None => {
                 intervals = measured.len();
                 resolution_min = measured.resolution().minutes();
-                let mut w = DatasetWriter::create(
-                    dir,
-                    &scenario.name,
-                    &scenario.description,
-                    measured.start(),
-                    measured.resolution(),
-                    measured.len(),
-                    options.codec,
-                )?;
+                let mut w = match options.shard_capacity {
+                    None => ExportWriter::Flat(Box::new(DatasetWriter::create(
+                        dir,
+                        &scenario.name,
+                        &scenario.description,
+                        measured.start(),
+                        measured.resolution(),
+                        measured.len(),
+                        options.codec,
+                    )?)),
+                    Some(capacity) => ExportWriter::Sharded(Box::new(ShardedWriter::create(
+                        dir,
+                        &scenario.name,
+                        &scenario.description,
+                        measured.start(),
+                        measured.resolution(),
+                        measured.len(),
+                        options.codec,
+                        capacity,
+                    )?)),
+                };
                 w.set_provenance(&scenario.name, options.degradation.clone(), seed);
                 writer.insert(w)
             }

@@ -18,10 +18,17 @@
 //! the claimant of the lowest outstanding index always satisfies
 //! `index < frontier + window` (the window is at least 1), so the item
 //! the merger is waiting for is always allowed to complete.
+//!
+//! The effective worker count is additionally clamped to the host's
+//! [`std::thread::available_parallelism`]: oversubscribing a smaller
+//! machine is strictly slower (the recorded `BENCH_pipeline.json`
+//! baseline showed `consumer_threads: 8` regressing 20–25 % against
+//! serial on a 1-core host), and because merge order is pinned by index
+//! the clamp cannot change a single report byte — only the wall clock.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Condvar, Mutex, MutexGuard, Once};
 
 /// Shared reorder state: completed items awaiting their turn, and the
 /// merge frontier (`next index the consumer will take`).
@@ -77,13 +84,37 @@ impl<T, E> Drop for CancelOnDrop<'_, T, E> {
     }
 }
 
-/// Run `produce` over `0..n` on `threads` scoped workers, feeding the
-/// results to `consume` in strict index order on the calling thread.
+/// The host's CPU core count, used as the hard ceiling on worker
+/// threads; unavailable counts (exotic platforms) leave the request
+/// unclamped rather than guessing.
+fn hardware_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(usize::MAX, |c| c.get())
+}
+
+/// The worker count [`ordered_parallel_map`] will actually use for
+/// `requested` threads over `n` items: `min(requested,
+/// available_parallelism)`, further bounded by the item count and never
+/// zero. Exposed so callers (and the regression test pinning the
+/// oversubscription fix) can predict the pool size.
+pub fn effective_workers(requested: usize, n: usize) -> usize {
+    requested.min(hardware_parallelism()).clamp(1, n.max(1))
+}
+
+/// Run `produce` over `0..n` on scoped workers, feeding the results to
+/// `consume` in strict index order on the calling thread.
+///
+/// The pool size is [`effective_workers`]`(threads, n)`: requests beyond
+/// the host's CPU core count clamp to the core count with a one-time
+/// stderr note (the same loud-clamp policy as the CLI's corpus-size
+/// clamp), because oversubscription is pure overhead — the workers are
+/// CPU-bound and merge order is already pinned by index, so extra
+/// threads cannot help and measurably hurt on small hosts.
 ///
 /// The first `Err` — from `produce` (in index order) or from `consume`
-/// — cancels the remaining work and is returned. With `threads <= 1`
-/// (or `n <= 1`) no worker threads are spawned at all and the loop runs
-/// inline, so the serial path is trivially identical.
+/// — cancels the remaining work and is returned. With an effective
+/// count of 1 (serial request, single item, or a 1-core host) no worker
+/// threads are spawned at all and the loop runs inline, so the serial
+/// path is trivially identical.
 ///
 /// # Panics
 ///
@@ -102,7 +133,22 @@ where
     P: Fn(usize) -> Result<T, E> + Sync,
     C: FnMut(usize, T) -> Result<(), E>,
 {
-    let threads = threads.clamp(1, n.max(1));
+    let requested = threads;
+    let threads = effective_workers(requested, n);
+    let cores = hardware_parallelism();
+    if cores < requested && cores <= n.max(1) {
+        // Note the clamp once per process, not once per scenario: a
+        // 24-scenario corpus run should explain the slowdown-avoidance
+        // once, not spam stderr. Serial defaults (requested == 1) can
+        // never reach this branch, so quiet runs stay quiet.
+        static OVERSUBSCRIBED: Once = Once::new();
+        OVERSUBSCRIBED.call_once(|| {
+            eprintln!(
+                "warning: {requested} worker thread(s) requested but the host has \
+                 {cores} CPU core(s); clamping to {cores}"
+            );
+        });
+    }
     if threads == 1 {
         for i in 0..n {
             consume(i, produce(i)?)?;
@@ -334,6 +380,62 @@ mod tests {
             }
             Ok(())
         });
+    }
+
+    #[test]
+    fn effective_workers_clamps_to_host_cores_items_and_one() {
+        let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+        // The hardware ceiling: a request far beyond the host's core
+        // count never produces more workers than cores.
+        assert_eq!(effective_workers(cores + 64, 1000), cores.min(1000));
+        // The item-count ceiling and the floor of one survive unchanged.
+        assert_eq!(effective_workers(8, 1), 1);
+        assert_eq!(effective_workers(0, 10), 1);
+        assert_eq!(effective_workers(1, 0), 1);
+        assert!(effective_workers(usize::MAX, usize::MAX) <= cores);
+    }
+
+    #[test]
+    fn hardware_clamp_applies_while_reports_stay_byte_identical() {
+        // The oversubscription bugfix: requesting far more threads than
+        // the host has cores must (a) actually shrink the pool and (b)
+        // leave the merged result bit-for-bit what the serial loop
+        // produces — the clamp is a pure wall-clock optimisation.
+        let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+        let n = 64;
+        let worker_ids = Mutex::new(std::collections::HashSet::new());
+        let mut folded = 0.0f64;
+        ordered_parallel_map(
+            n,
+            cores + 13,
+            |i| {
+                lock_ids(&worker_ids).insert(std::thread::current().id());
+                Ok::<f64, ()>((i as f64) * 0.1 + 1.0 / (i as f64 + 1.0))
+            },
+            |_, v| {
+                folded += v;
+                Ok(())
+            },
+        )
+        .unwrap();
+        let mut serial = 0.0f64;
+        for i in 0..n {
+            serial += (i as f64) * 0.1 + 1.0 / (i as f64 + 1.0);
+        }
+        assert_eq!(folded.to_bits(), serial.to_bits());
+        let distinct = lock_ids(&worker_ids).len();
+        assert!(
+            distinct <= effective_workers(cores + 13, n),
+            "spawned {distinct} distinct workers, clamp allows {}",
+            effective_workers(cores + 13, n)
+        );
+        assert!(distinct <= cores, "pool exceeded the host core count");
+    }
+
+    fn lock_ids(
+        ids: &Mutex<std::collections::HashSet<std::thread::ThreadId>>,
+    ) -> MutexGuard<'_, std::collections::HashSet<std::thread::ThreadId>> {
+        ids.lock().unwrap_or_else(|p| p.into_inner())
     }
 
     #[test]

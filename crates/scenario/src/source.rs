@@ -359,7 +359,6 @@ impl<'a> DatasetSource<'a> {
         disaggregate: bool,
     ) -> Result<Self, ScenarioError> {
         let dataset = Dataset::open(path)?;
-        let manifest = dataset.manifest();
         let invalid = |what: String| ScenarioError::Invalid {
             scenario: scenario.name.clone(),
             what: format!("dataset {path}: {what}"),
@@ -370,10 +369,11 @@ impl<'a> DatasetSource<'a> {
                 dataset.len()
             )));
         }
-        let start = manifest.start_timestamp()?;
+        let resolution_min = dataset.resolution_min();
+        let start = dataset.start_timestamp()?;
         let covered = TimeRange::starting_at(
             start,
-            Duration::minutes(manifest.intervals as i64 * manifest.resolution_min),
+            Duration::minutes(dataset.intervals() as i64 * resolution_min),
         )
         .expect("interval counts are non-negative");
         // The dataset must *cover* the horizon (it may cover more —
@@ -383,30 +383,32 @@ impl<'a> DatasetSource<'a> {
                 "dataset covers {covered} but the scenario horizon {horizon} is not inside it"
             )));
         }
-        if (horizon.start() - start).as_minutes() % manifest.resolution_min != 0 {
+        if (horizon.start() - start).as_minutes() % resolution_min != 0 {
             return Err(invalid(format!(
                 "scenario start {} is not aligned to the dataset's {}-min grid (dataset \
                  starts at {start})",
                 horizon.start(),
-                manifest.resolution_min
+                resolution_min
             )));
         }
-        if res.minutes() % manifest.resolution_min != 0 {
+        if res.minutes() % resolution_min != 0 {
             return Err(invalid(format!(
                 "dataset resolution is {} min, which cannot be resampled to the scenario's \
                  {}-min market resolution (must divide it evenly)",
-                manifest.resolution_min,
+                resolution_min,
                 res.minutes()
             )));
         }
-        let _ = manifest.resolution()?; // validated representable
-                                        // Fidelity is only reported when *every* consumer carries
-                                        // ground truth; with partial coverage, skip the paired
-                                        // extraction leg entirely instead of paying for truth loads
-                                        // and duplicate extractions that would be discarded.
-        let fidelity = manifest.consumers.iter().all(|c| c.truth_total.is_some());
+        let _ = dataset.resolution()?; // validated representable
+                                       // Fidelity is only reported when *every* consumer carries
+                                       // ground truth; with partial coverage, skip the paired
+                                       // extraction leg entirely instead of paying for truth loads
+                                       // and duplicate extractions that would be discarded. A
+                                       // sharded store answers from the root roll-up without
+                                       // opening any shard.
+        let fidelity = dataset.all_have_truth();
         Ok(DatasetSource {
-            source_resolution_min: manifest.resolution_min,
+            source_resolution_min: resolution_min,
             dataset,
             horizon,
             cleaning: CleaningConfig {

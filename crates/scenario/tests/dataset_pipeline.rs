@@ -204,7 +204,7 @@ fn scenarios_read_only_their_horizon_from_larger_datasets() {
     // The ranged store read behind it decodes only the first day's
     // chunks (FXM2 is the default export codec).
     let ds = Dataset::open(&dir).unwrap();
-    assert_eq!(ds.manifest().codec, SeriesCodec::Binary);
+    assert_eq!(ds.codec(), SeriesCodec::Binary);
     let day1 = TimeRange::starting_at("2013-03-18".parse().unwrap(), Duration::days(1)).unwrap();
     let (slice, report) = ds.consumer_slice(0, day1).unwrap();
     assert_eq!(slice.len(), 96);

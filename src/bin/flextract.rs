@@ -16,7 +16,7 @@ use flextract::core::{
     RandomExtractor,
 };
 use flextract::dataset::{
-    Aggregates, CleaningConfig, Dataset, Degradation, Predicate, Scan, SeriesCodec,
+    Aggregates, CleaningConfig, Dataset, Degradation, Predicate, Scan, ScanReport, SeriesCodec,
 };
 use flextract::eval::experiments::{
     aggregation_study, approach_comparison, granularity, share_sweep, tariff_study,
@@ -24,6 +24,7 @@ use flextract::eval::experiments::{
 };
 use flextract::eval::fig5_day;
 use flextract::flexoffer::FlexOffer;
+use flextract::scenario::shard::ordered_parallel_map;
 use flextract::scenario::{load_dir, load_file, ExportOptions, Scenario, ScenarioRunner};
 use flextract::series::{codec, missing::FillStrategy, TimeSeries};
 use flextract::sim::{simulate_fleet, FleetConfig};
@@ -47,27 +48,32 @@ USAGE:
   flextract scenario run (--all | --name NAME) [--dir DIR] [--threads N]
                        [--consumer-threads N] [--json]
   flextract dataset export  --scenario FILE --out DIR [--codec fxm2|fxm1|csv]
-                       [--resolution-min N] [--noise F] [--gap-rate F]
-                       [--mean-gap-len F] [--anomaly-rate F]
+                       [--shard-capacity N] [--resolution-min N] [--noise F]
+                       [--gap-rate F] [--mean-gap-len F] [--anomaly-rate F]
                        [--anomaly-factor F] [--anomaly-len N]
                        [--seed S] [--no-truth]
-  flextract dataset inspect --dataset DIR
+  flextract dataset inspect --dataset DIR [--consumer N]
+  flextract dataset compact --dataset DIR
   flextract dataset ingest  --dataset DIR [--fill linear|previous|seasonal|zero]
                        [--screen-anomalies] [--consumer N]
   flextract query      --dataset DIR [--consumer N] [--from TS] [--to TS]
                        [--agg stats|sum|mean|peak|gaps]
                        [--where gaps|min-below:F|max-above:F]
-                       [--resolution-min N] [--json]
+                       [--resolution-min N] [--threads N] [--json]
   flextract query      --offers FILE.json [--from TS] [--to TS] [--json]
   flextract analyze    [--root DIR] [--config FILE] [--json]
   flextract help
 
 The scenario corpus lives in scenarios/ (one JSON spec per scenario);
 datasets are directories with a manifest.json plus one series file per
-consumer. `query` runs time-sliced aggregate queries over a dataset
-directory (FXM2 files answer from chunk statistics, skipping
-non-matching chunks) or over an exported flex-offer set. See the
-README for the spec and dataset formats and the golden-file workflow.
+consumer, or — with `--shard-capacity` — a sharded store (root.json over
+shards/NNNN/ sub-datasets carrying statistics roll-ups). `query` runs
+time-sliced aggregate queries over a dataset directory (FXM2 files
+answer from chunk statistics, skipping non-matching chunks; sharded
+stores additionally prune whole shards from their roll-ups) or over an
+exported flex-offer set. `dataset compact` rewrites an append-fragmented
+sharded store into canonical capacity-aligned shards. See the README
+for the spec and dataset formats and the golden-file workflow.
 ";
 
 /// Minimal flag parser: `--key value` pairs after the positionals.
@@ -156,7 +162,7 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "dataset" => {
             let Some(action) = args.get(1) else {
-                return Err("dataset needs an action (export|inspect|ingest)".into());
+                return Err("dataset needs an action (export|inspect|compact|ingest)".into());
             };
             cmd_dataset(
                 action,
@@ -462,9 +468,10 @@ fn cmd_dataset(action: &str, flags: &Flags) -> Result<(), String> {
     match action {
         "export" => cmd_dataset_export(flags),
         "inspect" => cmd_dataset_inspect(flags),
+        "compact" => cmd_dataset_compact(flags),
         "ingest" => cmd_dataset_ingest(flags),
         other => Err(format!(
-            "unknown dataset action '{other}' (export|inspect|ingest)"
+            "unknown dataset action '{other}' (export|inspect|compact|ingest)"
         )),
     }
 }
@@ -504,16 +511,33 @@ fn cmd_dataset_export(flags: &Flags) -> Result<(), String> {
                 .map_err(|_| format!("invalid value '{raw}' for --seed"))
         })
         .transpose()?;
+    let shard_capacity = flags
+        .get("shard-capacity")
+        .map(|raw| {
+            let n: usize = raw
+                .parse()
+                .map_err(|_| format!("invalid value '{raw}' for --shard-capacity"))?;
+            if n == 0 {
+                return Err("--shard-capacity must be at least 1".to_string());
+            }
+            Ok(n)
+        })
+        .transpose()?;
     let options = ExportOptions {
         degradation,
         codec,
         seed,
         include_truth: flags.get("no-truth").is_none(),
+        shard_capacity,
     };
     let summary = flextract::scenario::export_dataset(&scenario, Path::new(out), &options)
         .map_err(|e| e.to_string())?;
+    let layout = match shard_capacity {
+        None => String::new(),
+        Some(c) => format!(", sharded at {c} consumers/shard"),
+    };
     println!(
-        "exported `{}`: {} consumers × {} intervals @ {} min → {} ({} gaps injected)",
+        "exported `{}`: {} consumers × {} intervals @ {} min → {} ({} gaps injected{layout})",
         scenario.name,
         summary.consumers,
         summary.intervals,
@@ -524,26 +548,37 @@ fn cmd_dataset_export(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_dataset_compact(flags: &Flags) -> Result<(), String> {
+    let dir = flags
+        .get("dataset")
+        .ok_or("dataset compact needs --dataset DIR")?;
+    let summary = flextract::dataset::compact(Path::new(dir)).map_err(|e| e.to_string())?;
+    println!(
+        "compacted {dir}: {} consumer(s), {} shard(s) → {} shard(s) at {} consumers/shard",
+        summary.consumers, summary.shards_before, summary.shards_after, summary.root.shard_capacity
+    );
+    Ok(())
+}
+
 fn cmd_dataset_inspect(flags: &Flags) -> Result<(), String> {
     let dir = flags
         .get("dataset")
         .ok_or("dataset inspect needs --dataset DIR")?;
     let ds = Dataset::open(Path::new(dir)).map_err(|e| e.to_string())?;
-    let m = ds.manifest();
     println!(
         "{}: {} consumers × {} intervals @ {} min from {} ({} codec) — {}",
-        m.name,
-        m.consumers.len(),
-        m.intervals,
-        m.resolution_min,
-        m.start,
-        m.codec.label(),
-        m.description
+        ds.name(),
+        ds.len(),
+        ds.intervals(),
+        ds.resolution_min(),
+        ds.start_str(),
+        ds.codec().label(),
+        ds.description()
     );
-    if let Some(src) = &m.source_scenario {
+    if let Some(src) = ds.source_scenario() {
         println!(
             "  exported from scenario `{src}` (degradation seed {})",
-            m.seed.map_or("?".to_string(), |s| s.to_string())
+            ds.seed().map_or("?".to_string(), |s| s.to_string())
         );
     }
     let truth_suffix = |c: &flextract::dataset::ConsumerEntry| {
@@ -553,6 +588,61 @@ fn cmd_dataset_inspect(flags: &Flags) -> Result<(), String> {
             ""
         }
     };
+    // `--consumer N`: one consumer's summary line, any layout. An
+    // out-of-range index surfaces the store's typed error, which names
+    // the valid range and the dataset directory.
+    if let Some(raw) = flags.get("consumer") {
+        let idx: usize = raw
+            .parse()
+            .map_err(|_| format!("invalid value '{raw}' for --consumer"))?;
+        let entry = ds.consumer_entry(idx).map_err(|e| e.to_string())?;
+        let (agg, report) = ds
+            .consumer_aggregates(idx, &Scan::new())
+            .map_err(|e| e.to_string())?;
+        println!(
+            "  [{idx}] {} ({:?}): {} gap(s){} — {:.2} kWh observed, min {} max {} per interval \
+             ({}/{} chunks from statistics alone)",
+            entry.id,
+            entry.kind,
+            agg.gaps,
+            truth_suffix(&entry),
+            agg.sum_kwh,
+            agg.min.map_or("-".to_string(), |v| format!("{v:.3}")),
+            agg.max.map_or("-".to_string(), |v| format!("{v:.3}")),
+            report.chunks_stats_only,
+            report.chunks_total,
+        );
+        return Ok(());
+    }
+    // A sharded store summarises from the root roll-ups alone: no
+    // shard manifest and no series file is opened, so inspecting a
+    // million-consumer store stays O(shards).
+    if let Some(root) = ds.root() {
+        println!(
+            "  sharded store: {} shard(s) at {} consumers/shard capacity",
+            root.shards.len(),
+            root.shard_capacity
+        );
+        println!(
+            "  {:>5} {:>9} {:>9} {:>8} {:>12} {:>8} {:>8}",
+            "shard", "consumers", "w/ truth", "gaps", "sum kWh", "min", "max"
+        );
+        for s in &root.shards {
+            println!(
+                "  {:>5} {:>9} {:>9} {:>8} {:>12.2} {:>8} {:>8}",
+                s.dir_name(),
+                s.consumers,
+                s.with_truth,
+                s.gap_count,
+                s.sum_kwh,
+                s.min_kwh.map_or("-".to_string(), |v| format!("{v:.3}")),
+                s.max_kwh.map_or("-".to_string(), |v| format!("{v:.3}")),
+            );
+        }
+        println!("  (roll-ups only — no shard was opened; use --consumer N for one series)");
+        return Ok(());
+    }
+    let m = ds.manifest().ok_or("unreachable: legacy layout")?;
     if m.codec == SeriesCodec::Binary {
         // FXM2: per-consumer stats are *streamed*, one consumer at a
         // time, straight from the chunk statistics headers — no
@@ -784,34 +874,37 @@ fn query_dataset(dir: &str, flags: &Flags) -> Result<(), String> {
     }
 
     let ds = Dataset::open(Path::new(dir)).map_err(|e| e.to_string())?;
-    let manifest = ds.manifest();
-    let ds_start = manifest.start_timestamp().map_err(|e| e.to_string())?;
-    let ds_end = ds_start + Duration::minutes(manifest.intervals as i64 * manifest.resolution_min);
+    let ds_start = ds.start_timestamp().map_err(|e| e.to_string())?;
+    let ds_end = ds_start + Duration::minutes(ds.intervals() as i64 * ds.resolution_min());
     let slice = parse_slice(flags, ds_start, ds_end)?;
     let mut scan = Scan::new().time_slice(slice);
     if let Some(p) = predicate {
         scan = scan.with_predicate(p);
     }
 
-    let indices: Vec<usize> = match flags.get("consumer") {
-        Some(raw) => {
-            let idx: usize = raw
-                .parse()
-                .map_err(|_| format!("invalid value '{raw}' for --consumer"))?;
-            if idx >= ds.len() {
-                return Err(format!(
-                    "--consumer {idx} out of range (dataset has {} consumers)",
-                    ds.len()
-                ));
-            }
-            vec![idx]
-        }
+    // An out-of-range index is *not* rejected here: the store's typed
+    // error names the valid range and the dataset directory, which is
+    // strictly more useful than anything the CLI could synthesise.
+    let consumer_flag: Option<usize> = flags
+        .get("consumer")
+        .map(|raw| {
+            raw.parse()
+                .map_err(|_| format!("invalid value '{raw}' for --consumer"))
+        })
+        .transpose()?;
+
+    if ds.is_sharded() && consumer_flag.is_none() {
+        return query_sharded_fleet(&ds, &scan, slice, want_agg, resample.is_some(), flags);
+    }
+
+    let indices: Vec<usize> = match consumer_flag {
+        Some(idx) => vec![idx],
         None => (0..ds.len()).collect(),
     };
 
     let mut rows = Vec::with_capacity(indices.len());
     for idx in indices {
-        let id = manifest.consumers[idx].id.clone();
+        let id = ds.consumer_entry(idx).map_err(|e| e.to_string())?.id;
         // One file read + frame open per consumer; every execution
         // below scans the same frame.
         let frame = ds.consumer_frame(idx).map_err(|e| e.to_string())?;
@@ -980,6 +1073,130 @@ fn query_dataset(dir: &str, flags: &Flags) -> Result<(), String> {
         } else {
             0.0
         }
+    );
+    Ok(())
+}
+
+/// Fleet-level result row for a query over a sharded store.
+#[derive(Serialize)]
+struct FleetQueryRow {
+    consumers: usize,
+    intervals: usize,
+    observed: usize,
+    gaps: usize,
+    sum_kwh: f64,
+    mean_kwh: Option<f64>,
+    min_kwh: Option<f64>,
+    max_kwh: Option<f64>,
+    shards_total: usize,
+    shards_pruned: usize,
+    shards_stats_only: usize,
+    shards_opened: usize,
+    chunks_total: usize,
+    chunks_decoded: usize,
+}
+
+/// Fleet mode: a query over a sharded store without `--consumer`
+/// answers from shard roll-ups where it can, opens only the shards the
+/// statistics cannot exclude, and merges in shard-index order so the
+/// output is byte-identical at any `--threads` value.
+fn query_sharded_fleet(
+    ds: &Dataset,
+    scan: &Scan,
+    slice: TimeRange,
+    want_agg: &str,
+    resample: bool,
+    flags: &Flags,
+) -> Result<(), String> {
+    if want_agg == "peak" {
+        return Err(
+            "--agg peak needs --consumer N on a sharded store (the fleet \
+             roll-up keeps no per-interval values to locate a peak in)"
+                .into(),
+        );
+    }
+    if resample {
+        return Err(
+            "--resolution-min needs --consumer N on a sharded store (only a \
+             single series materializes for resampling)"
+                .into(),
+        );
+    }
+    let threads = thread_flag(flags, "threads", 4)?;
+    let n = ds.shard_count();
+    let mut agg = Aggregates::default();
+    let mut report = ScanReport::default();
+    // Each worker scans whole shards with its own decode scratch; the
+    // consume callback runs on this thread in strict shard order, so
+    // the merge association — and therefore every float — is the same
+    // one `fleet_aggregates` produces serially.
+    ordered_parallel_map(
+        n,
+        threads,
+        |k| {
+            let mut scratch = Vec::new();
+            ds.shard_aggregates(k, scan, &mut scratch)
+                .map_err(|e| e.to_string())
+        },
+        |_, (a, r)| {
+            agg.merge(&a);
+            report.absorb(&r);
+            Ok(())
+        },
+    )?;
+    let row = FleetQueryRow {
+        consumers: ds.len(),
+        intervals: agg.intervals,
+        observed: agg.observed,
+        gaps: agg.gaps,
+        sum_kwh: agg.sum_kwh,
+        mean_kwh: agg.mean(),
+        min_kwh: agg.min,
+        max_kwh: agg.max,
+        shards_total: report.shards_total,
+        shards_pruned: report.shards_pruned,
+        shards_stats_only: report.shards_stats_only,
+        shards_opened: report.shards_opened(),
+        chunks_total: report.chunks_total,
+        chunks_decoded: report.chunks_decoded,
+    };
+    if flags.get("json").is_some() {
+        let json = serde_json::to_string_pretty(&row)
+            .map_err(|e| format!("serialise fleet query row: {e}"))?;
+        println!("{json}");
+        return Ok(());
+    }
+    let fmt_opt = |v: Option<f64>| v.map_or("-".to_string(), |v| format!("{v:.3}"));
+    println!("fleet query over {slice} ({want_agg}):");
+    println!(
+        "{:<10} {:>9} {:>9} {:>6} {:>14} {:>9} {:>8} {:>8}",
+        "consumers", "intervals", "observed", "gaps", "sum kWh", "mean", "min", "max"
+    );
+    println!(
+        "{:<10} {:>9} {:>9} {:>6} {:>14.3} {:>9} {:>8} {:>8}",
+        row.consumers,
+        row.intervals,
+        row.observed,
+        row.gaps,
+        row.sum_kwh,
+        fmt_opt(row.mean_kwh),
+        fmt_opt(row.min_kwh),
+        fmt_opt(row.max_kwh),
+    );
+    let pruned_pct = if row.shards_total > 0 {
+        100.0 * (row.shards_total - row.shards_opened) as f64 / row.shards_total as f64
+    } else {
+        0.0
+    };
+    println!(
+        "opened {}/{} shard(s) ({pruned_pct:.0} % answered without opening: \
+         {} pruned, {} stats-only); decoded {}/{} chunks",
+        row.shards_opened,
+        row.shards_total,
+        row.shards_pruned,
+        row.shards_stats_only,
+        row.chunks_decoded,
+        row.chunks_total,
     );
     Ok(())
 }

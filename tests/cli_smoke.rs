@@ -770,6 +770,8 @@ fn malformed_queries_exit_nonzero_naming_the_bad_field() {
             "--to",
         ),
         (
+            // Out-of-range indices surface the store's typed error,
+            // which names the valid range and the dataset directory.
             &[
                 "query",
                 "--dataset",
@@ -777,7 +779,7 @@ fn malformed_queries_exit_nonzero_naming_the_bad_field() {
                 "--consumer",
                 "99",
             ],
-            "--consumer",
+            "valid range 0..",
         ),
         (
             &[
@@ -838,6 +840,208 @@ fn dataset_backed_scenario_runs_from_the_cli() {
     assert!(stdout.contains("\"ingestion\""), "{stdout}");
     assert!(stdout.contains("\"fidelity\""), "{stdout}");
     assert!(stdout.contains("\"gaps_filled\": 7"), "{stdout}");
+}
+
+#[test]
+fn sharded_dataset_lifecycle_round_trip() {
+    let dir = scratch_dir("sharded");
+    let ds_dir = dir.join("fleet");
+    let ds_flag = ds_dir.to_str().unwrap();
+
+    // A 5-consumer source spec so capacity 2 yields 3 shards.
+    let spec_path = dir.join("src_five.json");
+    std::fs::write(
+        &spec_path,
+        r#"{
+  "name": "src_five",
+  "description": "five households for the sharded lifecycle test",
+  "workload": {
+    "Households": {
+      "households": 5,
+      "archetype_mix": [["Couple", 1.0]],
+      "tariff_sensitivity": 0.0
+    }
+  },
+  "start": "2013-03-18",
+  "days": 1,
+  "resolution_min": 15,
+  "extractor": "Basic",
+  "flexible_share": 0.05,
+  "aggregation": "None",
+  "res_capacity_share": 0.0,
+  "seed": 5
+}"#,
+    )
+    .unwrap();
+
+    // 1. A sharded export writes root.json + shards/NNNN/ directories.
+    let export = flextract(&[
+        "dataset",
+        "export",
+        "--scenario",
+        spec_path.to_str().unwrap(),
+        "--out",
+        ds_flag,
+        "--resolution-min",
+        "15",
+        "--gap-rate",
+        "0.05",
+        "--seed",
+        "11",
+        "--shard-capacity",
+        "2",
+    ]);
+    assert!(
+        export.status.success(),
+        "sharded export failed: {}",
+        String::from_utf8_lossy(&export.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&export.stdout);
+    assert!(stdout.contains("sharded at 2 consumers/shard"), "{stdout}");
+    assert!(ds_dir.join("root.json").is_file());
+    assert!(ds_dir.join("shards/0000/manifest.json").is_file());
+    assert!(!ds_dir.join("manifest.json").is_file());
+
+    // A zero capacity is rejected at the CLI layer.
+    let bad = flextract(&[
+        "dataset",
+        "export",
+        "--scenario",
+        spec_path.to_str().unwrap(),
+        "--out",
+        ds_flag,
+        "--shard-capacity",
+        "0",
+    ]);
+    assert!(!bad.status.success());
+    assert!(
+        String::from_utf8_lossy(&bad.stderr).contains("--shard-capacity must be at least 1"),
+        "{}",
+        String::from_utf8_lossy(&bad.stderr)
+    );
+
+    // 2. Inspect answers from the root roll-ups without opening shards.
+    let inspect = flextract(&["dataset", "inspect", "--dataset", ds_flag]);
+    assert!(
+        inspect.status.success(),
+        "{}",
+        String::from_utf8_lossy(&inspect.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&inspect.stdout);
+    assert!(stdout.contains("5 consumers"), "{stdout}");
+    assert!(stdout.contains("3 shard(s)"), "{stdout}");
+    assert!(stdout.contains("no shard was opened"), "{stdout}");
+
+    // `--consumer N` routes through the owning shard on any layout.
+    let one = flextract(&[
+        "dataset",
+        "inspect",
+        "--dataset",
+        ds_flag,
+        "--consumer",
+        "3",
+    ]);
+    assert!(
+        one.status.success(),
+        "{}",
+        String::from_utf8_lossy(&one.stderr)
+    );
+    assert!(String::from_utf8_lossy(&one.stdout).contains("[3]"));
+
+    // 3. Out-of-range indices exit non-zero naming the valid range AND
+    //    the dataset directory — on inspect and on query alike.
+    for args in [
+        &[
+            "dataset",
+            "inspect",
+            "--dataset",
+            ds_flag,
+            "--consumer",
+            "99",
+        ] as &[&str],
+        &["query", "--dataset", ds_flag, "--consumer", "99"],
+    ] {
+        let out = flextract(args);
+        assert!(!out.status.success(), "expected failure for {args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("valid range 0..5"), "{args:?}: {stderr}");
+        assert!(stderr.contains(ds_flag), "{args:?}: {stderr}");
+    }
+
+    // 4. A fleet query without predicates answers from shard stats
+    //    alone, and the report is byte-identical at any thread count.
+    let fleet = flextract(&["query", "--dataset", ds_flag]);
+    assert!(
+        fleet.status.success(),
+        "{}",
+        String::from_utf8_lossy(&fleet.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&fleet.stdout).to_string();
+    assert!(stdout.contains("fleet query"), "{stdout}");
+    assert!(stdout.contains("opened 0/3 shard(s)"), "{stdout}");
+    assert!(stdout.contains("3 stats-only"), "{stdout}");
+    for threads in ["1", "2", "8"] {
+        let again = flextract(&["query", "--dataset", ds_flag, "--threads", threads]);
+        assert!(again.status.success());
+        assert_eq!(
+            stdout,
+            String::from_utf8_lossy(&again.stdout),
+            "fleet query must be byte-identical at --threads {threads}"
+        );
+    }
+
+    // An unsatisfiable predicate prunes every shard from the roll-ups.
+    let pruned = flextract(&["query", "--dataset", ds_flag, "--where", "max-above:999999"]);
+    assert!(pruned.status.success());
+    let stdout = String::from_utf8_lossy(&pruned.stdout);
+    assert!(stdout.contains("3 pruned"), "{stdout}");
+
+    // Fleet mode keeps no per-interval values: peak needs --consumer.
+    let peak = flextract(&["query", "--dataset", ds_flag, "--agg", "peak"]);
+    assert!(!peak.status.success());
+    assert!(
+        String::from_utf8_lossy(&peak.stderr).contains("--consumer"),
+        "{}",
+        String::from_utf8_lossy(&peak.stderr)
+    );
+
+    // A single-consumer query routes to the owning shard.
+    let single = flextract(&["query", "--dataset", ds_flag, "--consumer", "4", "--json"]);
+    assert!(
+        single.status.success(),
+        "{}",
+        String::from_utf8_lossy(&single.stderr)
+    );
+
+    // 5. Compaction of a freshly-exported store is a no-op in shape and
+    //    leaves every query answer byte-identical.
+    let before = flextract(&["query", "--dataset", ds_flag, "--json"]);
+    let compacted = flextract(&["dataset", "compact", "--dataset", ds_flag]);
+    assert!(
+        compacted.status.success(),
+        "{}",
+        String::from_utf8_lossy(&compacted.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&compacted.stdout);
+    assert!(stdout.contains("compacted"), "{stdout}");
+    assert!(stdout.contains("3 shard(s) → 3 shard(s)"), "{stdout}");
+    let after = flextract(&["query", "--dataset", ds_flag, "--json"]);
+    assert_eq!(
+        String::from_utf8_lossy(&before.stdout),
+        String::from_utf8_lossy(&after.stdout),
+        "compaction must not change any query answer"
+    );
+
+    // Compacting a legacy single-manifest dataset is a typed error.
+    let legacy = flextract(&["dataset", "compact", "--dataset", "datasets/ds_gap_heavy"]);
+    assert!(!legacy.status.success());
+    assert!(
+        String::from_utf8_lossy(&legacy.stderr).contains("nothing to compact"),
+        "{}",
+        String::from_utf8_lossy(&legacy.stderr)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -9,7 +9,7 @@
 //! after an intentional simulator or exporter change (then regenerate
 //! the scenario goldens too — dataset bytes feed the reports).
 
-use flextract::dataset::{Dataset, MANIFEST_FILE};
+use flextract::dataset::{Dataset, MANIFEST_FILE, ROOT_FILE};
 use flextract::scenario::{export_dataset, load_file, ExportOptions};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -18,19 +18,27 @@ fn repo_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
 }
 
-/// All regular files in `dir`, keyed by file name.
+/// All regular files under `dir` (recursively, so sharded layouts are
+/// compared shard by shard), keyed by path relative to `dir`.
 fn dir_files(dir: &Path) -> BTreeMap<String, Vec<u8>> {
-    let mut files = BTreeMap::new();
-    for entry in std::fs::read_dir(dir).expect("dataset dir is readable") {
-        let entry = entry.expect("dataset dir entry");
-        let path = entry.path();
-        if path.is_file() {
-            files.insert(
-                entry.file_name().to_string_lossy().to_string(),
-                std::fs::read(&path).expect("dataset file is readable"),
-            );
+    fn walk(root: &Path, dir: &Path, files: &mut BTreeMap<String, Vec<u8>>) {
+        for entry in std::fs::read_dir(dir).expect("dataset dir is readable") {
+            let entry = entry.expect("dataset dir entry");
+            let path = entry.path();
+            if path.is_dir() {
+                walk(root, &path, files);
+            } else if path.is_file() {
+                let rel = path
+                    .strip_prefix(root)
+                    .expect("walked path sits under the dataset dir")
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                files.insert(rel, std::fs::read(&path).expect("dataset file is readable"));
+            }
         }
     }
+    let mut files = BTreeMap::new();
+    walk(dir, dir, &mut files);
     files
 }
 
@@ -56,24 +64,32 @@ fn committed_datasets_regenerate_byte_identically() {
     for dir in dataset_dirs {
         let name = dir.file_name().unwrap().to_string_lossy().to_string();
         let ds = Dataset::open(&dir).expect("committed dataset opens");
-        let manifest = ds.manifest().clone();
-        let source = manifest
-            .source_scenario
-            .as_ref()
-            .unwrap_or_else(|| panic!("{name}: committed datasets must record their source"));
+        let source = ds
+            .source_scenario()
+            .unwrap_or_else(|| panic!("{name}: committed datasets must record their source"))
+            .to_string();
         let spec_path = datasets_dir.join("sources").join(format!("{source}.json"));
         let scenario = load_file(&spec_path)
             .unwrap_or_else(|e| panic!("{name}: source spec {} : {e}", spec_path.display()));
         let options = ExportOptions {
-            degradation: manifest
-                .degradation
-                .clone()
+            degradation: ds
+                .degradation()
+                .cloned()
                 .expect("exported manifests record the degradation"),
-            codec: manifest.codec,
-            seed: manifest.seed,
-            include_truth: manifest.consumers[0].truth_total.is_some(),
+            codec: ds.codec(),
+            seed: ds.seed(),
+            include_truth: ds
+                .consumer_entry(0)
+                .expect("committed datasets are non-empty")
+                .truth_total
+                .is_some(),
+            shard_capacity: ds.root().map(|r| r.shard_capacity),
         };
         if update {
+            // Remove before re-exporting: a sharded re-export over a
+            // live store deliberately allocates fresh shard ids (crash
+            // safety), which would differ from a fresh export's names.
+            std::fs::remove_dir_all(&dir).expect("committed dataset dir is removable");
             export_dataset(&scenario, &dir, &options).expect("regeneration succeeds");
             continue;
         }
@@ -115,7 +131,7 @@ fn committed_manifests_are_internally_consistent() {
             continue;
         }
         let ds = Dataset::open(&path).expect("committed dataset opens");
-        assert!(path.join(MANIFEST_FILE).is_file());
+        assert!(path.join(MANIFEST_FILE).is_file() || path.join(ROOT_FILE).is_file());
         // Every consumer loads cleanly and sits on the declared grid.
         for idx in 0..ds.len() {
             let record = ds
@@ -123,7 +139,7 @@ fn committed_manifests_are_internally_consistent() {
                 .unwrap_or_else(|e| panic!("{}: consumer {idx}: {e}", path.display()));
             assert_eq!(
                 record.measured.len(),
-                ds.manifest().intervals,
+                ds.intervals(),
                 "{}: consumer {idx} off-grid",
                 path.display()
             );
