@@ -11,9 +11,15 @@
 //!
 //! The format is a deliberately minimal TOML subset (this crate is
 //! dependency-free): `[[suppress]]` tables with string-valued keys
-//! `lint`, `path`, `contains` (optional) and `justification`.
+//! `lint`, `path`, `contains` (optional), `via` (optional) and
+//! `justification`.
+//!
+//! `via` scopes a suppression to a *call path*: it is matched as a
+//! substring of the finding's rendered witness path (`qual (file:line)
+//! -> …`), so an entry can excuse a sink reached through one specific
+//! entry point while the same sink reached any other way keeps firing.
 
-use crate::findings::Finding;
+use crate::findings::{render_path, Finding};
 
 /// One audited suppression entry.
 #[derive(Debug, Clone, Default)]
@@ -26,6 +32,11 @@ pub struct Suppression {
     /// Optional substring the offending source line must contain
     /// (narrows the suppression to specific expressions).
     pub contains: Option<String>,
+    /// Optional substring the finding's rendered witness call path
+    /// must contain (narrows the suppression to sinks reached through
+    /// a specific entry point or hop). A finding with no witness path
+    /// never matches an entry that sets `via`.
+    pub via: Option<String>,
     /// Why the violation is acceptable. Required.
     pub justification: String,
     /// Line of the `[[suppress]]` header in `analyze.toml`.
@@ -45,8 +56,15 @@ impl Suppression {
         if !path_ok {
             return false;
         }
-        match &self.contains {
-            Some(needle) => finding.excerpt.contains(needle.as_str()),
+        if let Some(needle) = &self.contains {
+            if !finding.excerpt.contains(needle.as_str()) {
+                return false;
+            }
+        }
+        match &self.via {
+            Some(needle) => {
+                !finding.path.is_empty() && render_path(&finding.path).contains(needle.as_str())
+            }
             None => true,
         }
     }
@@ -103,11 +121,12 @@ impl Allowlist {
                 "lint" => entry.lint = value,
                 "path" => entry.path = value,
                 "contains" => entry.contains = Some(value),
+                "via" => entry.via = Some(value),
                 "justification" => entry.justification = value,
                 other => {
                     return Err(format!(
                         "{source}:{lineno}: unknown key {other:?} \
-                         (lint|path|contains|justification)"
+                         (lint|path|contains|via|justification)"
                     ));
                 }
             }
@@ -164,7 +183,7 @@ impl Allowlist {
                     suggestion: "add `justification = \"…\"` explaining why this \
                                  violation is sound"
                         .into(),
-                    excerpt: String::new(),
+                    ..Finding::default()
                 });
             } else if !used[i] {
                 kept.push(Finding {
@@ -177,7 +196,7 @@ impl Allowlist {
                         entry.lint, entry.path
                     ),
                     suggestion: "the violation it excused is gone — delete the entry".into(),
-                    excerpt: String::new(),
+                    ..Finding::default()
                 });
             }
         }
@@ -236,9 +255,8 @@ mod tests {
             line: 1,
             col: 1,
             lint: lint.into(),
-            message: String::new(),
-            suggestion: String::new(),
             excerpt: excerpt.into(),
+            ..Finding::default()
         }
     }
 
@@ -295,6 +313,27 @@ justification = "wall time feeds the outcome, not the report"
         ]);
         assert_eq!(s, 1);
         assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn via_scopes_to_the_witness_path() {
+        use crate::findings::PathHop;
+        let text = "[[suppress]]\nlint = \"panic-reachability\"\npath = \"crates/x/src/a.rs\"\n\
+                    via = \"Dataset::materialize\"\njustification = \"bounded by header check\"\n";
+        let al = Allowlist::parse(text, "t").unwrap();
+        let mut through_dataset = finding("panic-reachability", "crates/x/src/a.rs", "b[0]");
+        through_dataset.path = vec![PathHop {
+            qual: "flextract_dataset::Dataset::materialize".into(),
+            file: "crates/dataset/src/store.rs".into(),
+            line: 221,
+        }];
+        let mut through_frame = through_dataset.clone();
+        through_frame.path[0].qual = "flextract_frame::Frame::open".into();
+        let pathless = finding("panic-reachability", "crates/x/src/a.rs", "b[0]");
+        let (kept, s) = al.apply(vec![through_dataset, through_frame, pathless]);
+        assert_eq!(s, 1, "{kept:?}");
+        // The Frame-reached and pathless findings survive.
+        assert_eq!(kept.len(), 2, "{kept:?}");
     }
 
     #[test]

@@ -1,0 +1,415 @@
+//! Incremental analysis cache: warm runs only re-parse changed files.
+//!
+//! The cache stores, per file, an FNV-1a 64 hash of the raw bytes plus
+//! everything the engine derived from the file: the lexical findings
+//! (with line/col/excerpt already materialized, so the source is never
+//! needed again) and the parsed item structure the call graph is built
+//! from. The *semantic* pass — symbol table, call graph, reachability —
+//! is recomputed on every run: it is cross-file by nature and cheap
+//! next to parsing, and recomputing it keeps cached and cold runs
+//! byte-identical.
+//!
+//! The on-disk format is a versioned, tab-separated text file under
+//! `target/` (so `cargo clean` clears it). The version line embeds an
+//! engine fingerprint that gets bumped whenever lint or parser
+//! semantics change; any mismatch — or any malformed record — makes
+//! the whole cache load as empty. A cache can only ever make a run
+//! faster, never change its output.
+
+use crate::findings::Finding;
+use crate::parser::{CallSite, FnItem, ParsedFile, SinkKind, SinkSite, Vis};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Bump on any change to lints, parser semantics, or this format.
+const ENGINE_FINGERPRINT: &str = "flextract-analyze-cache v1 semantic-pass-1";
+
+/// Cache file name under the analysis root's `target/` directory.
+pub const CACHE_FILE: &str = "target/flextract-analyze-cache";
+
+/// Everything cached for one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileEntry {
+    /// FNV-1a 64 hash of the file's raw bytes.
+    pub hash: u64,
+    /// Parsed structure (only for library/binary Rust files).
+    pub parsed: Option<ParsedFile>,
+    /// Lexical findings (float-fold, vendor-hygiene, forbid-unsafe).
+    pub lexical: Vec<Finding>,
+}
+
+/// The cache: relative path → entry.
+#[derive(Debug, Clone, Default)]
+pub struct Cache {
+    /// Entries keyed by workspace-relative path.
+    pub entries: BTreeMap<String, FileEntry>,
+}
+
+/// FNV-1a 64 — tiny, deterministic, and plenty for change detection
+/// (a collision would need an adversarial edit to the workspace's own
+/// source, which the gate's threat model does not include).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+impl Cache {
+    /// Load from disk. Any problem — missing file, version mismatch,
+    /// malformed record — yields an empty cache: cold is always safe.
+    pub fn load(path: &Path) -> Cache {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Cache::default();
+        };
+        parse(&text).unwrap_or_default()
+    }
+
+    /// Persist to disk (best-effort: the caller may ignore errors,
+    /// losing only warm-start time).
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+        std::fs::write(path, render(self))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))
+    }
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            't' => out.push('\t'),
+            'n' => out.push('\n'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+fn sink_kind_str(kind: SinkKind) -> &'static str {
+    match kind {
+        SinkKind::WallClock => "wall-clock",
+        SinkKind::HashOrder => "hash-order",
+        SinkKind::SeedlessRng => "seedless-rng",
+        SinkKind::Panic => "panic",
+        SinkKind::Indexing => "indexing",
+        SinkKind::DetachedSpawn => "detached-spawn",
+        SinkKind::ScopedSpawn => "scoped-spawn",
+    }
+}
+
+fn sink_kind_parse(s: &str) -> Option<SinkKind> {
+    Some(match s {
+        "wall-clock" => SinkKind::WallClock,
+        "hash-order" => SinkKind::HashOrder,
+        "seedless-rng" => SinkKind::SeedlessRng,
+        "panic" => SinkKind::Panic,
+        "indexing" => SinkKind::Indexing,
+        "detached-spawn" => SinkKind::DetachedSpawn,
+        "scoped-spawn" => SinkKind::ScopedSpawn,
+        _ => return None,
+    })
+}
+
+fn segs_str(segs: &[String]) -> String {
+    if segs.is_empty() {
+        "-".to_string()
+    } else {
+        segs.join("::")
+    }
+}
+
+fn segs_parse(s: &str) -> Vec<String> {
+    if s == "-" {
+        Vec::new()
+    } else {
+        s.split("::").map(str::to_string).collect()
+    }
+}
+
+fn render(cache: &Cache) -> String {
+    let mut out = String::from(ENGINE_FINGERPRINT);
+    out.push('\n');
+    for (rel, entry) in &cache.entries {
+        out.push_str(&format!(
+            "F\t{}\t{:016x}\t{}\n",
+            esc(rel),
+            entry.hash,
+            u8::from(entry.parsed.is_some())
+        ));
+        if let Some(parsed) = &entry.parsed {
+            for (alias, path) in &parsed.uses {
+                out.push_str(&format!("U\t{}\t{}\n", esc(alias), segs_str(path)));
+            }
+            for glob in &parsed.globs {
+                out.push_str(&format!("G\t{}\n", segs_str(glob)));
+            }
+            for f in &parsed.fns {
+                let mut flags = String::new();
+                if f.report_ctor {
+                    flags.push('r');
+                }
+                if f.owns_thread_scope {
+                    flags.push('s');
+                }
+                if flags.is_empty() {
+                    flags.push('-');
+                }
+                out.push_str(&format!(
+                    "N\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                    esc(&f.name),
+                    f.self_ty.as_deref().map_or("-".to_string(), esc),
+                    segs_str(&f.module),
+                    if f.vis == Vis::Pub { "P" } else { "p" },
+                    f.line,
+                    f.col,
+                    flags
+                ));
+                for c in &f.calls {
+                    out.push_str(&format!(
+                        "C\t{}\t{}\t{}\t{}\t{}\n",
+                        c.line,
+                        c.col,
+                        u8::from(c.method),
+                        u8::from(c.recv_self),
+                        segs_str(&c.segments)
+                    ));
+                }
+                for s in &f.sinks {
+                    out.push_str(&format!(
+                        "S\t{}\t{}\t{}\t{}\n",
+                        sink_kind_str(s.kind),
+                        s.line,
+                        s.col,
+                        esc(&s.excerpt)
+                    ));
+                }
+            }
+        }
+        for f in &entry.lexical {
+            out.push_str(&format!(
+                "L\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                f.line,
+                f.col,
+                esc(&f.lint),
+                esc(&f.message),
+                esc(&f.suggestion),
+                esc(&f.excerpt)
+            ));
+        }
+    }
+    out
+}
+
+fn parse(text: &str) -> Option<Cache> {
+    let mut lines = text.lines();
+    if lines.next()? != ENGINE_FINGERPRINT {
+        return None;
+    }
+    let mut cache = Cache::default();
+    let mut current: Option<(String, FileEntry)> = None;
+    for line in lines {
+        let fields: Vec<&str> = line.split('\t').collect();
+        match fields.first().copied()? {
+            "F" => {
+                if let Some((rel, entry)) = current.take() {
+                    cache.entries.insert(rel, entry);
+                }
+                if fields.len() != 4 {
+                    return None;
+                }
+                let rel = unesc(fields[1])?;
+                let hash = u64::from_str_radix(fields[2], 16).ok()?;
+                let parsed = match fields[3] {
+                    "1" => Some(ParsedFile::default()),
+                    "0" => None,
+                    _ => return None,
+                };
+                current = Some((
+                    rel,
+                    FileEntry {
+                        hash,
+                        parsed,
+                        lexical: Vec::new(),
+                    },
+                ));
+            }
+            "U" => {
+                let parsed = current.as_mut()?.1.parsed.as_mut()?;
+                if fields.len() != 3 {
+                    return None;
+                }
+                parsed.uses.push((unesc(fields[1])?, segs_parse(fields[2])));
+            }
+            "G" => {
+                let parsed = current.as_mut()?.1.parsed.as_mut()?;
+                if fields.len() != 2 {
+                    return None;
+                }
+                parsed.globs.push(segs_parse(fields[1]));
+            }
+            "N" => {
+                let parsed = current.as_mut()?.1.parsed.as_mut()?;
+                if fields.len() != 8 {
+                    return None;
+                }
+                let flags = fields[7];
+                parsed.fns.push(FnItem {
+                    name: unesc(fields[1])?,
+                    self_ty: if fields[2] == "-" {
+                        None
+                    } else {
+                        Some(unesc(fields[2])?)
+                    },
+                    module: segs_parse(fields[3]),
+                    vis: match fields[4] {
+                        "P" => Vis::Pub,
+                        "p" => Vis::Private,
+                        _ => return None,
+                    },
+                    line: fields[5].parse().ok()?,
+                    col: fields[6].parse().ok()?,
+                    body: None,
+                    calls: Vec::new(),
+                    sinks: Vec::new(),
+                    report_ctor: flags.contains('r'),
+                    owns_thread_scope: flags.contains('s'),
+                });
+            }
+            "C" => {
+                let parsed = current.as_mut()?.1.parsed.as_mut()?;
+                let f = parsed.fns.last_mut()?;
+                if fields.len() != 6 {
+                    return None;
+                }
+                f.calls.push(CallSite {
+                    line: fields[1].parse().ok()?,
+                    col: fields[2].parse().ok()?,
+                    method: fields[3] == "1",
+                    recv_self: fields[4] == "1",
+                    segments: segs_parse(fields[5]),
+                });
+            }
+            "S" => {
+                let parsed = current.as_mut()?.1.parsed.as_mut()?;
+                let f = parsed.fns.last_mut()?;
+                if fields.len() != 5 {
+                    return None;
+                }
+                f.sinks.push(SinkSite {
+                    kind: sink_kind_parse(fields[1])?,
+                    line: fields[2].parse().ok()?,
+                    col: fields[3].parse().ok()?,
+                    excerpt: unesc(fields[4])?,
+                });
+            }
+            "L" => {
+                let (rel, entry) = current.as_mut()?;
+                if fields.len() != 7 {
+                    return None;
+                }
+                entry.lexical.push(Finding {
+                    file: rel.clone(),
+                    line: fields[1].parse().ok()?,
+                    col: fields[2].parse().ok()?,
+                    lint: unesc(fields[3])?,
+                    message: unesc(fields[4])?,
+                    suggestion: unesc(fields[5])?,
+                    excerpt: unesc(fields[6])?,
+                    path: Vec::new(),
+                });
+            }
+            _ => return None,
+        }
+    }
+    if let Some((rel, entry)) = current.take() {
+        cache.entries.insert(rel, entry);
+    }
+    Some(cache)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{mask_code, mask_tests};
+    use crate::parser::parse_file;
+
+    #[test]
+    fn round_trips_parse_and_findings() {
+        let src = "use a::b;\nuse c::*;\npub struct Frame;\nimpl Frame {\n\
+                   pub fn open(b: &[u8]) -> u8 { helper(); b[0] }\n}\n";
+        let parsed = parse_file(src, &mask_tests(&mask_code(src)));
+        let mut cache = Cache::default();
+        cache.entries.insert(
+            "crates/x/src/lib.rs".to_string(),
+            FileEntry {
+                hash: fnv1a(src.as_bytes()),
+                parsed: Some(parsed.clone()),
+                lexical: vec![Finding {
+                    file: "crates/x/src/lib.rs".into(),
+                    line: 1,
+                    col: 1,
+                    lint: "forbid-unsafe".into(),
+                    message: "library crate root does not forbid unsafe code".into(),
+                    suggestion: "add it".into(),
+                    excerpt: "has\ttab and \\ slash".into(),
+                    path: Vec::new(),
+                }],
+            },
+        );
+        let reloaded = parse(&render(&cache)).expect("round trip");
+        let entry = &reloaded.entries["crates/x/src/lib.rs"];
+        assert_eq!(entry.hash, fnv1a(src.as_bytes()));
+        let rp = entry.parsed.as_ref().expect("parsed");
+        assert_eq!(rp.uses, parsed.uses);
+        assert_eq!(rp.globs, parsed.globs);
+        assert_eq!(rp.fns.len(), parsed.fns.len());
+        let (a, b) = (&rp.fns[0], &parsed.fns[0]);
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.self_ty, b.self_ty);
+        assert_eq!(a.vis, b.vis);
+        assert_eq!((a.line, a.col), (b.line, b.col));
+        assert_eq!(a.calls, b.calls);
+        assert_eq!(a.sinks, b.sinks);
+        assert_eq!(entry.lexical[0].excerpt, "has\ttab and \\ slash");
+    }
+
+    #[test]
+    fn version_mismatch_and_garbage_load_empty() {
+        assert!(parse("some other header\nF\tx\t0\t0\n").is_none());
+        assert!(parse(&format!("{ENGINE_FINGERPRINT}\nZ\tgarbage\n")).is_none());
+        assert!(parse(&format!("{ENGINE_FINGERPRINT}\nF\tonly-two-fields\n")).is_none());
+        // Cache::load turns both into empty caches.
+        let c = Cache::load(Path::new("/nonexistent/cache"));
+        assert!(c.entries.is_empty());
+    }
+
+    #[test]
+    fn hash_differs_on_edit() {
+        assert_ne!(fnv1a(b"fn a() {}"), fnv1a(b"fn a() { }"));
+    }
+}

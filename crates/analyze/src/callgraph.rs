@@ -1,0 +1,510 @@
+//! Workspace-internal call-edge resolution.
+//!
+//! Only workspace functions are nodes, so calls into `std` or the
+//! vendored stand-ins simply resolve to nothing — the graph is the
+//! *internal* call structure the reachability lints walk. Resolution
+//! is name-based and deliberately asymmetric in its precision:
+//!
+//! * **Free calls** (`helper(…)`, `fxm::decode(…)`) resolve precisely:
+//!   same-module first, then `use`-import aliases, then glob imports,
+//!   then path-qualified candidates whose crate/module segments are
+//!   compatible with the written path. A bare name that matches none
+//!   of these is a std/closure call and produces no edge.
+//! * **Type-qualified calls** (`Frame::open(…)`, `Self::step(…)`)
+//!   resolve through the `(type, name)` index.
+//! * **Bare method calls** (`x.materialize(…)`) carry no receiver
+//!   type, so they over-approximate: an edge to *every* workspace
+//!   method of that name (unless the receiver is literally `self` and
+//!   the current `impl` defines the method — then exactly that one).
+//!   Over-approximation is the sound direction for "must not reach"
+//!   lints: it can create a false witness, never hide a true one.
+
+use crate::symbols::{norm_crate_seg, SymbolTable};
+use std::collections::BTreeSet;
+
+/// One resolved call edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Callee node id.
+    pub callee: usize,
+    /// 1-based call-site line in the caller's file.
+    pub line: usize,
+    /// 1-based call-site column.
+    pub col: usize,
+}
+
+/// Adjacency list indexed by caller node id.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    /// `edges[caller]` — sorted, deduplicated by callee.
+    pub edges: Vec<Vec<Edge>>,
+}
+
+/// Path qualifiers that scope but never *name* a workspace crate or
+/// module (`crate::x::f` can only mean the caller's own crate).
+const TRANSPARENT_SEGS: &[&str] = &["crate", "super", "self"];
+
+/// External roots: a path starting here can never be a workspace fn.
+const EXTERNAL_ROOTS: &[&str] = &["std", "core", "alloc"];
+
+/// Method names std defines on ubiquitous types (str, slices, Option,
+/// Result, iterators, maps, floats). A bare `receiver.parse(…)` is
+/// overwhelmingly a std call, and resolving it to every workspace
+/// method of the same name floods the graph with fabricated
+/// cross-crate edges — so the *name-only fallback* skips these.
+/// Precise resolutions are unaffected: `self.parse(…)` inside the
+/// defining impl and `Allowlist::parse(…)` still produce edges. The
+/// trade-off (a genuine workspace `.len(…)` call on a non-self
+/// receiver goes unseen) is documented in the README's lint catalogue.
+const STD_METHODS: &[&str] = &[
+    "abs",
+    "all",
+    "and_then",
+    "any",
+    "as_bytes",
+    "as_mut",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "binary_search",
+    "bytes",
+    "ceil",
+    "chain",
+    "chars",
+    "chunks",
+    "clamp",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "copy_from_slice",
+    "count",
+    "dedup",
+    "display",
+    "drain",
+    "ends_with",
+    "entry",
+    "enumerate",
+    "eq",
+    "err",
+    "extend",
+    "extension",
+    "file_name",
+    "filter",
+    "filter_map",
+    "find",
+    "find_map",
+    "first",
+    "flat_map",
+    "flatten",
+    "floor",
+    "flush",
+    "fold",
+    "fract",
+    "get",
+    "get_mut",
+    "get_or_insert_with",
+    "hash",
+    "insert",
+    "into_iter",
+    "is_dir",
+    "is_empty",
+    "is_file",
+    "is_finite",
+    "is_nan",
+    "is_none",
+    "is_ok",
+    "is_err",
+    "is_sign_negative",
+    "is_sign_positive",
+    "is_some",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "lines",
+    "lock",
+    "map",
+    "map_err",
+    "map_or",
+    "map_while",
+    "max",
+    "max_by",
+    "max_by_key",
+    "min",
+    "min_by",
+    "min_by_key",
+    "ne",
+    "next",
+    "next_back",
+    "nth",
+    "ok",
+    "ok_or",
+    "ok_or_else",
+    "or_default",
+    "or_else",
+    "or_insert",
+    "or_insert_with",
+    "parse",
+    "partial_cmp",
+    "peek",
+    "peekable",
+    "pop",
+    "position",
+    "powf",
+    "powi",
+    "product",
+    "push",
+    "push_str",
+    "range",
+    "read",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "recv",
+    "remove",
+    "repeat",
+    "replace",
+    "replacen",
+    "resize",
+    "retain",
+    "rev",
+    "reverse",
+    "round",
+    "rsplit",
+    "saturating_add",
+    "saturating_mul",
+    "saturating_sub",
+    "seek",
+    "send",
+    "set_extension",
+    "skip",
+    "skip_while",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "split",
+    "split_at",
+    "split_first",
+    "split_last",
+    "split_off",
+    "split_whitespace",
+    "splitn",
+    "sqrt",
+    "starts_with",
+    "step_by",
+    "strip_prefix",
+    "strip_suffix",
+    "sum",
+    "swap",
+    "take",
+    "take_while",
+    "then",
+    "then_some",
+    "to_lowercase",
+    "to_owned",
+    "to_string",
+    "to_uppercase",
+    "to_vec",
+    "trim",
+    "trim_end",
+    "trim_start",
+    "truncate",
+    "try_into",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "unzip",
+    "values",
+    "values_mut",
+    "wait",
+    "windows",
+    "wrapping_add",
+    "wrapping_mul",
+    "wrapping_sub",
+    "write",
+    "write_all",
+    "write_fmt",
+    "zip",
+];
+
+/// Build the call graph over a symbol table.
+pub fn build(table: &SymbolTable) -> CallGraph {
+    let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); table.nodes.len()];
+    for node in &table.nodes {
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        for call in &node.calls {
+            for callee in resolve(table, node.id, call) {
+                if callee != node.id && seen.insert(callee) {
+                    edges[node.id].push(Edge {
+                        callee,
+                        line: call.line,
+                        col: call.col,
+                    });
+                }
+            }
+        }
+        edges[node.id].sort_by_key(|e| (e.callee, e.line, e.col));
+    }
+    CallGraph { edges }
+}
+
+/// Resolve one call site to candidate callee node ids.
+fn resolve(table: &SymbolTable, caller: usize, call: &crate::parser::CallSite) -> Vec<usize> {
+    let node = &table.nodes[caller];
+    let Some(name) = call.segments.last() else {
+        return Vec::new();
+    };
+    if call.method {
+        if call.recv_self {
+            if let Some(ty) = &node.self_ty {
+                if let Some(ids) = table.typed.get(&(ty.clone(), name.clone())) {
+                    return ids.clone();
+                }
+            }
+        }
+        if STD_METHODS.contains(&name.as_str()) {
+            return Vec::new();
+        }
+        return table.methods_by_name.get(name).cloned().unwrap_or_default();
+    }
+    if call.segments.len() == 1 {
+        // Bare free call: same module wins.
+        let scope = (node.krate.clone(), node.module.join("::"), name.clone());
+        if let Some(ids) = table.free_by_scope.get(&scope) {
+            return ids.clone();
+        }
+        if let Some((uses, globs)) = table.uses_by_file.get(&node.file) {
+            for (alias, path) in uses {
+                if alias == name {
+                    return resolve_qualified(table, node, path);
+                }
+            }
+            for glob in globs {
+                let mut path = glob.clone();
+                path.push(name.clone());
+                let ids = resolve_qualified(table, node, &path);
+                if !ids.is_empty() {
+                    return ids;
+                }
+            }
+        }
+        return Vec::new();
+    }
+    // Qualified path: expand a leading use-alias, then resolve.
+    let mut segments = call.segments.clone();
+    if let Some((uses, _)) = table.uses_by_file.get(&node.file) {
+        if let Some((_, path)) = uses.iter().find(|(alias, _)| alias == &segments[0]) {
+            let mut expanded = path.clone();
+            expanded.extend(segments[1..].iter().cloned());
+            segments = expanded;
+        }
+    }
+    resolve_qualified(table, node, &segments)
+}
+
+/// Resolve a full path (`[…qualifiers, name]`) from `node`'s position.
+fn resolve_qualified(
+    table: &SymbolTable,
+    node: &crate::symbols::FnNode,
+    segments: &[String],
+) -> Vec<usize> {
+    let Some((name, quals)) = segments.split_last() else {
+        return Vec::new();
+    };
+    if quals.is_empty() {
+        return table.free_by_name.get(name).cloned().unwrap_or_default();
+    }
+    if quals
+        .first()
+        .is_some_and(|q| EXTERNAL_ROOTS.contains(&q.as_str()))
+    {
+        return Vec::new();
+    }
+    let last = quals.last().expect("non-empty quals");
+    // `Self::name` and `Type::name`.
+    if last == "Self" {
+        if let Some(ty) = &node.self_ty {
+            return table
+                .typed
+                .get(&(ty.clone(), name.clone()))
+                .cloned()
+                .unwrap_or_default();
+        }
+        return Vec::new();
+    }
+    if let Some(ids) = table.typed.get(&(last.clone(), name.clone())) {
+        return ids.clone();
+    }
+    // Module-qualified free fn: every remaining qualifier must be
+    // compatible with the candidate (its crate, or one of its module
+    // segments).
+    let Some(candidates) = table.free_by_name.get(name) else {
+        return Vec::new();
+    };
+    candidates
+        .iter()
+        .copied()
+        .filter(|&id| {
+            let cand = &table.nodes[id];
+            quals.iter().all(|q| {
+                if TRANSPARENT_SEGS.contains(&q.as_str()) {
+                    return true;
+                }
+                let qn = norm_crate_seg(q);
+                norm_crate_seg(&cand.krate) == qn || cand.module.iter().any(|m| m == q)
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{mask_code, mask_tests};
+    use crate::parser::parse_file;
+    use crate::symbols;
+
+    fn graph(files: &[(&str, &str)]) -> (SymbolTable, CallGraph) {
+        let parsed: Vec<(String, crate::parser::ParsedFile)> = files
+            .iter()
+            .map(|(rel, src)| {
+                (
+                    rel.to_string(),
+                    parse_file(src, &mask_tests(&mask_code(src))),
+                )
+            })
+            .collect();
+        let table = symbols::build(&parsed);
+        let g = build(&table);
+        (table, g)
+    }
+
+    fn edge_names(table: &SymbolTable, g: &CallGraph, caller_qual: &str) -> Vec<String> {
+        let caller = table
+            .nodes
+            .iter()
+            .find(|n| n.qual() == caller_qual)
+            .unwrap_or_else(|| panic!("no node {caller_qual}"));
+        g.edges[caller.id]
+            .iter()
+            .map(|e| table.nodes[e.callee].qual())
+            .collect()
+    }
+
+    #[test]
+    fn same_module_and_use_import_resolution() {
+        let (t, g) = graph(&[
+            (
+                "crates/a/src/lib.rs",
+                "use flextract_b::deep::helper;\n\
+                 pub fn top() { local(); helper(); }\nfn local() {}\n",
+            ),
+            ("crates/b/src/deep.rs", "pub fn helper() {}\n"),
+        ]);
+        let names = edge_names(&t, &g, "flextract_a::top");
+        assert!(
+            names.contains(&"flextract_a::local".to_string()),
+            "{names:?}"
+        );
+        assert!(
+            names.contains(&"flextract_b::deep::helper".to_string()),
+            "{names:?}"
+        );
+    }
+
+    #[test]
+    fn qualified_paths_filter_by_crate_and_module() {
+        let (t, g) = graph(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn top() { flextract_b::deep::helper(); other::helper(); }\n",
+            ),
+            ("crates/b/src/deep.rs", "pub fn helper() {}\n"),
+            ("crates/c/src/other.rs", "pub fn helper() {}\n"),
+        ]);
+        let names = edge_names(&t, &g, "flextract_a::top");
+        assert_eq!(
+            names,
+            vec![
+                "flextract_b::deep::helper".to_string(),
+                "flextract_c::other::helper".to_string()
+            ]
+        );
+    }
+
+    #[test]
+    fn typed_and_self_calls() {
+        let (t, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "pub struct Frame;\nimpl Frame {\n\
+             pub fn open() { Self::check(); }\n\
+             fn check(&self) { self.step(); }\n\
+             fn step(&self) {}\n}\n\
+             pub fn free() { Frame::open(); }\n",
+        )]);
+        assert_eq!(
+            edge_names(&t, &g, "flextract_a::Frame::open"),
+            vec!["flextract_a::Frame::check"]
+        );
+        assert_eq!(
+            edge_names(&t, &g, "flextract_a::Frame::check"),
+            vec!["flextract_a::Frame::step"]
+        );
+        assert_eq!(
+            edge_names(&t, &g, "flextract_a::free"),
+            vec!["flextract_a::Frame::open"]
+        );
+    }
+
+    #[test]
+    fn bare_method_calls_over_approximate() {
+        let (t, g) = graph(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn top(x: &X) { x.materialize(); }\n",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "pub struct X;\nimpl X { pub fn materialize(&self) {} }\n",
+            ),
+        ]);
+        assert_eq!(
+            edge_names(&t, &g, "flextract_a::top"),
+            vec!["flextract_b::X::materialize"]
+        );
+    }
+
+    #[test]
+    fn std_calls_and_unknown_names_produce_no_edges() {
+        let (t, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "pub fn top() { std::mem::drop(1); nothing_here(); vec.sort(); }\n",
+        )]);
+        assert!(edge_names(&t, &g, "flextract_a::top").is_empty());
+    }
+
+    #[test]
+    fn glob_imports_resolve() {
+        let (t, g) = graph(&[
+            (
+                "crates/a/src/lib.rs",
+                "use flextract_b::deep::*;\npub fn top() { helper(); }\n",
+            ),
+            ("crates/b/src/deep.rs", "pub fn helper() {}\n"),
+        ]);
+        assert_eq!(
+            edge_names(&t, &g, "flextract_a::top"),
+            vec!["flextract_b::deep::helper"]
+        );
+    }
+}

@@ -1,7 +1,35 @@
-//! Structured lint findings and their text / JSON renderings.
+//! Structured lint findings and their text / JSON / SARIF renderings.
+
+/// One hop of a witness call path: a function and where it enters the
+/// path (the entry's definition site, or the call site in its caller).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PathHop {
+    /// Qualified function name, e.g. `flextract_dataset::ingest::clean`.
+    pub qual: String,
+    /// File of the hop location, relative to the analysis root.
+    pub file: String,
+    /// 1-based line of the hop location.
+    pub line: usize,
+}
+
+impl PathHop {
+    /// `qual (file:line)` — the unit the `via` suppression key matches.
+    pub fn render(&self) -> String {
+        format!("{} ({}:{})", self.qual, self.file, self.line)
+    }
+}
+
+/// Render a witness path on one line (`hop -> hop -> hop`) — this is
+/// the string `analyze.toml`'s `via` key is matched against.
+pub fn render_path(path: &[PathHop]) -> String {
+    path.iter()
+        .map(PathHop::render)
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
 
 /// One lint violation at a source location.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Finding {
     /// Path relative to the analysis root, `/`-separated.
     pub file: String,
@@ -17,6 +45,10 @@ pub struct Finding {
     pub suggestion: String,
     /// The offending source line, trimmed.
     pub excerpt: String,
+    /// Witness call path for reachability lints (empty for lexical
+    /// lints): entry first, each subsequent hop at its call site, the
+    /// sink being this finding's own `file:line:col`.
+    pub path: Vec<PathHop>,
 }
 
 impl Finding {
@@ -36,6 +68,9 @@ impl std::fmt::Display for Finding {
         if !self.excerpt.is_empty() {
             writeln!(f, "    | {}", self.excerpt)?;
         }
+        if !self.path.is_empty() {
+            writeln!(f, "    = via: {}", render_path(&self.path))?;
+        }
         write!(f, "    = help: {}", self.suggestion)
     }
 }
@@ -49,6 +84,9 @@ pub struct Analysis {
     pub suppressed: usize,
     /// How many files were scanned.
     pub files_scanned: usize,
+    /// How many files were actually re-read and re-parsed (differs
+    /// from `files_scanned` on warm cache runs).
+    pub files_reparsed: usize,
 }
 
 impl Analysis {
@@ -65,10 +103,12 @@ impl Analysis {
             out.push_str("\n\n");
         }
         out.push_str(&format!(
-            "flextract-analyze: {} finding(s), {} suppressed by analyze.toml, {} file(s) scanned\n",
+            "flextract-analyze: {} finding(s), {} suppressed by analyze.toml, \
+             {} file(s) scanned ({} re-parsed)\n",
             self.findings.len(),
             self.suppressed,
-            self.files_scanned
+            self.files_scanned,
+            self.files_reparsed
         ));
         out
     }
@@ -81,9 +121,22 @@ impl Analysis {
             if i > 0 {
                 out.push(',');
             }
+            let path = f
+                .path
+                .iter()
+                .map(|h| {
+                    format!(
+                        "{{\"qual\": {}, \"file\": {}, \"line\": {}}}",
+                        json_str(&h.qual),
+                        json_str(&h.file),
+                        h.line
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
             out.push_str(&format!(
                 "\n    {{\"file\": {}, \"line\": {}, \"col\": {}, \"lint\": {}, \
-                 \"message\": {}, \"suggestion\": {}, \"excerpt\": {}}}",
+                 \"message\": {}, \"suggestion\": {}, \"excerpt\": {}, \"path\": [{}]}}",
                 json_str(&f.file),
                 f.line,
                 f.col,
@@ -91,15 +144,73 @@ impl Analysis {
                 json_str(&f.message),
                 json_str(&f.suggestion),
                 json_str(&f.excerpt),
+                path,
             ));
         }
         out.push_str(&format!(
-            "\n  ],\n  \"total\": {},\n  \"suppressed\": {},\n  \"files_scanned\": {}\n}}\n",
+            "\n  ],\n  \"total\": {},\n  \"suppressed\": {},\n  \"files_scanned\": {},\n  \
+             \"files_reparsed\": {}\n}}\n",
             self.findings.len(),
             self.suppressed,
-            self.files_scanned
+            self.files_scanned,
+            self.files_reparsed
         ));
         out
+    }
+
+    /// SARIF 2.1.0 rendering — the minimal subset code-scanning UIs
+    /// ingest: one run, one rule per distinct lint id, one result per
+    /// finding with its primary location, and the witness path as
+    /// related locations.
+    pub fn render_sarif(&self) -> String {
+        let mut rules: Vec<&str> = self.findings.iter().map(|f| f.lint.as_str()).collect();
+        rules.sort_unstable();
+        rules.dedup();
+        let rules_json = rules
+            .iter()
+            .map(|id| format!("{{\"id\": {}}}", json_str(id)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let mut results = String::new();
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                results.push(',');
+            }
+            let related = f
+                .path
+                .iter()
+                .map(|h| {
+                    format!(
+                        "{{\"message\": {{\"text\": {}}}, \"physicalLocation\": \
+                         {{\"artifactLocation\": {{\"uri\": {}}}, \
+                         \"region\": {{\"startLine\": {}}}}}}}",
+                        json_str(&h.qual),
+                        json_str(&h.file),
+                        h.line
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            results.push_str(&format!(
+                "\n      {{\"ruleId\": {}, \"level\": \"error\", \
+                 \"message\": {{\"text\": {}}}, \"locations\": [{{\"physicalLocation\": \
+                 {{\"artifactLocation\": {{\"uri\": {}}}, \"region\": {{\"startLine\": {}, \
+                 \"startColumn\": {}}}}}}}], \"relatedLocations\": [{}]}}",
+                json_str(&f.lint),
+                json_str(&f.message),
+                json_str(&f.file),
+                f.line,
+                f.col,
+                related,
+            ));
+        }
+        format!(
+            "{{\n  \"$schema\": \
+             \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+             \"version\": \"2.1.0\",\n  \"runs\": [{{\n    \"tool\": {{\"driver\": \
+             {{\"name\": \"flextract-analyze\", \"rules\": [{rules_json}]}}}},\n    \
+             \"results\": [{results}\n    ]\n  }}]\n}}\n"
+        )
     }
 }
 
@@ -131,32 +242,81 @@ mod tests {
             file: "crates/x/src/lib.rs".into(),
             line: 3,
             col: 9,
-            lint: "panic-surface".into(),
+            lint: "panic-reachability".into(),
             message: "`.unwrap()` in a decode path".into(),
             suggestion: "return a typed error".into(),
             excerpt: "let v = buf.first().unwrap();".into(),
+            path: vec![
+                PathHop {
+                    qual: "flextract_dataset::Dataset::materialize".into(),
+                    file: "crates/dataset/src/store.rs".into(),
+                    line: 221,
+                },
+                PathHop {
+                    qual: "flextract_x::helper".into(),
+                    file: "crates/dataset/src/store.rs".into(),
+                    line: 240,
+                },
+            ],
         }
     }
 
     #[test]
-    fn display_names_file_line_col_and_lint() {
+    fn display_names_file_line_col_lint_and_path() {
         let text = finding().to_string();
         assert!(text.contains("crates/x/src/lib.rs:3:9"), "{text}");
-        assert!(text.contains("[panic-surface]"), "{text}");
+        assert!(text.contains("[panic-reachability]"), "{text}");
         assert!(text.contains("help:"), "{text}");
+        assert!(
+            text.contains(
+                "via: flextract_dataset::Dataset::materialize (crates/dataset/src/store.rs:221) \
+                 -> flextract_x::helper (crates/dataset/src/store.rs:240)"
+            ),
+            "{text}"
+        );
     }
 
     #[test]
-    fn json_escapes_and_counts() {
+    fn json_escapes_counts_and_path() {
         let mut a = Analysis {
             findings: vec![finding()],
             suppressed: 2,
             files_scanned: 10,
+            files_reparsed: 10,
         };
         a.findings[0].message = "say \"no\"\n".into();
         let json = a.render_json();
         assert!(json.contains("\\\"no\\\"\\n"), "{json}");
         assert!(json.contains("\"total\": 1"), "{json}");
         assert!(json.contains("\"suppressed\": 2"), "{json}");
+        assert!(json.contains("\"files_reparsed\": 10"), "{json}");
+        assert!(json.contains("\"qual\": \"flextract_x::helper\""), "{json}");
+    }
+
+    #[test]
+    fn sarif_has_schema_rules_and_locations() {
+        let a = Analysis {
+            findings: vec![finding()],
+            suppressed: 0,
+            files_scanned: 1,
+            files_reparsed: 1,
+        };
+        let sarif = a.render_sarif();
+        assert!(sarif.contains("sarif-2.1.0.json"), "{sarif}");
+        assert!(
+            sarif.contains("\"ruleId\": \"panic-reachability\""),
+            "{sarif}"
+        );
+        assert!(sarif.contains("\"startLine\": 3"), "{sarif}");
+        assert!(sarif.contains("\"startColumn\": 9"), "{sarif}");
+        assert!(sarif.contains("relatedLocations"), "{sarif}");
+        assert!(sarif.contains("flextract_x::helper"), "{sarif}");
+    }
+
+    #[test]
+    fn empty_analysis_sarif_is_well_formed() {
+        let sarif = Analysis::default().render_sarif();
+        assert!(sarif.contains("\"results\": ["), "{sarif}");
+        assert!(sarif.contains("\"rules\": []"), "{sarif}");
     }
 }

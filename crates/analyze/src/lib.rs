@@ -12,55 +12,141 @@
 //! that rejects the violation at the source line before any test has
 //! to fail.
 //!
-//! The pieces:
+//! Since PR 8 the engine is *semantic*, not just lexical: it parses
+//! items, resolves workspace-internal call edges, and proves
+//! reachability from entry points to sinks instead of guessing from
+//! directory names. The pieces:
 //!
-//! * [`lexer`] — comment/string/raw-string-aware masking, so lexical
-//!   patterns never fire inside comments, literals, or `#[cfg(test)]`
-//!   regions;
+//! * [`lexer`] — comment/string/raw-string-aware masking, so patterns
+//!   never fire inside comments, literals, or `#[cfg(test)]` regions;
 //! * [`walker`] — a deterministic file walker that classifies every
 //!   file by crate role (library, binary, test, bench, example,
 //!   vendor);
-//! * [`lints`] — the lint catalogue (see its module docs for the
-//!   invariant each lint encodes);
+//! * [`parser`] — a lightweight item parser extracting `fn`/`impl`/
+//!   `mod`/`use` items, call sites, and sink sites per file;
+//! * [`symbols`] / [`callgraph`] — the workspace symbol table and the
+//!   cross-crate call graph resolved over it;
+//! * [`reach`] — the reachability lints (`determinism-taint`,
+//!   `panic-reachability`, `unordered-spawn`) with witness call paths;
+//! * [`lints`] — the remaining lexical lint catalogue (see its module
+//!   docs) and the shared pattern machinery;
 //! * [`allowlist`] — the `analyze.toml` escape hatch, where every
-//!   suppression must carry a written justification and unused
-//!   entries are themselves findings;
-//! * [`findings`] — structured `file:line:col` findings with text and
-//!   JSON renderings.
+//!   suppression must carry a written justification, may be scoped to
+//!   a witness call path (`via`), and unused entries are themselves
+//!   findings;
+//! * [`cache`] — the incremental file-hash cache: warm runs re-parse
+//!   only changed files and recompute just the (cheap) semantic pass;
+//! * [`findings`] — structured `file:line:col` findings with witness
+//!   paths and text / JSON / SARIF renderings.
 //!
-//! The CLI surface is `flextract analyze [--root DIR] [--json]`; CI
-//! runs it as a hard gate.
+//! The CLI surface is `flextract analyze [--root DIR] [--json]
+//! [--sarif FILE] [--no-cache]`; CI runs it as a hard gate. Findings
+//! exit 1; an internal failure of the analysis itself exits 2.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod allowlist;
+pub mod cache;
+pub mod callgraph;
 pub mod findings;
 pub mod lexer;
 pub mod lints;
+pub mod parser;
+pub mod reach;
+pub mod symbols;
 pub mod walker;
 
 pub use allowlist::{Allowlist, Suppression};
-pub use findings::{Analysis, Finding};
+pub use findings::{render_path, Analysis, Finding, PathHop};
 pub use lints::{LintDef, LINTS};
 pub use walker::{Role, SourceFile};
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Name of the allowlist file at the analysis root.
 pub const ALLOWLIST_FILE: &str = "analyze.toml";
 
+/// Knobs for one analysis run.
+#[derive(Debug, Clone, Default)]
+pub struct AnalyzeOptions {
+    /// Where to load/store the incremental cache; `None` disables
+    /// caching entirely (every file is re-parsed).
+    pub cache_path: Option<PathBuf>,
+}
+
+/// The conventional cache location for a workspace root (under
+/// `target/`, so `cargo clean` clears it).
+pub fn default_cache_path(root: &Path) -> PathBuf {
+    root.join(cache::CACHE_FILE)
+}
+
 /// Run the full analysis over the workspace at `root` with the given
-/// allowlist. Findings come back sorted by `(file, line, col, lint)`.
+/// allowlist, no cache. Findings come back sorted by
+/// `(file, line, col, lint)`.
 pub fn analyze_tree(root: &Path, allowlist: &Allowlist) -> Result<Analysis, String> {
+    analyze_tree_with(root, allowlist, &AnalyzeOptions::default())
+}
+
+/// [`analyze_tree`] with explicit options. Cached and cold runs are
+/// byte-identical in output — the cache can only change timing.
+pub fn analyze_tree_with(
+    root: &Path,
+    allowlist: &Allowlist,
+    opts: &AnalyzeOptions,
+) -> Result<Analysis, String> {
     let files = walker::walk(root)?;
+    let old_cache = match &opts.cache_path {
+        Some(path) => cache::Cache::load(path),
+        None => cache::Cache::default(),
+    };
+    let mut new_cache = cache::Cache::default();
     let mut findings = Vec::new();
+    let mut parsed_files: Vec<(String, parser::ParsedFile)> = Vec::new();
     let mut scanned = 0usize;
+    let mut reparsed = 0usize;
     for file in &files {
         scanned += 1;
-        let src = std::fs::read_to_string(&file.path)
+        let bytes = std::fs::read(&file.path)
             .map_err(|e| format!("cannot read {}: {e}", file.path.display()))?;
-        scan_file(file, &src, &mut findings);
+        let hash = cache::fnv1a(&bytes);
+        if let Some(entry) = old_cache.entries.get(&file.rel) {
+            if entry.hash == hash {
+                findings.extend(entry.lexical.iter().cloned());
+                if let Some(parsed) = &entry.parsed {
+                    parsed_files.push((file.rel.clone(), parsed.clone()));
+                }
+                new_cache.entries.insert(file.rel.clone(), entry.clone());
+                continue;
+            }
+        }
+        reparsed += 1;
+        let src = String::from_utf8(bytes)
+            .map_err(|_| format!("{} is not valid UTF-8", file.path.display()))?;
+        let mut lexical = Vec::new();
+        let parsed = scan_file(file, &src, &mut lexical);
+        findings.extend(lexical.iter().cloned());
+        if let Some(parsed) = &parsed {
+            parsed_files.push((file.rel.clone(), parsed.clone()));
+        }
+        new_cache.entries.insert(
+            file.rel.clone(),
+            cache::FileEntry {
+                hash,
+                parsed,
+                lexical,
+            },
+        );
+    }
+    // The semantic pass is cross-file and cheap next to parsing, so it
+    // runs fresh every time — cache hits feed it identical inputs.
+    let table = symbols::build(&parsed_files);
+    let graph = callgraph::build(&table);
+    findings.extend(reach::run(&table, &graph));
+    if let Some(path) = &opts.cache_path {
+        // Best-effort: a failed save costs warm-start time, nothing
+        // else, and must not fail the gate.
+        let _ = new_cache.save(path);
     }
     let (mut kept, suppressed) = allowlist.apply(findings);
     kept.sort_by_key(|f| f.sort_key());
@@ -68,6 +154,7 @@ pub fn analyze_tree(root: &Path, allowlist: &Allowlist) -> Result<Analysis, Stri
         findings: kept,
         suppressed,
         files_scanned: scanned,
+        files_reparsed: reparsed,
     })
 }
 
@@ -76,12 +163,24 @@ pub fn load_allowlist(root: &Path) -> Result<Allowlist, String> {
     Allowlist::load(&root.join(ALLOWLIST_FILE))
 }
 
-/// Scan one file's source text, appending findings.
-fn scan_file(file: &SourceFile, src: &str, findings: &mut Vec<Finding>) {
+/// Does this file feed the call graph? Library and binary Rust code
+/// does; tests, benches, examples, and vendor stand-ins do not (their
+/// calls are not edges the invariants run through).
+fn wants_graph(file: &SourceFile) -> bool {
+    matches!(file.role, Role::Library | Role::Binary) && file.rel.ends_with(".rs")
+}
+
+/// Scan one file: append its lexical findings, and return its parsed
+/// item structure when the file feeds the call graph.
+fn scan_file(
+    file: &SourceFile,
+    src: &str,
+    findings: &mut Vec<Finding>,
+) -> Option<parser::ParsedFile> {
     let name = file.rel.rsplit('/').next().unwrap_or(&file.rel);
     if name == "Cargo.toml" {
         scan_vendor_manifest(file, src, findings);
-        return;
+        return None;
     }
     if file.role == Role::Vendor && name == "build.rs" {
         findings.push(Finding {
@@ -95,7 +194,7 @@ fn scan_file(file: &SourceFile, src: &str, findings: &mut Vec<Finding>) {
             suggestion: "vendored crates must build from plain sources; inline whatever the \
                          script generated"
                 .into(),
-            excerpt: String::new(),
+            ..Finding::default()
         });
         // The script body is still scanned for net/process below.
     }
@@ -115,11 +214,13 @@ fn scan_file(file: &SourceFile, src: &str, findings: &mut Vec<Finding>) {
                     message: lint.message.into(),
                     suggestion: lint.suggestion.into(),
                     excerpt: lexer::line_text(src, offset).to_string(),
+                    ..Finding::default()
                 });
             }
         }
     }
     forbid_unsafe_check(file, &code, findings);
+    wants_graph(file).then(|| parser::parse_file(src, &code))
 }
 
 /// `forbid-unsafe`: every library crate root must carry
@@ -141,7 +242,7 @@ fn forbid_unsafe_check(file: &SourceFile, code: &str, findings: &mut Vec<Finding
             lint: "forbid-unsafe".into(),
             message: "library crate root does not forbid unsafe code".into(),
             suggestion: "add `#![forbid(unsafe_code)]` to the crate root".into(),
-            excerpt: String::new(),
+            ..Finding::default()
         });
     }
 }
@@ -165,6 +266,7 @@ fn scan_vendor_manifest(file: &SourceFile, src: &str, findings: &mut Vec<Finding
                              build-time code execution"
                     .into(),
                 excerpt: raw.trim().to_string(),
+                ..Finding::default()
             });
         }
     }
@@ -185,31 +287,45 @@ mod tests {
 
     #[test]
     fn scan_flags_and_locates() {
-        let src = "fn f() {\n    let t = std::time::SystemTime::now();\n}\n";
+        let src = "fn f(xs: &[f64]) -> f64 {\n    xs.iter().sum::<f64>()\n}\n";
         let mut findings = Vec::new();
         scan_file(
-            &file("crates/core/src/peak.rs", Role::Library),
+            &file("crates/frame/src/scan.rs", Role::Library),
             src,
             &mut findings,
         );
         let hit = findings
             .iter()
-            .find(|f| f.lint == "nondeterministic-time")
+            .find(|f| f.lint == "float-fold")
             .expect("must flag");
-        assert_eq!((hit.line, hit.col), (2, 24));
-        assert!(hit.excerpt.contains("SystemTime::now"));
+        assert_eq!(hit.line, 2);
+        assert!(hit.excerpt.contains("sum::<f64>"));
     }
 
     #[test]
-    fn test_role_is_exempt() {
-        let src = "fn f() { let t = SystemTime::now(); x.unwrap(); }\n";
+    fn test_role_is_exempt_from_lexical_lints_and_graph() {
+        let src = "fn f(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }\n";
         let mut findings = Vec::new();
-        scan_file(
+        let parsed = scan_file(
             &file("crates/frame/tests/x.rs", Role::TestCode),
             src,
             &mut findings,
         );
         assert!(findings.is_empty(), "{findings:?}");
+        assert!(parsed.is_none(), "test code must not feed the call graph");
+    }
+
+    #[test]
+    fn library_files_feed_the_graph() {
+        let src = "pub fn f() { g(); }\nfn g() {}\n";
+        let mut findings = Vec::new();
+        let parsed = scan_file(
+            &file("crates/core/src/peak.rs", Role::Library),
+            src,
+            &mut findings,
+        );
+        let parsed = parsed.expect("library code feeds the graph");
+        assert_eq!(parsed.fns.len(), 2);
     }
 
     #[test]

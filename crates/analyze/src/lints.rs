@@ -1,17 +1,21 @@
-//! The lint catalogue: each lint encodes one invariant the golden
-//! files and proptests enforce dynamically, moved up to the source
-//! line.
+//! The *lexical* lint catalogue: patterns whose mere presence in a
+//! scoped file is the violation, no call-graph reasoning needed.
 //!
 //! | lint | invariant |
 //! |------|-----------|
-//! | `nondeterministic-time` | reports are pure functions of spec+seed — no wall clock in library code |
-//! | `unordered-iteration` | nothing ordered ever flows out of a hash table's iteration order |
-//! | `seedless-rng` | every RNG is constructed from an explicit seed |
-//! | `panic-surface` | codec/scan/cleaning/ingestion paths return typed errors, never panic |
-//! | `unchecked-indexing` | those same paths never index slices directly |
 //! | `float-fold` | merge/aggregate paths use the canonical per-chunk-then-in-order folds |
 //! | `vendor-hygiene` | vendored stand-ins stay offline: no net, no process, no build scripts |
 //! | `forbid-unsafe` | every library crate root carries `#![forbid(unsafe_code)]` |
+//!
+//! The determinism and panic-safety invariants that used to live here
+//! as path-scoped patterns (`nondeterministic-time`,
+//! `unordered-iteration`, `seedless-rng`, `panic-surface`,
+//! `unchecked-indexing`) are now *reachability* lints
+//! (`determinism-taint`, `panic-reachability`, `unordered-spawn`) in
+//! [`crate::reach`], which proves a path from an entry point to the
+//! sink instead of guessing from directory names. This module keeps
+//! the shared pattern machinery ([`Pat`], [`find_matches`]) those
+//! sinks are detected with.
 //!
 //! Lints are lexical (they scan masked code — see [`crate::lexer`]),
 //! which keeps the engine dependency-free and fast. The trade-off is
@@ -68,22 +72,7 @@ impl LintDef {
 }
 
 const LIB: &[Role] = &[Role::Library];
-const LIB_BIN: &[Role] = &[Role::Library, Role::Binary];
 const VENDOR: &[Role] = &[Role::Vendor];
-
-/// Decode/cleaning/ingestion paths where panicking on input bytes is a
-/// production outage, not a bug report: the frame codec and scan
-/// engine, the dataset store/codecs, and the series-level cleaning
-/// primitives they call.
-const PANIC_SURFACE_PATHS: &[&str] = &[
-    "crates/frame/src/",
-    "crates/dataset/src/",
-    "crates/series/src/codec.rs",
-    "crates/series/src/missing.rs",
-    "crates/series/src/resample.rs",
-    "crates/series/src/rolling.rs",
-    "crates/series/src/anomaly.rs",
-];
 
 /// Merge/aggregate contexts where an ad-hoc float reduction can break
 /// byte-stability under parallelism: the frame scan folds, the
@@ -94,72 +83,8 @@ const FLOAT_FOLD_PATHS: &[&str] = &[
     "crates/agg/src/",
 ];
 
-/// The shipped lint catalogue.
+/// The shipped lexical lint catalogue.
 pub const LINTS: &[LintDef] = &[
-    LintDef {
-        id: "nondeterministic-time",
-        roles: LIB_BIN,
-        paths: &[],
-        patterns: &[Pat::Substr("SystemTime::now"), Pat::Substr("Instant::now")],
-        message: "wall-clock read in pipeline code — reports must be pure functions of \
-                  spec and seed",
-        suggestion: "derive timing from the scenario spec; if this measures wall time that \
-                     never reaches a report, suppress it in analyze.toml with a justification",
-    },
-    LintDef {
-        id: "unordered-iteration",
-        roles: LIB_BIN,
-        paths: &[],
-        patterns: &[Pat::Substr("HashMap"), Pat::Substr("HashSet")],
-        message: "hash-ordered collection in library code — iteration order is \
-                  nondeterministic and must never reach a report or serialization",
-        suggestion: "use BTreeMap/BTreeSet (or sort before iterating); if the map is only \
-                     ever keyed, never iterated, suppress with a justification saying so",
-    },
-    LintDef {
-        id: "seedless-rng",
-        roles: LIB_BIN,
-        paths: &[],
-        patterns: &[
-            Pat::Substr("from_entropy"),
-            Pat::Substr("thread_rng"),
-            Pat::Substr("rand::rng()"),
-            Pat::Substr("rand::random()"),
-            Pat::Substr("entropy_seed"),
-        ],
-        message: "RNG constructed without an explicit seed — identical specs would stop \
-                  producing identical outputs",
-        suggestion: "thread an explicit seed in (StdRng::seed_from_u64) — per-consumer-index \
-                     seeding is the workspace convention",
-    },
-    LintDef {
-        id: "panic-surface",
-        roles: LIB,
-        paths: PANIC_SURFACE_PATHS,
-        patterns: &[
-            Pat::Substr(".unwrap()"),
-            Pat::Substr(".expect("),
-            Pat::Substr("panic!"),
-            Pat::Substr("unreachable!"),
-            Pat::Substr("todo!"),
-            Pat::Substr("unimplemented!"),
-        ],
-        message: "possible panic in a codec/scan/cleaning/ingestion path — hostile bytes \
-                  must surface as typed errors, not process aborts",
-        suggestion: "return a typed error (FrameError/DatasetError/SeriesError) naming the \
-                     offset instead of panicking",
-    },
-    LintDef {
-        id: "unchecked-indexing",
-        roles: LIB,
-        paths: PANIC_SURFACE_PATHS,
-        patterns: &[Pat::Index],
-        message: "direct slice indexing in a codec/scan/cleaning/ingestion path — an \
-                  attacker-controlled length or offset here is a process abort",
-        suggestion: "use .get()/.get_mut() and surface a typed error naming the offset; \
-                     for internally-bounded window arithmetic, suppress per file with a \
-                     justification naming the bound",
-    },
     LintDef {
         id: "float-fold",
         roles: LIB,
@@ -292,17 +217,13 @@ mod tests {
 
     #[test]
     fn lint_scoping_by_role_and_path() {
-        let panic = LINTS.iter().find(|l| l.id == "panic-surface").unwrap();
-        assert!(panic.applies(Role::Library, "crates/frame/src/fxm.rs"));
-        assert!(panic.applies(Role::Library, "crates/series/src/missing.rs"));
-        assert!(!panic.applies(Role::Library, "crates/core/src/peak.rs"));
-        assert!(!panic.applies(Role::TestCode, "crates/frame/src/fxm.rs"));
-        let time = LINTS
-            .iter()
-            .find(|l| l.id == "nondeterministic-time")
-            .unwrap();
-        assert!(time.applies(Role::Library, "crates/core/src/peak.rs"));
-        assert!(time.applies(Role::Binary, "src/bin/flextract.rs"));
-        assert!(!time.applies(Role::Bench, "crates/bench/src/lib.rs"));
+        let fold = LINTS.iter().find(|l| l.id == "float-fold").unwrap();
+        assert!(fold.applies(Role::Library, "crates/frame/src/fxm.rs"));
+        assert!(fold.applies(Role::Library, "crates/scenario/src/runner.rs"));
+        assert!(!fold.applies(Role::Library, "crates/core/src/peak.rs"));
+        assert!(!fold.applies(Role::TestCode, "crates/frame/src/fxm.rs"));
+        let vendor = LINTS.iter().find(|l| l.id == "vendor-hygiene").unwrap();
+        assert!(vendor.applies(Role::Vendor, "vendor/rand/src/lib.rs"));
+        assert!(!vendor.applies(Role::Library, "crates/core/src/peak.rs"));
     }
 }

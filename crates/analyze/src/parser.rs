@@ -1,0 +1,1104 @@
+//! A lightweight Rust *item* parser on top of the masking lexer.
+//!
+//! [`parse_file`] runs over masked code (comments, strings and
+//! `#[cfg(test)]` regions already blanked — see [`crate::lexer`]) and
+//! extracts the structure the call-graph needs: `fn` items with their
+//! body spans and enclosing `mod`/`impl`/`trait` context, `use`
+//! declarations, call sites inside each body, and sink sites (the
+//! nondeterminism / panic patterns the reachability lints trace to).
+//!
+//! This is **not** a Rust parser — it is a bracket-matching item
+//! scanner tuned to the subset of Rust this workspace writes, honest
+//! about its blind spots, each of which is deliberate and pinned by a
+//! test in `tests/parser_semantics.rs`:
+//!
+//! * `macro_rules!` bodies are skipped entirely: a function defined by
+//!   a macro is a documented non-node (the workspace defines none).
+//! * `#[cfg(test)]` shadows never produce items or edges — the lexer
+//!   blanks them before this module runs.
+//! * Closure bodies belong to the function that wrote them: a call
+//!   inside a closure is an edge from the enclosing `fn`, which
+//!   over-approximates reachability (sound for "must not reach" lints).
+//! * Nested `fn` items get their own node; their bodies are excluded
+//!   from the enclosing function's call/sink attribution.
+
+use crate::lexer::{self, is_ident};
+
+/// Visibility of a parsed `fn` item, as far as entry-point detection
+/// needs it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Vis {
+    /// `pub fn` (including `pub(crate)` and friends — anything that
+    /// makes the item callable from outside its module).
+    Pub,
+    /// No visibility qualifier.
+    Private,
+}
+
+/// One call expression inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// 1-based line of the call's first path segment.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Path segments, e.g. `["fxm", "decode_stats"]` for
+    /// `fxm::decode_stats(…)`, or `["helper"]` for `helper(…)` /
+    /// `.helper(…)`.
+    pub segments: Vec<String>,
+    /// `true` for `receiver.method(…)` calls.
+    pub method: bool,
+    /// `true` when the receiver of a method call is literally `self`.
+    pub recv_self: bool,
+}
+
+/// Which reachability lint a sink site belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SinkKind {
+    /// `Instant::now` / `SystemTime::now`.
+    WallClock,
+    /// `HashMap` / `HashSet` (hash-ordered collections).
+    HashOrder,
+    /// Seedless RNG construction (`thread_rng`, `from_entropy`, …).
+    SeedlessRng,
+    /// `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/
+    /// `unimplemented!`.
+    Panic,
+    /// Direct slice/vec indexing `x[i]`.
+    Indexing,
+    /// Detached `thread::spawn` (never joined by a scope).
+    DetachedSpawn,
+    /// `.spawn(` method call (scoped spawns — legal only inside a
+    /// function that owns the `thread::scope`).
+    ScopedSpawn,
+}
+
+/// One sink occurrence inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SinkSite {
+    /// Sink category.
+    pub kind: SinkKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// The offending source line, trimmed (from the *unmasked* file).
+    pub excerpt: String,
+}
+
+/// One parsed `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name (raw-identifier prefix `r#` stripped).
+    pub name: String,
+    /// Enclosing `impl`/`trait` type head (`Frame` for
+    /// `impl Frame`, `Dataset` for `impl Ord for Dataset`), if any.
+    pub self_ty: Option<String>,
+    /// Inline `mod` path within the file (file-level module path is
+    /// the symbol table's business).
+    pub module: Vec<String>,
+    /// Visibility.
+    pub vis: Vis,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// 1-based column of the `fn` keyword.
+    pub col: usize,
+    /// Body span (byte offsets into the file, `{`..`}` inclusive);
+    /// `None` for bodyless declarations (trait required methods).
+    pub body: Option<(usize, usize)>,
+    /// Calls made from this function's own body (nested fns excluded).
+    pub calls: Vec<CallSite>,
+    /// Sink sites in this function's own body.
+    pub sinks: Vec<SinkSite>,
+    /// Body constructs or returns a `ScenarioReport` — the function is
+    /// a golden-feeding root for determinism tainting.
+    pub report_ctor: bool,
+    /// Body contains `thread::scope` — scoped spawns inside it are
+    /// structurally joined before the function returns.
+    pub owns_thread_scope: bool,
+}
+
+/// Everything extracted from one file.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedFile {
+    /// All `fn` items, in source order.
+    pub fns: Vec<FnItem>,
+    /// `use` declarations: local alias → full path segments.
+    pub uses: Vec<(String, Vec<String>)>,
+    /// Glob imports (`use a::b::*`): the path segments before `*`.
+    pub globs: Vec<Vec<String>>,
+}
+
+/// Keywords that can never head a call path.
+const NON_PATH_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "break", "continue", "let", "else", "in",
+    "as", "move", "ref", "mut", "pub", "fn", "impl", "use", "mod", "struct", "enum", "union",
+    "trait", "where", "unsafe", "dyn", "box", "static", "const", "extern", "type", "await",
+    "yield", "true", "false",
+];
+
+/// Parse one file. `code` must be the masked text (same byte length as
+/// `src`); `src` is the original, used only for excerpts.
+pub fn parse_file(src: &str, code: &str) -> ParsedFile {
+    let mut p = Parser {
+        b: code.as_bytes(),
+        src,
+        code,
+        out: ParsedFile::default(),
+        stack: Vec::new(),
+    };
+    p.run();
+    let spans: Vec<Option<(usize, usize)>> = p.out.fns.iter().map(|f| f.body).collect();
+    let calls = scan_calls(code);
+    for c in calls {
+        if let Some(i) = innermost(&spans, c.0) {
+            let (line, col) = lexer::line_col(src, c.0);
+            p.out.fns[i].calls.push(CallSite {
+                line,
+                col,
+                segments: c.1,
+                method: c.2,
+                recv_self: c.3,
+            });
+        }
+    }
+    for (kind, offset) in scan_sinks(code) {
+        if let Some(i) = innermost(&spans, offset) {
+            let (line, col) = lexer::line_col(src, offset);
+            p.out.fns[i].sinks.push(SinkSite {
+                kind,
+                line,
+                col,
+                excerpt: lexer::line_text(src, offset).to_string(),
+            });
+        }
+    }
+    for (i, f) in p.out.fns.iter_mut().enumerate() {
+        let Some((s, e)) = spans[i] else { continue };
+        let body = &code[s..e.min(code.len())];
+        f.report_ctor = has_report_ctor(body);
+        f.owns_thread_scope = find_word_seq(body, &["thread", "scope"]).is_some();
+    }
+    p.out
+}
+
+/// Innermost fn whose body span contains `offset`.
+fn innermost(spans: &[Option<(usize, usize)>], offset: usize) -> Option<usize> {
+    let mut best: Option<(usize, usize)> = None; // (span length, idx)
+    for (i, span) in spans.iter().enumerate() {
+        let Some((s, e)) = span else { continue };
+        if offset >= *s && offset < *e {
+            let len = e - s;
+            if best.is_none_or(|(blen, _)| len < blen) {
+                best = Some((len, i));
+            }
+        }
+    }
+    best.map(|(_, i)| i)
+}
+
+/// Does a body construct or return a `ScenarioReport`? Matches the
+/// identifier followed by `{` (struct literal / return-position body
+/// brace) or `::` (associated construction) — a parameter of that type
+/// (`r: ScenarioReport,`) does not count.
+fn has_report_ctor(body: &str) -> bool {
+    let b = body.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = body[from..].find("ScenarioReport") {
+        let s = from + pos;
+        let e = s + "ScenarioReport".len();
+        let boundary_ok = (s == 0 || !is_ident(b[s - 1])) && (e >= b.len() || !is_ident(b[e]));
+        if boundary_ok {
+            let mut j = e;
+            while j < b.len() && (b[j] == b' ' || b[j] == b'\n') {
+                j += 1;
+            }
+            if j < b.len() && (b[j] == b'{' || (b[j] == b':' && b.get(j + 1) == Some(&b':'))) {
+                return true;
+            }
+        }
+        from = e;
+    }
+    false
+}
+
+/// Find `words[0] :: words[1]` allowing whitespace around the `::`.
+fn find_word_seq(code: &str, words: &[&str; 2]) -> Option<usize> {
+    let b = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(words[0]) {
+        let s = from + pos;
+        let e = s + words[0].len();
+        from = e;
+        if s > 0 && is_ident(b[s - 1]) {
+            continue;
+        }
+        let mut j = e;
+        while j < b.len() && (b[j] == b' ' || b[j] == b'\n') {
+            j += 1;
+        }
+        if !code[j..].starts_with("::") {
+            continue;
+        }
+        j += 2;
+        while j < b.len() && (b[j] == b' ' || b[j] == b'\n') {
+            j += 1;
+        }
+        if code[j..].starts_with(words[1]) && !is_ident(*b.get(j + words[1].len()).unwrap_or(&b' '))
+        {
+            return Some(s);
+        }
+    }
+    None
+}
+
+/// Block context while scanning items.
+#[derive(Debug, Clone)]
+enum Ctx {
+    Mod(String),
+    Impl(String),
+    Trait(String),
+    Fn,
+    Other,
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    src: &'a str,
+    code: &'a str,
+    out: ParsedFile,
+    stack: Vec<Ctx>,
+}
+
+impl Parser<'_> {
+    fn run(&mut self) {
+        let n = self.b.len();
+        let mut i = 0;
+        while i < n {
+            let c = self.b[i];
+            if c == b'{' {
+                self.stack.push(Ctx::Other);
+                i += 1;
+                continue;
+            }
+            if c == b'}' {
+                self.stack.pop();
+                i += 1;
+                continue;
+            }
+            if !is_ident(c) || c.is_ascii_digit() {
+                i += 1;
+                continue;
+            }
+            // Word start?  (`r#fn` must not read as the `fn` keyword:
+            // its word starts at `r`, and `#`-preceded words are raw.)
+            if i > 0 && (is_ident(self.b[i - 1]) || self.b[i - 1] == b'#') {
+                i += 1;
+                while i < n && is_ident(self.b[i]) {
+                    i += 1;
+                }
+                continue;
+            }
+            let start = i;
+            while i < n && is_ident(self.b[i]) {
+                i += 1;
+            }
+            let word = &self.code[start..i];
+            match word {
+                "fn" => i = self.item_fn(start, i),
+                "mod" => i = self.item_mod(i),
+                "impl" => i = self.item_impl(i),
+                "trait" => i = self.item_trait(i),
+                "use" => i = self.item_use(i),
+                "macro_rules" => i = self.skip_macro_rules(i),
+                _ => {}
+            }
+        }
+    }
+
+    fn skip_ws(&self, mut i: usize) -> usize {
+        while i < self.b.len() && (self.b[i] as char).is_whitespace() {
+            i += 1;
+        }
+        i
+    }
+
+    fn read_word(&self, i: usize) -> (usize, usize) {
+        let mut s = self.skip_ws(i);
+        // Raw identifier prefix.
+        if self.code[s..].starts_with("r#") {
+            s += 2;
+        }
+        let mut e = s;
+        while e < self.b.len() && is_ident(self.b[e]) {
+            e += 1;
+        }
+        (s, e)
+    }
+
+    /// `fn` keyword seen at `kw_start..kw_end`. Returns resume offset.
+    fn item_fn(&mut self, kw_start: usize, kw_end: usize) -> usize {
+        let n = self.b.len();
+        let (ns, ne) = self.read_word(kw_end);
+        if ns == ne {
+            // `fn(` — a function-pointer type, not an item.
+            return kw_end;
+        }
+        let name = self.code[ns..ne].to_string();
+        // Visibility: the nearest preceding word on the same logical
+        // item head. Look back for `pub` within a short window that
+        // contains no `;`, `{`, or `}` (so a previous item's `pub`
+        // cannot leak in).
+        let vis = self.leading_pub(kw_start);
+        // Scan the signature to the body `{` or a terminating `;`,
+        // balancing (), [], <> (with `->` arrows excluded).
+        let mut i = ne;
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        let mut angle = 0i32;
+        let mut body: Option<(usize, usize)> = None;
+        while i < n {
+            match self.b[i] {
+                b'(' => paren += 1,
+                b')' => paren -= 1,
+                b'[' => bracket += 1,
+                b']' => bracket -= 1,
+                b'<' if paren >= 0 => {
+                    // `<` after an identifier, `:`, `,`, `<` or `(` is a
+                    // generic opener; after a space it still is inside
+                    // signatures (no less-than expressions live here).
+                    angle += 1;
+                }
+                b'>' => {
+                    if i > 0 && self.b[i - 1] == b'-' {
+                        // `->` return arrow.
+                    } else if angle > 0 {
+                        angle -= 1;
+                    }
+                }
+                b'{' if paren == 0 && bracket == 0 && angle <= 0 => {
+                    let close = self.matching_brace(i);
+                    body = Some((i, close));
+                    break;
+                }
+                b';' if paren == 0 && bracket == 0 && angle <= 0 => {
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        let (line, col) = lexer::line_col(self.src, kw_start);
+        let (self_ty, module) = self.context();
+        self.out.fns.push(FnItem {
+            name,
+            self_ty,
+            module,
+            vis,
+            line,
+            col,
+            body,
+            calls: Vec::new(),
+            sinks: Vec::new(),
+            report_ctor: false,
+            owns_thread_scope: false,
+        });
+        match body {
+            // Resume *inside* the body so nested items are discovered;
+            // push the Fn context for the brace we are stepping over.
+            Some((open, _)) => {
+                self.stack.push(Ctx::Fn);
+                open + 1
+            }
+            None => i,
+        }
+    }
+
+    /// Is the item headed by `pub` (scanning back over attributes and
+    /// modifiers like `const` / `unsafe` / `extern "C"`)?
+    fn leading_pub(&self, kw_start: usize) -> Vis {
+        let window = &self.b[..kw_start];
+        let mut i = window.len();
+        let mut words_back = 0;
+        while i > 0 && words_back < 6 {
+            // Skip whitespace and a possible `(…)` visibility scope.
+            while i > 0 && (window[i - 1] as char).is_whitespace() {
+                i -= 1;
+            }
+            if i == 0 {
+                break;
+            }
+            match window[i - 1] {
+                b';' | b'{' | b'}' => break,
+                b')' => {
+                    // `pub(crate)` scope — skip to the matching `(`.
+                    let mut depth = 1;
+                    i -= 1;
+                    while i > 0 && depth > 0 {
+                        i -= 1;
+                        match window[i] {
+                            b')' => depth += 1,
+                            b'(' => depth -= 1,
+                            _ => {}
+                        }
+                    }
+                    continue;
+                }
+                b']' => break, // attribute — item head ends here
+                _ => {}
+            }
+            if !is_ident(window[i - 1]) {
+                break;
+            }
+            let mut s = i;
+            while s > 0 && is_ident(window[s - 1]) {
+                s -= 1;
+            }
+            let word = &self.code[s..i];
+            match word {
+                "pub" => return Vis::Pub,
+                "const" | "unsafe" | "extern" | "async" | "default" => {
+                    i = s;
+                    words_back += 1;
+                }
+                _ => break,
+            }
+        }
+        Vis::Private
+    }
+
+    fn item_mod(&mut self, kw_end: usize) -> usize {
+        let (ns, ne) = self.read_word(kw_end);
+        if ns == ne {
+            return kw_end;
+        }
+        let name = self.code[ns..ne].to_string();
+        let mut i = self.skip_ws(ne);
+        if i < self.b.len() && self.b[i] == b'{' {
+            self.stack.push(Ctx::Mod(name));
+            i += 1;
+        }
+        // `mod name;` — out-of-line module, nothing to push.
+        i
+    }
+
+    fn item_impl(&mut self, kw_end: usize) -> usize {
+        let n = self.b.len();
+        let mut i = self.skip_ws(kw_end);
+        // Generics directly after `impl`.
+        if i < n && self.b[i] == b'<' {
+            i = self.skip_angles(i);
+        }
+        // Read the header up to `{`, remembering the last identifier
+        // path before `{`/`where`, preferring the path after `for`.
+        let mut last_ident = String::new();
+        let mut after_for: Option<String> = None;
+        let mut saw_for = false;
+        while i < n {
+            let c = self.b[i];
+            if c == b'{' {
+                let ty = after_for.unwrap_or(last_ident);
+                self.stack.push(Ctx::Impl(ty));
+                return i + 1;
+            }
+            if c == b';' {
+                return i + 1;
+            }
+            if c == b'<' {
+                i = self.skip_angles(i);
+                continue;
+            }
+            if is_ident(c) && !c.is_ascii_digit() && (i == 0 || !is_ident(self.b[i - 1])) {
+                let (s, e) = self.read_word(i);
+                let word = self.code[s..e].to_string();
+                match word.as_str() {
+                    "for" => saw_for = true,
+                    "where" => {
+                        // Type head is already read; scan on to `{`.
+                        let mut j = e;
+                        while j < n && self.b[j] != b'{' {
+                            if self.b[j] == b'<' {
+                                j = self.skip_angles(j);
+                                continue;
+                            }
+                            j += 1;
+                        }
+                        i = j;
+                        continue;
+                    }
+                    _ => {
+                        if saw_for {
+                            after_for = Some(word.clone());
+                        }
+                        last_ident = word;
+                    }
+                }
+                i = e;
+                continue;
+            }
+            i += 1;
+        }
+        i
+    }
+
+    fn item_trait(&mut self, kw_end: usize) -> usize {
+        let (ns, ne) = self.read_word(kw_end);
+        if ns == ne {
+            return kw_end;
+        }
+        let name = self.code[ns..ne].to_string();
+        let mut i = ne;
+        let n = self.b.len();
+        while i < n {
+            match self.b[i] {
+                b'{' => {
+                    self.stack.push(Ctx::Trait(name));
+                    return i + 1;
+                }
+                b';' => return i + 1,
+                b'<' => {
+                    i = self.skip_angles(i);
+                }
+                _ => i += 1,
+            }
+        }
+        i
+    }
+
+    fn item_use(&mut self, kw_end: usize) -> usize {
+        // Collect the whole `use …;` text and expand group imports.
+        let n = self.b.len();
+        let mut end = kw_end;
+        let mut depth = 0i32;
+        while end < n {
+            match self.b[end] {
+                b'{' => depth += 1,
+                b'}' => depth -= 1,
+                b';' if depth == 0 => break,
+                _ => {}
+            }
+            end += 1;
+        }
+        let text = &self.code[kw_end..end.min(n)];
+        expand_use(text, &mut Vec::new(), &mut self.out);
+        end.min(n) + 1
+    }
+
+    fn skip_macro_rules(&mut self, kw_end: usize) -> usize {
+        let n = self.b.len();
+        let mut i = kw_end;
+        while i < n && self.b[i] != b'{' {
+            i += 1;
+        }
+        if i == n {
+            return n;
+        }
+        self.matching_brace(i)
+    }
+
+    fn matching_brace(&self, open: usize) -> usize {
+        let n = self.b.len();
+        let mut depth = 0usize;
+        let mut i = open;
+        while i < n {
+            match self.b[i] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        n
+    }
+
+    fn skip_angles(&self, open: usize) -> usize {
+        let n = self.b.len();
+        let mut depth = 0i32;
+        let mut i = open;
+        while i < n {
+            match self.b[i] {
+                b'<' => depth += 1,
+                b'>' => {
+                    if i > 0 && self.b[i - 1] == b'-' {
+                        // `->` inside e.g. `Fn(u8) -> u8` bounds.
+                    } else {
+                        depth -= 1;
+                        if depth == 0 {
+                            return i + 1;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        n
+    }
+
+    /// Current (impl/trait type, inline module path) from the stack.
+    fn context(&self) -> (Option<String>, Vec<String>) {
+        let mut ty = None;
+        let mut module = Vec::new();
+        for ctx in &self.stack {
+            match ctx {
+                Ctx::Mod(m) => module.push(m.clone()),
+                Ctx::Impl(t) | Ctx::Trait(t) => ty = Some(t.clone()),
+                _ => {}
+            }
+        }
+        (ty, module)
+    }
+}
+
+/// Expand a `use` tree (`a::b::{c, d as e, f::*}`) into aliases.
+fn expand_use(text: &str, prefix: &mut Vec<String>, out: &mut ParsedFile) {
+    let text = text.trim();
+    let b = text.as_bytes();
+    let mut i = 0;
+    let n = b.len();
+    let base_len = prefix.len();
+    let mut last_alias: Option<String> = None;
+    while i < n {
+        let c = b[i];
+        if is_ident(c) && !c.is_ascii_digit() && (i == 0 || !is_ident(b[i - 1])) {
+            let mut s = i;
+            if text[i..].starts_with("r#") {
+                s += 2;
+            }
+            let mut e = s;
+            while e < n && is_ident(b[e]) {
+                e += 1;
+            }
+            let word = text[s..e].to_string();
+            if word == "as" {
+                // Next word renames the last segment.
+                let mut s2 = e;
+                while s2 < n && (b[s2] as char).is_whitespace() {
+                    s2 += 1;
+                }
+                if text[s2..].starts_with("r#") {
+                    s2 += 2;
+                }
+                let mut e2 = s2;
+                while e2 < n && is_ident(b[e2]) {
+                    e2 += 1;
+                }
+                last_alias = Some(text[s2..e2].to_string());
+                i = e2;
+                continue;
+            }
+            prefix.push(word);
+            i = e;
+            continue;
+        }
+        match c {
+            b'{' => {
+                // Group: recurse per comma-separated element.
+                let close = matching(b, i, b'{', b'}');
+                let inner = &text[i + 1..close.saturating_sub(1).max(i + 1)];
+                for part in split_top_level(inner) {
+                    expand_use(part, prefix, out);
+                }
+                prefix.truncate(base_len);
+                return;
+            }
+            b'*' => {
+                out.globs.push(prefix.clone());
+                prefix.truncate(base_len);
+                return;
+            }
+            b',' | b';' => break,
+            _ => i += 1,
+        }
+    }
+    // Plain path `a::b::c [as d]`.
+    if prefix.len() > base_len {
+        let alias = last_alias.unwrap_or_else(|| prefix.last().cloned().unwrap_or_default());
+        // `use a::b::self;` names the module b itself.
+        let mut path = prefix.clone();
+        if path.last().map(String::as_str) == Some("self") {
+            path.pop();
+        }
+        let alias = if alias == "self" {
+            path.last().cloned().unwrap_or(alias)
+        } else {
+            alias
+        };
+        if !alias.is_empty() && !path.is_empty() {
+            out.uses.push((alias, path));
+        }
+    }
+    prefix.truncate(base_len);
+}
+
+fn matching(b: &[u8], open: usize, oc: u8, cc: u8) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < b.len() {
+        if b[i] == oc {
+            depth += 1;
+        } else if b[i] == cc {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    b.len()
+}
+
+/// Split `a, b::{c, d}, e` on top-level commas.
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0;
+    for (i, c) in s.char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => depth -= 1,
+            ',' if depth == 0 => {
+                out.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&s[start..]);
+    out
+}
+
+/// Scan masked code for call expressions:
+/// `(offset, segments, is_method, recv_is_self)`.
+fn scan_calls(code: &str) -> Vec<(usize, Vec<String>, bool, bool)> {
+    let b = code.as_bytes();
+    let n = b.len();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let c = b[i];
+        if !is_ident(c) || c.is_ascii_digit() || (i > 0 && is_ident(b[i - 1])) {
+            i += 1;
+            continue;
+        }
+        // Raw-identifier head: the `r` of `r#name` starts the word but
+        // the name begins after `#`.
+        let path_start = i;
+        let mut j = i;
+        let raw_head = code[j..].starts_with("r#");
+        if raw_head {
+            j += 2;
+        }
+        let seg_start = j;
+        while j < n && is_ident(b[j]) {
+            j += 1;
+        }
+        let first_word = &code[seg_start..j];
+        i = j; // resume after the first word no matter what
+        if !raw_head && NON_PATH_KEYWORDS.contains(&first_word) {
+            continue;
+        }
+        // A name directly after a declaration keyword is a definition
+        // (`fn nested(`, `struct Point(`), not a call.
+        if preceded_by_decl_keyword(code, path_start) {
+            continue;
+        }
+        // Method call? The byte before the path (skipping back over
+        // whitespace) is `.` — but not `..` (range) and not a float.
+        let mut back = path_start;
+        while back > 0 && (b[back - 1] as char).is_whitespace() {
+            back -= 1;
+        }
+        let method = back > 0 && b[back - 1] == b'.' && !(back > 1 && b[back - 2] == b'.');
+        let recv_self = method
+            && back >= 5
+            && &code[back - 5..back - 1] == "self"
+            && (back < 6 || !is_ident(b[back - 6]));
+        let mut segments = vec![first_word.to_string()];
+        loop {
+            let mut k = j;
+            while k < n && (b[k] as char).is_whitespace() {
+                k += 1;
+            }
+            if k < n && b[k] == b'(' {
+                // A call — record it (methods never have multi-segment
+                // paths in practice; `a.b::c(` is not valid Rust).
+                out.push((path_start, segments, method, recv_self));
+                break;
+            }
+            if k < n && b[k] == b'!' {
+                break; // macro invocation, not a call edge
+            }
+            if code[k..].starts_with("::") {
+                let mut m = k + 2;
+                while m < n && (b[m] as char).is_whitespace() {
+                    m += 1;
+                }
+                if m < n && b[m] == b'<' {
+                    // Turbofish / qualified generics: skip and look
+                    // for a further `::seg` or `(`.
+                    let after = skip_angles_at(b, m);
+                    let mut p = after;
+                    while p < n && (b[p] as char).is_whitespace() {
+                        p += 1;
+                    }
+                    if code[p..].starts_with("::") {
+                        // `::<T>::seg` — read the segment after the
+                        // turbofish and keep walking the path.
+                        let mut q = p + 2;
+                        while q < n && (b[q] as char).is_whitespace() {
+                            q += 1;
+                        }
+                        if q < n && is_ident(b[q]) && !b[q].is_ascii_digit() {
+                            let mut s2 = q;
+                            if code[q..].starts_with("r#") {
+                                s2 = q + 2;
+                            }
+                            let mut e2 = s2;
+                            while e2 < n && is_ident(b[e2]) {
+                                e2 += 1;
+                            }
+                            segments.push(code[s2..e2].to_string());
+                            j = e2;
+                            continue;
+                        }
+                        break;
+                    }
+                    if p < n && b[p] == b'(' {
+                        out.push((path_start, segments, method, recv_self));
+                    }
+                    break;
+                }
+                if m < n && is_ident(b[m]) && !b[m].is_ascii_digit() {
+                    let mut s2 = m;
+                    if code[m..].starts_with("r#") {
+                        s2 = m + 2;
+                    }
+                    let mut e2 = s2;
+                    while e2 < n && is_ident(b[e2]) {
+                        e2 += 1;
+                    }
+                    let word = &code[s2..e2];
+                    if NON_PATH_KEYWORDS.contains(&word) {
+                        break;
+                    }
+                    segments.push(word.to_string());
+                    j = e2;
+                    continue;
+                }
+                break;
+            }
+            break;
+        }
+    }
+    out
+}
+
+/// Is the word starting at `at` directly preceded by a declaration
+/// keyword (so it names an item, not a call)?
+fn preceded_by_decl_keyword(code: &str, at: usize) -> bool {
+    const DECL: &[&str] = &["fn", "struct", "enum", "union", "trait", "mod", "macro"];
+    let b = code.as_bytes();
+    let mut e = at;
+    while e > 0 && (b[e - 1] as char).is_whitespace() {
+        e -= 1;
+    }
+    if e == 0 || !is_ident(b[e - 1]) {
+        return false;
+    }
+    let mut s = e;
+    while s > 0 && is_ident(b[s - 1]) {
+        s -= 1;
+    }
+    if s > 0 && b[s - 1] == b'#' {
+        return false; // `r#fn name` is not the keyword
+    }
+    DECL.contains(&&code[s..e])
+}
+
+fn skip_angles_at(b: &[u8], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < b.len() {
+        match b[i] {
+            b'<' => depth += 1,
+            b'>' => {
+                if i > 0 && b[i - 1] == b'-' {
+                } else {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    b.len()
+}
+
+/// Sink patterns per kind, scanned over the whole masked file.
+fn scan_sinks(code: &str) -> Vec<(SinkKind, usize)> {
+    use crate::lints::{find_matches, Pat};
+    let mut out = Vec::new();
+    let substr_sinks: &[(SinkKind, &str)] = &[
+        (SinkKind::WallClock, "SystemTime::now"),
+        (SinkKind::WallClock, "Instant::now"),
+        (SinkKind::HashOrder, "HashMap"),
+        (SinkKind::HashOrder, "HashSet"),
+        (SinkKind::SeedlessRng, "from_entropy"),
+        (SinkKind::SeedlessRng, "thread_rng"),
+        (SinkKind::SeedlessRng, "rand::rng()"),
+        (SinkKind::SeedlessRng, "rand::random()"),
+        (SinkKind::SeedlessRng, "entropy_seed"),
+        (SinkKind::Panic, ".unwrap()"),
+        (SinkKind::Panic, ".expect("),
+        (SinkKind::Panic, "panic!"),
+        (SinkKind::Panic, "unreachable!"),
+        (SinkKind::Panic, "todo!"),
+        (SinkKind::Panic, "unimplemented!"),
+        (SinkKind::DetachedSpawn, "thread::spawn"),
+        (SinkKind::ScopedSpawn, ".spawn("),
+    ];
+    for &(kind, pat) in substr_sinks {
+        for offset in find_matches(code, Pat::Substr(pat)) {
+            out.push((kind, offset));
+        }
+    }
+    for offset in find_matches(code, Pat::Index) {
+        out.push((SinkKind::Indexing, offset));
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{mask_code, mask_tests};
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file(src, &mask_tests(&mask_code(src)))
+    }
+
+    #[test]
+    fn extracts_fns_with_impl_and_mod_context() {
+        let src = "pub struct Frame;\n\
+                   impl Frame {\n    pub fn open(path: &str) -> Frame { helper(path) }\n}\n\
+                   mod inner {\n    fn helper(p: &str) {}\n}\n\
+                   fn free() {}\n";
+        let p = parse(src);
+        let names: Vec<(&str, Option<&str>, &[String])> = p
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.self_ty.as_deref(), f.module.as_slice()))
+            .collect();
+        assert_eq!(names.len(), 3, "{names:?}");
+        assert_eq!(names[0].0, "open");
+        assert_eq!(names[0].1, Some("Frame"));
+        assert_eq!(names[1].0, "helper");
+        assert_eq!(names[1].2, &["inner".to_string()][..]);
+        assert_eq!(names[2], ("free", None, &[][..]));
+        assert_eq!(p.fns[0].vis, Vis::Pub);
+        assert_eq!(p.fns[1].vis, Vis::Private);
+    }
+
+    #[test]
+    fn trait_impl_takes_the_type_after_for() {
+        let src = "impl std::fmt::Display for Dataset {\n    fn fmt(&self) { inner() }\n}\n";
+        let p = parse(src);
+        assert_eq!(p.fns[0].self_ty.as_deref(), Some("Dataset"));
+        assert_eq!(p.fns[0].vis, Vis::Private, "trait-impl methods are not pub");
+    }
+
+    #[test]
+    fn calls_are_attributed_to_the_innermost_fn() {
+        let src = "fn outer() {\n    a();\n    fn nested() { b(); }\n    c();\n}\n";
+        let p = parse(src);
+        let outer = &p.fns[0];
+        let nested = &p.fns[1];
+        let oc: Vec<&str> = outer.calls.iter().map(|c| c.segments[0].as_str()).collect();
+        let nc: Vec<&str> = nested
+            .calls
+            .iter()
+            .map(|c| c.segments[0].as_str())
+            .collect();
+        assert_eq!(oc, ["a", "c"], "{oc:?}");
+        assert_eq!(nc, ["b"]);
+    }
+
+    #[test]
+    fn paths_methods_and_turbofish() {
+        let src = "fn f(x: &X) {\n    fxm::decode_stats(x);\n    x.materialize();\n    \
+                   self.step();\n    Vec::<u8>::with_capacity(4);\n    \
+                   iter.collect::<Vec<_>>();\n    Frame::open(p);\n}\n";
+        let p = parse(src);
+        let calls: Vec<(Vec<String>, bool, bool)> = p.fns[0]
+            .calls
+            .iter()
+            .map(|c| (c.segments.clone(), c.method, c.recv_self))
+            .collect();
+        assert!(calls.contains(&(vec!["fxm".into(), "decode_stats".into()], false, false)));
+        assert!(calls.contains(&(vec!["materialize".into()], true, false)));
+        assert!(calls.contains(&(vec!["step".into()], true, true)));
+        assert!(calls.contains(&(vec!["Vec".into(), "with_capacity".into()], false, false)));
+        assert!(calls.contains(&(vec!["collect".into()], true, false)));
+        assert!(calls.contains(&(vec!["Frame".into(), "open".into()], false, false)));
+    }
+
+    #[test]
+    fn sinks_attributed_with_positions() {
+        let src = "fn f(b: &[u8]) -> u8 {\n    let x = b[0];\n    x\n}\n\
+                   fn g(o: Option<u8>) -> u8 { o.unwrap() }\n";
+        let p = parse(src);
+        assert_eq!(p.fns[0].sinks.len(), 1);
+        assert_eq!(p.fns[0].sinks[0].kind, SinkKind::Indexing);
+        assert_eq!(p.fns[0].sinks[0].line, 2);
+        assert_eq!(p.fns[1].sinks[0].kind, SinkKind::Panic);
+    }
+
+    #[test]
+    fn use_trees_expand_with_renames_and_globs() {
+        let src = "use a::b::{c, d as e, f::*};\nuse x::Y;\nuse m::n::self;\n";
+        let p = parse(src);
+        assert!(p
+            .uses
+            .contains(&("c".into(), vec!["a".into(), "b".into(), "c".into()])));
+        assert!(p
+            .uses
+            .contains(&("e".into(), vec!["a".into(), "b".into(), "d".into()])));
+        assert!(p.uses.contains(&("Y".into(), vec!["x".into(), "Y".into()])));
+        assert!(p.uses.contains(&("n".into(), vec!["m".into(), "n".into()])));
+        assert!(p.globs.contains(&vec!["a".into(), "b".into(), "f".into()]));
+    }
+
+    #[test]
+    fn report_ctor_and_thread_scope_detection() {
+        let src = "fn build() -> ScenarioReport {\n    ScenarioReport { x: 1 }\n}\n\
+                   fn takes(r: ScenarioReport) {}\n\
+                   fn fan() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n";
+        let p = parse(src);
+        assert!(p.fns[0].report_ctor);
+        assert!(!p.fns[1].report_ctor, "a parameter is not a constructor");
+        assert!(p.fns[2].owns_thread_scope);
+        assert!(p.fns[2]
+            .sinks
+            .iter()
+            .any(|s| s.kind == SinkKind::ScopedSpawn));
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let src = "fn f(cb: fn(u8) -> u8) -> u8 { cb(1) }\n";
+        let p = parse(src);
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "f");
+    }
+}

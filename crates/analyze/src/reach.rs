@@ -1,0 +1,334 @@
+//! Reachability lints over the workspace call graph.
+//!
+//! Three lints replace PR 6's path-heuristic scans with semantic ones:
+//!
+//! * `determinism-taint` — forward reachability from every
+//!   golden-feeding function (one that constructs or returns a
+//!   `ScenarioReport`): nothing reached may read the wall clock,
+//!   iterate a hash-ordered collection, or build a seedless RNG.
+//! * `panic-reachability` — forward reachability from the public
+//!   codec/scan/store entry APIs (inherent `pub fn`s on `Frame`,
+//!   `Scan`, `Dataset`, `ShardedWriter`, plus the free
+//!   `ingest::clean`): nothing reached may `unwrap`/`expect`/`panic!`
+//!   or index a slice directly — wherever the helper lives.
+//! * `unordered-spawn` — structural, not reachability: a detached
+//!   `thread::spawn` is always a finding, and a scoped `.spawn(` is a
+//!   finding unless the spawning function itself owns the
+//!   `std::thread::scope` (so the joins are lexically pinned).
+//!
+//! Every reachability finding carries a witness call path — entry
+//! definition, then one hop per call edge (`file:line` of the call
+//! site), ending at the sink's exact `file:line:col`.
+
+use crate::callgraph::CallGraph;
+use crate::findings::{Finding, PathHop};
+use crate::parser::SinkKind;
+use crate::symbols::{FnNode, SymbolTable};
+use std::collections::VecDeque;
+
+/// Inherent-impl types whose `pub fn`s are panic-reachability entry
+/// points: everything a consumer of the library can call with bytes
+/// that came off disk.
+const ENTRY_TYPES: &[&str] = &["Frame", "Scan", "Dataset", "ShardedWriter"];
+
+/// Run all reachability lints. Findings are unsorted; the caller
+/// sorts the combined set.
+pub fn run(table: &SymbolTable, graph: &CallGraph) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let det_entries: Vec<usize> = table
+        .nodes
+        .iter()
+        .filter(|n| n.report_ctor)
+        .map(|n| n.id)
+        .collect();
+    let panic_entries: Vec<usize> = table
+        .nodes
+        .iter()
+        .filter(|n| is_panic_entry(n))
+        .map(|n| n.id)
+        .collect();
+    let det_reach = bfs(graph, &det_entries);
+    let panic_reach = bfs(graph, &panic_entries);
+    for node in &table.nodes {
+        if det_reach[node.id].is_some() {
+            for sink in &node.sinks {
+                let desc = match sink.kind {
+                    SinkKind::WallClock => "wall-clock read",
+                    SinkKind::HashOrder => "hash-ordered collection",
+                    SinkKind::SeedlessRng => "seedless RNG",
+                    _ => continue,
+                };
+                let (entry, path) = witness(table, &det_reach, node.id);
+                findings.push(Finding {
+                    file: node.file.clone(),
+                    line: sink.line,
+                    col: sink.col,
+                    lint: "determinism-taint".into(),
+                    message: format!(
+                        "{desc} reachable from golden-feeding `{entry}` — reports must be \
+                         pure functions of spec and seed"
+                    ),
+                    suggestion: "derive timing/order/seeds from the scenario spec (BTreeMap, \
+                                 seed_from_u64); if the value provably never reaches a report, \
+                                 suppress with a justification naming this witness path"
+                        .into(),
+                    excerpt: sink.excerpt.clone(),
+                    path,
+                });
+            }
+        }
+        if panic_reach[node.id].is_some() {
+            for sink in &node.sinks {
+                let desc = match sink.kind {
+                    SinkKind::Panic => "panicking call",
+                    SinkKind::Indexing => "unchecked indexing",
+                    _ => continue,
+                };
+                let (entry, path) = witness(table, &panic_reach, node.id);
+                findings.push(Finding {
+                    file: node.file.clone(),
+                    line: sink.line,
+                    col: sink.col,
+                    lint: "panic-reachability".into(),
+                    message: format!(
+                        "{desc} reachable from public entry `{entry}` — hostile bytes must \
+                         surface as typed errors, not process aborts"
+                    ),
+                    suggestion: "return a typed error naming the offset (or .get() the slice); \
+                                 for internally-bounded arithmetic, suppress with a \
+                                 justification naming the bound and this witness path"
+                        .into(),
+                    excerpt: sink.excerpt.clone(),
+                    path,
+                });
+            }
+        }
+        for sink in &node.sinks {
+            let finding = match sink.kind {
+                SinkKind::DetachedSpawn => true,
+                SinkKind::ScopedSpawn => !node.owns_thread_scope,
+                _ => false,
+            };
+            if finding {
+                findings.push(Finding {
+                    file: node.file.clone(),
+                    line: sink.line,
+                    col: sink.col,
+                    lint: "unordered-spawn".into(),
+                    message: format!(
+                        "thread spawn in `{}` outside the ordered fan-out discipline — \
+                         spawns must happen inside the function that owns the \
+                         std::thread::scope (ordered_parallel_map is the workspace idiom)",
+                        node.qual()
+                    ),
+                    suggestion: "fan out through ordered_parallel_map, or move the spawn \
+                                 into the function holding the thread::scope so the joins \
+                                 are lexically pinned"
+                        .into(),
+                    excerpt: sink.excerpt.clone(),
+                    path: vec![PathHop {
+                        qual: node.qual(),
+                        file: node.file.clone(),
+                        line: node.line,
+                    }],
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Is this node a panic-reachability entry point?
+fn is_panic_entry(node: &FnNode) -> bool {
+    if node.vis != crate::parser::Vis::Pub {
+        return false;
+    }
+    match &node.self_ty {
+        Some(ty) => ENTRY_TYPES.contains(&ty.as_str()),
+        None => node.name == "clean" && node.module.last().is_some_and(|m| m == "ingest"),
+    }
+}
+
+/// Multi-source BFS. `reach[n]` is `Some(parent-edge)` when `n` is
+/// reachable: `(pred id, call line, call col)`, with the sentinel
+/// `(n, def line, def col)` for entry nodes themselves. Entries are
+/// seeded in sorted order and edges are pre-sorted, so the witness
+/// tree is deterministic.
+#[allow(clippy::type_complexity)]
+fn bfs(graph: &CallGraph, entries: &[usize]) -> Vec<Option<(usize, usize, usize)>> {
+    let mut reach: Vec<Option<(usize, usize, usize)>> = vec![None; graph.edges.len()];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut sorted = entries.to_vec();
+    sorted.sort_unstable();
+    for &e in &sorted {
+        if reach[e].is_none() {
+            reach[e] = Some((e, 0, 0));
+            queue.push_back(e);
+        }
+    }
+    while let Some(at) = queue.pop_front() {
+        for edge in &graph.edges[at] {
+            if reach[edge.callee].is_none() {
+                reach[edge.callee] = Some((at, edge.line, edge.col));
+                queue.push_back(edge.callee);
+            }
+        }
+    }
+    reach
+}
+
+/// Reconstruct the witness path to `node`: the entry's qualified name
+/// and the hop list (entry at its definition, then each callee at its
+/// call site in the caller's file).
+fn witness(
+    table: &SymbolTable,
+    reach: &[Option<(usize, usize, usize)>],
+    node: usize,
+) -> (String, Vec<PathHop>) {
+    let mut rev: Vec<(usize, usize)> = Vec::new(); // (node, call line)
+    let mut at = node;
+    loop {
+        let (pred, line, _col) = reach[at].expect("witness of unreachable node");
+        if pred == at {
+            break; // entry sentinel
+        }
+        rev.push((at, line));
+        at = pred;
+    }
+    let entry = &table.nodes[at];
+    let mut hops = vec![PathHop {
+        qual: entry.qual(),
+        file: entry.file.clone(),
+        line: entry.line,
+    }];
+    let mut caller = at;
+    for (callee, line) in rev.into_iter().rev() {
+        hops.push(PathHop {
+            qual: table.nodes[callee].qual(),
+            file: table.nodes[caller].file.clone(),
+            line,
+        });
+        caller = callee;
+    }
+    (entry.qual(), hops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{mask_code, mask_tests};
+    use crate::parser::parse_file;
+    use crate::{callgraph, symbols};
+
+    fn analyze(files: &[(&str, &str)]) -> Vec<Finding> {
+        let parsed: Vec<(String, crate::parser::ParsedFile)> = files
+            .iter()
+            .map(|(rel, src)| {
+                (
+                    rel.to_string(),
+                    parse_file(src, &mask_tests(&mask_code(src))),
+                )
+            })
+            .collect();
+        let table = symbols::build(&parsed);
+        let graph = callgraph::build(&table);
+        run(&table, &graph)
+    }
+
+    #[test]
+    fn two_crate_panic_reachability_with_witness() {
+        let findings = analyze(&[
+            (
+                "crates/entry/src/lib.rs",
+                "pub struct Dataset;\nimpl Dataset {\n\
+                 pub fn materialize(&self) { flextract_mid::relay(); }\n}\n",
+            ),
+            (
+                "crates/mid/src/lib.rs",
+                "pub fn relay() { flextract_deep::decode(); }\n",
+            ),
+            (
+                "crates/deep/src/lib.rs",
+                "pub fn decode(b: &[u8]) -> u8 { b[0] }\n",
+            ),
+        ]);
+        let hit = findings
+            .iter()
+            .find(|f| f.lint == "panic-reachability")
+            .expect("must fire");
+        assert_eq!(hit.file, "crates/deep/src/lib.rs");
+        assert!(hit
+            .message
+            .contains("flextract_entry::Dataset::materialize"));
+        let quals: Vec<&str> = hit.path.iter().map(|h| h.qual.as_str()).collect();
+        assert_eq!(
+            quals,
+            [
+                "flextract_entry::Dataset::materialize",
+                "flextract_mid::relay",
+                "flextract_deep::decode"
+            ]
+        );
+        assert_eq!(hit.path[1].file, "crates/entry/src/lib.rs");
+    }
+
+    #[test]
+    fn unreachable_sink_is_silent() {
+        let findings = analyze(&[
+            (
+                "crates/entry/src/lib.rs",
+                "pub struct Dataset;\nimpl Dataset { pub fn materialize(&self) {} }\n",
+            ),
+            (
+                "crates/deep/src/lib.rs",
+                "pub fn decode(b: &[u8]) -> u8 { b[0] }\n",
+            ),
+        ]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn determinism_taint_from_report_ctor() {
+        let findings = analyze(&[(
+            "crates/r/src/lib.rs",
+            "pub struct ScenarioReport { pub x: u64 }\n\
+             pub fn build() -> ScenarioReport { ScenarioReport { x: tick() } }\n\
+             fn tick() -> u64 { let t = std::time::Instant::now(); 0 }\n",
+        )]);
+        let hit = findings
+            .iter()
+            .find(|f| f.lint == "determinism-taint")
+            .expect("must fire");
+        assert!(hit.message.contains("wall-clock read"), "{}", hit.message);
+        assert!(hit.message.contains("flextract_r::build"));
+        assert_eq!(hit.path.len(), 2);
+    }
+
+    #[test]
+    fn scoped_spawn_legal_only_in_scope_owner() {
+        let findings = analyze(&[(
+            "crates/s/src/lib.rs",
+            "pub fn owner() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n\
+             pub fn stray(s: &S) { s.spawn(f); }\n\
+             pub fn detached() { std::thread::spawn(|| {}); }\n",
+        )]);
+        let spawns: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| f.lint == "unordered-spawn")
+            .collect();
+        assert_eq!(spawns.len(), 2, "{spawns:?}");
+        assert!(spawns.iter().any(|f| f.message.contains("stray")));
+        assert!(spawns.iter().any(|f| f.message.contains("detached")));
+        assert!(!spawns.iter().any(|f| f.message.contains("owner")));
+    }
+
+    #[test]
+    fn ingest_clean_is_an_entry() {
+        let findings = analyze(&[(
+            "crates/d/src/ingest.rs",
+            "pub fn clean(v: Option<u8>) -> u8 { v.unwrap() }\n",
+        )]);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].lint, "panic-reachability");
+    }
+}

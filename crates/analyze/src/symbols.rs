@@ -1,0 +1,243 @@
+//! Workspace symbol table: every parsed `fn` becomes a node with a
+//! crate, module path, and optional `impl` type, plus the lookup
+//! indices the call-graph resolver needs.
+//!
+//! Crates and modules are derived from file paths, mirroring cargo's
+//! conventions for this workspace: `crates/<dir>/src/…` is crate
+//! `flextract_<dir>`, the root `src/` is crate `flextract`, and
+//! `src/bin/<name>.rs` is the binary crate `<name>_cli`. Inline
+//! `mod` blocks extend the file-level module path.
+
+use crate::parser::{CallSite, ParsedFile, SinkSite, Vis};
+use std::collections::BTreeMap;
+
+/// One function node in the workspace call graph.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Node id — index into [`SymbolTable::nodes`].
+    pub id: usize,
+    /// Owning crate (underscore form, e.g. `flextract_frame`).
+    pub krate: String,
+    /// Module path inside the crate (file-level plus inline `mod`s).
+    pub module: Vec<String>,
+    /// Function name.
+    pub name: String,
+    /// `impl`/`trait` type the fn is defined on, if any.
+    pub self_ty: Option<String>,
+    /// Visibility.
+    pub vis: Vis,
+    /// File path relative to the analysis root.
+    pub file: String,
+    /// 1-based definition line (the `fn` keyword).
+    pub line: usize,
+    /// 1-based definition column.
+    pub col: usize,
+    /// Call sites in this fn's body.
+    pub calls: Vec<CallSite>,
+    /// Sink sites in this fn's body.
+    pub sinks: Vec<SinkSite>,
+    /// Constructs/returns a `ScenarioReport`.
+    pub report_ctor: bool,
+    /// Body owns a `thread::scope` (scoped spawns join before return).
+    pub owns_thread_scope: bool,
+}
+
+impl FnNode {
+    /// Fully qualified display name,
+    /// e.g. `flextract_frame::scan::Scan::run`.
+    pub fn qual(&self) -> String {
+        let mut parts = vec![self.krate.clone()];
+        parts.extend(self.module.iter().cloned());
+        if let Some(ty) = &self.self_ty {
+            parts.push(ty.clone());
+        }
+        parts.push(self.name.clone());
+        parts.join("::")
+    }
+}
+
+/// The symbol table with resolver indices. All maps are `BTreeMap` so
+/// iteration — and therefore resolution and findings — is
+/// deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    /// Every fn node, in (file, source-order) order.
+    pub nodes: Vec<FnNode>,
+    /// Free fns by `(crate, module path joined with ::, name)`.
+    pub free_by_scope: BTreeMap<(String, String, String), Vec<usize>>,
+    /// Free fns by bare name.
+    pub free_by_name: BTreeMap<String, Vec<usize>>,
+    /// Assoc fns/methods by `(self type, name)`.
+    pub typed: BTreeMap<(String, String), Vec<usize>>,
+    /// Assoc fns/methods by bare name.
+    pub methods_by_name: BTreeMap<String, Vec<usize>>,
+    /// Per file: (`use` aliases, glob-import paths).
+    #[allow(clippy::type_complexity)]
+    pub uses_by_file: BTreeMap<String, (Vec<(String, Vec<String>)>, Vec<Vec<String>>)>,
+}
+
+/// Crate label for a workspace-relative path.
+pub fn crate_of(rel: &str) -> String {
+    let comps: Vec<&str> = rel.split('/').collect();
+    if comps.first() == Some(&"crates") && comps.len() > 1 {
+        return format!("flextract_{}", comps[1].replace('-', "_"));
+    }
+    if comps.first() == Some(&"src") && comps.get(1) == Some(&"bin") {
+        let stem = comps
+            .last()
+            .and_then(|n| n.strip_suffix(".rs"))
+            .unwrap_or("bin");
+        return format!("{}_cli", stem.replace('-', "_"));
+    }
+    "flextract".to_string()
+}
+
+/// File-level module path for a workspace-relative path.
+pub fn module_of(rel: &str) -> Vec<String> {
+    let comps: Vec<&str> = rel.split('/').collect();
+    // Drop the crate prefix (`crates/<dir>/src` or `src` or `src/bin`).
+    let tail: &[&str] = if comps.first() == Some(&"crates") && comps.len() > 3 {
+        &comps[3..]
+    } else if comps.first() == Some(&"src") && comps.get(1) == Some(&"bin") {
+        return Vec::new();
+    } else if comps.first() == Some(&"src") {
+        &comps[1..]
+    } else {
+        &comps[..]
+    };
+    let mut out: Vec<String> = Vec::new();
+    for (i, comp) in tail.iter().enumerate() {
+        if i + 1 == tail.len() {
+            // File name: lib.rs / main.rs / mod.rs add no segment.
+            let stem = comp.strip_suffix(".rs").unwrap_or(comp);
+            if stem != "lib" && stem != "main" && stem != "mod" {
+                out.push(stem.to_string());
+            }
+        } else {
+            out.push((*comp).to_string());
+        }
+    }
+    out
+}
+
+/// Normalize a path segment for crate matching: `flextract_frame`,
+/// `flextract-frame` and `frame` all name the same crate.
+pub fn norm_crate_seg(seg: &str) -> String {
+    let seg = seg.replace('-', "_");
+    seg.strip_prefix("flextract_").unwrap_or(&seg).to_string()
+}
+
+/// Build the symbol table from parsed files
+/// (`(rel path, parsed contents)` pairs).
+pub fn build(files: &[(String, ParsedFile)]) -> SymbolTable {
+    let mut table = SymbolTable::default();
+    for (rel, parsed) in files {
+        let krate = crate_of(rel);
+        let file_module = module_of(rel);
+        for item in &parsed.fns {
+            let mut module = file_module.clone();
+            module.extend(item.module.iter().cloned());
+            let id = table.nodes.len();
+            let node = FnNode {
+                id,
+                krate: krate.clone(),
+                module,
+                name: item.name.clone(),
+                self_ty: item.self_ty.clone(),
+                vis: item.vis,
+                file: rel.clone(),
+                line: item.line,
+                col: item.col,
+                calls: item.calls.clone(),
+                sinks: item.sinks.clone(),
+                report_ctor: item.report_ctor,
+                owns_thread_scope: item.owns_thread_scope,
+            };
+            match &node.self_ty {
+                Some(ty) => {
+                    table
+                        .typed
+                        .entry((ty.clone(), node.name.clone()))
+                        .or_default()
+                        .push(id);
+                    table
+                        .methods_by_name
+                        .entry(node.name.clone())
+                        .or_default()
+                        .push(id);
+                }
+                None => {
+                    table
+                        .free_by_scope
+                        .entry((
+                            node.krate.clone(),
+                            node.module.join("::"),
+                            node.name.clone(),
+                        ))
+                        .or_default()
+                        .push(id);
+                    table
+                        .free_by_name
+                        .entry(node.name.clone())
+                        .or_default()
+                        .push(id);
+                }
+            }
+            table.nodes.push(node);
+        }
+        table
+            .uses_by_file
+            .insert(rel.clone(), (parsed.uses.clone(), parsed.globs.clone()));
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{mask_code, mask_tests};
+    use crate::parser::parse_file;
+
+    fn parsed(src: &str) -> ParsedFile {
+        parse_file(src, &mask_tests(&mask_code(src)))
+    }
+
+    #[test]
+    fn crate_and_module_derivation() {
+        assert_eq!(crate_of("crates/frame/src/fxm.rs"), "flextract_frame");
+        assert_eq!(crate_of("src/lib.rs"), "flextract");
+        assert_eq!(crate_of("src/bin/flextract.rs"), "flextract_cli");
+        assert_eq!(module_of("crates/frame/src/lib.rs"), Vec::<String>::new());
+        assert_eq!(module_of("crates/frame/src/fxm.rs"), ["fxm"]);
+        assert_eq!(module_of("crates/x/src/a/mod.rs"), ["a"]);
+        assert_eq!(module_of("crates/x/src/a/b.rs"), ["a", "b"]);
+        assert_eq!(module_of("src/bin/flextract.rs"), Vec::<String>::new());
+        assert_eq!(norm_crate_seg("flextract_frame"), "frame");
+        assert_eq!(norm_crate_seg("frame"), "frame");
+    }
+
+    #[test]
+    fn builds_indices_and_quals() {
+        let files = vec![
+            (
+                "crates/frame/src/fxm.rs".to_string(),
+                parsed(
+                    "pub struct Frame;\nimpl Frame {\n    pub fn open() {}\n}\nfn helper() {}\n",
+                ),
+            ),
+            (
+                "crates/dataset/src/ingest.rs".to_string(),
+                parsed("pub fn clean() {}\n"),
+            ),
+        ];
+        let t = build(&files);
+        assert_eq!(t.nodes.len(), 3);
+        let open = &t.nodes[t.typed[&("Frame".into(), "open".into())][0]];
+        assert_eq!(open.qual(), "flextract_frame::fxm::Frame::open");
+        let clean = &t.nodes
+            [t.free_by_scope[&("flextract_dataset".into(), "ingest".into(), "clean".into())][0]];
+        assert_eq!(clean.qual(), "flextract_dataset::ingest::clean");
+        assert!(t.free_by_name.contains_key("helper"));
+        assert!(t.methods_by_name.contains_key("open"));
+    }
+}

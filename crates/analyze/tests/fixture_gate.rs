@@ -1,6 +1,8 @@
 //! Fixture-tree tests for the lint engine: known-bad trees must flag
-//! every lint, known-good trees must stay silent, and the allowlist
-//! round-trip must suppress exactly what it justifies.
+//! every lint — lexical and reachability alike — with exact positions
+//! and full witness call paths; known-good trees containing the same
+//! sinks in unreachable positions must stay silent; and the allowlist
+//! round-trip must suppress exactly what it justifies, scoped by `via`.
 
 use flextract_analyze::{analyze_tree, Allowlist, LINTS};
 use std::collections::BTreeSet;
@@ -23,21 +25,28 @@ fn bad_tree_triggers_every_lint() {
             lint.id
         );
     }
-    assert!(hit.contains("forbid-unsafe"), "{hit:?}");
-    assert!(hit.contains("vendor-hygiene"), "{hit:?}");
+    for semantic in [
+        "forbid-unsafe",
+        "vendor-hygiene",
+        "panic-reachability",
+        "determinism-taint",
+        "unordered-spawn",
+    ] {
+        assert!(hit.contains(semantic), "{semantic} never fired: {hit:?}");
+    }
 }
 
 #[test]
 fn bad_tree_findings_carry_exact_positions() {
     let analysis = analyze_tree(&fixture("bad"), &Allowlist::default()).unwrap();
-    let time = analysis
+    let fold = analysis
         .findings
         .iter()
-        .find(|f| f.lint == "nondeterministic-time")
-        .expect("Instant::now must flag");
-    assert_eq!(time.file, "crates/frame/src/lib.rs");
-    assert_eq!((time.line, time.col), (10, 19));
-    assert!(time.excerpt.contains("Instant::now"), "{}", time.excerpt);
+        .find(|f| f.lint == "float-fold")
+        .expect("ad-hoc float fold must flag");
+    assert_eq!(fold.file, "crates/frame/src/lib.rs");
+    assert_eq!((fold.line, fold.col), (10, 39));
+    assert!(fold.excerpt.contains(".sum::<f64>"), "{}", fold.excerpt);
 
     let manifest = analysis
         .findings
@@ -48,39 +57,115 @@ fn bad_tree_findings_carry_exact_positions() {
     assert_eq!(manifest.line, 5, "the `build = \"build.rs\"` line");
 }
 
+/// The acceptance case for the semantic pass: a sink two crates away
+/// from the public entry fires at its exact position and the witness
+/// names every hop (entry at its definition, then each callee at the
+/// call site inside its caller's file).
 #[test]
-fn bad_tree_renders_json_with_locations() {
+fn two_crate_sink_fires_with_full_witness_path() {
+    let analysis = analyze_tree(&fixture("bad"), &Allowlist::default()).unwrap();
+    let reach = analysis
+        .findings
+        .iter()
+        .find(|f| f.lint == "panic-reachability")
+        .expect("the kernel indexing sink must flag");
+    assert_eq!(reach.file, "crates/kernel/src/quant.rs");
+    assert_eq!((reach.line, reach.col), (4, 7), "the `[` of xs[i]");
+    assert!(reach.message.contains("flextract_frame::Scan::aggregates"));
+
+    let hops: Vec<(String, String, usize)> = reach
+        .path
+        .iter()
+        .map(|h| (h.qual.clone(), h.file.clone(), h.line))
+        .collect();
+    assert_eq!(
+        hops,
+        [
+            (
+                "flextract_frame::Scan::aggregates".to_string(),
+                "crates/frame/src/lib.rs".to_string(),
+                9,
+            ),
+            (
+                "flextract_series::window::pick".to_string(),
+                "crates/frame/src/lib.rs".to_string(),
+                11,
+            ),
+            (
+                "flextract_kernel::quant::at".to_string(),
+                "crates/series/src/window.rs".to_string(),
+                4,
+            ),
+        ],
+        "witness: {}",
+        flextract_analyze::render_path(&reach.path)
+    );
+}
+
+#[test]
+fn determinism_taint_names_the_golden_feeding_entry() {
+    let analysis = analyze_tree(&fixture("bad"), &Allowlist::default()).unwrap();
+    let taint = analysis
+        .findings
+        .iter()
+        .find(|f| f.lint == "determinism-taint")
+        .expect("the Instant::now behind summarize must flag");
+    assert_eq!(taint.file, "crates/scenario/src/report.rs");
+    assert_eq!((taint.line, taint.col), (13, 24));
+    assert!(
+        taint
+            .message
+            .contains("flextract_scenario::report::summarize"),
+        "{}",
+        taint.message
+    );
+    assert_eq!(taint.path.len(), 2, "summarize -> stamp_ms");
+    assert_eq!(taint.path[1].qual, "flextract_scenario::report::stamp_ms");
+}
+
+#[test]
+fn bad_tree_renders_json_with_locations_and_paths() {
     let analysis = analyze_tree(&fixture("bad"), &Allowlist::default()).unwrap();
     let json = analysis.render_json();
-    assert!(json.contains("\"lint\": \"unchecked-indexing\""), "{json}");
+    assert!(json.contains("\"lint\": \"panic-reachability\""), "{json}");
     assert!(
-        json.contains("\"file\": \"crates/frame/src/lib.rs\""),
+        json.contains("\"file\": \"crates/kernel/src/quant.rs\""),
+        "{json}"
+    );
+    assert!(
+        json.contains("\"qual\": \"flextract_frame::Scan::aggregates\""),
         "{json}"
     );
     assert!(json.contains("\"suppressed\": 0"), "{json}");
 }
 
+/// The dual of the acceptance case: the good tree carries the *same*
+/// `xs[i]` sink in the same kernel-crate position, but its only caller
+/// is crate-private — unreachable from any entry, so the engine must
+/// report nothing at all.
 #[test]
 fn good_tree_is_silent() {
     let analysis = analyze_tree(&fixture("good"), &Allowlist::default()).unwrap();
     assert!(
         analysis.is_clean(),
-        "masked regions leaked findings:\n{}",
+        "masked regions or unreachable sinks leaked findings:\n{}",
         analysis.render_text()
     );
-    assert!(analysis.files_scanned >= 3, "{}", analysis.files_scanned);
+    assert!(analysis.files_scanned >= 6, "{}", analysis.files_scanned);
 }
 
 #[test]
 fn allowlist_round_trip_suppresses_and_audits() {
     let root = fixture("suppressed");
-    // Without the allowlist: exactly one panic-surface finding.
+    // Without the allowlist: exactly one reachability finding, carrying
+    // the Frame::risky witness the suppression will scope to.
     let bare = analyze_tree(&root, &Allowlist::default()).unwrap();
     assert_eq!(bare.findings.len(), 1, "{}", bare.render_text());
-    assert_eq!(bare.findings[0].lint, "panic-surface");
+    assert_eq!(bare.findings[0].lint, "panic-reachability");
+    assert!(!bare.findings[0].path.is_empty());
 
-    // With it: the unwrap is suppressed, and the allowlist's own
-    // defects surface as findings.
+    // With it: the unwrap is suppressed via its witness path, and the
+    // allowlist's own defects surface as findings.
     let allowlist = Allowlist::load(&root.join("analyze.toml")).unwrap();
     let audited = analyze_tree(&root, &allowlist).unwrap();
     assert_eq!(audited.suppressed, 1);

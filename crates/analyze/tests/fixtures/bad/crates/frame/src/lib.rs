@@ -1,18 +1,13 @@
-// Fixture: a library file under a panic-surface/float-fold scoped path
-// that violates every source-level lint. Never compiled — only lexed by
-// the analyze engine's fixture tests. The missing crate-root
-// `#![forbid(unsafe_code)]` attribute is itself one of the violations.
+// Fixture crate root: missing `#![forbid(unsafe_code)]` on purpose
+// (forbid-unsafe) and folding floats ad hoc (float-fold). The public
+// `Scan::aggregates` entry reaches a panic sink two crates away, in
+// crates/kernel/src/quant.rs — the witness-path acceptance case.
 
-use std::collections::HashMap;
-use std::time::Instant;
+pub struct Scan;
 
-pub fn decode(buf: &[u8]) -> f64 {
-    let started = Instant::now();
-    let mut seen: HashMap<u32, f64> = HashMap::new();
-    let mut rng = rand::thread_rng();
-    let first = buf[0];
-    let head: u32 = parse_header(buf).unwrap();
-    let total = seen.values().copied().sum::<f64>();
-    let _ = (started, first, head, rng.gen::<f64>());
-    total
+impl Scan {
+    pub fn aggregates(&self, xs: &[f64]) -> f64 {
+        let total = xs.iter().copied().sum::<f64>();
+        total + flextract_series::window::pick(xs, 0)
+    }
 }

@@ -1,0 +1,5 @@
+// Sink crate: unchecked indexing, two crates from `Scan::aggregates`.
+
+pub fn at(xs: &[f64], i: usize) -> f64 {
+    xs[i]
+}

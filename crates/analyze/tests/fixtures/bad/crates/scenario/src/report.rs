@@ -1,0 +1,24 @@
+// A golden-feeding constructor that reaches a wall-clock read through
+// a private helper — determinism-taint with a one-hop witness — plus a
+// detached thread spawn outside the ordered helpers (unordered-spawn).
+
+pub fn summarize(xs: &[f64]) -> ScenarioReport {
+    ScenarioReport {
+        total: xs.len(),
+        stamp: stamp_ms(),
+    }
+}
+
+fn stamp_ms() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_millis() as u64
+}
+
+pub fn fan_out() {
+    std::thread::spawn(|| {});
+}
+
+pub struct ScenarioReport {
+    pub total: usize,
+    pub stamp: u64,
+}

@@ -1,0 +1,5 @@
+// Middle hop: forwards into the kernel crate. No sink of its own.
+
+pub fn pick(xs: &[f64], i: usize) -> f64 {
+    flextract_kernel::quant::at(xs, i)
+}

@@ -1,0 +1,6 @@
+// The very same panic sink as the bad tree — but nothing public on an
+// entry type reaches it, so the reachability pass must stay silent.
+
+pub fn at(xs: &[f64], i: usize) -> f64 {
+    xs[i]
+}

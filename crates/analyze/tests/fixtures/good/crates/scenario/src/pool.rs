@@ -1,0 +1,10 @@
+// Scoped spawns inside std::thread::scope are the sanctioned pattern:
+// joining is structural, so completion order cannot leak into results.
+
+pub fn fan_in(n: usize) {
+    std::thread::scope(|scope| {
+        for _ in 0..n {
+            scope.spawn(|| {});
+        }
+    });
+}

@@ -1,7 +1,12 @@
 #![forbid(unsafe_code)]
-// Fixture: exactly one deliberate violation, excused by the sibling
-// analyze.toml — exercises the suppression round-trip.
+// Fixture: exactly one deliberate violation — a panic sink reachable
+// from the public `Frame::risky` entry — excused by the sibling
+// analyze.toml through a `via`-scoped suppression.
 
-pub fn risky(xs: &[f64]) -> f64 {
-    xs.first().copied().unwrap()
+pub struct Frame;
+
+impl Frame {
+    pub fn risky(&self, xs: &[f64]) -> f64 {
+        xs.first().copied().unwrap()
+    }
 }

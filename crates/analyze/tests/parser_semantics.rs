@@ -1,0 +1,155 @@
+//! Adversarial-but-legal Rust against the item parser and resolver.
+//!
+//! Each case pins either a *resolved edge* (the parser must see through
+//! the syntax) or a *documented non-edge* (a deliberate blind spot of
+//! the line-oriented scanner, asserted so a behavior change is loud).
+
+use flextract_analyze::callgraph;
+use flextract_analyze::lexer::{mask_code, mask_tests};
+use flextract_analyze::parser::{parse_file, ParsedFile};
+use flextract_analyze::symbols::{self, SymbolTable};
+
+fn parse(rel: &str, src: &str) -> (String, ParsedFile) {
+    let code = mask_tests(&mask_code(src));
+    (rel.to_string(), parse_file(src, &code))
+}
+
+fn table(files: &[(&str, &str)]) -> SymbolTable {
+    let parsed: Vec<(String, ParsedFile)> =
+        files.iter().map(|(rel, src)| parse(rel, src)).collect();
+    symbols::build(&parsed)
+}
+
+/// Names of the direct callees of `caller`, per the resolved graph.
+fn callees(table: &SymbolTable, caller: &str) -> Vec<String> {
+    let graph = callgraph::build(table);
+    let from = table
+        .nodes
+        .iter()
+        .position(|n| n.name == caller)
+        .unwrap_or_else(|| panic!("no fn named {caller}"));
+    graph.edges[from]
+        .iter()
+        .map(|e| table.nodes[e.callee].name.clone())
+        .collect()
+}
+
+#[test]
+fn raw_identifier_functions_resolve_as_edges() {
+    // `r#fn` is a legal function name. The parser canonicalizes the
+    // raw sigil away on BOTH sides — the definition indexes as `fn`
+    // and the call site's keyword filter is bypassed for `r#`-headed
+    // paths — so the two meet on the same key and the edge resolves.
+    let t = table(&[(
+        "crates/a/src/lib.rs",
+        "fn r#fn() {}\npub fn caller() { r#fn(); }\n",
+    )]);
+    assert!(
+        t.nodes.iter().any(|n| n.name == "fn"),
+        "definition parsed: {:?}",
+        t.nodes.iter().map(|n| &n.name).collect::<Vec<_>>()
+    );
+    assert_eq!(callees(&t, "caller"), ["fn"]);
+}
+
+#[test]
+fn nested_generics_in_signatures_do_not_derail_the_body() {
+    // The bracket-matcher must skip `<...<...>...>` in the signature
+    // and still attribute the body's call correctly.
+    let t = table(&[(
+        "crates/a/src/lib.rs",
+        "fn helper(_x: Vec<Option<u8>>) {}\n\
+         pub fn transform<T: Into<Vec<Option<u8>>>>(x: T) -> Result<Vec<Vec<f64>>, String> {\n\
+             helper(x.into());\n\
+             Ok(Vec::new())\n\
+         }\n",
+    )]);
+    let resolved = callees(&t, "transform");
+    assert!(resolved.contains(&"helper".to_string()), "{resolved:?}");
+    // Trait and std container names in the signature are not callees.
+    assert!(!resolved.iter().any(|c| c == "Into" || c == "Vec"));
+}
+
+#[test]
+fn lifetimes_in_paths_and_turbofish_resolve() {
+    // `Holder::<'a>::get` carries a lifetime inside the turbofish; the
+    // resolver must skip it and land on the typed method.
+    let t = table(&[(
+        "crates/a/src/lib.rs",
+        "pub struct Holder<'a>(&'a str);\n\
+         impl<'a> Holder<'a> {\n\
+             fn get(&self) -> &'a str { self.0 }\n\
+         }\n\
+         pub fn read<'a>(h: &Holder<'a>) -> &'a str { Holder::<'a>::get(h) }\n\
+         pub fn head<'a>(rows: &'a [f64]) -> Option<&'a f64> { select(rows) }\n\
+         fn select<'r>(rows: &'r [f64]) -> Option<&'r f64> { rows.first() }\n",
+    )]);
+    assert_eq!(callees(&t, "read"), ["get"]);
+    assert_eq!(callees(&t, "head"), ["select"]);
+}
+
+#[test]
+fn functions_inside_macro_bodies_are_a_documented_non_edge() {
+    // macro_rules! bodies are token soup until expansion; the parser
+    // skips them wholesale, so `generated` gets no node and its call
+    // creates no edge. Real items around the macro still resolve.
+    let t = table(&[(
+        "crates/a/src/lib.rs",
+        "macro_rules! gen {\n\
+             () => {\n\
+                 pub fn generated() { target(); }\n\
+             };\n\
+         }\n\
+         fn target() {}\n\
+         pub fn real() { target(); }\n",
+    )]);
+    assert!(
+        !t.nodes.iter().any(|n| n.name == "generated"),
+        "macro bodies must not contribute fn nodes"
+    );
+    assert_eq!(callees(&t, "real"), ["target"]);
+}
+
+#[test]
+fn cfg_test_shadows_neither_define_nor_call() {
+    // The #[cfg(test)] module defines a same-named `helper` and calls
+    // back into `entry`; mask_tests blanks the whole region, so only
+    // the production node and the production edge survive.
+    let t = table(&[(
+        "crates/a/src/lib.rs",
+        "pub fn entry() { helper(); }\n\
+         fn helper() {}\n\
+         #[cfg(test)]\n\
+         mod tests {\n\
+             fn helper() { super::entry(); }\n\
+             #[test]\n\
+             fn t() { helper(); }\n\
+         }\n",
+    )]);
+    let helpers: Vec<_> = t.nodes.iter().filter(|n| n.name == "helper").collect();
+    assert_eq!(helpers.len(), 1, "the shadow must be blanked");
+    assert_eq!(callees(&t, "entry"), ["helper"]);
+    // Nothing calls entry: the only caller lived in the test shadow.
+    let graph = callgraph::build(&t);
+    let entry_ix = t.nodes.iter().position(|n| n.name == "entry").unwrap();
+    let callers = graph
+        .edges
+        .iter()
+        .enumerate()
+        .filter(|(_, es)| es.iter().any(|e| e.callee == entry_ix))
+        .count();
+    assert_eq!(callers, 0);
+}
+
+#[test]
+fn closure_bodies_attribute_to_the_enclosing_fn() {
+    // Closures are not items; their calls belong to the enclosing fn.
+    let t = table(&[(
+        "crates/a/src/lib.rs",
+        "fn inner() {}\n\
+         pub fn outer(xs: &[f64]) -> usize {\n\
+             xs.iter().map(|_| inner()).count()\n\
+         }\n",
+    )]);
+    assert!(callees(&t, "outer").contains(&"inner".to_string()));
+}

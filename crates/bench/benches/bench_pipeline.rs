@@ -346,6 +346,56 @@ fn shard_store_benches(records: &mut Vec<Record>) {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The static-analysis stages: one cold `flextract analyze` pass over
+/// the committed workspace (no cache file — every source is lexed and
+/// item-parsed) against warm passes where the file-hash cache answers
+/// every file and only the symbol table, call graph and reachability
+/// walk re-run. The gap between the two is the incremental win a CI
+/// rerun or a watch loop actually sees.
+fn analyze_benches(records: &mut Vec<Record>) {
+    let root = workspace_root();
+    let allowlist = flextract_analyze::load_allowlist(&root).expect("analyze.toml parses");
+    let cache = std::env::temp_dir().join(format!(
+        "flextract_bench_analyze_cache_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&cache);
+    let opts = flextract_analyze::AnalyzeOptions {
+        cache_path: Some(cache.clone()),
+    };
+
+    let t = Instant::now();
+    let cold = flextract_analyze::analyze_tree_with(&root, &allowlist, &opts)
+        .expect("the committed workspace scans");
+    let cold_us = t.elapsed().as_secs_f64() * 1e6;
+    records.push(Record {
+        name: "analyze/cold".into(),
+        consumer_threads: 1,
+        iters: 1,
+        mean_us: cold_us,
+        note: Some(format!(
+            "{} files scanned, {} re-parsed",
+            cold.files_scanned, cold.files_reparsed
+        )),
+    });
+
+    let iters = 5;
+    let mean = measure_fn(1, iters, || {
+        let a = flextract_analyze::analyze_tree_with(&root, &allowlist, &opts)
+            .expect("the committed workspace scans");
+        assert_eq!(a.files_reparsed, 0, "warm runs must hit the cache");
+        std::hint::black_box(a);
+    });
+    records.push(Record {
+        name: "analyze/warm".into(),
+        consumer_threads: 1,
+        iters,
+        mean_us: mean,
+        note: Some("file-hash cache hit on every file; semantic pass re-runs".into()),
+    });
+    let _ = std::fs::remove_file(&cache);
+}
+
 fn main() {
     let mid = fleet_scenario("bench_mid_fleet", 48);
     let stress = fleet_scenario("bench_stress_10k", 10_000);
@@ -389,6 +439,7 @@ fn main() {
     std::fs::remove_dir_all(&ds_dir).ok();
     query_benches(&mut records);
     shard_store_benches(&mut records);
+    analyze_benches(&mut records);
 
     let root = workspace_root();
     let host_cpus = std::thread::available_parallelism().map_or(0, |n| n.get());

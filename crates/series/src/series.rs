@@ -102,7 +102,10 @@ impl TimeSeries {
 
     /// The covered span as a half-open range.
     pub fn range(&self) -> TimeRange {
-        TimeRange::new(self.start, self.end()).expect("end is never before start")
+        // `end() >= start` by construction (non-negative interval count
+        // times a positive resolution), so the fallback is unreachable;
+        // it exists so this accessor can never abort the process.
+        TimeRange::new(self.start, self.end()).unwrap_or_else(|_| TimeRange::empty_at(self.start))
     }
 
     /// Number of intervals.
@@ -194,14 +197,20 @@ impl TimeSeries {
                 values: Vec::new(),
             },
             Some(ix) => {
-                let lo = self
-                    .index_of(ix.start())
-                    .expect("intersection start lies inside the series");
+                // The intersection start lies inside the series by
+                // construction; if either lookup ever misses, degrade
+                // to an empty slice instead of aborting the process.
+                let lo = self.index_of(ix.start()).unwrap_or(self.values.len());
                 let n = ix.interval_count(self.resolution);
+                let values = self
+                    .values
+                    .get(lo..(lo + n).min(self.values.len()))
+                    .unwrap_or_default()
+                    .to_vec();
                 TimeSeries {
                     start: ix.start(),
                     resolution: self.resolution,
-                    values: self.values[lo..lo + n].to_vec(),
+                    values,
                 }
             }
         }

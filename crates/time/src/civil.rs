@@ -59,16 +59,29 @@ impl DayOfWeek {
         matches!(self, DayOfWeek::Saturday | DayOfWeek::Sunday)
     }
 
+    /// Weekday for a Monday-first index reduced modulo 7, so every
+    /// `usize` maps to a day and no lookup can go out of bounds.
+    fn from_index_mod7(idx: usize) -> Self {
+        match idx % 7 {
+            0 => DayOfWeek::Monday,
+            1 => DayOfWeek::Tuesday,
+            2 => DayOfWeek::Wednesday,
+            3 => DayOfWeek::Thursday,
+            4 => DayOfWeek::Friday,
+            5 => DayOfWeek::Saturday,
+            _ => DayOfWeek::Sunday,
+        }
+    }
+
     /// Weekday from days since 1970-01-01, which was a Thursday.
     pub(crate) fn from_days_since_unix_epoch(days: i64) -> Self {
         // 1970-01-01 is Thursday → index 3 in Monday-first ordering.
-        let idx = (days + 3).rem_euclid(7) as usize;
-        DayOfWeek::ALL[idx]
+        Self::from_index_mod7((days + 3).rem_euclid(7) as usize)
     }
 
     /// The weekday following `self`, wrapping Sunday → Monday.
     pub fn next(self) -> Self {
-        DayOfWeek::ALL[(self.index() + 1) % 7]
+        Self::from_index_mod7(self.index() + 1)
     }
 }
 

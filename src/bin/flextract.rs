@@ -61,7 +61,8 @@ USAGE:
                        [--where gaps|min-below:F|max-above:F]
                        [--resolution-min N] [--threads N] [--json]
   flextract query      --offers FILE.json [--from TS] [--to TS] [--json]
-  flextract analyze    [--root DIR] [--config FILE] [--json]
+  flextract analyze    [--root DIR] [--config FILE] [--json] [--sarif FILE]
+                       [--no-cache]
   flextract help
 
 The scenario corpus lives in scenarios/ (one JSON spec per scenario);
@@ -125,23 +126,55 @@ impl Flags {
     }
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            eprintln!("{USAGE}");
-            ExitCode::FAILURE
+/// A command failure with an explicit process exit code.
+///
+/// The exit-code contract (pinned by `cli_smoke`): 1 means the command
+/// ran and judged — bad flags, failed extraction, unsuppressed analyze
+/// findings; 2 means the tool itself could not do its job (unreadable
+/// file, malformed `analyze.toml`), with a message naming the path.
+struct Failure {
+    code: u8,
+    msg: String,
+    usage: bool,
+}
+
+impl From<String> for Failure {
+    fn from(msg: String) -> Failure {
+        Failure {
+            code: 1,
+            msg,
+            usage: true,
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(failure) => {
+            eprintln!("error: {}", failure.msg);
+            if failure.usage {
+                eprintln!("{USAGE}");
+            }
+            ExitCode::from(failure.code)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), Failure> {
     let Some(command) = args.first() else {
-        return Err("no command given".into());
+        return Err(Failure::from(String::from("no command given")));
     };
-    match command.as_str() {
+    if command == "analyze" {
+        let flags = Flags::parse_with_switches(&args[1..], &["json", "no-cache"])?;
+        return cmd_analyze(&flags);
+    }
+    run_simple(command, args).map_err(Failure::from)
+}
+
+fn run_simple(command: &str, args: &[String]) -> Result<(), String> {
+    match command {
         "simulate" => cmd_simulate(&Flags::parse(&args[1..])?),
         "extract" => cmd_extract(&Flags::parse(&args[1..])?),
         "fig5" => cmd_fig5(),
@@ -170,7 +203,6 @@ fn run(args: &[String]) -> Result<(), String> {
             )
         }
         "query" => cmd_query(&Flags::parse_with_switches(&args[1..], &["json"])?),
-        "analyze" => cmd_analyze(&Flags::parse_with_switches(&args[1..], &["json"])?),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -787,15 +819,33 @@ fn parse_slice(
 }
 
 /// `flextract analyze`: run the workspace lint engine and report
-/// structured findings. Exit status is the gate — any unsuppressed
-/// finding is a failure.
-fn cmd_analyze(flags: &Flags) -> Result<(), String> {
+/// structured findings. Exit status is the gate — unsuppressed
+/// findings exit 1; a failure of the analysis itself (unreadable file,
+/// malformed config) exits 2 with a message naming the path.
+fn cmd_analyze(flags: &Flags) -> Result<(), Failure> {
+    let internal = |msg: String| Failure {
+        code: 2,
+        msg,
+        usage: false,
+    };
     let root = Path::new(flags.get("root").unwrap_or("."));
     let allowlist = match flags.get("config") {
-        Some(path) => flextract::analyze::Allowlist::load(Path::new(path))?,
-        None => flextract::analyze::load_allowlist(root)?,
+        Some(path) => flextract::analyze::Allowlist::load(Path::new(path)).map_err(internal)?,
+        None => flextract::analyze::load_allowlist(root).map_err(internal)?,
     };
-    let analysis = flextract::analyze::analyze_tree(root, &allowlist)?;
+    let opts = flextract::analyze::AnalyzeOptions {
+        cache_path: if flags.get("no-cache").is_some() {
+            None
+        } else {
+            Some(flextract::analyze::default_cache_path(root))
+        },
+    };
+    let analysis =
+        flextract::analyze::analyze_tree_with(root, &allowlist, &opts).map_err(internal)?;
+    if let Some(path) = flags.get("sarif") {
+        std::fs::write(path, analysis.render_sarif())
+            .map_err(|e| internal(format!("cannot write {path}: {e}")))?;
+    }
     if flags.get("json").is_some() {
         print!("{}", analysis.render_json());
     } else {
@@ -804,11 +854,15 @@ fn cmd_analyze(flags: &Flags) -> Result<(), String> {
     if analysis.is_clean() {
         Ok(())
     } else {
-        Err(format!(
-            "analyze: {} unsuppressed finding(s) — fix them or add a justified \
-             suppression to analyze.toml",
-            analysis.findings.len()
-        ))
+        Err(Failure {
+            code: 1,
+            usage: false,
+            msg: format!(
+                "analyze: {} unsuppressed finding(s) — fix them or add a justified \
+                 suppression to analyze.toml",
+                analysis.findings.len()
+            ),
+        })
     }
 }
 

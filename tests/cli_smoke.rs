@@ -1068,39 +1068,81 @@ fn analyze_passes_on_the_committed_tree() {
     let stdout = String::from_utf8_lossy(&json.stdout);
     assert!(stdout.contains("\"total\": 0"), "{stdout}");
     assert!(stdout.contains("\"files_scanned\""), "{stdout}");
+
+    // --sarif writes a well-formed 2.1.0 log alongside the exit status.
+    let dir = scratch_dir("analyze_sarif");
+    std::fs::create_dir_all(&dir).expect("scratch dir is creatable");
+    let sarif_path = dir.join("findings.sarif");
+    let sarif = flextract(&["analyze", "--sarif", sarif_path.to_str().unwrap()]);
+    assert!(sarif.status.success());
+    let log = std::fs::read_to_string(&sarif_path).expect("SARIF file must be written");
+    assert!(log.contains("\"version\": \"2.1.0\""), "{log}");
+    assert!(log.contains("flextract-analyze"), "{log}");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
-fn analyze_fails_naming_file_line_and_lint_on_a_seeded_violation() {
+fn analyze_fails_with_exit_1_and_witness_on_a_seeded_violation() {
     let dir = scratch_dir("analyze");
     let src = dir.join("crates/demo/src");
     std::fs::create_dir_all(&src).expect("fixture tree is creatable");
+    // A panic sink on a public entry-type method: the reachability pass
+    // must flag it with a witness path even though no lexical lint
+    // covers `.unwrap()` any more.
     std::fs::write(
         src.join("lib.rs"),
         "#![forbid(unsafe_code)]\n\
-         pub fn stamp() -> u64 {\n\
-         \x20   let t = std::time::SystemTime::now();\n\
-         \x20   let _ = t;\n\
-         \x20   0\n\
+         pub struct Frame;\n\
+         impl Frame {\n\
+         \x20   pub fn head(&self, xs: &[f64]) -> f64 {\n\
+         \x20       xs.first().copied().unwrap()\n\
+         \x20   }\n\
          }\n",
     )
     .expect("fixture file is writable");
 
-    let out = flextract(&["analyze", "--root", dir.to_str().unwrap()]);
-    assert!(
-        !out.status.success(),
-        "a seeded violation must fail the gate"
+    let out = flextract(&["analyze", "--root", dir.to_str().unwrap(), "--no-cache"]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "findings exit with status 1: {}",
+        String::from_utf8_lossy(&out.stderr)
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(
-        stdout.contains("crates/demo/src/lib.rs:3:24"),
+        stdout.contains("crates/demo/src/lib.rs:5:28"),
         "finding must name file:line:col: {stdout}"
     );
-    assert!(stdout.contains("[nondeterministic-time]"), "{stdout}");
+    assert!(stdout.contains("[panic-reachability]"), "{stdout}");
+    assert!(
+        stdout.contains("via: flextract_demo::Frame::head"),
+        "finding must carry the witness path: {stdout}"
+    );
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(
         stderr.contains("error:") && stderr.contains("1 unsuppressed finding"),
         "{stderr}"
     );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_internal_errors_exit_2_naming_the_path() {
+    let dir = scratch_dir("analyze_internal");
+    std::fs::create_dir_all(&dir).expect("scratch dir is creatable");
+    // A malformed allowlist is an internal error, not a finding: the
+    // gate must exit 2 (so CI can tell "tree is dirty" from "the
+    // analyzer itself broke") and the message must name the file.
+    let config = dir.join("broken.toml");
+    std::fs::write(&config, "lint = \"x\"\n").expect("config is writable");
+    let out = flextract(&["analyze", "--config", config.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "internal errors exit with status 2: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("broken.toml"), "{stderr}");
     std::fs::remove_dir_all(&dir).ok();
 }
