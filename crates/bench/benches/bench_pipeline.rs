@@ -181,19 +181,49 @@ fn query_dataset(codec: SeriesCodec, tag: &str) -> PathBuf {
     dir
 }
 
+/// Bytes of series payload files in a dataset directory (everything
+/// but the manifest) — the on-disk footprint a codec choice buys.
+fn series_disk_bytes(dir: &Path) -> u64 {
+    std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.flatten()
+                .filter(|e| e.file_name().to_string_lossy() != "manifest.json")
+                .filter_map(|e| e.metadata().ok())
+                .map(|m| m.len())
+                .sum()
+        })
+        .unwrap_or(0)
+}
+
 /// The query-engine stages: a one-day slice out of a 30-day series and
-/// a whole-series aggregate, on FXM2 (chunk-skipping) vs FXM1 (full
-/// decode). Each iteration re-reads the files — the out-of-core serving
-/// shape, not a warm in-memory scan.
+/// a whole-series aggregate, on FXM3 (compressed, chunk-skipping) vs
+/// FXM2 (raw, chunk-skipping) vs FXM1 (full decode). Each iteration
+/// re-reads the files — the out-of-core serving shape, not a warm
+/// in-memory scan. Notes carry the on-disk footprint so the storage
+/// cost sits next to the serving latency it buys.
 fn query_benches(records: &mut Vec<Record>) {
     let start: Timestamp = "2013-03-18".parse().expect("static date");
     let day15 =
         TimeRange::starting_at(start + Duration::days(14), Duration::days(1)).expect("1 day");
+    let mut fxm2_bytes = 0_u64;
     for (codec, tag) in [
         (SeriesCodec::Binary, "fxm2"),
         (SeriesCodec::BinaryV1, "fxm1"),
+        (SeriesCodec::BinaryV3, "fxm3"),
     ] {
         let dir = query_dataset(codec, tag);
+        let disk = series_disk_bytes(&dir);
+        if tag == "fxm2" {
+            fxm2_bytes = disk;
+        }
+        let size_note = if tag == "fxm3" && fxm2_bytes > 0 {
+            format!(
+                "{disk} B on disk ({:.2}x smaller than fxm2)",
+                fxm2_bytes as f64 / disk as f64
+            )
+        } else {
+            format!("{disk} B on disk")
+        };
         let ds = Dataset::open(&dir).expect("benchmark dataset opens");
         let iters = 30;
         let mean = measure_fn(3, iters, || {
@@ -206,7 +236,7 @@ fn query_benches(records: &mut Vec<Record>) {
             consumer_threads: 1,
             iters,
             mean_us: mean,
-            note: None,
+            note: Some(size_note.clone()),
         });
         let scan = Scan::new();
         let mean = measure_fn(3, iters, || {
@@ -219,7 +249,7 @@ fn query_benches(records: &mut Vec<Record>) {
             consumer_threads: 1,
             iters,
             mean_us: mean,
-            note: None,
+            note: Some(size_note),
         });
         // Print the pushdown audit once per codec so the skip ratio is
         // on record next to the timings.
@@ -237,6 +267,133 @@ fn query_benches(records: &mut Vec<Record>) {
         );
         std::fs::remove_dir_all(&dir).ok();
     }
+}
+
+/// Cold-open a frame file the pre-read-ahead way: header, tail, footer
+/// and every 32-byte chunk stat header through individual seek+read
+/// pairs. This is the counterfactual `fxm::open_file` replaces — the
+/// same stats-ready outcome, but 3 + chunk-count IO round-trips per
+/// file instead of one sequential read.
+fn cold_open_seek_per_chunk(path: &Path) -> (usize, u64) {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut f = std::fs::File::open(path).expect("bench frame opens");
+    let mut header = [0u8; 28];
+    f.read_exact(&mut header).expect("frame header");
+    let len = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes")) as usize;
+    let chunk_len = u32::from_le_bytes(header[24..28].try_into().expect("4 bytes")) as usize;
+    let chunks = len.div_ceil(chunk_len);
+    let file_len = f.metadata().expect("metadata").len();
+    let mut tail = [0u8; 12];
+    f.seek(SeekFrom::Start(file_len - 12)).expect("seek tail");
+    f.read_exact(&mut tail).expect("frame tail");
+    let footer_off = u64::from_le_bytes(tail[0..8].try_into().expect("8 bytes"));
+    let mut offsets = vec![0u8; chunks * 8];
+    f.seek(SeekFrom::Start(footer_off)).expect("seek footer");
+    f.read_exact(&mut offsets).expect("footer offsets");
+    let mut count_sum = 0_u64;
+    let mut stat = [0u8; 32];
+    for c in 0..chunks {
+        let off = u64::from_le_bytes(offsets[c * 8..c * 8 + 8].try_into().expect("8 bytes"));
+        f.seek(SeekFrom::Start(off)).expect("seek chunk");
+        f.read_exact(&mut stat).expect("chunk stat header");
+        count_sum += u64::from(u32::from_le_bytes(stat[0..4].try_into().expect("4 bytes")));
+    }
+    (chunks, count_sum)
+}
+
+/// The cold-open stages: opening a month of 1-min FXM3 files up to
+/// stats-ready state via the single-read read-ahead path vs a seek per
+/// chunk header. What's measured is IO round-trips, not decode work —
+/// neither path touches a compressed payload byte.
+fn cold_open_benches(records: &mut Vec<Record>) {
+    let dir = query_dataset(SeriesCodec::BinaryV3, "cold_open");
+    let files: Vec<PathBuf> = (0..4)
+        .map(|c| dir.join(format!("consumer_{c}.fxm")))
+        .collect();
+    let chunks = cold_open_seek_per_chunk(&files[0]).0;
+    let disk = series_disk_bytes(&dir);
+    let iters = 30;
+
+    let mean = measure_fn(3, iters, || {
+        for f in &files {
+            let frame = flextract_frame::fxm::open_file(f).expect("read-ahead open");
+            std::hint::black_box(frame.chunks().len());
+        }
+    });
+    records.push(Record {
+        name: "cold_open/readahead_single_read/fxm3".into(),
+        consumer_threads: 1,
+        iters,
+        mean_us: mean,
+        note: Some(format!(
+            "4 files, {chunks} chunks each, {disk} B total — one buffered read per file"
+        )),
+    });
+
+    let mean = measure_fn(3, iters, || {
+        for f in &files {
+            std::hint::black_box(cold_open_seek_per_chunk(f));
+        }
+    });
+    records.push(Record {
+        name: "cold_open/seek_per_chunk/fxm3".into(),
+        consumer_threads: 1,
+        iters,
+        mean_us: mean,
+        note: Some(format!(
+            "4 files, 3 + {chunks} seek+read round-trips per file"
+        )),
+    });
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The committed-corpus storage stage: what the FXM3 flip actually
+/// bought on the datasets shipped in this repository. Re-encodes the
+/// committed 1-min measured series as FXM2 and compares footprints;
+/// the timing is a full cold open + payload decode of all three files.
+fn committed_storage_bench(records: &mut Vec<Record>) {
+    let ds_dir = workspace_root().join("datasets/ds_household_1min");
+    let files: Vec<PathBuf> = (0..3)
+        .map(|c| ds_dir.join(format!("consumer_{c}.fxm")))
+        .collect();
+    let v3_bytes: u64 = files
+        .iter()
+        .map(|f| std::fs::metadata(f).expect("committed dataset file").len())
+        .sum();
+    let v2_bytes: u64 = files
+        .iter()
+        .map(|f| {
+            let series = flextract_frame::fxm::open_file(f)
+                .expect("committed frame opens")
+                .into_measured()
+                .expect("committed frame decodes");
+            flextract_frame::fxm::encode(&series).len() as u64
+        })
+        .sum();
+    let ratio = v2_bytes as f64 / v3_bytes as f64;
+    assert!(
+        ratio >= 2.0,
+        "the committed 1-min dataset must compress at least 2x ({v3_bytes} B vs {v2_bytes} B)"
+    );
+    let iters = 30;
+    let mean = measure_fn(3, iters, || {
+        for f in &files {
+            let series = flextract_frame::fxm::open_file(f)
+                .expect("committed frame opens")
+                .into_measured()
+                .expect("committed frame decodes");
+            std::hint::black_box(series.len());
+        }
+    });
+    records.push(Record {
+        name: "storage/committed_ds_household_1min/fxm3".into(),
+        consumer_threads: 1,
+        iters,
+        mean_us: mean,
+        note: Some(format!(
+            "measured files {v3_bytes} B on disk vs {v2_bytes} B as fxm2 — {ratio:.2}x compression"
+        )),
+    });
 }
 
 /// The sharded-store stages: a large lightweight fleet (one day at
@@ -292,6 +449,10 @@ fn shard_store_benches(records: &mut Vec<Record>) {
     let target = consumers / 2;
     let scan = Scan::new().time_slice(midday);
     let iters = 20;
+    let (_, point_report) = Dataset::open(&dir)
+        .expect("store opens")
+        .consumer_aggregates(target, &scan)
+        .expect("point query");
     let mean = measure_fn(2, iters, || {
         let ds = Dataset::open(&dir).expect("store opens");
         std::hint::black_box(ds.consumer_aggregates(target, &scan).expect("point query"));
@@ -302,8 +463,10 @@ fn shard_store_benches(records: &mut Vec<Record>) {
         iters,
         mean_us: mean,
         note: Some(format!(
-            "opens 1/{shards} shard manifests ({:.1} % pruned)",
-            100.0 * (shards - 1) as f64 / shards as f64
+            "opens 1/{shards} shard manifests ({:.1} % pruned); {} B read, {} B of payload decoded",
+            100.0 * (shards - 1) as f64 / shards as f64,
+            point_report.bytes_read,
+            point_report.bytes_decoded
         )),
     });
 
@@ -324,7 +487,8 @@ fn shard_store_benches(records: &mut Vec<Record>) {
         iters,
         mean_us: mean,
         note: Some(format!(
-            "opens 0/{shards} shards (100.0 % answered from roll-ups)"
+            "opens 0/{shards} shards (100.0 % answered from roll-ups); {} B read, {} B of payload decoded",
+            report.bytes_read, report.bytes_decoded
         )),
     });
 
@@ -341,7 +505,10 @@ fn shard_store_benches(records: &mut Vec<Record>) {
         consumer_threads: 1,
         iters,
         mean_us: mean,
-        note: Some(format!("prunes {shards}/{shards} shards (100.0 % pruned)")),
+        note: Some(format!(
+            "prunes {shards}/{shards} shards (100.0 % pruned); {} B read, {} B of payload decoded",
+            report.bytes_read, report.bytes_decoded
+        )),
     });
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -423,7 +590,7 @@ fn main() {
             consumer_threads,
             iters: 5,
             mean_us: mean,
-            note: None,
+            note: Some("dataset leg reads fxm3 (the default export codec)".into()),
         });
         // The stress fleet costs ~1 s per iteration in release: keep
         // the sample count low, skip the warm-up.
@@ -438,6 +605,8 @@ fn main() {
     }
     std::fs::remove_dir_all(&ds_dir).ok();
     query_benches(&mut records);
+    cold_open_benches(&mut records);
+    committed_storage_bench(&mut records);
     shard_store_benches(&mut records);
     analyze_benches(&mut records);
 

@@ -1,11 +1,12 @@
 //! Loss-free codecs for measured series: the chunked binary frame
-//! formats (stat-carrying `FXM2` and legacy `FXM1`, both owned by
-//! [`flextract_frame::fxm`]) and `interval_start,kwh` CSV.
+//! formats (compressed `FXM3`, stat-carrying `FXM2` and legacy `FXM1`,
+//! all owned by [`flextract_frame::fxm`]) and `interval_start,kwh` CSV.
 //!
-//! All formats carry gaps explicitly (a canonical `NaN` payload in the
-//! binary formats, an empty `kwh` field in CSV) and round-trip exactly:
-//! the binary formats store raw IEEE-754 bits, and the CSV writer uses
-//! Rust's shortest round-trip float rendering, so
+//! All formats carry gaps explicitly (a gap bitmap in `FXM3`, a
+//! canonical `NaN` payload in the older binary formats, an empty `kwh`
+//! field in CSV) and round-trip exactly: the binary formats preserve
+//! raw IEEE-754 bits (`FXM3` compresses them losslessly), and the CSV
+//! writer uses Rust's shortest round-trip float rendering, so
 //! `decode(encode(m)) == m` byte for byte in both directions.
 //!
 //! The binary layouts (including the `FXM2` per-chunk statistics and
@@ -44,6 +45,18 @@ pub fn encode_v1(series: &MeasuredSeries) -> Bytes {
 /// zero-chunk-length contract as [`encode_chunked`]).
 pub fn encode_chunked_v1(series: &MeasuredSeries, chunk_len: usize) -> Result<Bytes, DatasetError> {
     fxm::encode_chunked_v1(series, chunk_len).map_err(Into::into)
+}
+
+/// Encode as `FXM3` (per-chunk statistics + XOR-compressed payloads)
+/// using [`DEFAULT_CHUNK_LEN`]-interval chunks.
+pub fn encode_v3(series: &MeasuredSeries) -> Bytes {
+    fxm::encode_v3(series)
+}
+
+/// Encode as `FXM3` with an explicit chunk length (same
+/// zero-chunk-length contract as [`encode_chunked`]).
+pub fn encode_chunked_v3(series: &MeasuredSeries, chunk_len: usize) -> Result<Bytes, DatasetError> {
+    fxm::encode_chunked_v3(series, chunk_len).map_err(Into::into)
 }
 
 /// Decode a full measured series from a binary frame buffer (either
@@ -178,9 +191,9 @@ mod tests {
     }
 
     #[test]
-    fn both_binary_versions_round_trip_through_the_dataset_layer() {
+    fn all_binary_versions_round_trip_through_the_dataset_layer() {
         let m = sample();
-        for bytes in [encode(&m), encode_v1(&m)] {
+        for bytes in [encode(&m), encode_v1(&m), encode_v3(&m)] {
             let back = decode(&bytes, "test.fxm").unwrap();
             assert_eq!(back.start(), m.start());
             assert_eq!(back.resolution(), m.resolution());
@@ -194,6 +207,7 @@ mod tests {
         }
         assert_eq!(sniff(&encode(&m)), Some(FxmVersion::V2));
         assert_eq!(sniff(&encode_v1(&m)), Some(FxmVersion::V1));
+        assert_eq!(sniff(&encode_v3(&m)), Some(FxmVersion::V3));
     }
 
     #[test]
@@ -204,6 +218,8 @@ mod tests {
         assert!(matches!(err, DatasetError::Invalid { .. }));
         assert!(err.to_string().contains("at least 1"), "{err}");
         let err = encode_chunked_v1(&m, 0).unwrap_err();
+        assert!(matches!(err, DatasetError::Invalid { .. }));
+        let err = encode_chunked_v3(&m, 0).unwrap_err();
         assert!(matches!(err, DatasetError::Invalid { .. }));
         // Trailing garbage keeps the byte offset in the message.
         let raw = encode_v1(&m);

@@ -12,12 +12,16 @@
 //!    neighbour's feed crossing over): short runs scaled by a factor.
 //! 4. **Gaps** — meter or transmission outages: runs of missing
 //!    intervals with a geometric length distribution.
+//! 5. **Register quantization** — meters report whole register steps
+//!    (a 1000 imp/kWh meter resolves 1 Wh), so read-outs snap to a
+//!    grid instead of carrying the simulator's full float precision.
 //!
 //! Every operator draws from one caller-provided RNG in a fixed order
-//! (noise, then anomalies, then gaps), so a degradation is a pure
-//! function of `(series, seed)` — exported datasets are reproducible
-//! byte for byte, which is what lets the committed corpus datasets be
-//! CI-gated like golden files.
+//! (noise, then anomalies, then gaps; quantization is deterministic
+//! and draws nothing), so a degradation is a pure function of
+//! `(series, seed)` — exported datasets are reproducible byte for
+//! byte, which is what lets the committed corpus datasets be CI-gated
+//! like golden files.
 
 use crate::{DatasetError, MeasuredSeries};
 use flextract_series::{resample, TimeSeries};
@@ -51,6 +55,15 @@ pub struct Degradation {
     pub gap_rate: f64,
     /// Mean gap run length in intervals (geometric distribution, ≥ 1).
     pub mean_gap_len: f64,
+    /// Meter register resolution in kWh (0 = full float precision).
+    /// Observed read-outs are rounded to the nearest multiple — a
+    /// standard 1000 imp/kWh household meter is `0.001`. Quantized
+    /// feeds are also what makes the `FXM3` XOR codec earn its keep:
+    /// repeated register values compress to one bit per interval.
+    /// Absent in manifests written before this field existed, so it
+    /// defaults to 0 on deserialization.
+    #[serde(default)]
+    pub quantize_kwh: f64,
 }
 
 impl Default for Degradation {
@@ -63,6 +76,7 @@ impl Default for Degradation {
             anomaly_len: 2,
             gap_rate: 0.0,
             mean_gap_len: 4.0,
+            quantize_kwh: 0.0,
         }
     }
 }
@@ -75,6 +89,7 @@ impl Degradation {
             && self.noise_std == 0.0
             && self.anomaly_rate == 0.0
             && self.gap_rate == 0.0
+            && self.quantize_kwh == 0.0
     }
 
     /// Check every field's domain.
@@ -103,6 +118,9 @@ impl Degradation {
         }
         if !self.mean_gap_len.is_finite() || self.mean_gap_len < 1.0 {
             return Err("mean_gap_len must be at least 1".into());
+        }
+        if !self.quantize_kwh.is_finite() || self.quantize_kwh < 0.0 {
+            return Err("quantize_kwh must be finite and non-negative".into());
         }
         Ok(())
     }
@@ -180,6 +198,16 @@ impl Degradation {
                 } else {
                     i += 1;
                 }
+            }
+        }
+        if self.quantize_kwh > 0.0 {
+            // The register read-out is the meter's last step, after
+            // every error source; gaps stay NaN (an interval that was
+            // never reported has no register delta to round). This
+            // draws no randomness, so it cannot shift the RNG stream
+            // of the seeded operators above.
+            for v in values.iter_mut().filter(|v| !v.is_nan()) {
+                *v = (*v / self.quantize_kwh).round() * self.quantize_kwh;
             }
         }
         MeasuredSeries::new(coarse.start(), coarse.resolution(), values).map_err(Into::into)
@@ -278,6 +306,36 @@ mod tests {
     }
 
     #[test]
+    fn quantization_snaps_to_the_register_grid_and_skips_gaps() {
+        let d = Degradation {
+            gap_rate: 0.05,
+            noise_std: 0.1,
+            quantize_kwh: 0.001,
+            ..Degradation::default()
+        };
+        assert!(!d.is_identity());
+        let m = d.apply(&day(), &mut StdRng::seed_from_u64(7)).unwrap();
+        assert!(m.gap_count() > 0, "expected gaps at 5 % rate");
+        for &v in m.values().iter().filter(|v| !v.is_nan()) {
+            let steps = v / 0.001;
+            assert!(
+                (steps - steps.round()).abs() < 1e-9,
+                "{v} is off the 1 Wh register grid"
+            );
+        }
+        // Quantization draws no randomness: the gap pattern matches the
+        // same degradation without it, seed for seed.
+        let plain = Degradation {
+            quantize_kwh: 0.0,
+            ..d.clone()
+        };
+        let p = plain.apply(&day(), &mut StdRng::seed_from_u64(7)).unwrap();
+        let gaps =
+            |s: &MeasuredSeries| s.values().iter().map(|v| v.is_nan()).collect::<Vec<bool>>();
+        assert_eq!(gaps(&m), gaps(&p));
+    }
+
+    #[test]
     fn anomalies_scale_runs() {
         let d = Degradation {
             anomaly_rate: 0.05,
@@ -317,6 +375,14 @@ mod tests {
             },
             Degradation {
                 resolution_min: Some(0),
+                ..Degradation::default()
+            },
+            Degradation {
+                quantize_kwh: f64::NAN,
+                ..Degradation::default()
+            },
+            Degradation {
+                quantize_kwh: -0.001,
                 ..Degradation::default()
             },
         ] {

@@ -49,9 +49,14 @@ pub enum SeriesCodec {
     /// The legacy chunked `FXM1` binary format (no statistics; readers
     /// fall back to full decodes). Kept as an export escape hatch and
     /// for reading pre-FXM2 datasets — the read path sniffs the magic,
-    /// so either binary flavour loads regardless of the manifest's
+    /// so any binary flavour loads regardless of the manifest's
     /// declared codec.
     BinaryV1,
+    /// The chunked `FXM3` binary format: the same per-chunk statistics
+    /// and footer index as `FXM2`, with payloads XOR-compressed
+    /// losslessly and gaps carried in a per-chunk bitmap. The export
+    /// default.
+    BinaryV3,
 }
 
 impl SeriesCodec {
@@ -59,7 +64,7 @@ impl SeriesCodec {
     pub fn extension(self) -> &'static str {
         match self {
             SeriesCodec::Csv => "csv",
-            SeriesCodec::Binary | SeriesCodec::BinaryV1 => "fxm",
+            SeriesCodec::Binary | SeriesCodec::BinaryV1 | SeriesCodec::BinaryV3 => "fxm",
         }
     }
 
@@ -69,6 +74,7 @@ impl SeriesCodec {
             SeriesCodec::Csv => "csv",
             SeriesCodec::Binary => "fxm2",
             SeriesCodec::BinaryV1 => "fxm1",
+            SeriesCodec::BinaryV3 => "fxm3",
         }
     }
 }
@@ -202,8 +208,8 @@ pub(crate) fn read_file(path: &Path) -> Result<Vec<u8>, DatasetError> {
 }
 
 /// Decode raw series-file bytes into a chunk-addressable [`Frame`]:
-/// binary formats are sniffed by magic (FXM2 opens lazily, FXM1 with
-/// one decode pass); anything else parses as CSV and is chunked
+/// binary formats are sniffed by magic (FXM2/FXM3 open lazily, FXM1
+/// with one decode pass); anything else parses as CSV and is chunked
 /// virtually on the same partitioning.
 pub(crate) fn frame_from_raw(raw: Vec<u8>, display: &str) -> Result<Frame, DatasetError> {
     if codec::sniff(&raw).is_some() {
@@ -211,7 +217,7 @@ pub(crate) fn frame_from_raw(raw: Vec<u8>, display: &str) -> Result<Frame, Datas
     } else {
         let text = String::from_utf8(raw).map_err(|_| DatasetError::Invalid {
             file: display.to_string(),
-            what: "not valid UTF-8 (and not FXM1/FXM2 binary)".to_string(),
+            what: "not valid UTF-8 (and not FXM binary)".to_string(),
         })?;
         let measured = codec::from_csv(&text, display)?;
         Frame::from_measured(measured, codec::DEFAULT_CHUNK_LEN, display).map_err(Into::into)
@@ -530,8 +536,10 @@ impl Dataset {
     }
 
     /// Open `file` as a chunk-addressable [`Frame`]: binary formats
-    /// open lazily (FXM2) or with one decode pass (FXM1); CSV parses
-    /// and is chunked virtually.
+    /// open lazily (FXM2/FXM3) or with one decode pass (FXM1); CSV
+    /// parses and is chunked virtually. Cold opens are one buffered
+    /// sequential read of the whole file — never per-chunk-header
+    /// seeks — which is what [`ScanReport::bytes_read`] accounts.
     fn load_frame(&self, file: &str) -> Result<Frame, DatasetError> {
         let path = self.dir.join(file);
         let raw = read_file(&path)?;
@@ -977,6 +985,7 @@ impl DatasetWriter {
             SeriesCodec::Csv => codec::to_csv(series).into_bytes(),
             SeriesCodec::Binary => codec::encode(series).to_vec(),
             SeriesCodec::BinaryV1 => codec::encode_v1(series).to_vec(),
+            SeriesCodec::BinaryV3 => codec::encode_v3(series).to_vec(),
         };
         std::fs::write(&path, bytes).map_err(|e| DatasetError::Io {
             path: path.display().to_string(),
@@ -1203,8 +1212,8 @@ mod tests {
 
     #[test]
     fn round_trip_csv_and_binary() {
-        for codec in [SeriesCodec::Csv, SeriesCodec::Binary] {
-            let dir = scratch(codec.extension());
+        for codec in [SeriesCodec::Csv, SeriesCodec::Binary, SeriesCodec::BinaryV3] {
+            let dir = scratch(codec.label());
             let manifest = write_sample(&dir, codec);
             assert_eq!(manifest.consumers.len(), 2);
             assert_eq!(manifest.consumers[0].gap_count, 1);

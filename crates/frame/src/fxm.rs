@@ -1,6 +1,7 @@
-//! The chunked binary frame formats: legacy `FXM1` and stat-carrying
-//! `FXM2`, plus the [`Frame`] reader that serves both (and materialized
-//! in-memory series) behind one chunk-oriented interface.
+//! The chunked binary frame formats: legacy `FXM1`, stat-carrying
+//! `FXM2` and compressed `FXM3`, plus the [`Frame`] reader that serves
+//! all of them (and materialized in-memory series) behind one
+//! chunk-oriented interface.
 //!
 //! ## `FXM1` layout (all little-endian)
 //!
@@ -40,7 +41,33 @@
 //! whole chunks. Byte accounting is exact end to end: every slack or
 //! trailing byte is a decode error, never silently ignored.
 //!
-//! Both formats carry gaps explicitly (every `NaN` is normalised to one
+//! ## `FXM3` layout (all little-endian)
+//!
+//! Same 28-byte fixed header (magic `b"FXM3"`), footer chunk index and
+//! 12-byte tail (end magic `b"3MXF"`) as `FXM2`; only the chunk frames
+//! differ:
+//!
+//! | field | size | contents |
+//! |-------|------|----------|
+//! | stats | 32   | `[u32 count][u32 gap_count][f64 min][f64 max][f64 sum]` (identical to `FXM2`) |
+//! | gap bitmap | ⌈count/8⌉ | bit `i` (LSB-first per byte) set ⇔ interval `i` is a gap; padding bits zero |
+//! | stream | …   | XOR-compressed observed values, MSB-first bit stream, zero-padded to a byte |
+//!
+//! The stream carries only the observed (non-gap) values: the first as
+//! raw 64 bits, then per value a Gorilla-style XOR against the previous
+//! observed value — control bit `0` for an identical bit pattern, `10`
+//! plus the meaningful bits re-using the previous leading-zeros/length
+//! window, or `11` plus a 6-bit leading-zero count, a 6-bit
+//! (meaningful length − 1) and the meaningful bits for a new window.
+//! Gaps never enter the stream (the bitmap carries them), so the
+//! canonical gap payload never costs stream bits. Chunk frames are
+//! therefore variable-length and located purely through the footer
+//! index; a decoder accounts for every bit — slack bytes, non-zero
+//! padding bits and window overruns are typed errors. Because the
+//! statistics header is byte-identical to `FXM2`, a stats-only scan
+//! decodes exactly as many payload bytes on `FXM3` as on `FXM2`: zero.
+//!
+//! All formats carry gaps explicitly (every `NaN` is normalised to one
 //! canonical bit pattern on encode, so encoding is a pure function of
 //! the series) and round-trip bit-exactly.
 
@@ -58,6 +85,12 @@ pub const MAGIC_V2: [u8; 4] = *b"FXM2";
 
 /// End marker closing an `FXM2` buffer (the magic, mirrored).
 pub const END_MAGIC_V2: [u8; 4] = *b"2MXF";
+
+/// Format magic of the compressed stat-carrying format.
+pub const MAGIC_V3: [u8; 4] = *b"FXM3";
+
+/// End marker closing an `FXM3` buffer (the magic, mirrored).
+pub const END_MAGIC_V3: [u8; 4] = *b"3MXF";
 
 /// Size in bytes of the fixed header (both versions).
 pub const HEADER_LEN: usize = 28;
@@ -85,6 +118,8 @@ pub enum FxmVersion {
     V1,
     /// `FXM2`: per-chunk statistics plus a footer chunk index.
     V2,
+    /// `FXM3`: per-chunk statistics plus XOR-compressed payloads.
+    V3,
 }
 
 /// Identify the binary format of `bytes` by magic, if any.
@@ -93,6 +128,8 @@ pub fn sniff(bytes: &[u8]) -> Option<FxmVersion> {
         Some(FxmVersion::V1)
     } else if bytes.starts_with(&MAGIC_V2) {
         Some(FxmVersion::V2)
+    } else if bytes.starts_with(&MAGIC_V3) {
+        Some(FxmVersion::V3)
     } else {
         None
     }
@@ -195,6 +232,158 @@ fn encode_impl_v1(series: &MeasuredSeries, chunk_len: usize) -> Bytes {
     buf.freeze()
 }
 
+/// MSB-first bit accumulator for the `FXM3` compressed stream. The
+/// final byte is zero-padded on flush, and the decoder re-checks that
+/// padding, so the stream's bit count is recoverable exactly.
+struct BitWriter {
+    out: Vec<u8>,
+    cur: u8,
+    used: u32,
+}
+
+impl BitWriter {
+    fn new() -> BitWriter {
+        BitWriter {
+            out: Vec::new(),
+            cur: 0,
+            used: 0,
+        }
+    }
+
+    /// Append the low `n` bits of `value`, MSB-first (`n <= 64`).
+    fn push_bits(&mut self, value: u64, n: u32) {
+        let mut left = n;
+        while left > 0 {
+            let take = left.min(8 - self.used);
+            // `take` is 1..=8 and `left - take` is 0..=63; the byte
+            // shift goes through u16 because `take` can be exactly 8
+            // (the accumulator is empty then, so the high bits are 0).
+            let chunk = ((value >> (left - take)) & ((1u64 << take) - 1)) as u8;
+            self.cur = ((u16::from(self.cur) << take) as u8) | chunk;
+            self.used += take;
+            left -= take;
+            if self.used == 8 {
+                self.out.push(self.cur);
+                self.cur = 0;
+                self.used = 0;
+            }
+        }
+    }
+
+    fn push_bit(&mut self, bit: u64) {
+        self.push_bits(bit, 1);
+    }
+
+    /// Flush, zero-padding the final partial byte.
+    fn finish(mut self) -> Vec<u8> {
+        if self.used > 0 {
+            self.out.push(self.cur << (8 - self.used));
+        }
+        self.out
+    }
+}
+
+/// Append one chunk's `FXM3` gap bitmap + compressed stream to `buf`.
+fn put_v3_payload(buf: &mut BytesMut, chunk: &[f64]) {
+    // Gap bitmap, LSB-first within each byte; padding bits stay zero.
+    for group in chunk.chunks(8) {
+        let mut byte = 0u8;
+        for (bit, v) in group.iter().enumerate() {
+            if v.is_nan() {
+                byte |= 1 << bit;
+            }
+        }
+        buf.put_slice(&[byte]);
+    }
+    let mut w = BitWriter::new();
+    let mut prev: Option<u64> = None;
+    // The window (leading zeros, meaningful length) of the last `11`
+    // control block; `10` re-uses it when the new XOR fits inside.
+    let mut window: Option<(u32, u32)> = None;
+    for &v in chunk.iter().filter(|v| !v.is_nan()) {
+        let bits = v.to_bits();
+        match prev {
+            None => w.push_bits(bits, 64),
+            Some(p) => {
+                let xor = p ^ bits;
+                if xor == 0 {
+                    w.push_bit(0);
+                } else {
+                    w.push_bit(1);
+                    let lead = xor.leading_zeros();
+                    let trail = xor.trailing_zeros();
+                    let reused = match window {
+                        Some((wl, wm)) if lead >= wl && trail >= 64 - wl - wm => {
+                            w.push_bit(0);
+                            w.push_bits(xor >> (64 - wl - wm), wm);
+                            true
+                        }
+                        _ => false,
+                    };
+                    if !reused {
+                        let meaningful = 64 - lead - trail;
+                        w.push_bit(1);
+                        w.push_bits(u64::from(lead), 6);
+                        w.push_bits(u64::from(meaningful - 1), 6);
+                        w.push_bits(xor >> trail, meaningful);
+                        window = Some((lead, meaningful));
+                    }
+                }
+            }
+        }
+        prev = Some(bits);
+    }
+    buf.put_slice(&w.finish());
+}
+
+/// Encode a measured series as `FXM3` using
+/// [`DEFAULT_CHUNK_LEN`]-interval chunks.
+pub fn encode_v3(series: &MeasuredSeries) -> Bytes {
+    encode_impl_v3(series, DEFAULT_CHUNK_LEN)
+}
+
+/// Encode a measured series as `FXM3` with an explicit chunk length
+/// (same [`FrameError::ZeroChunkLen`] contract as [`encode_chunked`]).
+pub fn encode_chunked_v3(series: &MeasuredSeries, chunk_len: usize) -> Result<Bytes, FrameError> {
+    if chunk_len == 0 {
+        return Err(FrameError::ZeroChunkLen);
+    }
+    Ok(encode_impl_v3(series, chunk_len))
+}
+
+/// `FXM3` encoding over a validated (non-zero) chunk length.
+fn encode_impl_v3(series: &MeasuredSeries, chunk_len: usize) -> Bytes {
+    let n = series.len();
+    let chunks = n.div_ceil(chunk_len);
+    // Capacity is a guess (the stream compresses); worst case per value
+    // is < 80 bits, so the uncompressed size is a safe reservation.
+    let mut buf =
+        BytesMut::with_capacity(HEADER_LEN + chunks * (V2_CHUNK_HEADER_LEN + 8) + 10 * n + 12);
+    buf.put_slice(&MAGIC_V3);
+    buf.put_i64_le(series.start().as_minutes());
+    buf.put_u32_le(series.resolution().minutes() as u32);
+    buf.put_u64_le(n as u64);
+    buf.put_u32_le(chunk_len as u32);
+    let mut offsets = Vec::with_capacity(chunks);
+    for chunk in series.values().chunks(chunk_len) {
+        offsets.push(buf.len() as u64);
+        let stats = ChunkStats::from_values(chunk);
+        buf.put_u32_le(chunk.len() as u32);
+        buf.put_u32_le(stats.gaps);
+        put_value(&mut buf, stats.min);
+        put_value(&mut buf, stats.max);
+        put_value(&mut buf, stats.sum);
+        put_v3_payload(&mut buf, chunk);
+    }
+    let footer = buf.len() as u64;
+    for o in offsets {
+        buf.put_u64_le(o);
+    }
+    buf.put_u64_le(footer);
+    buf.put_slice(&END_MAGIC_V3);
+    buf.freeze()
+}
+
 /// Parsed fixed header (identical in both versions).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrameHeader {
@@ -222,11 +411,23 @@ pub struct ChunkMeta {
     pub first: usize,
     /// Number of intervals in the chunk.
     pub len: usize,
-    /// Statistics, when the format carries them (`FXM2` only).
+    /// Statistics, when the format carries them (`FXM2`/`FXM3`).
     pub stats: Option<ChunkStats>,
     /// Absolute byte offset of the chunk frame (0 for materialized
     /// frames, which have no backing buffer).
     offset: usize,
+    /// On-disk payload bytes past the statistics header (raw IEEE-754
+    /// words for `FXM2`; gap bitmap + compressed stream for `FXM3`; 0
+    /// for virtually chunked frames). Feeds the scan byte audit.
+    payload_bytes: usize,
+}
+
+impl ChunkMeta {
+    /// On-disk payload bytes a decode of this chunk touches (0 for
+    /// virtually chunked frames, whose decode cost was paid at open).
+    pub fn payload_bytes(&self) -> usize {
+        self.payload_bytes
+    }
 }
 
 /// How a [`Frame`] serves its chunks.
@@ -234,6 +435,9 @@ pub struct ChunkMeta {
 pub enum FrameKind {
     /// Lazy `FXM2`: chunks decode on demand, statistics are indexed.
     FxmV2,
+    /// Lazy `FXM3`: like `FxmV2`, with XOR-compressed payloads that
+    /// decompress on demand.
+    FxmV3,
     /// Legacy `FXM1`: fully decoded at open (no statistics to push
     /// down), chunks served from memory.
     FxmV1,
@@ -254,11 +458,16 @@ pub struct Frame {
     file: String,
     header: FrameHeader,
     kind: FrameKind,
-    /// The raw buffer (`FxmV2` only; empty otherwise).
+    /// The raw buffer (`FxmV2`/`FxmV3` only; empty otherwise).
     buf: Bytes,
-    /// Materialized values (`FxmV1`/`Materialized` only; empty for v2).
+    /// Materialized values (`FxmV1`/`Materialized` only; empty for
+    /// lazy frames).
     values: Vec<f64>,
     chunks: Vec<ChunkMeta>,
+    /// On-disk size of the backing buffer at open (0 for frames built
+    /// from an in-memory series). Kept separately because the eager
+    /// `FXM1` path drops its buffer after decoding.
+    disk_bytes: usize,
 }
 
 /// Take `N` bytes at `at`, or a [`FrameError::ShortRead`] naming the
@@ -295,7 +504,8 @@ pub fn decode_header(buf: &[u8], file: &str) -> Result<(FrameHeader, FxmVersion)
     if buf.len() < HEADER_LEN {
         return Err(codec_err(file, "buffer shorter than header"));
     }
-    let version = sniff(buf).ok_or_else(|| codec_err(file, "bad magic (expected FXM1 or FXM2)"))?;
+    let version =
+        sniff(buf).ok_or_else(|| codec_err(file, "bad magic (expected FXM1, FXM2 or FXM3)"))?;
     let start = Timestamp::from_minutes(read_u64(buf, 4, file)? as i64);
     let resolution = Resolution::from_minutes(read_u32(buf, 12, file)? as i64)
         .map_err(|_| codec_err(file, "invalid resolution"))?;
@@ -328,6 +538,7 @@ impl Frame {
         let (header, version) = decode_header(&bytes, file)?;
         match version {
             FxmVersion::V2 => Self::open_v2(bytes, header, file),
+            FxmVersion::V3 => Self::open_v3(bytes, header, file),
             FxmVersion::V1 => Self::open_v1(&bytes, header, file),
         }
     }
@@ -356,6 +567,7 @@ impl Frame {
             kind: FrameKind::Materialized,
             buf: Bytes::new(),
             values: series.into_values(),
+            disk_bytes: 0,
         })
     }
 
@@ -365,6 +577,20 @@ impl Frame {
             file: file.to_string(),
             header,
             kind: FrameKind::FxmV2,
+            disk_bytes: bytes.len(),
+            buf: bytes,
+            values: Vec::new(),
+            chunks,
+        })
+    }
+
+    fn open_v3(bytes: Bytes, header: FrameHeader, file: &str) -> Result<Frame, FrameError> {
+        let chunks = parse_v3_chunks(&bytes, &header, file)?;
+        Ok(Frame {
+            file: file.to_string(),
+            header,
+            kind: FrameKind::FxmV3,
+            disk_bytes: bytes.len(),
             buf: bytes,
             values: Vec::new(),
             chunks,
@@ -414,6 +640,7 @@ impl Frame {
             kind: FrameKind::FxmV1,
             buf: Bytes::new(),
             values,
+            disk_bytes: buf.len(),
         })
     }
 
@@ -435,6 +662,15 @@ impl Frame {
     /// The chunk directory, in interval order.
     pub fn chunks(&self) -> &[ChunkMeta] {
         &self.chunks
+    }
+
+    /// On-disk bytes read to open this frame (0 for frames built from
+    /// an in-memory series). Feeds [`ScanReport::bytes_read`]
+    /// accounting.
+    ///
+    /// [`ScanReport::bytes_read`]: crate::scan::ScanReport::bytes_read
+    pub fn disk_bytes(&self) -> usize {
+        self.disk_bytes
     }
 
     /// The values of chunk `i`, decoding on demand for lazy frames.
@@ -468,6 +704,10 @@ impl Frame {
                 read_v2_payload(&self.buf, meta, &self.file, scratch)?;
                 Ok(scratch.as_slice())
             }
+            FrameKind::FxmV3 => {
+                read_v3_payload(&self.buf, meta, &self.file, scratch)?;
+                Ok(scratch.as_slice())
+            }
         }
     }
 
@@ -491,7 +731,7 @@ impl Frame {
     /// copying.
     pub fn into_measured(self) -> Result<MeasuredSeries, FrameError> {
         match self.kind {
-            FrameKind::FxmV2 => self.decode(),
+            FrameKind::FxmV2 | FrameKind::FxmV3 => self.decode(),
             FrameKind::FxmV1 | FrameKind::Materialized => {
                 MeasuredSeries::new(self.header.start, self.header.resolution, self.values).map_err(
                     |e| match e {
@@ -592,6 +832,7 @@ fn parse_v2_chunks(
                 sum,
             }),
             offset: at,
+            payload_bytes: len * 8,
         });
         expected_off = (at + V2_CHUNK_HEADER_LEN + len * 8) as u64;
     }
@@ -625,6 +866,433 @@ fn read_v2_payload(
     Ok(())
 }
 
+/// Parse an `FXM3` buffer's footer index and per-chunk statistics
+/// headers into the chunk directory. Chunk frames are variable-length
+/// (the payload compresses), so each chunk's byte extent is derived
+/// from the next footer offset; offsets must be contiguous from the
+/// fixed header to the footer, which makes every extent bounded before
+/// any read. No payload (bitmap or stream) is touched here.
+fn parse_v3_chunks(
+    buf: &[u8],
+    header: &FrameHeader,
+    file: &str,
+) -> Result<Vec<ChunkMeta>, FrameError> {
+    let chunks = header.chunk_count();
+    // Bound the declared chunk count by what the buffer could hold
+    // before any multiplication: each chunk needs 8 footer bytes.
+    let avail = buf.len().saturating_sub(HEADER_LEN + V2_TAIL_LEN);
+    if chunks > avail / 8 {
+        return Err(codec_err(file, "buffer shorter than footer"));
+    }
+    let footer_len = chunks * 8 + V2_TAIL_LEN;
+    let end_magic: [u8; 4] = read_array(buf, buf.len().saturating_sub(4), file)?;
+    if end_magic != END_MAGIC_V3 {
+        return Err(codec_err(
+            file,
+            "missing FXM3 end marker (truncated buffer or trailing bytes)",
+        ));
+    }
+    let tail_at = buf
+        .len()
+        .checked_sub(V2_TAIL_LEN)
+        .ok_or_else(|| codec_err(file, "buffer shorter than the FXM3 tail"))?;
+    let footer_off = read_u64(buf, tail_at, file)?;
+    let expected_footer = (buf.len() - footer_len) as u64;
+    if footer_off != expected_footer {
+        return Err(codec_err(
+            file,
+            format!(
+                "footer offset {footer_off} does not line up with the chunk index \
+                 (expected {expected_footer}; truncated buffer or trailing bytes)"
+            ),
+        ));
+    }
+    let mut metas: Vec<ChunkMeta> = Vec::with_capacity(chunks);
+    let mut expected_off = HEADER_LEN as u64;
+    for c in 0..chunks {
+        let off = read_u64(buf, footer_off as usize + c * 8, file)?;
+        if off != expected_off {
+            return Err(codec_err(
+                file,
+                format!("chunk {c} offset {off} disagrees with the frame layout"),
+            ));
+        }
+        // The chunk's byte extent ends where the next chunk (or the
+        // footer) begins; `off == expected_off` keeps the walk
+        // contiguous, so `end` is bounded by `footer_off`.
+        let end = if c + 1 < chunks {
+            read_u64(buf, footer_off as usize + (c + 1) * 8, file)?
+        } else {
+            footer_off
+        };
+        let Some(extent) = end.checked_sub(off).map(|e| e as usize) else {
+            return Err(codec_err(
+                file,
+                format!("chunk {c} offsets are not monotonic"),
+            ));
+        };
+        if end > footer_off {
+            return Err(codec_err(
+                file,
+                format!("chunk {c} extends past the footer"),
+            ));
+        }
+        let first = c * header.chunk_len;
+        let len = header.chunk_len.min(header.len - first);
+        let bitmap_len = len.div_ceil(8);
+        if extent < V2_CHUNK_HEADER_LEN + bitmap_len {
+            return Err(codec_err(file, "truncated chunk frame"));
+        }
+        let at = off as usize;
+        let count = read_u32(buf, at, file)? as usize;
+        if count != len {
+            return Err(codec_err(file, "chunk count disagrees with header"));
+        }
+        let gaps = read_u32(buf, at + 4, file)?;
+        if gaps as usize > len {
+            return Err(codec_err(file, "chunk gap count exceeds chunk length"));
+        }
+        let min = read_f64(buf, at + 8, file)?;
+        let max = read_f64(buf, at + 16, file)?;
+        let sum = read_f64(buf, at + 24, file)?;
+        if min.is_infinite() || max.is_infinite() || !sum.is_finite() {
+            return Err(codec_err(file, "non-finite chunk statistics"));
+        }
+        if (gaps as usize == len) != (min.is_nan() || max.is_nan()) {
+            return Err(codec_err(
+                file,
+                "chunk statistics disagree with the gap count",
+            ));
+        }
+        metas.push(ChunkMeta {
+            first,
+            len,
+            stats: Some(ChunkStats {
+                gaps,
+                min,
+                max,
+                sum,
+            }),
+            offset: at,
+            payload_bytes: extent - V2_CHUNK_HEADER_LEN,
+        });
+        expected_off = end;
+    }
+    if expected_off != footer_off {
+        return Err(codec_err(
+            file,
+            "slack bytes between the final chunk and the footer",
+        ));
+    }
+    Ok(metas)
+}
+
+/// MSB-first bit cursor over a compressed stream, buffered through a
+/// 64-bit accumulator so the per-value hot path is shifts, not a
+/// byte-masking loop (this decoder sits under every time-sliced FXM3
+/// query — see the `query/*/fxm3` bench rows). Every refill is
+/// bounds-checked; `None` means the stream ended early, which callers
+/// surface as a typed codec error.
+struct BitReader<'a> {
+    buf: &'a [u8],
+    /// Next byte to refill the accumulator from.
+    next: usize,
+    /// MSB-aligned accumulator: the top `have` bits are valid.
+    acc: u64,
+    /// Valid bit count in `acc`.
+    have: u32,
+    /// Total bits consumed (drives the padding check).
+    used: usize,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(buf: &'a [u8]) -> BitReader<'a> {
+        BitReader {
+            buf,
+            next: 0,
+            acc: 0,
+            have: 0,
+            used: 0,
+        }
+    }
+
+    /// Read `n` bits (`1 <= n <= 64`), MSB-first, as the low bits of a
+    /// u64.
+    fn read_bits(&mut self, n: u32) -> Option<u64> {
+        if n > 57 {
+            // Two halves keep `read_small`'s refill shifts in range.
+            let hi = self.read_small(n - 32)?;
+            let lo = self.read_small(32)?;
+            return Some((hi << 32) | lo);
+        }
+        self.read_small(n)
+    }
+
+    /// Read `n <= 57` bits out of the accumulator, refilling in bulk
+    /// where 8 source bytes remain and a byte at a time near the end
+    /// of the stream. A bulk refill tops `have` up to at least 56, so
+    /// the byte loop only runs near the stream's tail, where
+    /// `have < n <= 57` keeps its `56 - have` shift in range.
+    #[inline]
+    fn read_small(&mut self, n: u32) -> Option<u64> {
+        if self.have < n {
+            self.refill_bulk();
+            while self.have < n {
+                let byte = *self.buf.get(self.next)?;
+                self.next += 1;
+                self.acc |= u64::from(byte) << (56 - self.have);
+                self.have += 8;
+            }
+        }
+        let out = self.acc >> (64 - n);
+        self.acc <<= n;
+        self.have -= n;
+        self.used += n as usize;
+        Some(out)
+    }
+
+    /// Buffer as many stream bits as fit (at least 57 unless the
+    /// stream itself ends sooner), so callers can branch on `peek` /
+    /// `consume` without per-read refill checks. Afterwards either
+    /// `have >= 57` or every remaining stream byte is in `acc`.
+    #[inline]
+    fn ensure(&mut self) {
+        if self.have < 57 {
+            self.refill_bulk();
+            while self.have <= 56 {
+                let Some(&byte) = self.buf.get(self.next) else {
+                    break;
+                };
+                self.next += 1;
+                self.acc |= u64::from(byte) << (56 - self.have);
+                self.have += 8;
+            }
+        }
+    }
+
+    /// The top `n` buffered bits (callers check `have >= n` first).
+    #[inline]
+    fn peek(&self, n: u32) -> u64 {
+        self.acc >> (64 - n)
+    }
+
+    /// Drop `n` buffered bits (callers check `have >= n` first;
+    /// `n < 64`).
+    #[inline]
+    fn consume(&mut self, n: u32) {
+        self.acc <<= n;
+        self.have -= n;
+        self.used += n as usize;
+    }
+
+    /// Top up the accumulator from one 8-byte load, committing only
+    /// the whole bytes that fit. Bits of `acc` below the committed
+    /// `have` region receive a *prefix of not-yet-committed stream
+    /// bytes*; the next refill ORs those same bytes again
+    /// (idempotent), and `peek`/`consume` only ever look at the top
+    /// `have` bits, so no masking is needed. A no-op when fewer than
+    /// 8 bytes remain (the caller's byte loop finishes up, restoring
+    /// the zero-low-bits invariant it relies on). Called with
+    /// `have <= 56`.
+    #[inline]
+    fn refill_bulk(&mut self) {
+        let Some(&chunk) = self.buf.get(self.next..).and_then(|s| s.first_chunk::<8>()) else {
+            return;
+        };
+        self.acc |= u64::from_be_bytes(chunk) >> self.have;
+        let bytes = (63 - self.have) / 8;
+        self.next += bytes as usize;
+        self.have += bytes * 8;
+    }
+
+    /// Bits left over in the final partial byte, which must be zero
+    /// padding: `false` means a non-zero pad bit (corruption).
+    fn padding_is_zero(&self) -> bool {
+        let pad = self.buf.len() * 8 - self.used;
+        if pad == 0 {
+            return true;
+        }
+        match self.buf.last() {
+            Some(last) => pad < 8 && last & ((1u8 << pad) - 1) == 0,
+            None => false,
+        }
+    }
+}
+
+/// Decode one `FXM3` chunk payload (gap bitmap + compressed stream)
+/// into `out` (cleared first). Accounting is exact: the stream must
+/// end on the final value with only zero padding bits left, the bitmap
+/// must agree with the recorded gap count, and decoded values must be
+/// finite non-NaN — anything else is a typed error naming the chunk's
+/// byte offset.
+fn read_v3_payload(
+    buf: &[u8],
+    meta: &ChunkMeta,
+    file: &str,
+    out: &mut Vec<f64>,
+) -> Result<(), FrameError> {
+    let chunk_err = |what: &str| {
+        codec_err(
+            file,
+            format!("chunk at byte offset {}: {what}", meta.offset),
+        )
+    };
+    out.clear();
+    out.reserve(meta.len);
+    let bitmap_len = meta.len.div_ceil(8);
+    let bitmap_at = meta.offset + V2_CHUNK_HEADER_LEN;
+    let stream_at = bitmap_at + bitmap_len;
+    let stream_end = bitmap_at + meta.payload_bytes;
+    // The extent was validated against the footer at open; a miss here
+    // means the directory itself is inconsistent.
+    let (Some(bitmap), Some(stream)) = (
+        buf.get(bitmap_at..stream_at),
+        buf.get(stream_at..stream_end),
+    ) else {
+        return Err(chunk_err("payload extends past the buffer"));
+    };
+    let gaps: usize = bitmap.iter().map(|b| b.count_ones() as usize).sum();
+    let recorded = meta.stats.map_or(0, |s| s.gaps as usize);
+    if gaps != recorded {
+        return Err(chunk_err(
+            "gap bitmap disagrees with the recorded gap count",
+        ));
+    }
+    // Padding bits past `len` in the final bitmap byte must be zero —
+    // they are not intervals, so any set bit is corruption (and would
+    // otherwise double-count in the popcount above).
+    if !meta.len.is_multiple_of(8) {
+        let last = bitmap.last().copied().unwrap_or(0);
+        if last & !((1u16 << (meta.len % 8)) - 1) as u8 != 0 {
+            return Err(chunk_err("gap bitmap sets bits past the chunk length"));
+        }
+    }
+    let mut r = BitReader::new(stream);
+    // Current reuse window; `w_ml == 0` means none defined yet (a
+    // real window always has `meaningful >= 1`).
+    let mut w_lead = 0u32;
+    let mut w_ml = 0u32;
+    // An all-ones exponent is ±∞ (zero mantissa) or a NaN outside
+    // the gap bitmap — corruption either way, told apart cold.
+    const EXP_ALL: u64 = 0x7ff0_0000_0000_0000;
+    let non_finite = |bits: u64| {
+        chunk_err(if bits & !(EXP_ALL | (1 << 63)) == 0 {
+            "infinite value in chunk payload"
+        } else {
+            "NaN payload outside the gap bitmap"
+        })
+    };
+    // Prologue: leading gaps, then the first observed value (64 raw
+    // bits) — so the main loop carries `prev` as a plain u64.
+    let gap_at = |i: usize| bitmap.get(i / 8).is_some_and(|b| b >> (i % 8) & 1 == 1);
+    let mut i = 0;
+    while i < meta.len && gap_at(i) {
+        out.push(f64::from_bits(GAP_BITS));
+        i += 1;
+    }
+    let mut p = 0u64;
+    if i < meta.len {
+        p = r
+            .read_bits(64)
+            .ok_or_else(|| chunk_err("compressed stream ends inside a value"))?;
+        if p & EXP_ALL == EXP_ALL {
+            return Err(non_finite(p));
+        }
+        out.push(f64::from_bits(p));
+        i += 1;
+    }
+    while i < meta.len {
+        // One cached bitmap byte per 8 values keeps the per-value gap
+        // test a register shift.
+        let bm = bitmap.get(i / 8).copied().unwrap_or(0);
+        let hi = (i / 8 * 8 + 8).min(meta.len);
+        let mut bit = (i % 8) as u32;
+        while i < hi {
+            if bm >> bit & 1 == 1 {
+                out.push(f64::from_bits(GAP_BITS));
+                i += 1;
+                bit += 1;
+                continue;
+            }
+            // Branch on buffered bits directly: one `ensure` per
+            // value replaces a refill-checked read per field, and the
+            // payload comes straight out of the accumulator when it
+            // is already buffered.
+            r.ensure();
+            if r.have == 0 {
+                return Err(chunk_err("compressed stream ends inside a value"));
+            }
+            if r.peek(1) == 0 {
+                r.consume(1);
+            } else {
+                if r.have < 2 {
+                    return Err(chunk_err("compressed stream ends inside a value"));
+                }
+                let (lead, meaningful);
+                if r.peek(2) & 1 == 0 {
+                    if w_ml == 0 {
+                        return Err(chunk_err(
+                            "compressed stream re-uses a window before defining one",
+                        ));
+                    }
+                    lead = w_lead;
+                    meaningful = w_ml;
+                    r.consume(2);
+                } else {
+                    // Both 6-bit window fields ride the control bits
+                    // in one 14-bit consume: lead in the high half,
+                    // meaningful−1 in the low half (the stream is
+                    // MSB-first).
+                    let lead_ml = if r.have >= 14 {
+                        let f = r.peek(14) & 0xfff;
+                        r.consume(14);
+                        f
+                    } else {
+                        r.consume(2);
+                        r.read_bits(12)
+                            .ok_or_else(|| chunk_err("compressed stream ends inside a window"))?
+                    };
+                    lead = (lead_ml >> 6) as u32;
+                    meaningful = (lead_ml & 0x3f) as u32 + 1;
+                    if lead + meaningful > 64 {
+                        return Err(chunk_err("compressed window overruns 64 bits"));
+                    }
+                    w_lead = lead;
+                    w_ml = meaningful;
+                    r.ensure();
+                }
+                // Fast path: the whole payload is buffered (and
+                // `consume`'s shift stays in range). `ensure` above
+                // keeps this the common case; the fallback only runs
+                // near the stream's tail or for 58–64 meaningful
+                // bits.
+                let payload = if meaningful < 64 && r.have >= meaningful {
+                    let v = r.peek(meaningful);
+                    r.consume(meaningful);
+                    v
+                } else {
+                    r.read_bits(meaningful)
+                        .ok_or_else(|| chunk_err("compressed stream ends inside a value"))?
+                };
+                p ^= payload << (64 - lead - meaningful);
+            }
+            if p & EXP_ALL == EXP_ALL {
+                return Err(non_finite(p));
+            }
+            out.push(f64::from_bits(p));
+            i += 1;
+            bit += 1;
+        }
+    }
+    // Exact accounting: the stream must hold exactly the bits decoded,
+    // rounded up to whole bytes, with zero padding — slack bytes or
+    // set padding bits mean the frame lies about its contents.
+    if stream.len() != r.used.div_ceil(8) || !r.padding_is_zero() {
+        return Err(chunk_err("slack bytes after the compressed stream"));
+    }
+    Ok(())
+}
+
 fn virtual_chunks(header: &FrameHeader) -> Vec<ChunkMeta> {
     (0..header.chunk_count())
         .map(|c| {
@@ -634,6 +1302,7 @@ fn virtual_chunks(header: &FrameHeader) -> Vec<ChunkMeta> {
                 len: header.chunk_len.min(header.len - first),
                 stats: None,
                 offset: 0,
+                payload_bytes: 0,
             }
         })
         .collect()
@@ -644,25 +1313,44 @@ fn virtual_chunks(header: &FrameHeader) -> Vec<ChunkMeta> {
 /// buffer directly — no copy of the input is made.
 pub fn decode(buf: &[u8], file: &str) -> Result<MeasuredSeries, FrameError> {
     let (header, version) = decode_header(buf, file)?;
-    let frame = match version {
-        FxmVersion::V1 => Frame::open_v1(buf, header, file)?,
-        FxmVersion::V2 => {
-            let chunks = parse_v2_chunks(buf, &header, file)?;
-            let mut values = Vec::with_capacity(header.len);
-            let mut scratch = Vec::new();
-            for meta in &chunks {
-                read_v2_payload(buf, meta, file, &mut scratch)?;
-                values.extend_from_slice(&scratch);
-            }
-            return MeasuredSeries::new(header.start, header.resolution, values).map_err(
-                |e| match e {
-                    SeriesError::UnalignedStart => codec_err(file, "unaligned start"),
-                    other => FrameError::Series(other),
-                },
-            );
-        }
+    let chunks = match version {
+        FxmVersion::V1 => return Frame::open_v1(buf, header, file)?.into_measured(),
+        FxmVersion::V2 => parse_v2_chunks(buf, &header, file)?,
+        FxmVersion::V3 => parse_v3_chunks(buf, &header, file)?,
     };
-    frame.into_measured()
+    let mut values = Vec::with_capacity(header.len);
+    let mut scratch = Vec::new();
+    for meta in &chunks {
+        match version {
+            FxmVersion::V2 => read_v2_payload(buf, meta, file, &mut scratch)?,
+            _ => read_v3_payload(buf, meta, file, &mut scratch)?,
+        }
+        values.extend_from_slice(&scratch);
+    }
+    MeasuredSeries::new(header.start, header.resolution, values).map_err(|e| match e {
+        SeriesError::UnalignedStart => codec_err(file, "unaligned start"),
+        other => FrameError::Series(other),
+    })
+}
+
+/// Cold-open a frame file with one buffered sequential read.
+///
+/// The whole file — header, chunk frames, statistics block and footer
+/// — lands in a single pre-sized read, so a cold open costs one IO
+/// round-trip instead of a seek per chunk header (the footer index
+/// then resolves chunk placement from memory). This is the read-ahead
+/// path every store-level open funnels through; `BENCH_pipeline.json`'s
+/// `cold_open` stages measure it against a seek-per-chunk reader.
+pub fn open_file(path: &std::path::Path) -> Result<Frame, FrameError> {
+    use std::io::Read as _;
+    let display = path.display().to_string();
+    let mut f =
+        std::fs::File::open(path).map_err(|e| codec_err(&display, format!("open failed: {e}")))?;
+    let size = f.metadata().map(|m| m.len() as usize).unwrap_or(0);
+    let mut raw = Vec::with_capacity(size);
+    f.read_to_end(&mut raw)
+        .map_err(|e| codec_err(&display, format!("read failed: {e}")))?;
+    Frame::from_fxm_bytes(Bytes::from(raw), &display)
 }
 
 #[cfg(test)]
@@ -714,6 +1402,98 @@ mod tests {
     }
 
     #[test]
+    fn v3_round_trip_preserves_gaps() {
+        let m = sample();
+        let bytes = encode_v3(&m);
+        assert_eq!(sniff(&bytes), Some(FxmVersion::V3));
+        let back = decode(&bytes, "t.fxm").unwrap();
+        assert_eq!(back.gap_count(), 2);
+        assert_series_eq(&back, &m);
+        // The lazy open decodes chunk by chunk to the same answer.
+        let frame = Frame::from_fxm_bytes(encode_v3(&m), "t.fxm").unwrap();
+        assert_eq!(frame.kind(), FrameKind::FxmV3);
+        assert_eq!(frame.disk_bytes(), bytes.len());
+        assert_series_eq(&frame.decode().unwrap(), &m);
+    }
+
+    #[test]
+    fn v3_round_trip_is_bit_exact_on_adversarial_values() {
+        // Signed zeros, subnormals, huge magnitudes, long constant
+        // runs and NaN-gap patterns — the XOR stream and gap bitmap
+        // must reproduce every observed bit pattern exactly.
+        let mut values = vec![
+            0.0,
+            -0.0,
+            f64::MIN_POSITIVE,
+            f64::from_bits(1), // smallest subnormal
+            -f64::from_bits(1),
+            f64::MAX,
+            -f64::MAX,
+            1.0,
+            1.0 + f64::EPSILON,
+            f64::NAN,
+            f64::NAN,
+            1e-300,
+            -1e300,
+        ];
+        values.extend(std::iter::repeat_n(0.25, 200)); // constant run
+        values.extend((0..100).map(|i| {
+            if i % 3 == 0 {
+                f64::NAN
+            } else {
+                i as f64 * 1e-5
+            }
+        }));
+        let m = MeasuredSeries::new(ts("2013-03-18"), Resolution::MIN_1, values).unwrap();
+        for chunk_len in [1, 7, 96, 1000] {
+            let v3 = encode_chunked_v3(&m, chunk_len).unwrap();
+            let back = decode(&v3, "t.fxm").unwrap();
+            assert_series_eq(&back, &m);
+            // And the FXM3 decode is bit-exact to the FXM2 decode of
+            // the same series — the codecs are interchangeable.
+            let v2 = decode(&encode_chunked(&m, chunk_len).unwrap(), "t.fxm").unwrap();
+            assert_series_eq(&back, &v2);
+        }
+    }
+
+    #[test]
+    fn v3_compresses_smooth_series_and_keeps_stats() {
+        // A realistic quantized meter feed (1 Wh register steps that
+        // plateau for minutes at a time — the regime the dataset
+        // layer's `quantize_kwh` degradation produces): FXM3 must be
+        // markedly smaller than FXM2's fixed 8 bytes per interval,
+        // with identical chunk statistics behind the same 32-byte
+        // header.
+        let values: Vec<f64> = (0..2880)
+            .map(|i| {
+                if i % 97 == 0 {
+                    f64::NAN
+                } else {
+                    let level = [3, 4, 4, 3, 7, 12, 6, 4][(i / 24) % 8] + (i * 31) % 13 / 11;
+                    level as f64 * 0.001
+                }
+            })
+            .collect();
+        let m = MeasuredSeries::new(ts("2013-03-18"), Resolution::MIN_1, values).unwrap();
+        let v2 = encode(&m);
+        let v3 = encode_v3(&m);
+        assert!(
+            v3.len() * 2 < v2.len(),
+            "expected ≥2× compression, got {} vs {}",
+            v3.len(),
+            v2.len()
+        );
+        let f2 = Frame::from_fxm_bytes(v2, "t.fxm").unwrap();
+        let f3 = Frame::from_fxm_bytes(v3, "t.fxm").unwrap();
+        assert_eq!(f2.chunks().len(), f3.chunks().len());
+        for (a, b) in f2.chunks().iter().zip(f3.chunks()) {
+            assert_eq!(a.stats, b.stats);
+            assert!(b.payload_bytes() < a.payload_bytes());
+        }
+        assert_series_eq(&f2.decode().unwrap(), &f3.decode().unwrap());
+    }
+
+    #[test]
     fn encoding_is_deterministic_across_nan_payloads() {
         // A NaN produced by arithmetic may carry a different bit
         // pattern than f64::NAN; encoding canonicalises them.
@@ -725,6 +1505,7 @@ mod tests {
             .unwrap();
         assert_eq!(encode(&a), encode(&b));
         assert_eq!(encode_v1(&a), encode_v1(&b));
+        assert_eq!(encode_v3(&a), encode_v3(&b));
     }
 
     #[test]
@@ -732,8 +1513,11 @@ mod tests {
         let m = sample();
         assert_eq!(encode_chunked(&m, 0), Err(FrameError::ZeroChunkLen));
         assert_eq!(encode_chunked_v1(&m, 0), Err(FrameError::ZeroChunkLen));
+        assert_eq!(encode_chunked_v3(&m, 0), Err(FrameError::ZeroChunkLen));
         // 1 is the smallest valid chunk length and round-trips.
         let back = decode(&encode_chunked(&m, 1).unwrap(), "t.fxm").unwrap();
+        assert_series_eq(&back, &m);
+        let back = decode(&encode_chunked_v3(&m, 1).unwrap(), "t.fxm").unwrap();
         assert_series_eq(&back, &m);
     }
 
@@ -891,7 +1675,11 @@ mod tests {
     fn every_strict_truncation_is_a_typed_error_never_a_panic() {
         // Exhaustive: cutting a valid buffer anywhere must surface as
         // an Err — the byte accounting leaves no prefix that decodes.
-        for raw in [encode(&sample()), encode_v1(&sample())] {
+        for raw in [
+            encode(&sample()),
+            encode_v1(&sample()),
+            encode_v3(&sample()),
+        ] {
             for cut in 0..raw.len() {
                 assert!(
                     decode(&raw[..cut], "t.fxm").is_err(),
@@ -906,7 +1694,11 @@ mod tests {
     fn single_byte_corruption_never_panics() {
         // Flip every byte of a valid buffer in turn; each variant must
         // either decode or fail with a typed error — never abort.
-        for raw in [encode(&sample()), encode_v1(&sample())] {
+        for raw in [
+            encode(&sample()),
+            encode_v1(&sample()),
+            encode_v3(&sample()),
+        ] {
             let raw = raw.to_vec();
             for i in 0..raw.len() {
                 let mut bad = raw.clone();
@@ -945,12 +1737,68 @@ mod tests {
     }
 
     #[test]
-    fn empty_series_round_trip_both_versions() {
+    fn empty_series_round_trip_all_versions() {
         let m = MeasuredSeries::new(ts("2013-03-18"), Resolution::MIN_15, vec![]).unwrap();
-        for bytes in [encode(&m), encode_v1(&m)] {
+        for bytes in [encode(&m), encode_v1(&m), encode_v3(&m)] {
             let frame = Frame::from_fxm_bytes(bytes, "t.fxm").unwrap();
             assert_eq!(frame.chunks().len(), 0);
             assert_eq!(frame.decode().unwrap().len(), 0);
         }
+    }
+
+    #[test]
+    fn v3_rejects_corrupt_bitmaps_streams_and_offsets() {
+        let values: Vec<f64> = (0..200)
+            .map(|i| {
+                if i % 7 == 0 {
+                    f64::NAN
+                } else {
+                    0.1 + i as f64 * 0.003
+                }
+            })
+            .collect();
+        let m = MeasuredSeries::new(ts("2013-03-18"), Resolution::MIN_1, values).unwrap();
+        let raw = encode_chunked_v3(&m, 96).unwrap().to_vec();
+        let bitmap_at = HEADER_LEN + V2_CHUNK_HEADER_LEN;
+
+        // Flip a bitmap bit: popcount no longer matches the recorded
+        // gap count — a typed error naming the chunk offset.
+        let mut bad = raw.clone();
+        bad[bitmap_at] ^= 0b10; // interval 1 is observed in chunk 0
+        let err = decode(&bad, "t.fxm").unwrap_err();
+        assert!(err.to_string().contains("gap bitmap"), "{err}");
+        assert!(err.to_string().contains(&HEADER_LEN.to_string()), "{err}");
+
+        // Corrupt the chunk-0 footer offset: the contiguity walk trips.
+        let mut bad = raw.clone();
+        let chunks = Frame::from_fxm_bytes(Bytes::from(raw.clone()), "t.fxm")
+            .unwrap()
+            .chunks()
+            .len();
+        let footer_at = raw.len() - V2_TAIL_LEN - chunks * 8;
+        bad[footer_at..footer_at + 8].copy_from_slice(&7u64.to_le_bytes());
+        let err = Frame::from_fxm_bytes(Bytes::from(bad), "t.fxm").unwrap_err();
+        assert!(err.to_string().contains("offset"), "{err}");
+
+        // Corrupt the recorded gap count (keeping it <= len): the
+        // open-time stats either disagree with min/max or the decode
+        // disagrees with the bitmap — an error either way.
+        let mut bad = raw.clone();
+        bad[HEADER_LEN + 4..HEADER_LEN + 8].copy_from_slice(&2u32.to_le_bytes());
+        assert!(decode(&bad, "t.fxm").is_err());
+
+        // A stats-only open touches no payload even on FXM3: corrupt
+        // every bitmap+stream byte of chunk 0 and the open still
+        // succeeds (directory and stats parse fine); only the decode
+        // of that chunk fails.
+        let mut bad = raw.clone();
+        let frame = Frame::from_fxm_bytes(Bytes::from(raw.clone()), "t.fxm").unwrap();
+        let chunk1_off = HEADER_LEN + V2_CHUNK_HEADER_LEN + frame.chunks()[0].payload_bytes();
+        for b in &mut bad[bitmap_at..chunk1_off] {
+            *b = 0xFF;
+        }
+        let frame = Frame::from_fxm_bytes(Bytes::from(bad), "t.fxm").unwrap();
+        let mut scratch = Vec::new();
+        assert!(frame.chunk_values(0, &mut scratch).is_err());
     }
 }

@@ -101,6 +101,16 @@ pub struct ScanReport {
     /// Shards answered entirely from their roll-up summary (manifest
     /// and series files never opened).
     pub shards_stats_only: usize,
+    /// On-disk bytes read to open the scanned frame(s) — the whole
+    /// file for a cold open, 0 for shards answered from roll-ups and
+    /// for in-memory frames.
+    pub bytes_read: usize,
+    /// On-disk payload bytes decoded on demand by this scan (raw
+    /// IEEE-754 words for `FXM2`, gap bitmap + compressed stream for
+    /// `FXM3`). Eagerly decoded formats (`FXM1`, CSV) pay their decode
+    /// at open, so this stays 0 for them — `bytes_read` carries their
+    /// cost. A stats-only answer leaves this at 0 on every format.
+    pub bytes_decoded: usize,
 }
 
 impl ScanReport {
@@ -134,6 +144,8 @@ impl ScanReport {
         self.shards_total += other.shards_total;
         self.shards_pruned += other.shards_pruned;
         self.shards_stats_only += other.shards_stats_only;
+        self.bytes_read += other.bytes_read;
+        self.bytes_decoded += other.bytes_decoded;
     }
 }
 
@@ -294,6 +306,7 @@ impl Scan {
         let (lo, hi) = self.bounds(frame);
         let mut report = ScanReport {
             chunks_total: frame.chunks().len(),
+            bytes_read: frame.disk_bytes(),
             ..ScanReport::default()
         };
         let mut agg = Aggregates::default();
@@ -315,6 +328,7 @@ impl Scan {
             }
             let values = frame.chunk_values(ci, scratch)?;
             report.chunks_decoded += 1;
+            report.bytes_decoded += meta.payload_bytes();
             let sliced = slice_chunk(values, a, b, frame)?;
             if !self.predicates.iter().all(|p| p.matches(sliced)) {
                 continue;
@@ -351,6 +365,7 @@ impl Scan {
         let h = *frame.header();
         let mut report = ScanReport {
             chunks_total: frame.chunks().len(),
+            bytes_read: frame.disk_bytes(),
             ..ScanReport::default()
         };
         let mut best: Option<(usize, f64)> = None;
@@ -376,6 +391,7 @@ impl Scan {
                     let max = stats.max;
                     let values = frame.chunk_values(ci, scratch)?;
                     report.chunks_decoded += 1;
+                    report.bytes_decoded += meta.payload_bytes();
                     report.intervals_selected += meta.len;
                     // Statistics are sanity-checked at open but never
                     // verified against the payload — a corrupt file
@@ -395,6 +411,7 @@ impl Scan {
             }
             let values = frame.chunk_values(ci, scratch)?;
             report.chunks_decoded += 1;
+            report.bytes_decoded += meta.payload_bytes();
             let sliced = slice_chunk(values, a, b, frame)?;
             if !self.predicates.iter().all(|p| p.matches(sliced)) {
                 continue;
@@ -416,6 +433,7 @@ impl Scan {
         let (lo, hi) = self.bounds(frame);
         let mut report = ScanReport {
             chunks_total: frame.chunks().len(),
+            bytes_read: frame.disk_bytes(),
             ..ScanReport::default()
         };
         let mut out = Vec::new();
@@ -433,6 +451,7 @@ impl Scan {
             }
             let values = frame.chunk_values(ci, &mut scratch)?;
             report.chunks_decoded += 1;
+            report.bytes_decoded += meta.payload_bytes();
             let sliced = slice_chunk(values, a, b, frame)?;
             if !self.predicates.iter().all(|p| p.matches(sliced)) {
                 continue;
@@ -474,6 +493,7 @@ impl Scan {
         let h = *frame.header();
         let mut report = ScanReport {
             chunks_total: frame.chunks().len(),
+            bytes_read: frame.disk_bytes(),
             ..ScanReport::default()
         };
         let mut out = Vec::with_capacity(hi - lo);
@@ -484,6 +504,7 @@ impl Scan {
             };
             let values = frame.chunk_values(ci, scratch)?;
             report.chunks_decoded += 1;
+            report.bytes_decoded += meta.payload_bytes();
             out.extend_from_slice(slice_chunk(values, a, b, frame)?);
         }
         report.intervals_selected = out.len();
@@ -636,6 +657,36 @@ mod tests {
         assert_eq!(report1.chunks_stats_only, 0);
         assert_eq!(agg1.sum_kwh.to_bits(), agg.sum_kwh.to_bits());
         assert_eq!(agg1, agg);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_reads_and_payload_decodes() {
+        let m = sample();
+        for frame in [
+            v2_frame(&m),
+            Frame::from_fxm_bytes(crate::fxm::encode_chunked_v3(&m, 24).unwrap(), "t.fxm").unwrap(),
+        ] {
+            // A stats-only full scan reads the file once and decodes
+            // zero payload bytes, on both stat-carrying codecs.
+            let (_, report) = Scan::new().aggregates(&frame).unwrap();
+            assert_eq!(report.bytes_read, frame.disk_bytes(), "{report:?}");
+            assert_eq!(report.bytes_decoded, 0, "{report:?}");
+
+            // A misaligned slice decodes its two boundary chunks, and
+            // the byte count is exactly those chunks' payload extents.
+            let shifted = TimeRange::new(ts("2013-03-18 01:00"), ts("2013-03-18 07:00")).unwrap();
+            let (_, report) = Scan::new().time_slice(shifted).aggregates(&frame).unwrap();
+            assert_eq!(report.chunks_decoded, 2);
+            let expected: usize = frame.chunks()[..2].iter().map(|c| c.payload_bytes()).sum();
+            assert_eq!(report.bytes_decoded, expected, "{report:?}");
+            assert!(report.bytes_decoded > 0);
+        }
+        // The eagerly decoded v1 path pays at open: bytes_read covers
+        // the file, bytes_decoded stays 0 (there is no on-demand work).
+        let v1 = v1_frame(&m);
+        let (_, report) = Scan::new().aggregates(&v1).unwrap();
+        assert_eq!(report.bytes_read, v1.disk_bytes());
+        assert_eq!(report.bytes_decoded, 0);
     }
 
     #[test]

@@ -5,14 +5,17 @@
 //!    statistics recomputed from a full decode (bit-for-bit f64s).
 //! 2. **Scan equivalence** — a `Scan` with any time slice and
 //!    predicate produces exactly the brute-force filter over the
-//!    materialized series, on both the stat-carrying (FXM2) and the
-//!    degraded full-decode (FXM1) path — pushdown may only skip work,
-//!    never change an answer.
+//!    materialized series, on the stat-carrying paths (FXM2 and
+//!    compressed FXM3) and the degraded full-decode (FXM1) path —
+//!    pushdown may only skip work, never change an answer.
 //! 3. **Aggregate path equality** — the statistics-only aggregate
 //!    answer is bit-identical to the full-decode answer (the chunk-
 //!    ordered sum fold is shared by both paths).
+//! 4. **Codec equivalence** — the FXM3 decode is bit-exact to the FXM2
+//!    decode of the same series, over adversarial values (±0,
+//!    subnormals, NaN-gap patterns, long constant runs).
 
-use flextract_frame::fxm::{encode_chunked, encode_chunked_v1, Frame};
+use flextract_frame::fxm::{encode_chunked, encode_chunked_v1, encode_chunked_v3, Frame};
 use flextract_frame::{ChunkStats, MeasuredSeries, Predicate, Scan};
 use flextract_time::{Duration, Resolution, TimeRange, Timestamp};
 use proptest::prelude::*;
@@ -34,6 +37,41 @@ fn arb_metered(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
     .prop_map(|mut v| {
         if v.iter().all(|x| x.is_nan()) {
             v[0] = 1.0;
+        }
+        v
+    })
+}
+
+/// Adversarial values for the FXM3 XOR compressor: signed zeros,
+/// subnormals, huge magnitudes, NaN gaps, and long constant runs (the
+/// repeat arm expands one draw into a run of identical values).
+fn arb_adversarial(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    let special = prop_oneof![
+        Just(0.0_f64),
+        Just(-0.0_f64),
+        Just(f64::MIN_POSITIVE),
+        Just(f64::from_bits(1)),                     // smallest subnormal
+        Just(f64::from_bits(0x000F_FFFF_FFFF_FFFF)), // largest subnormal
+        // Huge but sum-safe: both frame parsers reject chunks whose
+        // statistics overflow to ±inf, so the format's domain excludes
+        // runs of f64::MAX.
+        Just(1e300),
+        Just(-1e300),
+        Just(1.0 + f64::EPSILON),
+        Just(f64::NAN),
+        -5.0_f64..5.0,
+        1e-300_f64..1e-290,
+    ];
+    proptest::collection::vec((special, 1_usize..24), 2..max_len / 8).prop_map(|runs| {
+        let mut v: Vec<f64> = runs
+            .into_iter()
+            .flat_map(|(x, n)| std::iter::repeat_n(x, n))
+            .collect();
+        if v.iter().all(|x| x.is_nan()) {
+            v[0] = 1.0;
+        }
+        if v.len() < 2 {
+            v.push(0.25);
         }
         v
     })
@@ -138,7 +176,9 @@ proptest! {
         let v2 = Frame::from_fxm_bytes(encode_chunked(&m, chunk_len).unwrap(), "p.fxm").unwrap();
         let v1 =
             Frame::from_fxm_bytes(encode_chunked_v1(&m, chunk_len).unwrap(), "p.fxm").unwrap();
-        for frame in [&v2, &v1] {
+        let v3 =
+            Frame::from_fxm_bytes(encode_chunked_v3(&m, chunk_len).unwrap(), "p.fxm").unwrap();
+        for frame in [&v2, &v1, &v3] {
             let (got, report) = scan.collect(frame).unwrap();
             let got: Vec<(usize, u64)> =
                 got.into_iter().map(|(i, v)| (i, v.to_bits())).collect();
@@ -146,12 +186,18 @@ proptest! {
             prop_assert_eq!(report.intervals_selected, expected.len());
         }
 
-        // Aggregates agree bit-exactly across the two paths, and with
-        // a brute-force fold over the selected values.
+        // Aggregates agree bit-exactly across the codec paths, and
+        // with a brute-force fold over the selected values.
         let (agg2, rep2) = scan.aggregates(&v2).unwrap();
         let (agg1, _) = scan.aggregates(&v1).unwrap();
+        let (agg3, rep3) = scan.aggregates(&v3).unwrap();
         prop_assert_eq!(agg2.sum_kwh.to_bits(), agg1.sum_kwh.to_bits());
         prop_assert_eq!(agg2, agg1);
+        prop_assert_eq!(agg2, agg3);
+        // The compressed codec carries the same chunk statistics, so
+        // its pushdown skips exactly what FXM2's does.
+        prop_assert_eq!(rep2.chunks_decoded, rep3.chunks_decoded);
+        prop_assert_eq!(rep2.chunks_stats_only, rep3.chunks_stats_only);
         let brute_sum: f64 = expected
             .iter()
             .map(|(_, bits)| f64::from_bits(*bits))
@@ -170,7 +216,32 @@ proptest! {
         // Peak agrees across codecs (first-argmax semantics).
         let (peak2, _) = scan.peak(&v2).unwrap();
         let (peak1, _) = scan.peak(&v1).unwrap();
+        let (peak3, _) = scan.peak(&v3).unwrap();
         prop_assert_eq!(peak2, peak1);
+        prop_assert_eq!(peak2, peak3);
+    }
+
+    #[test]
+    fn fxm3_round_trip_is_bit_exact_to_fxm2(
+        pattern in arb_adversarial(260),
+        chunk_len in 1_usize..64,
+    ) {
+        let m = MeasuredSeries::new(start(), Resolution::MIN_15, pattern).unwrap();
+        let v2 = Frame::from_fxm_bytes(encode_chunked(&m, chunk_len).unwrap(), "a.fxm")
+            .unwrap()
+            .decode()
+            .unwrap();
+        let v3 = Frame::from_fxm_bytes(encode_chunked_v3(&m, chunk_len).unwrap(), "a.fxm")
+            .unwrap()
+            .decode()
+            .unwrap();
+        prop_assert_eq!(v2.len(), v3.len());
+        for (a, b) in v2.values().iter().zip(v3.values()) {
+            prop_assert_eq!(a.is_nan(), b.is_nan());
+            if !a.is_nan() {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

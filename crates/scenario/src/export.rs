@@ -31,10 +31,11 @@ const EXPORT_SEED_SALT: u64 = 0xDA7A_0000_EC5B_0000;
 pub struct ExportOptions {
     /// The degradation applied to every consumer (default: identity).
     pub degradation: Degradation,
-    /// Series file encoding (default: FXM2 binary — per-chunk
-    /// statistics plus a footer chunk index, so readers can run
-    /// ranged and pushdown scans; `Csv` for a readable export,
-    /// `BinaryV1` as the legacy escape hatch).
+    /// Series file encoding (default: FXM3 binary — the same per-chunk
+    /// statistics and footer chunk index as FXM2, with payloads
+    /// XOR-compressed losslessly, so readers keep ranged and pushdown
+    /// scans on a smaller file; `Binary` for uncompressed FXM2, `Csv`
+    /// for a readable export, `BinaryV1` as the legacy escape hatch).
     pub codec: SeriesCodec,
     /// Degradation RNG base seed (default: the scenario's seed).
     pub seed: Option<u64>,
@@ -53,7 +54,7 @@ impl Default for ExportOptions {
     fn default() -> Self {
         ExportOptions {
             degradation: Degradation::default(),
-            codec: SeriesCodec::Binary,
+            codec: SeriesCodec::BinaryV3,
             seed: None,
             include_truth: true,
             shard_capacity: None,

@@ -202,9 +202,9 @@ fn scenarios_read_only_their_horizon_from_larger_datasets() {
     assert_eq!(outcome.report.intervals, 96, "one day at 15 min");
 
     // The ranged store read behind it decodes only the first day's
-    // chunks (FXM2 is the default export codec).
+    // chunks (FXM3 is the default export codec).
     let ds = Dataset::open(&dir).unwrap();
-    assert_eq!(ds.codec(), SeriesCodec::Binary);
+    assert_eq!(ds.codec(), SeriesCodec::BinaryV3);
     let day1 = TimeRange::starting_at("2013-03-18".parse().unwrap(), Duration::days(1)).unwrap();
     let (slice, report) = ds.consumer_slice(0, day1).unwrap();
     assert_eq!(slice.len(), 96);

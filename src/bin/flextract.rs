@@ -47,11 +47,12 @@ USAGE:
   flextract scenario list [--dir DIR]
   flextract scenario run (--all | --name NAME) [--dir DIR] [--threads N]
                        [--consumer-threads N] [--json]
-  flextract dataset export  --scenario FILE --out DIR [--codec fxm2|fxm1|csv]
+  flextract dataset export  --scenario FILE --out DIR
+                       [--codec fxm3|fxm2|fxm1|csv]
                        [--shard-capacity N] [--resolution-min N] [--noise F]
                        [--gap-rate F] [--mean-gap-len F] [--anomaly-rate F]
                        [--anomaly-factor F] [--anomaly-len N]
-                       [--seed S] [--no-truth]
+                       [--quantize-kwh F] [--seed S] [--no-truth]
   flextract dataset inspect --dataset DIR [--consumer N]
   flextract dataset compact --dataset DIR
   flextract dataset ingest  --dataset DIR [--fill linear|previous|seasonal|zero]
@@ -69,7 +70,7 @@ The scenario corpus lives in scenarios/ (one JSON spec per scenario);
 datasets are directories with a manifest.json plus one series file per
 consumer, or — with `--shard-capacity` — a sharded store (root.json over
 shards/NNNN/ sub-datasets carrying statistics roll-ups). `query` runs
-time-sliced aggregate queries over a dataset directory (FXM2 files
+time-sliced aggregate queries over a dataset directory (FXM2/FXM3 files
 answer from chunk statistics, skipping non-matching chunks; sharded
 stores additionally prune whole shards from their roll-ups) or over an
 exported flex-offer set. `dataset compact` rewrites an append-fragmented
@@ -514,14 +515,17 @@ fn cmd_dataset_export(flags: &Flags) -> Result<(), String> {
         .ok_or("dataset export needs --scenario FILE")?;
     let out = flags.get("out").ok_or("dataset export needs --out DIR")?;
     let scenario = load_file(Path::new(spec)).map_err(|e| e.to_string())?;
-    // FXM2 is the default: per-chunk statistics + footer index, so the
-    // exported dataset supports ranged reads and pushdown queries.
-    // `fxm1` is the legacy escape hatch, `csv` the readable one.
-    let codec = match flags.get("codec").unwrap_or("fxm2") {
+    // FXM3 is the default: the same per-chunk statistics + footer
+    // index as FXM2, with payloads XOR-compressed losslessly, so the
+    // exported dataset supports ranged reads and pushdown queries on a
+    // smaller file. `fxm2` keeps uncompressed payloads, `fxm1` is the
+    // legacy escape hatch, `csv` the readable one.
+    let codec = match flags.get("codec").unwrap_or("fxm3") {
         "csv" => SeriesCodec::Csv,
+        "fxm3" => SeriesCodec::BinaryV3,
         "binary" | "fxm" | "fxm2" => SeriesCodec::Binary,
         "fxm1" => SeriesCodec::BinaryV1,
-        other => return Err(format!("unknown codec '{other}' (fxm2|fxm1|csv)")),
+        other => return Err(format!("unknown codec '{other}' (fxm3|fxm2|fxm1|csv)")),
     };
     let mut degradation = Degradation::default();
     if let Some(raw) = flags.get("resolution-min") {
@@ -536,6 +540,7 @@ fn cmd_dataset_export(flags: &Flags) -> Result<(), String> {
     degradation.anomaly_rate = flags.get_parsed("anomaly-rate", degradation.anomaly_rate)?;
     degradation.anomaly_factor = flags.get_parsed("anomaly-factor", degradation.anomaly_factor)?;
     degradation.anomaly_len = flags.get_parsed("anomaly-len", degradation.anomaly_len)?;
+    degradation.quantize_kwh = flags.get_parsed("quantize-kwh", degradation.quantize_kwh)?;
     let seed = flags
         .get("seed")
         .map(|raw| {
@@ -675,10 +680,13 @@ fn cmd_dataset_inspect(flags: &Flags) -> Result<(), String> {
         return Ok(());
     }
     let m = ds.manifest().ok_or("unreachable: legacy layout")?;
-    if m.codec == SeriesCodec::Binary {
-        // FXM2: per-consumer stats are *streamed*, one consumer at a
-        // time, straight from the chunk statistics headers — no
-        // payload ever decodes and nothing is materialized.
+    if matches!(m.codec, SeriesCodec::Binary | SeriesCodec::BinaryV3) {
+        // FXM2/FXM3: per-consumer stats are *streamed*, one consumer
+        // at a time, straight from the chunk statistics headers — no
+        // payload ever decodes and nothing is materialized. Each line
+        // also carries the consumer's on-disk footprint and the codec
+        // the file actually sniffs as (legacy files keep loading by
+        // magic whatever the manifest declares).
         let mut stat_only_chunks = 0usize;
         let mut total_chunks = 0usize;
         for (i, c) in m.consumers.iter().enumerate() {
@@ -688,7 +696,8 @@ fn cmd_dataset_inspect(flags: &Flags) -> Result<(), String> {
             stat_only_chunks += report.chunks_stats_only;
             total_chunks += report.chunks_total;
             println!(
-                "  [{i}] {} ({:?}): {} gap(s){} — {:.2} kWh observed, min {} max {} per interval",
+                "  [{i}] {} ({:?}): {} gap(s){} — {:.2} kWh observed, min {} max {} per \
+                 interval [{} B on disk, {}]",
                 c.id,
                 c.kind,
                 agg.gaps,
@@ -696,6 +705,8 @@ fn cmd_dataset_inspect(flags: &Flags) -> Result<(), String> {
                 agg.sum_kwh,
                 agg.min.map_or("-".to_string(), |v| format!("{v:.3}")),
                 agg.max.map_or("-".to_string(), |v| format!("{v:.3}")),
+                report.bytes_read,
+                sniffed_codec_label(&ds, &c.measured),
             );
         }
         println!(
@@ -716,12 +727,32 @@ fn cmd_dataset_inspect(flags: &Flags) -> Result<(), String> {
             );
         }
         println!(
-            "  (per-interval statistics need the fxm2 codec; this {} dataset is \
+            "  (per-interval statistics need the fxm3 or fxm2 codec; this {} dataset is \
              summarised from the manifest — use `flextract query` to scan it)",
             m.codec.label()
         );
     }
     Ok(())
+}
+
+/// The codec a series file actually carries, sniffed from its first
+/// bytes (reads 4 bytes — never the payload). Falls back to "csv" for
+/// non-binary files and "?" when the file cannot be read.
+fn sniffed_codec_label(ds: &Dataset, file: &str) -> &'static str {
+    let path = ds.dir().join(file);
+    let mut magic = [0u8; 4];
+    let ok = std::fs::File::open(&path)
+        .and_then(|mut f| std::io::Read::read_exact(&mut f, &mut magic))
+        .is_ok();
+    if !ok {
+        return "?";
+    }
+    match flextract::dataset::codec::sniff(&magic) {
+        Some(flextract::dataset::codec::FxmVersion::V1) => "fxm1",
+        Some(flextract::dataset::codec::FxmVersion::V2) => "fxm2",
+        Some(flextract::dataset::codec::FxmVersion::V3) => "fxm3",
+        None => "csv",
+    }
 }
 
 fn cmd_dataset_ingest(flags: &Flags) -> Result<(), String> {
@@ -795,6 +826,8 @@ struct QueryRow {
     chunks_decoded: usize,
     chunks_skipped: usize,
     chunks_stats_only: usize,
+    bytes_read: usize,
+    bytes_decoded: usize,
 }
 
 /// Parse `--from`/`--to` into a time slice over `[default_from,
@@ -1013,6 +1046,8 @@ fn query_dataset(dir: &str, flags: &Flags) -> Result<(), String> {
             chunks_decoded: report.chunks_decoded,
             chunks_skipped: report.chunks_skipped_slice + report.chunks_skipped_stats,
             chunks_stats_only: report.chunks_stats_only,
+            bytes_read: report.bytes_read,
+            bytes_decoded: report.bytes_decoded,
         });
     }
 
@@ -1026,17 +1061,19 @@ fn query_dataset(dir: &str, flags: &Flags) -> Result<(), String> {
     // always carry every field — scripts pick what they need).
     println!("query over {slice} ({want_agg}):");
     let fmt_opt = |v: Option<f64>| v.map_or("-".to_string(), |v| format!("{v:.3}"));
+    // The audit column pairs chunk counts with the payload bytes the
+    // decodes actually touched — 0 B whenever statistics answered.
     let audit = |r: &QueryRow| {
         format!(
-            "{}/{}/{}",
-            r.chunks_decoded, r.chunks_skipped, r.chunks_stats_only
+            "{}/{}/{} ({} B)",
+            r.chunks_decoded, r.chunks_skipped, r.chunks_stats_only, r.bytes_decoded
         )
     };
     match want_agg {
         "sum" => {
             println!(
                 "{:<10} {:>9} {:>12} {:>22}",
-                "consumer", "intervals", "sum kWh", "chunks dec/skip/stat"
+                "consumer", "intervals", "sum kWh", "chunks dec/skip/stat (B)"
             );
             for r in &rows {
                 println!(
@@ -1051,7 +1088,7 @@ fn query_dataset(dir: &str, flags: &Flags) -> Result<(), String> {
         "mean" => {
             println!(
                 "{:<10} {:>9} {:>9} {:>22}",
-                "consumer", "observed", "mean", "chunks dec/skip/stat"
+                "consumer", "observed", "mean", "chunks dec/skip/stat (B)"
             );
             for r in &rows {
                 println!(
@@ -1066,7 +1103,7 @@ fn query_dataset(dir: &str, flags: &Flags) -> Result<(), String> {
         "gaps" => {
             println!(
                 "{:<10} {:>9} {:>6} {:>7} {:>22}",
-                "consumer", "intervals", "gaps", "gap %", "chunks dec/skip/stat"
+                "consumer", "intervals", "gaps", "gap %", "chunks dec/skip/stat (B)"
             );
             for r in &rows {
                 let pct = if r.intervals > 0 {
@@ -1096,7 +1133,7 @@ fn query_dataset(dir: &str, flags: &Flags) -> Result<(), String> {
                 "mean",
                 "min",
                 "max",
-                "chunks dec/skip/stat"
+                "chunks dec/skip/stat (B)"
             );
             for r in &rows {
                 println!(
@@ -1119,8 +1156,11 @@ fn query_dataset(dir: &str, flags: &Flags) -> Result<(), String> {
     }
     let decoded: usize = rows.iter().map(|r| r.chunks_decoded).sum();
     let total: usize = rows.iter().map(|r| r.chunks_total).sum();
+    let bytes_read: usize = rows.iter().map(|r| r.bytes_read).sum();
+    let bytes_decoded: usize = rows.iter().map(|r| r.bytes_decoded).sum();
     println!(
-        "{} consumer(s); decoded {decoded}/{total} chunks ({:.0} % skipped)",
+        "{} consumer(s); decoded {decoded}/{total} chunks ({:.0} % skipped); \
+         read {bytes_read} B, decoded {bytes_decoded} B of payload",
         rows.len(),
         if total > 0 {
             100.0 * (1.0 - decoded as f64 / total as f64)
@@ -1148,6 +1188,8 @@ struct FleetQueryRow {
     shards_opened: usize,
     chunks_total: usize,
     chunks_decoded: usize,
+    bytes_read: usize,
+    bytes_decoded: usize,
 }
 
 /// Fleet mode: a query over a sharded store without `--consumer`
@@ -1213,6 +1255,8 @@ fn query_sharded_fleet(
         shards_opened: report.shards_opened(),
         chunks_total: report.chunks_total,
         chunks_decoded: report.chunks_decoded,
+        bytes_read: report.bytes_read,
+        bytes_decoded: report.bytes_decoded,
     };
     if flags.get("json").is_some() {
         let json = serde_json::to_string_pretty(&row)
@@ -1244,13 +1288,16 @@ fn query_sharded_fleet(
     };
     println!(
         "opened {}/{} shard(s) ({pruned_pct:.0} % answered without opening: \
-         {} pruned, {} stats-only); decoded {}/{} chunks",
+         {} pruned, {} stats-only); decoded {}/{} chunks; \
+         read {} B, decoded {} B of payload",
         row.shards_opened,
         row.shards_total,
         row.shards_pruned,
         row.shards_stats_only,
         row.chunks_decoded,
         row.chunks_total,
+        row.bytes_read,
+        row.bytes_decoded,
     );
     Ok(())
 }

@@ -537,6 +537,16 @@ fn dataset_bad_invocations_exit_nonzero() {
             "--out",
             "/tmp/unused",
         ],
+        &[
+            "dataset",
+            "export",
+            "--scenario",
+            "datasets/sources/src_gap_heavy.json",
+            "--out",
+            "/tmp/unused_codec",
+            "--codec",
+            "bogus",
+        ],
         &["dataset", "inspect"],
         &[
             "dataset",
@@ -1040,6 +1050,85 @@ fn sharded_dataset_lifecycle_round_trip() {
         "{}",
         String::from_utf8_lossy(&legacy.stderr)
     );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fxm3_export_inspect_and_corruption_round_trip() {
+    let dir = scratch_dir("fxm3");
+    let ds_dir = dir.join("metered");
+    let ds_flag = ds_dir.to_str().unwrap();
+
+    // 1. An explicit `--codec fxm3` export (also the default) with a
+    //    quantized register feed — the workload the XOR codec is for.
+    let export = flextract(&[
+        "dataset",
+        "export",
+        "--scenario",
+        "datasets/sources/src_gap_heavy.json",
+        "--out",
+        ds_flag,
+        "--codec",
+        "fxm3",
+        "--resolution-min",
+        "15",
+        "--gap-rate",
+        "0.1",
+        "--quantize-kwh",
+        "0.001",
+        "--seed",
+        "11",
+    ]);
+    assert!(
+        export.status.success(),
+        "fxm3 export failed: {}",
+        String::from_utf8_lossy(&export.stderr)
+    );
+    assert!(ds_dir.join("consumer_0.fxm").is_file());
+
+    // 2. Inspect reports per-consumer stats from the chunk headers
+    //    alone — no payload decode — plus the on-disk footprint and the
+    //    sniffed codec of each series file.
+    let inspect = flextract(&["dataset", "inspect", "--dataset", ds_flag]);
+    assert!(
+        inspect.status.success(),
+        "inspect failed: {}",
+        String::from_utf8_lossy(&inspect.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&inspect.stdout);
+    assert!(stdout.contains("B on disk, fxm3]"), "{stdout}");
+
+    // 3. A full-scan stats query answers without decoding a single
+    //    payload byte: every chunk is answered from its stat header.
+    let q = flextract(&["query", "--dataset", ds_flag]);
+    assert!(
+        q.status.success(),
+        "query failed: {}",
+        String::from_utf8_lossy(&q.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&q.stdout);
+    assert!(stdout.contains("100 % skipped"), "{stdout}");
+    assert!(
+        stdout.contains("decoded 0 B of payload"),
+        "stats-only scans must not touch compressed payloads: {stdout}"
+    );
+
+    // 4. Corrupt one bit of the first chunk's gap bitmap (absolute
+    //    offset 60: 28-byte file header + 32-byte chunk stat header).
+    //    The bitmap popcount no longer matches the recorded gap count,
+    //    so any payload decode must exit non-zero naming the file and
+    //    the chunk's byte offset — never a panic, never silent data.
+    let victim = ds_dir.join("consumer_0.fxm");
+    let mut bytes = std::fs::read(&victim).unwrap();
+    bytes[60] ^= 0x01;
+    std::fs::write(&victim, &bytes).unwrap();
+    let bad = flextract(&["dataset", "ingest", "--dataset", ds_flag]);
+    assert!(!bad.status.success(), "corrupt chunk must fail the decode");
+    let stderr = String::from_utf8_lossy(&bad.stderr);
+    assert!(stderr.contains("consumer_0.fxm"), "{stderr}");
+    assert!(stderr.contains("chunk at byte offset"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "no backtrace: {stderr}");
 
     std::fs::remove_dir_all(&dir).ok();
 }

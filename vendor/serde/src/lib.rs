@@ -418,6 +418,23 @@ pub mod __private {
         }
     }
 
+    /// Fetch and deserialize map field `name`, falling back to
+    /// `Default::default()` when the key is absent — the runtime half
+    /// of `#[serde(default)]`. Documents written before a field existed
+    /// keep deserializing forever.
+    pub fn field_or_default<T: Deserialize + Default>(
+        v: &Value,
+        ty: &str,
+        name: &str,
+    ) -> Result<T, Error> {
+        match v.get(name) {
+            Some(found) => {
+                T::deserialize(found).map_err(|e| Error::custom(format!("{ty}.{name}: {e}")))
+            }
+            None => Ok(T::default()),
+        }
+    }
+
     /// Fetch and deserialize tuple element `idx` of a [`Value::Seq`].
     pub fn element<T: Deserialize>(
         v: &Value,

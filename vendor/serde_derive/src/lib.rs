@@ -6,7 +6,8 @@
 //! [`proc_macro::TokenStream`] and emits the impls as source text. It
 //! supports exactly the shapes present in this workspace:
 //!
-//! * structs with named fields (optionally `#[serde(transparent)]`),
+//! * structs with named fields (optionally `#[serde(transparent)]` on
+//!   the struct, `#[serde(default)]` on individual fields),
 //! * tuple and unit structs,
 //! * enums with unit, tuple and struct variants (externally tagged,
 //!   like real serde's default representation).
@@ -16,9 +17,17 @@
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[derive(Debug)]
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: absent map keys fall back to
+    /// `Default::default()` instead of erroring.
+    default: bool,
+}
+
+#[derive(Debug)]
 enum Fields {
     Unit,
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
 }
 
@@ -89,22 +98,22 @@ impl Cursor {
         self.pos >= self.tokens.len()
     }
 
-    /// Skip attributes (`#[...]`, including doc comments); report
-    /// whether any of them was `#[serde(transparent)]`.
-    fn skip_attrs(&mut self) -> bool {
-        let mut transparent = false;
+    /// Skip attributes (`#[...]`, including doc comments); report the
+    /// union of the `#[serde(...)]` flags they carried.
+    fn skip_attrs(&mut self) -> SerdeFlags {
+        let mut flags = SerdeFlags::default();
         while let Some(TokenTree::Punct(p)) = self.peek() {
             if p.as_char() != '#' {
                 break;
             }
             self.next();
             if let Some(TokenTree::Group(g)) = self.next() {
-                if attr_is_serde_transparent(g.stream()) {
-                    transparent = true;
-                }
+                let found = serde_attr_flags(g.stream());
+                flags.transparent |= found.transparent;
+                flags.default |= found.default;
             }
         }
-        transparent
+        flags
     }
 
     /// Skip `pub`, `pub(crate)`, `pub(in ...)`.
@@ -129,24 +138,36 @@ impl Cursor {
     }
 }
 
-fn attr_is_serde_transparent(stream: TokenStream) -> bool {
+#[derive(Debug, Default, Clone, Copy)]
+struct SerdeFlags {
+    transparent: bool,
+    default: bool,
+}
+
+fn serde_attr_flags(stream: TokenStream) -> SerdeFlags {
+    let mut flags = SerdeFlags::default();
     let mut iter = stream.into_iter();
     match iter.next() {
         Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
-        _ => return false,
+        _ => return flags,
     }
-    match iter.next() {
-        Some(TokenTree::Group(g)) => g
-            .stream()
-            .into_iter()
-            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "transparent")),
-        _ => false,
+    if let Some(TokenTree::Group(g)) = iter.next() {
+        for t in g.stream() {
+            if let TokenTree::Ident(id) = &t {
+                match id.to_string().as_str() {
+                    "transparent" => flags.transparent = true,
+                    "default" => flags.default = true,
+                    _ => {}
+                }
+            }
+        }
     }
+    flags
 }
 
 fn parse_item(input: TokenStream) -> Result<Item, String> {
     let mut cur = Cursor::new(input);
-    let transparent = cur.skip_attrs();
+    let transparent = cur.skip_attrs().transparent;
     cur.skip_visibility();
     let kind = cur.expect_ident("`struct` or `enum`")?;
     let name = cur.expect_ident("type name")?;
@@ -189,16 +210,19 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
     }
 }
 
-fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     let mut cur = Cursor::new(stream);
     let mut fields = Vec::new();
     while !cur.at_end() {
-        cur.skip_attrs();
+        let flags = cur.skip_attrs();
         cur.skip_visibility();
         if cur.at_end() {
             break;
         }
-        fields.push(cur.expect_ident("field name")?);
+        fields.push(Field {
+            name: cur.expect_ident("field name")?,
+            default: flags.default,
+        });
         match cur.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
             other => return Err(format!("serde_derive: expected `:`, found {other:?}")),
@@ -287,12 +311,13 @@ fn gen_serialize(item: &Item) -> String {
         } => {
             let body = match fields {
                 Fields::Named(names) if *transparent && names.len() == 1 => {
-                    format!("::serde::Serialize::serialize(&self.{})", names[0])
+                    format!("::serde::Serialize::serialize(&self.{})", names[0].name)
                 }
                 Fields::Named(names) => {
                     let entries: Vec<String> = names
                         .iter()
                         .map(|f| {
+                            let f = &f.name;
                             format!(
                                 "(::std::string::String::from({f:?}), \
                                  ::serde::Serialize::serialize(&self.{f}))"
@@ -325,10 +350,15 @@ fn gen_serialize(item: &Item) -> String {
                          ::serde::Value::Str(::std::string::String::from({vname:?})),"
                     ),
                     Fields::Named(fnames) => {
-                        let binds = fnames.join(", ");
+                        let binds = fnames
+                            .iter()
+                            .map(|f| f.name.clone())
+                            .collect::<Vec<_>>()
+                            .join(", ");
                         let entries: Vec<String> = fnames
                             .iter()
                             .map(|f| {
+                                let f = &f.name;
                                 format!(
                                     "(::std::string::String::from({f:?}), \
                                      ::serde::Serialize::serialize({f}))"
@@ -374,6 +404,20 @@ fn gen_serialize(item: &Item) -> String {
     }
 }
 
+/// One `name: ...?` initializer for a named field read out of the map
+/// value `src`. `#[serde(default)]` fields tolerate a missing key.
+fn named_field_init(f: &Field, ty: &str, src: &str) -> String {
+    let (name, helper) = (
+        &f.name,
+        if f.default {
+            "field_or_default"
+        } else {
+            "field"
+        },
+    );
+    format!("{name}: ::serde::__private::{helper}({src}, {ty:?}, {name:?})?")
+}
+
 fn gen_deserialize(item: &Item) -> String {
     match item {
         Item::Struct {
@@ -385,12 +429,12 @@ fn gen_deserialize(item: &Item) -> String {
                 Fields::Named(names) if *transparent && names.len() == 1 => format!(
                     "::std::result::Result::Ok({name} {{ {}: \
                      ::serde::Deserialize::deserialize(v)? }})",
-                    names[0]
+                    names[0].name
                 ),
                 Fields::Named(names) => {
                     let inits: Vec<String> = names
                         .iter()
-                        .map(|f| format!("{f}: ::serde::__private::field(v, {name:?}, {f:?})?"))
+                        .map(|f| named_field_init(f, name, "v"))
                         .collect();
                     format!(
                         "::std::result::Result::Ok({name} {{ {} }})",
@@ -436,9 +480,7 @@ fn gen_deserialize(item: &Item) -> String {
                     Fields::Named(fnames) => {
                         let inits: Vec<String> = fnames
                             .iter()
-                            .map(|f| {
-                                format!("{f}: ::serde::__private::field(inner, {name:?}, {f:?})?")
-                            })
+                            .map(|f| named_field_init(f, name, "inner"))
                             .collect();
                         Some(format!(
                             "{vname:?} => ::std::result::Result::Ok({name}::{vname} {{ {} }}),",
