@@ -10,8 +10,8 @@
 //! the regenerated JSON when the numbers move for a reason.
 
 use flextract_dataset::{
-    ConsumerKind, Dataset, DatasetWriter, Degradation, MeasuredSeries, Predicate, Scan,
-    SeriesCodec, ShardedWriter,
+    ConsumerKind, Dataset, DatasetWriter, Degradation, MeasuredSeries, Predicate, ResidentStore,
+    Scan, SeriesCodec, ShardedWriter,
 };
 use flextract_scenario::{
     export_dataset, AggregationPolicy, DatasetCleaning, ExportOptions, ExtractorChoice, Scenario,
@@ -508,6 +508,80 @@ fn shard_store_benches(records: &mut Vec<Record>) {
         note: Some(format!(
             "prunes {shards}/{shards} shards (100.0 % pruned); {} B read, {} B of payload decoded",
             report.bytes_read, report.bytes_decoded
+        )),
+    });
+
+    // 4. The resident warm path against the same store: the cold stage
+    //    opens a fresh handle per query (full root parse — the serving
+    //    shape the `shard_store/*` stages measure), the warm stages
+    //    re-query one long-lived `ResidentStore` whose caches are
+    //    primed, so only the fingerprint revalidation and the fold
+    //    itself remain.
+    let cold_mean = measure_fn(2, iters, || {
+        let store = ResidentStore::open(&dir).expect("resident store opens");
+        std::hint::black_box(
+            store
+                .consumer_aggregates(target, &scan)
+                .expect("point query"),
+        );
+    });
+    records.push(Record {
+        name: format!("query_cache/cold/{consumers}c"),
+        consumer_threads: 1,
+        iters,
+        mean_us: cold_mean,
+        note: Some("fresh ResidentStore per query: full root.json parse, empty caches".into()),
+    });
+
+    let store = ResidentStore::open(&dir).expect("resident store opens");
+    let _ = store
+        .consumer_aggregates(target, &scan)
+        .expect("priming query");
+    let (_, warm_report) = store
+        .consumer_aggregates(target, &scan)
+        .expect("warm point query");
+    assert!(warm_report.cache_hits > 0, "warm point query must hit");
+    assert_eq!(warm_report.bytes_read, 0, "warm point query re-read bytes");
+    let warm_iters = 1000;
+    let warm_mean = measure_fn(100, warm_iters, || {
+        std::hint::black_box(
+            store
+                .consumer_aggregates(target, &scan)
+                .expect("warm query"),
+        );
+    });
+    records.push(Record {
+        name: format!("query_cache/warm/{consumers}c"),
+        consumer_threads: 1,
+        iters: warm_iters,
+        mean_us: warm_mean,
+        note: Some(format!(
+            "resident frame + chunk pool: {} B saved per query; {:.0}x faster than cold ({:.1} ms)",
+            warm_report.bytes_saved,
+            cold_mean / warm_mean,
+            cold_mean / 1e3
+        )),
+    });
+
+    let _ = store
+        .fleet_aggregates(&fleet_scan)
+        .expect("priming roll-up");
+    let (_, warm_fleet_report) = store.fleet_aggregates(&fleet_scan).expect("warm roll-up");
+    assert_eq!(
+        warm_fleet_report.bytes_read_index, 0,
+        "warm fleet roll-up re-read the index"
+    );
+    let warm_fleet_mean = measure_fn(100, warm_iters, || {
+        std::hint::black_box(store.fleet_aggregates(&fleet_scan).expect("warm roll-up"));
+    });
+    records.push(Record {
+        name: format!("query_cache/warm_fleet/{consumers}c"),
+        consumer_threads: 1,
+        iters: warm_iters,
+        mean_us: warm_fleet_mean,
+        note: Some(format!(
+            "resident roll-ups over {shards} shard summaries, 0 B re-read; {} B of index saved",
+            warm_fleet_report.bytes_saved
         )),
     });
     std::fs::remove_dir_all(&dir).ok();

@@ -33,7 +33,11 @@
 //!   datasets, the simulator ground truth), loadable consumer by
 //!   consumer — wholly, or as **ranged reads** that decode only the
 //!   chunks overlapping a time slice, or as streamed chunk-stat
-//!   aggregates that may touch no payload at all.
+//!   aggregates that may touch no payload at all;
+//! * [`resident`] — the warm-path layer: a thread-safe
+//!   [`ResidentStore`] handle that parses indexes once, caches decoded
+//!   frames and chunk payloads under byte budgets, and invalidates by
+//!   generation at the store's rename-commit point.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,14 +45,17 @@
 pub mod codec;
 pub mod degrade;
 pub mod ingest;
+pub mod resident;
 pub mod sharded;
 pub mod store;
 
 pub use degrade::Degradation;
 pub use flextract_frame::{
-    Aggregates, ChunkStats, Frame, FrameError, MeasuredSeries, Predicate, Scan, ScanReport,
+    Aggregates, ChunkCache, ChunkStats, Frame, FrameError, MeasuredSeries, Predicate, Scan,
+    ScanReport,
 };
 pub use ingest::{CleaningConfig, CleaningReport};
+pub use resident::{CacheStats, ResidentConfig, ResidentStore};
 pub use sharded::{
     compact, CompactionSummary, RootIndex, ShardSummary, ShardedWriter, DEFAULT_SHARD_CAPACITY,
     ROOT_FILE, SHARDS_DIR,

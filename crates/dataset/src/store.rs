@@ -185,12 +185,16 @@ pub struct DatasetRecord {
 pub struct Dataset {
     dir: PathBuf,
     layout: Layout,
+    /// On-disk size of the index parsed at open (`root.json` or
+    /// `manifest.json`) — what [`ScanReport::bytes_read_index`]
+    /// accounts for cold opens.
+    index_bytes: usize,
 }
 
 #[derive(Debug)]
 enum Layout {
     /// One `manifest.json` naming every consumer.
-    Legacy(Manifest),
+    Legacy(LegacyLayout),
     /// A root index over lazily-opened shard datasets. Each slot caches
     /// the outcome of the first open (errors included), so repeated
     /// access neither re-reads nor flip-flops.
@@ -198,6 +202,19 @@ enum Layout {
         root: crate::sharded::RootIndex,
         shards: Vec<std::sync::OnceLock<Result<Dataset, DatasetError>>>,
     },
+}
+
+/// A legacy single-manifest layout with its grid parsed **once** at
+/// open. Per-consumer validation and loads reuse the parsed start and
+/// resolution instead of re-parsing the manifest's strings on every
+/// access — open already parsed them to validate alignment, so keeping
+/// them is free and the per-consumer paths stop paying a string parse
+/// per file touched.
+#[derive(Debug)]
+struct LegacyLayout {
+    manifest: Manifest,
+    start: Timestamp,
+    resolution: Resolution,
 }
 
 pub(crate) fn read_file(path: &Path) -> Result<Vec<u8>, DatasetError> {
@@ -233,12 +250,17 @@ impl Dataset {
     /// files staying loadable by magic.
     pub fn open(dir: impl AsRef<Path>) -> Result<Dataset, DatasetError> {
         let dir = dir.as_ref().to_path_buf();
-        if dir.join(crate::sharded::ROOT_FILE).is_file() {
+        let root_path = dir.join(crate::sharded::ROOT_FILE);
+        if root_path.is_file() {
+            let index_bytes = std::fs::metadata(&root_path)
+                .map(|m| m.len() as usize)
+                .unwrap_or(0);
             let root = crate::sharded::read_root(&dir)?;
             let shards = root.shards.iter().map(|_| Default::default()).collect();
             Ok(Dataset {
                 dir,
                 layout: Layout::Sharded { root, shards },
+                index_bytes,
             })
         } else {
             Self::open_legacy(&dir)
@@ -251,6 +273,7 @@ impl Dataset {
         let dir = dir.to_path_buf();
         let manifest_path = dir.join(MANIFEST_FILE);
         let raw = read_file(&manifest_path)?;
+        let index_bytes = raw.len();
         let text = String::from_utf8(raw).map_err(|_| DatasetError::Manifest {
             path: manifest_path.display().to_string(),
             what: "not valid UTF-8".to_string(),
@@ -303,7 +326,12 @@ impl Dataset {
         }
         Ok(Dataset {
             dir,
-            layout: Layout::Legacy(manifest),
+            layout: Layout::Legacy(LegacyLayout {
+                manifest,
+                start,
+                resolution: res,
+            }),
+            index_bytes,
         })
     }
 
@@ -312,7 +340,7 @@ impl Dataset {
     /// [`Dataset::root`] and the layout-independent accessors).
     pub fn manifest(&self) -> Option<&Manifest> {
         match &self.layout {
-            Layout::Legacy(m) => Some(m),
+            Layout::Legacy(l) => Some(&l.manifest),
             Layout::Sharded { .. } => None,
         }
     }
@@ -347,7 +375,7 @@ impl Dataset {
     /// Number of consumers (across every shard for a sharded store).
     pub fn len(&self) -> usize {
         match &self.layout {
-            Layout::Legacy(m) => m.consumers.len(),
+            Layout::Legacy(l) => l.manifest.consumers.len(),
             Layout::Sharded { root, .. } => root.len(),
         }
     }
@@ -361,7 +389,7 @@ impl Dataset {
     /// Dataset name.
     pub fn name(&self) -> &str {
         match &self.layout {
-            Layout::Legacy(m) => &m.name,
+            Layout::Legacy(l) => &l.manifest.name,
             Layout::Sharded { root, .. } => &root.name,
         }
     }
@@ -369,7 +397,7 @@ impl Dataset {
     /// One-line human description.
     pub fn description(&self) -> &str {
         match &self.layout {
-            Layout::Legacy(m) => &m.description,
+            Layout::Legacy(l) => &l.manifest.description,
             Layout::Sharded { root, .. } => &root.description,
         }
     }
@@ -377,7 +405,7 @@ impl Dataset {
     /// The declared start, as stored (`YYYY-MM-DD [HH:MM]`).
     pub fn start_str(&self) -> &str {
         match &self.layout {
-            Layout::Legacy(m) => &m.start,
+            Layout::Legacy(l) => &l.manifest.start,
             Layout::Sharded { root, .. } => &root.start,
         }
     }
@@ -385,7 +413,7 @@ impl Dataset {
     /// The declared start timestamp, parsed.
     pub fn start_timestamp(&self) -> Result<Timestamp, DatasetError> {
         match &self.layout {
-            Layout::Legacy(m) => m.start_timestamp(),
+            Layout::Legacy(l) => Ok(l.start),
             Layout::Sharded { root, .. } => root.start_timestamp(),
         }
     }
@@ -393,7 +421,7 @@ impl Dataset {
     /// The declared resolution, in minutes.
     pub fn resolution_min(&self) -> i64 {
         match &self.layout {
-            Layout::Legacy(m) => m.resolution_min,
+            Layout::Legacy(l) => l.manifest.resolution_min,
             Layout::Sharded { root, .. } => root.resolution_min,
         }
     }
@@ -401,7 +429,7 @@ impl Dataset {
     /// The declared resolution, parsed.
     pub fn resolution(&self) -> Result<Resolution, DatasetError> {
         match &self.layout {
-            Layout::Legacy(m) => m.resolution(),
+            Layout::Legacy(l) => Ok(l.resolution),
             Layout::Sharded { root, .. } => root.resolution(),
         }
     }
@@ -409,7 +437,7 @@ impl Dataset {
     /// Interval count of every measured series.
     pub fn intervals(&self) -> usize {
         match &self.layout {
-            Layout::Legacy(m) => m.intervals,
+            Layout::Legacy(l) => l.manifest.intervals,
             Layout::Sharded { root, .. } => root.intervals,
         }
     }
@@ -417,7 +445,7 @@ impl Dataset {
     /// How the series files are encoded.
     pub fn codec(&self) -> SeriesCodec {
         match &self.layout {
-            Layout::Legacy(m) => m.codec,
+            Layout::Legacy(l) => l.manifest.codec,
             Layout::Sharded { root, .. } => root.codec,
         }
     }
@@ -425,7 +453,7 @@ impl Dataset {
     /// Name of the scenario this dataset was exported from, if any.
     pub fn source_scenario(&self) -> Option<&str> {
         match &self.layout {
-            Layout::Legacy(m) => m.source_scenario.as_deref(),
+            Layout::Legacy(l) => l.manifest.source_scenario.as_deref(),
             Layout::Sharded { root, .. } => root.source_scenario.as_deref(),
         }
     }
@@ -433,7 +461,7 @@ impl Dataset {
     /// The degradation applied at export time, if any.
     pub fn degradation(&self) -> Option<&Degradation> {
         match &self.layout {
-            Layout::Legacy(m) => m.degradation.as_ref(),
+            Layout::Legacy(l) => l.manifest.degradation.as_ref(),
             Layout::Sharded { root, .. } => root.degradation.as_ref(),
         }
     }
@@ -441,7 +469,7 @@ impl Dataset {
     /// The export seed, if exported.
     pub fn seed(&self) -> Option<u64> {
         match &self.layout {
-            Layout::Legacy(m) => m.seed,
+            Layout::Legacy(l) => l.manifest.seed,
             Layout::Sharded { root, .. } => root.seed,
         }
     }
@@ -451,7 +479,7 @@ impl Dataset {
     /// any shard.
     pub fn all_have_truth(&self) -> bool {
         match &self.layout {
-            Layout::Legacy(m) => m.consumers.iter().all(|c| c.truth_total.is_some()),
+            Layout::Legacy(l) => l.manifest.consumers.iter().all(|c| c.truth_total.is_some()),
             Layout::Sharded { root, .. } => root.shards.iter().all(|s| s.with_truth == s.consumers),
         }
     }
@@ -471,8 +499,14 @@ impl Dataset {
     /// legacy handle, so hitting this on a sharded one is a bug, but a
     /// reportable one rather than a panic).
     fn legacy(&self) -> Result<&Manifest, DatasetError> {
+        self.legacy_layout().map(|l| &l.manifest)
+    }
+
+    /// The legacy layout (manifest plus the grid parsed at open); same
+    /// contract as [`Dataset::legacy`].
+    fn legacy_layout(&self) -> Result<&LegacyLayout, DatasetError> {
         match &self.layout {
-            Layout::Legacy(m) => Ok(m),
+            Layout::Legacy(l) => Ok(l),
             Layout::Sharded { .. } => Err(DatasetError::Invalid {
                 file: self.dir.display().to_string(),
                 what: "internal: expected a single-manifest dataset handle".to_string(),
@@ -515,8 +549,8 @@ impl Dataset {
     /// only that shard.
     fn locate(&self, idx: usize) -> Result<(&Dataset, usize), DatasetError> {
         match &self.layout {
-            Layout::Legacy(m) => {
-                if idx < m.consumers.len() {
+            Layout::Legacy(l) => {
+                if idx < l.manifest.consumers.len() {
                     Ok((self, idx))
                 } else {
                     Err(self.out_of_range(idx))
@@ -659,10 +693,33 @@ impl Dataset {
     /// series — the entry point for scans and pushdown queries.
     pub fn consumer_frame(&self, idx: usize) -> Result<Frame, DatasetError> {
         let (ds, rel) = self.locate(idx)?;
-        let entry = ds.entry_local(rel)?;
-        let frame = ds.load_frame(&entry.measured)?;
-        ds.validate_grid(&frame, &entry.measured)?;
+        ds.frame_local(rel)
+    }
+
+    /// The grid-validated frame at a **local** (shard-relative) index —
+    /// the shared open step behind every consumer-level query path.
+    fn frame_local(&self, rel: usize) -> Result<Frame, DatasetError> {
+        let entry = self.entry_local(rel)?;
+        let frame = self.load_frame(&entry.measured)?;
+        self.validate_grid(&frame, &entry.measured)?;
         Ok(frame)
+    }
+
+    /// Index bytes a cold open consults to answer a query for consumer
+    /// `idx`: the top-level index (`root.json` or `manifest.json`) plus,
+    /// for a sharded store, the holding shard's own manifest.
+    pub fn consumer_index_bytes(&self, idx: usize) -> Result<usize, DatasetError> {
+        let (ds, _) = self.locate(idx)?;
+        Ok(self.index_bytes + if self.is_sharded() { ds.index_bytes } else { 0 })
+    }
+
+    /// On-disk size of the index this handle parsed at open:
+    /// `root.json` for a sharded store, `manifest.json` for a legacy
+    /// dataset — the fixed routing cost every cold query pays before
+    /// touching a series file, accounted by
+    /// [`ScanReport::bytes_read_index`].
+    pub fn index_bytes(&self) -> usize {
+        self.index_bytes
     }
 
     /// Consumer `idx`'s manifest entry. For a sharded store this opens
@@ -710,14 +767,23 @@ impl Dataset {
     /// Like [`Dataset::consumer_aggregates`], but decoding through a
     /// caller-owned scratch buffer so a multi-consumer sweep reuses one
     /// allocation instead of allocating per chunk per consumer.
+    ///
+    /// `bytes_read_index` charges the index bytes this query consulted
+    /// (top-level index + holding shard manifest) — single-consumer
+    /// queries pay the full routing cost; fleet sweeps charge each
+    /// index once instead (see [`Dataset::fleet_aggregates`]).
     pub fn consumer_aggregates_with(
         &self,
         idx: usize,
         scan: &Scan,
         scratch: &mut Vec<f64>,
     ) -> Result<(Aggregates, ScanReport), DatasetError> {
-        let frame = self.consumer_frame(idx)?;
-        scan.aggregates_with(&frame, scratch).map_err(Into::into)
+        let (ds, rel) = self.locate(idx)?;
+        let frame = ds.frame_local(rel)?;
+        let (agg, mut report) = scan.aggregates_with(&frame, scratch)?;
+        report.bytes_read_index =
+            self.index_bytes + if self.is_sharded() { ds.index_bytes } else { 0 };
+        Ok((agg, report))
     }
 
     /// Execute `scan` against every consumer of shard `k`, pruning the
@@ -776,9 +842,13 @@ impl Dataset {
             return Ok((agg, report));
         }
         let shard = self.shard(k)?;
+        // The shard's manifest is consulted once for the whole sweep —
+        // charge it once, not per consumer (the caller adds the root).
+        report.bytes_read_index = shard.index_bytes;
         let mut agg = Aggregates::default();
         for rel in 0..summary.consumers {
-            let (a, r) = shard.consumer_aggregates_with(rel, scan, scratch)?;
+            let frame = shard.frame_local(rel)?;
+            let (a, r) = scan.aggregates_with(&frame, scratch)?;
             agg.merge(&a);
             report.absorb(&r);
         }
@@ -792,14 +862,17 @@ impl Dataset {
     pub fn fleet_aggregates(&self, scan: &Scan) -> Result<(Aggregates, ScanReport), DatasetError> {
         let mut scratch = Vec::new();
         match &self.layout {
-            Layout::Legacy(m) => {
+            Layout::Legacy(l) => {
                 let mut report = ScanReport {
                     shards_total: 1,
+                    // One manifest parse serves the whole sweep.
+                    bytes_read_index: self.index_bytes,
                     ..ScanReport::default()
                 };
                 let mut sub = Aggregates::default();
-                for idx in 0..m.consumers.len() {
-                    let (a, r) = self.consumer_aggregates_with(idx, scan, &mut scratch)?;
+                for rel in 0..l.manifest.consumers.len() {
+                    let frame = self.frame_local(rel)?;
+                    let (a, r) = scan.aggregates_with(&frame, &mut scratch)?;
                     sub.merge(&a);
                     report.absorb(&r);
                 }
@@ -809,7 +882,13 @@ impl Dataset {
             }
             Layout::Sharded { root, .. } => {
                 let mut agg = Aggregates::default();
-                let mut report = ScanReport::default();
+                let mut report = ScanReport {
+                    // The root index is parsed once for the whole
+                    // fleet; opened shard manifests accumulate from
+                    // the per-shard reports.
+                    bytes_read_index: self.index_bytes,
+                    ..ScanReport::default()
+                };
                 for k in 0..root.shards.len() {
                     let (a, r) = self.shard_aggregates(k, scan, &mut scratch)?;
                     agg.merge(&a);
@@ -843,11 +922,15 @@ impl Dataset {
     /// Check a frame's header against the manifest's declared grid —
     /// a constant-time check that decodes nothing.
     fn validate_grid(&self, frame: &Frame, file: &str) -> Result<(), DatasetError> {
-        let manifest = self.legacy()?;
+        // The grid was parsed once at open — per-consumer validation
+        // compares against the parsed form instead of re-parsing the
+        // manifest's strings on every file touched.
+        let layout = self.legacy_layout()?;
+        let manifest = &layout.manifest;
         let header = frame.header();
         let file = self.dir.join(file).display().to_string();
-        let start = manifest.start_timestamp()?;
-        let res = manifest.resolution()?;
+        let start = layout.start;
+        let res = layout.resolution;
         if header.start != start {
             return Err(DatasetError::Invalid {
                 file,
@@ -890,7 +973,7 @@ impl Dataset {
         let frame = self.load_frame(&entry.measured)?;
         self.validate_grid(&frame, &entry.measured)?;
         let measured = Self::materialize(frame, range)?;
-        let start = self.legacy()?.start_timestamp()?;
+        let start = self.legacy_layout()?.start;
         let truth_total = if with_truth_total {
             entry
                 .truth_total

@@ -10,10 +10,11 @@
 //!    measured series.
 
 use flextract_dataset::{
-    codec, ConsumerKind, Dataset, Degradation, MeasuredSeries, SeriesCodec, ShardedWriter,
+    codec, ConsumerKind, Dataset, DatasetWriter, Degradation, MeasuredSeries, Predicate,
+    ResidentStore, Scan, SeriesCodec, ShardedWriter,
 };
 use flextract_series::{missing, FillStrategy, TimeSeries};
-use flextract_time::{Resolution, Timestamp};
+use flextract_time::{Duration, Resolution, TimeRange, Timestamp};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -239,5 +240,100 @@ proptest! {
         }
         std::fs::remove_dir_all(&fresh_dir).ok();
         std::fs::remove_dir_all(&frag_dir).ok();
+    }
+
+    /// **Resident-store transparency** — any query answered through a
+    /// warm [`ResidentStore`] (frame cache + chunk pool primed by a
+    /// prior pass) is bit-identical to the answer a fresh
+    /// [`Dataset::open`] computes, across both layouts, every codec,
+    /// and arbitrary slice/predicate pushdowns.
+    #[test]
+    fn resident_store_answers_are_bit_identical_to_fresh_opens(
+        fleet in proptest::collection::vec(arb_metered(40).prop_map(|mut v| { v.truncate(24); v }), 1..7),
+        codec_pick in 0_usize..4,
+        sharded in any::<bool>(),
+        capacity in 1_usize..4,
+        slice_at in 0_usize..24,
+        slice_len in 1_usize..25,
+        threshold in 0.0_f64..5.0,
+    ) {
+        let intervals = 24;
+        let fleet: Vec<Vec<f64>> = fleet
+            .into_iter()
+            .map(|mut v| {
+                v.resize(intervals, 0.5);
+                v
+            })
+            .collect();
+        let codec = [
+            SeriesCodec::Csv,
+            SeriesCodec::Binary,
+            SeriesCodec::BinaryV1,
+            SeriesCodec::BinaryV3,
+        ][codec_pick];
+        let dir = std::env::temp_dir().join(format!(
+            "flextract_prop_resident_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let series = |values: &[f64]| {
+            MeasuredSeries::new(start(), Resolution::MIN_15, values.to_vec()).unwrap()
+        };
+        if sharded {
+            let mut w = ShardedWriter::create(
+                &dir, "prop", "resident proptest", start(), Resolution::MIN_15,
+                intervals, codec, capacity,
+            ).unwrap();
+            for (i, values) in fleet.iter().enumerate() {
+                w.write_consumer(&i.to_string(), ConsumerKind::Household, &series(values), None, None)
+                    .unwrap();
+            }
+            w.finish().unwrap();
+        } else {
+            let mut w = DatasetWriter::create(
+                &dir, "prop", "resident proptest", start(), Resolution::MIN_15,
+                intervals, codec,
+            ).unwrap();
+            for (i, values) in fleet.iter().enumerate() {
+                w.write_consumer(&i.to_string(), ConsumerKind::Household, &series(values), None, None)
+                    .unwrap();
+            }
+            w.finish().unwrap();
+        }
+
+        let lo = start() + Duration::minutes(15 * slice_at as i64);
+        let hi = start() + Duration::minutes(15 * (slice_at + slice_len).min(intervals) as i64);
+        let scans = [
+            Scan::new(),
+            Scan::new().time_slice(TimeRange::new(lo, hi).unwrap()),
+            Scan::new().with_predicate(Predicate::MaxAbove(threshold)),
+        ];
+
+        let bits = |a: &flextract_dataset::Aggregates| (
+            a.intervals, a.observed, a.gaps, a.sum_kwh.to_bits(),
+            a.min.map(f64::to_bits), a.max.map(f64::to_bits),
+        );
+        let store = ResidentStore::open(&dir).unwrap();
+        let fresh = Dataset::open(&dir).unwrap();
+        for scan in &scans {
+            for idx in 0..fleet.len() {
+                // Cold (fills the caches), then warm (serves from them):
+                // both must equal the fresh-open answer.
+                let (cold, _) = store.consumer_aggregates(idx, scan).unwrap();
+                let (warm, rep) = store.consumer_aggregates(idx, scan).unwrap();
+                let (expect, _) = fresh.consumer_aggregates(idx, scan).unwrap();
+                prop_assert_eq!(bits(&cold), bits(&expect));
+                prop_assert_eq!(bits(&warm), bits(&expect));
+                prop_assert!(rep.cache_hits > 0, "warm pass must hit: {:?}", rep);
+                prop_assert_eq!(rep.bytes_read, 0, "warm pass re-read the frame");
+            }
+            let (warm_fleet, _) = store.fleet_aggregates(scan).unwrap();
+            let (expect_fleet, _) = fresh.fleet_aggregates(scan).unwrap();
+            prop_assert_eq!(bits(&warm_fleet), bits(&expect_fleet));
+        }
+        prop_assert_eq!(store.generation(), 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

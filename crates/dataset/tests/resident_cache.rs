@@ -1,0 +1,342 @@
+//! Integration tests for the resident store's two hard guarantees:
+//!
+//! 1. **Concurrency determinism** — parallel queries through one
+//!    shared handle (1, 2 and 8 threads, mirroring the
+//!    `CONSUMER_THREADS` golden matrix) answer bit-identically to a
+//!    fresh single-threaded open, no matter how the caches interleave.
+//! 2. **Invalidation at kill points** — replaying every intermediate
+//!    disk state of an append and a compaction (the PR 7 kill-point
+//!    harness technique: copy completed artifacts from a finished twin
+//!    onto the pre-state) against an **open** handle. Before the
+//!    `root.json` rename the handle keeps serving the old committed
+//!    state on the old generation; after it, the new state on a bumped
+//!    generation. Never a torn mix.
+
+use flextract_dataset::{
+    compact, Aggregates, ConsumerKind, Dataset, MeasuredSeries, Predicate, ResidentStore, Scan,
+    SeriesCodec, ShardedWriter, ROOT_FILE, SHARDS_DIR,
+};
+use flextract_time::{Resolution, TimeRange, Timestamp};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn ts(s: &str) -> Timestamp {
+    s.parse().unwrap()
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "flextract_resident_it_{tag}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The deterministic series pattern the sharded-store tests use.
+fn series_for(i: usize, intervals: usize) -> MeasuredSeries {
+    let values: Vec<f64> = (0..intervals)
+        .map(|j| {
+            let v = (i * 37 + j * 13) % 101;
+            if v == 100 {
+                f64::NAN
+            } else {
+                v as f64 * 0.01
+            }
+        })
+        .collect();
+    MeasuredSeries::new(ts("2013-03-18"), Resolution::MIN_15, values).unwrap()
+}
+
+fn export_sharded(dir: &Path, consumers: std::ops::Range<usize>, capacity: usize) {
+    let mut w = ShardedWriter::create(
+        dir,
+        "resident-it",
+        "resident-store integration fleet",
+        ts("2013-03-18"),
+        Resolution::MIN_15,
+        96,
+        SeriesCodec::BinaryV3,
+        capacity,
+    )
+    .unwrap();
+    for i in consumers {
+        w.write_consumer(
+            &i.to_string(),
+            ConsumerKind::Household,
+            &series_for(i, 96),
+            None,
+            None,
+        )
+        .unwrap();
+    }
+    w.finish().unwrap();
+}
+
+fn append_consumers(dir: &Path, consumers: std::ops::Range<usize>) {
+    let mut w = ShardedWriter::append(dir).unwrap();
+    for i in consumers {
+        w.write_consumer(
+            &i.to_string(),
+            ConsumerKind::Household,
+            &series_for(i, 96),
+            None,
+            None,
+        )
+        .unwrap();
+    }
+    w.finish().unwrap();
+}
+
+fn copy_dir_recursive(from: &Path, to: &Path) {
+    std::fs::create_dir_all(to).unwrap();
+    for entry in std::fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        let dst = to.join(entry.file_name());
+        if entry.path().is_dir() {
+            copy_dir_recursive(&entry.path(), &dst);
+        } else {
+            std::fs::copy(entry.path(), &dst).unwrap();
+        }
+    }
+}
+
+/// One aggregates row reduced to comparable bit patterns.
+type AggBits = (usize, usize, usize, u64, Option<u64>, Option<u64>);
+
+fn agg_bits(a: &Aggregates) -> AggBits {
+    (
+        a.intervals,
+        a.observed,
+        a.gaps,
+        a.sum_kwh.to_bits(),
+        a.min.map(f64::to_bits),
+        a.max.map(f64::to_bits),
+    )
+}
+
+/// The query battery a test replays: per-consumer point queries (full,
+/// sliced, predicated) plus the fleet roll-up, reduced to bit patterns.
+fn battery_scans() -> Vec<Scan> {
+    let slice = TimeRange::new(ts("2013-03-18 02:00"), ts("2013-03-18 11:00")).unwrap();
+    vec![
+        Scan::new(),
+        Scan::new().time_slice(slice),
+        Scan::new().with_predicate(Predicate::MaxAbove(0.6)),
+    ]
+}
+
+/// Every battery answer through a fresh single-threaded open — the
+/// reference the cached/concurrent answers must match bit-for-bit.
+fn fresh_answers(dir: &Path) -> Vec<AggBits> {
+    let ds = Dataset::open(dir).unwrap();
+    let mut out = Vec::new();
+    for scan in battery_scans() {
+        for idx in 0..ds.len() {
+            let (agg, _) = ds.consumer_aggregates(idx, &scan).unwrap();
+            out.push(agg_bits(&agg));
+        }
+        let (fleet, _) = ds.fleet_aggregates(&scan).unwrap();
+        out.push(agg_bits(&fleet));
+    }
+    out
+}
+
+/// The battery minus its fleet rows (one per scan, after `len`
+/// consumer rows). Compaction regroups shards, which reassociates the
+/// fleet fold's float additions — consumer answers must survive it
+/// bit-exactly, fleet sums only per layout.
+fn consumer_rows_only(battery: &[AggBits], len: usize) -> Vec<AggBits> {
+    battery
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % (len + 1) != len)
+        .map(|(_, row)| *row)
+        .collect()
+}
+
+/// The same battery through a shared resident handle.
+fn resident_answers(store: &ResidentStore) -> Vec<AggBits> {
+    let len = store.dataset().unwrap().len();
+    let mut out = Vec::new();
+    for scan in battery_scans() {
+        for idx in 0..len {
+            let (agg, _) = store.consumer_aggregates(idx, &scan).unwrap();
+            out.push(agg_bits(&agg));
+        }
+        let (fleet, _) = store.fleet_aggregates(&scan).unwrap();
+        out.push(agg_bits(&fleet));
+    }
+    out
+}
+
+/// Parallel queries through one shared handle, at the golden matrix's
+/// thread counts, answer bit-identically to a fresh open — the cache
+/// may interleave hits and misses arbitrarily, the answers may not.
+#[test]
+fn shared_handle_is_bit_identical_across_thread_counts() {
+    let dir = scratch("threads");
+    export_sharded(&dir, 0..23, 4);
+    let expect = fresh_answers(&dir);
+
+    for threads in [1_usize, 2, 8] {
+        let store = Arc::new(ResidentStore::open(&dir).unwrap());
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let store = store.clone();
+                std::thread::spawn(move || {
+                    // Two passes per thread: the first races cold
+                    // fills, the second runs fully warm.
+                    (resident_answers(&store), resident_answers(&store))
+                })
+            })
+            .collect();
+        for h in handles {
+            let (cold, warm) = h.join().unwrap();
+            assert_eq!(cold, expect, "{threads} threads, cold pass");
+            assert_eq!(warm, expect, "{threads} threads, warm pass");
+        }
+        assert_eq!(store.generation(), 1);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Append kill points against an open handle: the appended shard
+/// directory landing on disk changes nothing until the `root.json`
+/// rename commits it, at which point the handle revalidates onto the
+/// new generation.
+#[test]
+fn open_handle_survives_append_kill_points() {
+    let before_dir = scratch("append_before");
+    export_sharded(&before_dir, 0..6, 4);
+
+    // A completed append on a twin tells us which files an interrupted
+    // append would have written.
+    let done_dir = scratch("append_done");
+    copy_dir_recursive(&before_dir, &done_dir);
+    append_consumers(&done_dir, 6..9);
+    let done_answers = fresh_answers(&done_dir);
+
+    let work = scratch("append_work");
+    copy_dir_recursive(&before_dir, &work);
+    let store = ResidentStore::open(&work).unwrap();
+    let before_answers = resident_answers(&store);
+    assert_eq!(before_answers, fresh_answers(&before_dir));
+    assert_eq!(store.generation(), 1);
+
+    // Kill point: every new shard directory is on disk, the root is
+    // not. The open handle must keep serving the old committed state.
+    for entry in std::fs::read_dir(done_dir.join(SHARDS_DIR)).unwrap() {
+        let entry = entry.unwrap();
+        let dst = work.join(SHARDS_DIR).join(entry.file_name());
+        if !dst.exists() {
+            copy_dir_recursive(&entry.path(), &dst);
+        }
+    }
+    std::fs::copy(
+        done_dir.join(ROOT_FILE),
+        work.join(format!("{ROOT_FILE}.tmp")),
+    )
+    .unwrap();
+    assert_eq!(resident_answers(&store), before_answers, "pre-commit");
+    assert_eq!(store.generation(), 1, "uncommitted files must not reopen");
+
+    // The rename-commit: the handle revalidates and serves the new
+    // fleet on a bumped generation.
+    std::fs::rename(work.join(format!("{ROOT_FILE}.tmp")), work.join(ROOT_FILE)).unwrap();
+    assert_eq!(resident_answers(&store), done_answers, "post-commit");
+    assert_eq!(store.generation(), 2);
+
+    for d in [&before_dir, &done_dir, &work] {
+        std::fs::remove_dir_all(d).ok();
+    }
+}
+
+/// Compaction kill points against an open handle: each new shard
+/// directory, then the staged `root.json.tmp`, leave the old state
+/// served; the rename flips the handle to the compacted store, whose
+/// answers equal the fragmented ones (compaction moves bytes, not
+/// values).
+#[test]
+fn open_handle_survives_compaction_kill_points() {
+    let before_dir = scratch("compact_before");
+    export_sharded(&before_dir, 0..3, 4);
+    append_consumers(&before_dir, 3..5);
+    append_consumers(&before_dir, 5..9);
+
+    let done_dir = scratch("compact_done");
+    copy_dir_recursive(&before_dir, &done_dir);
+    let summary = compact(&done_dir).unwrap();
+    let new_shard_dirs: Vec<String> = summary.root.shards.iter().map(|s| s.dir_name()).collect();
+
+    let work = scratch("compact_work");
+    copy_dir_recursive(&before_dir, &work);
+    let store = ResidentStore::open(&work).unwrap();
+    let before_answers = resident_answers(&store);
+
+    // Kill points 1..=N+1: after each new shard dir lands, then after
+    // the staged root.json.tmp lands — querying the open handle at
+    // every step.
+    for (step, d) in new_shard_dirs.iter().enumerate() {
+        copy_dir_recursive(
+            &done_dir.join(SHARDS_DIR).join(d),
+            &work.join(SHARDS_DIR).join(d),
+        );
+        assert_eq!(
+            resident_answers(&store),
+            before_answers,
+            "kill after shard {step}"
+        );
+        assert_eq!(store.generation(), 1, "kill after shard {step}");
+    }
+    std::fs::copy(
+        done_dir.join(ROOT_FILE),
+        work.join(format!("{ROOT_FILE}.tmp")),
+    )
+    .unwrap();
+    assert_eq!(resident_answers(&store), before_answers, "staged root");
+    assert_eq!(store.generation(), 1, "staged root must not reopen");
+
+    // Commit. Same consumer values (compaction is layout-only), new
+    // generation; fleet sums reassociate with the new shard grouping,
+    // so they are compared against a fresh open of the same layout.
+    std::fs::rename(work.join(format!("{ROOT_FILE}.tmp")), work.join(ROOT_FILE)).unwrap();
+    let after = resident_answers(&store);
+    assert_eq!(store.generation(), 2, "rename must revalidate");
+    assert_eq!(
+        consumer_rows_only(&after, 9),
+        consumer_rows_only(&before_answers, 9),
+        "compaction preserves every consumer answer"
+    );
+    assert_eq!(after, fresh_answers(&work), "resident matches fresh open");
+
+    for d in [&before_dir, &done_dir, &work] {
+        std::fs::remove_dir_all(d).ok();
+    }
+}
+
+/// A real `compact()` run with the handle held open across it: one
+/// revalidation, identical answers, caches repopulate on the new
+/// generation.
+#[test]
+fn live_compaction_under_an_open_handle() {
+    let dir = scratch("live_compact");
+    export_sharded(&dir, 0..3, 4);
+    append_consumers(&dir, 3..9);
+
+    let store = ResidentStore::open(&dir).unwrap();
+    let before = resident_answers(&store);
+    compact(&dir).unwrap();
+    let after = resident_answers(&store);
+    assert_eq!(store.generation(), 2);
+    assert_eq!(
+        consumer_rows_only(&after, 9),
+        consumer_rows_only(&before, 9)
+    );
+    assert_eq!(after, fresh_answers(&dir), "resident matches fresh open");
+    // Warm again on the new generation: answers unchanged, hits again.
+    let (_, rep) = store.consumer_aggregates(0, &Scan::new()).unwrap();
+    let (_, rep2) = store.consumer_aggregates(0, &Scan::new()).unwrap();
+    assert!(rep2.cache_hits >= rep.cache_hits);
+    std::fs::remove_dir_all(&dir).ok();
+}

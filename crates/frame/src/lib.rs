@@ -43,7 +43,7 @@ pub mod stats;
 
 pub use fxm::{Frame, FrameHeader, FxmVersion, DEFAULT_CHUNK_LEN};
 pub use measured::MeasuredSeries;
-pub use scan::{Aggregates, Predicate, Scan, ScanReport};
+pub use scan::{Aggregates, ChunkCache, Predicate, Scan, ScanReport};
 pub use stats::ChunkStats;
 
 use flextract_series::SeriesError;

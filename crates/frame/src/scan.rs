@@ -26,6 +26,31 @@ use crate::fxm::{ChunkMeta, Frame};
 use crate::stats::ChunkStats;
 use crate::{FrameError, MeasuredSeries};
 use flextract_time::{Resolution, TimeRange, Timestamp};
+use std::sync::Arc;
+
+/// A reusable pool of decoded chunk payloads, keyed by
+/// `(file, chunk index)`.
+///
+/// [`Scan::aggregates_cached`] runs the **same fold** as
+/// [`Scan::aggregates_with`] and consults the cache only at the
+/// payload-decode step, so a cached answer is bit-identical to a fresh
+/// one by construction — a cache changes how many bytes are decoded,
+/// never what is computed. Implementations live at the store layer
+/// (the resident store in `flextract-dataset`); the trait is defined
+/// here so the scan loop can consult a pool without the frame crate
+/// knowing about any store.
+pub trait ChunkCache {
+    /// The cached decoded payload of chunk `chunk` of `file`, if
+    /// resident. An implementation must return exactly the values a
+    /// fresh [`Frame::chunk_values`] decode would produce — the scan
+    /// does not re-verify them.
+    fn lookup(&mut self, file: &str, chunk: usize) -> Option<Arc<Vec<f64>>>;
+
+    /// Offer a freshly decoded payload for residency. Implementations
+    /// may decline (for example when the payload alone exceeds the
+    /// pool's byte budget).
+    fn store(&mut self, file: &str, chunk: usize, values: Arc<Vec<f64>>);
+}
 
 /// A chunk-level selection predicate.
 ///
@@ -111,6 +136,19 @@ pub struct ScanReport {
     /// at open, so this stays 0 for them — `bytes_read` carries their
     /// cost. A stats-only answer leaves this at 0 on every format.
     pub bytes_decoded: usize,
+    /// Index bytes consulted to route this scan: `root.json` plus the
+    /// opened shard manifests for a sharded store, `manifest.json` for
+    /// a legacy dataset, 0 for single-frame scans. Filled by the
+    /// dataset layer — frame-level executions don't know about
+    /// manifests.
+    pub bytes_read_index: usize,
+    /// Chunk payloads (or, at the store layer, whole frames and parsed
+    /// indexes) served from a resident cache instead of disk.
+    pub cache_hits: usize,
+    /// Bytes a resident cache kept this scan from re-reading or
+    /// re-decoding: payload bytes of cache-served chunks, plus file
+    /// and index bytes when the store layer answers from residency.
+    pub bytes_saved: usize,
 }
 
 impl ScanReport {
@@ -146,6 +184,9 @@ impl ScanReport {
         self.shards_stats_only += other.shards_stats_only;
         self.bytes_read += other.bytes_read;
         self.bytes_decoded += other.bytes_decoded;
+        self.bytes_read_index += other.bytes_read_index;
+        self.cache_hits += other.cache_hits;
+        self.bytes_saved += other.bytes_saved;
     }
 }
 
@@ -303,6 +344,34 @@ impl Scan {
         frame: &Frame,
         scratch: &mut Vec<f64>,
     ) -> Result<(Aggregates, ScanReport), FrameError> {
+        self.aggregates_impl(frame, scratch, None)
+    }
+
+    /// [`Scan::aggregates_with`] through a [`ChunkCache`]: chunks whose
+    /// decoded payload is resident are served from the cache (counted
+    /// in [`ScanReport::cache_hits`] / [`ScanReport::bytes_saved`]);
+    /// fresh decodes are offered back for residency. The fold is the
+    /// **same code path** as the uncached execution, so the answer is
+    /// bit-identical by construction.
+    pub fn aggregates_cached(
+        &self,
+        frame: &Frame,
+        cache: &mut dyn ChunkCache,
+        scratch: &mut Vec<f64>,
+    ) -> Result<(Aggregates, ScanReport), FrameError> {
+        self.aggregates_impl(frame, scratch, Some(cache))
+    }
+
+    /// The one aggregate fold behind [`Scan::aggregates_with`] and
+    /// [`Scan::aggregates_cached`]: the cache, when present, replaces
+    /// only the payload-decode step — slice skipping, stats exclusion,
+    /// stats-only answers and the per-chunk absorb order are shared.
+    fn aggregates_impl(
+        &self,
+        frame: &Frame,
+        scratch: &mut Vec<f64>,
+        mut cache: Option<&mut dyn ChunkCache>,
+    ) -> Result<(Aggregates, ScanReport), FrameError> {
         let (lo, hi) = self.bounds(frame);
         let mut report = ScanReport {
             chunks_total: frame.chunks().len(),
@@ -326,9 +395,25 @@ impl Scan {
                     continue;
                 }
             }
-            let values = frame.chunk_values(ci, scratch)?;
-            report.chunks_decoded += 1;
-            report.bytes_decoded += meta.payload_bytes();
+            let resident = cache
+                .as_deref_mut()
+                .and_then(|c| c.lookup(frame.file(), ci));
+            let values: &[f64] = match &resident {
+                Some(hit) => {
+                    report.cache_hits += 1;
+                    report.bytes_saved += meta.payload_bytes();
+                    hit.as_slice()
+                }
+                None => {
+                    let values = frame.chunk_values(ci, scratch)?;
+                    report.chunks_decoded += 1;
+                    report.bytes_decoded += meta.payload_bytes();
+                    if let Some(c) = cache.as_deref_mut() {
+                        c.store(frame.file(), ci, Arc::new(values.to_vec()));
+                    }
+                    values
+                }
+            };
             let sliced = slice_chunk(values, a, b, frame)?;
             if !self.predicates.iter().all(|p| p.matches(sliced)) {
                 continue;
@@ -895,6 +980,93 @@ mod tests {
         total.absorb(&shardy);
         assert_eq!(total.shards_total, 4);
         assert_eq!(total.shards_opened(), 1);
+    }
+
+    /// A minimal ordered cache for exercising the cached fold: every
+    /// offered payload is kept, keyed deterministically.
+    #[derive(Default)]
+    struct MapCache {
+        entries: std::collections::BTreeMap<(String, usize), Arc<Vec<f64>>>,
+        hits: usize,
+        misses: usize,
+    }
+
+    impl ChunkCache for MapCache {
+        fn lookup(&mut self, file: &str, chunk: usize) -> Option<Arc<Vec<f64>>> {
+            let got = self.entries.get(&(file.to_string(), chunk)).cloned();
+            if got.is_some() {
+                self.hits += 1;
+            } else {
+                self.misses += 1;
+            }
+            got
+        }
+        fn store(&mut self, file: &str, chunk: usize, values: Arc<Vec<f64>>) {
+            self.entries.insert((file.to_string(), chunk), values);
+        }
+    }
+
+    #[test]
+    fn cached_aggregates_are_bit_identical_and_account_hits() {
+        let m = sample();
+        let slice = TimeRange::new(ts("2013-03-18 01:00"), ts("2013-03-19 07:00")).unwrap();
+        for frame in [
+            v2_frame(&m),
+            v1_frame(&m),
+            Frame::from_fxm_bytes(crate::fxm::encode_chunked_v3(&m, 24).unwrap(), "t.fxm").unwrap(),
+        ] {
+            for scan in [
+                Scan::new(),
+                Scan::new().time_slice(slice),
+                Scan::new()
+                    .time_slice(slice)
+                    .with_predicate(Predicate::MaxAbove(1.0)),
+            ] {
+                let (fresh_agg, fresh_rep) = scan.aggregates(&frame).unwrap();
+                let mut cache = MapCache::default();
+                let mut scratch = Vec::new();
+                // Cold pass: all misses, answer identical, decodes
+                // offered into the cache.
+                let (cold_agg, cold_rep) = scan
+                    .aggregates_cached(&frame, &mut cache, &mut scratch)
+                    .unwrap();
+                assert_eq!(cold_agg, fresh_agg);
+                assert_eq!(cold_rep.cache_hits, 0);
+                assert_eq!(cold_rep.bytes_saved, 0);
+                assert_eq!(cold_rep.chunks_decoded, fresh_rep.chunks_decoded);
+                assert_eq!(cache.entries.len(), fresh_rep.chunks_decoded);
+                // Warm pass: every decode becomes a hit; the answer
+                // (and everything but the decode accounting) is
+                // bit-identical to the fresh execution.
+                let (warm_agg, warm_rep) = scan
+                    .aggregates_cached(&frame, &mut cache, &mut scratch)
+                    .unwrap();
+                assert_eq!(warm_agg.sum_kwh.to_bits(), fresh_agg.sum_kwh.to_bits());
+                assert_eq!(warm_agg, fresh_agg);
+                assert_eq!(warm_rep.cache_hits, fresh_rep.chunks_decoded);
+                assert_eq!(warm_rep.bytes_saved, fresh_rep.bytes_decoded);
+                assert_eq!(warm_rep.chunks_decoded, 0);
+                assert_eq!(warm_rep.bytes_decoded, 0);
+                assert_eq!(warm_rep.chunks_stats_only, fresh_rep.chunks_stats_only);
+                assert_eq!(warm_rep.intervals_selected, fresh_rep.intervals_selected);
+            }
+        }
+    }
+
+    #[test]
+    fn report_absorb_folds_cache_counters() {
+        let a = ScanReport {
+            cache_hits: 2,
+            bytes_saved: 100,
+            bytes_read_index: 848,
+            ..ScanReport::default()
+        };
+        let mut total = ScanReport::default();
+        total.absorb(&a);
+        total.absorb(&a);
+        assert_eq!(total.cache_hits, 4);
+        assert_eq!(total.bytes_saved, 200);
+        assert_eq!(total.bytes_read_index, 1696);
     }
 
     #[test]

@@ -18,7 +18,9 @@
 use crate::spec::{DatasetCleaning, ExtractorChoice, Scenario, Workload};
 use crate::ScenarioError;
 use flextract_appliance::Catalog;
-use flextract_dataset::{ingest, CleaningConfig, CleaningReport, ConsumerKind, Dataset};
+use flextract_dataset::{
+    ingest, CleaningConfig, CleaningReport, ConsumerKind, Dataset, ResidentStore,
+};
 use flextract_disagg::{disaggregate, DisaggConfig};
 use flextract_series::{resample, TimeSeries};
 use flextract_sim::{
@@ -333,7 +335,14 @@ impl<'a> SimulatedSource<'a> {
 /// rolling-z screen) runs on the chunk-assembled horizon window
 /// instead of the whole stored series.
 pub(crate) struct DatasetSource<'a> {
-    dataset: Dataset,
+    /// The process-wide resident handle for the dataset directory —
+    /// kept so repeated scenario runs against one store share its
+    /// caches — and the snapshot this run is pinned to: one generation
+    /// for every consumer, so a concurrent store commit cannot tear a
+    /// run.
+    #[allow(dead_code)]
+    store: std::sync::Arc<ResidentStore>,
+    dataset: std::sync::Arc<Dataset>,
     horizon: TimeRange,
     cleaning: CleaningConfig,
     disaggregate: bool,
@@ -358,7 +367,12 @@ impl<'a> DatasetSource<'a> {
         cleaning: DatasetCleaning,
         disaggregate: bool,
     ) -> Result<Self, ScenarioError> {
-        let dataset = Dataset::open(path)?;
+        // One resident handle per store directory, shared process-wide:
+        // repeated runs (and `flextract query` in the same process)
+        // reuse the parsed indexes. The run itself pins one revalidated
+        // snapshot so every consumer reads the same generation.
+        let store = ResidentStore::shared(path)?;
+        let dataset = store.dataset()?;
         let invalid = |what: String| ScenarioError::Invalid {
             scenario: scenario.name.clone(),
             what: format!("dataset {path}: {what}"),
@@ -409,6 +423,7 @@ impl<'a> DatasetSource<'a> {
         let fidelity = dataset.all_have_truth();
         Ok(DatasetSource {
             source_resolution_min: resolution_min,
+            store,
             dataset,
             horizon,
             cleaning: CleaningConfig {

@@ -16,7 +16,8 @@ use flextract::core::{
     RandomExtractor,
 };
 use flextract::dataset::{
-    Aggregates, CleaningConfig, Dataset, Degradation, Predicate, Scan, ScanReport, SeriesCodec,
+    Aggregates, CleaningConfig, Dataset, Degradation, Predicate, ResidentStore, Scan, ScanReport,
+    SeriesCodec,
 };
 use flextract::eval::experiments::{
     aggregation_study, approach_comparison, granularity, share_sweep, tariff_study,
@@ -60,7 +61,7 @@ USAGE:
   flextract query      --dataset DIR [--consumer N] [--from TS] [--to TS]
                        [--agg stats|sum|mean|peak|gaps]
                        [--where gaps|min-below:F|max-above:F]
-                       [--resolution-min N] [--threads N] [--json]
+                       [--resolution-min N] [--threads N] [--repeat N] [--json]
   flextract query      --offers FILE.json [--from TS] [--to TS] [--json]
   flextract analyze    [--root DIR] [--config FILE] [--json] [--sarif FILE]
                        [--no-cache]
@@ -73,9 +74,13 @@ shards/NNNN/ sub-datasets carrying statistics roll-ups). `query` runs
 time-sliced aggregate queries over a dataset directory (FXM2/FXM3 files
 answer from chunk statistics, skipping non-matching chunks; sharded
 stores additionally prune whole shards from their roll-ups) or over an
-exported flex-offer set. `dataset compact` rewrites an append-fragmented
-sharded store into canonical capacity-aligned shards. See the README
-for the spec and dataset formats and the golden-file workflow.
+exported flex-offer set. Dataset queries run through a process-resident
+store handle (parsed indexes, decoded frames and chunk payloads stay
+cached between passes); `--repeat N` re-runs the query N times so the
+printed pass reports the warm path's cache hits and bytes saved.
+`dataset compact` rewrites an append-fragmented sharded store into
+canonical capacity-aligned shards. See the README for the spec and
+dataset formats and the golden-file workflow.
 ";
 
 /// Minimal flag parser: `--key value` pairs after the positionals.
@@ -828,6 +833,9 @@ struct QueryRow {
     chunks_stats_only: usize,
     bytes_read: usize,
     bytes_decoded: usize,
+    bytes_read_index: usize,
+    cache_hits: usize,
+    bytes_saved: usize,
 }
 
 /// Parse `--from`/`--to` into a time slice over `[default_from,
@@ -960,7 +968,18 @@ fn query_dataset(dir: &str, flags: &Flags) -> Result<(), String> {
         );
     }
 
-    let ds = Dataset::open(Path::new(dir)).map_err(|e| e.to_string())?;
+    let repeat: usize = flags.get_parsed("repeat", 1)?;
+    if repeat == 0 {
+        return Err("--repeat must be at least 1".into());
+    }
+
+    // All dataset queries run through the process-resident handle:
+    // indexes are parsed once per process, and repeat passes (or later
+    // queries in the same process) reuse cached frames and decoded
+    // chunk payloads. Answers are bit-identical to a fresh open by
+    // construction.
+    let store = ResidentStore::shared(Path::new(dir)).map_err(|e| e.to_string())?;
+    let ds = store.dataset().map_err(|e| e.to_string())?;
     let ds_start = ds.start_timestamp().map_err(|e| e.to_string())?;
     let ds_end = ds_start + Duration::minutes(ds.intervals() as i64 * ds.resolution_min());
     let slice = parse_slice(flags, ds_start, ds_end)?;
@@ -981,7 +1000,15 @@ fn query_dataset(dir: &str, flags: &Flags) -> Result<(), String> {
         .transpose()?;
 
     if ds.is_sharded() && consumer_flag.is_none() {
-        return query_sharded_fleet(&ds, &scan, slice, want_agg, resample.is_some(), flags);
+        return query_sharded_fleet(
+            &store,
+            &scan,
+            slice,
+            want_agg,
+            resample.is_some(),
+            repeat,
+            flags,
+        );
     }
 
     let indices: Vec<usize> = match consumer_flag {
@@ -990,65 +1017,92 @@ fn query_dataset(dir: &str, flags: &Flags) -> Result<(), String> {
     };
 
     let mut rows = Vec::with_capacity(indices.len());
-    for idx in indices {
-        let id = ds.consumer_entry(idx).map_err(|e| e.to_string())?.id;
-        // One file read + frame open per consumer; every execution
-        // below scans the same frame.
-        let frame = ds.consumer_frame(idx).map_err(|e| e.to_string())?;
-        let (agg, report, resampled) = match resample {
-            None => {
-                let (agg, report) = scan.aggregates(&frame).map_err(|e| e.to_string())?;
-                (agg, report, None)
-            }
-            Some(target) => {
-                let (series, report) = scan
-                    .materialize_resampled(&frame, target)
-                    .map_err(|e| e.to_string())?;
-                (
-                    Aggregates::from_values(series.values()),
-                    report,
-                    Some(series),
-                )
-            }
-        };
-        let peak = if want_agg == "peak" {
-            match &resampled {
-                // The audit row keeps the aggregate scan's counters;
-                // the peak pass is a second scan with its own (small)
-                // decode cost, not folded in.
-                None => scan.peak(&frame).map_err(|e| e.to_string())?.0,
-                Some(series) => series
-                    .values()
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, v)| !v.is_nan())
-                    .fold(None::<(usize, f64)>, |best, (i, &v)| match best {
-                        Some((_, bv)) if v <= bv => best,
-                        _ => Some((i, v)),
-                    })
-                    .map(|(i, v)| (series.timestamp_of(i), v)),
-            }
-        } else {
-            None
-        };
-        rows.push(QueryRow {
-            consumer: id,
-            intervals: agg.intervals,
-            observed: agg.observed,
-            gaps: agg.gaps,
-            sum_kwh: agg.sum_kwh,
-            mean_kwh: agg.mean(),
-            min_kwh: agg.min,
-            max_kwh: agg.max,
-            peak_at: peak.map(|(t, _)| t.to_string()),
-            peak_kwh: peak.map(|(_, v)| v),
-            chunks_total: report.chunks_total,
-            chunks_decoded: report.chunks_decoded,
-            chunks_skipped: report.chunks_skipped_slice + report.chunks_skipped_stats,
-            chunks_stats_only: report.chunks_stats_only,
-            bytes_read: report.bytes_read,
-            bytes_decoded: report.bytes_decoded,
-        });
+    let mut scratch = Vec::new();
+    for pass in 0..repeat {
+        rows.clear();
+        for &idx in &indices {
+            let id = ds.consumer_entry(idx).map_err(|e| e.to_string())?.id;
+            let idx_bytes = ds.consumer_index_bytes(idx).map_err(|e| e.to_string())?;
+            let (agg, report, resampled) = match resample {
+                None => {
+                    let (agg, mut report) = store
+                        .consumer_aggregates_with(idx, &scan, &mut scratch)
+                        .map_err(|e| e.to_string())?;
+                    // The resident handle was opened by this process,
+                    // so the first pass genuinely paid the index
+                    // parse: charge it as read there; later passes
+                    // keep reporting it saved.
+                    if pass == 0 && report.bytes_read_index == 0 {
+                        report.bytes_saved = report.bytes_saved.saturating_sub(idx_bytes);
+                        report.bytes_read_index = idx_bytes;
+                    }
+                    (agg, report, None)
+                }
+                Some(target) => {
+                    // Materialization reads through the cached frame
+                    // but keeps its own counters (a resampled series
+                    // has no chunk-level reuse to account).
+                    let frame = store.consumer_frame(idx).map_err(|e| e.to_string())?;
+                    let (series, mut report) = scan
+                        .materialize_resampled(&frame, target)
+                        .map_err(|e| e.to_string())?;
+                    if pass == 0 {
+                        report.bytes_read_index = idx_bytes;
+                    } else {
+                        report.bytes_saved += idx_bytes;
+                    }
+                    (
+                        Aggregates::from_values(series.values()),
+                        report,
+                        Some(series),
+                    )
+                }
+            };
+            let peak = if want_agg == "peak" {
+                match &resampled {
+                    // The audit row keeps the aggregate scan's counters;
+                    // the peak pass is a second scan with its own (small)
+                    // decode cost, not folded in.
+                    None => {
+                        let frame = store.consumer_frame(idx).map_err(|e| e.to_string())?;
+                        scan.peak(&frame).map_err(|e| e.to_string())?.0
+                    }
+                    Some(series) => series
+                        .values()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, v)| !v.is_nan())
+                        .fold(None::<(usize, f64)>, |best, (i, &v)| match best {
+                            Some((_, bv)) if v <= bv => best,
+                            _ => Some((i, v)),
+                        })
+                        .map(|(i, v)| (series.timestamp_of(i), v)),
+                }
+            } else {
+                None
+            };
+            rows.push(QueryRow {
+                consumer: id,
+                intervals: agg.intervals,
+                observed: agg.observed,
+                gaps: agg.gaps,
+                sum_kwh: agg.sum_kwh,
+                mean_kwh: agg.mean(),
+                min_kwh: agg.min,
+                max_kwh: agg.max,
+                peak_at: peak.map(|(t, _)| t.to_string()),
+                peak_kwh: peak.map(|(_, v)| v),
+                chunks_total: report.chunks_total,
+                chunks_decoded: report.chunks_decoded,
+                chunks_skipped: report.chunks_skipped_slice + report.chunks_skipped_stats,
+                chunks_stats_only: report.chunks_stats_only,
+                bytes_read: report.bytes_read,
+                bytes_decoded: report.bytes_decoded,
+                bytes_read_index: report.bytes_read_index,
+                cache_hits: report.cache_hits,
+                bytes_saved: report.bytes_saved,
+            });
+        }
     }
 
     if flags.get("json").is_some() {
@@ -1158,9 +1212,14 @@ fn query_dataset(dir: &str, flags: &Flags) -> Result<(), String> {
     let total: usize = rows.iter().map(|r| r.chunks_total).sum();
     let bytes_read: usize = rows.iter().map(|r| r.bytes_read).sum();
     let bytes_decoded: usize = rows.iter().map(|r| r.bytes_decoded).sum();
+    let bytes_read_index: usize = rows.iter().map(|r| r.bytes_read_index).sum();
+    let cache_hits: usize = rows.iter().map(|r| r.cache_hits).sum();
+    let bytes_saved: usize = rows.iter().map(|r| r.bytes_saved).sum();
     println!(
         "{} consumer(s); decoded {decoded}/{total} chunks ({:.0} % skipped); \
-         read {bytes_read} B, decoded {bytes_decoded} B of payload",
+         read {bytes_read} B + {bytes_read_index} B of index, \
+         decoded {bytes_decoded} B of payload; \
+         {cache_hits} cache hit(s), {bytes_saved} B saved",
         rows.len(),
         if total > 0 {
             100.0 * (1.0 - decoded as f64 / total as f64)
@@ -1190,18 +1249,25 @@ struct FleetQueryRow {
     chunks_decoded: usize,
     bytes_read: usize,
     bytes_decoded: usize,
+    bytes_read_index: usize,
+    cache_hits: usize,
+    bytes_saved: usize,
 }
 
 /// Fleet mode: a query over a sharded store without `--consumer`
 /// answers from shard roll-ups where it can, opens only the shards the
 /// statistics cannot exclude, and merges in shard-index order so the
-/// output is byte-identical at any `--threads` value.
+/// output is byte-identical at any `--threads` value. Repeat passes
+/// run against the same resident snapshot, so parsed shard manifests
+/// (and opened shard handles) are reused; the printed pass moves the
+/// index bytes it did not re-read into `bytes_saved`.
 fn query_sharded_fleet(
-    ds: &Dataset,
+    store: &ResidentStore,
     scan: &Scan,
     slice: TimeRange,
     want_agg: &str,
     resample: bool,
+    repeat: usize,
     flags: &Flags,
 ) -> Result<(), String> {
     if want_agg == "peak" {
@@ -1219,27 +1285,45 @@ fn query_sharded_fleet(
         );
     }
     let threads = thread_flag(flags, "threads", 4)?;
+    // One revalidated snapshot for every pass: each pass answers from
+    // a single generation, and warm passes reuse the parsed indexes.
+    let ds = store.dataset().map_err(|e| e.to_string())?;
     let n = ds.shard_count();
     let mut agg = Aggregates::default();
     let mut report = ScanReport::default();
-    // Each worker scans whole shards with its own decode scratch; the
-    // consume callback runs on this thread in strict shard order, so
-    // the merge association — and therefore every float — is the same
-    // one `fleet_aggregates` produces serially.
-    ordered_parallel_map(
-        n,
-        threads,
-        |k| {
-            let mut scratch = Vec::new();
-            ds.shard_aggregates(k, scan, &mut scratch)
-                .map_err(|e| e.to_string())
-        },
-        |_, (a, r)| {
-            agg.merge(&a);
-            report.absorb(&r);
-            Ok(())
-        },
-    )?;
+    for pass in 0..repeat {
+        agg = Aggregates::default();
+        report = ScanReport::default();
+        // Each worker scans whole shards with its own decode scratch;
+        // the consume callback runs on this thread in strict shard
+        // order, so the merge association — and therefore every float
+        // — is the same one `fleet_aggregates` produces serially.
+        ordered_parallel_map(
+            n,
+            threads,
+            |k| {
+                let mut scratch = Vec::new();
+                ds.shard_aggregates(k, scan, &mut scratch)
+                    .map_err(|e| e.to_string())
+            },
+            |_, (a, r)| {
+                agg.merge(&a);
+                report.absorb(&r);
+                Ok(())
+            },
+        )?;
+        // Shard scans charge the manifests they consulted; the root
+        // index is charged once per query on top. Warm passes did not
+        // re-read any of it — the bytes move to the saved column.
+        let index_total = report.bytes_read_index + ds.index_bytes();
+        if pass == 0 {
+            report.bytes_read_index = index_total;
+        } else {
+            report.bytes_read_index = 0;
+            report.bytes_saved += index_total;
+            report.cache_hits += 1;
+        }
+    }
     let row = FleetQueryRow {
         consumers: ds.len(),
         intervals: agg.intervals,
@@ -1257,6 +1341,9 @@ fn query_sharded_fleet(
         chunks_decoded: report.chunks_decoded,
         bytes_read: report.bytes_read,
         bytes_decoded: report.bytes_decoded,
+        bytes_read_index: report.bytes_read_index,
+        cache_hits: report.cache_hits,
+        bytes_saved: report.bytes_saved,
     };
     if flags.get("json").is_some() {
         let json = serde_json::to_string_pretty(&row)
@@ -1289,7 +1376,8 @@ fn query_sharded_fleet(
     println!(
         "opened {}/{} shard(s) ({pruned_pct:.0} % answered without opening: \
          {} pruned, {} stats-only); decoded {}/{} chunks; \
-         read {} B, decoded {} B of payload",
+         read {} B + {} B of index, decoded {} B of payload; \
+         {} cache hit(s), {} B saved",
         row.shards_opened,
         row.shards_total,
         row.shards_pruned,
@@ -1297,7 +1385,10 @@ fn query_sharded_fleet(
         row.chunks_decoded,
         row.chunks_total,
         row.bytes_read,
+        row.bytes_read_index,
         row.bytes_decoded,
+        row.cache_hits,
+        row.bytes_saved,
     );
     Ok(())
 }
